@@ -1,0 +1,31 @@
+//! # pgfmu-analytics — MADlib-like in-DBMS analytics
+//!
+//! The paper's §8.2 combines pgFMU with MADlib: an ARIMA model forecasts
+//! classroom occupancy that then feeds `fmu_simulate`, and a logistic
+//! regression classifies the ventilation damper position with and without
+//! pgFMU-simulated temperatures in the feature vector. This crate is the
+//! MADlib stand-in: linear regression, ARIMA(p,d,q) with optional seasonal
+//! differencing, and logistic regression (IRLS), each exposed both as a
+//! typed Rust API and as SQL UDFs:
+//!
+//! * `arima_train(source_table, output_table, time_col, value_col
+//!   [, orders])` — orders like `'1,1,1'` or `'1,0,0,1,48'`
+//!   (p,d,q[,D,season]);
+//! * `arima_forecast(output_table, steps)` — set-returning
+//!   `(time, value)`;
+//! * `logregr_train(source_table, output_table, dep_col, indep_cols)`;
+//! * `logregr_prob(output_table, feature...)` — scalar probability.
+
+// Indexed loops in the linear-algebra kernels mirror the textbook formulas.
+#![allow(clippy::needless_range_loop)]
+
+pub mod arima;
+pub mod linalg;
+pub mod linreg;
+pub mod logistic;
+pub mod udfs;
+
+pub use arima::{Arima, ArimaSpec};
+pub use linreg::LinearRegression;
+pub use logistic::LogisticRegression;
+pub use udfs::register_udfs;

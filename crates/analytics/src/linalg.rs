@@ -1,0 +1,112 @@
+//! Small dense linear algebra: Gaussian elimination with partial pivoting
+//! and a ridge-stabilized normal-equations solver.
+
+/// Solve `A x = b` in place for a square system; returns `None` when the
+/// matrix is (numerically) singular.
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert!(a.len() == n && a.iter().all(|r| r.len() == n));
+    for col in 0..n {
+        // Partial pivoting.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Least squares `min ‖X w − y‖²` via ridge-stabilized normal equations
+/// (`λ = 1e-9` on the diagonal). `X` rows are observations.
+pub fn least_squares(x: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    let n = x.len();
+    if n == 0 || n != y.len() {
+        return None;
+    }
+    let dim = x[0].len();
+    if dim == 0 || x.iter().any(|r| r.len() != dim) {
+        return None;
+    }
+    let mut xtx = vec![vec![0.0; dim]; dim];
+    let mut xty = vec![0.0; dim];
+    for (row, &yi) in x.iter().zip(y) {
+        for i in 0..dim {
+            xty[i] += row[i] * yi;
+            for j in i..dim {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..dim {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+        xtx[i][i] += 1e-9;
+    }
+    solve(xtx, xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // x + 2y = 5 ; 3x - y = 1  ->  x = 1, y = 2
+        let x = solve(vec![vec![1.0, 2.0], vec![3.0, -1.0]], vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_system_returns_none() {
+        let res = solve(vec![vec![1.0, 2.0], vec![2.0, 4.0]], vec![1.0, 2.0]);
+        assert!(res.is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let x = solve(vec![vec![0.0, 1.0], vec![1.0, 0.0]], vec![3.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        // y = 2 + 3t with exact data.
+        let xs: Vec<Vec<f64>> = (0..10).map(|t| vec![1.0, t as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|t| 2.0 + 3.0 * t as f64).collect();
+        let w = least_squares(&xs, &ys).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-6);
+        assert!((w[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_rejects_bad_shapes() {
+        assert!(least_squares(&[], &[]).is_none());
+        assert!(least_squares(&[vec![1.0]], &[1.0, 2.0]).is_none());
+        assert!(least_squares(&[vec![1.0], vec![]], &[1.0, 2.0]).is_none());
+    }
+}

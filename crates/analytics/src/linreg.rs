@@ -1,0 +1,88 @@
+//! Ordinary least squares linear regression (with intercept).
+
+use crate::linalg::least_squares;
+
+/// A fitted linear model `y ≈ b0 + Σ bi·xi`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    /// Coefficients: intercept first, then one per feature.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+}
+
+impl LinearRegression {
+    /// Fit on feature rows `x` (without intercept column) and targets `y`.
+    pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Option<Self> {
+        let design: Vec<Vec<f64>> = x
+            .iter()
+            .map(|row| {
+                let mut r = Vec::with_capacity(row.len() + 1);
+                r.push(1.0);
+                r.extend_from_slice(row);
+                r
+            })
+            .collect();
+        let coefficients = least_squares(&design, y)?;
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let ss_tot: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum();
+        let ss_res: f64 = design
+            .iter()
+            .zip(y)
+            .map(|(row, &yi)| {
+                let pred: f64 = row.iter().zip(&coefficients).map(|(a, b)| a * b).sum();
+                (yi - pred) * (yi - pred)
+            })
+            .sum();
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+        Some(LinearRegression {
+            coefficients,
+            r_squared,
+        })
+    }
+
+    /// Predict for one feature row.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.coefficients[0]
+            + features
+                .iter()
+                .zip(&self.coefficients[1..])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_plane_exactly() {
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i) as f64 % 7.0])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 1.5 - 2.0 * r[0] + 0.5 * r[1]).collect();
+        let m = LinearRegression::fit(&x, &y).unwrap();
+        assert!((m.coefficients[0] - 1.5).abs() < 1e-6);
+        assert!((m.coefficients[1] + 2.0).abs() < 1e-6);
+        assert!((m.coefficients[2] - 0.5).abs() < 1e-6);
+        assert!(m.r_squared > 0.999999);
+        assert!((m.predict(&[3.0, 2.0]) - (1.5 - 6.0 + 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn r_squared_reflects_noise() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        // Alternating residual of +-10 around the line.
+        let y: Vec<f64> = (0..100)
+            .map(|i| i as f64 + if i % 2 == 0 { 10.0 } else { -10.0 })
+            .collect();
+        let m = LinearRegression::fit(&x, &y).unwrap();
+        assert!(m.r_squared < 0.95);
+        assert!(m.r_squared > 0.5);
+    }
+}

@@ -1,0 +1,179 @@
+//! Logistic regression fitted by iteratively reweighted least squares
+//! (Newton–Raphson) — the MADlib `logregr_train` stand-in.
+
+use crate::linalg::solve;
+
+/// A fitted binary logistic model `P(y=1) = σ(b0 + Σ bi·xi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    /// Coefficients: intercept first, then one per feature.
+    pub coefficients: Vec<f64>,
+    /// Newton iterations used.
+    pub iterations: usize,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Fit on feature rows `x` and 0/1 labels `y`.
+    pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Option<Self> {
+        let n = x.len();
+        if n == 0 || n != y.len() {
+            return None;
+        }
+        if y.iter().any(|v| *v != 0.0 && *v != 1.0) {
+            return None;
+        }
+        let dim = x[0].len() + 1;
+        let design: Vec<Vec<f64>> = x
+            .iter()
+            .map(|row| {
+                let mut r = Vec::with_capacity(dim);
+                r.push(1.0);
+                r.extend_from_slice(row);
+                r
+            })
+            .collect();
+        if design.iter().any(|r| r.len() != dim) {
+            return None;
+        }
+
+        let mut beta = vec![0.0; dim];
+        let mut iterations = 0;
+        for _ in 0..50 {
+            iterations += 1;
+            // Gradient and Hessian of the log-likelihood (with a small
+            // ridge term for separable data).
+            let mut grad = vec![0.0; dim];
+            let mut hess = vec![vec![0.0; dim]; dim];
+            for (row, &yi) in design.iter().zip(y) {
+                let eta: f64 = row.iter().zip(&beta).map(|(a, b)| a * b).sum();
+                let p = sigmoid(eta);
+                let w = (p * (1.0 - p)).max(1e-9);
+                for i in 0..dim {
+                    grad[i] += (yi - p) * row[i];
+                    for j in i..dim {
+                        hess[i][j] += w * row[i] * row[j];
+                    }
+                }
+            }
+            for i in 0..dim {
+                grad[i] -= 1e-6 * beta[i];
+                for j in 0..i {
+                    hess[i][j] = hess[j][i];
+                }
+                hess[i][i] += 1e-6;
+            }
+            let step = solve(hess, grad)?;
+            let mut max_step = 0.0f64;
+            for i in 0..dim {
+                beta[i] += step[i];
+                max_step = max_step.max(step[i].abs());
+            }
+            if max_step < 1e-8 {
+                break;
+            }
+        }
+        Some(LogisticRegression {
+            coefficients: beta,
+            iterations,
+        })
+    }
+
+    /// Probability of the positive class for one feature row.
+    pub fn predict_prob(&self, features: &[f64]) -> f64 {
+        let eta = self.coefficients[0]
+            + features
+                .iter()
+                .zip(&self.coefficients[1..])
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
+        sigmoid(eta)
+    }
+
+    /// Hard 0/1 classification at the 0.5 threshold.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        if self.predict_prob(features) >= 0.5 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Classification accuracy over a labelled set.
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        if x.is_empty() {
+            return 0.0;
+        }
+        let correct = x
+            .iter()
+            .zip(y)
+            .filter(|(row, &yi)| self.predict(row) == yi)
+            .count();
+        correct as f64 / x.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random stream in [0,1).
+    fn stream(seed: f64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = (state * 997.0 + 0.123).fract();
+            state
+        }
+    }
+
+    #[test]
+    fn separates_a_threshold_rule() {
+        // y = 1 iff x > 2.
+        let mut rnd = stream(0.4);
+        let x: Vec<Vec<f64>> = (0..400).map(|_| vec![rnd() * 4.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| f64::from(r[0] > 2.0)).collect();
+        let m = LogisticRegression::fit(&x, &y).unwrap();
+        assert!(m.accuracy(&x, &y) > 0.97);
+        assert!(m.predict_prob(&[3.5]) > 0.9);
+        assert!(m.predict_prob(&[0.5]) < 0.1);
+    }
+
+    #[test]
+    fn extra_informative_feature_improves_accuracy() {
+        // Label depends on x1 + x2; a model seeing only x1 does worse.
+        let mut rnd = stream(0.7);
+        let features: Vec<(f64, f64)> =
+            (0..600).map(|_| (rnd() * 2.0, rnd() * 2.0)).collect();
+        let y: Vec<f64> = features
+            .iter()
+            .map(|(a, b)| f64::from(a + b > 2.0))
+            .collect();
+        let x_full: Vec<Vec<f64>> = features.iter().map(|(a, b)| vec![*a, *b]).collect();
+        let x_partial: Vec<Vec<f64>> = features.iter().map(|(a, _)| vec![*a]).collect();
+        let m_full = LogisticRegression::fit(&x_full, &y).unwrap();
+        let m_partial = LogisticRegression::fit(&x_partial, &y).unwrap();
+        assert!(
+            m_full.accuracy(&x_full, &y) > m_partial.accuracy(&x_partial, &y) + 0.1,
+            "full {} vs partial {}",
+            m_full.accuracy(&x_full, &y),
+            m_partial.accuracy(&x_partial, &y)
+        );
+    }
+
+    #[test]
+    fn rejects_non_binary_labels() {
+        assert!(LogisticRegression::fit(&[vec![1.0]], &[0.5]).is_none());
+        assert!(LogisticRegression::fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn balanced_coin_has_half_probability() {
+        let x: Vec<Vec<f64>> = (0..100).map(|_| vec![1.0]).collect();
+        let y: Vec<f64> = (0..100).map(|i| f64::from(i % 2 == 0)).collect();
+        let m = LogisticRegression::fit(&x, &y).unwrap();
+        assert!((m.predict_prob(&[1.0]) - 0.5).abs() < 0.05);
+    }
+}

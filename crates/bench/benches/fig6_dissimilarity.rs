@@ -1,0 +1,63 @@
+//! Criterion bench for Figure 6: the cost of G+LaG vs LO at one similar
+//! (10%) dissimilarity point — the ratio that makes the MI optimization
+//! worthwhile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use pgfmu_bench::Profile;
+use pgfmu_estimation::{estimate_lo, estimate_si, MeasurementData, SimulationObjective};
+use pgfmu_fmi::builtin;
+
+fn objective(data: &MeasurementData) -> SimulationObjective {
+    let fmu = Arc::new(builtin::hp1());
+    let inst = fmu.instantiate();
+    SimulationObjective::new(
+        Arc::clone(&fmu),
+        inst.param_values(),
+        inst.start_state(),
+        &["Cp".into(), "R".into()],
+        data,
+    )
+    .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let profile = Profile::test();
+    let base = pgfmu_datagen::hp::hp1_dataset(profile.seed).slice(0, profile.hp_samples);
+    let scaled = pgfmu_datagen::scale_dataset(&base, 1.10);
+    let mk = |d: &pgfmu_datagen::Dataset| {
+        MeasurementData::new(
+            d.times_hours(),
+            vec![
+                ("x".into(), d.column("x").unwrap().to_vec()),
+                ("u".into(), d.column("u").unwrap().to_vec()),
+            ],
+        )
+        .unwrap()
+    };
+    let base_data = mk(&base);
+    let scaled_data = mk(&scaled);
+    let anchor = estimate_si(&objective(&base_data), &profile.config);
+
+    c.bench_function("fig6_full_g_lag", |b| {
+        b.iter(|| {
+            let out = estimate_si(&objective(&scaled_data), &profile.config);
+            black_box(out.rmse)
+        })
+    });
+    c.bench_function("fig6_lo_warm_start", |b| {
+        b.iter(|| {
+            let out = estimate_lo(&objective(&scaled_data), &anchor.params, &profile.config);
+            black_box(out.rmse)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(6));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for Figure 7: the full multi-instance workflow (HP1,
+//! test-scale fleet) under pgFMU+ — the headline speed-up path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pgfmu_bench::fig7;
+use pgfmu_bench::setup::ModelKind;
+use pgfmu_bench::Profile;
+
+fn bench(c: &mut Criterion) {
+    let profile = Profile::test();
+    c.bench_function("fig7_mi_workflow_hp1", |b| {
+        b.iter(|| {
+            let r = fig7::run_model(ModelKind::Hp1, &profile);
+            black_box(r.speedup())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(10));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for Figure 8: the seeded usability cohort simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig8_usability_cohort", |b| {
+        b.iter(|| {
+            let u = pgfmu_bench::fig8::run(42, 30);
+            black_box(u.speedup)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

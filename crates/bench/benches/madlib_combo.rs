@@ -1,0 +1,21 @@
+//! Criterion bench for the §8.2 combined experiment (logistic-regression
+//! variant; the ARIMA variant runs in `repro madlib`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("madlib_logistic_combo", |b| {
+        b.iter(|| {
+            let r = pgfmu_bench::madlib::run_logistic(42, 336);
+            black_box(r.gain_points())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Substrate microbenchmarks: the building blocks whose costs the paper's
+//! architecture reasons about — SQL execution (with/without the statement
+//! cache), FMU simulation, and archive (de)serialization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use pgfmu_fmi::{archive, builtin, InputSeries, InputSet, Interpolation, SimulationOptions};
+use pgfmu_sqlmini::Database;
+
+fn bench(c: &mut Criterion) {
+    // --- SQL: prepared (cached) vs uncached execution. ---------------------
+    let db = Database::new();
+    db.execute("CREATE TABLE m (ts timestamp, x float, u float)")
+        .unwrap();
+    for i in 0..500 {
+        db.execute(&format!(
+            "INSERT INTO m VALUES (timestamp '2015-02-01 00:00' + interval '{i} hours', \
+             {}, {})",
+            20.0 + (i % 7) as f64,
+            (i % 10) as f64 / 10.0
+        ))
+        .unwrap();
+    }
+    c.bench_function("sql_select_cached_statement", |b| {
+        b.iter(|| black_box(db.execute("SELECT ts, x, u FROM m WHERE x > 21.0").unwrap().len()))
+    });
+    c.bench_function("sql_select_uncached_statement", |b| {
+        b.iter(|| {
+            black_box(
+                db.execute_uncached("SELECT ts, x, u FROM m WHERE x > 21.0")
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+
+    // --- FMU simulation (one month hourly, RK4). ----------------------------
+    let fmu = Arc::new(builtin::hp1());
+    let inst = fmu.instantiate();
+    let times: Vec<f64> = (0..672).map(|i| i as f64).collect();
+    let u: Vec<f64> = times.iter().map(|t| (t * 0.3).sin().abs()).collect();
+    let series = InputSeries::new("u", times, u, Interpolation::Hold).unwrap();
+    let inputs = InputSet::bind(&["u"], vec![series]).unwrap();
+    let opts = SimulationOptions {
+        start: Some(0.0),
+        stop: Some(671.0),
+        output_step: Some(1.0),
+        ..Default::default()
+    };
+    c.bench_function("fmu_simulate_672h_rk4", |b| {
+        b.iter(|| black_box(inst.simulate(&inputs, &opts).unwrap().len()))
+    });
+
+    // --- Archive round-trip. -------------------------------------------------
+    let classroom = builtin::classroom();
+    c.bench_function("fmu_archive_encode_decode", |b| {
+        b.iter(|| {
+            let bytes = archive::encode(&classroom);
+            black_box(archive::decode(&bytes).unwrap().name().len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for the Table-1 code-line measurement (trivially fast;
+//! present so every table has a `cargo bench` target).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1_loc_count", |b| {
+        b.iter(|| {
+            let cmp = pgfmu_bench::table1::run();
+            black_box((cmp.python_total(), cmp.pgfmu_total()))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Table 7: single-instance calibration (HP1) under
+//! the pgFMU configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pgfmu_bench::setup::{bench_session, ModelKind};
+use pgfmu_bench::Profile;
+
+fn bench(c: &mut Criterion) {
+    let profile = Profile::test();
+    let bench = bench_session(ModelKind::Hp1, &profile);
+    let sql = ModelKind::Hp1.parest_sql(&bench.table);
+    let pars = ModelKind::Hp1.pars();
+    c.bench_function("table7_hp1_calibration_pgfmu", |b| {
+        b.iter(|| {
+            let reports = bench
+                .session
+                .fmu_parest(
+                    std::slice::from_ref(&bench.instance),
+                    std::slice::from_ref(&sql),
+                    Some(&pars),
+                    None,
+                )
+                .unwrap();
+            black_box(reports[0].rmse)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for Table 8: the non-calibration workflow operations
+//! (load, read, simulate) whose cost pgFMU's integration minimizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pgfmu_bench::setup::{bench_session, ModelKind};
+use pgfmu_bench::Profile;
+
+fn bench(c: &mut Criterion) {
+    let profile = Profile::test();
+    let bench = bench_session(ModelKind::Hp1, &profile);
+    let s = &bench.session;
+
+    // The counter must outlive criterion's repeated sampling phases, or
+    // instance identifiers would collide across phases.
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+    c.bench_function("table8_load_fmu_create", |b| {
+        b.iter(|| {
+            let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let q = s
+                .execute(&format!("SELECT fmu_create('HP1', 'probe{i}')"))
+                .unwrap();
+            black_box(q.len())
+        })
+    });
+
+    c.bench_function("table8_read_measurements", |b| {
+        b.iter(|| {
+            let q = s.execute("SELECT ts, x, u FROM measurements").unwrap();
+            black_box(q.len())
+        })
+    });
+
+    let sim_sql = ModelKind::Hp1.simulate_sql(&bench.table).unwrap();
+    c.bench_function("table8_simulate", |b| {
+        b.iter(|| {
+            let q = s
+                .fmu_simulate(&bench.instance, Some(&sim_sql), None, None)
+                .unwrap();
+            black_box(q.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench
+}
+criterion_main!(benches);

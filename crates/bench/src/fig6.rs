@@ -1,0 +1,141 @@
+//! Figure 6 — average RMSE and execution time of LO vs. G+LaG for datasets
+//! of increasing dissimilarity (HP1 model).
+//!
+//! The paper's finding: "there is no difference in G+LaG and LO RMSEs
+//! until maximum dissimilarity reached approximately 30%; after this, the
+//! difference grows linearly", while LO is roughly an order of magnitude
+//! cheaper (G alone is ~90% of the execution time). This sweep regenerates
+//! exactly that crossover.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pgfmu_estimation::{
+    estimate_lo, estimate_si, MeasurementData, SimulationObjective,
+};
+use pgfmu_fmi::builtin;
+
+use crate::profiles::Profile;
+use crate::setup::ModelKind;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Dataset dissimilarity (relative L2 distance; |δ−1| by construction).
+    pub dissimilarity: f64,
+    /// RMSE of full G+LaG estimation on the scaled dataset.
+    pub rmse_full: f64,
+    /// RMSE of LO warm-started from the base dataset's optimum.
+    pub rmse_lo: f64,
+    /// Wall time of G+LaG.
+    pub time_full: Duration,
+    /// Wall time of LO.
+    pub time_lo: Duration,
+}
+
+fn objective_for(data: &MeasurementData) -> SimulationObjective {
+    let fmu = Arc::new(builtin::hp1());
+    let inst = fmu.instantiate();
+    SimulationObjective::new(
+        Arc::clone(&fmu),
+        inst.param_values(),
+        inst.start_state(),
+        &["Cp".into(), "R".into()],
+        data,
+    )
+    .expect("objective")
+}
+
+fn measurement_data(dataset: &pgfmu_datagen::Dataset) -> MeasurementData {
+    MeasurementData::new(
+        dataset.times_hours(),
+        vec![
+            ("x".into(), dataset.column("x").unwrap().to_vec()),
+            ("u".into(), dataset.column("u").unwrap().to_vec()),
+        ],
+    )
+    .expect("measurement data")
+}
+
+/// Run the dissimilarity sweep: δ ∈ {1.00, 1.05, …, 1.50}, i.e.
+/// dissimilarity 0%..50% in 5% steps.
+pub fn run(profile: &Profile) -> Vec<SweepPoint> {
+    let base = ModelKind::Hp1.dataset(profile);
+    let base_data = measurement_data(&base);
+    let anchor = estimate_si(&objective_for(&base_data), &profile.config);
+
+    let mut points = Vec::new();
+    for step in 0..=10 {
+        let delta = 1.0 + 0.05 * step as f64;
+        let scaled = pgfmu_datagen::scale_dataset(&base, delta);
+        let data = measurement_data(&scaled);
+
+        let obj_full = objective_for(&data);
+        let full = estimate_si(&obj_full, &profile.config);
+        let obj_lo = objective_for(&data);
+        let lo = estimate_lo(&obj_lo, &anchor.params, &profile.config);
+
+        points.push(SweepPoint {
+            dissimilarity: delta - 1.0,
+            rmse_full: full.rmse,
+            rmse_lo: lo.rmse,
+            time_full: full.total_time(),
+            time_lo: lo.total_time(),
+        });
+    }
+    points
+}
+
+/// The dissimilarity (in 0..=0.5) where the LO−G+LaG RMSE gap first
+/// exceeds `gap` relative to G+LaG — the paper's ≈30% crossover.
+pub fn crossover(points: &[SweepPoint], gap: f64) -> Option<f64> {
+    points
+        .iter()
+        .find(|p| (p.rmse_lo - p.rmse_full) / p.rmse_full.max(1e-9) > gap)
+        .map(|p| p.dissimilarity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lo_matches_full_near_zero_dissimilarity_and_is_cheaper() {
+        let points = run(&Profile::test());
+        assert_eq!(points.len(), 11);
+        let p0 = &points[0];
+        assert!(
+            (p0.rmse_lo - p0.rmse_full).abs() / p0.rmse_full < 0.05,
+            "at delta=1 LO must match G+LaG: {} vs {}",
+            p0.rmse_lo,
+            p0.rmse_full
+        );
+        // LO is much cheaper at every point.
+        for p in &points {
+            assert!(
+                p.time_lo < p.time_full,
+                "LO slower at {}: {:?} vs {:?}",
+                p.dissimilarity,
+                p.time_lo,
+                p.time_full
+            );
+        }
+    }
+
+    #[test]
+    fn rmse_gap_eventually_appears() {
+        let points = run(&Profile::test());
+        // Somewhere in the sweep the warm start stops being good enough —
+        // the Figure-6 divergence. (The exact crossover is profile
+        // dependent; it must exist by 50% dissimilarity or LO would always
+        // win, contradicting the need for the threshold.)
+        let worst_gap = points
+            .iter()
+            .map(|p| (p.rmse_lo - p.rmse_full) / p.rmse_full.max(1e-9))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            worst_gap > 0.02,
+            "no RMSE gap appeared anywhere in the sweep ({worst_gap})"
+        );
+    }
+}

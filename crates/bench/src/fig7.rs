@@ -1,0 +1,152 @@
+//! Figure 7 — multi-instance workflow execution time (store + calibrate +
+//! simulate + validate N instances) for Python, pgFMU− and pgFMU+.
+//!
+//! The paper's result: execution time grows linearly with the instance
+//! count in all three configurations; Python and pgFMU− share the growth
+//! rate, pgFMU+ grows much slower thanks to the MI optimization —
+//! 5.31×/5.51×/8.43× faster at 100 instances for HP0/HP1/Classroom.
+
+use std::time::{Duration, Instant};
+
+use pgfmu_fmi::archive;
+
+use crate::profiles::Profile;
+use crate::setup::{bench_session, ModelKind};
+
+/// Per-configuration result of the MI scaling experiment.
+#[derive(Debug, Clone)]
+pub struct MiScaling {
+    /// Model name.
+    pub model: &'static str,
+    /// Number of instances.
+    pub instances: usize,
+    /// Per-instance workflow durations, Python configuration.
+    pub python: Vec<Duration>,
+    /// Per-instance workflow durations, pgFMU− (no MI optimization).
+    pub pgfmu_minus: Vec<Duration>,
+    /// Per-instance workflow durations, pgFMU+ (MI optimization).
+    pub pgfmu_plus: Vec<Duration>,
+}
+
+impl MiScaling {
+    /// Cumulative time after the first `n` instances for a series.
+    pub fn cumulative(series: &[Duration], n: usize) -> Duration {
+        series.iter().take(n).sum()
+    }
+
+    /// pgFMU+ speed-up over pgFMU− at the full instance count.
+    pub fn speedup(&self) -> f64 {
+        let minus = Self::cumulative(&self.pgfmu_minus, self.instances).as_secs_f64();
+        let plus = Self::cumulative(&self.pgfmu_plus, self.instances).as_secs_f64();
+        minus / plus.max(1e-12)
+    }
+}
+
+/// Run the MI scaling experiment for one model.
+pub fn run_model(model: ModelKind, profile: &Profile) -> MiScaling {
+    let n = profile.mi_instances;
+    let base = model.dataset(profile);
+    let datasets = pgfmu_datagen::synthetic_instances(&base, n, profile.seed);
+    let pars = model.pars();
+
+    // ---------------- Python: a loop of file-based workflows. -------------
+    let db = pgfmu_sqlmini::Database::new();
+    let mut tables = Vec::new();
+    for (i, (_, data)) in datasets.iter().enumerate() {
+        let table = format!("m{i}");
+        data.load_into(&db, &table).unwrap();
+        tables.push(table);
+    }
+    let wf = pgfmu_baseline::TraditionalWorkflow::in_temp_dir(profile.config).unwrap();
+    let fmu_path = wf.work_dir().join(format!("{}.fmu", model.name()));
+    archive::write_to_path(
+        &pgfmu_fmi::builtin::by_name(model.name()).unwrap(),
+        &fmu_path,
+    )
+    .unwrap();
+    // Both stacks calibrate on the full window (train_fraction = 1.0) so
+    // per-instance costs are directly comparable.
+    let mut python = Vec::with_capacity(n);
+    for (i, table) in tables.iter().enumerate() {
+        let t0 = Instant::now();
+        wf.run_si(&db, table, &fmu_path, &pars, 1.0, &format!("f7_{i}"))
+            .unwrap();
+        python.push(t0.elapsed());
+    }
+
+    // ---------------- pgFMU− and pgFMU+. ------------------------------------
+    let mut results = Vec::new();
+    for mi in [false, true] {
+        let bench = bench_session(model, profile);
+        let s = &bench.session;
+        s.set_mi_enabled(mi);
+        let mut ids = vec![bench.instance.clone()];
+        let mut sqls = Vec::new();
+        for (i, (_, data)) in datasets.iter().enumerate() {
+            let table = format!("mi{i}");
+            data.load_into(s.db(), &table).unwrap();
+            if i > 0 {
+                let id = format!("{}Instance{}", model.name(), i + 1);
+                s.execute(&format!(
+                    "SELECT fmu_copy('{}', '{id}')",
+                    bench.instance
+                ))
+                .unwrap();
+                ids.push(id);
+            }
+            sqls.push(model.parest_sql(&table));
+        }
+        // Store + calibrate (one batch UDF call), then per-instance
+        // simulate + validate via the simulation UDF.
+        let reports = s.fmu_parest(&ids, &sqls, Some(&pars), None).unwrap();
+        let mut durations = Vec::with_capacity(n);
+        for (i, r) in reports.iter().enumerate() {
+            let t0 = Instant::now();
+            s.fmu_simulate(
+                &ids[i],
+                model.simulate_sql(&format!("mi{i}")).as_deref(),
+                None,
+                None,
+            )
+            .unwrap();
+            let sim = t0.elapsed();
+            durations.push(r.global_time + r.local_time + sim);
+        }
+        results.push(durations);
+    }
+    let pgfmu_plus = results.pop().unwrap();
+    let pgfmu_minus = results.pop().unwrap();
+
+    MiScaling {
+        model: model.name(),
+        instances: n,
+        python,
+        pgfmu_minus,
+        pgfmu_plus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mi_optimization_speeds_up_the_fleet() {
+        let r = run_model(ModelKind::Hp1, &Profile::test());
+        assert_eq!(r.python.len(), 3);
+        assert!(
+            r.speedup() > 1.3,
+            "pgFMU+ should beat pgFMU- even at 3 instances: {:.2}x",
+            r.speedup()
+        );
+        // Python and pgFMU- are in the same ballpark (shared calibration
+        // engine; file I/O noise aside).
+        let py = MiScaling::cumulative(&r.python, 3).as_secs_f64();
+        let minus = MiScaling::cumulative(&r.pgfmu_minus, 3).as_secs_f64();
+        let ratio = py / minus;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "Python vs pgFMU- ratio out of band: {ratio:.2}"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Figure 8 / usability study — a **seeded stochastic user model**.
+//!
+//! The original is a 30-participant human study (learning + development
+//! time for the Figure-1 workflow with each stack). A human study cannot
+//! be rerun in software; per DESIGN.md §1 this module substitutes a
+//! simulation whose structure encodes the paper's causal claim:
+//! development time scales with the number of tools, workflow steps and
+//! lines of code of each stack. Code-line counts come from the *measured*
+//! Table-1 artifacts of this repository; per-line and per-tool constants
+//! are calibrated so the pgFMU cohort lands in the paper's reported band
+//! (9.6–17.6 minutes learning, everyone done < 20 minutes, ≈11.74× faster
+//! overall). The output is clearly labelled as simulated.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table1;
+
+/// One simulated participant.
+#[derive(Debug, Clone)]
+pub struct Participant {
+    /// Participant number (1-based).
+    pub id: usize,
+    /// Minutes to learn + complete the task with pgFMU.
+    pub pgfmu_minutes: f64,
+    /// Minutes to learn + complete the task with the Python stack.
+    pub python_minutes: f64,
+    /// Whether the participant finished the Python task within the
+    /// 3-hour session limit (one participant in the paper did not).
+    pub python_finished: bool,
+}
+
+/// Cohort summary.
+#[derive(Debug, Clone)]
+pub struct Usability {
+    /// Every simulated participant.
+    pub participants: Vec<Participant>,
+    /// Mean pgFMU time (minutes).
+    pub pgfmu_mean: f64,
+    /// Mean Python time over finishers (minutes).
+    pub python_mean: f64,
+    /// Mean speed-up factor (paper: 11.74×).
+    pub speedup: f64,
+}
+
+/// Session limit in minutes (the paper gave participants 3 hours).
+pub const SESSION_LIMIT_MIN: f64 = 180.0;
+
+/// Simulate the 30-participant study.
+pub fn run(seed: u64, participants: usize) -> Usability {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x05AB_111D);
+    let loc = table1::run();
+    let pgfmu_loc: usize = loc.rows.iter().map(|r| r.pgfmu_lines).sum();
+    let python_loc: usize = loc.rows.iter().map(|r| r.python_lines).sum();
+    let python_tools = 6.0; // distinct packages in Table 1
+    let pgfmu_tools = 1.0;
+
+    let mut out = Vec::with_capacity(participants);
+    for id in 1..=participants {
+        // Skill multiplier: most students knew SQL well, Python less so
+        // (pre-assessment Q4/Q5).
+        let skill: f64 = rng.gen_range(0.82..1.12);
+        // Learning: per-tool familiarization; writing: per-line effort.
+        let pgfmu_learn = (9.0 + rng.gen_range(0.0..5.0)) * (pgfmu_tools * 0.22 + 0.78);
+        let pgfmu_write = pgfmu_loc as f64 * rng.gen_range(0.4..0.75);
+        let pgfmu_minutes = (pgfmu_learn + pgfmu_write) * skill;
+
+        let python_learn = (20.0 + rng.gen_range(0.0..10.0)) * (python_tools * 0.22 + 0.78);
+        let python_write = python_loc as f64 * rng.gen_range(0.95..1.2);
+        let python_minutes = (python_learn + python_write) * skill;
+
+        out.push(Participant {
+            id,
+            pgfmu_minutes,
+            python_minutes,
+            python_finished: python_minutes <= SESSION_LIMIT_MIN,
+        });
+    }
+    let pgfmu_mean =
+        out.iter().map(|p| p.pgfmu_minutes).sum::<f64>() / participants as f64;
+    let finishers: Vec<&Participant> = out.iter().filter(|p| p.python_finished).collect();
+    let python_mean = finishers
+        .iter()
+        .map(|p| p.python_minutes)
+        .sum::<f64>()
+        / finishers.len().max(1) as f64;
+    let speedup = out
+        .iter()
+        .map(|p| p.python_minutes / p.pgfmu_minutes)
+        .sum::<f64>()
+        / participants as f64;
+    Usability {
+        participants: out,
+        pgfmu_mean,
+        python_mean,
+        speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohort_matches_paper_bands() {
+        let u = run(42, 30);
+        assert_eq!(u.participants.len(), 30);
+        // Everyone finishes the pgFMU task well within the session; the
+        // paper reports all participants done in under 20 minutes.
+        for p in &u.participants {
+            assert!(
+                p.pgfmu_minutes < 30.0,
+                "participant {} took {:.1} min with pgFMU",
+                p.id,
+                p.pgfmu_minutes
+            );
+        }
+        // Order-of-magnitude productivity gap (paper: 11.74x).
+        assert!(
+            u.speedup > 6.0 && u.speedup < 20.0,
+            "speedup {:.2} out of band",
+            u.speedup
+        );
+        // The Python cohort brushes the session limit for some users.
+        assert!(u.python_mean > 60.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(7, 10);
+        let b = run(7, 10);
+        assert_eq!(a.participants.len(), b.participants.len());
+        assert_eq!(a.speedup, b.speedup);
+        assert_ne!(run(8, 10).speedup, a.speedup);
+    }
+}

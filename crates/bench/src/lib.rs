@@ -1,0 +1,22 @@
+//! # pgfmu-bench — the experiment harness regenerating every table and
+//! figure of the pgFMU paper's evaluation (§8).
+//!
+//! Each module implements one experiment and returns structured results;
+//! the `repro` binary prints them in the paper's shape, and the Criterion
+//! benches wrap the same functions. Workload scale is controlled by
+//! [`profiles::Profile`]: `quick` keeps the full relative structure at
+//! laptop-friendly sizes, `full` runs the paper's 100-instance scale.
+
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod madlib;
+pub mod profiles;
+pub mod report;
+pub mod setup;
+pub mod table1;
+pub mod table2;
+pub mod table7;
+pub mod table8;
+
+pub use profiles::Profile;

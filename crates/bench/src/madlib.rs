@@ -1,0 +1,229 @@
+//! The §8.2 combined experiments: pgFMU + MADlib-like analytics.
+//!
+//! Experiment 1: ARIMA-forecast occupancy feeding `fmu_simulate` improves
+//! the classroom indoor-temperature forecast (paper: up to 21.1%).
+//! Experiment 2: adding pgFMU-simulated indoor temperature to a logistic
+//! regression classifying the damper position improves accuracy
+//! (paper: +5.9%).
+
+use pgfmu::PgFmu;
+use pgfmu_datagen::classroom::classroom_dataset;
+
+/// Results of combined experiment 1.
+#[derive(Debug, Clone, Copy)]
+pub struct ArimaCombo {
+    /// RMSE forecasting without occupancy information.
+    pub rmse_without_occ: f64,
+    /// RMSE with ARIMA-predicted occupancy.
+    pub rmse_with_arima: f64,
+}
+
+impl ArimaCombo {
+    /// Relative improvement in percent.
+    pub fn improvement_pct(&self) -> f64 {
+        (self.rmse_without_occ - self.rmse_with_arima) / self.rmse_without_occ * 100.0
+    }
+}
+
+/// Results of combined experiment 2.
+#[derive(Debug, Clone, Copy)]
+pub struct LogisticCombo {
+    /// Accuracy with occupancy + solar features only.
+    pub accuracy_base: f64,
+    /// Accuracy with the pgFMU-simulated temperature added.
+    pub accuracy_with_temp: f64,
+}
+
+impl LogisticCombo {
+    /// Accuracy gain in percentage points.
+    pub fn gain_points(&self) -> f64 {
+        (self.accuracy_with_temp - self.accuracy_base) * 100.0
+    }
+}
+
+fn session_with_classroom(seed: u64, samples: usize) -> (PgFmu, usize, String, usize) {
+    let s = PgFmu::new().expect("session");
+    let data = classroom_dataset(seed).slice(0, samples);
+    data.load_into(s.db(), "classroom").unwrap();
+    let split = (data.len() as f64 * 0.8) as usize;
+    let split_ts = pgfmu_sqlmini::format_timestamp(data.timestamps[split]);
+    s.execute("SELECT fmu_create('Classroom', 'Room1')").unwrap();
+    let len = data.len();
+    (s, split, split_ts, len)
+}
+
+/// Run combined experiment 1 (see `examples/classroom_occupancy.rs` for
+/// the narrated version).
+pub fn run_arima(seed: u64, samples: usize) -> ArimaCombo {
+    let (s, split, split_ts, len) = session_with_classroom(seed, samples);
+    s.execute("CREATE TABLE occupants (time timestamp, value float)")
+        .unwrap();
+    s.execute(&format!(
+        "INSERT INTO occupants SELECT ts, occ FROM classroom \
+         WHERE ts < timestamp '{split_ts}'"
+    ))
+    .unwrap();
+    s.execute(
+        "SELECT arima_train('occupants', 'occ_model', 'time', 'value', '1,0,0,1,336')",
+    )
+    .unwrap();
+    let horizon = len - split;
+    s.execute("CREATE TABLE occ_forecast (ts timestamp, occ float)")
+        .unwrap();
+    s.execute(&format!(
+        "INSERT INTO occ_forecast SELECT time, greatest(0.0, value) \
+         FROM arima_forecast('occ_model', {horizon})"
+    ))
+    .unwrap();
+
+    let rmse_for = |label: &str, occ_expr: &str| -> f64 {
+        // Warm-up over the training window leaves a clean state estimate.
+        s.execute("SELECT fmu_set_initial('Room1', 't', 21.0)").unwrap();
+        s.execute(&format!(
+            "SELECT count(*) FROM fmu_simulate('Room1', \
+             'SELECT * FROM classroom WHERE ts <= timestamp ''{split_ts}''')"
+        ))
+        .unwrap();
+        s.execute(&format!("DROP TABLE IF EXISTS inp_{label}")).unwrap();
+        s.execute(&format!(
+            "CREATE TABLE inp_{label} (ts timestamp, solrad float, tout float, \
+             occ float, dpos float, vpos float)"
+        ))
+        .unwrap();
+        s.execute(&format!(
+            "INSERT INTO inp_{label} SELECT ts, solrad, tout, {occ_expr}, dpos, vpos \
+             FROM classroom WHERE ts >= timestamp '{split_ts}'"
+        ))
+        .unwrap();
+        s.execute(&format!("DROP TABLE IF EXISTS sim_{label}")).unwrap();
+        s.execute(&format!(
+            "CREATE TABLE sim_{label} (ts timestamp, i text, v text, value float)"
+        ))
+        .unwrap();
+        s.execute(&format!(
+            "INSERT INTO sim_{label} SELECT * FROM fmu_simulate('Room1', \
+             'SELECT * FROM inp_{label}') WHERE varname = 't'"
+        ))
+        .unwrap();
+        s.execute(&format!(
+            "SELECT sqrt(avg((x.value - c.t) * (x.value - c.t))) \
+             FROM sim_{label} x, classroom c WHERE x.ts = c.ts"
+        ))
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_f64()
+        .unwrap()
+    };
+
+    let rmse_without_occ = rmse_for("no_occ", "0.0");
+    // The forecast replaces occupancy for the validation window.
+    s.execute(
+        "CREATE TABLE joined (ts timestamp, solrad float, tout float, \
+         occ float, dpos float, vpos float)",
+    )
+    .unwrap();
+    s.execute(
+        "INSERT INTO joined SELECT c.ts, c.solrad, c.tout, f.occ, c.dpos, c.vpos \
+         FROM classroom c, occ_forecast f WHERE c.ts = f.ts",
+    )
+    .unwrap();
+    let rmse_with_arima = {
+        s.execute("SELECT fmu_set_initial('Room1', 't', 21.0)").unwrap();
+        s.execute(&format!(
+            "SELECT count(*) FROM fmu_simulate('Room1', \
+             'SELECT * FROM classroom WHERE ts <= timestamp ''{split_ts}''')"
+        ))
+        .unwrap();
+        s.execute("CREATE TABLE sim_arima (ts timestamp, i text, v text, value float)")
+            .unwrap();
+        s.execute(
+            "INSERT INTO sim_arima SELECT * FROM fmu_simulate('Room1', \
+             'SELECT * FROM joined') WHERE varname = 't'",
+        )
+        .unwrap();
+        s.execute(
+            "SELECT sqrt(avg((x.value - c.t) * (x.value - c.t))) \
+             FROM sim_arima x, classroom c WHERE x.ts = c.ts",
+        )
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_f64()
+        .unwrap()
+    };
+    ArimaCombo {
+        rmse_without_occ,
+        rmse_with_arima,
+    }
+}
+
+/// Run combined experiment 2.
+pub fn run_logistic(seed: u64, samples: usize) -> LogisticCombo {
+    let (s, _split, _split_ts, len) = session_with_classroom(seed, samples);
+    // pgFMU-simulated temperature over the full window (true inputs).
+    let t0 = classroom_dataset(seed).slice(0, samples);
+    let start = t0.column("t").unwrap()[0];
+    s.execute(&format!("SELECT fmu_set_initial('Room1', 't', {start})"))
+        .unwrap();
+    s.execute("CREATE TABLE sim_full (ts timestamp, i text, v text, value float)")
+        .unwrap();
+    s.execute(
+        "INSERT INTO sim_full SELECT * FROM fmu_simulate('Room1', \
+         'SELECT * FROM classroom') WHERE varname = 't'",
+    )
+    .unwrap();
+    s.execute("CREATE TABLE damper (label float, occ float, solrad float, t float)")
+        .unwrap();
+    s.execute(
+        "INSERT INTO damper \
+         SELECT greatest(0.0, least(1.0, c.dpos / 100.0)), c.occ, c.solrad, x.value \
+         FROM classroom c, sim_full x WHERE c.ts = x.ts",
+    )
+    .unwrap();
+    s.execute("SELECT logregr_train('damper', 'm_base', 'label', 'occ,solrad')")
+        .unwrap();
+    s.execute("SELECT logregr_train('damper', 'm_temp', 'label', 'occ,solrad,t')")
+        .unwrap();
+    let acc = |model: &str, cols: &str| -> f64 {
+        let q = s
+            .execute(&format!(
+                "SELECT count(*) FROM damper WHERE \
+                 (logregr_prob('{model}', {cols}) >= 0.5) = (label >= 0.5)"
+            ))
+            .unwrap();
+        q.rows[0][0].as_i64().unwrap() as f64 / len as f64
+    };
+    LogisticCombo {
+        accuracy_base: acc("m_base", "occ, solrad"),
+        accuracy_with_temp: acc("m_temp", "occ, solrad, t"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arima_occupancy_improves_forecast() {
+        let r = run_arima(11, 672);
+        assert!(
+            r.improvement_pct() > 10.0,
+            "improvement {:.1}% below the paper's band (up to 21.1%): \
+             {:.3} vs {:.3}",
+            r.improvement_pct(),
+            r.rmse_without_occ,
+            r.rmse_with_arima
+        );
+    }
+
+    #[test]
+    fn simulated_temperature_feature_helps_classifier() {
+        let r = run_logistic(11, 672);
+        assert!(
+            r.gain_points() > 2.0,
+            "accuracy gain {:.1} points below band (paper: +5.9)",
+            r.gain_points()
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Workload scaling profiles.
+
+use pgfmu::EstimationConfig;
+
+/// How big to make each experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Number of model instances in the MI scenario (paper: 100).
+    pub mi_instances: usize,
+    /// Hourly samples of the HP datasets used for calibration+validation
+    /// (paper: 672 = Feb 1–28).
+    pub hp_samples: usize,
+    /// Half-hourly samples of the classroom dataset (paper: 672).
+    pub classroom_samples: usize,
+    /// Estimation configuration.
+    pub config: EstimationConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Profile {
+    /// Laptop-friendly profile preserving the paper's relative structure
+    /// (who wins, by what factor) at a fraction of the wall-clock.
+    pub fn quick() -> Self {
+        Profile {
+            mi_instances: 10,
+            hp_samples: 168,
+            classroom_samples: 336,
+            config: EstimationConfig {
+                population: 24,
+                generations: 18,
+                ..EstimationConfig::default()
+            },
+            seed: 42,
+        }
+    }
+
+    /// The paper's scale (100 instances, full February / two-week data).
+    pub fn full() -> Self {
+        Profile {
+            mi_instances: 100,
+            hp_samples: 672,
+            classroom_samples: 672,
+            config: EstimationConfig::default(),
+            seed: 42,
+        }
+    }
+
+    /// A tiny profile for unit tests of the harness itself.
+    pub fn test() -> Self {
+        Profile {
+            mi_instances: 3,
+            hp_samples: 72,
+            classroom_samples: 96,
+            config: EstimationConfig::fast(),
+            seed: 42,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_scale_monotonically() {
+        let (t, q, f) = (Profile::test(), Profile::quick(), Profile::full());
+        assert!(t.mi_instances < q.mi_instances && q.mi_instances < f.mi_instances);
+        assert!(t.hp_samples <= q.hp_samples && q.hp_samples <= f.hp_samples);
+        assert_eq!(f.mi_instances, 100, "full profile must match the paper");
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared experiment scaffolding: models, datasets, sessions.
+
+use pgfmu::{PgFmu, Strategy};
+use pgfmu_datagen::{classroom::classroom_dataset, hp::hp0_dataset, hp::hp1_dataset, Dataset};
+
+use crate::profiles::Profile;
+
+/// The three evaluation models of the paper (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Zero-input heat pump.
+    Hp0,
+    /// Running-example heat pump.
+    Hp1,
+    /// SDU classroom thermal network.
+    Classroom,
+}
+
+/// All three models, in the paper's order.
+pub const ALL_MODELS: [ModelKind; 3] = [ModelKind::Hp0, ModelKind::Hp1, ModelKind::Classroom];
+
+impl ModelKind {
+    /// Catalogue model name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Hp0 => "HP0",
+            ModelKind::Hp1 => "HP1",
+            ModelKind::Classroom => "Classroom",
+        }
+    }
+
+    /// Estimated parameters (paper Table 5).
+    pub fn pars(self) -> Vec<String> {
+        match self {
+            ModelKind::Hp0 | ModelKind::Hp1 => vec!["Cp".into(), "R".into()],
+            ModelKind::Classroom => vec![
+                "shgc".into(),
+                "tmass".into(),
+                "RExt".into(),
+                "occheff".into(),
+            ],
+        }
+    }
+
+    /// Ground-truth parameter values, for recovery reporting.
+    pub fn truth(self) -> Vec<(String, f64)> {
+        match self {
+            ModelKind::Hp0 | ModelKind::Hp1 => vec![("Cp".into(), 1.5), ("R".into(), 1.5)],
+            ModelKind::Classroom => vec![
+                ("shgc".into(), 3.246),
+                ("tmass".into(), 50.0),
+                ("RExt".into(), 4.0),
+                ("occheff".into(), 1.478),
+            ],
+        }
+    }
+
+    /// The measurement dataset, sized per profile.
+    pub fn dataset(self, profile: &Profile) -> Dataset {
+        match self {
+            ModelKind::Hp0 => hp0_dataset(profile.seed).slice(0, profile.hp_samples),
+            ModelKind::Hp1 => hp1_dataset(profile.seed).slice(0, profile.hp_samples),
+            ModelKind::Classroom => {
+                classroom_dataset(profile.seed).slice(0, profile.classroom_samples)
+            }
+        }
+    }
+
+    /// Calibration input SQL over a measurement table: the temperature
+    /// target plus the model inputs (the paper calibrates on indoor
+    /// temperature; the constant HP output `y` is excluded).
+    pub fn parest_sql(self, table: &str) -> String {
+        match self {
+            ModelKind::Hp0 => format!("SELECT ts, x FROM {table}"),
+            ModelKind::Hp1 => format!("SELECT ts, x, u FROM {table}"),
+            ModelKind::Classroom => {
+                format!("SELECT ts, t, solrad, tout, occ, dpos, vpos FROM {table}")
+            }
+        }
+    }
+
+    /// Simulation input SQL (inputs only).
+    pub fn simulate_sql(self, table: &str) -> Option<String> {
+        match self {
+            ModelKind::Hp0 => None,
+            ModelKind::Hp1 => Some(format!("SELECT ts, u FROM {table}")),
+            ModelKind::Classroom => {
+                Some(format!("SELECT ts, solrad, tout, occ, dpos, vpos FROM {table}"))
+            }
+        }
+    }
+}
+
+/// A ready pgFMU session with one instance of the model and its
+/// measurement table loaded.
+pub struct Bench {
+    /// The session.
+    pub session: PgFmu,
+    /// Instance identifier.
+    pub instance: String,
+    /// Measurement table name.
+    pub table: String,
+    /// The dataset behind the table.
+    pub dataset: Dataset,
+    /// The model under test.
+    pub model: ModelKind,
+}
+
+/// Build a session for a model under a profile.
+pub fn bench_session(model: ModelKind, profile: &Profile) -> Bench {
+    let session = PgFmu::new().expect("session");
+    session.set_estimation_config(profile.config);
+    let dataset = model.dataset(profile);
+    dataset
+        .load_into(session.db(), "measurements")
+        .expect("load measurements");
+    let instance = format!("{}Instance1", model.name());
+    session
+        .execute(&format!(
+            "SELECT fmu_create('{}', '{instance}')",
+            model.name()
+        ))
+        .expect("fmu_create");
+    Bench {
+        session,
+        instance,
+        table: "measurements".into(),
+        dataset,
+        model,
+    }
+}
+
+/// Short human label for a strategy.
+pub fn strategy_label(s: Strategy) -> &'static str {
+    match s {
+        Strategy::GlobalLocal => "G+LaG",
+        Strategy::LocalOnly => "LO",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_build_for_all_models() {
+        let profile = Profile::test();
+        for model in ALL_MODELS {
+            let b = bench_session(model, &profile);
+            let q = b
+                .session
+                .execute("SELECT count(*) FROM measurements")
+                .unwrap();
+            assert!(q.rows[0][0].as_i64().unwrap() > 10);
+            // parest SQL must reference only existing columns.
+            b.session.execute(&model.parest_sql(&b.table)).unwrap();
+            if let Some(sql) = model.simulate_sql(&b.table) {
+                b.session.execute(&sql).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Table 2 — feature comparison of in-DBMS analytics tools. For MADlib and
+//! MS SQL Server ML Services the cells restate the paper; for this
+//! reproduction every claimed capability is *probed* against a live
+//! session rather than asserted.
+
+use pgfmu::PgFmu;
+
+/// One feature row of the comparison matrix.
+#[derive(Debug, Clone)]
+pub struct FeatureRow {
+    /// Feature description.
+    pub feature: &'static str,
+    /// MADlib cell (from the paper).
+    pub madlib: &'static str,
+    /// MS SQL Server ML Services cell (from the paper).
+    pub mssql: &'static str,
+    /// This reproduction's cell, probed live.
+    pub pgfmu: String,
+}
+
+fn probe(ok: bool) -> String {
+    if ok { "yes".into() } else { "no".into() }
+}
+
+/// Build the matrix against a live session.
+pub fn run() -> Vec<FeatureRow> {
+    let s = PgFmu::new().expect("session");
+    let db = s.db();
+    let all_fmu = [
+        "fmu_create",
+        "fmu_copy",
+        "fmu_variables",
+        "fmu_get",
+        "fmu_set_initial",
+        "fmu_set_minimum",
+        "fmu_set_maximum",
+        "fmu_reset",
+        "fmu_delete_instance",
+        "fmu_delete_model",
+    ]
+    .iter()
+    .all(|f| db.has_function(f));
+
+    vec![
+        FeatureRow {
+            feature: "Data query language",
+            madlib: "SQL",
+            mssql: "SQL",
+            pgfmu: probe(db.execute("SELECT 1 + 1").is_ok()).replace("yes", "SQL"),
+        },
+        FeatureRow {
+            feature: "Model integration approach",
+            madlib: "UDFs",
+            mssql: "Stored procedures",
+            pgfmu: probe(db.has_function("fmu_create")).replace("yes", "UDFs"),
+        },
+        FeatureRow {
+            feature: "In-DBMS machine learning",
+            madlib: "yes",
+            mssql: "yes",
+            // The paper marks pgFMU "no"; this reproduction bundles the
+            // MADlib-like analytics crate, so the probe says yes — noted
+            // in EXPERIMENTS.md as an intentional extension.
+            pgfmu: probe(db.has_function("arima_train") && db.has_function("logregr_train")),
+        },
+        FeatureRow {
+            feature: "In-DBMS physical models",
+            madlib: "no",
+            mssql: "no",
+            pgfmu: probe(all_fmu),
+        },
+        FeatureRow {
+            feature: "- FMU management",
+            madlib: "no",
+            mssql: "no",
+            pgfmu: probe(all_fmu),
+        },
+        FeatureRow {
+            feature: "- FMU simulation",
+            madlib: "no",
+            mssql: "no",
+            pgfmu: probe(db.has_function("fmu_simulate")),
+        },
+        FeatureRow {
+            feature: "- FMU parameter estimation",
+            madlib: "no",
+            mssql: "no",
+            pgfmu: probe(db.has_function("fmu_parest")),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_probed_capability_is_present() {
+        let rows = super::run();
+        for r in &rows {
+            assert_ne!(r.pgfmu, "no", "capability missing: {}", r.feature);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Table 8 — SI scenario per-operation execution time for Python and
+//! pgFMU± (calibration dominates: > 99% of the workflow).
+
+use std::time::{Duration, Instant};
+
+use pgfmu_fmi::archive;
+
+use crate::profiles::Profile;
+use crate::setup::{bench_session, ModelKind, ALL_MODELS};
+
+/// One configuration's per-step timings (None = step not needed, the
+/// paper's "-" cells for pgFMU).
+#[derive(Debug, Clone)]
+pub struct OpTimings {
+    /// Model name.
+    pub model: &'static str,
+    /// Configuration label.
+    pub config: &'static str,
+    /// 1 — load FMU.
+    pub load: Duration,
+    /// 2 — read measurements.
+    pub read: Duration,
+    /// 3 — (re)calibrate.
+    pub calibrate: Duration,
+    /// 4 — validate & update (traditional stack only).
+    pub validate: Option<Duration>,
+    /// 5 — simulate.
+    pub simulate: Duration,
+    /// 6 — export predictions (traditional stack only).
+    pub export: Option<Duration>,
+}
+
+impl OpTimings {
+    /// Workflow total.
+    pub fn total(&self) -> Duration {
+        self.load
+            + self.read
+            + self.calibrate
+            + self.validate.unwrap_or_default()
+            + self.simulate
+            + self.export.unwrap_or_default()
+    }
+}
+
+/// Time the traditional stack for one model.
+pub fn time_python(model: ModelKind, profile: &Profile) -> OpTimings {
+    let db = pgfmu_sqlmini::Database::new();
+    model.dataset(profile).load_into(&db, "measurements").unwrap();
+    let wf = pgfmu_baseline::TraditionalWorkflow::in_temp_dir(profile.config).unwrap();
+    let fmu_path = wf.work_dir().join(format!("{}.fmu", model.name()));
+    archive::write_to_path(
+        &pgfmu_fmi::builtin::by_name(model.name()).unwrap(),
+        &fmu_path,
+    )
+    .unwrap();
+    let out = wf
+        .run_si(
+            &db,
+            "measurements",
+            &fmu_path,
+            &model.pars(),
+            0.75,
+            "t8",
+        )
+        .unwrap();
+    let t = out.timings;
+    OpTimings {
+        model: model.name(),
+        config: "Python",
+        load: t.load_fmu,
+        read: t.read_measurements,
+        calibrate: t.calibrate,
+        validate: Some(t.validate),
+        simulate: t.simulate,
+        export: Some(t.export),
+    }
+}
+
+/// Time pgFMU (the MI switch is irrelevant for a single instance; this is
+/// both the pgFMU− and pgFMU+ column).
+pub fn time_pgfmu(model: ModelKind, profile: &Profile) -> OpTimings {
+    let bench = bench_session(model, profile);
+    let s = &bench.session;
+
+    // Step 1: load/build the FMU (a second instance hits the shared FMU).
+    let t0 = Instant::now();
+    s.execute(&format!(
+        "SELECT fmu_create('{}', 'timing_probe')",
+        model.name()
+    ))
+    .unwrap();
+    let load = t0.elapsed();
+
+    // Step 2: read measurements (the input query pgFMU runs internally).
+    let sql = model.parest_sql(&bench.table);
+    let t0 = Instant::now();
+    s.execute(&sql).unwrap();
+    let read = t0.elapsed();
+
+    // Step 3: calibrate.
+    let t0 = Instant::now();
+    s.fmu_parest(
+        std::slice::from_ref(&bench.instance),
+        std::slice::from_ref(&sql),
+        Some(&model.pars()),
+        None,
+    )
+    .unwrap();
+    let calibrate = t0.elapsed();
+
+    // Step 5: simulate.
+    let t0 = Instant::now();
+    s.fmu_simulate(
+        &bench.instance,
+        model.simulate_sql(&bench.table).as_deref(),
+        None,
+        None,
+    )
+    .unwrap();
+    let simulate = t0.elapsed();
+
+    OpTimings {
+        model: model.name(),
+        config: "pgFMU±",
+        load,
+        read,
+        calibrate,
+        validate: None,
+        simulate,
+        export: None,
+    }
+}
+
+/// All Table-8 rows.
+pub fn run(profile: &Profile) -> Vec<OpTimings> {
+    let mut rows = Vec::new();
+    for model in ALL_MODELS {
+        rows.push(time_python(model, profile));
+        rows.push(time_pgfmu(model, profile));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_dominates_both_configs() {
+        let profile = Profile::test();
+        for t in [
+            time_python(ModelKind::Hp1, &profile),
+            time_pgfmu(ModelKind::Hp1, &profile),
+        ] {
+            let share = t.calibrate.as_secs_f64() / t.total().as_secs_f64();
+            assert!(
+                share > 0.6,
+                "{}: calibration share {share:.2} too small",
+                t.config
+            );
+        }
+    }
+
+    #[test]
+    fn pgfmu_skips_validate_and_export_steps() {
+        let t = time_pgfmu(ModelKind::Hp0, &Profile::test());
+        assert!(t.validate.is_none() && t.export.is_none());
+    }
+}

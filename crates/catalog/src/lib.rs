@@ -1,0 +1,25 @@
+//! # pgfmu-catalog — the pgFMU model catalogue and FMU storage
+//!
+//! Implements Figure 4 of the paper: the four catalogue tables —
+//! `Model`, `ModelVariable`, `ModelInstance`, `ModelInstanceValues` —
+//! living as ordinary relations inside the DBMS, plus the non-volatile
+//! *FMU storage* holding one compiled FMU per model UUID.
+//!
+//! Key properties reproduced from the paper (§5, §7):
+//!
+//! * models are identified by 128-bit UUIDs;
+//! * variable values are stored in `variant`-typed columns that keep track
+//!   of the original data type;
+//! * one single FMU file is stored and *shared* by all instances of the
+//!   same model ("we avoid the creation and load of superfluous FMU model
+//!   files") — [`FmuStorage`] keeps an in-memory `Arc<Fmu>` cache in front
+//!   of the on-disk archives;
+//! * instances are catalogue rows; `fmu_copy` duplicates rows only.
+
+pub mod catalogue;
+pub mod storage;
+pub mod uuid;
+
+pub use catalogue::{Bound, CatalogError, InstanceVariableRow, ModelCatalog};
+pub use storage::FmuStorage;
+pub use uuid::Uuid;

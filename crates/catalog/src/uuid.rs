@@ -1,0 +1,118 @@
+//! Universally Unique Identifiers for catalogue models (paper §5: "FMU
+//! models are identified with a Universally Unique Identifier (UUID) — a
+//! 128-bit string for unique object identification").
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::RngCore;
+
+/// A 128-bit identifier rendered in the canonical 8-4-4-4-12 hex form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uuid(pub u128);
+
+impl Uuid {
+    /// Generate a random (version-4 style) UUID.
+    pub fn new_v4() -> Self {
+        let mut bytes = [0u8; 16];
+        rand::thread_rng().fill_bytes(&mut bytes);
+        // Set version (4) and variant (10) bits per RFC 4122.
+        bytes[6] = (bytes[6] & 0x0F) | 0x40;
+        bytes[8] = (bytes[8] & 0x3F) | 0x80;
+        Uuid(u128::from_be_bytes(bytes))
+    }
+
+    /// Generate a deterministic UUID from a seed (tests and examples).
+    pub fn from_seed(seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = [0u8; 16];
+        rng.fill_bytes(&mut bytes);
+        bytes[6] = (bytes[6] & 0x0F) | 0x40;
+        bytes[8] = (bytes[8] & 0x3F) | 0x80;
+        Uuid(u128::from_be_bytes(bytes))
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(
+            f,
+            "{:02x}{:02x}{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}{:02x}{:02x}{:02x}{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7], b[8], b[9], b[10], b[11], b[12],
+            b[13], b[14], b[15]
+        )
+    }
+}
+
+/// Error parsing a UUID string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUuidError(pub String);
+
+impl fmt::Display for ParseUuidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid UUID '{}'", self.0)
+    }
+}
+
+impl std::error::Error for ParseUuidError {}
+
+impl FromStr for Uuid {
+    type Err = ParseUuidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let hex: String = s.chars().filter(|c| *c != '-').collect();
+        if hex.len() != 32 {
+            return Err(ParseUuidError(s.to_string()));
+        }
+        u128::from_str_radix(&hex, 16)
+            .map(Uuid)
+            .map_err(|_| ParseUuidError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        let u = Uuid::new_v4();
+        let s = u.to_string();
+        assert_eq!(s.len(), 36);
+        assert_eq!(s.parse::<Uuid>().unwrap(), u);
+    }
+
+    #[test]
+    fn version_and_variant_bits() {
+        for seed in 0..20 {
+            let u = Uuid::from_seed(seed);
+            let s = u.to_string();
+            assert_eq!(&s[14..15], "4", "version nibble in {s}");
+            let variant = u8::from_str_radix(&s[19..20], 16).unwrap();
+            assert!(variant & 0b1100 == 0b1000, "variant bits in {s}");
+        }
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_distinct() {
+        assert_eq!(Uuid::from_seed(1), Uuid::from_seed(1));
+        assert_ne!(Uuid::from_seed(1), Uuid::from_seed(2));
+    }
+
+    #[test]
+    fn random_uuids_are_distinct() {
+        let a = Uuid::new_v4();
+        let b = Uuid::new_v4();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("nope".parse::<Uuid>().is_err());
+        assert!("123".parse::<Uuid>().is_err());
+        assert!("zzzzzzzz-zzzz-zzzz-zzzz-zzzzzzzzzzzz".parse::<Uuid>().is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Parsing of the PostgreSQL-style array literals the paper's UDF calls
+//! use: `'{HP1Instance1, HP1Instance2}'`, `'{A, B}'` and the trickier
+//! `'{SELECT * FROM measurements, SELECT * FROM measurements2}'`.
+
+/// Parse a simple array literal of identifiers. A bare value without
+/// braces is treated as a one-element array, so
+/// `fmu_parest('HP1Instance1', …)` also works.
+pub fn parse_ident_array(s: &str) -> Vec<String> {
+    let inner = s
+        .trim()
+        .strip_prefix('{')
+        .and_then(|rest| rest.strip_suffix('}'));
+    match inner {
+        Some(body) => body
+            .split(',')
+            .map(|p| p.trim().to_string())
+            .filter(|p| !p.is_empty())
+            .collect(),
+        None => {
+            let t = s.trim();
+            if t.is_empty() {
+                Vec::new()
+            } else {
+                vec![t.to_string()]
+            }
+        }
+    }
+}
+
+/// Parse an array of SQL queries. Because the queries themselves contain
+/// commas, elements are split only at commas that begin a new statement
+/// (a comma followed by a statement keyword such as `SELECT`).
+pub fn parse_sql_array(s: &str) -> Vec<String> {
+    let body = match s
+        .trim()
+        .strip_prefix('{')
+        .and_then(|rest| rest.strip_suffix('}'))
+    {
+        Some(b) => b,
+        None => return vec![s.trim().to_string()],
+    };
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let chars = body.char_indices();
+    let lower = body.to_ascii_lowercase();
+    for (i, c) in chars {
+        if c == ',' {
+            let rest = lower[i + 1..].trim_start();
+            if rest.starts_with("select ") || rest.starts_with("values ") {
+                out.push(current.trim().to_string());
+                current.clear();
+                continue;
+            }
+        }
+        current.push(c);
+    }
+    let tail = current.trim();
+    if !tail.is_empty() {
+        out.push(tail.to_string());
+    }
+    out
+}
+
+/// Render a float array in PostgreSQL literal form (`{1.0,2.0}`), the
+/// shape `fmu_parest` reports its estimation errors in.
+pub fn format_float_array(values: &[f64]) -> String {
+    let parts: Vec<String> = values.iter().map(|v| format!("{v}")).collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_arrays() {
+        assert_eq!(
+            parse_ident_array("{HP1Instance1, HP1Instance2}"),
+            vec!["HP1Instance1", "HP1Instance2"]
+        );
+        assert_eq!(parse_ident_array("{A,B}"), vec!["A", "B"]);
+        assert_eq!(parse_ident_array("solo"), vec!["solo"]);
+        assert_eq!(parse_ident_array("{}"), Vec::<String>::new());
+        assert_eq!(parse_ident_array("  {  x }  "), vec!["x"]);
+        assert_eq!(parse_ident_array(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn sql_arrays_split_on_statement_boundaries() {
+        let parsed = parse_sql_array(
+            "{SELECT * FROM measurements, SELECT * FROM measurements2}",
+        );
+        assert_eq!(
+            parsed,
+            vec!["SELECT * FROM measurements", "SELECT * FROM measurements2"]
+        );
+    }
+
+    #[test]
+    fn sql_arrays_keep_internal_commas() {
+        let parsed = parse_sql_array(
+            "{SELECT ts, x, u FROM m WHERE x IN (1, 2), SELECT ts, x FROM m2}",
+        );
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], "SELECT ts, x, u FROM m WHERE x IN (1, 2)");
+        assert_eq!(parsed[1], "SELECT ts, x FROM m2");
+    }
+
+    #[test]
+    fn sql_array_without_braces_is_single_query() {
+        assert_eq!(
+            parse_sql_array("SELECT a, b FROM t"),
+            vec!["SELECT a, b FROM t"]
+        );
+    }
+
+    #[test]
+    fn float_array_round_shape() {
+        assert_eq!(format_float_array(&[0.5, 1.25]), "{0.5,1.25}");
+        assert_eq!(format_float_array(&[]), "{}");
+    }
+}

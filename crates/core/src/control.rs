@@ -1,0 +1,164 @@
+//! `fmu_control` — in-DBMS FMU-based dynamic optimization.
+//!
+//! The paper's future-work section (§9) announces "the adoption of various
+//! model predictive control means, covering the optimization of control
+//! inputs". This module implements a first cut: given a calibrated
+//! instance, a horizon and a setpoint, it searches a piecewise-constant
+//! control trajectory for one input variable, minimizing
+//!
+//! ```text
+//!   Σ_k (x(t_k) − setpoint)²  +  λ · Σ_k u_k²
+//! ```
+//!
+//! subject to the input's declared bounds, using the estimation crate's
+//! projected quasi-Newton search (each control interval is one decision
+//! variable).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pgfmu_estimation::{local::run_local, EstimationConfig, Objective, ParamSpec};
+use pgfmu_fmi::{Fmu, FmuInstance, InputSeries, InputSet, Interpolation, SimulationOptions};
+
+use crate::error::{PgFmuError, Result};
+use crate::session::Session;
+
+struct ControlObjective {
+    fmu: std::sync::Arc<Fmu>,
+    instance: FmuInstance,
+    input_name: String,
+    bounds: Vec<ParamSpec>,
+    horizon: f64,
+    intervals: usize,
+    setpoint: f64,
+    effort_weight: f64,
+    state_name: String,
+    evals: AtomicU64,
+}
+
+impl ControlObjective {
+    fn simulate_with(&self, controls: &[f64]) -> Result<f64> {
+        let dt = self.horizon / self.intervals as f64;
+        let times: Vec<f64> = (0..self.intervals).map(|k| k as f64 * dt).collect();
+        let series = InputSeries::new(
+            self.input_name.clone(),
+            times,
+            controls.to_vec(),
+            Interpolation::Hold,
+        )?;
+        let names: Vec<&str> = self.fmu.input_names().iter().map(|s| s.as_str()).collect();
+        let inputs = InputSet::bind(&names, vec![series])?;
+        let result = self.instance.simulate(
+            &inputs,
+            &SimulationOptions {
+                start: Some(0.0),
+                stop: Some(self.horizon),
+                output_step: Some(dt),
+                ..Default::default()
+            },
+        )?;
+        let xs = result
+            .series(&self.state_name)
+            .ok_or_else(|| PgFmuError::Usage("state series missing".into()))?;
+        let tracking: f64 = xs
+            .iter()
+            .map(|x| (x - self.setpoint) * (x - self.setpoint))
+            .sum();
+        let effort: f64 = controls.iter().map(|u| u * u).sum();
+        Ok(tracking / xs.len() as f64 + self.effort_weight * effort / controls.len() as f64)
+    }
+}
+
+impl Objective for ControlObjective {
+    fn dim(&self) -> usize {
+        self.intervals
+    }
+    fn bounds(&self) -> &[ParamSpec] {
+        &self.bounds
+    }
+    fn eval(&self, p: &[f64]) -> f64 {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        self.simulate_with(p).unwrap_or(1e9)
+    }
+    fn eval_count(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+}
+
+/// Optimize the control trajectory; returns `(hours, value)` pairs, one
+/// per control interval.
+#[allow(clippy::too_many_arguments)]
+pub fn run_control(
+    session: &Session,
+    instance_id: &str,
+    input_name: &str,
+    horizon_hours: f64,
+    intervals: usize,
+    setpoint: f64,
+    effort_weight: f64,
+) -> Result<Vec<(f64, f64)>> {
+    if !(horizon_hours.is_finite() && horizon_hours > 0.0) || intervals == 0 {
+        return Err(PgFmuError::Usage(
+            "fmu_control: horizon must be positive and intervals >= 1".into(),
+        ));
+    }
+    if intervals > 64 {
+        return Err(PgFmuError::Usage(
+            "fmu_control: at most 64 control intervals are supported".into(),
+        ));
+    }
+    let (fmu, instance) = session.catalog.instantiate(instance_id)?;
+    if fmu.input_names().len() != 1 || fmu.input_names()[0] != input_name {
+        return Err(PgFmuError::Usage(format!(
+            "fmu_control: model '{}' must have exactly the input '{input_name}'",
+            fmu.name()
+        )));
+    }
+    let var = fmu.description.variable(input_name)?;
+    let (lo, hi) = match (var.min, var.max) {
+        (Some(lo), Some(hi)) => (lo, hi),
+        _ => {
+            return Err(PgFmuError::Usage(format!(
+                "fmu_control: input '{input_name}' needs declared min/max bounds"
+            )))
+        }
+    };
+    let state_name = fmu
+        .state_names()
+        .first()
+        .cloned()
+        .ok_or_else(|| PgFmuError::Usage("fmu_control: model has no state".into()))?;
+
+    let bounds: Vec<ParamSpec> = (0..intervals)
+        .map(|k| ParamSpec {
+            name: format!("u{k}"),
+            lower: lo,
+            upper: hi,
+        })
+        .collect();
+    let objective = ControlObjective {
+        fmu,
+        instance,
+        input_name: input_name.to_string(),
+        bounds,
+        horizon: horizon_hours,
+        intervals,
+        setpoint,
+        effort_weight,
+        state_name,
+        evals: AtomicU64::new(0),
+    };
+
+    let cfg = EstimationConfig {
+        local_max_iters: 40,
+        ..*session.config.read()
+    };
+    let start = vec![(lo + hi) / 2.0; intervals];
+    let outcome = run_local(&objective, &start, &cfg);
+    let dt = horizon_hours / intervals as f64;
+    Ok(outcome
+        .params
+        .into_iter()
+        .enumerate()
+        .map(|(k, u)| (k as f64 * dt, u))
+        .collect())
+}

@@ -1,0 +1,211 @@
+//! Conversion between SQL result sets and the FMI substrate's measurement
+//! structures — the "implicit data conversions" of Challenge 2 (paper §5).
+
+use pgfmu_estimation::MeasurementData;
+use pgfmu_sqlmini::{QueryResult, Value};
+
+use crate::error::{PgFmuError, Result};
+
+/// A result set decoded into a time grid (epoch anchor + relative hours)
+/// plus named numeric columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedTable {
+    /// Epoch seconds of the first sample (anchor for rendering results).
+    pub anchor_epoch: i64,
+    /// Sample times in hours relative to the anchor.
+    pub times_hours: Vec<f64>,
+    /// Named numeric columns.
+    pub columns: Vec<(String, Vec<f64>)>,
+}
+
+impl DecodedTable {
+    /// Convert to the estimation crate's measurement container.
+    pub fn to_measurement_data(&self) -> Result<MeasurementData> {
+        MeasurementData::new(self.times_hours.clone(), self.columns.clone())
+            .map_err(PgFmuError::Fmi)
+    }
+
+    /// Hours value for an absolute epoch timestamp.
+    pub fn hours_for_epoch(&self, epoch: i64) -> f64 {
+        (epoch - self.anchor_epoch) as f64 / 3600.0
+    }
+
+    /// Epoch timestamp for an hours value.
+    pub fn epoch_for_hours(&self, hours: f64) -> i64 {
+        self.anchor_epoch + (hours * 3600.0).round() as i64
+    }
+}
+
+/// Names conventionally recognized as time columns when no timestamp-typed
+/// column is present.
+const TIME_COLUMN_NAMES: [&str; 5] = ["ts", "time", "timestamp", "simulationtime", "datetime"];
+
+/// Decode a query result into measurement structures.
+///
+/// The time column is found automatically: the first column holding
+/// `timestamp` values, else the first column with a conventional time
+/// name. All remaining numeric columns become measurement series; NULLs
+/// are rejected (the paper's UDFs raise errors on incomplete inputs).
+pub fn decode_table(q: &QueryResult) -> Result<DecodedTable> {
+    if q.rows.is_empty() {
+        return Err(PgFmuError::Usage(
+            "input query returned no rows".into(),
+        ));
+    }
+    // Locate the time column.
+    let mut time_idx: Option<usize> = None;
+    for (i, _) in q.columns.iter().enumerate() {
+        if matches!(q.rows[0][i], Value::Timestamp(_)) {
+            time_idx = Some(i);
+            break;
+        }
+    }
+    if time_idx.is_none() {
+        for (i, name) in q.columns.iter().enumerate() {
+            if TIME_COLUMN_NAMES.contains(&name.as_str()) {
+                time_idx = Some(i);
+                break;
+            }
+        }
+    }
+    let time_idx = time_idx.ok_or_else(|| {
+        PgFmuError::Usage(
+            "input query has no timestamp column (expected a timestamp-typed \
+             column or one named ts/time/timestamp)"
+                .into(),
+        )
+    })?;
+
+    let mut epochs = Vec::with_capacity(q.rows.len());
+    for row in &q.rows {
+        let epoch = match &row[time_idx] {
+            Value::Timestamp(t) => *t,
+            Value::Text(s) => pgfmu_sqlmini::parse_timestamp(s).map_err(PgFmuError::Sql)?,
+            // Numeric time columns are interpreted as hours.
+            Value::Int(i) => i * 3600,
+            Value::Float(f) => (f * 3600.0).round() as i64,
+            other => {
+                return Err(PgFmuError::Usage(format!(
+                    "cannot interpret {other} as a timestamp"
+                )))
+            }
+        };
+        epochs.push(epoch);
+    }
+    let anchor = epochs[0];
+    let times_hours: Vec<f64> = epochs
+        .iter()
+        .map(|e| (e - anchor) as f64 / 3600.0)
+        .collect();
+
+    let mut columns = Vec::new();
+    for (i, name) in q.columns.iter().enumerate() {
+        if i == time_idx {
+            continue;
+        }
+        let mut col = Vec::with_capacity(q.rows.len());
+        let mut numeric = true;
+        for row in &q.rows {
+            match row[i].as_f64() {
+                Ok(v) => col.push(v),
+                Err(_) if row[i].is_null() => {
+                    return Err(PgFmuError::Usage(format!(
+                        "input column \"{name}\" contains NULLs"
+                    )))
+                }
+                Err(_) => {
+                    numeric = false;
+                    break;
+                }
+            }
+        }
+        if numeric {
+            columns.push((name.clone(), col));
+        }
+    }
+    if columns.is_empty() {
+        return Err(PgFmuError::Usage(
+            "input query produced no numeric measurement columns".into(),
+        ));
+    }
+    Ok(DecodedTable {
+        anchor_epoch: anchor,
+        times_hours,
+        columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgfmu_sqlmini::Database;
+
+    fn table(sql_rows: &str) -> QueryResult {
+        let db = Database::new();
+        db.execute("CREATE TABLE m (ts timestamp, x float, u float, note text)")
+            .unwrap();
+        db.execute(&format!("INSERT INTO m VALUES {sql_rows}"))
+            .unwrap();
+        db.execute("SELECT * FROM m ORDER BY ts").unwrap()
+    }
+
+    #[test]
+    fn decodes_timestamps_and_numeric_columns() {
+        let q = table(
+            "('2015-02-01 00:00', 20.75, 0.0, 'a'), ('2015-02-01 01:00', 23.62, 0.02, 'b')",
+        );
+        let d = decode_table(&q).unwrap();
+        assert_eq!(d.times_hours, vec![0.0, 1.0]);
+        assert_eq!(d.columns.len(), 2, "text column must be skipped");
+        assert_eq!(d.columns[0].0, "x");
+        let md = d.to_measurement_data().unwrap();
+        assert_eq!(md.step(), 1.0);
+    }
+
+    #[test]
+    fn anchor_round_trips() {
+        let q = table("('2015-02-01 00:00', 1.0, 0.0, ''), ('2015-02-01 01:00', 2.0, 0.0, '')");
+        let d = decode_table(&q).unwrap();
+        let epoch = d.epoch_for_hours(2.5);
+        assert_eq!(d.hours_for_epoch(epoch), 2.5);
+    }
+
+    #[test]
+    fn empty_result_errors() {
+        let db = Database::new();
+        db.execute("CREATE TABLE e (ts timestamp, x float)").unwrap();
+        let q = db.execute("SELECT * FROM e").unwrap();
+        assert!(decode_table(&q).is_err());
+    }
+
+    #[test]
+    fn missing_time_column_errors() {
+        let db = Database::new();
+        db.execute("CREATE TABLE e (a float, b float)").unwrap();
+        db.execute("INSERT INTO e VALUES (1.0, 2.0)").unwrap();
+        let q = db.execute("SELECT * FROM e").unwrap();
+        let err = decode_table(&q).unwrap_err();
+        assert!(err.to_string().contains("timestamp column"));
+    }
+
+    #[test]
+    fn numeric_time_column_by_name() {
+        let db = Database::new();
+        db.execute("CREATE TABLE e (time float, v float)").unwrap();
+        db.execute("INSERT INTO e VALUES (0.0, 1.0), (0.5, 2.0)")
+            .unwrap();
+        let q = db.execute("SELECT * FROM e ORDER BY time").unwrap();
+        let d = decode_table(&q).unwrap();
+        assert_eq!(d.times_hours, vec![0.0, 0.5]);
+    }
+
+    #[test]
+    fn nulls_are_rejected() {
+        let db = Database::new();
+        db.execute("CREATE TABLE e (ts timestamp, v float)").unwrap();
+        db.execute("INSERT INTO e VALUES ('2015-01-01 00:00', NULL)")
+            .unwrap();
+        let q = db.execute("SELECT * FROM e").unwrap();
+        assert!(decode_table(&q).unwrap_err().to_string().contains("NULL"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Unified error type of the pgFMU extension.
+
+use std::fmt;
+
+use pgfmu_catalog::CatalogError;
+use pgfmu_fmi::FmiError;
+use pgfmu_modelica::ModelicaError;
+use pgfmu_sqlmini::SqlError;
+
+/// Convenient alias used across the crate.
+pub type Result<T> = std::result::Result<T, PgFmuError>;
+
+/// Any error surfacing from a pgFMU UDF.
+#[derive(Debug)]
+pub enum PgFmuError {
+    /// SQL engine failure.
+    Sql(SqlError),
+    /// Catalogue failure.
+    Catalog(CatalogError),
+    /// FMI substrate failure.
+    Fmi(FmiError),
+    /// Modelica compilation failure.
+    Modelica(ModelicaError),
+    /// Invalid UDF arguments or unsupported model reference.
+    Usage(String),
+}
+
+impl fmt::Display for PgFmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgFmuError::Sql(e) => write!(f, "{e}"),
+            PgFmuError::Catalog(e) => write!(f, "{e}"),
+            PgFmuError::Fmi(e) => write!(f, "{e}"),
+            PgFmuError::Modelica(e) => write!(f, "{e}"),
+            PgFmuError::Usage(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for PgFmuError {}
+
+impl From<SqlError> for PgFmuError {
+    fn from(e: SqlError) -> Self {
+        PgFmuError::Sql(e)
+    }
+}
+
+impl From<CatalogError> for PgFmuError {
+    fn from(e: CatalogError) -> Self {
+        PgFmuError::Catalog(e)
+    }
+}
+
+impl From<FmiError> for PgFmuError {
+    fn from(e: FmiError) -> Self {
+        PgFmuError::Fmi(e)
+    }
+}
+
+impl From<ModelicaError> for PgFmuError {
+    fn from(e: ModelicaError) -> Self {
+        PgFmuError::Modelica(e)
+    }
+}
+
+/// Convert a pgFMU error into the SQL error users see at the query level.
+impl From<PgFmuError> for SqlError {
+    fn from(e: PgFmuError) -> Self {
+        match e {
+            PgFmuError::Sql(s) => s,
+            other => SqlError::Execution(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: PgFmuError = SqlError::UnknownTable("m".into()).into();
+        assert!(e.to_string().contains("\"m\""));
+        let s: SqlError = PgFmuError::Usage("bad arg".into()).into();
+        assert!(s.to_string().contains("bad arg"));
+        let s2: SqlError = PgFmuError::Sql(SqlError::Parse("x".into())).into();
+        assert!(matches!(s2, SqlError::Parse(_)));
+    }
+}

@@ -1,0 +1,51 @@
+//! # pgfmu — in-DBMS storage, simulation and calibration of FMU models
+//!
+//! A from-scratch Rust reproduction of *pgFMU: Integrating Data Management
+//! with Physical System Modelling* (EDBT 2020). pgFMU extends a relational
+//! DBMS with SQL UDFs for Functional Mock-up Units so that "cyber-physical
+//! data scientists" can store, simulate and calibrate physical models
+//! without leaving the database.
+//!
+//! ```
+//! use pgfmu::PgFmu;
+//!
+//! let session = PgFmu::new().unwrap();
+//! // Create an instance of a heat-pump model from inline Modelica source.
+//! session.execute(
+//!     "SELECT fmu_create('model decay \
+//!        parameter Real k(min=0, max=10) = 0.5; \
+//!        Real x(start = 8); \
+//!      equation der(x) = -k*x; end decay;', 'Decay1')",
+//! ).unwrap();
+//! // Simulate it over the default experiment window.
+//! let out = session
+//!     .execute("SELECT * FROM fmu_simulate('Decay1') WHERE varname = 'x'")
+//!     .unwrap();
+//! assert_eq!(out.len(), 25);
+//! ```
+//!
+//! The SQL surface follows the paper: [`PgFmu`] registers `fmu_create`,
+//! `fmu_copy`, `fmu_variables`, `fmu_get`, `fmu_set_initial`,
+//! `fmu_set_minimum`, `fmu_set_maximum`, `fmu_reset`,
+//! `fmu_delete_instance`, `fmu_delete_model`, `fmu_parest` (with the
+//! multi-instance optimization of §6) and `fmu_simulate` (§7), plus the
+//! future-work `fmu_control` and the MADlib-like analytics UDFs of
+//! `pgfmu-analytics`.
+
+pub mod arrays;
+pub mod control;
+pub mod convert;
+pub mod error;
+pub mod parest;
+pub mod session;
+pub mod simulate;
+pub mod udfs;
+
+pub use error::{PgFmuError, Result};
+pub use parest::ParestReport;
+pub use session::PgFmu;
+pub use simulate::TimeSpec;
+
+// Re-export the pieces users commonly touch alongside the session.
+pub use pgfmu_estimation::{EstimationConfig, Strategy};
+pub use pgfmu_sqlmini::{QueryResult, Value};

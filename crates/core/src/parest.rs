@@ -1,0 +1,161 @@
+//! `fmu_parest` — model parameter estimation (paper §6, Algorithms 2 & 3).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pgfmu_estimation::{
+    estimate_mi, estimate_si, EstimationConfig, MiProblem, SimulationObjective, Strategy,
+};
+
+use crate::convert::decode_table;
+use crate::error::{PgFmuError, Result};
+use crate::session::Session;
+
+/// Per-instance estimation report — what the UDF surfaces, plus the
+/// timing/effort breakdown the evaluation section analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParestReport {
+    /// Instance identifier.
+    pub instance_id: String,
+    /// Estimated parameter names (in estimation order).
+    pub pars: Vec<String>,
+    /// Estimated parameter values.
+    pub params: Vec<f64>,
+    /// Estimation RMSE (the UDF's return value).
+    pub rmse: f64,
+    /// G+LaG or LO.
+    pub strategy: Strategy,
+    /// Objective evaluations in the global phase.
+    pub global_evals: u64,
+    /// Objective evaluations in the local phase.
+    pub local_evals: u64,
+    /// Wall time of the global phase.
+    pub global_time: Duration,
+    /// Wall time of the local phase.
+    pub local_time: Duration,
+}
+
+/// Execute `fmu_parest` for a batch of instances.
+///
+/// * `input_sqls` must have one query per instance, or a single query that
+///   is reused for every instance.
+/// * `pars` defaults to all tunable parameters of each instance's model
+///   (paper §6: "By default, the function estimates all model
+///   parameters").
+/// * `threshold` overrides the MI similarity threshold (default 20 %).
+///
+/// With the session's MI optimization enabled (pgFMU+), multi-instance
+/// batches follow Algorithm 3; otherwise (pgFMU−) every instance runs the
+/// full G+LaG pipeline of Algorithm 2.
+pub fn run_parest(
+    session: &Session,
+    instance_ids: &[String],
+    input_sqls: &[String],
+    pars: Option<&[String]>,
+    threshold: Option<f64>,
+) -> Result<Vec<ParestReport>> {
+    if instance_ids.is_empty() {
+        return Err(PgFmuError::Usage(
+            "fmu_parest: no model instances supplied".into(),
+        ));
+    }
+    if input_sqls.len() != instance_ids.len() && input_sqls.len() != 1 {
+        return Err(PgFmuError::Usage(format!(
+            "fmu_parest: {} instances but {} input queries (need one per \
+             instance, or a single shared query)",
+            instance_ids.len(),
+            input_sqls.len()
+        )));
+    }
+
+    let mut cfg: EstimationConfig = *session.config.read();
+    if let Some(t) = threshold {
+        if !(t.is_finite() && t >= 0.0) {
+            return Err(PgFmuError::Usage(format!(
+                "fmu_parest: invalid similarity threshold {t}"
+            )));
+        }
+        cfg.mi_threshold = t;
+    }
+
+    // Build one objective per instance.
+    let mut problems: Vec<MiProblem> = Vec::with_capacity(instance_ids.len());
+    let mut pars_per_instance: Vec<Vec<String>> = Vec::with_capacity(instance_ids.len());
+    for (i, id) in instance_ids.iter().enumerate() {
+        let sql = if input_sqls.len() == 1 {
+            &input_sqls[0]
+        } else {
+            &input_sqls[i]
+        };
+        let result = session.db.execute(sql)?;
+        let decoded = decode_table(&result)?;
+        let data = decoded.to_measurement_data()?;
+
+        let instance_pars: Vec<String> = match pars {
+            Some(p) if !p.is_empty() => p.to_vec(),
+            _ => session.catalog.tunable_parameters(id)?,
+        };
+        if instance_pars.is_empty() {
+            return Err(PgFmuError::Usage(format!(
+                "fmu_parest: model of instance '{id}' has no tunable parameters"
+            )));
+        }
+        let fmu = session.catalog.fmu_for_estimation(id)?;
+        let (_, inst) = session.catalog.instantiate(id)?;
+        let objective = SimulationObjective::new(
+            Arc::clone(&fmu),
+            inst.param_values(),
+            inst.start_state(),
+            &instance_pars,
+            &data,
+        )?;
+        problems.push(MiProblem {
+            instance_id: id.clone(),
+            model_key: session.catalog.instance_model(id)?.to_string(),
+            objective: Arc::new(objective),
+            similarity_series: data.series_for_similarity(),
+        });
+        pars_per_instance.push(instance_pars);
+    }
+
+    // Estimate.
+    let mi = session
+        .mi_enabled
+        .load(std::sync::atomic::Ordering::Relaxed)
+        && problems.len() > 1;
+    let outcomes = if mi {
+        estimate_mi(&problems, &cfg)
+    } else {
+        problems
+            .iter()
+            .map(|p| estimate_si(p.objective.as_ref(), &cfg))
+            .collect()
+    };
+
+    // Write estimates back to the catalogue and assemble reports.
+    let mut reports = Vec::with_capacity(outcomes.len());
+    for ((outcome, id), instance_pars) in outcomes
+        .into_iter()
+        .zip(instance_ids)
+        .zip(pars_per_instance)
+    {
+        let updates: Vec<(String, f64)> = instance_pars
+            .iter()
+            .cloned()
+            .zip(outcome.params.iter().copied())
+            .collect();
+        session.catalog.update_values(id, &updates)?;
+        reports.push(ParestReport {
+            instance_id: id.clone(),
+            pars: instance_pars,
+            params: outcome.params,
+            rmse: outcome.rmse,
+            strategy: outcome.strategy,
+            global_evals: outcome.global_evals,
+            local_evals: outcome.local_evals,
+            global_time: outcome.global_time,
+            local_time: outcome.local_time,
+        });
+    }
+    Ok(reports)
+}

@@ -1,0 +1,160 @@
+//! `fmu_simulate` — model simulation with automatic input binding
+//! (paper §7, Algorithm 4).
+
+use pgfmu_fmi::{InputSeries, InputSet, Interpolation, SimulationOptions, Variability};
+use pgfmu_sqlmini::{QueryResult, Value};
+
+use crate::convert::decode_table;
+use crate::error::{PgFmuError, Result};
+use crate::session::Session;
+
+/// A point in time as accepted by `fmu_simulate`'s optional window
+/// arguments: an absolute timestamp or relative hours.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeSpec {
+    /// Absolute epoch seconds (timestamp literals).
+    Epoch(i64),
+    /// Hours on the model's simulation axis.
+    Hours(f64),
+}
+
+impl TimeSpec {
+    /// Decode from a SQL value.
+    pub fn from_value(v: &Value) -> Result<TimeSpec> {
+        match v {
+            Value::Timestamp(t) => Ok(TimeSpec::Epoch(*t)),
+            Value::Text(s) => Ok(TimeSpec::Epoch(
+                pgfmu_sqlmini::parse_timestamp(s).map_err(PgFmuError::Sql)?,
+            )),
+            Value::Int(i) => Ok(TimeSpec::Hours(*i as f64)),
+            Value::Float(f) => Ok(TimeSpec::Hours(*f)),
+            other => Err(PgFmuError::Usage(format!(
+                "cannot interpret {other} as a simulation time"
+            ))),
+        }
+    }
+}
+
+/// Execute `fmu_simulate` and return the long output table
+/// `(simulationtime, instanceid, varname, value)` of paper Table 4.
+pub fn run_simulate(
+    session: &Session,
+    instance_id: &str,
+    input_sql: Option<&str>,
+    time_from: Option<TimeSpec>,
+    time_to: Option<TimeSpec>,
+) -> Result<QueryResult> {
+    let (fmu, inst) = session.catalog.instantiate(instance_id)?;
+    let de = fmu.description.default_experiment;
+
+    // Stage 1 (Algorithm 4): build the input object from the input SQL,
+    // mapping columns to input variables via meta-data.
+    let (inputs, anchor_epoch, data_window, data_step) = match input_sql {
+        Some(sql) => {
+            let result = session.db.execute(sql)?;
+            let decoded = decode_table(&result)?;
+            let mut series = Vec::new();
+            for input in fmu.input_names() {
+                let col = decoded
+                    .columns
+                    .iter()
+                    .find(|(n, _)| n == input)
+                    .map(|(_, c)| c.clone())
+                    .ok_or_else(|| {
+                        PgFmuError::Fmi(pgfmu_fmi::FmiError::Simulation(format!(
+                            "insufficient model input time series: input query \
+                             has no column for input '{input}'"
+                        )))
+                    })?;
+                let var = fmu.description.variable(input)?;
+                let interp = match var.variability {
+                    Variability::Discrete => Interpolation::Hold,
+                    _ => Interpolation::Linear,
+                };
+                series.push(InputSeries::new(
+                    input.clone(),
+                    decoded.times_hours.clone(),
+                    col,
+                    interp,
+                )?);
+            }
+            let names: Vec<&str> = fmu.input_names().iter().map(|s| s.as_str()).collect();
+            let set = InputSet::bind(&names, series)?;
+            let window = (
+                decoded.times_hours[0],
+                *decoded.times_hours.last().unwrap(),
+            );
+            let step = if decoded.times_hours.len() > 1 {
+                decoded.times_hours[1] - decoded.times_hours[0]
+            } else {
+                de.step_size
+            };
+            (set, decoded.anchor_epoch, Some(window), step)
+        }
+        None => {
+            if !fmu.input_names().is_empty() {
+                return Err(PgFmuError::Fmi(pgfmu_fmi::FmiError::Simulation(format!(
+                    "insufficient model input time series: model '{}' has \
+                     inputs but no input query was provided",
+                    fmu.name()
+                ))));
+            }
+            // Anchor on the requested start when it is an absolute time.
+            let anchor = match time_from {
+                Some(TimeSpec::Epoch(t)) => t,
+                _ => 0,
+            };
+            (InputSet::empty(), anchor, None, de.step_size)
+        }
+    };
+
+    let to_hours = |spec: TimeSpec| match spec {
+        TimeSpec::Epoch(t) => (t - anchor_epoch) as f64 / 3600.0,
+        TimeSpec::Hours(h) => h,
+    };
+    // Window resolution (§7): user window, else the data window, else the
+    // model's default experiment.
+    let start = time_from.map(to_hours).unwrap_or_else(|| {
+        data_window.map(|(s, _)| s).unwrap_or(de.start_time)
+    });
+    let stop = time_to.map(to_hours).unwrap_or_else(|| {
+        data_window.map(|(_, e)| e).unwrap_or(de.stop_time)
+    });
+
+    // Stage 2: simulate.
+    let result = inst.simulate(
+        &inputs,
+        &SimulationOptions {
+            start: Some(start),
+            stop: Some(stop),
+            output_step: Some(data_step),
+            ..Default::default()
+        },
+    )?;
+
+    // Persist the final simulated state back into the catalogue (the
+    // paper's italic `ModelInstanceValues` update after fmu_simulate).
+    for name in fmu.state_names() {
+        if let Some(series) = result.series(name) {
+            if let Some(last) = series.last() {
+                session.catalog.set_value(instance_id, name, *last)?;
+            }
+        }
+    }
+
+    let mut out = QueryResult::new(vec![
+        "simulationtime".into(),
+        "instanceid".into(),
+        "varname".into(),
+        "value".into(),
+    ]);
+    for (t, name, value) in result.long_rows() {
+        out.rows.push(vec![
+            Value::Timestamp(anchor_epoch + (t * 3600.0).round() as i64),
+            Value::Text(instance_id.to_string()),
+            Value::Text(name.to_string()),
+            Value::Float(value),
+        ]);
+    }
+    Ok(out)
+}

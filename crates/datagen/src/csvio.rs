@@ -1,0 +1,118 @@
+//! Minimal CSV I/O for the baseline workflow.
+//!
+//! The traditional stack exports measurements from the database into text
+//! files and imports predictions back (paper Figure 1 / Table 1 steps 2
+//! and 6); this module is the file format those steps use.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use pgfmu_sqlmini::{format_timestamp, parse_timestamp};
+
+use crate::dataset::Dataset;
+
+/// Write a dataset as CSV (timestamp column first).
+pub fn write_csv(data: &Dataset, path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let mut header = vec![data.time_column.clone()];
+    header.extend(data.columns.iter().map(|(n, _)| n.clone()));
+    writeln!(w, "{}", header.join(","))?;
+    for i in 0..data.len() {
+        let mut row = vec![format_timestamp(data.timestamps[i])];
+        for (_, c) in &data.columns {
+            row.push(format!("{:?}", c[i]));
+        }
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()
+}
+
+/// Read a dataset back from CSV.
+pub fn read_csv(path: &Path) -> std::io::Result<Dataset> {
+    let file = std::fs::File::open(path)?;
+    let mut lines = std::io::BufReader::new(file).lines();
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let header = lines.next().ok_or_else(|| bad("empty CSV"))??;
+    let names: Vec<String> = header.split(',').map(str::to_string).collect();
+    if names.is_empty() {
+        return Err(bad("CSV header has no columns"));
+    }
+    let mut timestamps = Vec::new();
+    let mut columns: Vec<(String, Vec<f64>)> = names[1..]
+        .iter()
+        .map(|n| (n.clone(), Vec::new()))
+        .collect();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != names.len() {
+            return Err(bad(&format!(
+                "row has {} cells, header has {}",
+                cells.len(),
+                names.len()
+            )));
+        }
+        timestamps.push(
+            parse_timestamp(cells[0]).map_err(|e| bad(&format!("bad timestamp: {e}")))?,
+        );
+        for (j, cell) in cells[1..].iter().enumerate() {
+            columns[j]
+                .1
+                .push(cell.trim().parse::<f64>().map_err(|_| {
+                    bad(&format!("bad number '{cell}' in column {}", names[j + 1]))
+                })?);
+        }
+    }
+    if timestamps.is_empty() {
+        return Err(bad("CSV has no data rows"));
+    }
+    Ok(Dataset::new(names[0].clone(), timestamps, columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hp::hp1_dataset;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pgfmu-csv-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip() {
+        let data = hp1_dataset(17);
+        let path = temp_path("roundtrip.csv");
+        write_csv(&data, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.time_column, data.time_column);
+        assert_eq!(back.timestamps, data.timestamps);
+        assert_eq!(back.columns.len(), data.columns.len());
+        for ((na, ca), (nb, cb)) in data.columns.iter().zip(&back.columns) {
+            assert_eq!(na, nb);
+            for (a, b) in ca.iter().zip(cb) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        let path = temp_path("bad.csv");
+        std::fs::write(&path, "").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::write(&path, "ts,x\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::write(&path, "ts,x\n2015-02-01 00:00,1.0,9.9\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::write(&path, "ts,x\nnot-a-time,1.0\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::write(&path, "ts,x\n2015-02-01 00:00,banana\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,124 @@
+//! Multi-instance synthetic datasets (paper §8.1).
+//!
+//! "For experimental evaluation within the MI scenario, we construct 100
+//! synthetic datasets for each FMU model. We multiply the original dataset
+//! time series values with a constant delta from the numerical range
+//! δ ∈ {0.8, …, 1.2} … while ensuring the same data distribution as the
+//! original datasets. We also ensure that the datasets respect the
+//! physical constraints of the real-world systems."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+
+/// Physical clamp ranges by column name (constraints of the real systems).
+fn clamp_range(column: &str) -> Option<(f64, f64)> {
+    match column {
+        "u" => Some((0.0, 1.0)),
+        "dpos" | "vpos" => Some((0.0, 100.0)),
+        "solrad" => Some((0.0, f64::INFINITY)),
+        "occ" => Some((0.0, f64::INFINITY)),
+        _ => None,
+    }
+}
+
+/// Scale every series of a dataset by `delta`, clamping columns with hard
+/// physical ranges and keeping integer-valued columns integral.
+pub fn scale_dataset(base: &Dataset, delta: f64) -> Dataset {
+    let columns = base
+        .columns
+        .iter()
+        .map(|(name, col)| {
+            let integral = col.iter().all(|v| v.fract() == 0.0);
+            let scaled: Vec<f64> = col
+                .iter()
+                .map(|v| {
+                    let mut x = v * delta;
+                    if let Some((lo, hi)) = clamp_range(name) {
+                        x = x.clamp(lo, hi);
+                    }
+                    if integral {
+                        x = x.round();
+                    }
+                    x
+                })
+                .collect();
+            (name.clone(), scaled)
+        })
+        .collect();
+    Dataset {
+        time_column: base.time_column.clone(),
+        timestamps: base.timestamps.clone(),
+        columns,
+    }
+}
+
+/// Generate `n` per-instance datasets with deltas drawn uniformly from
+/// `[0.8, 1.2]` (instance 0 keeps δ = 1, mirroring the paper's original
+/// dataset as the first instance). Returns `(delta, dataset)` pairs.
+pub fn synthetic_instances(base: &Dataset, n: usize, seed: u64) -> Vec<(f64, Dataset)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0DE1_7A00);
+    (0..n)
+        .map(|i| {
+            let delta = if i == 0 {
+                1.0
+            } else {
+                rng.gen_range(0.8..=1.2)
+            };
+            (delta, scale_dataset(base, delta))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hp::hp1_dataset;
+
+    #[test]
+    fn scaling_multiplies_unclamped_series() {
+        let base = hp1_dataset(1);
+        let scaled = scale_dataset(&base, 1.1);
+        let x0 = base.column("x").unwrap();
+        let x1 = scaled.column("x").unwrap();
+        for (a, b) in x0.iter().zip(x1) {
+            assert!((b - a * 1.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaling_respects_u_constraint() {
+        let base = hp1_dataset(2);
+        let scaled = scale_dataset(&base, 1.2);
+        assert!(scaled
+            .column("u")
+            .unwrap()
+            .iter()
+            .all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn instances_are_deterministic_and_first_is_identity() {
+        let base = hp1_dataset(3);
+        let a = synthetic_instances(&base, 10, 99);
+        let b = synthetic_instances(&base, 10, 99);
+        assert_eq!(a, b);
+        assert_eq!(a[0].0, 1.0);
+        assert_eq!(a[0].1, base);
+        for (delta, _) in &a {
+            assert!((0.8..=1.2).contains(delta));
+        }
+    }
+
+    #[test]
+    fn occupancy_stays_integral_under_scaling() {
+        let base = crate::classroom::classroom_dataset(1);
+        let scaled = scale_dataset(&base, 1.17);
+        assert!(scaled
+            .column("occ")
+            .unwrap()
+            .iter()
+            .all(|v| v.fract() == 0.0 && *v >= 0.0));
+    }
+}

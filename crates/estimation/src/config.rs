@@ -1,0 +1,86 @@
+//! Estimation configuration.
+
+/// Knobs for the G + LaG / LO estimation pipeline.
+///
+/// Defaults are tuned so that the global phase dominates the runtime
+/// (the paper measures G at ≈ 90 % of estimation time, §8.2/Figure 6),
+/// which is the property the MI optimization exploits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimationConfig {
+    /// GA population size.
+    pub population: usize,
+    /// GA generation count.
+    pub generations: usize,
+    /// Tournament size for GA selection.
+    pub tournament: usize,
+    /// GA mutation probability per gene.
+    pub mutation_prob: f64,
+    /// GA mutation scale as a fraction of each parameter's range.
+    pub mutation_scale: f64,
+    /// Elite individuals carried over unchanged per generation.
+    pub elitism: usize,
+    /// Maximum local-search iterations (same budget for LaG and LO — the
+    /// paper stresses LO *is* LaG with different initial values).
+    pub local_max_iters: usize,
+    /// Local-search convergence tolerance on the objective decrease.
+    pub local_tol: f64,
+    /// MI similarity threshold on relative L2 dissimilarity; the paper
+    /// settles on 20 % (§8.2).
+    pub mi_threshold: f64,
+    /// LO neighbourhood radius, as a fraction of each parameter's range.
+    /// The MI fast path is justified by the optima of similar instances
+    /// lying "within the same neighbourhood" (paper Figure 5); LO searches
+    /// only that neighbourhood around the warm start. Warm starts from
+    /// dissimilar datasets therefore under-perform G+LaG — the Figure-6
+    /// divergence.
+    pub lo_neighborhood: f64,
+    /// RNG seed ("fixed randomly derived seed" in the paper, §8.1).
+    pub seed: u64,
+}
+
+impl Default for EstimationConfig {
+    fn default() -> Self {
+        EstimationConfig {
+            population: 40,
+            generations: 25,
+            tournament: 3,
+            mutation_prob: 0.25,
+            mutation_scale: 0.15,
+            elitism: 2,
+            local_max_iters: 20,
+            local_tol: 1e-10,
+            mi_threshold: 0.20,
+            lo_neighborhood: 0.023,
+            seed: 0xB10C_5EED,
+        }
+    }
+}
+
+impl EstimationConfig {
+    /// A cheap configuration for unit tests.
+    pub fn fast() -> Self {
+        EstimationConfig {
+            population: 16,
+            generations: 10,
+            local_max_iters: 12,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_put_global_cost_well_above_local() {
+        let c = EstimationConfig::default();
+        let global_evals = c.population * c.generations;
+        // Local search on a 4-parameter model: ~(2*dim + line search) per iter.
+        let local_evals = c.local_max_iters * (2 * 4 + 3);
+        assert!(
+            global_evals as f64 / local_evals as f64 > 4.0,
+            "global phase must dominate: {global_evals} vs {local_evals}"
+        );
+    }
+}

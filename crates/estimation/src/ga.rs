@@ -1,0 +1,235 @@
+//! Genetic algorithm — the Global search (G).
+//!
+//! Mirrors ModestPy's GA stage: a real-coded GA with tournament selection,
+//! BLX-α blend crossover, range-scaled Gaussian mutation and elitism, run
+//! over the box-constrained parameter space with initial individuals drawn
+//! uniformly at random between the bounds (paper §6: "We set the initial
+//! parameter values to random numbers between the lower and the upper
+//! bounds").
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::EstimationConfig;
+use crate::objective::Objective;
+
+/// Result of a GA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaOutcome {
+    /// Best parameter vector found.
+    pub params: Vec<f64>,
+    /// Objective value at `params`.
+    pub cost: f64,
+    /// Number of objective evaluations spent.
+    pub evals: u64,
+}
+
+fn clamp_to_bounds(p: &mut [f64], obj: &dyn Objective) {
+    for (v, spec) in p.iter_mut().zip(obj.bounds()) {
+        *v = v.clamp(spec.lower, spec.upper);
+    }
+}
+
+/// Run the genetic algorithm.
+pub fn run_ga(obj: &dyn Objective, cfg: &EstimationConfig, rng: &mut StdRng) -> GaOutcome {
+    let dim = obj.dim();
+    let bounds = obj.bounds();
+    assert!(dim > 0, "GA requires at least one parameter");
+    let pop_size = cfg.population.max(4);
+    let evals_before = obj.eval_count();
+
+    // Initial population: uniform over the box.
+    let mut population: Vec<Vec<f64>> = (0..pop_size)
+        .map(|_| {
+            (0..dim)
+                .map(|d| rng.gen_range(bounds[d].lower..=bounds[d].upper))
+                .collect()
+        })
+        .collect();
+    let mut fitness: Vec<f64> = population.iter().map(|p| obj.eval(p)).collect();
+
+    let tournament = |rng: &mut StdRng, fitness: &[f64]| -> usize {
+        let mut best = rng.gen_range(0..pop_size);
+        for _ in 1..cfg.tournament.max(2) {
+            let challenger = rng.gen_range(0..pop_size);
+            if fitness[challenger] < fitness[best] {
+                best = challenger;
+            }
+        }
+        best
+    };
+
+    for _gen in 0..cfg.generations {
+        // Sort indices by fitness for elitism.
+        let mut order: Vec<usize> = (0..pop_size).collect();
+        order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).unwrap());
+
+        let mut next: Vec<Vec<f64>> = Vec::with_capacity(pop_size);
+        for &i in order.iter().take(cfg.elitism.min(pop_size)) {
+            next.push(population[i].clone());
+        }
+        while next.len() < pop_size {
+            let a = &population[tournament(rng, &fitness)];
+            let b = &population[tournament(rng, &fitness)];
+            // BLX-0.3 blend crossover.
+            let alpha = 0.3;
+            let mut child: Vec<f64> = (0..dim)
+                .map(|d| {
+                    let (lo, hi) = (a[d].min(b[d]), a[d].max(b[d]));
+                    let span = (hi - lo).max(1e-12);
+                    rng.gen_range((lo - alpha * span)..=(hi + alpha * span))
+                })
+                .collect();
+            // Gaussian-ish mutation scaled to the parameter range.
+            for d in 0..dim {
+                if rng.gen::<f64>() < cfg.mutation_prob {
+                    let range = bounds[d].upper - bounds[d].lower;
+                    // Sum of uniforms approximates a normal deviate.
+                    let z: f64 =
+                        (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 2.0 - 1.0;
+                    child[d] += z * cfg.mutation_scale * range;
+                }
+            }
+            clamp_to_bounds(&mut child, obj);
+            next.push(child);
+        }
+        population = next;
+        fitness = population.iter().map(|p| obj.eval(p)).collect();
+    }
+
+    let best = (0..pop_size)
+        .min_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).unwrap())
+        .expect("population is non-empty");
+    GaOutcome {
+        params: population[best].clone(),
+        cost: fitness[best],
+        evals: obj.eval_count() - evals_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::ParamSpec;
+    use rand::SeedableRng;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Non-convex 2-D test objective (Himmelblau-like): several local
+    /// minima; global optimum value is 0.
+    struct Himmelblau {
+        bounds: Vec<ParamSpec>,
+        evals: AtomicU64,
+    }
+
+    impl Himmelblau {
+        fn new() -> Self {
+            Himmelblau {
+                bounds: vec![
+                    ParamSpec {
+                        name: "x".into(),
+                        lower: -5.0,
+                        upper: 5.0,
+                    },
+                    ParamSpec {
+                        name: "y".into(),
+                        lower: -5.0,
+                        upper: 5.0,
+                    },
+                ],
+                evals: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Objective for Himmelblau {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn bounds(&self) -> &[ParamSpec] {
+            &self.bounds
+        }
+        fn eval(&self, p: &[f64]) -> f64 {
+            self.evals.fetch_add(1, Ordering::Relaxed);
+            let (x, y) = (p[0], p[1]);
+            (x * x + y - 11.0).powi(2) + (x + y * y - 7.0).powi(2)
+        }
+        fn eval_count(&self) -> u64 {
+            self.evals.load(Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn ga_finds_a_near_global_minimum() {
+        let obj = Himmelblau::new();
+        let cfg = EstimationConfig::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = run_ga(&obj, &cfg, &mut rng);
+        assert!(out.cost < 0.5, "GA cost too high: {}", out.cost);
+        assert!(out.params.iter().all(|v| (-5.0..=5.0).contains(v)));
+    }
+
+    #[test]
+    fn ga_is_deterministic_under_a_fixed_seed() {
+        let cfg = EstimationConfig::fast();
+        let run = || {
+            let obj = Himmelblau::new();
+            let mut rng = StdRng::seed_from_u64(42);
+            run_ga(&obj, &cfg, &mut rng)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.params, b.params);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn ga_eval_budget_matches_population_times_generations() {
+        let obj = Himmelblau::new();
+        let cfg = EstimationConfig::fast();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = run_ga(&obj, &cfg, &mut rng);
+        // Initial population + one evaluation sweep per generation.
+        let expected = (cfg.population * (cfg.generations + 1)) as u64;
+        assert_eq!(out.evals, expected);
+    }
+
+    #[test]
+    fn ga_respects_bounds_tightly() {
+        struct Edge {
+            bounds: Vec<ParamSpec>,
+            evals: AtomicU64,
+        }
+        impl Objective for Edge {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn bounds(&self) -> &[ParamSpec] {
+                &self.bounds
+            }
+            fn eval(&self, p: &[f64]) -> f64 {
+                self.evals.fetch_add(1, Ordering::Relaxed);
+                assert!(
+                    (0.0..=1.0).contains(&p[0]),
+                    "evaluated out of bounds: {}",
+                    p[0]
+                );
+                // Optimum at the upper bound.
+                1.0 - p[0]
+            }
+            fn eval_count(&self) -> u64 {
+                self.evals.load(Ordering::Relaxed)
+            }
+        }
+        let obj = Edge {
+            bounds: vec![ParamSpec {
+                name: "k".into(),
+                lower: 0.0,
+                upper: 1.0,
+            }],
+            evals: AtomicU64::new(0),
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = run_ga(&obj, &EstimationConfig::fast(), &mut rng);
+        assert!(out.params[0] > 0.95, "should push to the bound");
+    }
+}

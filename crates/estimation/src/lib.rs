@@ -1,0 +1,39 @@
+//! # pgfmu-estimation — ModestPy-like parameter estimation for FMUs
+//!
+//! The paper calibrates FMU parameters with the ModestPy pattern: a
+//! **Global search (G)** — a genetic algorithm exploring the box-constrained
+//! parameter space — followed by a **Local search after Global (LaG)** — a
+//! gradient-based method (SQP in the paper) fine-tuning the GA's best point.
+//! pgFMU's multi-instance (MI) optimization replaces G+LaG with **Local
+//! Only (LO)** — the *same* local algorithm warm-started from a similar
+//! instance's optimum — whenever the L2 distance between the instances'
+//! measurement series is below a threshold (paper §6, Algorithm 3).
+//!
+//! This crate implements all of it:
+//!
+//! * [`objective`] — the simulation-backed RMSE objective built from FMU
+//!   meta-data and measurement tables;
+//! * [`ga`] — the genetic algorithm (G);
+//! * [`local`] — bounded quasi-Newton local search with numerical gradients
+//!   (LaG / LO; the scikit-SQP stand-in);
+//! * [`drivers`] — Algorithm 2 (`estimate_si`) and Algorithm 3
+//!   (`estimate_mi`) plus warm-started `estimate_lo`;
+//! * [`metrics`] — RMSE / MAE and the relative-L2 time-series
+//!   dissimilarity used for the MI invocation condition.
+
+// Numeric-kernel idioms: indexed loops mirror textbook formulas; negated
+// comparisons (`!(a > b)`) deliberately catch NaNs.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod config;
+pub mod drivers;
+pub mod ga;
+pub mod local;
+pub mod metrics;
+pub mod objective;
+
+pub use config::EstimationConfig;
+pub use drivers::{estimate_lo, estimate_mi, estimate_si, EstimationOutcome, MiProblem, Strategy};
+pub use metrics::{dissimilarity, mae, rmse};
+pub use objective::{MeasurementData, Objective, ParamSpec, SimulationObjective};

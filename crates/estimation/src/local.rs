@@ -1,0 +1,312 @@
+//! Bounded local search — LaG ("Local after Global") and LO ("Local Only").
+//!
+//! The paper uses scikit-learn's SQP for the local stage. Our stand-in is a
+//! projected quasi-Newton method: central-difference gradients, a BFGS-style
+//! inverse-Hessian update, backtracking line search and projection onto the
+//! box constraints. LaG and LO are *the same algorithm*; only the starting
+//! point differs (GA's best point vs. another instance's optimum), exactly
+//! as the paper defines them (§6).
+
+use crate::config::EstimationConfig;
+use crate::objective::Objective;
+
+/// Result of a local-search run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalOutcome {
+    /// Best parameter vector found.
+    pub params: Vec<f64>,
+    /// Objective value at `params`.
+    pub cost: f64,
+    /// Number of objective evaluations spent.
+    pub evals: u64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+}
+
+fn project(p: &mut [f64], obj: &dyn Objective) {
+    for (v, spec) in p.iter_mut().zip(obj.bounds()) {
+        *v = v.clamp(spec.lower, spec.upper);
+    }
+}
+
+/// Central-difference gradient with bound-aware steps.
+fn gradient(obj: &dyn Objective, p: &[f64], f0: f64) -> Vec<f64> {
+    let dim = obj.dim();
+    let mut g = vec![0.0; dim];
+    for d in 0..dim {
+        let spec = &obj.bounds()[d];
+        let range = (spec.upper - spec.lower).max(1e-9);
+        let h = (1e-6 * range).max(1e-9);
+        let mut hi = p.to_vec();
+        let mut lo = p.to_vec();
+        hi[d] = (p[d] + h).min(spec.upper);
+        lo[d] = (p[d] - h).max(spec.lower);
+        let span = hi[d] - lo[d];
+        if span <= 0.0 {
+            g[d] = 0.0;
+            continue;
+        }
+        let fhi = obj.eval(&hi);
+        let flo = if lo[d] == p[d] { f0 } else { obj.eval(&lo) };
+        g[d] = (fhi - flo) / span;
+    }
+    g
+}
+
+/// Run the local search from `start`.
+pub fn run_local(obj: &dyn Objective, start: &[f64], cfg: &EstimationConfig) -> LocalOutcome {
+    let dim = obj.dim();
+    assert_eq!(start.len(), dim, "start point dimension mismatch");
+    let evals_before = obj.eval_count();
+
+    let mut x = start.to_vec();
+    project(&mut x, obj);
+    let mut fx = obj.eval(&x);
+
+    // Inverse Hessian approximation (identity scaled per-parameter range).
+    let ranges: Vec<f64> = obj
+        .bounds()
+        .iter()
+        .map(|s| (s.upper - s.lower).max(1e-9))
+        .collect();
+    // Initial curvature guess: steps of ~5% of each parameter's range for
+    // unit-magnitude gradients. BFGS updates refine this quickly.
+    let h0: Vec<f64> = ranges.iter().map(|r| (0.05 * r) * (0.05 * r)).collect();
+    let mut h_inv: Vec<Vec<f64>> = (0..dim)
+        .map(|i| {
+            (0..dim)
+                .map(|j| if i == j { h0[i] } else { 0.0 })
+                .collect()
+        })
+        .collect();
+
+    let mut g = gradient(obj, &x, fx);
+    let mut iterations = 0usize;
+
+    for _ in 0..cfg.local_max_iters {
+        iterations += 1;
+        // Search direction d = -H g.
+        let mut dir = vec![0.0; dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                dir[i] -= h_inv[i][j] * g[j];
+            }
+        }
+        // Ensure descent; fall back to steepest descent if the quasi-Newton
+        // direction has lost descent (can happen after projections).
+        let mut slope: f64 = dir.iter().zip(&g).map(|(d, gi)| d * gi).sum();
+        if slope >= 0.0 {
+            for i in 0..dim {
+                dir[i] = -g[i] * h0[i];
+            }
+            slope = dir.iter().zip(&g).map(|(d, gi)| d * gi).sum();
+            if slope >= 0.0 {
+                break; // zero gradient — converged
+            }
+        }
+
+        // Backtracking line search with an Armijo sufficient-decrease
+        // condition; a symmetric overshoot (f(cand) == f(x)) must not be
+        // accepted, or the improvement test below would stop prematurely.
+        const C1: f64 = 1e-4;
+        let mut step = 1.0;
+        let mut accepted: Option<(Vec<f64>, f64)> = None;
+        let mut best_seen: Option<(Vec<f64>, f64)> = None;
+        for attempt in 0..12 {
+            let mut cand: Vec<f64> = x
+                .iter()
+                .zip(&dir)
+                .map(|(xi, di)| xi + step * di)
+                .collect();
+            project(&mut cand, obj);
+            let fc = obj.eval(&cand);
+            if fc < fx && best_seen.as_ref().is_none_or(|(_, fb)| fc < *fb) {
+                best_seen = Some((cand.clone(), fc));
+            }
+            if fc <= fx + C1 * step * slope {
+                accepted = Some((cand, fc));
+                // On a first-try acceptance, probe a doubled step once —
+                // helps crossing shallow valleys under a small budget.
+                if attempt == 0 {
+                    let mut wide: Vec<f64> = x
+                        .iter()
+                        .zip(&dir)
+                        .map(|(xi, di)| xi + 2.0 * step * di)
+                        .collect();
+                    project(&mut wide, obj);
+                    let fw = obj.eval(&wide);
+                    if fw < fc {
+                        accepted = Some((wide, fw));
+                    }
+                }
+                break;
+            }
+            step *= 0.5;
+        }
+        let Some((x_new, f_new)) = accepted.or(best_seen) else {
+            break; // no descent found — converged (or at a bound corner)
+        };
+
+        let improvement = fx - f_new;
+        let g_new = gradient(obj, &x_new, f_new);
+
+        // BFGS update on the inverse Hessian.
+        let s: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
+        let y: Vec<f64> = g_new.iter().zip(&g).map(|(a, b)| a - b).collect();
+        let sy: f64 = s.iter().zip(&y).map(|(a, b)| a * b).sum();
+        if sy > 1e-12 {
+            let rho = 1.0 / sy;
+            // H = (I - rho s y^T) H (I - rho y s^T) + rho s s^T
+            let mut hy = vec![0.0; dim];
+            for i in 0..dim {
+                for j in 0..dim {
+                    hy[i] += h_inv[i][j] * y[j];
+                }
+            }
+            let yhy: f64 = y.iter().zip(&hy).map(|(a, b)| a * b).sum();
+            for i in 0..dim {
+                for j in 0..dim {
+                    h_inv[i][j] += (sy + yhy) * rho * rho * s[i] * s[j]
+                        - rho * (hy[i] * s[j] + s[i] * hy[j]);
+                }
+            }
+        }
+
+        x = x_new;
+        fx = f_new;
+        g = g_new;
+
+        if improvement < cfg.local_tol * (1.0 + fx.abs()) {
+            break;
+        }
+    }
+
+    LocalOutcome {
+        params: x,
+        cost: fx,
+        evals: obj.eval_count() - evals_before,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::ParamSpec;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Quadratic {
+        bounds: Vec<ParamSpec>,
+        center: Vec<f64>,
+        evals: AtomicU64,
+    }
+
+    impl Quadratic {
+        fn new(center: Vec<f64>, lo: f64, hi: f64) -> Self {
+            let bounds = center
+                .iter()
+                .enumerate()
+                .map(|(i, _)| ParamSpec {
+                    name: format!("p{i}"),
+                    lower: lo,
+                    upper: hi,
+                })
+                .collect();
+            Quadratic {
+                bounds,
+                center,
+                evals: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Objective for Quadratic {
+        fn dim(&self) -> usize {
+            self.center.len()
+        }
+        fn bounds(&self) -> &[ParamSpec] {
+            &self.bounds
+        }
+        fn eval(&self, p: &[f64]) -> f64 {
+            self.evals.fetch_add(1, Ordering::Relaxed);
+            p.iter()
+                .zip(&self.center)
+                .enumerate()
+                .map(|(i, (x, c))| (1.0 + i as f64) * (x - c) * (x - c))
+                .sum()
+        }
+        fn eval_count(&self) -> u64 {
+            self.evals.load(Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let obj = Quadratic::new(vec![1.2, -0.7], -5.0, 5.0);
+        let out = run_local(&obj, &[4.0, 4.0], &EstimationConfig::default());
+        assert!(out.cost < 1e-6, "cost {}", out.cost);
+        assert!((out.params[0] - 1.2).abs() < 1e-3);
+        assert!((out.params[1] + 0.7).abs() < 1e-3);
+    }
+
+    #[test]
+    fn interior_optimum_outside_box_lands_on_boundary() {
+        // Optimum at 7, box is [-5, 5] -> should converge to 5.
+        let obj = Quadratic::new(vec![7.0], -5.0, 5.0);
+        let out = run_local(&obj, &[0.0], &EstimationConfig::default());
+        assert!((out.params[0] - 5.0).abs() < 1e-6, "{:?}", out.params);
+    }
+
+    #[test]
+    fn warm_start_near_optimum_converges() {
+        let cfg = EstimationConfig::default();
+        let obj_far = Quadratic::new(vec![1.0, 1.0, 1.0, 1.0], -5.0, 5.0);
+        let far = run_local(&obj_far, &[-4.0, -4.0, -4.0, -4.0], &cfg);
+        let obj_near = Quadratic::new(vec![1.0, 1.0, 1.0, 1.0], -5.0, 5.0);
+        let near = run_local(&obj_near, &[1.01, 0.99, 1.0, 1.0], &cfg);
+        assert!(near.cost <= 1e-8, "near-start cost {}", near.cost);
+        assert!(far.cost <= 1e-6, "far-start cost {}", far.cost);
+        // Either way the local stage stays far below the global budget.
+        let cap = (cfg.local_max_iters * (2 * 4 + 16)) as u64;
+        assert!(near.evals <= cap && far.evals <= cap);
+    }
+
+    #[test]
+    fn never_evaluates_outside_bounds() {
+        struct Checked(Quadratic);
+        impl Objective for Checked {
+            fn dim(&self) -> usize {
+                self.0.dim()
+            }
+            fn bounds(&self) -> &[ParamSpec] {
+                self.0.bounds()
+            }
+            fn eval(&self, p: &[f64]) -> f64 {
+                for (v, s) in p.iter().zip(self.0.bounds()) {
+                    assert!(
+                        *v >= s.lower - 1e-12 && *v <= s.upper + 1e-12,
+                        "out of bounds: {v}"
+                    );
+                }
+                self.0.eval(p)
+            }
+            fn eval_count(&self) -> u64 {
+                self.0.eval_count()
+            }
+        }
+        let obj = Checked(Quadratic::new(vec![0.9, -0.9], -1.0, 1.0));
+        let out = run_local(&obj, &[-1.0, 1.0], &EstimationConfig::default());
+        assert!(out.cost < 1e-5);
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let cfg = EstimationConfig {
+            local_max_iters: 3,
+            ..EstimationConfig::default()
+        };
+        let obj = Quadratic::new(vec![1.0], -100.0, 100.0);
+        let out = run_local(&obj, &[-90.0], &cfg);
+        assert!(out.iterations <= 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Error metrics and the time-series similarity measure.
+
+/// Root mean square error between two equal-length series.
+///
+/// The paper prefers RMSE over MAE because it penalizes large errors more
+/// strongly (§8.2, citing Chai & Draxler).
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse over unequal-length series");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (ss / a.len() as f64).sqrt()
+}
+
+/// Mean absolute error between two equal-length series.
+pub fn mae(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mae over unequal-length series");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+/// Relative L2 dissimilarity between two sets of measurement series — the
+/// MI invocation condition of Algorithm 3 ("we only invoke the MI
+/// optimization after ensuring similarity (by calculating the L2 norm)
+/// between the input (and output) measurements").
+///
+/// For every pair of matched series the relative distance
+/// `‖a_k − b_k‖₂ / max(‖b_k‖₂, ε)` is computed over their common prefix;
+/// the *maximum* across series is returned, so a 20 % threshold means *no*
+/// series deviates by more than 20 %. Series sets of different arity are
+/// maximally dissimilar (`+∞`).
+pub fn dissimilarity(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    if a.len() != b.len() {
+        return f64::INFINITY;
+    }
+    let mut worst = 0.0_f64;
+    for (sa, sb) in a.iter().zip(b) {
+        let n = sa.len().min(sb.len());
+        if n == 0 {
+            return f64::INFINITY;
+        }
+        let mut dist2 = 0.0;
+        let mut ref2 = 0.0;
+        for i in 0..n {
+            let d = sa[i] - sb[i];
+            dist2 += d * d;
+            ref2 += sb[i] * sb[i];
+        }
+        let rel = dist2.sqrt() / ref2.sqrt().max(1e-12);
+        worst = worst.max(rel);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_known_values() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5_f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mae_known_values() {
+        assert_eq!(mae(&[1.0, 2.0], &[2.0, 4.0]), 1.5);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more_than_mae() {
+        // One large error vs many small: RMSE > MAE (the paper's rationale
+        // for preferring RMSE).
+        let truth = vec![0.0; 10];
+        let mut pred = vec![0.1; 10];
+        pred[0] = 5.0;
+        assert!(rmse(&truth, &pred) > mae(&truth, &pred));
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal-length")]
+    fn rmse_rejects_mismatched_lengths() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dissimilarity_of_scaled_series_matches_delta() {
+        // The paper's MI datasets multiply series by δ ∈ [0.8, 1.2]; the
+        // relative L2 distance of δ·x from x is exactly |δ − 1|.
+        let base: Vec<f64> = (0..100).map(|i| 15.0 + (i as f64 * 0.1).sin()).collect();
+        for delta in [0.8, 0.95, 1.0, 1.1, 1.2] {
+            let scaled: Vec<f64> = base.iter().map(|v| v * delta).collect();
+            let d = dissimilarity(
+                std::slice::from_ref(&scaled),
+                std::slice::from_ref(&base),
+            );
+            assert!(
+                (d - (delta - 1.0_f64).abs()).abs() < 1e-9,
+                "delta {delta}: got {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn dissimilarity_takes_worst_series() {
+        let a = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        let b = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let d = dissimilarity(&a, &b);
+        assert!((d - (2.0_f64).sqrt() / (2.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dissimilarity_arity_mismatch_is_infinite() {
+        assert!(dissimilarity(&[vec![1.0]], &[]).is_infinite());
+        assert!(dissimilarity(&[vec![]], &[vec![]]).is_infinite());
+    }
+}

@@ -1,0 +1,477 @@
+//! The simulation-backed estimation objective.
+//!
+//! `fmu_parest` minimizes "the sum of squared errors between the measured
+//! and simulated indoor temperatures" (paper §2) — i.e. the RMSE between
+//! measured series and the model's simulated states/outputs, as a function
+//! of the estimated parameters. The objective is assembled automatically
+//! from FMU meta-data (Challenge 2): measurement columns matching model
+//! *inputs* become the simulation input object, columns matching *states or
+//! outputs* become calibration targets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pgfmu_fmi::{
+    Causality, Fmu, FmiError, InputSeries, InputSet, Interpolation, SimulationOptions, Variability,
+};
+
+use crate::metrics::rmse;
+
+/// One estimated parameter with its search bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Parameter name.
+    pub name: String,
+    /// Lower search bound.
+    pub lower: f64,
+    /// Upper search bound.
+    pub upper: f64,
+}
+
+/// A black-box objective over a box-constrained parameter vector.
+pub trait Objective: Send + Sync {
+    /// Number of estimated parameters.
+    fn dim(&self) -> usize;
+    /// Bounds per parameter.
+    fn bounds(&self) -> &[ParamSpec];
+    /// Cost at a parameter vector (lower is better). Must be finite; use
+    /// a large penalty for simulation failures.
+    fn eval(&self, params: &[f64]) -> f64;
+    /// Number of evaluations so far (for the G-vs-LO cost accounting).
+    fn eval_count(&self) -> u64;
+}
+
+/// Measurement data as handed to `fmu_parest`: a time grid plus named
+/// columns (model inputs and measured states/outputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasurementData {
+    /// Sample times in hours (relative to the series start), strictly
+    /// increasing and (approximately) uniform.
+    pub times: Vec<f64>,
+    /// Named measurement series, each as long as `times`.
+    pub columns: Vec<(String, Vec<f64>)>,
+}
+
+impl MeasurementData {
+    /// Construct from a time grid and named columns, with validation.
+    pub fn new(times: Vec<f64>, columns: Vec<(String, Vec<f64>)>) -> Result<Self, FmiError> {
+        if times.len() < 2 {
+            return Err(FmiError::Simulation(
+                "measurement data needs at least two samples".into(),
+            ));
+        }
+        for w in times.windows(2) {
+            if !(w[1] > w[0]) {
+                return Err(FmiError::Simulation(
+                    "measurement times must be strictly increasing".into(),
+                ));
+            }
+        }
+        for (name, col) in &columns {
+            if col.len() != times.len() {
+                return Err(FmiError::Simulation(format!(
+                    "measurement column '{name}' has {} samples for {} times",
+                    col.len(),
+                    times.len()
+                )));
+            }
+            if col.iter().any(|v| !v.is_finite()) {
+                return Err(FmiError::Simulation(format!(
+                    "measurement column '{name}' contains non-finite values"
+                )));
+            }
+        }
+        Ok(MeasurementData { times, columns })
+    }
+
+    /// A named column, if present.
+    pub fn column(&self, name: &str) -> Option<&[f64]> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.as_slice())
+    }
+
+    /// The (median) sampling step.
+    pub fn step(&self) -> f64 {
+        let mut diffs: Vec<f64> = self.times.windows(2).map(|w| w[1] - w[0]).collect();
+        diffs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        diffs[diffs.len() / 2]
+    }
+
+    /// All series (in column order) — the fingerprint used by the MI
+    /// similarity check.
+    pub fn series_for_similarity(&self) -> Vec<Vec<f64>> {
+        self.columns.iter().map(|(_, c)| c.clone()).collect()
+    }
+}
+
+/// RMSE-of-simulation objective for one FMU instance and one dataset.
+pub struct SimulationObjective {
+    fmu: Arc<Fmu>,
+    /// Full parameter vector; estimated entries are overwritten per eval.
+    base_params: Vec<f64>,
+    /// Positions of the estimated parameters within `base_params`.
+    estimated_idx: Vec<usize>,
+    specs: Vec<ParamSpec>,
+    inputs: InputSet,
+    start_state: Vec<f64>,
+    targets: Vec<(usize, Vec<f64>)>, // (result column by name index), measured
+    target_names: Vec<String>,
+    opts: SimulationOptions,
+    evals: AtomicU64,
+}
+
+impl std::fmt::Debug for SimulationObjective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationObjective")
+            .field("model", &self.fmu.name())
+            .field("estimated", &self.specs)
+            .field("targets", &self.target_names)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimulationObjective {
+    /// Build the objective.
+    ///
+    /// * `instance_params` — the instance's current full parameter vector
+    ///   (fixed parameters keep these values during estimation).
+    /// * `pars` — names of the parameters to estimate; they must be
+    ///   parameters with both bounds available (from the meta-data).
+    /// * `data` — the measurement table; columns matching input names feed
+    ///   the simulation, columns matching state/output names are targets.
+    pub fn new(
+        fmu: Arc<Fmu>,
+        instance_params: &[f64],
+        start_state: &[f64],
+        pars: &[String],
+        data: &MeasurementData,
+    ) -> Result<Self, FmiError> {
+        if instance_params.len() != fmu.param_names().len() {
+            return Err(FmiError::Simulation(format!(
+                "instance parameter vector has {} entries, model has {}",
+                instance_params.len(),
+                fmu.param_names().len()
+            )));
+        }
+        let mut estimated_idx = Vec::with_capacity(pars.len());
+        let mut specs = Vec::with_capacity(pars.len());
+        for name in pars {
+            let idx = fmu.param_index(name)?;
+            let var = fmu.description.variable(name)?;
+            let (lower, upper) = match (var.min, var.max) {
+                (Some(lo), Some(hi)) => (lo, hi),
+                _ => {
+                    return Err(FmiError::Simulation(format!(
+                        "parameter '{name}' has no min/max bounds; estimation \
+                         requires a bounded search space"
+                    )))
+                }
+            };
+            estimated_idx.push(idx);
+            specs.push(ParamSpec {
+                name: name.clone(),
+                lower,
+                upper,
+            });
+        }
+
+        // Bind inputs by name (Challenge 2 auto-mapping).
+        let mut series = Vec::new();
+        for input in fmu.input_names() {
+            let col = data.column(input).ok_or_else(|| {
+                FmiError::Simulation(format!(
+                    "measurement data has no column for model input '{input}'"
+                ))
+            })?;
+            let var = fmu.description.variable(input)?;
+            let interp = match var.variability {
+                Variability::Discrete => Interpolation::Hold,
+                _ => Interpolation::Linear,
+            };
+            series.push(InputSeries::new(
+                input.clone(),
+                data.times.clone(),
+                col.to_vec(),
+                interp,
+            )?);
+        }
+        let input_names: Vec<&str> = fmu.input_names().iter().map(|s| s.as_str()).collect();
+        let inputs = InputSet::bind(&input_names, series)?;
+
+        // Calibration targets: measured states and outputs.
+        let mut targets = Vec::new();
+        let mut target_names = Vec::new();
+        for (name, col) in &data.columns {
+            let Ok(var) = fmu.description.variable(name) else {
+                continue;
+            };
+            if matches!(var.causality, Causality::Local | Causality::Output) {
+                targets.push((0usize, col.clone())); // index resolved lazily
+                target_names.push(name.clone());
+            }
+        }
+        if targets.is_empty() {
+            return Err(FmiError::Simulation(
+                "measurement data contains no column matching a model state \
+                 or output — nothing to calibrate against"
+                    .into(),
+            ));
+        }
+
+        // Initial state: if a state variable is measured, start from its
+        // first sample (standard system-identification practice).
+        let mut start_state = start_state.to_vec();
+        for (i, sname) in fmu.state_names().iter().enumerate() {
+            if let Some(col) = data.column(sname) {
+                start_state[i] = col[0];
+            }
+        }
+
+        let opts = SimulationOptions {
+            start: Some(data.times[0]),
+            stop: Some(*data.times.last().unwrap()),
+            output_step: Some(data.step()),
+            ..Default::default()
+        };
+
+        Ok(SimulationObjective {
+            fmu,
+            base_params: instance_params.to_vec(),
+            estimated_idx,
+            specs,
+            inputs,
+            start_state,
+            targets,
+            target_names,
+            opts,
+            evals: AtomicU64::new(0),
+        })
+    }
+
+    /// Simulate with explicit parameter values and return RMSE against the
+    /// measured targets (also used for validation of a final estimate).
+    pub fn rmse_at(&self, params: &[f64]) -> f64 {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        let mut full = self.base_params.clone();
+        for (i, &idx) in self.estimated_idx.iter().enumerate() {
+            full[idx] = params[i];
+        }
+        let mut inst = self.fmu.instantiate();
+        if inst.set_params(&full).is_err() {
+            return 1e9;
+        }
+        for (i, name) in self.fmu.state_names().iter().enumerate() {
+            if inst.set(name, self.start_state[i]).is_err() {
+                return 1e9;
+            }
+        }
+        let result = match inst.simulate(&self.inputs, &self.opts) {
+            Ok(r) => r,
+            Err(_) => return 1e9,
+        };
+        let mut total_sq = 0.0;
+        let mut n = 0usize;
+        for (tname, (_, measured)) in self.target_names.iter().zip(&self.targets) {
+            let Some(sim) = result.series(tname) else {
+                return 1e9;
+            };
+            let m = sim.len().min(measured.len());
+            let r = rmse(&sim[..m], &measured[..m]);
+            total_sq += r * r * m as f64;
+            n += m;
+        }
+        if n == 0 {
+            1e9
+        } else {
+            (total_sq / n as f64).sqrt()
+        }
+    }
+
+    /// The measured target names (for reporting).
+    pub fn target_names(&self) -> &[String] {
+        &self.target_names
+    }
+}
+
+impl Objective for SimulationObjective {
+    fn dim(&self) -> usize {
+        self.specs.len()
+    }
+
+    fn bounds(&self) -> &[ParamSpec] {
+        &self.specs
+    }
+
+    fn eval(&self, params: &[f64]) -> f64 {
+        self.rmse_at(params)
+    }
+
+    fn eval_count(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgfmu_fmi::builtin;
+
+    fn hp1_dataset(cp: f64, r: f64) -> MeasurementData {
+        // Simulate ground truth with known params and use it as "measured".
+        let fmu = Arc::new(builtin::hp1());
+        let mut inst = fmu.instantiate();
+        inst.set("Cp", cp).unwrap();
+        inst.set("R", r).unwrap();
+        let times: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let u: Vec<f64> = times
+            .iter()
+            .map(|t| 0.5 + 0.4 * (t * 0.3).sin())
+            .collect();
+        let series = InputSeries::new(
+            "u",
+            times.clone(),
+            u.clone(),
+            Interpolation::Hold,
+        )
+        .unwrap();
+        let inputs = InputSet::bind(&["u"], vec![series]).unwrap();
+        let res = inst
+            .simulate(
+                &inputs,
+                &SimulationOptions {
+                    start: Some(0.0),
+                    stop: Some(47.0),
+                    output_step: Some(1.0),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        MeasurementData::new(
+            times,
+            vec![
+                ("x".into(), res.series("x").unwrap().to_vec()),
+                ("u".into(), u),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn objective_is_zero_at_ground_truth() {
+        let fmu = Arc::new(builtin::hp1());
+        let inst = fmu.instantiate();
+        let data = hp1_dataset(1.5, 1.5);
+        let obj = SimulationObjective::new(
+            Arc::clone(&fmu),
+            inst.param_values(),
+            inst.start_state(),
+            &["Cp".into(), "R".into()],
+            &data,
+        )
+        .unwrap();
+        let at_truth = obj.eval(&[1.5, 1.5]);
+        assert!(at_truth < 1e-6, "RMSE at truth: {at_truth}");
+        let off = obj.eval(&[2.5, 0.7]);
+        assert!(off > at_truth + 0.01, "off-truth RMSE {off} too small");
+        assert_eq!(obj.eval_count(), 2);
+        assert_eq!(obj.dim(), 2);
+        assert_eq!(obj.bounds()[0].name, "Cp");
+    }
+
+    #[test]
+    fn missing_input_column_errors() {
+        let fmu = Arc::new(builtin::hp1());
+        let inst = fmu.instantiate();
+        let data = MeasurementData::new(
+            vec![0.0, 1.0],
+            vec![("x".into(), vec![20.0, 20.1])],
+        )
+        .unwrap();
+        let err = SimulationObjective::new(
+            Arc::clone(&fmu),
+            inst.param_values(),
+            inst.start_state(),
+            &["Cp".into()],
+            &data,
+        );
+        assert!(err.unwrap_err().to_string().contains("input 'u'"));
+    }
+
+    #[test]
+    fn no_target_column_errors() {
+        let fmu = Arc::new(builtin::hp1());
+        let inst = fmu.instantiate();
+        let data = MeasurementData::new(
+            vec![0.0, 1.0],
+            vec![("u".into(), vec![0.5, 0.5])],
+        )
+        .unwrap();
+        let err = SimulationObjective::new(
+            Arc::clone(&fmu),
+            inst.param_values(),
+            inst.start_state(),
+            &["Cp".into()],
+            &data,
+        );
+        assert!(err
+            .unwrap_err()
+            .to_string()
+            .contains("nothing to calibrate"));
+    }
+
+    #[test]
+    fn unbounded_parameter_rejected() {
+        let fmu = Arc::new(builtin::hp1());
+        let inst = fmu.instantiate();
+        let data = hp1_dataset(1.5, 1.5);
+        // P is a fixed parameter without bounds.
+        let err = SimulationObjective::new(
+            Arc::clone(&fmu),
+            inst.param_values(),
+            inst.start_state(),
+            &["P".into()],
+            &data,
+        );
+        assert!(err.unwrap_err().to_string().contains("bounds"));
+    }
+
+    #[test]
+    fn measurement_data_validation() {
+        assert!(MeasurementData::new(vec![0.0], vec![]).is_err());
+        assert!(MeasurementData::new(vec![0.0, 0.0], vec![]).is_err());
+        assert!(
+            MeasurementData::new(vec![0.0, 1.0], vec![("x".into(), vec![1.0])]).is_err()
+        );
+        assert!(MeasurementData::new(
+            vec![0.0, 1.0],
+            vec![("x".into(), vec![1.0, f64::NAN])]
+        )
+        .is_err());
+        let ok =
+            MeasurementData::new(vec![0.0, 0.5, 1.0], vec![("x".into(), vec![1.0, 2.0, 3.0])])
+                .unwrap();
+        assert_eq!(ok.step(), 0.5);
+        assert_eq!(ok.column("x").unwrap()[2], 3.0);
+        assert!(ok.column("y").is_none());
+    }
+
+    #[test]
+    fn simulation_failure_yields_large_penalty() {
+        let fmu = Arc::new(builtin::hp1());
+        let inst = fmu.instantiate();
+        let data = hp1_dataset(1.5, 1.5);
+        let obj = SimulationObjective::new(
+            Arc::clone(&fmu),
+            inst.param_values(),
+            inst.start_state(),
+            &["Cp".into(), "R".into()],
+            &data,
+        )
+        .unwrap();
+        // Cp near zero makes the system explosively stiff -> penalty.
+        let v = obj.eval(&[1e-9, 1e-9]);
+        assert!(v >= 1e6, "expected penalty, got {v}");
+    }
+}

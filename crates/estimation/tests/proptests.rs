@@ -1,0 +1,126 @@
+//! Property tests for the estimation engine.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pgfmu_estimation::{
+    dissimilarity, estimate_lo, estimate_si, mae, rmse, EstimationConfig, Objective, ParamSpec,
+};
+
+/// Separable quadratic with a configurable center, for closed-form checks.
+struct Quad {
+    bounds: Vec<ParamSpec>,
+    center: Vec<f64>,
+    evals: AtomicU64,
+}
+
+impl Objective for Quad {
+    fn dim(&self) -> usize {
+        self.center.len()
+    }
+    fn bounds(&self) -> &[ParamSpec] {
+        &self.bounds
+    }
+    fn eval(&self, p: &[f64]) -> f64 {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        p.iter()
+            .zip(&self.center)
+            .map(|(x, c)| (x - c) * (x - c))
+            .sum()
+    }
+    fn eval_count(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+}
+
+fn quad(center: Vec<f64>) -> Quad {
+    let bounds = center
+        .iter()
+        .enumerate()
+        .map(|(i, _)| ParamSpec {
+            name: format!("p{i}"),
+            lower: -10.0,
+            upper: 10.0,
+        })
+        .collect();
+    Quad {
+        bounds,
+        center,
+        evals: AtomicU64::new(0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// G+LaG finds the interior optimum of a random quadratic and the
+    /// estimate always stays inside the bounds.
+    #[test]
+    fn si_solves_random_quadratics(
+        cx in -8.0f64..8.0,
+        cy in -8.0f64..8.0,
+        seed in 0u64..1000,
+    ) {
+        let obj = quad(vec![cx, cy]);
+        let cfg = EstimationConfig { seed, ..EstimationConfig::fast() };
+        let out = estimate_si(&obj, &cfg);
+        prop_assert!(out.rmse < 1e-2, "residual {}", out.rmse);
+        for (v, s) in out.params.iter().zip(obj.bounds()) {
+            prop_assert!(*v >= s.lower && *v <= s.upper);
+        }
+    }
+
+    /// LO from any warm start inside the box never ends worse than where
+    /// it started.
+    #[test]
+    fn lo_never_worsens_its_start(
+        cx in -5.0f64..5.0,
+        sx in -9.0f64..9.0,
+        sy in -9.0f64..9.0,
+    ) {
+        let obj = quad(vec![cx, -cx]);
+        let start = vec![sx, sy];
+        let f_start = obj.eval(&start);
+        let out = estimate_lo(&obj, &start, &EstimationConfig::fast());
+        prop_assert!(out.rmse <= f_start + 1e-12);
+    }
+
+    /// RMSE dominates MAE (Cauchy–Schwarz) and both are shift-invariant.
+    #[test]
+    fn rmse_dominates_mae(
+        values in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..50),
+        shift in -10.0f64..10.0,
+    ) {
+        let a: Vec<f64> = values.iter().map(|(x, _)| *x).collect();
+        let b: Vec<f64> = values.iter().map(|(_, y)| *y).collect();
+        prop_assert!(rmse(&a, &b) + 1e-12 >= mae(&a, &b));
+        let a2: Vec<f64> = a.iter().map(|v| v + shift).collect();
+        let b2: Vec<f64> = b.iter().map(|v| v + shift).collect();
+        prop_assert!((rmse(&a2, &b2) - rmse(&a, &b)).abs() < 1e-9);
+    }
+
+    /// Dissimilarity is zero iff the series are identical, and symmetric
+    /// up to reference normalization for same-norm inputs.
+    #[test]
+    fn dissimilarity_identity(series in proptest::collection::vec(1.0f64..100.0, 2..40)) {
+        let d = dissimilarity(
+            std::slice::from_ref(&series),
+            std::slice::from_ref(&series),
+        );
+        prop_assert!(d.abs() < 1e-12);
+    }
+
+    /// Scaling a series by delta yields |delta - 1| dissimilarity.
+    #[test]
+    fn dissimilarity_of_scaling(
+        series in proptest::collection::vec(1.0f64..100.0, 2..40),
+        delta in 0.5f64..1.5,
+    ) {
+        let scaled: Vec<f64> = series.iter().map(|v| v * delta).collect();
+        let d = dissimilarity(
+            std::slice::from_ref(&scaled),
+            std::slice::from_ref(&series),
+        );
+        prop_assert!((d - (delta - 1.0).abs()).abs() < 1e-9, "d={d} delta={delta}");
+    }
+}

@@ -1,0 +1,656 @@
+//! Binary FMU container — the substrate's `.fmu` file format.
+//!
+//! Real FMUs are zip archives holding `modelDescription.xml` plus compiled
+//! binaries. Our container serializes the [`ModelDescription`] and the
+//! equation IR into a single length-prefixed binary record protected by a
+//! CRC-32 checksum, so pgFMU's non-volatile *FMU storage* (paper Figure 4)
+//! can persist and reload models byte-exactly.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   : 8 bytes  b"PGFMUARC"
+//! version : u16      format version (currently 1)
+//! length  : u32      payload byte count
+//! payload : ...      model description + equation system
+//! crc32   : u32      IEEE CRC-32 of the payload
+//! ```
+//!
+//! Expressions are encoded in postfix order so decoding is a simple stack
+//! machine with O(nodes) work and explicit depth/size limits.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{FmiError, Result};
+use crate::expr::{BinOp, Expr, UnaryOp};
+use crate::fmu::Fmu;
+use crate::model_description::{
+    Causality, DefaultExperiment, ModelDescription, ScalarVariable, VarType, Variability,
+};
+use crate::system::EquationSystem;
+
+const MAGIC: &[u8; 8] = b"PGFMUARC";
+const VERSION: u16 = 1;
+/// Hard sanity limits so corrupt files fail fast instead of allocating.
+const MAX_STRING: usize = 1 << 20;
+const MAX_VARS: usize = 100_000;
+const MAX_EXPR_NODES: usize = 1_000_000;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial), table-driven.
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of a byte slice (IEEE polynomial, as used by zip/png).
+pub fn crc32(data: &[u8]) -> u32 {
+    // The table is tiny; recomputing it per call keeps the code dependency-
+    // free. Archive encode/decode happens once per model, never per-step.
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoders / decoders
+// ---------------------------------------------------------------------------
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(truncated());
+    }
+    let len = buf.get_u32_le() as usize;
+    if len > MAX_STRING || buf.remaining() < len {
+        return Err(FmiError::Archive(format!(
+            "string length {len} exceeds remaining bytes"
+        )));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec())
+        .map_err(|_| FmiError::Archive("string is not valid UTF-8".into()))
+}
+
+fn get_f64(buf: &mut Bytes) -> Result<f64> {
+    if buf.remaining() < 8 {
+        return Err(truncated());
+    }
+    Ok(buf.get_f64_le())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(truncated());
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8> {
+    if !buf.has_remaining() {
+        return Err(truncated());
+    }
+    Ok(buf.get_u8())
+}
+
+fn truncated() -> FmiError {
+    FmiError::Archive("unexpected end of archive".into())
+}
+
+// ---------------------------------------------------------------------------
+// Expression codec (postfix byte stream)
+// ---------------------------------------------------------------------------
+
+const OP_CONST: u8 = 0x01;
+const OP_TIME: u8 = 0x02;
+const OP_STATE: u8 = 0x03;
+const OP_INPUT: u8 = 0x04;
+const OP_PARAM: u8 = 0x05;
+const OP_UNARY_BASE: u8 = 0x10;
+const OP_BINARY_BASE: u8 = 0x20;
+const OP_IF: u8 = 0x40;
+
+fn unary_code(op: UnaryOp) -> u8 {
+    match op {
+        UnaryOp::Neg => 0,
+        UnaryOp::Abs => 1,
+        UnaryOp::Sin => 2,
+        UnaryOp::Cos => 3,
+        UnaryOp::Tan => 4,
+        UnaryOp::Exp => 5,
+        UnaryOp::Ln => 6,
+        UnaryOp::Sqrt => 7,
+    }
+}
+
+fn unary_from(code: u8) -> Result<UnaryOp> {
+    Ok(match code {
+        0 => UnaryOp::Neg,
+        1 => UnaryOp::Abs,
+        2 => UnaryOp::Sin,
+        3 => UnaryOp::Cos,
+        4 => UnaryOp::Tan,
+        5 => UnaryOp::Exp,
+        6 => UnaryOp::Ln,
+        7 => UnaryOp::Sqrt,
+        _ => return Err(FmiError::Archive(format!("bad unary opcode {code}"))),
+    })
+}
+
+fn binary_code(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Pow => 4,
+        BinOp::Min => 5,
+        BinOp::Max => 6,
+        BinOp::Lt => 7,
+        BinOp::Le => 8,
+        BinOp::Gt => 9,
+        BinOp::Ge => 10,
+    }
+}
+
+fn binary_from(code: u8) -> Result<BinOp> {
+    Ok(match code {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Pow,
+        5 => BinOp::Min,
+        6 => BinOp::Max,
+        7 => BinOp::Lt,
+        8 => BinOp::Le,
+        9 => BinOp::Gt,
+        10 => BinOp::Ge,
+        _ => return Err(FmiError::Archive(format!("bad binary opcode {code}"))),
+    })
+}
+
+fn put_expr(buf: &mut BytesMut, e: &Expr) {
+    match e {
+        Expr::Const(v) => {
+            buf.put_u8(OP_CONST);
+            buf.put_f64_le(*v);
+        }
+        Expr::Time => buf.put_u8(OP_TIME),
+        Expr::State(i) => {
+            buf.put_u8(OP_STATE);
+            buf.put_u32_le(*i as u32);
+        }
+        Expr::Input(i) => {
+            buf.put_u8(OP_INPUT);
+            buf.put_u32_le(*i as u32);
+        }
+        Expr::Param(i) => {
+            buf.put_u8(OP_PARAM);
+            buf.put_u32_le(*i as u32);
+        }
+        Expr::Unary(op, a) => {
+            put_expr(buf, a);
+            buf.put_u8(OP_UNARY_BASE + unary_code(*op));
+        }
+        Expr::Binary(op, a, b) => {
+            put_expr(buf, a);
+            put_expr(buf, b);
+            buf.put_u8(OP_BINARY_BASE + binary_code(*op));
+        }
+        Expr::If(c, a, b) => {
+            put_expr(buf, c);
+            put_expr(buf, a);
+            put_expr(buf, b);
+            buf.put_u8(OP_IF);
+        }
+    }
+}
+
+fn encode_expr(buf: &mut BytesMut, e: &Expr) {
+    buf.put_u32_le(e.node_count() as u32);
+    put_expr(buf, e);
+}
+
+fn decode_expr(buf: &mut Bytes) -> Result<Expr> {
+    let nodes = get_u32(buf)? as usize;
+    if nodes == 0 || nodes > MAX_EXPR_NODES {
+        return Err(FmiError::Archive(format!(
+            "implausible expression node count {nodes}"
+        )));
+    }
+    let mut stack: Vec<Expr> = Vec::with_capacity(16);
+    for _ in 0..nodes {
+        let op = get_u8(buf)?;
+        match op {
+            OP_CONST => stack.push(Expr::Const(get_f64(buf)?)),
+            OP_TIME => stack.push(Expr::Time),
+            OP_STATE => stack.push(Expr::State(get_u32(buf)? as usize)),
+            OP_INPUT => stack.push(Expr::Input(get_u32(buf)? as usize)),
+            OP_PARAM => stack.push(Expr::Param(get_u32(buf)? as usize)),
+            OP_IF => {
+                let b = stack.pop().ok_or_else(stack_underflow)?;
+                let a = stack.pop().ok_or_else(stack_underflow)?;
+                let c = stack.pop().ok_or_else(stack_underflow)?;
+                stack.push(Expr::If(Box::new(c), Box::new(a), Box::new(b)));
+            }
+            x if (OP_UNARY_BASE..OP_UNARY_BASE + 8).contains(&x) => {
+                let a = stack.pop().ok_or_else(stack_underflow)?;
+                stack.push(Expr::Unary(unary_from(x - OP_UNARY_BASE)?, Box::new(a)));
+            }
+            x if (OP_BINARY_BASE..OP_BINARY_BASE + 11).contains(&x) => {
+                let b = stack.pop().ok_or_else(stack_underflow)?;
+                let a = stack.pop().ok_or_else(stack_underflow)?;
+                stack.push(Expr::Binary(
+                    binary_from(x - OP_BINARY_BASE)?,
+                    Box::new(a),
+                    Box::new(b),
+                ));
+            }
+            other => {
+                return Err(FmiError::Archive(format!("unknown opcode 0x{other:02x}")));
+            }
+        }
+    }
+    if stack.len() != 1 {
+        return Err(FmiError::Archive(format!(
+            "malformed expression: {} values left on decode stack",
+            stack.len()
+        )));
+    }
+    Ok(stack.pop().unwrap())
+}
+
+fn stack_underflow() -> FmiError {
+    FmiError::Archive("expression decode stack underflow".into())
+}
+
+// ---------------------------------------------------------------------------
+// Variable / description codec
+// ---------------------------------------------------------------------------
+
+fn causality_code(c: Causality) -> u8 {
+    match c {
+        Causality::Parameter => 0,
+        Causality::Input => 1,
+        Causality::Output => 2,
+        Causality::Local => 3,
+    }
+}
+
+fn causality_from(code: u8) -> Result<Causality> {
+    Ok(match code {
+        0 => Causality::Parameter,
+        1 => Causality::Input,
+        2 => Causality::Output,
+        3 => Causality::Local,
+        _ => return Err(FmiError::Archive(format!("bad causality code {code}"))),
+    })
+}
+
+fn variability_code(v: Variability) -> u8 {
+    match v {
+        Variability::Fixed => 0,
+        Variability::Tunable => 1,
+        Variability::Discrete => 2,
+        Variability::Continuous => 3,
+    }
+}
+
+fn variability_from(code: u8) -> Result<Variability> {
+    Ok(match code {
+        0 => Variability::Fixed,
+        1 => Variability::Tunable,
+        2 => Variability::Discrete,
+        3 => Variability::Continuous,
+        _ => return Err(FmiError::Archive(format!("bad variability code {code}"))),
+    })
+}
+
+fn var_type_code(t: VarType) -> u8 {
+    match t {
+        VarType::Real => 0,
+        VarType::Integer => 1,
+        VarType::Boolean => 2,
+    }
+}
+
+fn var_type_from(code: u8) -> Result<VarType> {
+    Ok(match code {
+        0 => VarType::Real,
+        1 => VarType::Integer,
+        2 => VarType::Boolean,
+        _ => return Err(FmiError::Archive(format!("bad var type code {code}"))),
+    })
+}
+
+fn put_variable(buf: &mut BytesMut, v: &ScalarVariable) {
+    put_string(buf, &v.name);
+    put_string(buf, &v.unit);
+    put_string(buf, &v.description);
+    buf.put_u8(causality_code(v.causality));
+    buf.put_u8(variability_code(v.variability));
+    buf.put_u8(var_type_code(v.var_type));
+    let flags = (v.start.is_some() as u8)
+        | ((v.min.is_some() as u8) << 1)
+        | ((v.max.is_some() as u8) << 2);
+    buf.put_u8(flags);
+    if let Some(s) = v.start {
+        buf.put_f64_le(s);
+    }
+    if let Some(m) = v.min {
+        buf.put_f64_le(m);
+    }
+    if let Some(m) = v.max {
+        buf.put_f64_le(m);
+    }
+}
+
+fn get_variable(buf: &mut Bytes) -> Result<ScalarVariable> {
+    let name = get_string(buf)?;
+    let unit = get_string(buf)?;
+    let description = get_string(buf)?;
+    let causality = causality_from(get_u8(buf)?)?;
+    let variability = variability_from(get_u8(buf)?)?;
+    let var_type = var_type_from(get_u8(buf)?)?;
+    let flags = get_u8(buf)?;
+    let start = if flags & 1 != 0 {
+        Some(get_f64(buf)?)
+    } else {
+        None
+    };
+    let min = if flags & 2 != 0 {
+        Some(get_f64(buf)?)
+    } else {
+        None
+    };
+    let max = if flags & 4 != 0 {
+        Some(get_f64(buf)?)
+    } else {
+        None
+    };
+    Ok(ScalarVariable {
+        name,
+        causality,
+        variability,
+        var_type,
+        start,
+        min,
+        max,
+        unit,
+        description,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Serialize an FMU into its binary archive representation.
+pub fn encode(fmu: &Fmu) -> Vec<u8> {
+    let mut payload = BytesMut::with_capacity(4096);
+    let md = &fmu.description;
+    put_string(&mut payload, &md.model_name);
+    put_string(&mut payload, &md.description);
+    put_string(&mut payload, &md.generation_tool);
+    let de = md.default_experiment;
+    payload.put_f64_le(de.start_time);
+    payload.put_f64_le(de.stop_time);
+    payload.put_f64_le(de.tolerance);
+    payload.put_f64_le(de.step_size);
+    payload.put_u32_le(md.variables.len() as u32);
+    for v in &md.variables {
+        put_variable(&mut payload, v);
+    }
+    let sys = &fmu.system;
+    payload.put_u32_le(sys.n_states() as u32);
+    payload.put_u32_le(sys.n_inputs() as u32);
+    payload.put_u32_le(sys.n_params() as u32);
+    payload.put_u32_le(sys.ders().len() as u32);
+    for e in sys.ders() {
+        encode_expr(&mut payload, e);
+    }
+    payload.put_u32_le(sys.outs().len() as u32);
+    for e in sys.outs() {
+        encode_expr(&mut payload, e);
+    }
+
+    let mut out = BytesMut::with_capacity(payload.len() + 18);
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u32_le(payload.len() as u32);
+    let checksum = crc32(&payload);
+    out.put_slice(&payload);
+    out.put_u32_le(checksum);
+    out.to_vec()
+}
+
+/// Deserialize an FMU from its binary archive representation, verifying
+/// magic, version, length and checksum.
+pub fn decode(data: &[u8]) -> Result<Fmu> {
+    if data.len() < MAGIC.len() + 2 + 4 + 4 {
+        return Err(FmiError::Archive("archive too small".into()));
+    }
+    if &data[..8] != MAGIC {
+        return Err(FmiError::Archive("bad magic; not a pgFMU archive".into()));
+    }
+    let mut hdr = Bytes::copy_from_slice(&data[8..14]);
+    let version = hdr.get_u16_le();
+    if version != VERSION {
+        return Err(FmiError::Archive(format!(
+            "unsupported archive version {version}"
+        )));
+    }
+    let len = hdr.get_u32_le() as usize;
+    let body_start = 14;
+    if data.len() != body_start + len + 4 {
+        return Err(FmiError::Archive(format!(
+            "length mismatch: header says {len} payload bytes, file has {}",
+            data.len().saturating_sub(body_start + 4)
+        )));
+    }
+    let payload = &data[body_start..body_start + len];
+    let mut tail = Bytes::copy_from_slice(&data[body_start + len..]);
+    let stored_crc = tail.get_u32_le();
+    let actual_crc = crc32(payload);
+    if stored_crc != actual_crc {
+        return Err(FmiError::Archive(format!(
+            "checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+        )));
+    }
+
+    let mut buf = Bytes::copy_from_slice(payload);
+    let model_name = get_string(&mut buf)?;
+    let description_text = get_string(&mut buf)?;
+    let generation_tool = get_string(&mut buf)?;
+    let default_experiment = DefaultExperiment {
+        start_time: get_f64(&mut buf)?,
+        stop_time: get_f64(&mut buf)?,
+        tolerance: get_f64(&mut buf)?,
+        step_size: get_f64(&mut buf)?,
+    };
+    let n_vars = get_u32(&mut buf)? as usize;
+    if n_vars > MAX_VARS {
+        return Err(FmiError::Archive(format!(
+            "implausible variable count {n_vars}"
+        )));
+    }
+    let mut variables = Vec::with_capacity(n_vars);
+    for _ in 0..n_vars {
+        variables.push(get_variable(&mut buf)?);
+    }
+    let n_states = get_u32(&mut buf)? as usize;
+    let n_inputs = get_u32(&mut buf)? as usize;
+    let n_params = get_u32(&mut buf)? as usize;
+    let n_ders = get_u32(&mut buf)? as usize;
+    if n_ders > MAX_VARS {
+        return Err(FmiError::Archive("implausible equation count".into()));
+    }
+    let mut ders = Vec::with_capacity(n_ders);
+    for _ in 0..n_ders {
+        ders.push(decode_expr(&mut buf)?);
+    }
+    let n_outs = get_u32(&mut buf)? as usize;
+    if n_outs > MAX_VARS {
+        return Err(FmiError::Archive("implausible output count".into()));
+    }
+    let mut outs = Vec::with_capacity(n_outs);
+    for _ in 0..n_outs {
+        outs.push(decode_expr(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(FmiError::Archive(format!(
+            "{} trailing bytes after payload",
+            buf.remaining()
+        )));
+    }
+
+    let md = ModelDescription {
+        model_name,
+        description: description_text,
+        generation_tool,
+        variables,
+        default_experiment,
+    };
+    let system = EquationSystem::new(n_states, n_inputs, n_params, ders, outs)?;
+    Fmu::new(md, system)
+}
+
+/// Write an FMU archive to disk.
+pub fn write_to_path(fmu: &Fmu, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, encode(fmu))?;
+    Ok(())
+}
+
+/// Read an FMU archive from disk.
+pub fn read_from_path(path: &std::path::Path) -> Result<Fmu> {
+    let data = std::fs::read(path)?;
+    decode(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector for IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_all_builtins() {
+        for fmu in [
+            builtin::hp0(),
+            builtin::hp1(),
+            builtin::classroom(),
+            builtin::heatpump_abcde(),
+        ] {
+            let bytes = encode(&fmu);
+            let back = decode(&bytes).unwrap();
+            assert_eq!(back, fmu);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode(&builtin::hp1());
+        bytes[0] = b'X';
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = encode(&builtin::hp1());
+        bytes[8] = 99;
+        let err = decode(&bytes).unwrap_err().to_string();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn rejects_corrupt_payload() {
+        let mut bytes = encode(&builtin::hp1());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let err = decode(&bytes).unwrap_err().to_string();
+        assert!(
+            err.contains("checksum") || err.contains("archive"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = encode(&builtin::hp1());
+        for cut in [0, 5, 13, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = encode(&builtin::hp1());
+        bytes.extend_from_slice(b"junk");
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pgfmu-archive-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hp1.fmu");
+        let fmu = builtin::hp1();
+        write_to_path(&fmu, &path).unwrap();
+        let back = read_from_path(&path).unwrap();
+        assert_eq!(back, fmu);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decoded_model_simulates_identically() {
+        use crate::fmu::SimulationOptions;
+        use crate::input::{InputSeries, InputSet, Interpolation};
+        use std::sync::Arc;
+
+        let original = Arc::new(builtin::hp1());
+        let decoded = Arc::new(decode(&encode(&original)).unwrap());
+        let series = InputSeries::new(
+            "u",
+            vec![0.0, 12.0, 24.0],
+            vec![0.2, 0.8, 0.5],
+            Interpolation::Hold,
+        )
+        .unwrap();
+        let inputs = InputSet::bind(&["u"], vec![series]).unwrap();
+        let opts = SimulationOptions::default();
+        let a = original.instantiate().simulate(&inputs, &opts).unwrap();
+        let b = decoded.instantiate().simulate(&inputs, &opts).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared by all FMI substrate operations.
+
+use std::fmt;
+
+/// Convenient alias used across the crate.
+pub type Result<T> = std::result::Result<T, FmiError>;
+
+/// Errors raised by model construction, instantiation, simulation and
+/// archive (de)serialization.
+#[derive(Debug)]
+pub enum FmiError {
+    /// A variable name was not found in the model description.
+    UnknownVariable(String),
+    /// An operation was attempted on a variable whose causality forbids it
+    /// (e.g. assigning a value to an output).
+    CausalityViolation { variable: String, reason: String },
+    /// The model definition itself is inconsistent (duplicate names,
+    /// mismatched equation counts, bounds with `min > max`, …).
+    InvalidModel(String),
+    /// Simulation could not proceed (missing input series, non-finite
+    /// state, empty/invalid time window, solver step failure).
+    Simulation(String),
+    /// An FMU archive could not be encoded or decoded.
+    Archive(String),
+    /// Underlying I/O failure when touching FMU storage.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FmiError::UnknownVariable(name) => write!(f, "unknown model variable '{name}'"),
+            FmiError::CausalityViolation { variable, reason } => {
+                write!(f, "causality violation on '{variable}': {reason}")
+            }
+            FmiError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            FmiError::Simulation(msg) => write!(f, "simulation error: {msg}"),
+            FmiError::Archive(msg) => write!(f, "FMU archive error: {msg}"),
+            FmiError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FmiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FmiError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FmiError {
+    fn from(e: std::io::Error) -> Self {
+        FmiError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = FmiError::UnknownVariable("Cp".into());
+        assert_eq!(e.to_string(), "unknown model variable 'Cp'");
+        let e = FmiError::CausalityViolation {
+            variable: "y".into(),
+            reason: "outputs are read-only".into(),
+        };
+        assert!(e.to_string().contains("causality violation on 'y'"));
+        let e = FmiError::Simulation("no input series for 'u'".into());
+        assert!(e.to_string().contains("simulation error"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: FmiError = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,356 @@
+//! Serializable expression IR in which model equations are written.
+//!
+//! The Modelica-subset compiler (`pgfmu-modelica`) lowers equations such as
+//! `der(x) = A*x + B*u + E` into [`Expr`] trees referencing states, inputs
+//! and parameters *by index* so evaluation is allocation-free and the IR can
+//! be stored inside an FMU archive.
+
+use crate::error::{FmiError, Result};
+
+/// Unary operators and intrinsic functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Sine (argument in radians).
+    Sin,
+    /// Cosine (argument in radians).
+    Cos,
+    /// Tangent (argument in radians).
+    Tan,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Ln,
+    /// Square root.
+    Sqrt,
+}
+
+/// Binary operators. Comparison operators evaluate to `1.0` (true) or
+/// `0.0` (false) so they can feed [`Expr::If`] conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Exponentiation (`^` in Modelica).
+    Pow,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+    /// Less-than comparison.
+    Lt,
+    /// Less-or-equal comparison.
+    Le,
+    /// Greater-than comparison.
+    Gt,
+    /// Greater-or-equal comparison.
+    Ge,
+}
+
+/// An expression over model quantities at a time instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    Const(f64),
+    /// The independent variable (simulation time, hours).
+    Time,
+    /// The `i`-th continuous state.
+    State(usize),
+    /// The `i`-th input.
+    Input(usize),
+    /// The `i`-th parameter.
+    Param(usize),
+    /// Unary operator application.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional: `if cond > 0.5 then a else b`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Evaluation context: slices over the current state, input and parameter
+/// vectors plus the current time.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalCtx<'a> {
+    /// Current simulation time (hours).
+    pub t: f64,
+    /// State vector.
+    pub x: &'a [f64],
+    /// Input vector.
+    pub u: &'a [f64],
+    /// Parameter vector.
+    pub p: &'a [f64],
+}
+
+impl Expr {
+    /// Evaluate the expression in the given context.
+    ///
+    /// Out-of-range indices yield `NaN` rather than panicking; models are
+    /// index-checked once at construction via [`Expr::check_indices`].
+    pub fn eval(&self, ctx: &EvalCtx<'_>) -> f64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Time => ctx.t,
+            Expr::State(i) => ctx.x.get(*i).copied().unwrap_or(f64::NAN),
+            Expr::Input(i) => ctx.u.get(*i).copied().unwrap_or(f64::NAN),
+            Expr::Param(i) => ctx.p.get(*i).copied().unwrap_or(f64::NAN),
+            Expr::Unary(op, a) => {
+                let a = a.eval(ctx);
+                match op {
+                    UnaryOp::Neg => -a,
+                    UnaryOp::Abs => a.abs(),
+                    UnaryOp::Sin => a.sin(),
+                    UnaryOp::Cos => a.cos(),
+                    UnaryOp::Tan => a.tan(),
+                    UnaryOp::Exp => a.exp(),
+                    UnaryOp::Ln => a.ln(),
+                    UnaryOp::Sqrt => a.sqrt(),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let a = a.eval(ctx);
+                let b = b.eval(ctx);
+                match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Pow => a.powf(b),
+                    BinOp::Min => a.min(b),
+                    BinOp::Max => a.max(b),
+                    BinOp::Lt => f64::from(a < b),
+                    BinOp::Le => f64::from(a <= b),
+                    BinOp::Gt => f64::from(a > b),
+                    BinOp::Ge => f64::from(a >= b),
+                }
+            }
+            Expr::If(c, a, b) => {
+                if c.eval(ctx) > 0.5 {
+                    a.eval(ctx)
+                } else {
+                    b.eval(ctx)
+                }
+            }
+        }
+    }
+
+    /// Verify every index reference fits the given dimensions.
+    pub fn check_indices(&self, n_states: usize, n_inputs: usize, n_params: usize) -> Result<()> {
+        match self {
+            Expr::Const(_) | Expr::Time => Ok(()),
+            Expr::State(i) => {
+                if *i < n_states {
+                    Ok(())
+                } else {
+                    Err(FmiError::InvalidModel(format!(
+                        "state index {i} out of range (n_states={n_states})"
+                    )))
+                }
+            }
+            Expr::Input(i) => {
+                if *i < n_inputs {
+                    Ok(())
+                } else {
+                    Err(FmiError::InvalidModel(format!(
+                        "input index {i} out of range (n_inputs={n_inputs})"
+                    )))
+                }
+            }
+            Expr::Param(i) => {
+                if *i < n_params {
+                    Ok(())
+                } else {
+                    Err(FmiError::InvalidModel(format!(
+                        "parameter index {i} out of range (n_params={n_params})"
+                    )))
+                }
+            }
+            Expr::Unary(_, a) => a.check_indices(n_states, n_inputs, n_params),
+            Expr::Binary(_, a, b) => {
+                a.check_indices(n_states, n_inputs, n_params)?;
+                b.check_indices(n_states, n_inputs, n_params)
+            }
+            Expr::If(c, a, b) => {
+                c.check_indices(n_states, n_inputs, n_params)?;
+                a.check_indices(n_states, n_inputs, n_params)?;
+                b.check_indices(n_states, n_inputs, n_params)
+            }
+        }
+    }
+
+    /// Number of nodes in the expression tree (used for archive sanity
+    /// limits and by tests).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Time | Expr::State(_) | Expr::Input(_) | Expr::Param(_) => 1,
+            Expr::Unary(_, a) => 1 + a.node_count(),
+            Expr::Binary(_, a, b) => 1 + a.node_count() + b.node_count(),
+            Expr::If(c, a, b) => 1 + c.node_count() + a.node_count() + b.node_count(),
+        }
+    }
+}
+
+/// Convenience constructors used by the compiler and the builtin models.
+impl Expr {
+    /// `a + b`
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(a), Box::new(b))
+    }
+    /// `a - b`
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+    /// `a * b`
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+    /// `a / b`
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Div, Box::new(a), Box::new(b))
+    }
+    /// `-a`
+    pub fn neg(a: Expr) -> Expr {
+        Expr::Unary(UnaryOp::Neg, Box::new(a))
+    }
+    /// Literal.
+    pub fn c(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+    /// Sum of several terms (empty sum is `0`).
+    pub fn sum(terms: Vec<Expr>) -> Expr {
+        let mut it = terms.into_iter();
+        match it.next() {
+            None => Expr::Const(0.0),
+            Some(first) => it.fold(first, Expr::add),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(t: f64, x: &'a [f64], u: &'a [f64], p: &'a [f64]) -> EvalCtx<'a> {
+        EvalCtx { t, x, u, p }
+    }
+
+    #[test]
+    fn arithmetic_evaluation() {
+        // A*x + B*u + E with A=p0, B=p1, E=p2
+        let e = Expr::sum(vec![
+            Expr::mul(Expr::Param(0), Expr::State(0)),
+            Expr::mul(Expr::Param(1), Expr::Input(0)),
+            Expr::Param(2),
+        ]);
+        let v = e.eval(&ctx(0.0, &[20.0], &[0.5], &[-0.444, 13.78, -4.444]));
+        let expected = -0.444 * 20.0 + 13.78 * 0.5 + -4.444;
+        assert!((v - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unary_functions() {
+        let x = [2.0];
+        let cases: &[(UnaryOp, f64)] = &[
+            (UnaryOp::Neg, -2.0),
+            (UnaryOp::Abs, 2.0),
+            (UnaryOp::Sin, 2.0_f64.sin()),
+            (UnaryOp::Cos, 2.0_f64.cos()),
+            (UnaryOp::Tan, 2.0_f64.tan()),
+            (UnaryOp::Exp, 2.0_f64.exp()),
+            (UnaryOp::Ln, 2.0_f64.ln()),
+            (UnaryOp::Sqrt, 2.0_f64.sqrt()),
+        ];
+        for (op, want) in cases {
+            let e = Expr::Unary(*op, Box::new(Expr::State(0)));
+            assert!((e.eval(&ctx(0.0, &x, &[], &[])) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn comparisons_and_if() {
+        let e = Expr::If(
+            Box::new(Expr::Binary(
+                BinOp::Gt,
+                Box::new(Expr::State(0)),
+                Box::new(Expr::Const(21.0)),
+            )),
+            Box::new(Expr::Const(0.0)),
+            Box::new(Expr::Const(1.0)),
+        );
+        // Thermostat: heat off above 21 degrees.
+        assert_eq!(e.eval(&ctx(0.0, &[22.0], &[], &[])), 0.0);
+        assert_eq!(e.eval(&ctx(0.0, &[19.0], &[], &[])), 1.0);
+    }
+
+    #[test]
+    fn min_max_pow() {
+        let e = Expr::Binary(
+            BinOp::Max,
+            Box::new(Expr::Const(0.0)),
+            Box::new(Expr::Binary(
+                BinOp::Min,
+                Box::new(Expr::Input(0)),
+                Box::new(Expr::Const(1.0)),
+            )),
+        );
+        // clamp(u, 0, 1)
+        assert_eq!(e.eval(&ctx(0.0, &[], &[1.7], &[])), 1.0);
+        assert_eq!(e.eval(&ctx(0.0, &[], &[-0.3], &[])), 0.0);
+        assert_eq!(e.eval(&ctx(0.0, &[], &[0.42], &[])), 0.42);
+
+        let p = Expr::Binary(
+            BinOp::Pow,
+            Box::new(Expr::Const(2.0)),
+            Box::new(Expr::Const(10.0)),
+        );
+        assert_eq!(p.eval(&ctx(0.0, &[], &[], &[])), 1024.0);
+    }
+
+    #[test]
+    fn time_reference() {
+        let e = Expr::mul(Expr::Time, Expr::c(2.0));
+        assert_eq!(e.eval(&ctx(3.5, &[], &[], &[])), 7.0);
+    }
+
+    #[test]
+    fn out_of_range_index_is_nan_at_eval_and_error_at_check() {
+        let e = Expr::State(3);
+        assert!(e.eval(&ctx(0.0, &[1.0], &[], &[])).is_nan());
+        assert!(e.check_indices(1, 0, 0).is_err());
+        assert!(Expr::Input(0).check_indices(0, 0, 0).is_err());
+        assert!(Expr::Param(2).check_indices(0, 0, 2).is_err());
+        assert!(Expr::Param(1).check_indices(0, 0, 2).is_ok());
+    }
+
+    #[test]
+    fn nested_check_indices() {
+        let e = Expr::If(
+            Box::new(Expr::State(0)),
+            Box::new(Expr::Input(5)),
+            Box::new(Expr::Const(0.0)),
+        );
+        assert!(e.check_indices(1, 2, 0).is_err());
+        let ok = Expr::add(Expr::State(0), Expr::Input(1));
+        assert!(ok.check_indices(1, 2, 0).is_ok());
+    }
+
+    #[test]
+    fn node_count_counts_all_nodes() {
+        let e = Expr::add(Expr::mul(Expr::c(1.0), Expr::c(2.0)), Expr::Time);
+        assert_eq!(e.node_count(), 5);
+    }
+
+    #[test]
+    fn sum_of_empty_is_zero() {
+        assert_eq!(Expr::sum(vec![]).eval(&ctx(0.0, &[], &[], &[])), 0.0);
+    }
+}

@@ -1,0 +1,696 @@
+//! Compiled models ([`Fmu`]) and their instantiations ([`FmuInstance`]) —
+//! the substrate's equivalent of PyFMI's `load_fmu(...)` object model.
+//!
+//! An [`Fmu`] is immutable once built: meta-data plus equations. pgFMU keeps
+//! exactly one loaded `Fmu` per model UUID in FMU storage and represents
+//! instances as catalogue rows; here an [`FmuInstance`] is the in-memory
+//! realization of such a row — the shared `Arc<Fmu>` plus per-instance
+//! parameter values and state start values.
+
+use std::sync::Arc;
+
+use crate::error::{FmiError, Result};
+use crate::input::InputSet;
+use crate::model_description::{Causality, ModelDescription};
+use crate::solver::SolverKind;
+use crate::system::EquationSystem;
+
+/// A compiled, immutable physical model: meta-data + equations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fmu {
+    /// FMU meta-data ("modelDescription.xml").
+    pub description: ModelDescription,
+    /// Model equations.
+    pub system: EquationSystem,
+    states: Vec<String>,
+    inputs: Vec<String>,
+    params: Vec<String>,
+    outputs: Vec<String>,
+}
+
+impl Fmu {
+    /// Assemble an FMU from meta-data and equations, checking that the
+    /// declared variables line up with the equation-system dimensions.
+    ///
+    /// Index alignment rule: the `i`-th state/input/parameter/output in
+    /// *declaration order* of `description.variables` corresponds to index
+    /// `i` in the equation system.
+    pub fn new(description: ModelDescription, system: EquationSystem) -> Result<Self> {
+        description.validate()?;
+        let states: Vec<String> = description
+            .names_with_causality(Causality::Local)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let inputs: Vec<String> = description
+            .names_with_causality(Causality::Input)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let params: Vec<String> = description
+            .names_with_causality(Causality::Parameter)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let outputs: Vec<String> = description
+            .names_with_causality(Causality::Output)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        if states.len() != system.n_states() {
+            return Err(FmiError::InvalidModel(format!(
+                "{} state variables declared but equation system has {}",
+                states.len(),
+                system.n_states()
+            )));
+        }
+        if inputs.len() != system.n_inputs() {
+            return Err(FmiError::InvalidModel(format!(
+                "{} input variables declared but equation system has {}",
+                inputs.len(),
+                system.n_inputs()
+            )));
+        }
+        if params.len() != system.n_params() {
+            return Err(FmiError::InvalidModel(format!(
+                "{} parameters declared but equation system has {}",
+                params.len(),
+                system.n_params()
+            )));
+        }
+        if outputs.len() != system.n_outputs() {
+            return Err(FmiError::InvalidModel(format!(
+                "{} output variables declared but equation system has {}",
+                outputs.len(),
+                system.n_outputs()
+            )));
+        }
+        Ok(Fmu {
+            description,
+            system,
+            states,
+            inputs,
+            params,
+            outputs,
+        })
+    }
+
+    /// Model (class) name.
+    pub fn name(&self) -> &str {
+        &self.description.model_name
+    }
+
+    /// State variable names in equation-index order.
+    pub fn state_names(&self) -> &[String] {
+        &self.states
+    }
+    /// Input variable names in equation-index order.
+    pub fn input_names(&self) -> &[String] {
+        &self.inputs
+    }
+    /// Parameter names in equation-index order.
+    pub fn param_names(&self) -> &[String] {
+        &self.params
+    }
+    /// Output variable names in equation-index order.
+    pub fn output_names(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// Index of a parameter by name.
+    pub fn param_index(&self, name: &str) -> Result<usize> {
+        self.params
+            .iter()
+            .position(|p| p == name)
+            .ok_or_else(|| FmiError::UnknownVariable(name.to_string()))
+    }
+
+    /// Index of a state by name.
+    pub fn state_index(&self, name: &str) -> Result<usize> {
+        self.states
+            .iter()
+            .position(|p| p == name)
+            .ok_or_else(|| FmiError::UnknownVariable(name.to_string()))
+    }
+
+    /// Create an instance with all values at their declared start defaults.
+    pub fn instantiate(self: &Arc<Self>) -> FmuInstance {
+        let param_values = self
+            .params
+            .iter()
+            .map(|n| self.description.variable(n).unwrap().start.unwrap_or(0.0))
+            .collect();
+        let start_state = self
+            .states
+            .iter()
+            .map(|n| self.description.variable(n).unwrap().start.unwrap_or(0.0))
+            .collect();
+        FmuInstance {
+            fmu: Arc::clone(self),
+            param_values,
+            start_state,
+        }
+    }
+}
+
+/// Options accepted by [`FmuInstance::simulate`], mirroring the optional
+/// arguments of the paper's `fmu_simulate` UDF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub struct SimulationOptions {
+    /// Simulation start time; defaults to the model's default experiment.
+    pub start: Option<f64>,
+    /// Simulation stop time; defaults to the model's default experiment.
+    pub stop: Option<f64>,
+    /// Output grid step; defaults to the default experiment step size.
+    pub output_step: Option<f64>,
+    /// Integrator.
+    pub solver: SolverKind,
+}
+
+
+/// Trajectories produced by a simulation: a time grid plus one series per
+/// state and output variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationResult {
+    times: Vec<f64>,
+    names: Vec<String>,
+    /// `series[v][k]` = value of variable `v` at `times[k]`.
+    series: Vec<Vec<f64>>,
+}
+
+impl SimulationResult {
+    /// The output time grid.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Reported variable names (states first, then outputs).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Series for one variable, if reported.
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.series[i].as_slice())
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Iterate `(time, variable name, value)` triples in time-major order —
+    /// exactly the long table shape `fmu_simulate` returns (paper Table 4).
+    pub fn long_rows(&self) -> impl Iterator<Item = (f64, &str, f64)> + '_ {
+        self.times.iter().enumerate().flat_map(move |(k, &t)| {
+            self.names
+                .iter()
+                .enumerate()
+                .map(move |(v, name)| (t, name.as_str(), self.series[v][k]))
+        })
+    }
+}
+
+/// One model instance: shared compiled model + per-instance values.
+#[derive(Debug, Clone)]
+pub struct FmuInstance {
+    fmu: Arc<Fmu>,
+    param_values: Vec<f64>,
+    start_state: Vec<f64>,
+}
+
+impl FmuInstance {
+    /// The underlying shared model.
+    pub fn fmu(&self) -> &Arc<Fmu> {
+        &self.fmu
+    }
+
+    /// Current parameter vector (equation-index order).
+    pub fn param_values(&self) -> &[f64] {
+        &self.param_values
+    }
+
+    /// Current state start vector (equation-index order).
+    pub fn start_state(&self) -> &[f64] {
+        &self.start_state
+    }
+
+    /// Set a parameter or state start value by name.
+    ///
+    /// Assigning to inputs or outputs is a causality violation, matching
+    /// FMI semantics (inputs are provided per-simulation, outputs computed).
+    pub fn set(&mut self, name: &str, value: f64) -> Result<()> {
+        if !value.is_finite() {
+            return Err(FmiError::Simulation(format!(
+                "refusing to set '{name}' to non-finite value {value}"
+            )));
+        }
+        let var = self.fmu.description.variable(name)?;
+        match var.causality {
+            Causality::Parameter => {
+                let i = self.fmu.param_index(name)?;
+                self.param_values[i] = value;
+                Ok(())
+            }
+            Causality::Local => {
+                let i = self.fmu.state_index(name)?;
+                self.start_state[i] = value;
+                Ok(())
+            }
+            Causality::Input => Err(FmiError::CausalityViolation {
+                variable: name.to_string(),
+                reason: "inputs are supplied as time series at simulation time".into(),
+            }),
+            Causality::Output => Err(FmiError::CausalityViolation {
+                variable: name.to_string(),
+                reason: "outputs are computed by simulation".into(),
+            }),
+        }
+    }
+
+    /// Read back a parameter or state start value by name.
+    pub fn get(&self, name: &str) -> Result<f64> {
+        let var = self.fmu.description.variable(name)?;
+        match var.causality {
+            Causality::Parameter => Ok(self.param_values[self.fmu.param_index(name)?]),
+            Causality::Local => Ok(self.start_state[self.fmu.state_index(name)?]),
+            _ => Err(FmiError::CausalityViolation {
+                variable: name.to_string(),
+                reason: "only parameters and states hold instance values".into(),
+            }),
+        }
+    }
+
+    /// Set the whole parameter vector at once (used by the estimator's
+    /// inner loop to avoid repeated name lookups).
+    pub fn set_params(&mut self, values: &[f64]) -> Result<()> {
+        if values.len() != self.param_values.len() {
+            return Err(FmiError::Simulation(format!(
+                "parameter vector length {} != {}",
+                values.len(),
+                self.param_values.len()
+            )));
+        }
+        self.param_values.copy_from_slice(values);
+        Ok(())
+    }
+
+    /// Restore every parameter and state start value to the model defaults
+    /// (`fmu_reset` in the paper).
+    pub fn reset(&mut self) {
+        let fresh = self.fmu.instantiate();
+        self.param_values = fresh.param_values;
+        self.start_state = fresh.start_state;
+    }
+
+    /// Simulate the instance over a time window.
+    ///
+    /// * `inputs` must provide one series per declared model input; the
+    ///   series must cover the simulation window (the paper specifies an
+    ///   error for insufficient input series, §7).
+    /// * The result reports states and outputs on the output grid.
+    pub fn simulate(&self, inputs: &InputSet, opts: &SimulationOptions) -> Result<SimulationResult> {
+        let de = &self.fmu.description.default_experiment;
+        let t0 = opts.start.unwrap_or(de.start_time);
+        let t1 = opts.stop.unwrap_or(de.stop_time);
+        let dt = opts.output_step.unwrap_or(de.step_size);
+        if !(t0.is_finite() && t1.is_finite()) || t1 <= t0 {
+            return Err(FmiError::Simulation(format!(
+                "incomplete simulation time interval: [{t0}, {t1}]"
+            )));
+        }
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(FmiError::Simulation(format!(
+                "output step must be positive, got {dt}"
+            )));
+        }
+        let n_in = self.fmu.input_names().len();
+        if inputs.len() != n_in {
+            return Err(FmiError::Simulation(format!(
+                "model '{}' declares {} input(s) but {} series were bound",
+                self.fmu.name(),
+                n_in,
+                inputs.len()
+            )));
+        }
+        if n_in > 0 {
+            // Tolerance of one output step absorbs grid-vs-sample jitter.
+            let cover_lo = inputs.common_start().unwrap();
+            let cover_hi = inputs.common_end().unwrap();
+            if t0 < cover_lo - dt || t1 > cover_hi + dt {
+                return Err(FmiError::Simulation(format!(
+                    "insufficient model input time series: window [{t0}, {t1}] \
+                     not covered by inputs [{cover_lo}, {cover_hi}]"
+                )));
+            }
+        }
+
+        let n_states = self.fmu.system.n_states();
+        let n_outputs = self.fmu.system.n_outputs();
+        let mut x = self.start_state.clone();
+        let mut u = vec![0.0; n_in];
+        let mut y = vec![0.0; n_outputs];
+
+        let n_points = ((t1 - t0) / dt).round() as usize + 1;
+        let mut times = Vec::with_capacity(n_points);
+        let mut series: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(n_points); n_states + n_outputs];
+
+        let p = self.param_values.clone();
+        let sys = &self.fmu.system;
+        let mut rhs = |t: f64, xs: &[f64], dx: &mut [f64]| {
+            let mut ub = vec![0.0; n_in];
+            inputs.sample_into(t, &mut ub);
+            sys.derivatives(t, xs, &ub, &p, dx);
+        };
+
+        let mut k = 0usize;
+        loop {
+            let t = t0 + k as f64 * dt;
+            let t = if t > t1 { t1 } else { t };
+            inputs.sample_into(t, &mut u);
+            sys.outputs(t, &x, &u, &p, &mut y);
+            times.push(t);
+            for (i, &xv) in x.iter().enumerate() {
+                series[i].push(xv);
+            }
+            for (j, &yv) in y.iter().enumerate() {
+                series[n_states + j].push(yv);
+            }
+            if t >= t1 {
+                break;
+            }
+            let t_next = (t0 + (k + 1) as f64 * dt).min(t1);
+            opts.solver.integrate(&mut rhs, t, t_next, &mut x)?;
+            k += 1;
+        }
+
+        let names = self
+            .fmu
+            .state_names()
+            .iter()
+            .chain(self.fmu.output_names())
+            .cloned()
+            .collect();
+        Ok(SimulationResult {
+            times,
+            names,
+            series,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::input::{InputSeries, Interpolation};
+    use crate::model_description::{
+        DefaultExperiment, ScalarVariable, VarType, Variability,
+    };
+
+    /// Build the paper's Figure-2 heat pump: der(x)=A*x+B*u+E, y=D*u.
+    fn heat_pump() -> Arc<Fmu> {
+        let vars = vec![
+            ScalarVariable::new("A", Causality::Parameter, Variability::Tunable)
+                .with_start(-1.0 / 2.25)
+                .with_bounds(-10.0, 10.0),
+            ScalarVariable::new("B", Causality::Parameter, Variability::Tunable)
+                .with_start(13.78)
+                .with_bounds(-20.0, 20.0),
+            ScalarVariable::new("E", Causality::Parameter, Variability::Tunable)
+                .with_start(-10.0 / 2.25)
+                .with_bounds(-20.0, 20.0),
+            ScalarVariable::new("D", Causality::Parameter, Variability::Fixed).with_start(7.8),
+            ScalarVariable::new("x", Causality::Local, Variability::Continuous)
+                .with_start(20.0)
+                .with_unit("degC"),
+            ScalarVariable::new("u", Causality::Input, Variability::Continuous)
+                .with_bounds(0.0, 1.0),
+            ScalarVariable::new("y", Causality::Output, Variability::Continuous)
+                .with_unit("kW"),
+        ];
+        let md = ModelDescription::new(
+            "heatpump",
+            vars,
+            DefaultExperiment {
+                start_time: 0.0,
+                stop_time: 10.0,
+                tolerance: 1e-6,
+                step_size: 1.0,
+            },
+        )
+        .unwrap();
+        let sys = EquationSystem::new(
+            1,
+            1,
+            4,
+            vec![Expr::sum(vec![
+                Expr::mul(Expr::Param(0), Expr::State(0)),
+                Expr::mul(Expr::Param(1), Expr::Input(0)),
+                Expr::Param(2),
+            ])],
+            vec![Expr::mul(Expr::Param(3), Expr::Input(0))],
+        )
+        .unwrap();
+        Arc::new(Fmu::new(md, sys).unwrap())
+    }
+
+    fn constant_u(value: f64) -> InputSet {
+        let s = InputSeries::new(
+            "u",
+            vec![0.0, 100.0],
+            vec![value, value],
+            Interpolation::Hold,
+        )
+        .unwrap();
+        InputSet::bind(&["u"], vec![s]).unwrap()
+    }
+
+    #[test]
+    fn instantiate_uses_start_values() {
+        let inst = heat_pump().instantiate();
+        assert!((inst.get("A").unwrap() - (-1.0 / 2.25)).abs() < 1e-12);
+        assert_eq!(inst.get("x").unwrap(), 20.0);
+    }
+
+    #[test]
+    fn set_get_reset_round_trip() {
+        let mut inst = heat_pump().instantiate();
+        inst.set("A", 0.5).unwrap();
+        inst.set("x", 18.0).unwrap();
+        assert_eq!(inst.get("A").unwrap(), 0.5);
+        assert_eq!(inst.get("x").unwrap(), 18.0);
+        inst.reset();
+        assert!((inst.get("A").unwrap() - (-1.0 / 2.25)).abs() < 1e-12);
+        assert_eq!(inst.get("x").unwrap(), 20.0);
+    }
+
+    #[test]
+    fn causality_violations() {
+        let mut inst = heat_pump().instantiate();
+        assert!(matches!(
+            inst.set("u", 1.0),
+            Err(FmiError::CausalityViolation { .. })
+        ));
+        assert!(matches!(
+            inst.set("y", 1.0),
+            Err(FmiError::CausalityViolation { .. })
+        ));
+        assert!(inst.get("y").is_err());
+        assert!(matches!(
+            inst.set("zzz", 0.0),
+            Err(FmiError::UnknownVariable(_))
+        ));
+        assert!(inst.set("A", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn simulation_matches_lti_closed_form() {
+        let inst = heat_pump().instantiate();
+        let u = 0.5;
+        let res = inst
+            .simulate(
+                &constant_u(u),
+                &SimulationOptions {
+                    solver: SolverKind::Rk45 {
+                        rtol: 1e-9,
+                        atol: 1e-12,
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let a = -1.0 / 2.25;
+        let c = 13.78 * u - 10.0 / 2.25;
+        let x0 = 20.0;
+        let xs = res.series("x").unwrap();
+        for (k, &t) in res.times().iter().enumerate() {
+            let exact = (x0 + c / a) * (a * t).exp() - c / a;
+            assert!(
+                (xs[k] - exact).abs() < 1e-6,
+                "t={t}: {} vs {exact}",
+                xs[k]
+            );
+        }
+        // Output y = D*u everywhere.
+        for &yv in res.series("y").unwrap() {
+            assert!((yv - 7.8 * u).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn default_experiment_window_is_used() {
+        let inst = heat_pump().instantiate();
+        let res = inst
+            .simulate(&constant_u(0.0), &SimulationOptions::default())
+            .unwrap();
+        assert_eq!(res.times().first(), Some(&0.0));
+        assert_eq!(res.times().last(), Some(&10.0));
+        assert_eq!(res.len(), 11);
+    }
+
+    #[test]
+    fn explicit_window_overrides_default() {
+        let inst = heat_pump().instantiate();
+        let res = inst
+            .simulate(
+                &constant_u(0.0),
+                &SimulationOptions {
+                    start: Some(2.0),
+                    stop: Some(4.0),
+                    output_step: Some(0.5),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(res.times(), &[2.0, 2.5, 3.0, 3.5, 4.0]);
+    }
+
+    #[test]
+    fn incomplete_interval_errors() {
+        let inst = heat_pump().instantiate();
+        let err = inst.simulate(
+            &constant_u(0.0),
+            &SimulationOptions {
+                start: Some(5.0),
+                stop: Some(5.0),
+                ..Default::default()
+            },
+        );
+        assert!(err.unwrap_err().to_string().contains("incomplete"));
+    }
+
+    #[test]
+    fn missing_inputs_error() {
+        let inst = heat_pump().instantiate();
+        let err = inst.simulate(&InputSet::empty(), &SimulationOptions::default());
+        assert!(err.unwrap_err().to_string().contains("1 input"));
+    }
+
+    #[test]
+    fn uncovered_window_errors() {
+        let inst = heat_pump().instantiate();
+        let s = InputSeries::new("u", vec![0.0, 2.0], vec![0.0, 0.0], Interpolation::Hold)
+            .unwrap();
+        let inputs = InputSet::bind(&["u"], vec![s]).unwrap();
+        let err = inst.simulate(
+            &inputs,
+            &SimulationOptions {
+                start: Some(0.0),
+                stop: Some(9.0),
+                ..Default::default()
+            },
+        );
+        assert!(err
+            .unwrap_err()
+            .to_string()
+            .contains("insufficient model input time series"));
+    }
+
+    #[test]
+    fn long_rows_shape() {
+        let inst = heat_pump().instantiate();
+        let res = inst
+            .simulate(
+                &constant_u(0.1),
+                &SimulationOptions {
+                    stop: Some(2.0),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let rows: Vec<_> = res.long_rows().collect();
+        // 3 grid points x 2 variables (x, y).
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].1, "x");
+        assert_eq!(rows[1].1, "y");
+        assert_eq!(rows[0].0, 0.0);
+        assert_eq!(rows[5].0, 2.0);
+    }
+
+    #[test]
+    fn set_params_bulk() {
+        let mut inst = heat_pump().instantiate();
+        inst.set_params(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(inst.get("A").unwrap(), 1.0);
+        assert_eq!(inst.get("D").unwrap(), 4.0);
+        assert!(inst.set_params(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn mismatched_variable_counts_rejected() {
+        // Declare two states but the system has one.
+        let vars = vec![
+            ScalarVariable::new("x1", Causality::Local, Variability::Continuous).with_start(0.0),
+            ScalarVariable::new("x2", Causality::Local, Variability::Continuous).with_start(0.0),
+        ];
+        let md =
+            ModelDescription::new("bad", vars, DefaultExperiment::default()).unwrap();
+        let sys = EquationSystem::new(1, 0, 0, vec![Expr::Const(0.0)], vec![]).unwrap();
+        assert!(Fmu::new(md, sys).is_err());
+    }
+
+    #[test]
+    fn integer_input_metadata_allowed() {
+        // Occupancy-style integer input is simulated as f64 but keeps its
+        // declared type for data binding.
+        let vars = vec![
+            ScalarVariable::new("occ", Causality::Input, Variability::Discrete)
+                .with_type(VarType::Integer),
+            ScalarVariable::new("T", Causality::Local, Variability::Continuous).with_start(20.0),
+        ];
+        let md = ModelDescription::new("room", vars, DefaultExperiment::default()).unwrap();
+        let sys = EquationSystem::new(
+            1,
+            1,
+            0,
+            vec![Expr::mul(Expr::c(0.1), Expr::Input(0))],
+            vec![],
+        )
+        .unwrap();
+        let fmu = Arc::new(Fmu::new(md, sys).unwrap());
+        let inst = fmu.instantiate();
+        let s = InputSeries::new(
+            "occ",
+            vec![0.0, 24.0],
+            vec![3.0, 3.0],
+            Interpolation::Hold,
+        )
+        .unwrap();
+        let inputs = InputSet::bind(&["occ"], vec![s]).unwrap();
+        let res = inst.simulate(&inputs, &SimulationOptions::default()).unwrap();
+        let t_series = res.series("T").unwrap();
+        // der(T) = 0.1*occ = 0.3/h -> after 24h: 20 + 7.2
+        assert!((t_series.last().unwrap() - 27.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,282 @@
+//! Input objects: named time series bound to model input variables.
+//!
+//! `fmu_simulate` builds these automatically from the result set of the
+//! user's `input_sql` query, using FMU meta-data to match columns to input
+//! variables and to pick an interpolation mode per variable variability
+//! (paper §7, "Challenge 2"). Discrete inputs are held constant between
+//! samples; continuous inputs are linearly interpolated.
+
+use crate::error::{FmiError, Result};
+
+/// How values between samples are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interpolation {
+    /// Zero-order hold — value of the most recent sample (discrete inputs).
+    Hold,
+    /// Linear interpolation between neighbouring samples (continuous inputs).
+    Linear,
+}
+
+/// A single named input time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputSeries {
+    /// Input variable name this series binds to.
+    pub name: String,
+    /// Strictly increasing sample times (hours).
+    pub times: Vec<f64>,
+    /// Sample values, same length as `times`.
+    pub values: Vec<f64>,
+    /// Inter-sample behaviour.
+    pub interpolation: Interpolation,
+}
+
+impl InputSeries {
+    /// Build a series, validating shape and monotonicity.
+    pub fn new(
+        name: impl Into<String>,
+        times: Vec<f64>,
+        values: Vec<f64>,
+        interpolation: Interpolation,
+    ) -> Result<Self> {
+        let name = name.into();
+        if times.len() != values.len() {
+            return Err(FmiError::Simulation(format!(
+                "input series '{name}': {} times but {} values",
+                times.len(),
+                values.len()
+            )));
+        }
+        if times.is_empty() {
+            return Err(FmiError::Simulation(format!(
+                "input series '{name}' is empty"
+            )));
+        }
+        for w in times.windows(2) {
+            if !(w[1] > w[0]) {
+                return Err(FmiError::Simulation(format!(
+                    "input series '{name}': sample times not strictly increasing at t={}",
+                    w[1]
+                )));
+            }
+        }
+        for (t, v) in times.iter().zip(&values) {
+            if !t.is_finite() || !v.is_finite() {
+                return Err(FmiError::Simulation(format!(
+                    "input series '{name}': non-finite sample at t={t}"
+                )));
+            }
+        }
+        Ok(InputSeries {
+            name,
+            times,
+            values,
+            interpolation,
+        })
+    }
+
+    /// First sample time.
+    pub fn start_time(&self) -> f64 {
+        self.times[0]
+    }
+
+    /// Last sample time.
+    pub fn end_time(&self) -> f64 {
+        *self.times.last().expect("series is never empty")
+    }
+
+    /// Value at time `t`. Before the first sample the first value is used;
+    /// after the last sample the last value is held (standard FMI-tool
+    /// behaviour for co-simulation inputs).
+    pub fn sample(&self, t: f64) -> f64 {
+        let n = self.times.len();
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= self.times[n - 1] {
+            return self.values[n - 1];
+        }
+        // partition_point returns the first index with times[i] > t.
+        let hi = self.times.partition_point(|&x| x <= t);
+        let lo = hi - 1;
+        match self.interpolation {
+            Interpolation::Hold => self.values[lo],
+            Interpolation::Linear => {
+                let (t0, t1) = (self.times[lo], self.times[hi]);
+                let (v0, v1) = (self.values[lo], self.values[hi]);
+                v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            }
+        }
+    }
+}
+
+/// A set of input series, index-aligned with the model's input vector.
+///
+/// Built by [`InputSet::bind`], which performs the automatic name matching
+/// the paper's users otherwise do by hand.
+#[derive(Debug, Clone, Default)]
+pub struct InputSet {
+    series: Vec<InputSeries>,
+}
+
+impl InputSet {
+    /// An input set for a model without inputs.
+    pub fn empty() -> Self {
+        InputSet { series: Vec::new() }
+    }
+
+    /// Bind a bag of named series to the model's declared input order.
+    /// Every declared input must be matched; extra series are an error so
+    /// typos surface instead of being silently dropped.
+    pub fn bind(input_names: &[&str], mut available: Vec<InputSeries>) -> Result<Self> {
+        let mut series = Vec::with_capacity(input_names.len());
+        for name in input_names {
+            let pos = available.iter().position(|s| s.name == *name);
+            match pos {
+                Some(i) => series.push(available.swap_remove(i)),
+                None => {
+                    return Err(FmiError::Simulation(format!(
+                        "insufficient model input time series: no series for input '{name}'"
+                    )))
+                }
+            }
+        }
+        if let Some(extra) = available.first() {
+            return Err(FmiError::Simulation(format!(
+                "series '{}' does not match any model input",
+                extra.name
+            )));
+        }
+        Ok(InputSet { series })
+    }
+
+    /// Number of bound inputs.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True if no inputs are bound.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// The bound series, in model input order.
+    pub fn series(&self) -> &[InputSeries] {
+        &self.series
+    }
+
+    /// Sample every input at time `t` into `u`.
+    pub fn sample_into(&self, t: f64, u: &mut [f64]) {
+        debug_assert_eq!(u.len(), self.series.len());
+        for (dst, s) in u.iter_mut().zip(&self.series) {
+            *dst = s.sample(t);
+        }
+    }
+
+    /// Latest common start time across series (None when there are none).
+    pub fn common_start(&self) -> Option<f64> {
+        self.series
+            .iter()
+            .map(InputSeries::start_time)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+
+    /// Earliest common end time across series (None when there are none).
+    pub fn common_end(&self) -> Option<f64> {
+        self.series
+            .iter()
+            .map(InputSeries::end_time)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(interp: Interpolation) -> InputSeries {
+        InputSeries::new("u", vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 10.0], interp).unwrap()
+    }
+
+    #[test]
+    fn rejects_malformed_series() {
+        assert!(InputSeries::new("u", vec![0.0], vec![], Interpolation::Hold).is_err());
+        assert!(InputSeries::new("u", vec![], vec![], Interpolation::Hold).is_err());
+        assert!(
+            InputSeries::new("u", vec![0.0, 0.0], vec![1.0, 2.0], Interpolation::Hold).is_err()
+        );
+        assert!(
+            InputSeries::new("u", vec![1.0, 0.5], vec![1.0, 2.0], Interpolation::Hold).is_err()
+        );
+        assert!(InputSeries::new(
+            "u",
+            vec![0.0, 1.0],
+            vec![1.0, f64::NAN],
+            Interpolation::Hold
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn hold_sampling() {
+        let s = series(Interpolation::Hold);
+        assert_eq!(s.sample(-1.0), 0.0);
+        assert_eq!(s.sample(0.0), 0.0);
+        assert_eq!(s.sample(0.99), 0.0);
+        assert_eq!(s.sample(1.0), 10.0);
+        assert_eq!(s.sample(1.5), 10.0);
+        assert_eq!(s.sample(5.0), 10.0);
+    }
+
+    #[test]
+    fn linear_sampling() {
+        let s = series(Interpolation::Linear);
+        assert_eq!(s.sample(0.5), 5.0);
+        assert!((s.sample(0.25) - 2.5).abs() < 1e-12);
+        assert_eq!(s.sample(1.5), 10.0);
+        assert_eq!(s.sample(99.0), 10.0);
+    }
+
+    #[test]
+    fn bind_matches_by_name_in_model_order() {
+        let a = InputSeries::new("a", vec![0.0], vec![1.0], Interpolation::Hold).unwrap();
+        let b = InputSeries::new("b", vec![0.0], vec![2.0], Interpolation::Hold).unwrap();
+        let set = InputSet::bind(&["b", "a"], vec![a, b]).unwrap();
+        let mut u = [0.0, 0.0];
+        set.sample_into(0.0, &mut u);
+        assert_eq!(u, [2.0, 1.0]);
+    }
+
+    #[test]
+    fn bind_missing_input_errors() {
+        let a = InputSeries::new("a", vec![0.0], vec![1.0], Interpolation::Hold).unwrap();
+        let err = InputSet::bind(&["a", "u"], vec![a]);
+        assert!(err.unwrap_err().to_string().contains("input 'u'"));
+    }
+
+    #[test]
+    fn bind_extra_series_errors() {
+        let a = InputSeries::new("a", vec![0.0], vec![1.0], Interpolation::Hold).unwrap();
+        let z = InputSeries::new("z", vec![0.0], vec![9.0], Interpolation::Hold).unwrap();
+        let err = InputSet::bind(&["a"], vec![a, z]);
+        assert!(err.unwrap_err().to_string().contains("'z'"));
+    }
+
+    #[test]
+    fn common_window() {
+        let a = InputSeries::new("a", vec![0.0, 5.0], vec![0.0, 0.0], Interpolation::Hold).unwrap();
+        let b = InputSeries::new("b", vec![1.0, 9.0], vec![0.0, 0.0], Interpolation::Hold).unwrap();
+        let set = InputSet::bind(&["a", "b"], vec![a, b]).unwrap();
+        assert_eq!(set.common_start(), Some(1.0));
+        assert_eq!(set.common_end(), Some(5.0));
+        assert_eq!(InputSet::empty().common_start(), None);
+        assert!(InputSet::empty().is_empty());
+    }
+
+    #[test]
+    fn single_sample_series_holds_value_everywhere() {
+        let s = InputSeries::new("k", vec![2.0], vec![7.0], Interpolation::Linear).unwrap();
+        assert_eq!(s.sample(0.0), 7.0);
+        assert_eq!(s.sample(2.0), 7.0);
+        assert_eq!(s.sample(3.0), 7.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # pgfmu-fmi — an FMI 2.0-like physical system modelling substrate
+//!
+//! This crate is the stand-in for the FMI standard, PyFMI and the Assimulo
+//! solver suite used by the pgFMU paper (EDBT 2020). It provides:
+//!
+//! * [`ModelDescription`] — FMU meta-data: scalar variables with causality,
+//!   variability, declared type and start/min/max attributes, plus the
+//!   default experiment (start/stop time, tolerance, step size). pgFMU's
+//!   "Challenge 2" (semi-automatic task specification and data mapping) is
+//!   driven entirely by this meta-data.
+//! * [`expr::Expr`] / [`system::EquationSystem`] — a serializable equation IR
+//!   in which model dynamics (`der(x) = …`, `y = …`) are expressed. The
+//!   Modelica-subset compiler in `pgfmu-modelica` emits this IR.
+//! * [`solver`] — fixed-step (explicit Euler, classic RK4) and adaptive
+//!   (Dormand–Prince RK45) integrators, the stand-ins for Assimulo/CVode.
+//! * [`Fmu`] / [`FmuInstance`] — a compiled model and its instantiations
+//!   with `set`/`get`/`reset`/`simulate`, mirroring the PyFMI model API.
+//! * [`archive`] — a binary `.fmu`-like container so models can be stored
+//!   in and loaded from non-volatile FMU storage.
+//! * [`builtin`] — the three evaluation models of the paper (HP0, HP1,
+//!   Classroom) plus the Figure-2 A/B/C/D/E heat-pump parameterization.
+//!
+//! Time is measured in **hours** throughout (the paper's datasets are hourly
+//! and half-hourly); temperatures in °C, powers in kW, energies in kWh.
+
+// Numeric-kernel idioms: indexed loops mirror the textbook formulas they
+// implement; negated comparisons (`!(a > b)`) deliberately catch NaNs; the
+// Expr convenience constructors intentionally shadow operator names.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::should_implement_trait)]
+
+pub mod archive;
+pub mod builtin;
+pub mod error;
+pub mod expr;
+pub mod fmu;
+pub mod input;
+pub mod model_description;
+pub mod solver;
+pub mod system;
+
+pub use error::{FmiError, Result};
+pub use expr::{BinOp, Expr, UnaryOp};
+pub use fmu::{Fmu, FmuInstance, SimulationOptions, SimulationResult};
+pub use input::{InputSet, InputSeries, Interpolation};
+pub use model_description::{
+    Causality, DefaultExperiment, ModelDescription, ScalarVariable, VarType, Variability,
+};
+pub use solver::SolverKind;
+pub use system::EquationSystem;

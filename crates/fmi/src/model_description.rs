@@ -1,0 +1,537 @@
+//! FMU meta-data: scalar variables, causalities, variabilities, declared
+//! types and the default experiment.
+//!
+//! The pgFMU paper leans on this meta-data to "semi-automate task
+//! specification and data mapping" (Challenge 2, §4): the catalogue reads it
+//! once at `fmu_create` time, the simulation UDF uses it to build input
+//! objects automatically, and the estimation UDF uses it to discover which
+//! variables are tunable parameters.
+
+use crate::error::{FmiError, Result};
+
+/// How a variable participates in the model, mirroring FMI 2.0 causalities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Causality {
+    /// A constant that can be set before simulation and estimated by
+    /// `fmu_parest`. Reported as `"parameter"` by `fmu_variables`.
+    Parameter,
+    /// An exogenous time series fed into the model (`u`, `solrad`, …).
+    Input,
+    /// A value computed by the model (`y`).
+    Output,
+    /// An internal continuous-time state (`x`, `T`). FMI calls these
+    /// `local`; the paper reports state trajectories alongside outputs.
+    Local,
+}
+
+impl Causality {
+    /// Catalogue string representation (the paper's `varType` column).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Causality::Parameter => "parameter",
+            Causality::Input => "input",
+            Causality::Output => "output",
+            Causality::Local => "state",
+        }
+    }
+
+    /// Parse the catalogue string representation.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "parameter" => Ok(Causality::Parameter),
+            "input" => Ok(Causality::Input),
+            "output" => Ok(Causality::Output),
+            "state" | "local" => Ok(Causality::Local),
+            other => Err(FmiError::InvalidModel(format!(
+                "unknown causality '{other}'"
+            ))),
+        }
+    }
+}
+
+/// How a variable may change over simulated time (FMI 2.0 variability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variability {
+    /// Never changes (structural constants such as rated power).
+    Fixed,
+    /// Constant during a simulation but adjustable between runs — the
+    /// variability of estimable parameters.
+    Tunable,
+    /// Piecewise-constant in time; sampled inputs are held between samples.
+    Discrete,
+    /// Continuously varying; sampled inputs are linearly interpolated.
+    Continuous,
+}
+
+impl Variability {
+    /// Stable string form used by the archive and catalogue.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Variability::Fixed => "fixed",
+            Variability::Tunable => "tunable",
+            Variability::Discrete => "discrete",
+            Variability::Continuous => "continuous",
+        }
+    }
+
+    /// Parse the string form.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "fixed" => Ok(Variability::Fixed),
+            "tunable" => Ok(Variability::Tunable),
+            "discrete" => Ok(Variability::Discrete),
+            "continuous" => Ok(Variability::Continuous),
+            other => Err(FmiError::InvalidModel(format!(
+                "unknown variability '{other}'"
+            ))),
+        }
+    }
+}
+
+/// Declared data type of a variable. Simulation is carried out in `f64`
+/// regardless; the declared type drives implicit conversions when binding
+/// database columns to model variables (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarType {
+    /// IEEE-754 double precision.
+    Real,
+    /// Integer-valued (e.g. number of occupants).
+    Integer,
+    /// Boolean-valued, encoded 0.0 / 1.0.
+    Boolean,
+}
+
+impl VarType {
+    /// Stable string form used by the archive and catalogue.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VarType::Real => "real",
+            VarType::Integer => "integer",
+            VarType::Boolean => "boolean",
+        }
+    }
+
+    /// Parse the string form.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "real" | "Real" => Ok(VarType::Real),
+            "integer" | "Integer" => Ok(VarType::Integer),
+            "boolean" | "Boolean" => Ok(VarType::Boolean),
+            other => Err(FmiError::InvalidModel(format!("unknown type '{other}'"))),
+        }
+    }
+}
+
+/// One model variable with its FMI attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarVariable {
+    /// Variable name, unique within the model.
+    pub name: String,
+    /// Role of the variable (parameter / input / output / state).
+    pub causality: Causality,
+    /// Temporal behaviour of the variable.
+    pub variability: Variability,
+    /// Declared data type.
+    pub var_type: VarType,
+    /// Initial value (`start` attribute). States and parameters must have
+    /// one; inputs may use it as the value before the first sample.
+    pub start: Option<f64>,
+    /// Lower physical bound, used as the estimation search-space bound.
+    pub min: Option<f64>,
+    /// Upper physical bound, used as the estimation search-space bound.
+    pub max: Option<f64>,
+    /// Unit string (informational, e.g. `"degC"`, `"kW"`).
+    pub unit: String,
+    /// Human-readable description.
+    pub description: String,
+}
+
+impl ScalarVariable {
+    /// Create a variable with the given role and no bounds.
+    pub fn new(name: impl Into<String>, causality: Causality, variability: Variability) -> Self {
+        ScalarVariable {
+            name: name.into(),
+            causality,
+            variability,
+            var_type: VarType::Real,
+            start: None,
+            min: None,
+            max: None,
+            unit: String::new(),
+            description: String::new(),
+        }
+    }
+
+    /// Builder-style: set the start value.
+    pub fn with_start(mut self, start: f64) -> Self {
+        self.start = Some(start);
+        self
+    }
+
+    /// Builder-style: set min/max bounds.
+    pub fn with_bounds(mut self, min: f64, max: f64) -> Self {
+        self.min = Some(min);
+        self.max = Some(max);
+        self
+    }
+
+    /// Builder-style: set the unit.
+    pub fn with_unit(mut self, unit: impl Into<String>) -> Self {
+        self.unit = unit.into();
+        self
+    }
+
+    /// Builder-style: set the description.
+    pub fn with_description(mut self, d: impl Into<String>) -> Self {
+        self.description = d.into();
+        self
+    }
+
+    /// Builder-style: set the declared type.
+    pub fn with_type(mut self, t: VarType) -> Self {
+        self.var_type = t;
+        self
+    }
+
+    /// Validate internal consistency (bounds ordering, start within bounds).
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(FmiError::InvalidModel("variable with empty name".into()));
+        }
+        if let (Some(lo), Some(hi)) = (self.min, self.max) {
+            if lo > hi {
+                return Err(FmiError::InvalidModel(format!(
+                    "variable '{}': min {lo} > max {hi}",
+                    self.name
+                )));
+            }
+        }
+        if let Some(s) = self.start {
+            if !s.is_finite() {
+                return Err(FmiError::InvalidModel(format!(
+                    "variable '{}': non-finite start value",
+                    self.name
+                )));
+            }
+            if let Some(lo) = self.min {
+                if s < lo {
+                    return Err(FmiError::InvalidModel(format!(
+                        "variable '{}': start {s} below min {lo}",
+                        self.name
+                    )));
+                }
+            }
+            if let Some(hi) = self.max {
+                if s > hi {
+                    return Err(FmiError::InvalidModel(format!(
+                        "variable '{}': start {s} above max {hi}",
+                        self.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The FMI `DefaultExperiment` element: simulation defaults used when the
+/// caller of `fmu_simulate` does not specify a time window (paper §7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefaultExperiment {
+    /// Default simulation start time (hours).
+    pub start_time: f64,
+    /// Default simulation stop time (hours).
+    pub stop_time: f64,
+    /// Relative tolerance handed to adaptive solvers.
+    pub tolerance: f64,
+    /// Output (communication) step size in hours.
+    pub step_size: f64,
+}
+
+impl Default for DefaultExperiment {
+    fn default() -> Self {
+        DefaultExperiment {
+            start_time: 0.0,
+            stop_time: 24.0,
+            tolerance: 1e-6,
+            step_size: 1.0,
+        }
+    }
+}
+
+impl DefaultExperiment {
+    /// Validate the experiment definition.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.start_time.is_finite() && self.stop_time.is_finite()) {
+            return Err(FmiError::InvalidModel(
+                "default experiment: non-finite time bounds".into(),
+            ));
+        }
+        if self.stop_time <= self.start_time {
+            return Err(FmiError::InvalidModel(format!(
+                "default experiment: stop time {} not after start time {}",
+                self.stop_time, self.start_time
+            )));
+        }
+        if !(self.step_size.is_finite() && self.step_size > 0.0) {
+            return Err(FmiError::InvalidModel(
+                "default experiment: step size must be positive".into(),
+            ));
+        }
+        if !(self.tolerance.is_finite() && self.tolerance > 0.0) {
+            return Err(FmiError::InvalidModel(
+                "default experiment: tolerance must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Full model meta-data block — the substrate's equivalent of the
+/// `modelDescription.xml` inside an FMU archive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDescription {
+    /// Model (class) name, e.g. `"heatpump"`.
+    pub model_name: String,
+    /// Free-text description of the physical system.
+    pub description: String,
+    /// Version tag of the generating tool.
+    pub generation_tool: String,
+    /// All scalar variables of the model.
+    pub variables: Vec<ScalarVariable>,
+    /// Simulation defaults.
+    pub default_experiment: DefaultExperiment,
+}
+
+impl ModelDescription {
+    /// Construct and validate a description.
+    pub fn new(
+        model_name: impl Into<String>,
+        variables: Vec<ScalarVariable>,
+        default_experiment: DefaultExperiment,
+    ) -> Result<Self> {
+        let md = ModelDescription {
+            model_name: model_name.into(),
+            description: String::new(),
+            generation_tool: format!("pgfmu-fmi {}", env!("CARGO_PKG_VERSION")),
+            variables,
+            default_experiment,
+        };
+        md.validate()?;
+        Ok(md)
+    }
+
+    /// Validate the whole description: per-variable checks plus uniqueness.
+    pub fn validate(&self) -> Result<()> {
+        if self.model_name.is_empty() {
+            return Err(FmiError::InvalidModel("empty model name".into()));
+        }
+        self.default_experiment.validate()?;
+        let mut seen = std::collections::HashSet::new();
+        for v in &self.variables {
+            v.validate()?;
+            if !seen.insert(v.name.as_str()) {
+                return Err(FmiError::InvalidModel(format!(
+                    "duplicate variable name '{}'",
+                    v.name
+                )));
+            }
+            match v.causality {
+                Causality::Parameter => {
+                    if v.start.is_none() {
+                        return Err(FmiError::InvalidModel(format!(
+                            "parameter '{}' has no start value",
+                            v.name
+                        )));
+                    }
+                    if !matches!(v.variability, Variability::Fixed | Variability::Tunable) {
+                        return Err(FmiError::InvalidModel(format!(
+                            "parameter '{}' must be fixed or tunable",
+                            v.name
+                        )));
+                    }
+                }
+                Causality::Local
+                    if v.start.is_none() => {
+                        return Err(FmiError::InvalidModel(format!(
+                            "state '{}' has no start value",
+                            v.name
+                        )));
+                    }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Look up a variable by name.
+    pub fn variable(&self, name: &str) -> Result<&ScalarVariable> {
+        self.variables
+            .iter()
+            .find(|v| v.name == name)
+            .ok_or_else(|| FmiError::UnknownVariable(name.to_string()))
+    }
+
+    /// Mutable lookup by name.
+    pub fn variable_mut(&mut self, name: &str) -> Result<&mut ScalarVariable> {
+        self.variables
+            .iter_mut()
+            .find(|v| v.name == name)
+            .ok_or_else(|| FmiError::UnknownVariable(name.to_string()))
+    }
+
+    /// Names of all variables with the given causality, in declaration order.
+    pub fn names_with_causality(&self, c: Causality) -> Vec<&str> {
+        self.variables
+            .iter()
+            .filter(|v| v.causality == c)
+            .map(|v| v.name.as_str())
+            .collect()
+    }
+
+    /// All *tunable* parameters — the default estimation target set used by
+    /// `fmu_parest` when the user does not name parameters explicitly.
+    /// Fixed parameters (rated power, COP, …) are filtered out exactly the
+    /// way pgFMU filters solver-internal parameters away (paper §2).
+    pub fn tunable_parameters(&self) -> Vec<&ScalarVariable> {
+        self.variables
+            .iter()
+            .filter(|v| {
+                v.causality == Causality::Parameter && v.variability == Variability::Tunable
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str, c: Causality) -> ScalarVariable {
+        let v = ScalarVariable::new(name, c, Variability::Continuous);
+        match c {
+            Causality::Parameter => ScalarVariable {
+                variability: Variability::Tunable,
+                ..v
+            }
+            .with_start(1.0),
+            Causality::Local => v.with_start(0.0),
+            _ => v,
+        }
+    }
+
+    #[test]
+    fn causality_round_trips() {
+        for c in [
+            Causality::Parameter,
+            Causality::Input,
+            Causality::Output,
+            Causality::Local,
+        ] {
+            assert_eq!(Causality::parse(c.as_str()).unwrap(), c);
+        }
+        assert!(Causality::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn variability_round_trips() {
+        for v in [
+            Variability::Fixed,
+            Variability::Tunable,
+            Variability::Discrete,
+            Variability::Continuous,
+        ] {
+            assert_eq!(Variability::parse(v.as_str()).unwrap(), v);
+        }
+        assert!(Variability::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn var_type_round_trips() {
+        for t in [VarType::Real, VarType::Integer, VarType::Boolean] {
+            assert_eq!(VarType::parse(t.as_str()).unwrap(), t);
+        }
+        assert!(VarType::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn bounds_validation() {
+        let v = ScalarVariable::new("A", Causality::Parameter, Variability::Tunable)
+            .with_start(0.0)
+            .with_bounds(-10.0, 10.0);
+        assert!(v.validate().is_ok());
+
+        let bad = ScalarVariable::new("A", Causality::Parameter, Variability::Tunable)
+            .with_start(0.0)
+            .with_bounds(5.0, -5.0);
+        assert!(bad.validate().is_err());
+
+        let out_of_range = ScalarVariable::new("A", Causality::Parameter, Variability::Tunable)
+            .with_start(42.0)
+            .with_bounds(-1.0, 1.0);
+        assert!(out_of_range.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let vars = vec![var("x", Causality::Local), var("x", Causality::Output)];
+        let err = ModelDescription::new("m", vars, DefaultExperiment::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parameter_needs_start() {
+        let p = ScalarVariable::new("Cp", Causality::Parameter, Variability::Tunable);
+        let err = ModelDescription::new("m", vec![p], DefaultExperiment::default());
+        assert!(matches!(err, Err(FmiError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn default_experiment_validation() {
+        let mut de = DefaultExperiment::default();
+        assert!(de.validate().is_ok());
+        de.stop_time = de.start_time;
+        assert!(de.validate().is_err());
+        let de2 = DefaultExperiment {
+            step_size: 0.0,
+            ..DefaultExperiment::default()
+        };
+        assert!(de2.validate().is_err());
+        let de3 = DefaultExperiment {
+            tolerance: -1.0,
+            ..DefaultExperiment::default()
+        };
+        assert!(de3.validate().is_err());
+    }
+
+    #[test]
+    fn tunable_parameter_filtering() {
+        let vars = vec![
+            var("Cp", Causality::Parameter),
+            ScalarVariable::new("P", Causality::Parameter, Variability::Fixed).with_start(7.8),
+            var("x", Causality::Local),
+            var("u", Causality::Input),
+            var("y", Causality::Output),
+        ];
+        let md = ModelDescription::new("hp", vars, DefaultExperiment::default()).unwrap();
+        let tunables: Vec<_> = md.tunable_parameters().iter().map(|v| &v.name).collect();
+        assert_eq!(tunables, ["Cp"]);
+        assert_eq!(md.names_with_causality(Causality::Input), ["u"]);
+        assert_eq!(md.names_with_causality(Causality::Output), ["y"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let md = ModelDescription::new(
+            "m",
+            vec![var("x", Causality::Local)],
+            DefaultExperiment::default(),
+        )
+        .unwrap();
+        assert!(md.variable("x").is_ok());
+        assert!(matches!(
+            md.variable("nope"),
+            Err(FmiError::UnknownVariable(_))
+        ));
+    }
+}

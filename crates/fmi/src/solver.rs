@@ -1,0 +1,432 @@
+//! ODE integrators — the Assimulo/CVode stand-ins.
+//!
+//! Three methods are provided:
+//!
+//! * [`SolverKind::Euler`] — explicit Euler, order 1, used as a cheap
+//!   baseline and in convergence tests;
+//! * [`SolverKind::Rk4`] — the classic fixed-step Runge–Kutta, order 4,
+//!   the default work-horse (the paper's models are small and smooth);
+//! * [`SolverKind::Rk45`] — adaptive Dormand–Prince 5(4) with PI step-size
+//!   control, the stand-in for Assimulo's variable-step solvers.
+//!
+//! All integrators operate on a caller-supplied right-hand-side closure
+//! `f(t, x, dx)` so they are independent of the equation IR; `FmuInstance`
+//! wires in input interpolation when building the closure.
+
+use crate::error::{FmiError, Result};
+
+/// Integrator selection plus its tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverKind {
+    /// Explicit Euler with the given internal step (hours).
+    Euler {
+        /// Internal integration step.
+        step: f64,
+    },
+    /// Classic 4th-order Runge–Kutta with the given internal step (hours).
+    Rk4 {
+        /// Internal integration step.
+        step: f64,
+    },
+    /// Adaptive Dormand–Prince RK45.
+    Rk45 {
+        /// Relative tolerance.
+        rtol: f64,
+        /// Absolute tolerance.
+        atol: f64,
+    },
+}
+
+impl Default for SolverKind {
+    /// RK4 with a 0.1 h internal step: comfortably accurate for the paper's
+    /// thermal models whose fastest time constant is ≈ 2 h.
+    fn default() -> Self {
+        SolverKind::Rk4 { step: 0.1 }
+    }
+}
+
+impl SolverKind {
+    /// Validate solver configuration.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            SolverKind::Euler { step } | SolverKind::Rk4 { step } => {
+                if !(step.is_finite() && step > 0.0) {
+                    return Err(FmiError::Simulation(format!(
+                        "solver step must be positive, got {step}"
+                    )));
+                }
+            }
+            SolverKind::Rk45 { rtol, atol } => {
+                if !(rtol.is_finite() && rtol > 0.0 && atol.is_finite() && atol > 0.0) {
+                    return Err(FmiError::Simulation(format!(
+                        "solver tolerances must be positive, got rtol={rtol} atol={atol}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance the state `x` from `t0` to `t1` in place.
+    ///
+    /// `f(t, x, dx)` must fill `dx` with the derivatives. `scratch` buffers
+    /// are managed internally; the method allocates a handful of vectors per
+    /// call, which is negligible next to the per-step RHS evaluations.
+    pub fn integrate<F>(&self, f: &mut F, t0: f64, t1: f64, x: &mut [f64]) -> Result<()>
+    where
+        F: FnMut(f64, &[f64], &mut [f64]),
+    {
+        self.validate()?;
+        if !(t1 >= t0) {
+            return Err(FmiError::Simulation(format!(
+                "integration interval reversed: [{t0}, {t1}]"
+            )));
+        }
+        if t1 == t0 || x.is_empty() {
+            return Ok(());
+        }
+        match *self {
+            SolverKind::Euler { step } => fixed_step(f, t0, t1, x, step, euler_step),
+            SolverKind::Rk4 { step } => fixed_step(f, t0, t1, x, step, rk4_step),
+            SolverKind::Rk45 { rtol, atol } => rk45_adaptive(f, t0, t1, x, rtol, atol),
+        }
+    }
+}
+
+/// Drive a one-step method over `[t0, t1]` with a fixed internal step,
+/// shortening the final step to land exactly on `t1`.
+fn fixed_step<F, S>(f: &mut F, t0: f64, t1: f64, x: &mut [f64], step: f64, stepper: S) -> Result<()>
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+    S: Fn(&mut F, f64, f64, &mut [f64], &mut Scratch),
+{
+    let n = x.len();
+    let mut scratch = Scratch::new(n);
+    let mut t = t0;
+    // Guard against degenerate intervals producing huge iteration counts.
+    let max_steps = (((t1 - t0) / step).ceil() as usize).saturating_add(2);
+    for _ in 0..max_steps {
+        if t >= t1 {
+            break;
+        }
+        let h = step.min(t1 - t);
+        stepper(f, t, h, x, &mut scratch);
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(FmiError::Simulation(format!(
+                "state became non-finite at t={t} (step {h}); \
+                 the model may be stiff for the chosen solver step"
+            )));
+        }
+        t += h;
+    }
+    Ok(())
+}
+
+/// Work buffers reused across steps.
+struct Scratch {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            k1: vec![0.0; n],
+            k2: vec![0.0; n],
+            k3: vec![0.0; n],
+            k4: vec![0.0; n],
+            tmp: vec![0.0; n],
+        }
+    }
+}
+
+fn euler_step<F>(f: &mut F, t: f64, h: f64, x: &mut [f64], s: &mut Scratch)
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    f(t, x, &mut s.k1);
+    for (xi, ki) in x.iter_mut().zip(&s.k1) {
+        *xi += h * ki;
+    }
+}
+
+fn rk4_step<F>(f: &mut F, t: f64, h: f64, x: &mut [f64], s: &mut Scratch)
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    let n = x.len();
+    f(t, x, &mut s.k1);
+    for i in 0..n {
+        s.tmp[i] = x[i] + 0.5 * h * s.k1[i];
+    }
+    f(t + 0.5 * h, &s.tmp, &mut s.k2);
+    for i in 0..n {
+        s.tmp[i] = x[i] + 0.5 * h * s.k2[i];
+    }
+    f(t + 0.5 * h, &s.tmp, &mut s.k3);
+    for i in 0..n {
+        s.tmp[i] = x[i] + h * s.k3[i];
+    }
+    f(t + h, &s.tmp, &mut s.k4);
+    for i in 0..n {
+        x[i] += h / 6.0 * (s.k1[i] + 2.0 * s.k2[i] + 2.0 * s.k3[i] + s.k4[i]);
+    }
+}
+
+/// Dormand–Prince 5(4) coefficients.
+#[rustfmt::skip]
+mod dp {
+    pub const C: [f64; 7] = [0.0, 1.0 / 5.0, 3.0 / 10.0, 4.0 / 5.0, 8.0 / 9.0, 1.0, 1.0];
+    pub const A: [[f64; 6]; 7] = [
+        [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0, 0.0],
+        [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0, 0.0, 0.0, 0.0],
+        [19372.0 / 6561.0, -25360.0 / 2187.0, 64448.0 / 6561.0, -212.0 / 729.0, 0.0, 0.0],
+        [9017.0 / 3168.0, -355.0 / 33.0, 46732.0 / 5247.0, 49.0 / 176.0, -5103.0 / 18656.0, 0.0],
+        [35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0],
+    ];
+    /// 5th-order solution weights.
+    pub const B5: [f64; 7] =
+        [35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0, 0.0];
+    /// 4th-order (embedded) solution weights.
+    pub const B4: [f64; 7] = [
+        5179.0 / 57600.0, 0.0, 7571.0 / 16695.0, 393.0 / 640.0,
+        -92097.0 / 339200.0, 187.0 / 2100.0, 1.0 / 40.0,
+    ];
+}
+
+fn rk45_adaptive<F>(f: &mut F, t0: f64, t1: f64, x: &mut [f64], rtol: f64, atol: f64) -> Result<()>
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    let n = x.len();
+    let mut k: Vec<Vec<f64>> = (0..7).map(|_| vec![0.0; n]).collect();
+    let mut tmp = vec![0.0; n];
+    let mut x5 = vec![0.0; n];
+    let mut err = vec![0.0; n];
+
+    let span = t1 - t0;
+    let mut h = (span / 16.0).clamp(1e-9, 1.0);
+    let mut t = t0;
+    let max_iters = 2_000_000usize;
+    let min_h = span * 1e-13 + 1e-14;
+
+    for iter in 0..max_iters {
+        // Terminate when the remaining interval is below step resolution;
+        // otherwise float rounding in `t += h` can leave an un-advanceable
+        // residual that would be misreported as stiffness.
+        if t >= t1 || (t1 - t) <= min_h {
+            return Ok(());
+        }
+        if iter + 1 == max_iters {
+            return Err(FmiError::Simulation(
+                "adaptive solver exceeded maximum iterations".into(),
+            ));
+        }
+        h = h.min(t1 - t);
+        // Evaluate the 7 stages.
+        for s in 0..7 {
+            for i in 0..n {
+                let mut acc = x[i];
+                for (j, kj) in k.iter().enumerate().take(s) {
+                    acc += h * dp::A[s][j] * kj[i];
+                }
+                tmp[i] = acc;
+            }
+            let (before, after) = k.split_at_mut(s);
+            let _ = before;
+            f(t + dp::C[s] * h, &tmp, &mut after[0]);
+        }
+        // 5th order solution and embedded error estimate.
+        let mut max_ratio = 0.0_f64;
+        for i in 0..n {
+            let mut acc5 = x[i];
+            let mut acc4 = x[i];
+            for (j, kj) in k.iter().enumerate() {
+                acc5 += h * dp::B5[j] * kj[i];
+                acc4 += h * dp::B4[j] * kj[i];
+            }
+            x5[i] = acc5;
+            err[i] = acc5 - acc4;
+            let scale = atol + rtol * x[i].abs().max(acc5.abs());
+            max_ratio = max_ratio.max((err[i] / scale).abs());
+        }
+        if !x5.iter().all(|v| v.is_finite()) {
+            return Err(FmiError::Simulation(format!(
+                "state became non-finite at t={t} (adaptive step {h})"
+            )));
+        }
+        if max_ratio <= 1.0 {
+            // Accept.
+            x.copy_from_slice(&x5);
+            t += h;
+        }
+        // PI-ish step-size update with the customary safety factor.
+        let factor = if max_ratio > 0.0 {
+            (0.9 * max_ratio.powf(-0.2)).clamp(0.2, 5.0)
+        } else {
+            5.0
+        };
+        h *= factor;
+        if h < min_h {
+            return Err(FmiError::Simulation(format!(
+                "adaptive solver step underflow at t={t}; problem may be too stiff"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// dx/dt = -x, x(0)=1 → x(t) = e^-t
+    fn decay(t: f64, x: &[f64], dx: &mut [f64]) {
+        let _ = t;
+        dx[0] = -x[0];
+    }
+
+    fn solve(kind: SolverKind, t1: f64) -> f64 {
+        let mut x = vec![1.0];
+        let mut f = decay;
+        kind.integrate(&mut f, 0.0, t1, &mut x).unwrap();
+        x[0]
+    }
+
+    #[test]
+    fn euler_converges_with_order_one() {
+        let exact = (-1.0_f64).exp();
+        let e1 = (solve(SolverKind::Euler { step: 0.1 }, 1.0) - exact).abs();
+        let e2 = (solve(SolverKind::Euler { step: 0.05 }, 1.0) - exact).abs();
+        let ratio = e1 / e2;
+        assert!(
+            (1.6..2.6).contains(&ratio),
+            "expected ~2x error reduction, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn rk4_converges_with_order_four() {
+        let exact = (-1.0_f64).exp();
+        let e1 = (solve(SolverKind::Rk4 { step: 0.2 }, 1.0) - exact).abs();
+        let e2 = (solve(SolverKind::Rk4 { step: 0.1 }, 1.0) - exact).abs();
+        let ratio = e1 / e2;
+        assert!(
+            (10.0..26.0).contains(&ratio),
+            "expected ~16x error reduction, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn rk45_meets_tolerance() {
+        let exact = (-5.0_f64).exp();
+        let got = solve(
+            SolverKind::Rk45 {
+                rtol: 1e-8,
+                atol: 1e-10,
+            },
+            5.0,
+        );
+        assert!(
+            (got - exact).abs() < 1e-6,
+            "rk45 error too large: {}",
+            (got - exact).abs()
+        );
+    }
+
+    #[test]
+    fn two_dimensional_oscillator_conserves_energy_reasonably() {
+        // x'' = -x as first-order system; RK4 should track sin/cos closely.
+        let mut f = |_t: f64, x: &[f64], dx: &mut [f64]| {
+            dx[0] = x[1];
+            dx[1] = -x[0];
+        };
+        let mut x = vec![1.0, 0.0];
+        SolverKind::Rk4 { step: 0.01 }
+            .integrate(&mut f, 0.0, std::f64::consts::TAU, &mut x)
+            .unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!(x[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn lti_heat_pump_matches_closed_form() {
+        // der(x) = a*x + c with constant input folded into c:
+        // x(t) = (x0 + c/a) e^{a t} - c/a
+        let a = -1.0 / (1.5 * 1.5); // -1/(R*Cp)
+        let c = 7.8 * 2.65 / 1.5 * 0.5 + (-10.0) / (1.5 * 1.5); // B*u + E
+        let mut f = |_t: f64, x: &[f64], dx: &mut [f64]| {
+            dx[0] = a * x[0] + c;
+        };
+        let x0 = 20.0;
+        let mut x = vec![x0];
+        SolverKind::Rk45 {
+            rtol: 1e-9,
+            atol: 1e-12,
+        }
+        .integrate(&mut f, 0.0, 3.0, &mut x)
+        .unwrap();
+        let exact = (x0 + c / a) * (a * 3.0_f64).exp() - c / a;
+        assert!((x[0] - exact).abs() < 1e-6, "got {} want {exact}", x[0]);
+    }
+
+    #[test]
+    fn zero_length_interval_is_noop() {
+        let mut x = vec![1.0];
+        let mut f = decay;
+        SolverKind::default()
+            .integrate(&mut f, 2.0, 2.0, &mut x)
+            .unwrap();
+        assert_eq!(x[0], 1.0);
+    }
+
+    #[test]
+    fn reversed_interval_errors() {
+        let mut x = vec![1.0];
+        let mut f = decay;
+        let err = SolverKind::default().integrate(&mut f, 1.0, 0.0, &mut x);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn invalid_configuration_errors() {
+        assert!(SolverKind::Euler { step: 0.0 }.validate().is_err());
+        assert!(SolverKind::Rk4 { step: -0.1 }.validate().is_err());
+        assert!(SolverKind::Rk45 {
+            rtol: 0.0,
+            atol: 1e-9
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn divergent_model_reports_non_finite_state() {
+        // dx/dt = x^2 with x(0)=1 blows up at t=1.
+        let mut f = |_t: f64, x: &[f64], dx: &mut [f64]| {
+            dx[0] = x[0] * x[0];
+        };
+        let mut x = vec![1.0];
+        let res = SolverKind::Euler { step: 0.01 }.integrate(&mut f, 0.0, 2.0, &mut x);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn final_step_lands_exactly_on_t1() {
+        // Integrate dx/dt = 1 over [0, 1.05] with step 0.1: result must be
+        // exactly the interval length, exercising the shortened last step.
+        let mut f = |_t: f64, _x: &[f64], dx: &mut [f64]| {
+            dx[0] = 1.0;
+        };
+        let mut x = vec![0.0];
+        SolverKind::Euler { step: 0.1 }
+            .integrate(&mut f, 0.0, 1.05, &mut x)
+            .unwrap();
+        assert!((x[0] - 1.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,180 @@
+//! The right-hand side of a model: `der(x) = f(t, x, u, p)` and
+//! `y = g(t, x, u, p)` as vectors of [`Expr`] trees.
+
+use crate::error::{FmiError, Result};
+use crate::expr::{EvalCtx, Expr};
+
+/// An explicit first-order ODE system with algebraic outputs.
+///
+/// Dimensions are fixed at construction; evaluation writes into
+/// caller-provided buffers so the solver inner loop never allocates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquationSystem {
+    n_states: usize,
+    n_inputs: usize,
+    n_params: usize,
+    /// `ders[i]` computes `der(x_i)`.
+    ders: Vec<Expr>,
+    /// `outs[j]` computes output `y_j`.
+    outs: Vec<Expr>,
+}
+
+impl EquationSystem {
+    /// Build a system, validating that every expression only references
+    /// indices within the declared dimensions and that there is exactly one
+    /// derivative expression per state.
+    pub fn new(
+        n_states: usize,
+        n_inputs: usize,
+        n_params: usize,
+        ders: Vec<Expr>,
+        outs: Vec<Expr>,
+    ) -> Result<Self> {
+        if ders.len() != n_states {
+            return Err(FmiError::InvalidModel(format!(
+                "{} derivative equations for {} states",
+                ders.len(),
+                n_states
+            )));
+        }
+        for e in ders.iter().chain(outs.iter()) {
+            e.check_indices(n_states, n_inputs, n_params)?;
+        }
+        Ok(EquationSystem {
+            n_states,
+            n_inputs,
+            n_params,
+            ders,
+            outs,
+        })
+    }
+
+    /// Number of continuous states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+    /// Number of inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+    /// Number of parameters.
+    pub fn n_params(&self) -> usize {
+        self.n_params
+    }
+    /// Number of outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.outs.len()
+    }
+    /// Derivative expressions (for archive encoding).
+    pub fn ders(&self) -> &[Expr] {
+        &self.ders
+    }
+    /// Output expressions (for archive encoding).
+    pub fn outs(&self) -> &[Expr] {
+        &self.outs
+    }
+
+    /// Evaluate `der(x)` into `dx`.
+    ///
+    /// # Panics
+    /// Panics if buffer lengths do not match the declared dimensions — this
+    /// indicates a programming error in the solver, not bad user input.
+    pub fn derivatives(&self, t: f64, x: &[f64], u: &[f64], p: &[f64], dx: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n_states);
+        debug_assert_eq!(u.len(), self.n_inputs);
+        debug_assert_eq!(p.len(), self.n_params);
+        assert_eq!(dx.len(), self.n_states);
+        let ctx = EvalCtx { t, x, u, p };
+        for (out, e) in dx.iter_mut().zip(&self.ders) {
+            *out = e.eval(&ctx);
+        }
+    }
+
+    /// Evaluate the outputs into `y`.
+    pub fn outputs(&self, t: f64, x: &[f64], u: &[f64], p: &[f64], y: &mut [f64]) {
+        assert_eq!(y.len(), self.outs.len());
+        let ctx = EvalCtx { t, x, u, p };
+        for (out, e) in y.iter_mut().zip(&self.outs) {
+            *out = e.eval(&ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// der(x) = A*x + B*u + E ; y = D*u  (the paper's LTI SISO heat pump)
+    fn lti() -> EquationSystem {
+        EquationSystem::new(
+            1,
+            1,
+            4, // A, B, E, D
+            vec![Expr::sum(vec![
+                Expr::mul(Expr::Param(0), Expr::State(0)),
+                Expr::mul(Expr::Param(1), Expr::Input(0)),
+                Expr::Param(2),
+            ])],
+            vec![Expr::mul(Expr::Param(3), Expr::Input(0))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluates_derivatives_and_outputs() {
+        let sys = lti();
+        let p = [-0.5, 10.0, 2.0, 7.8];
+        let mut dx = [0.0];
+        let mut y = [0.0];
+        sys.derivatives(0.0, &[20.0], &[0.3], &p, &mut dx);
+        assert!((dx[0] - (-0.5 * 20.0 + 10.0 * 0.3 + 2.0)).abs() < 1e-12);
+        sys.outputs(0.0, &[20.0], &[0.3], &p, &mut y);
+        assert!((y[0] - 7.8 * 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        // 2 der expressions for 1 state
+        let err = EquationSystem::new(
+            1,
+            0,
+            0,
+            vec![Expr::Const(0.0), Expr::Const(0.0)],
+            vec![],
+        );
+        assert!(err.is_err());
+        // reference to a missing input
+        let err = EquationSystem::new(1, 0, 0, vec![Expr::Input(0)], vec![]);
+        assert!(err.is_err());
+        // reference to a missing param in an output
+        let err = EquationSystem::new(1, 0, 1, vec![Expr::Const(0.0)], vec![Expr::Param(1)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn zero_state_system_is_allowed() {
+        // purely algebraic model: y = 2*u
+        let sys = EquationSystem::new(
+            0,
+            1,
+            0,
+            vec![],
+            vec![Expr::mul(Expr::c(2.0), Expr::Input(0))],
+        )
+        .unwrap();
+        let mut y = [0.0];
+        sys.outputs(0.0, &[], &[21.0], &[], &mut y);
+        assert_eq!(y[0], 42.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let sys = lti();
+        assert_eq!(sys.n_states(), 1);
+        assert_eq!(sys.n_inputs(), 1);
+        assert_eq!(sys.n_params(), 4);
+        assert_eq!(sys.n_outputs(), 1);
+        assert_eq!(sys.ders().len(), 1);
+        assert_eq!(sys.outs().len(), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the FMI substrate: archive codec round-trips,
+//! input-sampling invariants and solver sanity on random linear systems.
+
+use proptest::prelude::*;
+
+use pgfmu_fmi::archive;
+use pgfmu_fmi::expr::{BinOp, Expr, UnaryOp};
+use pgfmu_fmi::input::{InputSeries, Interpolation};
+use pgfmu_fmi::model_description::{
+    Causality, DefaultExperiment, ModelDescription, ScalarVariable, Variability,
+};
+use pgfmu_fmi::solver::SolverKind;
+use pgfmu_fmi::system::EquationSystem;
+use pgfmu_fmi::Fmu;
+
+const N_STATES: usize = 2;
+const N_INPUTS: usize = 2;
+const N_PARAMS: usize = 3;
+
+fn arb_unary() -> impl Strategy<Value = UnaryOp> {
+    prop_oneof![
+        Just(UnaryOp::Neg),
+        Just(UnaryOp::Abs),
+        Just(UnaryOp::Sin),
+        Just(UnaryOp::Cos),
+        Just(UnaryOp::Tan),
+        Just(UnaryOp::Exp),
+        Just(UnaryOp::Ln),
+        Just(UnaryOp::Sqrt),
+    ]
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Pow),
+        Just(BinOp::Min),
+        Just(BinOp::Max),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ]
+}
+
+/// Random expression trees valid for the fixed dimensions above.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1e6f64..1e6).prop_map(Expr::Const),
+        Just(Expr::Time),
+        (0..N_STATES).prop_map(Expr::State),
+        (0..N_INPUTS).prop_map(Expr::Input),
+        (0..N_PARAMS).prop_map(Expr::Param),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (arb_unary(), inner.clone()).prop_map(|(op, a)| Expr::Unary(op, Box::new(a))),
+            (arb_binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| Expr::If(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_fmu() -> impl Strategy<Value = Fmu> {
+    (
+        proptest::collection::vec(arb_expr(), N_STATES),
+        proptest::collection::vec(arb_expr(), 0..3),
+        "[a-z]{1,12}",
+    )
+        .prop_map(|(ders, outs, name)| {
+            let mut vars = Vec::new();
+            for i in 0..N_PARAMS {
+                vars.push(
+                    ScalarVariable::new(format!("p{i}"), Causality::Parameter, Variability::Tunable)
+                        .with_start(i as f64)
+                        .with_bounds(-100.0, 100.0),
+                );
+            }
+            for i in 0..N_STATES {
+                vars.push(
+                    ScalarVariable::new(format!("x{i}"), Causality::Local, Variability::Continuous)
+                        .with_start(0.5 * i as f64),
+                );
+            }
+            for i in 0..N_INPUTS {
+                vars.push(ScalarVariable::new(
+                    format!("u{i}"),
+                    Causality::Input,
+                    Variability::Continuous,
+                ));
+            }
+            for i in 0..outs.len() {
+                vars.push(ScalarVariable::new(
+                    format!("y{i}"),
+                    Causality::Output,
+                    Variability::Continuous,
+                ));
+            }
+            let md = ModelDescription::new(name, vars, DefaultExperiment::default()).unwrap();
+            let sys = EquationSystem::new(N_STATES, N_INPUTS, N_PARAMS, ders, outs).unwrap();
+            Fmu::new(md, sys).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity on arbitrary valid FMUs.
+    #[test]
+    fn archive_round_trip(fmu in arb_fmu()) {
+        let bytes = archive::encode(&fmu);
+        let back = archive::decode(&bytes).unwrap();
+        prop_assert_eq!(back, fmu);
+    }
+
+    /// A decoded archive never panics on arbitrary byte mutations — it
+    /// either round-trips (mutation hit a redundant byte) or errors.
+    #[test]
+    fn archive_survives_fuzzing(fmu in arb_fmu(), idx in 0usize..4096, bit in 0u8..8) {
+        let mut bytes = archive::encode(&fmu);
+        let n = bytes.len();
+        bytes[idx % n] ^= 1 << bit;
+        let _ = archive::decode(&bytes); // must not panic
+    }
+
+    /// Hold interpolation always returns one of the sample values.
+    #[test]
+    fn hold_sampling_returns_sample_values(
+        values in proptest::collection::vec(-1e3f64..1e3, 1..20),
+        t in -10.0f64..40.0,
+    ) {
+        let times: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
+        let s = InputSeries::new("u", times, values.clone(), Interpolation::Hold).unwrap();
+        let v = s.sample(t);
+        prop_assert!(values.contains(&v));
+    }
+
+    /// Linear interpolation stays within the convex hull of neighbours.
+    #[test]
+    fn linear_sampling_bounded_by_extremes(
+        values in proptest::collection::vec(-1e3f64..1e3, 2..20),
+        t in -10.0f64..40.0,
+    ) {
+        let times: Vec<f64> = (0..values.len()).map(|i| i as f64).collect();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let s = InputSeries::new("u", times, values, Interpolation::Linear).unwrap();
+        let v = s.sample(t);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    /// On the scalar linear ODE x' = a x (a <= 0), every solver stays
+    /// within the initial bound |x(t)| <= |x0| (stability preserved when
+    /// the step resolves the time constant).
+    #[test]
+    fn solvers_preserve_stability_of_decay(
+        a in -2.0f64..0.0,
+        x0 in -50.0f64..50.0,
+        span in 0.1f64..20.0,
+    ) {
+        for kind in [
+            SolverKind::Euler { step: 0.05 },
+            SolverKind::Rk4 { step: 0.1 },
+            SolverKind::Rk45 { rtol: 1e-6, atol: 1e-9 },
+        ] {
+            let mut x = vec![x0];
+            let mut f = |_t: f64, xs: &[f64], dx: &mut [f64]| { dx[0] = a * xs[0]; };
+            kind.integrate(&mut f, 0.0, span, &mut x).unwrap();
+            prop_assert!(x[0].abs() <= x0.abs() + 1e-9,
+                "{kind:?}: |x|={} grew past |x0|={}", x[0].abs(), x0.abs());
+        }
+    }
+
+    /// RK45 matches the closed-form solution of x' = a x + b across the
+    /// sampled coefficient range.
+    #[test]
+    fn rk45_matches_closed_form_affine(
+        a in -1.0f64..-0.01,
+        b in -5.0f64..5.0,
+        x0 in -30.0f64..30.0,
+    ) {
+        let mut x = vec![x0];
+        let mut f = |_t: f64, xs: &[f64], dx: &mut [f64]| { dx[0] = a * xs[0] + b; };
+        SolverKind::Rk45 { rtol: 1e-9, atol: 1e-12 }
+            .integrate(&mut f, 0.0, 5.0, &mut x)
+            .unwrap();
+        let exact = (x0 + b / a) * (a * 5.0).exp() - b / a;
+        prop_assert!((x[0] - exact).abs() < 1e-5,
+            "rk45 {} vs exact {exact}", x[0]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Abstract syntax tree for the Modelica subset.
+
+/// Component prefix determining the variable's FMI causality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prefix {
+    /// `parameter Real …`
+    Parameter,
+    /// `input Real …`
+    Input,
+    /// `output Real …`
+    Output,
+    /// Plain `Real …` — a candidate state variable.
+    None,
+}
+
+/// Declared Modelica type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeName {
+    /// `Real`
+    Real,
+    /// `Integer`
+    Integer,
+    /// `Boolean`
+    Boolean,
+}
+
+/// Expression AST (name-based; lowered to index-based IR by the compiler).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Numeric literal.
+    Number(f64),
+    /// `true` / `false` literal (lowered to 1.0 / 0.0).
+    Bool(bool),
+    /// Variable reference or the builtin `time`.
+    Ident(String),
+    /// Unary minus.
+    Neg(Box<AstExpr>),
+    /// `not e`
+    Not(Box<AstExpr>),
+    /// Binary arithmetic / comparison / logical operation.
+    Binary(AstBinOp, Box<AstExpr>, Box<AstExpr>),
+    /// Function call such as `sin(x)`, `max(a, b)`, `der(x)`.
+    Call(String, Vec<AstExpr>),
+    /// `if cond then a else b`
+    If(Box<AstExpr>, Box<AstExpr>, Box<AstExpr>),
+}
+
+/// Binary operators of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `^`
+    Pow,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `<>`
+    Ne,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// One component (variable) declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// `discrete` prefix given (zero-order-hold input sampling).
+    pub discrete: bool,
+    /// Causality prefix.
+    pub prefix: Prefix,
+    /// Declared type.
+    pub type_name: TypeName,
+    /// Component name.
+    pub name: String,
+    /// Attribute modifications, e.g. `(start = 20, min = 0, max = 1)`.
+    /// `unit = "degC"` is carried as a `Call("unit-string", …)`-free
+    /// special case: unit attributes are stored separately.
+    pub attributes: Vec<(String, AstExpr)>,
+    /// Unit attribute when given as a string (`unit = "degC"`).
+    pub unit: Option<String>,
+    /// Declaration binding (`= expr`).
+    pub binding: Option<AstExpr>,
+    /// Trailing description string.
+    pub description: Option<String>,
+    /// Source line of the declaration (for diagnostics).
+    pub line: u32,
+}
+
+/// One equation in the `equation` section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Equation {
+    /// `der(x) = expr;`
+    Der {
+        /// State variable name.
+        state: String,
+        /// Right-hand side.
+        rhs: AstExpr,
+        /// Source line.
+        line: u32,
+    },
+    /// `y = expr;` — output (or algebraic alias) assignment.
+    Assign {
+        /// Assigned variable name.
+        target: String,
+        /// Right-hand side.
+        rhs: AstExpr,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// The `annotation(experiment(…))` payload.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExperimentAnnotation {
+    /// `StartTime`
+    pub start_time: Option<f64>,
+    /// `StopTime`
+    pub stop_time: Option<f64>,
+    /// `Tolerance`
+    pub tolerance: Option<f64>,
+    /// `Interval` (output step)
+    pub interval: Option<f64>,
+}
+
+/// A parsed `model … end …;` unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelAst {
+    /// Model name.
+    pub name: String,
+    /// Component declarations in source order.
+    pub components: Vec<Component>,
+    /// Equations in source order.
+    pub equations: Vec<Equation>,
+    /// Optional experiment annotation.
+    pub experiment: ExperimentAnnotation,
+}

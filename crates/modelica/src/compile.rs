@@ -1,0 +1,695 @@
+//! Lowering from the Modelica AST to the `pgfmu-fmi` equation IR.
+//!
+//! Classification rules:
+//!
+//! * `parameter` components become FMI parameters. A parameter declared
+//!   with **both** `min` and `max` attributes is *tunable* (an estimation
+//!   target for `fmu_parest`); one without bounds is *fixed*. This mirrors
+//!   pgFMU's meta-data-driven filtering of estimable parameters (paper §2:
+//!   solver-internal and structural constants must not be estimated).
+//! * `input` components become FMI inputs. `Real` inputs are continuous
+//!   (linear interpolation); `Integer`/`Boolean` inputs are discrete
+//!   (zero-order hold).
+//! * `output` components become FMI outputs; each needs exactly one
+//!   assignment equation.
+//! * plain `Real` components are states; each needs exactly one `der()`
+//!   equation.
+//!
+//! Parameter bindings are constant-folded left-to-right, so
+//! `parameter Real A = -1/(R*Cp);` resolves when `R` and `Cp` were
+//! declared earlier in the file.
+
+use std::collections::HashMap;
+
+use pgfmu_fmi::{
+    BinOp, Causality, DefaultExperiment, Expr, Fmu, ModelDescription, ScalarVariable, UnaryOp,
+    VarType, Variability,
+};
+
+use crate::ast::{AstBinOp, AstExpr, Component, Equation, ModelAst, Prefix, TypeName};
+use crate::error::{ModelicaError, Result};
+
+/// How an identifier resolves during lowering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Binding {
+    Param(usize),
+    Input(usize),
+    State(usize),
+    Output,
+}
+
+/// Compile a parsed model into an FMU.
+pub fn compile_model(model: &ModelAst) -> Result<Fmu> {
+    // ---- classify components ----------------------------------------------
+    let mut params: Vec<&Component> = Vec::new();
+    let mut inputs: Vec<&Component> = Vec::new();
+    let mut outputs: Vec<&Component> = Vec::new();
+    let mut states: Vec<&Component> = Vec::new();
+    for c in &model.components {
+        match c.prefix {
+            Prefix::Parameter => params.push(c),
+            Prefix::Input => inputs.push(c),
+            Prefix::Output => outputs.push(c),
+            Prefix::None => states.push(c),
+        }
+    }
+
+    // ---- constant-fold parameter bindings ---------------------------------
+    let mut param_values: HashMap<&str, f64> = HashMap::new();
+    let mut param_defaults: Vec<f64> = Vec::with_capacity(params.len());
+    for c in &params {
+        let value = match &c.binding {
+            Some(expr) => fold_const(expr, &param_values).ok_or_else(|| {
+                ModelicaError::new(
+                    c.line,
+                    1,
+                    format!(
+                        "parameter '{}': binding must be constant over literals \
+                         and previously declared parameters",
+                        c.name
+                    ),
+                )
+            })?,
+            None => attr_value(c, "start", &param_values)?.unwrap_or(0.0),
+        };
+        param_values.insert(c.name.as_str(), value);
+        param_defaults.push(value);
+    }
+
+    // ---- name resolution table ---------------------------------------------
+    let mut bindings: HashMap<&str, Binding> = HashMap::new();
+    for (i, c) in params.iter().enumerate() {
+        insert_unique(&mut bindings, c, Binding::Param(i))?;
+    }
+    for (i, c) in inputs.iter().enumerate() {
+        insert_unique(&mut bindings, c, Binding::Input(i))?;
+    }
+    for (i, c) in states.iter().enumerate() {
+        insert_unique(&mut bindings, c, Binding::State(i))?;
+    }
+    for c in &outputs {
+        insert_unique(&mut bindings, c, Binding::Output)?;
+    }
+
+    // ---- lower equations ----------------------------------------------------
+    let mut ders: Vec<Option<Expr>> = vec![None; states.len()];
+    let mut outs: Vec<Option<Expr>> = vec![None; outputs.len()];
+    for eq in &model.equations {
+        match eq {
+            Equation::Der { state, rhs, line } => {
+                let idx = states
+                    .iter()
+                    .position(|c| c.name == *state)
+                    .ok_or_else(|| {
+                        ModelicaError::new(
+                            *line,
+                            1,
+                            format!("der() target '{state}' is not a state variable"),
+                        )
+                    })?;
+                if ders[idx].is_some() {
+                    return Err(ModelicaError::new(
+                        *line,
+                        1,
+                        format!("state '{state}' has more than one der() equation"),
+                    ));
+                }
+                ders[idx] = Some(lower(rhs, &bindings, *line)?);
+            }
+            Equation::Assign { target, rhs, line } => {
+                let idx = outputs
+                    .iter()
+                    .position(|c| c.name == *target)
+                    .ok_or_else(|| {
+                        ModelicaError::new(
+                            *line,
+                            1,
+                            format!(
+                                "assignment target '{target}' is not an output \
+                                 (only `der(state) = …` and `output = …` equations \
+                                 are supported)"
+                            ),
+                        )
+                    })?;
+                if outs[idx].is_some() {
+                    return Err(ModelicaError::new(
+                        *line,
+                        1,
+                        format!("output '{target}' is assigned more than once"),
+                    ));
+                }
+                outs[idx] = Some(lower(rhs, &bindings, *line)?);
+            }
+        }
+    }
+    let ders: Vec<Expr> = ders
+        .into_iter()
+        .zip(&states)
+        .map(|(d, c)| {
+            d.ok_or_else(|| {
+                ModelicaError::new(
+                    c.line,
+                    1,
+                    format!("state '{}' has no der() equation", c.name),
+                )
+            })
+        })
+        .collect::<Result<_>>()?;
+    let outs: Vec<Expr> = outs
+        .into_iter()
+        .zip(&outputs)
+        .map(|(o, c)| {
+            o.ok_or_else(|| {
+                ModelicaError::new(
+                    c.line,
+                    1,
+                    format!("output '{}' has no defining equation", c.name),
+                )
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    // ---- build metadata ------------------------------------------------------
+    let mut variables = Vec::with_capacity(model.components.len());
+    for (i, c) in params.iter().enumerate() {
+        let min = attr_value(c, "min", &param_values)?;
+        let max = attr_value(c, "max", &param_values)?;
+        let variability = if min.is_some() && max.is_some() {
+            Variability::Tunable
+        } else {
+            Variability::Fixed
+        };
+        variables.push(scalar(
+            c,
+            Causality::Parameter,
+            variability,
+            Some(param_defaults[i]),
+            min,
+            max,
+        ));
+    }
+    for c in &states {
+        let start = attr_value(c, "start", &param_values)?;
+        let min = attr_value(c, "min", &param_values)?;
+        let max = attr_value(c, "max", &param_values)?;
+        variables.push(scalar(
+            c,
+            Causality::Local,
+            Variability::Continuous,
+            // States default to 0 when no start attribute is given, the
+            // Modelica default for Real.
+            Some(start.unwrap_or(0.0)),
+            min,
+            max,
+        ));
+    }
+    for c in &inputs {
+        let variability = match c.type_name {
+            TypeName::Real if !c.discrete => Variability::Continuous,
+            _ => Variability::Discrete,
+        };
+        let start = attr_value(c, "start", &param_values)?;
+        let min = attr_value(c, "min", &param_values)?;
+        let max = attr_value(c, "max", &param_values)?;
+        variables.push(scalar(c, Causality::Input, variability, start, min, max));
+    }
+    for c in &outputs {
+        variables.push(scalar(
+            c,
+            Causality::Output,
+            Variability::Continuous,
+            None,
+            None,
+            None,
+        ));
+    }
+
+    let exp = &model.experiment;
+    let default_experiment = DefaultExperiment {
+        start_time: exp.start_time.unwrap_or(0.0),
+        stop_time: exp.stop_time.unwrap_or(24.0),
+        tolerance: exp.tolerance.unwrap_or(1e-6),
+        step_size: exp.interval.unwrap_or(1.0),
+    };
+
+    let md = ModelDescription::new(model.name.clone(), variables, default_experiment)
+        .map_err(|e| ModelicaError::new(0, 0, e.to_string()))?;
+    let system = pgfmu_fmi::EquationSystem::new(
+        states.len(),
+        inputs.len(),
+        params.len(),
+        ders,
+        outs,
+    )
+    .map_err(|e| ModelicaError::new(0, 0, e.to_string()))?;
+    Fmu::new(md, system).map_err(|e| ModelicaError::new(0, 0, e.to_string()))
+}
+
+fn insert_unique<'m>(
+    bindings: &mut HashMap<&'m str, Binding>,
+    c: &'m Component,
+    b: Binding,
+) -> Result<()> {
+    if bindings.insert(c.name.as_str(), b).is_some() {
+        return Err(ModelicaError::new(
+            c.line,
+            1,
+            format!("duplicate component name '{}'", c.name),
+        ));
+    }
+    Ok(())
+}
+
+fn scalar(
+    c: &Component,
+    causality: Causality,
+    variability: Variability,
+    start: Option<f64>,
+    min: Option<f64>,
+    max: Option<f64>,
+) -> ScalarVariable {
+    ScalarVariable {
+        name: c.name.clone(),
+        causality,
+        variability,
+        var_type: match c.type_name {
+            TypeName::Real => VarType::Real,
+            TypeName::Integer => VarType::Integer,
+            TypeName::Boolean => VarType::Boolean,
+        },
+        start,
+        min,
+        max,
+        unit: c.unit.clone().unwrap_or_default(),
+        description: c.description.clone().unwrap_or_default(),
+    }
+}
+
+/// Look up and constant-fold a declaration attribute.
+fn attr_value(
+    c: &Component,
+    key: &str,
+    params: &HashMap<&str, f64>,
+) -> Result<Option<f64>> {
+    match c.attributes.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, expr)) => fold_const(expr, params).map(Some).ok_or_else(|| {
+            ModelicaError::new(
+                c.line,
+                1,
+                format!("attribute '{key}' of '{}' must be constant", c.name),
+            )
+        }),
+    }
+}
+
+/// Constant folding over literals and already-resolved parameters.
+fn fold_const(e: &AstExpr, params: &HashMap<&str, f64>) -> Option<f64> {
+    match e {
+        AstExpr::Number(v) => Some(*v),
+        AstExpr::Bool(b) => Some(f64::from(*b)),
+        AstExpr::Ident(name) => params.get(name.as_str()).copied(),
+        AstExpr::Neg(a) => fold_const(a, params).map(|v| -v),
+        AstExpr::Not(a) => fold_const(a, params).map(|v| if v > 0.5 { 0.0 } else { 1.0 }),
+        AstExpr::Binary(op, a, b) => {
+            let a = fold_const(a, params)?;
+            let b = fold_const(b, params)?;
+            Some(match op {
+                AstBinOp::Add => a + b,
+                AstBinOp::Sub => a - b,
+                AstBinOp::Mul => a * b,
+                AstBinOp::Div => a / b,
+                AstBinOp::Pow => a.powf(b),
+                AstBinOp::Lt => f64::from(a < b),
+                AstBinOp::Le => f64::from(a <= b),
+                AstBinOp::Gt => f64::from(a > b),
+                AstBinOp::Ge => f64::from(a >= b),
+                AstBinOp::EqEq => f64::from(a == b),
+                AstBinOp::Ne => f64::from(a != b),
+                AstBinOp::And => f64::from(a > 0.5 && b > 0.5),
+                AstBinOp::Or => f64::from(a > 0.5 || b > 0.5),
+            })
+        }
+        AstExpr::Call(name, args) => {
+            let vals: Option<Vec<f64>> = args.iter().map(|a| fold_const(a, params)).collect();
+            let vals = vals?;
+            match (name.as_str(), vals.as_slice()) {
+                ("sin", [a]) => Some(a.sin()),
+                ("cos", [a]) => Some(a.cos()),
+                ("tan", [a]) => Some(a.tan()),
+                ("exp", [a]) => Some(a.exp()),
+                ("log", [a]) | ("ln", [a]) => Some(a.ln()),
+                ("sqrt", [a]) => Some(a.sqrt()),
+                ("abs", [a]) => Some(a.abs()),
+                ("min", [a, b]) => Some(a.min(*b)),
+                ("max", [a, b]) => Some(a.max(*b)),
+                _ => None,
+            }
+        }
+        AstExpr::If(c, a, b) => {
+            let c = fold_const(c, params)?;
+            if c > 0.5 {
+                fold_const(a, params)
+            } else {
+                fold_const(b, params)
+            }
+        }
+    }
+}
+
+/// Lower an AST expression to the index-based IR.
+fn lower(e: &AstExpr, bindings: &HashMap<&str, Binding>, line: u32) -> Result<Expr> {
+    Ok(match e {
+        AstExpr::Number(v) => Expr::Const(*v),
+        AstExpr::Bool(b) => Expr::Const(f64::from(*b)),
+        AstExpr::Ident(name) => {
+            if name == "time" {
+                Expr::Time
+            } else {
+                match bindings.get(name.as_str()) {
+                    Some(Binding::Param(i)) => Expr::Param(*i),
+                    Some(Binding::Input(i)) => Expr::Input(*i),
+                    Some(Binding::State(i)) => Expr::State(*i),
+                    Some(Binding::Output) => {
+                        return Err(ModelicaError::new(
+                            line,
+                            1,
+                            format!(
+                                "output '{name}' may not be referenced in an equation \
+                                 (inline its defining expression instead)"
+                            ),
+                        ))
+                    }
+                    None => {
+                        return Err(ModelicaError::new(
+                            line,
+                            1,
+                            format!("unknown identifier '{name}'"),
+                        ))
+                    }
+                }
+            }
+        }
+        AstExpr::Neg(a) => Expr::Unary(UnaryOp::Neg, Box::new(lower(a, bindings, line)?)),
+        AstExpr::Not(a) => Expr::sub(Expr::c(1.0), lower(a, bindings, line)?),
+        AstExpr::Binary(op, a, b) => {
+            let a = lower(a, bindings, line)?;
+            let b = lower(b, bindings, line)?;
+            match op {
+                AstBinOp::Add => Expr::Binary(BinOp::Add, Box::new(a), Box::new(b)),
+                AstBinOp::Sub => Expr::Binary(BinOp::Sub, Box::new(a), Box::new(b)),
+                AstBinOp::Mul => Expr::Binary(BinOp::Mul, Box::new(a), Box::new(b)),
+                AstBinOp::Div => Expr::Binary(BinOp::Div, Box::new(a), Box::new(b)),
+                AstBinOp::Pow => Expr::Binary(BinOp::Pow, Box::new(a), Box::new(b)),
+                AstBinOp::Lt => Expr::Binary(BinOp::Lt, Box::new(a), Box::new(b)),
+                AstBinOp::Le => Expr::Binary(BinOp::Le, Box::new(a), Box::new(b)),
+                AstBinOp::Gt => Expr::Binary(BinOp::Gt, Box::new(a), Box::new(b)),
+                AstBinOp::Ge => Expr::Binary(BinOp::Ge, Box::new(a), Box::new(b)),
+                // eq := (a<=b) AND (a>=b); truth values are 0/1 so Min/Max
+                // implement boolean algebra exactly.
+                AstBinOp::EqEq => Expr::Binary(
+                    BinOp::Min,
+                    Box::new(Expr::Binary(
+                        BinOp::Le,
+                        Box::new(a.clone()),
+                        Box::new(b.clone()),
+                    )),
+                    Box::new(Expr::Binary(BinOp::Ge, Box::new(a), Box::new(b))),
+                ),
+                AstBinOp::Ne => Expr::sub(
+                    Expr::c(1.0),
+                    Expr::Binary(
+                        BinOp::Min,
+                        Box::new(Expr::Binary(
+                            BinOp::Le,
+                            Box::new(a.clone()),
+                            Box::new(b.clone()),
+                        )),
+                        Box::new(Expr::Binary(BinOp::Ge, Box::new(a), Box::new(b))),
+                    ),
+                ),
+                AstBinOp::And => Expr::Binary(BinOp::Min, Box::new(a), Box::new(b)),
+                AstBinOp::Or => Expr::Binary(BinOp::Max, Box::new(a), Box::new(b)),
+            }
+        }
+        AstExpr::Call(name, args) => {
+            let unary = |op: UnaryOp, args: &[AstExpr]| -> Result<Expr> {
+                if args.len() != 1 {
+                    return Err(ModelicaError::new(
+                        line,
+                        1,
+                        format!("{name}() takes exactly one argument"),
+                    ));
+                }
+                Ok(Expr::Unary(op, Box::new(lower(&args[0], bindings, line)?)))
+            };
+            match name.as_str() {
+                "sin" => unary(UnaryOp::Sin, args)?,
+                "cos" => unary(UnaryOp::Cos, args)?,
+                "tan" => unary(UnaryOp::Tan, args)?,
+                "exp" => unary(UnaryOp::Exp, args)?,
+                "log" | "ln" => unary(UnaryOp::Ln, args)?,
+                "sqrt" => unary(UnaryOp::Sqrt, args)?,
+                "abs" => unary(UnaryOp::Abs, args)?,
+                "min" | "max" => {
+                    if args.len() != 2 {
+                        return Err(ModelicaError::new(
+                            line,
+                            1,
+                            format!("{name}() takes exactly two arguments"),
+                        ));
+                    }
+                    let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+                    Expr::Binary(
+                        op,
+                        Box::new(lower(&args[0], bindings, line)?),
+                        Box::new(lower(&args[1], bindings, line)?),
+                    )
+                }
+                "der" => {
+                    return Err(ModelicaError::new(
+                        line,
+                        1,
+                        "der() may only appear as the left-hand side of an equation",
+                    ))
+                }
+                other => {
+                    return Err(ModelicaError::new(
+                        line,
+                        1,
+                        format!("unknown function '{other}'"),
+                    ))
+                }
+            }
+        }
+        AstExpr::If(c, a, b) => Expr::If(
+            Box::new(lower(c, bindings, line)?),
+            Box::new(lower(a, bindings, line)?),
+            Box::new(lower(b, bindings, line)?),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> Result<Fmu> {
+        compile_model(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn parameter_binding_folding_chain() {
+        let fmu = compile(
+            "model m \
+               parameter Real Cp = 1.5; \
+               parameter Real R = 1.5; \
+               parameter Real A(min=-10, max=10) = -1/(R*Cp); \
+               Real x(start = 20); \
+             equation \
+               der(x) = A*x; \
+             end m;",
+        )
+        .unwrap();
+        let a = fmu.description.variable("A").unwrap();
+        assert!((a.start.unwrap() - (-1.0 / 2.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_parameters_are_tunable_unbounded_fixed() {
+        let fmu = compile(
+            "model m \
+               parameter Real A(min=-10, max=10) = 0; \
+               parameter Real P = 7.8; \
+               Real x(start=0); \
+             equation der(x) = A*x + P; end m;",
+        )
+        .unwrap();
+        assert_eq!(
+            fmu.description.variable("A").unwrap().variability,
+            Variability::Tunable
+        );
+        assert_eq!(
+            fmu.description.variable("P").unwrap().variability,
+            Variability::Fixed
+        );
+    }
+
+    #[test]
+    fn integer_input_is_discrete() {
+        let fmu = compile(
+            "model m \
+               input Integer occ(min=0, max=100); \
+               Real t(start=20); \
+             equation der(t) = 0.1*occ; end m;",
+        )
+        .unwrap();
+        let occ = fmu.description.variable("occ").unwrap();
+        assert_eq!(occ.variability, Variability::Discrete);
+        assert_eq!(occ.var_type, VarType::Integer);
+    }
+
+    #[test]
+    fn missing_der_equation_errors() {
+        let err = compile("model m Real x(start=0); Real z(start=0); equation der(x)=1; end m;");
+        assert!(err.unwrap_err().message.contains("'z' has no der()"));
+    }
+
+    #[test]
+    fn duplicate_der_equation_errors() {
+        let err = compile("model m Real x(start=0); equation der(x)=1; der(x)=2; end m;");
+        assert!(err.unwrap_err().message.contains("more than one"));
+    }
+
+    #[test]
+    fn unknown_identifier_errors() {
+        let err = compile("model m Real x(start=0); equation der(x) = ghost; end m;");
+        assert!(err.unwrap_err().message.contains("'ghost'"));
+    }
+
+    #[test]
+    fn output_reference_in_rhs_errors() {
+        let err = compile(
+            "model m output Real y; Real x(start=0); \
+             equation der(x) = y; y = 2*x; end m;",
+        );
+        assert!(err.unwrap_err().message.contains("output 'y'"));
+    }
+
+    #[test]
+    fn assignment_to_state_errors() {
+        let err = compile("model m Real x(start=0); equation x = 1; end m;");
+        assert!(err.unwrap_err().message.contains("not an output"));
+    }
+
+    #[test]
+    fn der_inside_expression_errors() {
+        let err = compile(
+            "model m Real x(start=0); output Real y; \
+             equation der(x) = 1; y = der(x); end m;",
+        );
+        assert!(err.unwrap_err().message.contains("left-hand side"));
+    }
+
+    #[test]
+    fn experiment_annotation_becomes_default_experiment() {
+        let fmu = compile(
+            "model m Real x(start=0); equation der(x)=0; \
+             annotation(experiment(StartTime=0, StopTime=672, Tolerance=1e-8, Interval=0.5)); \
+             end m;",
+        )
+        .unwrap();
+        let de = fmu.description.default_experiment;
+        assert_eq!(de.stop_time, 672.0);
+        assert_eq!(de.step_size, 0.5);
+        assert_eq!(de.tolerance, 1e-8);
+    }
+
+    #[test]
+    fn compiled_model_simulates() {
+        use pgfmu_fmi::{InputSet, SimulationOptions};
+        use std::sync::Arc;
+        // Pure decay toward zero with rate k.
+        let fmu = compile(
+            "model decay \
+               parameter Real k(min=0, max=10) = 0.5; \
+               Real x(start = 8); \
+             equation \
+               der(x) = -k * x; \
+             end decay;",
+        )
+        .unwrap();
+        let inst = Arc::new(fmu).instantiate();
+        let res = inst
+            .simulate(&InputSet::empty(), &SimulationOptions::default())
+            .unwrap();
+        let xs = res.series("x").unwrap();
+        let last = *xs.last().unwrap();
+        let exact = 8.0 * (-0.5_f64 * 24.0).exp();
+        assert!((last - exact).abs() < 1e-4, "{last} vs {exact}");
+    }
+
+    #[test]
+    fn thermostat_if_equation_compiles_and_saturates() {
+        use pgfmu_fmi::{InputSet, SimulationOptions};
+        use std::sync::Arc;
+        let fmu = compile(
+            "model thermostat \
+               parameter Real gain(min=0, max=100) = 5; \
+               Real x(start = 10); \
+             equation \
+               der(x) = if x < 21 then gain else 0; \
+             end thermostat;",
+        )
+        .unwrap();
+        let inst = Arc::new(fmu).instantiate();
+        let res = inst
+            .simulate(
+                &InputSet::empty(),
+                &SimulationOptions {
+                    stop: Some(24.0),
+                    output_step: Some(0.25),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let last = *res.series("x").unwrap().last().unwrap();
+        // Must have stopped heating near the 21 degree setpoint.
+        assert!((20.9..=22.5).contains(&last), "setpoint missed: {last}");
+    }
+
+    #[test]
+    fn boolean_operators_lower_to_min_max() {
+        let fmu = compile(
+            "model b \
+               Real x(start=0); output Real y; \
+             equation \
+               der(x) = 1; \
+               y = if x > 1 and x < 3 or not (x >= 0) then 1 else 0; \
+             end b;",
+        )
+        .unwrap();
+        // y at x=2: condition true.
+        let mut yv = [0.0];
+        fmu.system.outputs(0.0, &[2.0], &[], &[], &mut yv);
+        assert_eq!(yv[0], 1.0);
+        fmu.system.outputs(0.0, &[5.0], &[], &[], &mut yv);
+        assert_eq!(yv[0], 0.0);
+    }
+
+    #[test]
+    fn equality_comparison_lowers_correctly() {
+        let fmu = compile(
+            "model e Real x(start=0); output Real y; \
+             equation der(x)=1; y = if x == 2 then 10 else if x <> 2 then 20 else 30; end e;",
+        )
+        .unwrap();
+        let mut yv = [0.0];
+        fmu.system.outputs(0.0, &[2.0], &[], &[], &mut yv);
+        assert_eq!(yv[0], 10.0);
+        fmu.system.outputs(0.0, &[3.0], &[], &[], &mut yv);
+        assert_eq!(yv[0], 20.0);
+    }
+}

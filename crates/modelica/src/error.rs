@@ -1,0 +1,57 @@
+//! Compiler diagnostics with source positions.
+
+use std::fmt;
+
+/// Convenient alias used across the crate.
+pub type Result<T> = std::result::Result<T, ModelicaError>;
+
+/// A lexer/parser/compiler diagnostic pointing at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelicaError {
+    /// 1-based source line (0 when not applicable, e.g. I/O failures).
+    pub line: u32,
+    /// 1-based source column.
+    pub column: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ModelicaError {
+    /// Create a diagnostic.
+    pub fn new(line: u32, column: u32, message: impl Into<String>) -> Self {
+        ModelicaError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ModelicaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "Modelica error at {}:{}: {}",
+                self.line, self.column, self.message
+            )
+        } else {
+            write!(f, "Modelica error: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ModelicaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ModelicaError::new(3, 7, "unexpected token");
+        assert_eq!(e.to_string(), "Modelica error at 3:7: unexpected token");
+        let e = ModelicaError::new(0, 0, "file missing");
+        assert_eq!(e.to_string(), "Modelica error: file missing");
+    }
+}

@@ -1,0 +1,356 @@
+//! Tokenizer for the Modelica subset.
+//!
+//! Handles identifiers/keywords, numeric literals (including exponents),
+//! double-quoted strings, `//` line comments, `/* … */` block comments and
+//! the operator/punctuation set used by declarations and equations.
+
+use crate::error::{ModelicaError, Result};
+
+/// Token kinds produced by [`lex`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are resolved by the parser so
+    /// identifiers like `model1` lex naturally).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Double-quoted string literal (escapes `\"` and `\\` supported).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `<>`
+    Ne,
+}
+
+/// A token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Tokenize Modelica source.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut cur = Cursor::new(source);
+    let mut out = Vec::new();
+
+    while let Some(c) = cur.peek() {
+        let (line, column) = (cur.line, cur.column);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                cur.bump();
+            }
+            '/' => {
+                cur.bump();
+                match cur.peek() {
+                    Some('/') => {
+                        // line comment
+                        while let Some(c) = cur.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            cur.bump();
+                        }
+                    }
+                    Some('*') => {
+                        cur.bump();
+                        let mut closed = false;
+                        while let Some(c) = cur.bump() {
+                            if c == '*' && cur.peek() == Some('/') {
+                                cur.bump();
+                                closed = true;
+                                break;
+                            }
+                        }
+                        if !closed {
+                            return Err(ModelicaError::new(
+                                line,
+                                column,
+                                "unterminated block comment",
+                            ));
+                        }
+                    }
+                    _ => out.push(Token {
+                        tok: Tok::Slash,
+                        line,
+                        column,
+                    }),
+                }
+            }
+            '"' => {
+                cur.bump();
+                let mut s = String::new();
+                loop {
+                    match cur.bump() {
+                        Some('"') => break,
+                        Some('\\') => match cur.bump() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('n') => s.push('\n'),
+                            Some(other) => {
+                                s.push('\\');
+                                s.push(other);
+                            }
+                            None => {
+                                return Err(ModelicaError::new(
+                                    line,
+                                    column,
+                                    "unterminated string literal",
+                                ))
+                            }
+                        },
+                        Some(other) => s.push(other),
+                        None => {
+                            return Err(ModelicaError::new(
+                                line,
+                                column,
+                                "unterminated string literal",
+                            ))
+                        }
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    line,
+                    column,
+                });
+            }
+            '0'..='9' | '.' => {
+                let mut text = String::new();
+                let mut saw_digit = false;
+                while let Some(c) = cur.peek() {
+                    if c.is_ascii_digit() {
+                        saw_digit = true;
+                        text.push(c);
+                        cur.bump();
+                    } else if c == '.' && !text.contains('.') && !text.contains('e') {
+                        text.push(c);
+                        cur.bump();
+                    } else if (c == 'e' || c == 'E') && saw_digit && !text.contains('e') {
+                        text.push('e');
+                        cur.bump();
+                        if let Some(sign @ ('+' | '-')) = cur.peek() {
+                            text.push(sign);
+                            cur.bump();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if !saw_digit {
+                    return Err(ModelicaError::new(line, column, "stray '.'"));
+                }
+                let value: f64 = text.parse().map_err(|_| {
+                    ModelicaError::new(line, column, format!("bad numeric literal '{text}'"))
+                })?;
+                out.push(Token {
+                    tok: Tok::Number(value),
+                    line,
+                    column,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(c) = cur.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        name.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Ident(name),
+                    line,
+                    column,
+                });
+            }
+            _ => {
+                cur.bump();
+                let tok = match c {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    ',' => Tok::Comma,
+                    ';' => Tok::Semi,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '^' => Tok::Caret,
+                    '=' => {
+                        if cur.peek() == Some('=') {
+                            cur.bump();
+                            Tok::EqEq
+                        } else {
+                            Tok::Eq
+                        }
+                    }
+                    '<' => match cur.peek() {
+                        Some('=') => {
+                            cur.bump();
+                            Tok::Le
+                        }
+                        Some('>') => {
+                            cur.bump();
+                            Tok::Ne
+                        }
+                        _ => Tok::Lt,
+                    },
+                    '>' => {
+                        if cur.peek() == Some('=') {
+                            cur.bump();
+                            Tok::Ge
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    other => {
+                        return Err(ModelicaError::new(
+                            line,
+                            column,
+                            format!("unexpected character '{other}'"),
+                        ))
+                    }
+                };
+                out.push(Token { tok, line, column });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        let toks = kinds("parameter Real A = -1.5e2;");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("parameter".into()),
+                Tok::Ident("Real".into()),
+                Tok::Ident("A".into()),
+                Tok::Eq,
+                Tok::Minus,
+                Tok::Number(150.0),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("< <= > >= == <> ^"),
+            vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::EqEq, Tok::Ne, Tok::Caret]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = kinds("a // whole line\n/* block\nspanning */ b");
+        assert_eq!(toks, vec![Tok::Ident("a".into()), Tok::Ident("b".into())]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let toks = kinds(r#""hello \"world\"" "#);
+        assert_eq!(toks, vec![Tok::Str("hello \"world\"".into())]);
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_decimals() {
+        assert_eq!(kinds("0.5"), vec![Tok::Number(0.5)]);
+        assert_eq!(kinds("1e-6"), vec![Tok::Number(1e-6)]);
+        assert_eq!(kinds("2.5E3"), vec![Tok::Number(2500.0)]);
+        // '1e' followed by identifier-ish garbage should fail to parse
+        assert!(lex("1e+").is_err());
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = lex("a ? b").unwrap_err();
+        assert!(err.message.contains('?'));
+    }
+}

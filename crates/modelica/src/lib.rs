@@ -1,0 +1,97 @@
+//! # pgfmu-modelica — a Modelica-subset compiler targeting `pgfmu-fmi`
+//!
+//! pgFMU's `fmu_create` UDF accepts three kinds of model references: a
+//! pre-compiled `.fmu` file, a Modelica `.mo` file, or inline Modelica
+//! source (paper §5). This crate implements the second and third paths:
+//! a lexer, parser and compiler for the Modelica subset exercised by the
+//! paper — single-model files with `parameter`/`input`/`output Real`
+//! component declarations (with `start`/`min`/`max`/`unit` attributes and
+//! description strings), an `equation` section of explicit `der(x) = …`
+//! and output assignments, and an optional `annotation(experiment(…))`
+//! clause supplying the FMI default experiment.
+//!
+//! The compiler performs:
+//!
+//! 1. classification of components into parameters, inputs, outputs and
+//!    states (a state is a plain `Real` driven by a `der()` equation);
+//! 2. compile-time constant folding of parameter bindings (`parameter
+//!    Real A = -1/(R*Cp);` works when `R` and `Cp` are earlier parameters);
+//! 3. lowering of equations into the index-based [`pgfmu_fmi::Expr`] IR;
+//! 4. assembly and validation of the [`pgfmu_fmi::Fmu`].
+//!
+//! ```
+//! use pgfmu_modelica::compile_str;
+//!
+//! let fmu = compile_str(
+//!     "model gain \
+//!        parameter Real k = 2.0; \
+//!        input Real u; \
+//!        output Real y; \
+//!      equation \
+//!        y = k * u; \
+//!      end gain;",
+//! ).unwrap();
+//! assert_eq!(fmu.name(), "gain");
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod sources;
+
+pub use compile::compile_model;
+pub use error::{ModelicaError, Result};
+
+use pgfmu_fmi::Fmu;
+
+/// Compile inline Modelica source into an FMU.
+pub fn compile_str(source: &str) -> Result<Fmu> {
+    let tokens = lexer::lex(source)?;
+    let model = parser::parse(&tokens)?;
+    compile::compile_model(&model)
+}
+
+/// Compile a `.mo` file into an FMU.
+pub fn compile_file(path: &std::path::Path) -> Result<Fmu> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| ModelicaError::new(0, 0, format!("cannot read {}: {e}", path.display())))?;
+    compile_str(&source)
+}
+
+/// Heuristic used by `fmu_create` to distinguish inline Modelica source
+/// from file paths: inline source contains `model … end …`.
+pub fn looks_like_inline_source(model_ref: &str) -> bool {
+    model_ref.contains("model ") && model_ref.contains("end ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_figure2_model() {
+        let fmu = compile_str(sources::HP1_MO).unwrap();
+        assert_eq!(fmu.name(), "heatpump");
+        assert_eq!(fmu.state_names(), ["x"]);
+        assert_eq!(fmu.input_names(), ["u"]);
+        assert_eq!(fmu.output_names(), ["y"]);
+        assert_eq!(fmu.param_names(), ["A", "B", "C", "D", "E"]);
+    }
+
+    #[test]
+    fn inline_detection() {
+        assert!(looks_like_inline_source(
+            "model m Real x(start=0); equation der(x)=1; end m;"
+        ));
+        assert!(!looks_like_inline_source("/tmp/hp1.fmu"));
+        assert!(!looks_like_inline_source("/tmp/model.mo"));
+    }
+
+    #[test]
+    fn compile_file_missing_path_errors() {
+        let err = compile_file(std::path::Path::new("/nonexistent/m.mo"));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,674 @@
+//! Recursive-descent parser for the Modelica subset.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! model      := 'model' IDENT STRING? component* 'equation' equation*
+//!               annotation? 'end' IDENT ';'
+//! component  := ('parameter'|'input'|'output')? type name-list
+//!               modifiers? ('=' expr)? STRING? ';'
+//! modifiers  := '(' attr (',' attr)* ')'      attr := IDENT '=' (expr|STRING)
+//! equation   := 'der' '(' IDENT ')' '=' expr ';' | IDENT '=' expr ';'
+//! annotation := 'annotation' '(' 'experiment' '(' attr,* ')' ')' ';'
+//! expr       := 'if' expr 'then' expr 'else' expr | or-expr
+//! ```
+//!
+//! Operator precedence (low→high): `or`, `and`, comparisons, `+ -`, `* /`,
+//! unary `- not`, `^` (right-associative), primaries.
+
+use crate::ast::{
+    AstBinOp, AstExpr, Component, Equation, ExperimentAnnotation, ModelAst, Prefix, TypeName,
+};
+use crate::error::{ModelicaError, Result};
+use crate::lexer::{Tok, Token};
+
+/// Attribute modifications plus the optional string-valued `unit`.
+type Modifiers = (Vec<(String, AstExpr)>, Option<String>);
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn location(&self) -> (u32, u32) {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| (t.line, t.column))
+            .unwrap_or((0, 0))
+    }
+
+    fn err(&self, message: impl Into<String>) -> ModelicaError {
+        let (line, column) = self.location();
+        ModelicaError::new(line, column, message)
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.tokens.get(self.pos).map(|t| &t.tok);
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<()> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                Ok(name.clone())
+            }
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if name == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(name)) if name == kw)
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<AstExpr> {
+        if self.eat_keyword("if") {
+            let cond = self.parse_expr()?;
+            if !self.eat_keyword("then") {
+                return Err(self.err("expected 'then' in if-expression"));
+            }
+            let then_e = self.parse_expr()?;
+            if !self.eat_keyword("else") {
+                return Err(self.err("expected 'else' in if-expression"));
+            }
+            let else_e = self.parse_expr()?;
+            return Ok(AstExpr::If(
+                Box::new(cond),
+                Box::new(then_e),
+                Box::new(else_e),
+            ));
+        }
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<AstExpr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_keyword("or") {
+            let rhs = self.parse_and()?;
+            lhs = AstExpr::Binary(AstBinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<AstExpr> {
+        let mut lhs = self.parse_rel()?;
+        while self.eat_keyword("and") {
+            let rhs = self.parse_rel()?;
+            lhs = AstExpr::Binary(AstBinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_rel(&mut self) -> Result<AstExpr> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::Lt) => Some(AstBinOp::Lt),
+            Some(Tok::Le) => Some(AstBinOp::Le),
+            Some(Tok::Gt) => Some(AstBinOp::Gt),
+            Some(Tok::Ge) => Some(AstBinOp::Ge),
+            Some(Tok::EqEq) => Some(AstBinOp::EqEq),
+            Some(Tok::Ne) => Some(AstBinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.parse_add()?;
+            Ok(AstExpr::Binary(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_add(&mut self) -> Result<AstExpr> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => AstBinOp::Add,
+                Some(Tok::Minus) => AstBinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_mul()?;
+            lhs = AstExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<AstExpr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => AstBinOp::Mul,
+                Some(Tok::Slash) => AstBinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = AstExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<AstExpr> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                Ok(AstExpr::Neg(Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::Plus) => {
+                self.pos += 1;
+                self.parse_unary()
+            }
+            Some(Tok::Ident(k)) if k == "not" => {
+                self.pos += 1;
+                Ok(AstExpr::Not(Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_power(),
+        }
+    }
+
+    fn parse_power(&mut self) -> Result<AstExpr> {
+        let base = self.parse_primary()?;
+        if matches!(self.peek(), Some(Tok::Caret)) {
+            self.pos += 1;
+            // right-associative: parse the exponent at unary level.
+            let exp = self.parse_unary()?;
+            Ok(AstExpr::Binary(
+                AstBinOp::Pow,
+                Box::new(base),
+                Box::new(exp),
+            ))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<AstExpr> {
+        match self.bump() {
+            Some(Tok::Number(v)) => Ok(AstExpr::Number(*v)),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "true" => Ok(AstExpr::Bool(true)),
+                "false" => Ok(AstExpr::Bool(false)),
+                _ => {
+                    if matches!(self.peek(), Some(Tok::LParen)) {
+                        self.pos += 1;
+                        let mut args = Vec::new();
+                        if !matches!(self.peek(), Some(Tok::RParen)) {
+                            loop {
+                                args.push(self.parse_expr()?);
+                                if matches!(self.peek(), Some(Tok::Comma)) {
+                                    self.pos += 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Tok::RParen, "')' after call arguments")?;
+                        Ok(AstExpr::Call(name.clone(), args))
+                    } else {
+                        Ok(AstExpr::Ident(name.clone()))
+                    }
+                }
+            },
+            Some(other) => Err({
+                self.pos -= 1;
+                self.err(format!("unexpected token {other:?} in expression"))
+            }),
+            None => Err(self.err("unexpected end of input in expression")),
+        }
+    }
+
+    // -- declarations -------------------------------------------------------
+
+    fn parse_prefix(&mut self) -> Prefix {
+        if self.eat_keyword("parameter") {
+            Prefix::Parameter
+        } else if self.eat_keyword("input") {
+            Prefix::Input
+        } else if self.eat_keyword("output") {
+            Prefix::Output
+        } else {
+            Prefix::None
+        }
+    }
+
+    fn parse_type(&mut self) -> Result<TypeName> {
+        let name = self.expect_ident("type name (Real/Integer/Boolean)")?;
+        match name.as_str() {
+            "Real" => Ok(TypeName::Real),
+            "Integer" => Ok(TypeName::Integer),
+            "Boolean" => Ok(TypeName::Boolean),
+            other => Err(self.err(format!("unsupported type '{other}'"))),
+        }
+    }
+
+    /// Parse a `(attr = value, …)` modifier list. Returns (attrs, unit).
+    fn parse_modifiers(&mut self) -> Result<Modifiers> {
+        let mut attrs = Vec::new();
+        let mut unit = None;
+        self.expect(&Tok::LParen, "'('")?;
+        loop {
+            let key = self.expect_ident("attribute name")?;
+            self.expect(&Tok::Eq, "'=' in attribute")?;
+            if let Some(Tok::Str(s)) = self.peek() {
+                if key == "unit" {
+                    unit = Some(s.clone());
+                } // other string attributes are accepted and ignored
+                self.pos += 1;
+            } else {
+                attrs.push((key, self.parse_expr()?));
+            }
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.pos += 1;
+                }
+                Some(Tok::RParen) => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected ',' or ')' in modifier list")),
+            }
+        }
+        Ok((attrs, unit))
+    }
+
+    fn parse_component(&mut self, out: &mut Vec<Component>) -> Result<()> {
+        let (line, _) = self.location();
+        // `discrete` may appear before or after the causality prefix.
+        let mut discrete = self.eat_keyword("discrete");
+        let prefix = self.parse_prefix();
+        discrete = self.eat_keyword("discrete") || discrete;
+        let type_name = self.parse_type()?;
+
+        // Name list: `Real x, y, z;` shares attributes; bindings only allowed
+        // for single-name declarations.
+        let mut names = vec![self.expect_ident("component name")?];
+        let mut attributes = Vec::new();
+        let mut unit = None;
+        if matches!(self.peek(), Some(Tok::LParen)) {
+            let (a, u) = self.parse_modifiers()?;
+            attributes = a;
+            unit = u;
+        }
+        while matches!(self.peek(), Some(Tok::Comma)) {
+            self.pos += 1;
+            names.push(self.expect_ident("component name")?);
+            if matches!(self.peek(), Some(Tok::LParen)) {
+                let (a, u) = self.parse_modifiers()?;
+                attributes = a;
+                unit = u;
+            }
+        }
+
+        let binding = if matches!(self.peek(), Some(Tok::Eq)) {
+            self.pos += 1;
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        if binding.is_some() && names.len() > 1 {
+            return Err(self.err("a binding is not allowed on a multi-name declaration"));
+        }
+
+        let description = if let Some(Tok::Str(s)) = self.peek() {
+            let d = s.clone();
+            self.pos += 1;
+            Some(d)
+        } else {
+            None
+        };
+        self.expect(&Tok::Semi, "';' after declaration")?;
+
+        for name in names {
+            out.push(Component {
+                discrete,
+                prefix,
+                type_name,
+                name,
+                attributes: attributes.clone(),
+                unit: unit.clone(),
+                binding: binding.clone(),
+                description: description.clone(),
+                line,
+            });
+        }
+        Ok(())
+    }
+
+    // -- equations ----------------------------------------------------------
+
+    fn parse_equation(&mut self) -> Result<Equation> {
+        let (line, _) = self.location();
+        if self.peek_keyword("der") {
+            // could be `der(x) = rhs`
+            self.pos += 1;
+            self.expect(&Tok::LParen, "'(' after der")?;
+            let state = self.expect_ident("state name inside der()")?;
+            self.expect(&Tok::RParen, "')' after der(state)")?;
+            self.expect(&Tok::Eq, "'=' in equation")?;
+            let rhs = self.parse_expr()?;
+            self.expect(&Tok::Semi, "';' after equation")?;
+            return Ok(Equation::Der { state, rhs, line });
+        }
+        let target = self.expect_ident("equation target")?;
+        self.expect(&Tok::Eq, "'=' in equation")?;
+        let rhs = self.parse_expr()?;
+        self.expect(&Tok::Semi, "';' after equation")?;
+        Ok(Equation::Assign { target, rhs, line })
+    }
+
+    // -- annotation ---------------------------------------------------------
+
+    fn parse_annotation(&mut self) -> Result<ExperimentAnnotation> {
+        let mut ann = ExperimentAnnotation::default();
+        self.expect(&Tok::LParen, "'(' after annotation")?;
+        let kind = self.expect_ident("annotation kind")?;
+        if kind != "experiment" {
+            return Err(self.err(format!("unsupported annotation '{kind}'")));
+        }
+        self.expect(&Tok::LParen, "'(' after experiment")?;
+        loop {
+            let key = self.expect_ident("experiment attribute")?;
+            self.expect(&Tok::Eq, "'=' in experiment attribute")?;
+            let value = self.parse_expr()?;
+            let num = const_eval(&value)
+                .ok_or_else(|| self.err(format!("experiment attribute '{key}' must be constant")))?;
+            match key.as_str() {
+                "StartTime" => ann.start_time = Some(num),
+                "StopTime" => ann.stop_time = Some(num),
+                "Tolerance" => ann.tolerance = Some(num),
+                "Interval" => ann.interval = Some(num),
+                other => {
+                    return Err(self.err(format!("unknown experiment attribute '{other}'")));
+                }
+            }
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.pos += 1;
+                }
+                Some(Tok::RParen) => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected ',' or ')' in experiment annotation")),
+            }
+        }
+        self.expect(&Tok::RParen, "')' closing annotation")?;
+        self.expect(&Tok::Semi, "';' after annotation")?;
+        Ok(ann)
+    }
+
+    // -- model --------------------------------------------------------------
+
+    fn parse_model(&mut self) -> Result<ModelAst> {
+        if !self.eat_keyword("model") {
+            return Err(self.err("expected 'model'"));
+        }
+        let name = self.expect_ident("model name")?;
+        // Optional model description string.
+        if let Some(Tok::Str(_)) = self.peek() {
+            self.pos += 1;
+        }
+
+        let mut components = Vec::new();
+        while !self.peek_keyword("equation") {
+            if self.peek().is_none() {
+                return Err(self.err("unexpected end of input: missing 'equation' section"));
+            }
+            if self.peek_keyword("end") {
+                return Err(self.err("model has no 'equation' section"));
+            }
+            self.parse_component(&mut components)?;
+        }
+        self.eat_keyword("equation");
+
+        let mut equations = Vec::new();
+        let mut experiment = ExperimentAnnotation::default();
+        loop {
+            if self.peek_keyword("end") {
+                break;
+            }
+            if self.peek_keyword("annotation") {
+                self.pos += 1;
+                experiment = self.parse_annotation()?;
+                continue;
+            }
+            if self.peek().is_none() {
+                return Err(self.err("unexpected end of input: missing 'end'"));
+            }
+            equations.push(self.parse_equation()?);
+        }
+        self.eat_keyword("end");
+        let end_name = self.expect_ident("model name after 'end'")?;
+        if end_name != name {
+            return Err(self.err(format!(
+                "'end {end_name}' does not match 'model {name}'"
+            )));
+        }
+        self.expect(&Tok::Semi, "';' after end")?;
+        if self.peek().is_some() {
+            return Err(self.err("trailing tokens after model"));
+        }
+        Ok(ModelAst {
+            name,
+            components,
+            equations,
+            experiment,
+        })
+    }
+}
+
+/// Constant-fold an expression containing only literals (used for
+/// experiment annotations).
+pub fn const_eval(e: &AstExpr) -> Option<f64> {
+    match e {
+        AstExpr::Number(v) => Some(*v),
+        AstExpr::Bool(b) => Some(f64::from(*b)),
+        AstExpr::Neg(a) => const_eval(a).map(|v| -v),
+        AstExpr::Binary(op, a, b) => {
+            let a = const_eval(a)?;
+            let b = const_eval(b)?;
+            Some(match op {
+                AstBinOp::Add => a + b,
+                AstBinOp::Sub => a - b,
+                AstBinOp::Mul => a * b,
+                AstBinOp::Div => a / b,
+                AstBinOp::Pow => a.powf(b),
+                _ => return None,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Parse a token stream into a model AST.
+pub fn parse(tokens: &[Token]) -> Result<ModelAst> {
+    Parser { tokens, pos: 0 }.parse_model()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<ModelAst> {
+        parse(&lex(src).unwrap())
+    }
+
+    const MINIMAL: &str = "model m Real x(start=1); equation der(x) = -x; end m;";
+
+    #[test]
+    fn parses_minimal_model() {
+        let m = parse_src(MINIMAL).unwrap();
+        assert_eq!(m.name, "m");
+        assert_eq!(m.components.len(), 1);
+        assert_eq!(m.components[0].name, "x");
+        assert_eq!(m.equations.len(), 1);
+        assert!(matches!(&m.equations[0], Equation::Der { state, .. } if state == "x"));
+    }
+
+    #[test]
+    fn parses_prefixes_and_attributes() {
+        let m = parse_src(
+            r#"model hp
+                 parameter Real A(min = -10, max = 10) = 0 "state coeff";
+                 input Real u(min = 0, max = 1, unit = "1");
+                 output Real y;
+                 Real x(start = 20.75, unit = "degC");
+               equation
+                 der(x) = A * x;
+                 y = 7.8 * u;
+               end hp;"#,
+        )
+        .unwrap();
+        assert_eq!(m.components.len(), 4);
+        let a = &m.components[0];
+        assert_eq!(a.prefix, Prefix::Parameter);
+        assert_eq!(a.attributes.len(), 2);
+        assert_eq!(a.description.as_deref(), Some("state coeff"));
+        let u = &m.components[1];
+        assert_eq!(u.prefix, Prefix::Input);
+        assert_eq!(u.unit.as_deref(), Some("1"));
+        let x = &m.components[3];
+        assert_eq!(x.prefix, Prefix::None);
+        assert_eq!(x.unit.as_deref(), Some("degC"));
+    }
+
+    #[test]
+    fn parses_multi_name_declaration() {
+        let m = parse_src(
+            "model m Real a(start=0), b(start=1); equation der(a)=1; der(b)=1; end m;",
+        )
+        .unwrap();
+        assert_eq!(m.components.len(), 2);
+        assert_eq!(m.components[0].name, "a");
+        assert_eq!(m.components[1].name, "b");
+    }
+
+    #[test]
+    fn binding_on_multi_name_rejected() {
+        let err = parse_src("model m parameter Real a, b = 1; equation end m;");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parses_if_expression() {
+        let m = parse_src(
+            "model m Real x(start=0); equation der(x) = if x > 21 then 0 else 1; end m;",
+        )
+        .unwrap();
+        match &m.equations[0] {
+            Equation::Der { rhs, .. } => assert!(matches!(rhs, AstExpr::If(..))),
+            _ => panic!("expected der equation"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let m = parse_src("model m Real x(start=0); equation der(x) = 1 + 2 * 3; end m;").unwrap();
+        if let Equation::Der { rhs, .. } = &m.equations[0] {
+            assert_eq!(const_eval(rhs), Some(7.0));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        let m =
+            parse_src("model m Real x(start=0); equation der(x) = 2 ^ 3 ^ 2; end m;").unwrap();
+        if let Equation::Der { rhs, .. } = &m.equations[0] {
+            assert_eq!(const_eval(rhs), Some(512.0));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn parses_experiment_annotation() {
+        let m = parse_src(
+            "model m Real x(start=0); equation der(x) = 0; \
+             annotation(experiment(StartTime = 0, StopTime = 672, Interval = 1)); end m;",
+        )
+        .unwrap();
+        assert_eq!(m.experiment.start_time, Some(0.0));
+        assert_eq!(m.experiment.stop_time, Some(672.0));
+        assert_eq!(m.experiment.interval, Some(1.0));
+        assert_eq!(m.experiment.tolerance, None);
+    }
+
+    #[test]
+    fn mismatched_end_name_rejected() {
+        let err = parse_src("model m Real x(start=0); equation der(x)=0; end other;");
+        assert!(err.unwrap_err().message.contains("does not match"));
+    }
+
+    #[test]
+    fn missing_equation_section_rejected() {
+        let err = parse_src("model m Real x(start=0); end m;");
+        assert!(err.unwrap_err().message.contains("equation"));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let err = parse_src(&format!("{MINIMAL} extra"));
+        assert!(err.unwrap_err().message.contains("trailing"));
+    }
+
+    #[test]
+    fn error_positions_point_at_problem() {
+        let err = parse_src("model m\n  Real x(start=1)\nequation\n  der(x)=0;\nend m;")
+            .unwrap_err();
+        // Missing ';' after the declaration: reported on the `equation` line.
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn call_parsing() {
+        let m = parse_src(
+            "model m Real x(start=0); equation der(x) = max(0, min(x, 1)) + sin(time); end m;",
+        )
+        .unwrap();
+        if let Equation::Der { rhs, .. } = &m.equations[0] {
+            assert!(matches!(rhs, AstExpr::Binary(AstBinOp::Add, _, _)));
+        } else {
+            panic!();
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: the compiler front-end must never panic, and generated
+//! well-formed models must compile and evaluate consistently.
+
+use proptest::prelude::*;
+
+use pgfmu_modelica::{compile_str, lexer, parser};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lexer accepts or rejects arbitrary input without panicking.
+    #[test]
+    fn lexer_total_on_arbitrary_strings(s in ".{0,200}") {
+        let _ = lexer::lex(&s);
+    }
+
+    /// The parser is total on arbitrary token streams derived from
+    /// ASCII soup restricted to the token alphabet.
+    #[test]
+    fn parser_total_on_token_soup(s in "[a-z0-9=+\\-*/^(),;.< >]{0,120}") {
+        if let Ok(tokens) = lexer::lex(&s) {
+            let _ = parser::parse(&tokens);
+        }
+    }
+
+    /// Well-formed LTI models compile, and the compiled derivative at a
+    /// probe point equals a*x0 + b*u0 + c computed directly.
+    #[test]
+    fn generated_lti_models_compile_and_evaluate(
+        a in -5.0f64..5.0,
+        b in -5.0f64..5.0,
+        c in -5.0f64..5.0,
+        x0 in -30.0f64..30.0,
+        u0 in -1.0f64..1.0,
+    ) {
+        let src = format!(
+            "model g \
+               parameter Real a(min=-10, max=10) = {a}; \
+               parameter Real b(min=-10, max=10) = {b}; \
+               parameter Real c(min=-10, max=10) = {c}; \
+               input Real u; \
+               output Real y; \
+               Real x(start = {x0}); \
+             equation \
+               der(x) = a*x + b*u + c; \
+               y = x + u; \
+             end g;",
+        );
+        let fmu = compile_str(&src).unwrap();
+        let mut dx = [0.0f64];
+        let p = [a, b, c];
+        fmu.system.derivatives(0.0, &[x0], &[u0], &p, &mut dx);
+        let want = a * x0 + b * u0 + c;
+        prop_assert!((dx[0] - want).abs() < 1e-9 * (1.0 + want.abs()));
+    }
+
+    /// Constant folding of parameter chains matches direct evaluation.
+    #[test]
+    fn parameter_folding_matches_direct_evaluation(
+        r in 0.5f64..5.0,
+        cp in 0.5f64..5.0,
+    ) {
+        let src = format!(
+            "model f \
+               parameter Real R = {r}; \
+               parameter Real Cp = {cp}; \
+               parameter Real A(min=-100, max=100) = -1/(R*Cp); \
+               Real x(start=1); \
+             equation der(x) = A*x; end f;",
+        );
+        let fmu = compile_str(&src).unwrap();
+        let a = fmu.description.variable("A").unwrap().start.unwrap();
+        prop_assert!((a - (-1.0 / (r * cp))).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,288 @@
+//! SQL abstract syntax tree.
+
+use crate::value::{DataType, Value};
+
+/// A SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `SELECT …`
+    Select(SelectStmt),
+    /// `INSERT INTO t [(cols)] VALUES … | SELECT …`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Row source.
+        source: InsertSource,
+    },
+    /// `UPDATE t SET c = e [, …] [WHERE …]`
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, Expr)>,
+        /// Optional predicate.
+        where_clause: Option<Expr>,
+    },
+    /// `DELETE FROM t [WHERE …]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional predicate.
+        where_clause: Option<Expr>,
+    },
+    /// `CREATE TABLE [IF NOT EXISTS] t (col type, …)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, DataType)>,
+        /// `IF NOT EXISTS` given.
+        if_not_exists: bool,
+    },
+    /// `DROP TABLE [IF EXISTS] t`
+    DropTable {
+        /// Table name.
+        name: String,
+        /// `IF EXISTS` given.
+        if_exists: bool,
+    },
+}
+
+/// Row source of an INSERT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// `VALUES (…), (…)`
+    Values(Vec<Vec<Expr>>),
+    /// `INSERT INTO … SELECT …`
+    Select(Box<SelectStmt>),
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM items (comma-separated cross join; functions join laterally).
+    pub from: Vec<FromItem>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// ORDER BY expressions with descending flags.
+    pub order_by: Vec<(Expr, bool)>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Optional output name.
+        alias: Option<String>,
+    },
+}
+
+/// One FROM item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    /// Base table scan with optional alias.
+    Table {
+        /// Table name.
+        name: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// Set-returning function call. Function FROM items are evaluated
+    /// laterally: their arguments may reference columns of FROM items to
+    /// their left (the `LATERAL` keyword is accepted and implied).
+    Function {
+        /// Function name.
+        name: String,
+        /// Call arguments.
+        args: Vec<Expr>,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+}
+
+impl FromItem {
+    /// The name other parts of the query use to qualify this item's columns.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            FromItem::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            FromItem::Function { name, alias, .. } => alias.as_deref().unwrap_or(name),
+        }
+    }
+}
+
+/// Scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference, optionally qualified.
+    Column {
+        /// Optional table/alias qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Function call (`count(*)` is encoded as zero arguments).
+    Function {
+        /// Function name (lower case).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `expr::type` cast.
+    Cast {
+        /// The operand.
+        expr: Box<Expr>,
+        /// Target type.
+        ty: DataType,
+    },
+    /// `expr [NOT] IN (v, …)`
+    InList {
+        /// Probe expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull {
+        /// The operand.
+        expr: Box<Expr>,
+        /// Negation flag.
+        negated: bool,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean NOT.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (also timestamp + interval)
+    Add,
+    /// `-` (also timestamp - interval / timestamp - timestamp)
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `||` string concatenation
+    Concat,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Names of the aggregate functions the executor understands.
+pub const AGGREGATE_FUNCTIONS: [&str; 5] = ["count", "sum", "avg", "min", "max"];
+
+/// Does this expression contain an aggregate function call?
+pub fn contains_aggregate(e: &Expr) -> bool {
+    match e {
+        Expr::Function { name, args } => {
+            AGGREGATE_FUNCTIONS.contains(&name.as_str())
+                || args.iter().any(contains_aggregate)
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+            contains_aggregate(expr)
+        }
+        Expr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
+        Expr::InList { expr, list, .. } => {
+            contains_aggregate(expr) || list.iter().any(contains_aggregate)
+        }
+        Expr::Literal(_) | Expr::Column { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_names() {
+        let t = FromItem::Table {
+            name: "measurements".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding_name(), "measurements");
+        let f = FromItem::Function {
+            name: "fmu_simulate".into(),
+            args: vec![],
+            alias: Some("f".into()),
+        };
+        assert_eq!(f.binding_name(), "f");
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Function {
+            name: "avg".into(),
+            args: vec![Expr::Column {
+                table: None,
+                name: "x".into(),
+            }],
+        };
+        assert!(contains_aggregate(&agg));
+        let nested = Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(Expr::Literal(Value::Int(1))),
+            right: Box::new(agg),
+        };
+        assert!(contains_aggregate(&nested));
+        let plain = Expr::Function {
+            name: "abs".into(),
+            args: vec![Expr::Literal(Value::Int(-1))],
+        };
+        assert!(!contains_aggregate(&plain));
+    }
+}

@@ -1,0 +1,494 @@
+//! The [`Database`]: table storage, function registries, statement cache.
+//!
+//! All methods take `&self`; interior mutability with per-table locks lets
+//! UDFs re-enter the database (e.g. `fmu_parest` executing its `input_sql`)
+//! without deadlocking, because the executor never holds a table lock while
+//! a UDF runs — scans snapshot their input first.
+//!
+//! The statement cache implements the paper's "prepared SQL queries"
+//! optimization (§7): repeated query texts skip the parser.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::ast::Stmt;
+use crate::error::{Result, SqlError};
+use crate::exec;
+use crate::functions::{self, ScalarFn, TableFn};
+use crate::parser;
+use crate::table::{QueryResult, Row, Table};
+use crate::value::Value;
+
+/// An in-memory SQL database with UDF support.
+pub struct Database {
+    tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
+    scalars: RwLock<HashMap<String, ScalarFn>>,
+    table_fns: RwLock<HashMap<String, TableFn>>,
+    stmt_cache: Mutex<HashMap<String, Arc<Stmt>>>,
+    parses: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Create a database with the built-in function set registered.
+    pub fn new() -> Self {
+        let db = Database {
+            tables: RwLock::new(HashMap::new()),
+            scalars: RwLock::new(HashMap::new()),
+            table_fns: RwLock::new(HashMap::new()),
+            stmt_cache: Mutex::new(HashMap::new()),
+            parses: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        };
+        functions::register_builtin_scalars(&db);
+        functions::register_builtin_table_fns(&db);
+        db
+    }
+
+    // ---- tables ------------------------------------------------------------
+
+    /// Create a table; errors if the name is taken.
+    pub fn create_table(&self, name: &str, table: Table) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(SqlError::Constraint(format!(
+                "relation \"{key}\" already exists"
+            )));
+        }
+        tables.insert(key, Arc::new(RwLock::new(table)));
+        Ok(())
+    }
+
+    /// Drop a table; errors if missing.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .write()
+            .remove(&key)
+            .map(|_| ())
+            .ok_or(SqlError::UnknownTable(key))
+    }
+
+    /// Handle to a table for direct (non-SQL) access.
+    pub fn get_table(&self, name: &str) -> Result<Arc<RwLock<Table>>> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(SqlError::UnknownTable(key))
+    }
+
+    /// True when the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables
+            .read()
+            .contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Sorted table names (for introspection and tests).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Bulk-insert rows through the coercion path (loader convenience).
+    pub fn insert_rows(&self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        let handle = self.get_table(table)?;
+        let mut guard = handle.write();
+        let n = rows.len();
+        for r in rows {
+            guard.insert(r)?;
+        }
+        Ok(n)
+    }
+
+    // ---- functions ----------------------------------------------------------
+
+    /// Register (or replace) a scalar UDF.
+    pub fn register_scalar<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&Database, &[Value]) -> Result<Value> + Send + Sync + 'static,
+    {
+        self.scalars
+            .write()
+            .insert(name.to_ascii_lowercase(), Arc::new(f));
+    }
+
+    /// Register (or replace) a set-returning UDF.
+    pub fn register_table_fn<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&Database, &[Value]) -> Result<QueryResult> + Send + Sync + 'static,
+    {
+        self.table_fns
+            .write()
+            .insert(name.to_ascii_lowercase(), Arc::new(f));
+    }
+
+    /// Invoke a scalar function by name.
+    pub fn call_scalar(&self, name: &str, args: &[Value]) -> Result<Value> {
+        let f = self
+            .scalars
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned();
+        match f {
+            Some(f) => f(self, args),
+            None => Err(SqlError::UnknownFunction(format!("{name}(…)"))),
+        }
+    }
+
+    /// Invoke a set-returning function by name; scalar functions degrade to
+    /// a one-row, one-column table (PostgreSQL behaviour in FROM).
+    pub fn call_table_fn(&self, name: &str, args: &[Value]) -> Result<QueryResult> {
+        let key = name.to_ascii_lowercase();
+        let f = self.table_fns.read().get(&key).cloned();
+        if let Some(f) = f {
+            return f(self, args);
+        }
+        let s = self.scalars.read().get(&key).cloned();
+        match s {
+            Some(f) => {
+                let v = f(self, args)?;
+                let mut q = QueryResult::new(vec![key]);
+                q.rows.push(vec![v]);
+                Ok(q)
+            }
+            None => Err(SqlError::UnknownFunction(format!("{name}(…)"))),
+        }
+    }
+
+    /// Is a function with this name registered (scalar or set-returning)?
+    pub fn has_function(&self, name: &str) -> bool {
+        let key = name.to_ascii_lowercase();
+        self.scalars.read().contains_key(&key) || self.table_fns.read().contains_key(&key)
+    }
+
+    // ---- execution -----------------------------------------------------------
+
+    /// Parse (with statement-cache reuse) and execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = {
+            let cached = self.stmt_cache.lock().get(sql).cloned();
+            match cached {
+                Some(s) => {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    s
+                }
+                None => {
+                    self.parses.fetch_add(1, Ordering::Relaxed);
+                    let parsed = Arc::new(parser::parse(sql)?);
+                    self.stmt_cache
+                        .lock()
+                        .insert(sql.to_string(), Arc::clone(&parsed));
+                    parsed
+                }
+            }
+        };
+        exec::execute_stmt(self, &stmt)
+    }
+
+    /// Execute without consulting or filling the statement cache (used by
+    /// benchmarks to isolate the prepared-statement effect).
+    pub fn execute_uncached(&self, sql: &str) -> Result<QueryResult> {
+        self.parses.fetch_add(1, Ordering::Relaxed);
+        let stmt = parser::parse(sql)?;
+        exec::execute_stmt(self, &stmt)
+    }
+
+    /// `(parse count, statement cache hits)` since creation.
+    pub fn statement_stats(&self) -> (u64, u64) {
+        (
+            self.parses.load(Ordering::Relaxed),
+            self.cache_hits.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn setup() -> Database {
+        let db = Database::new();
+        db.execute("CREATE TABLE m (ts timestamp, x float, y float, u float)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO m VALUES \
+             ('2015-02-01 00:00', 20.7507, 0.0, 0.0), \
+             ('2015-02-01 01:00', 23.6231, 0.1381, 0.0177), \
+             ('2015-02-01 02:00', 21.5, 0.3, 0.05)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_round_trip() {
+        let db = setup();
+        let q = db.execute("SELECT * FROM m ORDER BY ts").unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.columns, vec!["ts", "x", "y", "u"]);
+        assert_eq!(q.rows[0][1], Value::Float(20.7507));
+    }
+
+    #[test]
+    fn where_filtering_and_projection() {
+        let db = setup();
+        let q = db
+            .execute("SELECT x AS temp FROM m WHERE u > 0.01 ORDER BY x DESC")
+            .unwrap();
+        assert_eq!(q.columns, vec!["temp"]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.rows[0][0], Value::Float(23.6231));
+    }
+
+    #[test]
+    fn aggregates() {
+        let db = setup();
+        let q = db
+            .execute("SELECT count(*), avg(x), min(x), max(x), sum(u) FROM m")
+            .unwrap();
+        assert_eq!(q.rows[0][0], Value::Int(3));
+        let avg = q.rows[0][1].as_f64().unwrap();
+        assert!((avg - (20.7507 + 23.6231 + 21.5) / 3.0).abs() < 1e-9);
+        assert_eq!(q.rows[0][2], Value::Float(20.7507));
+        assert_eq!(q.rows[0][3], Value::Float(23.6231));
+        let sum = q.rows[0][4].as_f64().unwrap();
+        assert!((sum - 0.0677).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_with_arithmetic() {
+        let db = setup();
+        let q = db
+            .execute("SELECT sqrt(avg(x * x)) AS rms FROM m WHERE x IS NOT NULL")
+            .unwrap();
+        assert!(q.rows[0][0].as_f64().unwrap() > 20.0);
+    }
+
+    #[test]
+    fn bare_column_in_aggregate_query_errors() {
+        let db = setup();
+        let err = db.execute("SELECT x, count(*) FROM m");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let db = setup();
+        let q = db
+            .execute("UPDATE m SET u = u * 2 WHERE u > 0")
+            .unwrap();
+        assert_eq!(q.rows[0][0], Value::Int(2));
+        let q = db.execute("SELECT sum(u) FROM m").unwrap();
+        assert!((q.rows[0][0].as_f64().unwrap() - 0.1354).abs() < 1e-9);
+        let q = db.execute("DELETE FROM m WHERE x > 22").unwrap();
+        assert_eq!(q.rows[0][0], Value::Int(1));
+        assert_eq!(db.execute("SELECT * FROM m").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let db = setup();
+        db.execute("INSERT INTO m (ts, x) VALUES ('2015-02-01 03:00', 19.0)")
+            .unwrap();
+        let q = db
+            .execute("SELECT y FROM m WHERE ts = '2015-02-01 03:00'")
+            .unwrap();
+        assert_eq!(q.rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn insert_select() {
+        let db = setup();
+        db.execute("CREATE TABLE copy (ts timestamp, x float, y float, u float)")
+            .unwrap();
+        db.execute("INSERT INTO copy SELECT * FROM m WHERE x < 22")
+            .unwrap();
+        assert_eq!(db.execute("SELECT * FROM copy").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn cross_join_and_qualifiers() {
+        let db = setup();
+        db.execute("CREATE TABLE tags (name text)").unwrap();
+        db.execute("INSERT INTO tags VALUES ('a'), ('b')").unwrap();
+        let q = db
+            .execute("SELECT t.name, m.x FROM tags t, m WHERE m.u = 0.0 ORDER BY t.name")
+            .unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.rows[0][0], Value::Text("a".into()));
+    }
+
+    #[test]
+    fn lateral_function_referencing_earlier_item() {
+        let db = Database::new();
+        let q = db
+            .execute(
+                "SELECT id, s FROM generate_series(1, 3) AS id, \
+                 LATERAL generate_series(1, id) AS s ORDER BY id, s",
+            )
+            .unwrap();
+        // 1 + 2 + 3 rows
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.rows[5][0], Value::Int(3));
+        assert_eq!(q.rows[5][1], Value::Int(3));
+    }
+
+    #[test]
+    fn scalar_udf_registration_and_concat() {
+        let db = Database::new();
+        db.register_scalar("double_it", |_db, args| {
+            Ok(Value::Float(args[0].as_f64()? * 2.0))
+        });
+        let q = db.execute("SELECT double_it(21)").unwrap();
+        assert_eq!(q.rows[0][0], Value::Float(42.0));
+        let q = db
+            .execute("SELECT 'HP1Instance' || 7::text AS name")
+            .unwrap();
+        assert_eq!(q.rows[0][0], Value::Text("HP1Instance7".into()));
+    }
+
+    #[test]
+    fn table_udf_can_query_database_reentrantly() {
+        let db = setup();
+        db.register_table_fn("summarize", |db, args| {
+            let sql = args[0].as_str()?;
+            let inner = db.execute(sql)?;
+            let mut q = QueryResult::new(vec!["n".into()]);
+            q.rows.push(vec![Value::Int(inner.len() as i64)]);
+            Ok(q)
+        });
+        let q = db
+            .execute("SELECT * FROM summarize('SELECT * FROM m')")
+            .unwrap();
+        assert_eq!(q.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn statement_cache_counts() {
+        let db = setup();
+        let (p0, _h0) = db.statement_stats();
+        db.execute("SELECT * FROM m").unwrap();
+        db.execute("SELECT * FROM m").unwrap();
+        db.execute("SELECT * FROM m").unwrap();
+        let (p1, h1) = db.statement_stats();
+        assert_eq!(p1 - p0, 1, "only the first execution parses");
+        assert!(h1 >= 2);
+        db.execute_uncached("SELECT * FROM m").unwrap();
+        let (p2, _) = db.statement_stats();
+        assert_eq!(p2 - p1, 1);
+    }
+
+    #[test]
+    fn error_paths() {
+        let db = Database::new();
+        assert!(matches!(
+            db.execute("SELECT * FROM missing"),
+            Err(SqlError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.execute("SELECT nope(1)"),
+            Err(SqlError::UnknownFunction(_))
+        ));
+        db.execute("CREATE TABLE t (a int)").unwrap();
+        assert!(matches!(
+            db.execute("CREATE TABLE t (a int)"),
+            Err(SqlError::Constraint(_))
+        ));
+        db.execute("CREATE TABLE IF NOT EXISTS t (a int)").unwrap();
+        db.execute("DROP TABLE t").unwrap();
+        assert!(db.execute("DROP TABLE t").is_err());
+        db.execute("DROP TABLE IF EXISTS t").unwrap();
+        assert!(matches!(
+            db.execute("SELECT b FROM generate_series(1,2) AS g"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn division_semantics() {
+        let db = Database::new();
+        let one = |sql: &str| db.execute(sql).unwrap().scalar().unwrap().clone();
+        assert_eq!(one("SELECT 7 / 2"), Value::Int(3));
+        assert_eq!(one("SELECT 7.0 / 2"), Value::Float(3.5));
+        assert!(db.execute("SELECT 1 / 0").is_err());
+        assert!(db.execute("SELECT 1.0 / 0.0").is_err());
+    }
+
+    #[test]
+    fn timestamp_interval_arithmetic() {
+        let db = Database::new();
+        let one = |sql: &str| db.execute(sql).unwrap().scalar().unwrap().clone();
+        assert_eq!(
+            one("SELECT timestamp '2015-02-01 00:00' + interval '90 minutes'"),
+            Value::Timestamp(crate::value::parse_timestamp("2015-02-01 01:30").unwrap())
+        );
+        assert_eq!(
+            one("SELECT timestamp '2015-02-02' - timestamp '2015-02-01'"),
+            Value::Interval(86_400)
+        );
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let db = Database::new();
+        let one = |sql: &str| db.execute(sql).unwrap().scalar().unwrap().clone();
+        assert_eq!(one("SELECT NULL AND false"), Value::Bool(false));
+        assert_eq!(one("SELECT NULL AND true"), Value::Null);
+        assert_eq!(one("SELECT NULL OR true"), Value::Bool(true));
+        assert_eq!(one("SELECT NOT NULL"), Value::Null);
+        assert_eq!(one("SELECT 1 = NULL"), Value::Null);
+    }
+
+    #[test]
+    fn in_list_null_semantics() {
+        let db = Database::new();
+        let one = |sql: &str| db.execute(sql).unwrap().scalar().unwrap().clone();
+        assert_eq!(one("SELECT 1 IN (1, 2)"), Value::Bool(true));
+        assert_eq!(one("SELECT 3 IN (1, 2)"), Value::Bool(false));
+        assert_eq!(one("SELECT 3 IN (1, NULL)"), Value::Null);
+        assert_eq!(one("SELECT 1 NOT IN (2, 3)"), Value::Bool(true));
+    }
+
+    #[test]
+    fn order_by_nulls_last_and_limit() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v float)").unwrap();
+        db.execute("INSERT INTO t VALUES (2.0), (NULL), (1.0)")
+            .unwrap();
+        let q = db.execute("SELECT v FROM t ORDER BY v").unwrap();
+        assert_eq!(q.rows[0][0], Value::Float(1.0));
+        assert_eq!(q.rows[2][0], Value::Null);
+        let q = db.execute("SELECT v FROM t ORDER BY v LIMIT 1").unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn insert_rows_coerces_via_schema() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a float, b variant)").unwrap();
+        db.insert_rows(
+            "t",
+            vec![vec![Value::Int(1), Value::Bool(true)]],
+        )
+        .unwrap();
+        let handle = db.get_table("t").unwrap();
+        let guard = handle.read();
+        assert_eq!(guard.rows[0][0], Value::Float(1.0));
+        assert_eq!(guard.rows[0][1].data_type(), DataType::Bool);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the SQL engine.
+
+use std::fmt;
+
+/// Convenient alias used across the crate.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+/// Errors raised while lexing, parsing, planning or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Syntax error with a byte-offset-free human description.
+    Parse(String),
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Referenced column does not exist (or is ambiguous).
+    UnknownColumn(String),
+    /// Referenced function does not exist.
+    UnknownFunction(String),
+    /// Value/type mismatch (bad cast, bad operand types, arity).
+    Type(String),
+    /// Constraint violation (duplicate table, wrong column count, …).
+    Constraint(String),
+    /// Any runtime failure raised by UDFs or the executor.
+    Execution(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "syntax error: {m}"),
+            SqlError::UnknownTable(t) => write!(f, "relation \"{t}\" does not exist"),
+            SqlError::UnknownColumn(c) => write!(f, "column \"{c}\" does not exist"),
+            SqlError::UnknownFunction(x) => write!(f, "function {x} does not exist"),
+            SqlError::Type(m) => write!(f, "type error: {m}"),
+            SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            SqlError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_match_postgres_flavour() {
+        assert_eq!(
+            SqlError::UnknownTable("measurements".into()).to_string(),
+            "relation \"measurements\" does not exist"
+        );
+        assert_eq!(
+            SqlError::UnknownColumn("varname".into()).to_string(),
+            "column \"varname\" does not exist"
+        );
+        assert!(SqlError::Parse("bad".into()).to_string().contains("syntax"));
+    }
+}

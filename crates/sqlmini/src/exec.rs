@@ -1,0 +1,780 @@
+//! Query executor: expression evaluation, cross/lateral joins, filtering,
+//! projection, aggregation, ordering.
+
+use std::cmp::Ordering;
+
+use crate::ast::{
+    contains_aggregate, BinOp, Expr, FromItem, InsertSource, SelectItem, SelectStmt, Stmt, UnOp,
+    AGGREGATE_FUNCTIONS,
+};
+use crate::db::Database;
+use crate::error::{Result, SqlError};
+use crate::table::{Column, QueryResult, Row, Schema, Table};
+use crate::value::Value;
+
+/// One FROM item's contribution to the name environment.
+#[derive(Debug, Clone)]
+struct Binding {
+    qualifier: String,
+    columns: Vec<String>,
+    /// Offset of this binding's first column in the flattened row.
+    offset: usize,
+}
+
+/// Name environment over a flattened joined row.
+struct Env<'a> {
+    bindings: &'a [Binding],
+}
+
+impl<'a> Env<'a> {
+    /// Resolve a column reference to a flat index.
+    fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let name = name.to_ascii_lowercase();
+        let mut found: Option<usize> = None;
+        for b in self.bindings {
+            if let Some(q) = table {
+                if !q.eq_ignore_ascii_case(&b.qualifier) {
+                    continue;
+                }
+            }
+            if let Some(i) = b.columns.iter().position(|c| *c == name) {
+                if found.is_some() {
+                    return Err(SqlError::UnknownColumn(format!(
+                        "{name} (ambiguous reference)"
+                    )));
+                }
+                found = Some(b.offset + i);
+            }
+        }
+        found.ok_or_else(|| match table {
+            Some(t) => SqlError::UnknownColumn(format!("{t}.{name}")),
+            None => SqlError::UnknownColumn(name),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value operations
+// ---------------------------------------------------------------------------
+
+/// Three-valued comparison; `None` when either side is NULL.
+pub fn compare(a: &Value, b: &Value) -> Result<Option<Ordering>> {
+    use Value::*;
+    Ok(Some(match (a, b) {
+        (Null, _) | (_, Null) => return Ok(None),
+        (Int(x), Int(y)) => x.cmp(y),
+        (Float(x), Float(y)) => x
+            .partial_cmp(y)
+            .ok_or_else(|| SqlError::Execution("NaN comparison".into()))?,
+        (Int(x), Float(y)) => (*x as f64)
+            .partial_cmp(y)
+            .ok_or_else(|| SqlError::Execution("NaN comparison".into()))?,
+        (Float(x), Int(y)) => x
+            .partial_cmp(&(*y as f64))
+            .ok_or_else(|| SqlError::Execution("NaN comparison".into()))?,
+        (Text(x), Text(y)) => x.cmp(y),
+        (Bool(x), Bool(y)) => x.cmp(y),
+        (Timestamp(x), Timestamp(y)) => x.cmp(y),
+        (Timestamp(x), Text(y)) => x.cmp(&crate::value::parse_timestamp(y)?),
+        (Text(x), Timestamp(y)) => crate::value::parse_timestamp(x)?.cmp(y),
+        (Interval(x), Interval(y)) => x.cmp(y),
+        (x, y) => {
+            return Err(SqlError::Type(format!(
+                "cannot compare {} with {}",
+                x.data_type().name(),
+                y.data_type().name()
+            )))
+        }
+    }))
+}
+
+/// Total ordering used by ORDER BY: NULLs sort last, mixed numerics compare
+/// numerically.
+pub fn order_cmp(a: &Value, b: &Value) -> Ordering {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => compare(a, b)
+            .ok()
+            .flatten()
+            .unwrap_or(Ordering::Equal),
+    }
+}
+
+fn arith(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+    use Value::*;
+    if a.is_null() || b.is_null() {
+        return Ok(Null);
+    }
+    Ok(match (op, a, b) {
+        (BinOp::Add, Int(x), Int(y)) => Int(x + y),
+        (BinOp::Sub, Int(x), Int(y)) => Int(x - y),
+        (BinOp::Mul, Int(x), Int(y)) => Int(x * y),
+        (BinOp::Div, Int(x), Int(y)) => {
+            if *y == 0 {
+                return Err(SqlError::Execution("division by zero".into()));
+            }
+            Int(x / y)
+        }
+        // timestamp/interval arithmetic
+        (BinOp::Add, Timestamp(t), Interval(i)) | (BinOp::Add, Interval(i), Timestamp(t)) => {
+            Timestamp(t + i)
+        }
+        (BinOp::Sub, Timestamp(t), Interval(i)) => Timestamp(t - i),
+        (BinOp::Sub, Timestamp(x), Timestamp(y)) => Interval(x - y),
+        (BinOp::Add, Interval(x), Interval(y)) => Interval(x + y),
+        (BinOp::Sub, Interval(x), Interval(y)) => Interval(x - y),
+        (BinOp::Mul, Interval(x), Int(y)) | (BinOp::Mul, Int(y), Interval(x)) => Interval(x * y),
+        // float-promoting arithmetic
+        (op, x, y) => {
+            let xf = x.as_f64()?;
+            let yf = y.as_f64()?;
+            match op {
+                BinOp::Add => Float(xf + yf),
+                BinOp::Sub => Float(xf - yf),
+                BinOp::Mul => Float(xf * yf),
+                BinOp::Div => {
+                    if yf == 0.0 {
+                        return Err(SqlError::Execution("division by zero".into()));
+                    }
+                    Float(xf / yf)
+                }
+                _ => unreachable!("arith called with non-arithmetic operator"),
+            }
+        }
+    })
+}
+
+fn logical(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+    let lhs = match a {
+        Value::Null => None,
+        v => Some(v.as_bool()?),
+    };
+    let rhs = match b {
+        Value::Null => None,
+        v => Some(v.as_bool()?),
+    };
+    // Kleene three-valued logic.
+    Ok(match op {
+        BinOp::And => match (lhs, rhs) {
+            (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+            (Some(true), Some(true)) => Value::Bool(true),
+            _ => Value::Null,
+        },
+        BinOp::Or => match (lhs, rhs) {
+            (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+            (Some(false), Some(false)) => Value::Bool(false),
+            _ => Value::Null,
+        },
+        _ => unreachable!("logical called with non-logical operator"),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+fn eval(db: &Database, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { table, name } => {
+            let i = env.resolve(table.as_deref(), name)?;
+            Ok(row[i].clone())
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval(db, expr, env, row)?;
+            match op {
+                UnOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    Value::Interval(i) => Ok(Value::Interval(-i)),
+                    other => Err(SqlError::Type(format!("cannot negate {other}"))),
+                },
+                UnOp::Not => match v {
+                    Value::Null => Ok(Value::Null),
+                    v => Ok(Value::Bool(!v.as_bool()?)),
+                },
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            let a = eval(db, left, env, row)?;
+            let b = eval(db, right, env, row)?;
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(*op, &a, &b),
+                BinOp::And | BinOp::Or => logical(*op, &a, &b),
+                BinOp::Concat => {
+                    if a.is_null() || b.is_null() {
+                        Ok(Value::Null)
+                    } else {
+                        Ok(Value::Text(format!("{a}{b}")))
+                    }
+                }
+                cmp => {
+                    let ord = compare(&a, &b)?;
+                    Ok(match ord {
+                        None => Value::Null,
+                        Some(o) => Value::Bool(match cmp {
+                            BinOp::Eq => o == Ordering::Equal,
+                            BinOp::Ne => o != Ordering::Equal,
+                            BinOp::Lt => o == Ordering::Less,
+                            BinOp::Le => o != Ordering::Greater,
+                            BinOp::Gt => o == Ordering::Greater,
+                            BinOp::Ge => o != Ordering::Less,
+                            _ => unreachable!(),
+                        }),
+                    })
+                }
+            }
+        }
+        Expr::Cast { expr, ty } => eval(db, expr, env, row)?.cast_to(*ty),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let probe = eval(db, expr, env, row)?;
+            if probe.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let v = eval(db, item, env, row)?;
+                if v.is_null() {
+                    saw_null = true;
+                    continue;
+                }
+                if compare(&probe, &v)? == Some(Ordering::Equal) {
+                    return Ok(Value::Bool(!negated));
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(db, expr, env, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Function { name, args } => {
+            if AGGREGATE_FUNCTIONS.contains(&name.as_str()) {
+                return Err(SqlError::Execution(format!(
+                    "aggregate function {name}() is not allowed here"
+                )));
+            }
+            let vals: Result<Vec<Value>> =
+                args.iter().map(|a| eval(db, a, env, row)).collect();
+            db.call_scalar(name, &vals?)
+        }
+    }
+}
+
+/// WHERE-clause truthiness: NULL is not true.
+fn is_true(v: &Value) -> Result<bool> {
+    match v {
+        Value::Null => Ok(false),
+        v => v.as_bool().map_err(|_| {
+            SqlError::Type("argument of WHERE must be type boolean".into())
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+fn eval_aggregate_expr(
+    db: &Database,
+    expr: &Expr,
+    env: &Env<'_>,
+    rows: &[Row],
+) -> Result<Value> {
+    match expr {
+        Expr::Function { name, args } if AGGREGATE_FUNCTIONS.contains(&name.as_str()) => {
+            compute_aggregate(db, name, args, env, rows)
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Unary { op, expr } => {
+            let inner = eval_aggregate_expr(db, expr, env, rows)?;
+            eval(
+                db,
+                &Expr::Unary {
+                    op: *op,
+                    expr: Box::new(Expr::Literal(inner)),
+                },
+                env,
+                &[],
+            )
+        }
+        Expr::Binary { op, left, right } => {
+            let l = eval_aggregate_expr(db, left, env, rows)?;
+            let r = eval_aggregate_expr(db, right, env, rows)?;
+            eval(
+                db,
+                &Expr::Binary {
+                    op: *op,
+                    left: Box::new(Expr::Literal(l)),
+                    right: Box::new(Expr::Literal(r)),
+                },
+                env,
+                &[],
+            )
+        }
+        Expr::Cast { expr, ty } => eval_aggregate_expr(db, expr, env, rows)?.cast_to(*ty),
+        Expr::Function { name, args } => {
+            let vals: Result<Vec<Value>> = args
+                .iter()
+                .map(|a| eval_aggregate_expr(db, a, env, rows))
+                .collect();
+            db.call_scalar(name, &vals?)
+        }
+        Expr::Column { name, .. } => Err(SqlError::Execution(format!(
+            "column \"{name}\" must appear in an aggregate function"
+        ))),
+        other => Err(SqlError::Execution(format!(
+            "unsupported expression in aggregate query: {other:?}"
+        ))),
+    }
+}
+
+fn compute_aggregate(
+    db: &Database,
+    name: &str,
+    args: &[Expr],
+    env: &Env<'_>,
+    rows: &[Row],
+) -> Result<Value> {
+    if name == "count" && args.is_empty() {
+        return Ok(Value::Int(rows.len() as i64));
+    }
+    if args.len() != 1 {
+        return Err(SqlError::Type(format!(
+            "{name}() takes exactly one argument"
+        )));
+    }
+    let mut values = Vec::with_capacity(rows.len());
+    for r in rows {
+        let v = eval(db, &args[0], env, r)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    match name {
+        "count" => Ok(Value::Int(values.len() as i64)),
+        "sum" | "avg" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut acc = 0.0;
+            for v in &values {
+                acc += v.as_f64()?;
+            }
+            if name == "avg" {
+                Ok(Value::Float(acc / values.len() as f64))
+            } else {
+                Ok(Value::Float(acc))
+            }
+        }
+        "min" | "max" => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = match compare(&v, &b)? {
+                            Some(Ordering::Less) => name == "min",
+                            Some(Ordering::Greater) => name == "max",
+                            _ => false,
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        other => Err(SqlError::UnknownFunction(format!("{other}()"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SELECT execution
+// ---------------------------------------------------------------------------
+
+/// Execute a SELECT and materialize the result.
+pub fn execute_select(db: &Database, sel: &SelectStmt) -> Result<QueryResult> {
+    // 1. FROM: build the joined row set, functions joining laterally.
+    let mut bindings: Vec<Binding> = Vec::new();
+    let mut rows: Vec<Row> = vec![Vec::new()];
+    for item in &sel.from {
+        match item {
+            FromItem::Table { name, alias } => {
+                let table = db.get_table(name)?;
+                let (cols, trows) = {
+                    let guard = table.read();
+                    (
+                        guard
+                            .schema
+                            .columns
+                            .iter()
+                            .map(|c| c.name.clone())
+                            .collect::<Vec<_>>(),
+                        guard.rows.clone(),
+                    )
+                };
+                let mut next = Vec::with_capacity(rows.len() * trows.len().max(1));
+                for base in &rows {
+                    for tr in &trows {
+                        let mut r = base.clone();
+                        r.extend(tr.iter().cloned());
+                        next.push(r);
+                    }
+                }
+                bindings.push(Binding {
+                    qualifier: alias.clone().unwrap_or_else(|| name.clone()),
+                    columns: cols,
+                    offset: bindings.last().map_or(0, |b| b.offset + b.columns.len()),
+                });
+                rows = next;
+            }
+            FromItem::Function { name, args, alias } => {
+                let env = Env {
+                    bindings: &bindings,
+                };
+                let mut next = Vec::new();
+                let mut out_cols: Option<Vec<String>> = None;
+                for base in &rows {
+                    let vals: Result<Vec<Value>> =
+                        args.iter().map(|a| eval(db, a, &env, base)).collect();
+                    let result = db.call_table_fn(name, &vals?)?;
+                    let mut cols = result.columns.clone();
+                    // Single-column SRFs adopt the alias as the column name,
+                    // as PostgreSQL does for `generate_series(…) AS id`.
+                    if cols.len() == 1 {
+                        if let Some(a) = alias {
+                            cols = vec![a.to_ascii_lowercase()];
+                        }
+                    }
+                    match &out_cols {
+                        None => out_cols = Some(cols),
+                        Some(prev) if *prev == cols => {}
+                        Some(_) => {
+                            return Err(SqlError::Execution(format!(
+                                "function {name} returned inconsistent schemas across rows"
+                            )))
+                        }
+                    }
+                    for fr in result.rows {
+                        let mut r = base.clone();
+                        r.extend(fr);
+                        next.push(r);
+                    }
+                }
+                let cols = out_cols.unwrap_or_default();
+                bindings.push(Binding {
+                    qualifier: item.binding_name().to_ascii_lowercase(),
+                    columns: cols,
+                    offset: bindings.last().map_or(0, |b| b.offset + b.columns.len()),
+                });
+                rows = next;
+            }
+        }
+    }
+    let env = Env {
+        bindings: &bindings,
+    };
+
+    // 2. WHERE
+    if let Some(pred) = &sel.where_clause {
+        let mut kept = Vec::with_capacity(rows.len());
+        for r in rows {
+            if is_true(&eval(db, pred, &env, &r)?)? {
+                kept.push(r);
+            }
+        }
+        rows = kept;
+    }
+
+    // 3. Expand projection wildcards into (expr, output name) pairs.
+    let mut projections: Vec<(Expr, String)> = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for b in &bindings {
+                    for c in &b.columns {
+                        projections.push((
+                            Expr::Column {
+                                table: Some(b.qualifier.clone()),
+                                name: c.clone(),
+                            },
+                            c.clone(),
+                        ));
+                    }
+                }
+                if bindings.is_empty() {
+                    return Err(SqlError::Parse("SELECT * with no FROM items".into()));
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let b = bindings
+                    .iter()
+                    .find(|b| b.qualifier.eq_ignore_ascii_case(q))
+                    .ok_or_else(|| SqlError::UnknownTable(q.clone()))?;
+                for c in &b.columns {
+                    projections.push((
+                        Expr::Column {
+                            table: Some(b.qualifier.clone()),
+                            name: c.clone(),
+                        },
+                        c.clone(),
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| derived_name(expr));
+                projections.push((expr.clone(), name.to_ascii_lowercase()));
+            }
+        }
+    }
+
+    // 4. Aggregate vs plain projection.
+    let aggregate_mode = projections.iter().any(|(e, _)| contains_aggregate(e));
+    let columns: Vec<String> = projections.iter().map(|(_, n)| n.clone()).collect();
+    let mut result = QueryResult::new(columns);
+    if aggregate_mode {
+        let mut out = Vec::with_capacity(projections.len());
+        for (e, _) in &projections {
+            out.push(eval_aggregate_expr(db, e, &env, &rows)?);
+        }
+        result.rows.push(out);
+        return Ok(result); // ORDER BY/LIMIT on a single row is a no-op.
+    }
+
+    // 5. ORDER BY on source rows.
+    if !sel.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+        for r in rows {
+            let mut keys = Vec::with_capacity(sel.order_by.len());
+            for (e, _) in &sel.order_by {
+                keys.push(eval(db, e, &env, &r)?);
+            }
+            keyed.push((keys, r));
+        }
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, (_, desc)) in sel.order_by.iter().enumerate() {
+                let o = order_cmp(&ka[i], &kb[i]);
+                let o = if *desc { o.reverse() } else { o };
+                if o != Ordering::Equal {
+                    return o;
+                }
+            }
+            Ordering::Equal
+        });
+        rows = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+
+    // 6. LIMIT + projection.
+    let limit = sel.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+    for r in rows.into_iter().take(limit) {
+        let mut out = Vec::with_capacity(projections.len());
+        for (e, _) in &projections {
+            out.push(eval(db, e, &env, &r)?);
+        }
+        result.rows.push(out);
+    }
+    Ok(result)
+}
+
+/// Output column name for an unaliased projection.
+fn derived_name(e: &Expr) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => name.clone(),
+        Expr::Cast { expr, .. } => derived_name(expr),
+        _ => "?column?".into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DML / DDL execution
+// ---------------------------------------------------------------------------
+
+/// Execute any statement.
+pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<QueryResult> {
+    match stmt {
+        Stmt::Select(sel) => execute_select(db, sel),
+        Stmt::Insert {
+            table,
+            columns,
+            source,
+        } => {
+            let handle = db.get_table(table)?;
+            let schema = handle.read().schema.clone();
+            let input_rows: Vec<Row> = match source {
+                InsertSource::Values(rows) => {
+                    let env = Env { bindings: &[] };
+                    let mut out = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        let vals: Result<Row> =
+                            row.iter().map(|e| eval(db, e, &env, &[])).collect();
+                        out.push(vals?);
+                    }
+                    out
+                }
+                InsertSource::Select(sel) => execute_select(db, sel)?.rows,
+            };
+            let mapped: Vec<Row> = match columns {
+                None => input_rows,
+                Some(cols) => {
+                    let mut idxs = Vec::with_capacity(cols.len());
+                    for c in cols {
+                        idxs.push(schema.index_of(c).ok_or_else(|| {
+                            SqlError::UnknownColumn(format!("{c} in INSERT column list"))
+                        })?);
+                    }
+                    input_rows
+                        .into_iter()
+                        .map(|r| {
+                            if r.len() != idxs.len() {
+                                return Err(SqlError::Constraint(format!(
+                                    "INSERT row has {} values for {} columns",
+                                    r.len(),
+                                    idxs.len()
+                                )));
+                            }
+                            let mut full = vec![Value::Null; schema.len()];
+                            for (v, &i) in r.into_iter().zip(&idxs) {
+                                full[i] = v;
+                            }
+                            Ok(full)
+                        })
+                        .collect::<Result<_>>()?
+                }
+            };
+            let n = mapped.len();
+            let mut guard = handle.write();
+            for r in mapped {
+                guard.insert(r)?;
+            }
+            let mut q = QueryResult::new(vec!["count".into()]);
+            q.rows.push(vec![Value::Int(n as i64)]);
+            Ok(q)
+        }
+        Stmt::Update {
+            table,
+            sets,
+            where_clause,
+        } => {
+            let handle = db.get_table(table)?;
+            // Snapshot for evaluation, then apply — keeps evaluation free of
+            // the write lock so UDFs inside SET expressions may re-enter.
+            let (schema, snapshot) = {
+                let g = handle.read();
+                (g.schema.clone(), g.rows.clone())
+            };
+            let binding = [Binding {
+                qualifier: table.clone(),
+                columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
+                offset: 0,
+            }];
+            let env = Env {
+                bindings: &binding,
+            };
+            let mut set_idx = Vec::with_capacity(sets.len());
+            for (c, _) in sets {
+                set_idx.push(schema.index_of(c).ok_or_else(|| {
+                    SqlError::UnknownColumn(format!("{c} in UPDATE SET"))
+                })?);
+            }
+            let mut new_rows = Vec::with_capacity(snapshot.len());
+            let mut n = 0i64;
+            for r in snapshot {
+                let hit = match where_clause {
+                    None => true,
+                    Some(p) => is_true(&eval(db, p, &env, &r)?)?,
+                };
+                if hit {
+                    let mut updated = r.clone();
+                    for ((_, e), &i) in sets.iter().zip(&set_idx) {
+                        let v = eval(db, e, &env, &r)?;
+                        updated[i] = v.coerce_to(schema.columns[i].dtype)?;
+                    }
+                    new_rows.push(updated);
+                    n += 1;
+                } else {
+                    new_rows.push(r);
+                }
+            }
+            handle.write().rows = new_rows;
+            let mut q = QueryResult::new(vec!["count".into()]);
+            q.rows.push(vec![Value::Int(n)]);
+            Ok(q)
+        }
+        Stmt::Delete {
+            table,
+            where_clause,
+        } => {
+            let handle = db.get_table(table)?;
+            let (schema, snapshot) = {
+                let g = handle.read();
+                (g.schema.clone(), g.rows.clone())
+            };
+            let binding = [Binding {
+                qualifier: table.clone(),
+                columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
+                offset: 0,
+            }];
+            let env = Env {
+                bindings: &binding,
+            };
+            let mut kept = Vec::with_capacity(snapshot.len());
+            let mut n = 0i64;
+            for r in snapshot {
+                let hit = match where_clause {
+                    None => true,
+                    Some(p) => is_true(&eval(db, p, &env, &r)?)?,
+                };
+                if hit {
+                    n += 1;
+                } else {
+                    kept.push(r);
+                }
+            }
+            handle.write().rows = kept;
+            let mut q = QueryResult::new(vec!["count".into()]);
+            q.rows.push(vec![Value::Int(n)]);
+            Ok(q)
+        }
+        Stmt::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        } => {
+            let cols = columns
+                .iter()
+                .map(|(n, t)| Column::new(n, *t))
+                .collect::<Vec<_>>();
+            let schema = Schema::new(cols)?;
+            match db.create_table(name, Table::new(schema)) {
+                Ok(()) => {}
+                Err(SqlError::Constraint(_)) if *if_not_exists => {}
+                Err(e) => return Err(e),
+            }
+            Ok(QueryResult::new(vec![]))
+        }
+        Stmt::DropTable { name, if_exists } => {
+            match db.drop_table(name) {
+                Ok(()) => {}
+                Err(SqlError::UnknownTable(_)) if *if_exists => {}
+                Err(e) => return Err(e),
+            }
+            Ok(QueryResult::new(vec![]))
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Built-in scalar and set-returning functions.
+//!
+//! The UDF signatures deliberately receive a [`Database`] handle so that
+//! user-defined functions (pgFMU's `fmu_parest`, `fmu_simulate`, MADlib's
+//! `arima_train`, …) can execute SQL themselves — the re-entrancy at the
+//! heart of the paper's "in-place computation inside the DBMS" argument.
+
+use std::sync::Arc;
+
+use crate::db::Database;
+use crate::error::{Result, SqlError};
+use crate::table::QueryResult;
+use crate::value::Value;
+
+/// A scalar UDF: `(db, args) -> value`.
+pub type ScalarFn = Arc<dyn Fn(&Database, &[Value]) -> Result<Value> + Send + Sync>;
+
+/// A set-returning UDF: `(db, args) -> table`.
+pub type TableFn = Arc<dyn Fn(&Database, &[Value]) -> Result<QueryResult> + Send + Sync>;
+
+fn f64_arg(args: &[Value], i: usize, name: &str) -> Result<f64> {
+    args.get(i)
+        .ok_or_else(|| SqlError::Type(format!("{name}: missing argument {i}")))?
+        .as_f64()
+}
+
+/// Register the built-in scalar functions.
+pub fn register_builtin_scalars(db: &Database) {
+    let simple = |db: &Database, name: &'static str, f: fn(f64) -> f64| {
+        db.register_scalar(name, move |_db, args| {
+            if args.len() != 1 {
+                return Err(SqlError::Type(format!("{name}() takes one argument")));
+            }
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Float(f(args[0].as_f64()?)))
+        });
+    };
+    simple(db, "sqrt", f64::sqrt);
+    simple(db, "exp", f64::exp);
+    simple(db, "ln", f64::ln);
+    simple(db, "floor", f64::floor);
+    simple(db, "ceil", f64::ceil);
+    simple(db, "ceiling", f64::ceil);
+
+    db.register_scalar("abs", |_db, args| {
+        if args.len() != 1 {
+            return Err(SqlError::Type("abs() takes one argument".into()));
+        }
+        Ok(match &args[0] {
+            Value::Null => Value::Null,
+            Value::Int(i) => Value::Int(i.abs()),
+            v => Value::Float(v.as_f64()?.abs()),
+        })
+    });
+
+    db.register_scalar("round", |_db, args| {
+        match args {
+            [Value::Null] | [Value::Null, _] => Ok(Value::Null),
+            [v] => Ok(Value::Float(v.as_f64()?.round())),
+            [v, d] => {
+                let scale = 10f64.powi(d.as_i64()? as i32);
+                Ok(Value::Float((v.as_f64()? * scale).round() / scale))
+            }
+            _ => Err(SqlError::Type("round() takes one or two arguments".into())),
+        }
+    });
+
+    db.register_scalar("power", |_db, args| {
+        if args.len() != 2 {
+            return Err(SqlError::Type("power() takes two arguments".into()));
+        }
+        if args[0].is_null() || args[1].is_null() {
+            return Ok(Value::Null);
+        }
+        Ok(Value::Float(f64_arg(args, 0, "power")?.powf(f64_arg(
+            args,
+            1,
+            "power",
+        )?)))
+    });
+
+    db.register_scalar("coalesce", |_db, args| {
+        for a in args {
+            if !a.is_null() {
+                return Ok(a.clone());
+            }
+        }
+        Ok(Value::Null)
+    });
+
+    db.register_scalar("nullif", |_db, args| {
+        if args.len() != 2 {
+            return Err(SqlError::Type("nullif() takes two arguments".into()));
+        }
+        if args[0] == args[1] {
+            Ok(Value::Null)
+        } else {
+            Ok(args[0].clone())
+        }
+    });
+
+    db.register_scalar("lower", |_db, args| match args {
+        [Value::Null] => Ok(Value::Null),
+        [Value::Text(s)] => Ok(Value::Text(s.to_lowercase())),
+        _ => Err(SqlError::Type("lower() takes one text argument".into())),
+    });
+
+    db.register_scalar("upper", |_db, args| match args {
+        [Value::Null] => Ok(Value::Null),
+        [Value::Text(s)] => Ok(Value::Text(s.to_uppercase())),
+        _ => Err(SqlError::Type("upper() takes one text argument".into())),
+    });
+
+    db.register_scalar("length", |_db, args| match args {
+        [Value::Null] => Ok(Value::Null),
+        [Value::Text(s)] => Ok(Value::Int(s.chars().count() as i64)),
+        _ => Err(SqlError::Type("length() takes one text argument".into())),
+    });
+
+    db.register_scalar("greatest", |_db, args| {
+        let mut best: Option<Value> = None;
+        for a in args.iter().filter(|a| !a.is_null()) {
+            best = Some(match best {
+                None => a.clone(),
+                Some(b) => {
+                    if crate::exec::compare(a, &b)? == Some(std::cmp::Ordering::Greater) {
+                        a.clone()
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        Ok(best.unwrap_or(Value::Null))
+    });
+
+    db.register_scalar("least", |_db, args| {
+        let mut best: Option<Value> = None;
+        for a in args.iter().filter(|a| !a.is_null()) {
+            best = Some(match best {
+                None => a.clone(),
+                Some(b) => {
+                    if crate::exec::compare(a, &b)? == Some(std::cmp::Ordering::Less) {
+                        a.clone()
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        Ok(best.unwrap_or(Value::Null))
+    });
+
+    // extract(epoch from ts) is spelled extract_epoch(ts) in our dialect.
+    db.register_scalar("extract_epoch", |_db, args| match args {
+        [Value::Timestamp(t)] => Ok(Value::Int(*t)),
+        [Value::Interval(t)] => Ok(Value::Int(*t)),
+        [Value::Null] => Ok(Value::Null),
+        _ => Err(SqlError::Type(
+            "extract_epoch() takes a timestamp or interval".into(),
+        )),
+    });
+}
+
+/// Register the built-in set-returning functions.
+pub fn register_builtin_table_fns(db: &Database) {
+    db.register_table_fn("generate_series", |_db, args| {
+        let mut q = QueryResult::new(vec!["generate_series".into()]);
+        match args {
+            [Value::Int(a), Value::Int(b)] => {
+                for v in *a..=*b {
+                    q.rows.push(vec![Value::Int(v)]);
+                }
+            }
+            [Value::Int(a), Value::Int(b), Value::Int(step)] => {
+                if *step == 0 {
+                    return Err(SqlError::Execution(
+                        "generate_series step cannot be zero".into(),
+                    ));
+                }
+                let mut v = *a;
+                while (*step > 0 && v <= *b) || (*step < 0 && v >= *b) {
+                    q.rows.push(vec![Value::Int(v)]);
+                    v += step;
+                }
+            }
+            [Value::Timestamp(a), Value::Timestamp(b), Value::Interval(step)] => {
+                if *step <= 0 {
+                    return Err(SqlError::Execution(
+                        "generate_series interval must be positive".into(),
+                    ));
+                }
+                let mut t = *a;
+                while t <= *b {
+                    q.rows.push(vec![Value::Timestamp(t)]);
+                    t += step;
+                }
+            }
+            _ => {
+                return Err(SqlError::Type(
+                    "generate_series expects (int, int[, int]) or \
+                     (timestamp, timestamp, interval)"
+                        .into(),
+                ))
+            }
+        }
+        Ok(q)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::db::Database;
+    use crate::value::Value;
+
+    fn db() -> Database {
+        Database::new()
+    }
+
+    #[test]
+    fn scalar_math_functions() {
+        let d = db();
+        let one = |sql: &str| d.execute(sql).unwrap().scalar().unwrap().clone();
+        assert_eq!(one("SELECT abs(-4)"), Value::Int(4));
+        assert_eq!(one("SELECT abs(-4.5)"), Value::Float(4.5));
+        assert_eq!(one("SELECT sqrt(9.0)"), Value::Float(3.0));
+        assert_eq!(one("SELECT round(2.567, 2)"), Value::Float(2.57));
+        assert_eq!(one("SELECT power(2, 10)"), Value::Float(1024.0));
+        assert_eq!(one("SELECT ceiling(1.2)"), Value::Float(2.0));
+        assert_eq!(one("SELECT floor(1.8)"), Value::Float(1.0));
+    }
+
+    #[test]
+    fn null_handling() {
+        let d = db();
+        let one = |sql: &str| d.execute(sql).unwrap().scalar().unwrap().clone();
+        assert_eq!(one("SELECT coalesce(NULL, NULL, 3)"), Value::Int(3));
+        assert_eq!(one("SELECT coalesce(NULL)"), Value::Null);
+        assert_eq!(one("SELECT nullif(1, 1)"), Value::Null);
+        assert_eq!(one("SELECT nullif(1, 2)"), Value::Int(1));
+        assert_eq!(one("SELECT abs(NULL)"), Value::Null);
+    }
+
+    #[test]
+    fn text_functions() {
+        let d = db();
+        let one = |sql: &str| d.execute(sql).unwrap().scalar().unwrap().clone();
+        assert_eq!(one("SELECT lower('ABC')"), Value::Text("abc".into()));
+        assert_eq!(one("SELECT upper('abc')"), Value::Text("ABC".into()));
+        assert_eq!(one("SELECT length('hello')"), Value::Int(5));
+        assert_eq!(one("SELECT greatest(1, 5, 3)"), Value::Int(5));
+        assert_eq!(one("SELECT least(2, NULL, 1)"), Value::Int(1));
+    }
+
+    #[test]
+    fn generate_series_ints() {
+        let d = db();
+        let q = d.execute("SELECT * FROM generate_series(1, 5)").unwrap();
+        assert_eq!(q.len(), 5);
+        let q = d
+            .execute("SELECT * FROM generate_series(10, 1, -3)")
+            .unwrap();
+        assert_eq!(q.len(), 4);
+        assert!(d
+            .execute("SELECT * FROM generate_series(1, 5, 0)")
+            .is_err());
+    }
+
+    #[test]
+    fn generate_series_timestamps() {
+        let d = db();
+        let q = d
+            .execute(
+                "SELECT * FROM generate_series(timestamp '2015-01-01', \
+                 timestamp '2015-01-02', interval '1 hour') AS time",
+            )
+            .unwrap();
+        assert_eq!(q.len(), 25);
+        assert_eq!(q.columns, vec!["time"]);
+    }
+
+    #[test]
+    fn extract_epoch() {
+        let d = db();
+        let v = d
+            .execute("SELECT extract_epoch(timestamp '1970-01-01 01:00')")
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .clone();
+        assert_eq!(v, Value::Int(3600));
+    }
+}

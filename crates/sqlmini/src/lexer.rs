@@ -1,0 +1,322 @@
+//! SQL tokenizer.
+//!
+//! Identifiers are case-insensitive (normalized to lower case); string
+//! literals are single-quoted with `''` escaping, as in PostgreSQL.
+
+use crate::error::{Result, SqlError};
+
+/// SQL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword, normalized to lower case.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `||`
+    Concat,
+    /// `::`
+    DoubleColon,
+}
+
+/// Tokenize a SQL string.
+pub fn lex(sql: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = sql.chars().peekable();
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    // line comment
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    out.push(Tok::Minus);
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(other) => s.push(other),
+                        None => {
+                            return Err(SqlError::Parse("unterminated string literal".into()))
+                        }
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            '"' => {
+                // Quoted identifier — preserved but still lower-cased for
+                // simplicity (our catalogue uses conventional names).
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(other) => s.push(other),
+                        None => {
+                            return Err(SqlError::Parse("unterminated quoted identifier".into()))
+                        }
+                    }
+                }
+                out.push(Tok::Ident(s.to_ascii_lowercase()));
+            }
+            '0'..='9' => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        chars.next();
+                    } else if c == '.' && !is_float {
+                        // Lookahead: `1.5` is a float, `1.x` is int-dot-ident.
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        if ahead.peek().is_some_and(|d| d.is_ascii_digit()) {
+                            is_float = true;
+                            text.push('.');
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    } else if (c == 'e' || c == 'E') && !text.is_empty() {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        let next = ahead.peek().copied();
+                        if next.is_some_and(|d| d.is_ascii_digit() || d == '+' || d == '-') {
+                            is_float = true;
+                            text.push('e');
+                            chars.next();
+                            if let Some(&sign @ ('+' | '-')) = chars.peek() {
+                                text.push(sign);
+                                chars.next();
+                            }
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| SqlError::Parse(format!("bad number '{text}'")))?;
+                    out.push(Tok::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| SqlError::Parse(format!("bad number '{text}'")))?;
+                    out.push(Tok::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                        name.push(c.to_ascii_lowercase());
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(name));
+            }
+            _ => {
+                chars.next();
+                let tok = match c {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    ',' => Tok::Comma,
+                    ';' => Tok::Semi,
+                    '.' => Tok::Dot,
+                    '*' => Tok::Star,
+                    '+' => Tok::Plus,
+                    '/' => Tok::Slash,
+                    '=' => Tok::Eq,
+                    '!' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            Tok::Ne
+                        } else {
+                            return Err(SqlError::Parse("unexpected '!'".into()));
+                        }
+                    }
+                    '<' => match chars.peek() {
+                        Some('=') => {
+                            chars.next();
+                            Tok::Le
+                        }
+                        Some('>') => {
+                            chars.next();
+                            Tok::Ne
+                        }
+                        _ => Tok::Lt,
+                    },
+                    '>' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            Tok::Ge
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    '|' => {
+                        if chars.peek() == Some(&'|') {
+                            chars.next();
+                            Tok::Concat
+                        } else {
+                            return Err(SqlError::Parse("unexpected '|'".into()));
+                        }
+                    }
+                    ':' => {
+                        if chars.peek() == Some(&':') {
+                            chars.next();
+                            Tok::DoubleColon
+                        } else {
+                            return Err(SqlError::Parse("unexpected ':'".into()));
+                        }
+                    }
+                    other => {
+                        return Err(SqlError::Parse(format!("unexpected character '{other}'")))
+                    }
+                };
+                out.push(tok);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select_tokens() {
+        let toks = lex("SELECT * FROM measurements WHERE x >= 1.5").unwrap();
+        assert_eq!(toks[0], Tok::Ident("select".into()));
+        assert_eq!(toks[1], Tok::Star);
+        assert_eq!(toks[5], Tok::Ident("x".into()));
+        assert_eq!(toks[6], Tok::Ge);
+        assert_eq!(toks[7], Tok::Float(1.5));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Tok::Str("it's".into())]);
+        assert!(lex("'open").is_err());
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        assert_eq!(lex("42").unwrap(), vec![Tok::Int(42)]);
+        assert_eq!(lex("4.5").unwrap(), vec![Tok::Float(4.5)]);
+        assert_eq!(lex("1e3").unwrap(), vec![Tok::Float(1000.0)]);
+        assert_eq!(lex("1e-6").unwrap(), vec![Tok::Float(1e-6)]);
+    }
+
+    #[test]
+    fn double_colon_and_concat() {
+        assert_eq!(
+            lex("id::text || 'x'").unwrap(),
+            vec![
+                Tok::Ident("id".into()),
+                Tok::DoubleColon,
+                Tok::Ident("text".into()),
+                Tok::Concat,
+                Tok::Str("x".into()),
+            ]
+        );
+        assert!(lex("a | b").is_err());
+        assert!(lex("a : b").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("select".into()),
+                Tok::Int(1),
+                Tok::Comma,
+                Tok::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(
+            lex("\"ModelInstance\"").unwrap(),
+            vec![Tok::Ident("modelinstance".into())]
+        );
+        assert!(lex("\"open").is_err());
+    }
+
+    #[test]
+    fn dotted_qualifier_vs_float() {
+        let toks = lex("f.varType").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("f".into()),
+                Tok::Dot,
+                Tok::Ident("vartype".into())
+            ]
+        );
+    }
+}

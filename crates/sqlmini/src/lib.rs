@@ -1,0 +1,45 @@
+//! # pgfmu-sqlmini — an in-memory relational DBMS substrate
+//!
+//! This crate stands in for PostgreSQL in the pgFMU reproduction. pgFMU's
+//! contribution is a set of SQL-invocable UDFs plus a model catalogue; what
+//! it needs from the DBMS is:
+//!
+//! * SQL query execution over ordinary tables (`SELECT` with projections,
+//!   cross joins, WHERE/ORDER BY/LIMIT, aggregates; `INSERT … VALUES` and
+//!   `INSERT … SELECT`; `UPDATE`; `DELETE`; `CREATE`/`DROP TABLE`);
+//! * **scalar and set-returning user-defined functions** that can re-enter
+//!   the database — `fmu_parest` executes the user's `input_sql`, and
+//!   `fmu_simulate` appears in `FROM` clauses, including the paper's
+//!   `LATERAL`-join multi-instance pattern;
+//! * a PostgreSQL-flavoured type system including `timestamp`, `interval`
+//!   and the `variant` extension type the model catalogue relies on;
+//! * a statement cache implementing the paper's "prepared SQL queries"
+//!   optimization (§7).
+//!
+//! ```
+//! use pgfmu_sqlmini::Database;
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE measurements (ts timestamp, x float)").unwrap();
+//! db.execute("INSERT INTO measurements VALUES ('2015-02-01 00:00', 20.75)").unwrap();
+//! let q = db.execute("SELECT avg(x) FROM measurements").unwrap();
+//! assert_eq!(q.rows[0][0].as_f64().unwrap(), 20.75);
+//! ```
+
+pub mod ast;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod functions;
+pub mod lexer;
+pub mod parser;
+pub mod table;
+pub mod value;
+
+pub use db::Database;
+pub use error::{Result, SqlError};
+pub use functions::{ScalarFn, TableFn};
+pub use table::{Column, QueryResult, Row, Schema, Table};
+pub use value::{
+    format_timestamp, parse_interval, parse_timestamp, timestamp_from_parts, DataType, Value,
+};

@@ -1,0 +1,850 @@
+//! Recursive-descent SQL parser.
+//!
+//! Supported statements: `SELECT` (projection, FROM with tables and
+//! lateral set-returning functions, WHERE, ORDER BY, LIMIT), `INSERT …
+//! VALUES/SELECT`, `UPDATE`, `DELETE`, `CREATE TABLE`, `DROP TABLE`.
+//!
+//! Expression precedence (low→high): `OR`, `AND`, `NOT`, comparison /
+//! `IN` / `IS NULL`, `||`, additive, multiplicative, unary minus,
+//! `::` casts, primaries.
+
+use crate::ast::{
+    BinOp, Expr, FromItem, InsertSource, SelectItem, SelectStmt, Stmt, UnOp,
+};
+use crate::error::{Result, SqlError};
+use crate::lexer::{lex, Tok};
+use crate::value::{DataType, Value};
+
+/// Keywords that terminate a bare alias.
+const RESERVED: [&str; 18] = [
+    "select", "from", "where", "order", "group", "limit", "and", "or", "not", "in", "is",
+    "as", "asc", "desc", "by", "lateral", "values", "set",
+];
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {what}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if name == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(name)) if name == kw)
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {}, found {:?}",
+                kw.to_uppercase(),
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.bump() {
+            Some(Tok::Ident(name)) => Ok(name),
+            other => Err(SqlError::Parse(format!(
+                "expected {what}, found {other:?}"
+            ))),
+        }
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        if self.peek_kw("select") {
+            return Ok(Stmt::Select(self.parse_select()?));
+        }
+        if self.eat_kw("insert") {
+            return self.parse_insert();
+        }
+        if self.eat_kw("update") {
+            return self.parse_update();
+        }
+        if self.eat_kw("delete") {
+            return self.parse_delete();
+        }
+        if self.eat_kw("create") {
+            return self.parse_create();
+        }
+        if self.eat_kw("drop") {
+            return self.parse_drop();
+        }
+        Err(SqlError::Parse(format!(
+            "expected a statement, found {:?}",
+            self.peek()
+        )))
+    }
+
+    fn parse_select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("select")?;
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_select_item()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                from.push(self.parse_from_item()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.parse_expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.bump() {
+                Some(Tok::Int(n)) if n >= 0 => Some(n as u64),
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "LIMIT expects a non-negative integer, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            from,
+            where_clause,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&Tok::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // alias.* ?
+        if let (Some(Tok::Ident(name)), Some(Tok::Dot), Some(Tok::Star)) = (
+            self.peek(),
+            self.peek2(),
+            self.tokens.get(self.pos + 2),
+        ) {
+            let q = name.clone();
+            self.pos += 3;
+            return Ok(SelectItem::QualifiedWildcard(q));
+        }
+        let expr = self.parse_expr()?;
+        let alias = self.parse_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.expect_ident("alias")?));
+        }
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if !RESERVED.contains(&name.as_str()) {
+                let alias = name.clone();
+                self.pos += 1;
+                return Ok(Some(alias));
+            }
+        }
+        Ok(None)
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem> {
+        // LATERAL is accepted and implied for function items.
+        self.eat_kw("lateral");
+        let name = self.expect_ident("table or function name")?;
+        if self.peek() == Some(&Tok::LParen) {
+            self.pos += 1;
+            let mut args = Vec::new();
+            if self.peek() != Some(&Tok::RParen) {
+                loop {
+                    args.push(self.parse_expr()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RParen, "')' after function arguments")?;
+            let alias = self.parse_alias()?;
+            Ok(FromItem::Function { name, args, alias })
+        } else {
+            let alias = self.parse_alias()?;
+            Ok(FromItem::Table { name, alias })
+        }
+    }
+
+    fn parse_insert(&mut self) -> Result<Stmt> {
+        self.expect_kw("into")?;
+        let table = self.expect_ident("table name")?;
+        let columns = if self.peek() == Some(&Tok::LParen)
+            && !matches!(self.peek2(), Some(Tok::Ident(k)) if k == "select")
+        {
+            self.pos += 1;
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.expect_ident("column name")?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen, "')' after column list")?;
+            Some(cols)
+        } else {
+            None
+        };
+        if self.eat_kw("values") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Tok::LParen, "'(' starting a VALUES row")?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.parse_expr()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen, "')' ending a VALUES row")?;
+                rows.push(row);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            Ok(Stmt::Insert {
+                table,
+                columns,
+                source: InsertSource::Values(rows),
+            })
+        } else if self.peek_kw("select") {
+            let sel = self.parse_select()?;
+            Ok(Stmt::Insert {
+                table,
+                columns,
+                source: InsertSource::Select(Box::new(sel)),
+            })
+        } else {
+            Err(SqlError::Parse(
+                "INSERT expects VALUES or SELECT".into(),
+            ))
+        }
+    }
+
+    fn parse_update(&mut self) -> Result<Stmt> {
+        let table = self.expect_ident("table name")?;
+        self.expect_kw("set")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.expect_ident("column name")?;
+            self.expect(&Tok::Eq, "'=' in SET")?;
+            let e = self.parse_expr()?;
+            sets.push((col, e));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update {
+            table,
+            sets,
+            where_clause,
+        })
+    }
+
+    fn parse_delete(&mut self) -> Result<Stmt> {
+        self.expect_kw("from")?;
+        let table = self.expect_ident("table name")?;
+        let where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Delete {
+            table,
+            where_clause,
+        })
+    }
+
+    fn parse_create(&mut self) -> Result<Stmt> {
+        self.expect_kw("table")?;
+        let if_not_exists = if self.eat_kw("if") {
+            self.expect_kw("not")?;
+            self.expect_kw("exists")?;
+            true
+        } else {
+            false
+        };
+        let name = self.expect_ident("table name")?;
+        self.expect(&Tok::LParen, "'(' after table name")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.expect_ident("column name")?;
+            let mut ty = self.expect_ident("type name")?;
+            // multi-word types: `double precision`
+            if ty == "double" && self.eat_kw("precision") {
+                ty = "double".into();
+            }
+            columns.push((col, DataType::parse(&ty)?));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen, "')' after column definitions")?;
+        Ok(Stmt::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        })
+    }
+
+    fn parse_drop(&mut self) -> Result<Stmt> {
+        self.expect_kw("table")?;
+        let if_exists = if self.eat_kw("if") {
+            self.expect_kw("exists")?;
+            true
+        } else {
+            false
+        };
+        let name = self.expect_ident("table name")?;
+        Ok(Stmt::DropTable { name, if_exists })
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_kw("or") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_kw("and") {
+            let rhs = self.parse_not()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(self.parse_not()?),
+            })
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let lhs = self.parse_concat()?;
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        // [NOT] IN (…)
+        let negated_in = if self.peek_kw("not")
+            && matches!(self.peek2(), Some(Tok::Ident(k)) if k == "in")
+        {
+            self.pos += 2;
+            true
+        } else if self.eat_kw("in") {
+            false
+        } else {
+            let op = match self.peek() {
+                Some(Tok::Eq) => Some(BinOp::Eq),
+                Some(Tok::Ne) => Some(BinOp::Ne),
+                Some(Tok::Lt) => Some(BinOp::Lt),
+                Some(Tok::Le) => Some(BinOp::Le),
+                Some(Tok::Gt) => Some(BinOp::Gt),
+                Some(Tok::Ge) => Some(BinOp::Ge),
+                _ => None,
+            };
+            if let Some(op) = op {
+                self.pos += 1;
+                let rhs = self.parse_concat()?;
+                return Ok(Expr::Binary {
+                    op,
+                    left: Box::new(lhs),
+                    right: Box::new(rhs),
+                });
+            }
+            return Ok(lhs);
+        };
+        self.expect(&Tok::LParen, "'(' after IN")?;
+        let mut list = Vec::new();
+        loop {
+            list.push(self.parse_expr()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen, "')' closing IN list")?;
+        Ok(Expr::InList {
+            expr: Box::new(lhs),
+            list,
+            negated: negated_in,
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_additive()?;
+        while self.eat(&Tok::Concat) {
+            let rhs = self.parse_additive()?;
+            lhs = Expr::Binary {
+                op: BinOp::Concat,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&Tok::Minus) {
+            Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(self.parse_unary()?),
+            })
+        } else if self.eat(&Tok::Plus) {
+            self.parse_unary()
+        } else {
+            self.parse_postfix()
+        }
+    }
+
+    /// Postfix `::type` casts (left-associative, tightest binding).
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut e = self.parse_primary()?;
+        while self.eat(&Tok::DoubleColon) {
+            let mut ty = self.expect_ident("type name after '::'")?;
+            if ty == "double" && self.eat_kw("precision") {
+                ty = "double".into();
+            }
+            e = Expr::Cast {
+                expr: Box::new(e),
+                ty: DataType::parse(&ty)?,
+            };
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Expr::Literal(Value::Int(v))),
+            Some(Tok::Float(v)) => Ok(Expr::Literal(Value::Float(v))),
+            Some(Tok::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "null" => Ok(Expr::Literal(Value::Null)),
+                "true" => Ok(Expr::Literal(Value::Bool(true))),
+                "false" => Ok(Expr::Literal(Value::Bool(false))),
+                "interval" => {
+                    // `interval '1 hour'`
+                    match self.bump() {
+                        Some(Tok::Str(s)) => Ok(Expr::Literal(Value::Interval(
+                            crate::value::parse_interval(&s)?,
+                        ))),
+                        other => Err(SqlError::Parse(format!(
+                            "INTERVAL expects a string literal, found {other:?}"
+                        ))),
+                    }
+                }
+                "timestamp" => match self.bump() {
+                    Some(Tok::Str(s)) => Ok(Expr::Literal(Value::Timestamp(
+                        crate::value::parse_timestamp(&s)?,
+                    ))),
+                    other => Err(SqlError::Parse(format!(
+                        "TIMESTAMP expects a string literal, found {other:?}"
+                    ))),
+                },
+                _ => {
+                    if self.peek() == Some(&Tok::LParen) {
+                        self.pos += 1;
+                        let mut args = Vec::new();
+                        if self.eat(&Tok::Star) {
+                            // count(*)
+                            self.expect(&Tok::RParen, "')' after count(*)")?;
+                            return Ok(Expr::Function { name, args });
+                        }
+                        if self.peek() != Some(&Tok::RParen) {
+                            loop {
+                                args.push(self.parse_expr()?);
+                                if !self.eat(&Tok::Comma) {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Tok::RParen, "')' after function arguments")?;
+                        Ok(Expr::Function { name, args })
+                    } else if self.peek() == Some(&Tok::Dot) {
+                        self.pos += 1;
+                        let col = self.expect_ident("column after '.'")?;
+                        Ok(Expr::Column {
+                            table: Some(name),
+                            name: col,
+                        })
+                    } else {
+                        Ok(Expr::Column { table: None, name })
+                    }
+                }
+            },
+            other => Err(SqlError::Parse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Parse one SQL statement (a trailing semicolon is allowed).
+pub fn parse(sql: &str) -> Result<Stmt> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_stmt()?;
+    p.eat(&Tok::Semi);
+    if p.peek().is_some() {
+        return Err(SqlError::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let s = parse("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY b DESC LIMIT 10;").unwrap();
+        match s {
+            Stmt::Select(sel) => {
+                assert_eq!(sel.items.len(), 2);
+                assert_eq!(sel.from.len(), 1);
+                assert!(sel.where_clause.is_some());
+                assert_eq!(sel.order_by.len(), 1);
+                assert!(sel.order_by[0].1);
+                assert_eq!(sel.limit, Some(10));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_wildcards() {
+        let s = parse("SELECT *, f.* FROM t, fmu_variables('i') AS f").unwrap();
+        if let Stmt::Select(sel) = s {
+            assert_eq!(sel.items[0], SelectItem::Wildcard);
+            assert_eq!(sel.items[1], SelectItem::QualifiedWildcard("f".into()));
+            assert!(matches!(&sel.from[1], FromItem::Function { name, .. } if name == "fmu_variables"));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn parses_lateral_function() {
+        let s = parse(
+            "SELECT * FROM generate_series(1, 100) AS id, \
+             LATERAL fmu_simulate('HP1Instance' || id::text, 'SELECT * FROM m') AS f",
+        )
+        .unwrap();
+        if let Stmt::Select(sel) = s {
+            assert_eq!(sel.from.len(), 2);
+            match &sel.from[1] {
+                FromItem::Function { name, args, alias } => {
+                    assert_eq!(name, "fmu_simulate");
+                    assert_eq!(args.len(), 2);
+                    assert_eq!(alias.as_deref(), Some("f"));
+                }
+                other => panic!("{other:?}"),
+            }
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn parses_in_list_and_is_null() {
+        let s = parse("SELECT * FROM t WHERE varName IN ('y', 'x') AND v IS NOT NULL").unwrap();
+        if let Stmt::Select(sel) = s {
+            let w = sel.where_clause.unwrap();
+            assert!(matches!(w, Expr::Binary { op: BinOp::And, .. }));
+        } else {
+            panic!();
+        }
+        let s2 = parse("SELECT * FROM t WHERE x NOT IN (1, 2)").unwrap();
+        if let Stmt::Select(sel) = s2 {
+            assert!(matches!(
+                sel.where_clause.unwrap(),
+                Expr::InList { negated: true, .. }
+            ));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn parses_insert_forms() {
+        let s = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        assert!(matches!(
+            s,
+            Stmt::Insert {
+                source: InsertSource::Values(ref rows),
+                ..
+            } if rows.len() == 2
+        ));
+        let s = parse("INSERT INTO t (a, b) VALUES (1, 2)").unwrap();
+        assert!(matches!(s, Stmt::Insert { columns: Some(ref c), .. } if c.len() == 2));
+        let s = parse("INSERT INTO t SELECT * FROM u").unwrap();
+        assert!(matches!(
+            s,
+            Stmt::Insert {
+                source: InsertSource::Select(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_update_delete() {
+        let s = parse("UPDATE t SET a = 1, b = b + 1 WHERE c = 'x'").unwrap();
+        assert!(matches!(s, Stmt::Update { ref sets, .. } if sets.len() == 2));
+        let s = parse("DELETE FROM t WHERE a < 0").unwrap();
+        assert!(matches!(s, Stmt::Delete { .. }));
+    }
+
+    #[test]
+    fn parses_create_drop() {
+        let s = parse(
+            "CREATE TABLE m (ts timestamp, x double precision, u float, note text)",
+        )
+        .unwrap();
+        if let Stmt::CreateTable { columns, .. } = s {
+            assert_eq!(columns.len(), 4);
+            assert_eq!(columns[1].1, DataType::Float);
+        } else {
+            panic!();
+        }
+        assert!(matches!(
+            parse("DROP TABLE IF EXISTS m").unwrap(),
+            Stmt::DropTable {
+                if_exists: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("CREATE TABLE IF NOT EXISTS z (a int)").unwrap(),
+            Stmt::CreateTable {
+                if_not_exists: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_interval_and_timestamp_literals() {
+        let s = parse(
+            "SELECT * FROM generate_series(timestamp '2015-01-01', \
+             timestamp '2015-01-02', interval '1 hour') AS time",
+        )
+        .unwrap();
+        if let Stmt::Select(sel) = s {
+            if let FromItem::Function { args, .. } = &sel.from[0] {
+                assert!(matches!(args[2], Expr::Literal(Value::Interval(3600))));
+            } else {
+                panic!();
+            }
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn cast_binds_tighter_than_neg() {
+        // -1::float must parse as -(1::float)
+        let s = parse("SELECT -1::float").unwrap();
+        if let Stmt::Select(sel) = s {
+            if let SelectItem::Expr { expr, .. } = &sel.items[0] {
+                assert!(matches!(expr, Expr::Unary { op: UnOp::Neg, .. }));
+            } else {
+                panic!();
+            }
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn count_star() {
+        let s = parse("SELECT count(*) FROM t").unwrap();
+        if let Stmt::Select(sel) = s {
+            assert!(matches!(
+                &sel.items[0],
+                SelectItem::Expr {
+                    expr: Expr::Function { name, args },
+                    ..
+                } if name == "count" && args.is_empty()
+            ));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_and_bad_limit() {
+        assert!(parse("SELECT 1 SELECT 2").is_err());
+        assert!(parse("SELECT * FROM t LIMIT 'x'").is_err());
+        assert!(parse("INSERT INTO t").is_err());
+    }
+
+    #[test]
+    fn qualified_columns() {
+        let s = parse("SELECT f.varName FROM fmu_variables('i') AS f").unwrap();
+        if let Stmt::Select(sel) = s {
+            assert!(matches!(
+                &sel.items[0],
+                SelectItem::Expr {
+                    expr: Expr::Column { table: Some(t), name },
+                    ..
+                } if t == "f" && name == "varname"
+            ));
+        } else {
+            panic!();
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Schemas, rows and in-memory tables.
+
+use crate::error::{Result, SqlError};
+use crate::value::{DataType, Value};
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Column name (stored lower-case; SQL identifiers are case-insensitive).
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Create a column (name is normalized to lower case).
+    pub fn new(name: impl AsRef<str>, dtype: DataType) -> Self {
+        Column {
+            name: name.as_ref().to_ascii_lowercase(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of columns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Create a schema from columns, rejecting duplicates.
+    pub fn new(columns: Vec<Column>) -> Result<Self> {
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if !seen.insert(c.name.clone()) {
+                return Err(SqlError::Constraint(format!(
+                    "duplicate column name \"{}\"",
+                    c.name
+                )));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+/// A row of values.
+pub type Row = Vec<Value>;
+
+/// An in-memory heap table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: Schema,
+    /// Row storage.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Insert a row, coercing each value to its column type.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(SqlError::Constraint(format!(
+                "INSERT has {} values but table has {} columns",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        let coerced: Result<Row> = row
+            .iter()
+            .zip(&self.schema.columns)
+            .map(|(v, c)| {
+                v.coerce_to(c.dtype).map_err(|e| {
+                    SqlError::Type(format!("column \"{}\": {e}", c.name))
+                })
+            })
+            .collect();
+        self.rows.push(coerced?);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A materialized query result: schema-lite (names only matter for lookup)
+/// plus rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Empty result with the given column names.
+    pub fn new(columns: Vec<String>) -> Self {
+        QueryResult {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| *c == lower)
+    }
+
+    /// Extract one column as `f64` (ints/floats/bools), erroring on NULLs.
+    pub fn column_f64(&self, name: &str) -> Result<Vec<f64>> {
+        let idx = self
+            .index_of(name)
+            .ok_or_else(|| SqlError::UnknownColumn(name.to_string()))?;
+        self.rows.iter().map(|r| r[idx].as_f64()).collect()
+    }
+
+    /// Extract one column of timestamps as epoch seconds.
+    pub fn column_timestamps(&self, name: &str) -> Result<Vec<i64>> {
+        let idx = self
+            .index_of(name)
+            .ok_or_else(|| SqlError::UnknownColumn(name.to_string()))?;
+        self.rows
+            .iter()
+            .map(|r| match &r[idx] {
+                Value::Timestamp(t) => Ok(*t),
+                Value::Text(s) => crate::value::parse_timestamp(s),
+                other => Err(SqlError::Type(format!(
+                    "column \"{name}\": {other} is not a timestamp"
+                ))),
+            })
+            .collect()
+    }
+
+    /// First value of the first row — convenient for scalar queries like
+    /// `SELECT fmu_create(…)`.
+    pub fn scalar(&self) -> Result<&Value> {
+        self.rows
+            .first()
+            .and_then(|r| r.first())
+            .ok_or_else(|| SqlError::Execution("query returned no rows".into()))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned ASCII table (for examples and the repro binary).
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!(
+                "{:<w$}{}",
+                c,
+                if i + 1 < self.columns.len() { " | " } else { "\n" },
+                w = widths[i]
+            ));
+        }
+        for (i, w) in widths.iter().enumerate() {
+            out.push_str(&"-".repeat(*w));
+            out.push_str(if i + 1 < widths.len() { "-+-" } else { "\n" });
+        }
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!(
+                    "{:<w$}{}",
+                    cell,
+                    if i + 1 < row.len() { " | " } else { "\n" },
+                    w = widths[i]
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("x", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("A", DataType::Int),
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn insert_coerces_and_checks_arity() {
+        let mut t = Table::new(schema());
+        t.insert(vec![Value::Int(1), Value::Int(2)]).unwrap();
+        assert_eq!(t.rows[0][1], Value::Float(2.0));
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        assert!(t
+            .insert(vec![Value::Text("x".into()), Value::Float(0.0)])
+            .is_err());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("ID"), Some(0));
+        assert_eq!(s.index_of("X"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    fn query_result_column_extraction() {
+        let mut q = QueryResult::new(vec!["t".into(), "v".into()]);
+        q.rows.push(vec![Value::Timestamp(3600), Value::Float(1.5)]);
+        q.rows.push(vec![Value::Timestamp(7200), Value::Int(2)]);
+        assert_eq!(q.column_f64("v").unwrap(), vec![1.5, 2.0]);
+        assert_eq!(q.column_timestamps("t").unwrap(), vec![3600, 7200]);
+        assert!(q.column_f64("missing").is_err());
+    }
+
+    #[test]
+    fn scalar_of_empty_result_errors() {
+        let q = QueryResult::new(vec!["v".into()]);
+        assert!(q.scalar().is_err());
+    }
+
+    #[test]
+    fn ascii_rendering_aligns() {
+        let mut q = QueryResult::new(vec!["name".into(), "v".into()]);
+        q.rows
+            .push(vec![Value::Text("alpha".into()), Value::Int(1)]);
+        q.rows.push(vec![Value::Text("b".into()), Value::Int(22)]);
+        let s = q.to_ascii();
+        assert!(s.contains("name  | v"));
+        assert!(s.contains("alpha | 1"));
+    }
+}

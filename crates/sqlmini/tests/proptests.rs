@@ -1,0 +1,117 @@
+//! Property tests for the SQL engine: totality of the front-end, codec
+//! round-trips and executor invariants.
+
+use proptest::prelude::*;
+
+use pgfmu_sqlmini::value::{civil_from_days, days_from_civil};
+use pgfmu_sqlmini::{format_timestamp, parse_timestamp, Database, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lexer and parser never panic on arbitrary input.
+    #[test]
+    fn front_end_is_total(s in ".{0,200}") {
+        let _ = pgfmu_sqlmini::parser::parse(&s);
+    }
+
+    /// Parser never panics on SQL-ish token soup.
+    #[test]
+    fn parser_total_on_sqlish_soup(
+        s in "(select|from|where|insert|update|t|x|'a'|1|2\\.5|\\(|\\)|,|\\*|=|<|>|\\|\\||::| )+",
+    ) {
+        let _ = pgfmu_sqlmini::parser::parse(&s);
+    }
+
+    /// Civil-date conversion round-trips across a wide range.
+    #[test]
+    fn civil_days_round_trip(z in -200_000i64..200_000) {
+        let (y, m, d) = civil_from_days(z);
+        prop_assert_eq!(days_from_civil(y, m, d), z);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+
+    /// Timestamp format → parse is the identity on whole seconds.
+    #[test]
+    fn timestamp_round_trip(secs in -4_000_000_000i64..8_000_000_000) {
+        let text = format_timestamp(secs);
+        prop_assert_eq!(parse_timestamp(&text).unwrap(), secs);
+    }
+
+    /// INSERT then SELECT returns exactly what was stored (floats).
+    #[test]
+    fn insert_select_round_trip(values in proptest::collection::vec(-1e9f64..1e9, 1..40)) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v float)").unwrap();
+        for v in &values {
+            db.execute(&format!("INSERT INTO t VALUES ({v:?})")).unwrap();
+        }
+        let q = db.execute("SELECT v FROM t").unwrap();
+        let got: Vec<f64> = q.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
+        prop_assert_eq!(got, values);
+    }
+
+    /// ORDER BY produces a non-decreasing sequence; LIMIT caps rows.
+    #[test]
+    fn order_by_sorts_and_limit_caps(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..50),
+        limit in 1u64..20,
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v float)").unwrap();
+        for v in &values {
+            db.execute(&format!("INSERT INTO t VALUES ({v:?})")).unwrap();
+        }
+        let q = db
+            .execute(&format!("SELECT v FROM t ORDER BY v LIMIT {limit}"))
+            .unwrap();
+        prop_assert!(q.len() <= limit as usize);
+        let got: Vec<f64> = q.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
+        for w in got.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// Aggregates agree with direct computation.
+    #[test]
+    fn aggregates_match_direct_computation(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..50),
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v float)").unwrap();
+        for v in &values {
+            db.execute(&format!("INSERT INTO t VALUES ({v:?})")).unwrap();
+        }
+        let q = db.execute("SELECT count(*), sum(v), min(v), max(v) FROM t").unwrap();
+        prop_assert_eq!(q.rows[0][0].clone(), Value::Int(values.len() as i64));
+        let sum: f64 = values.iter().sum();
+        prop_assert!((q.rows[0][1].as_f64().unwrap() - sum).abs() < 1e-6 * (1.0 + sum.abs()));
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(q.rows[0][2].as_f64().unwrap(), min);
+        prop_assert_eq!(q.rows[0][3].as_f64().unwrap(), max);
+    }
+
+    /// WHERE partitioning: matching + non-matching = all rows.
+    #[test]
+    fn where_partitions_rows(
+        values in proptest::collection::vec(-100i64..100, 1..60),
+        threshold in -100i64..100,
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v int)").unwrap();
+        for v in &values {
+            db.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+        }
+        let above = db
+            .execute(&format!("SELECT count(*) FROM t WHERE v > {threshold}"))
+            .unwrap();
+        let below = db
+            .execute(&format!("SELECT count(*) FROM t WHERE v <= {threshold}"))
+            .unwrap();
+        let a = above.rows[0][0].as_i64().unwrap();
+        let b = below.rows[0][0].as_i64().unwrap();
+        prop_assert_eq!(a + b, values.len() as i64);
+    }
+}

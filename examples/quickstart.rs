@@ -1,0 +1,60 @@
+//! Quickstart: create an FMU model instance from inline Modelica source,
+//! inspect it, simulate it, and read the results — all through SQL.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pgfmu::PgFmu;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A pgFMU session: an in-memory DBMS with the pgFMU UDFs installed.
+    let session = PgFmu::new()?;
+
+    // 1. Create a model instance from inline Modelica source (the paper's
+    //    Figure-2 heat pump). `fmu_create` compiles the model, registers
+    //    it in the model catalogue and creates the instance.
+    session.execute(
+        "SELECT fmu_create('model heatpump \
+           parameter Real A(min = -10, max = 10) = -0.444 \"state coefficient\"; \
+           parameter Real B(min = -20, max = 20) = 13.78 \"input gain\"; \
+           parameter Real E(min = -20, max = 20) = -4.444 \"offset\"; \
+           parameter Real C = 0; \
+           parameter Real D = 7.8; \
+           discrete input Real u(min = 0, max = 1) \"HP power rating\"; \
+           output Real y \"HP power consumption\"; \
+           Real x(start = 20.75) \"indoor temperature\"; \
+         equation \
+           der(x) = A*x + B*u + E; \
+           y = C*x + D*u; \
+         end heatpump;', 'HP1Instance1')",
+    )?;
+
+    // 2. Inspect the instance's variables (paper Table 3).
+    let vars = session.execute(
+        "SELECT * FROM fmu_variables('HP1Instance1') AS f \
+         WHERE f.varType = 'parameter'",
+    )?;
+    println!("Model parameters:\n{}", vars.to_ascii());
+
+    // 3. Provide a small control schedule and simulate 24 hours.
+    session.execute("CREATE TABLE schedule (ts timestamp, u float)")?;
+    session.execute(
+        "INSERT INTO schedule \
+         SELECT g, 0.9 FROM generate_series(timestamp '2015-02-01 00:00', \
+            timestamp '2015-02-02 00:00', interval '1 hour') AS g",
+    )?;
+    let sim = session.execute(
+        "SELECT simulationTime, varName, value \
+         FROM fmu_simulate('HP1Instance1', 'SELECT * FROM schedule') \
+         WHERE varName = 'x' ORDER BY simulationTime LIMIT 8",
+    )?;
+    println!("First hours of simulated indoor temperature:\n{}", sim.to_ascii());
+
+    // 4. Plain SQL over the simulation results (Figure 1, step 7).
+    let stats = session.execute(
+        "SELECT min(value) AS coldest, max(value) AS warmest \
+         FROM fmu_simulate('HP1Instance1', 'SELECT * FROM schedule') \
+         WHERE varName = 'x'",
+    )?;
+    println!("Temperature envelope:\n{}", stats.to_ascii());
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! The traditional Python-stack workflow vs. pgFMU, head to head on the
+//! same task (paper Figure 1 / Table 8): store, calibrate, validate and
+//! simulate one heat-pump model.
+//!
+//! Run with: `cargo run --release --example traditional_vs_pgfmu`
+
+use std::time::Instant;
+
+use pgfmu::{EstimationConfig, PgFmu};
+use pgfmu_baseline::TraditionalWorkflow;
+use pgfmu_datagen::hp::hp1_dataset;
+use pgfmu_fmi::{archive, builtin};
+use pgfmu_sqlmini::Database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = EstimationConfig::default();
+    let data = hp1_dataset(3).slice(0, 168);
+
+    // ---------------- Traditional stack ------------------------------------
+    let db = Database::new();
+    data.load_into(&db, "measurements")?;
+    let workflow = TraditionalWorkflow::in_temp_dir(cfg)?;
+    let fmu_path = workflow.work_dir().join("hp1.fmu");
+    archive::write_to_path(&builtin::hp1(), &fmu_path)?;
+    let outcome = workflow.run_si(
+        &db,
+        "measurements",
+        &fmu_path,
+        &["Cp".into(), "R".into()],
+        0.75,
+        "demo",
+    )?;
+    println!("Traditional stack (per Figure-1 step):");
+    let t = outcome.timings;
+    for (label, d) in [
+        ("load FMU", t.load_fmu),
+        ("read measurements (via CSV)", t.read_measurements),
+        ("recalibrate", t.calibrate),
+        ("validate & update", t.validate),
+        ("simulate", t.simulate),
+        ("export predictions (via CSV)", t.export),
+    ] {
+        println!("  {label:<30} {:>10.2?}", d);
+    }
+    println!("  {:<30} {:>10.2?}", "TOTAL", t.total());
+    println!(
+        "  estimated Cp={:.3} R={:.3}, estimation RMSE {:.4}, validation RMSE {:.4}\n",
+        outcome.params[0], outcome.params[1], outcome.estimation_rmse, outcome.validation_rmse
+    );
+
+    // ---------------- pgFMU -------------------------------------------------
+    let session = PgFmu::new()?;
+    session.set_estimation_config(cfg);
+    data.load_into(session.db(), "measurements")?;
+    let t0 = Instant::now();
+    session.execute("SELECT fmu_create('HP1', 'HP1Instance1')")?;
+    let t_create = t0.elapsed();
+    let t0 = Instant::now();
+    let reports = session.fmu_parest(
+        &["HP1Instance1".into()],
+        &["SELECT ts, x, u FROM measurements WHERE ts < timestamp '2015-02-06 06:00'".into()],
+        Some(&["Cp".into(), "R".into()]),
+        None,
+    )?;
+    let t_parest = t0.elapsed();
+    let t0 = Instant::now();
+    session.execute(
+        "CREATE TABLE predictions (ts timestamp, instanceid text, varname text, value float)",
+    )?;
+    session.execute(
+        "INSERT INTO predictions SELECT * FROM fmu_simulate('HP1Instance1', \
+         'SELECT ts, u FROM measurements') WHERE varname = 'x'",
+    )?;
+    let t_simulate = t0.elapsed();
+
+    println!("pgFMU (everything in-DBMS, no file hand-offs):");
+    println!("  {:<30} {:>10.2?}", "fmu_create", t_create);
+    println!("  {:<30} {:>10.2?}", "fmu_parest", t_parest);
+    println!("  {:<30} {:>10.2?}", "fmu_simulate + INSERT", t_simulate);
+    println!(
+        "  {:<30} {:>10.2?}",
+        "TOTAL",
+        t_create + t_parest + t_simulate
+    );
+    println!(
+        "  estimated Cp={:.3} R={:.3}, estimation RMSE {:.4}",
+        reports[0].params[0], reports[0].params[1], reports[0].rmse
+    );
+    println!(
+        "\nModel quality is identical by construction (same estimation \
+         engine); pgFMU removes the I/O overhead and, for fleets, the \
+         repeated global search (see `multi_instance` example)."
+    );
+    Ok(())
+}

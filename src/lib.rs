@@ -1,0 +1,30 @@
+//! Workspace-level umbrella for the pgFMU-rs reproduction.
+//!
+//! This package exists to host the runnable `examples/` and the
+//! cross-crate integration tests in `tests/`; the library surface simply
+//! re-exports the member crates so examples can depend on one name.
+
+pub use pgfmu;
+pub use pgfmu_analytics as analytics;
+pub use pgfmu_baseline as baseline;
+pub use pgfmu_catalog as catalog;
+pub use pgfmu_datagen as datagen;
+pub use pgfmu_estimation as estimation;
+pub use pgfmu_fmi as fmi;
+pub use pgfmu_modelica as modelica;
+pub use pgfmu_sqlmini as sqlmini;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_re_exports_compose() {
+        let session = pgfmu::PgFmu::new().unwrap();
+        session
+            .execute("SELECT fmu_create('HP0', 'smoke')")
+            .unwrap();
+        let q = session
+            .execute("SELECT count(*) FROM modelinstance")
+            .unwrap();
+        assert_eq!(q.rows[0][0], crate::sqlmini::Value::Int(1));
+    }
+}
