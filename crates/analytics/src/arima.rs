@@ -182,12 +182,7 @@ impl Arima {
             residuals[t] = zc[t] - pred;
         }
         let n_eff = (zc.len() - start).max(1);
-        let sigma = (residuals[start..]
-            .iter()
-            .map(|e| e * e)
-            .sum::<f64>()
-            / n_eff as f64)
-            .sqrt();
+        let sigma = (residuals[start..].iter().map(|e| e * e).sum::<f64>() / n_eff as f64).sqrt();
 
         Some(Arima {
             spec,
@@ -322,7 +317,9 @@ mod tests {
     #[test]
     fn random_walk_forecast_is_flat_at_last_value() {
         // ARIMA(0,1,0): forecast = last observation.
-        let series: Vec<f64> = (0..120).map(|i| (i as f64 * 0.7).sin() * 3.0 + 10.0).collect();
+        let series: Vec<f64> = (0..120)
+            .map(|i| (i as f64 * 0.7).sin() * 3.0 + 10.0)
+            .collect();
         let m = Arima::fit(
             &series,
             ArimaSpec {

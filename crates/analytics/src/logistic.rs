@@ -145,8 +145,7 @@ mod tests {
     fn extra_informative_feature_improves_accuracy() {
         // Label depends on x1 + x2; a model seeing only x1 does worse.
         let mut rnd = stream(0.7);
-        let features: Vec<(f64, f64)> =
-            (0..600).map(|_| (rnd() * 2.0, rnd() * 2.0)).collect();
+        let features: Vec<(f64, f64)> = (0..600).map(|_| (rnd() * 2.0, rnd() * 2.0)).collect();
         let y: Vec<f64> = features
             .iter()
             .map(|(a, b)| f64::from(a + b > 2.0))

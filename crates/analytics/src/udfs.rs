@@ -64,8 +64,7 @@ pub fn register_udfs(db: &Database) {
         let step = epochs[1] - epochs[0];
         let model = Arima::fit(&values, spec).ok_or_else(|| {
             SqlError::Execution(
-                "arima_train: series too short or degenerate for the requested orders"
-                    .into(),
+                "arima_train: series too short or degenerate for the requested orders".into(),
             )
         })?;
 
@@ -203,10 +202,7 @@ pub fn register_udfs(db: &Database) {
         for c in &indep {
             ident_ok(c)?;
         }
-        let data = db.execute(&format!(
-            "SELECT {dep}, {} FROM {source}",
-            indep.join(", ")
-        ))?;
+        let data = db.execute(&format!("SELECT {dep}, {} FROM {source}", indep.join(", ")))?;
         let y = data.column_f64(&dep)?;
         let labels: Vec<f64> = y.iter().map(|v| f64::from(*v > 0.5)).collect();
         let mut x = vec![Vec::with_capacity(indep.len()); data.len()];
@@ -297,9 +293,7 @@ mod tests {
             .unwrap();
         assert_eq!(out.rows[0][0], Value::Text("occupants_output".into()));
         // The output table is inspectable SQL state.
-        let n = db
-            .execute("SELECT count(*) FROM occupants_output")
-            .unwrap();
+        let n = db.execute("SELECT count(*) FROM occupants_output").unwrap();
         assert!(n.rows[0][0].as_i64().unwrap() > 100);
         let f = db
             .execute("SELECT * FROM arima_forecast('occupants_output', 8)")
@@ -332,10 +326,8 @@ mod tests {
         assert!(db
             .execute("SELECT * FROM arima_forecast('occupants', 5)")
             .is_err());
-        db.execute(
-            "SELECT arima_train('occupants', 'om', 'time', 'value', '1,0,0,1,4')",
-        )
-        .unwrap();
+        db.execute("SELECT arima_train('occupants', 'om', 'time', 'value', '1,0,0,1,4')")
+            .unwrap();
         assert!(db.execute("SELECT * FROM arima_forecast('om', 0)").is_err());
     }
 

@@ -28,9 +28,7 @@ use std::time::{Duration, Instant};
 use pgfmu_datagen::csvio::{read_csv, write_csv};
 use pgfmu_datagen::Dataset;
 use pgfmu_estimation::{estimate_si, EstimationConfig, MeasurementData, SimulationObjective};
-use pgfmu_fmi::{
-    archive, InputSeries, InputSet, Interpolation, SimulationOptions, Variability,
-};
+use pgfmu_fmi::{archive, InputSeries, InputSet, Interpolation, SimulationOptions, Variability};
 use pgfmu_sqlmini::{Database, Value};
 
 /// Errors from the baseline workflow.
@@ -188,9 +186,7 @@ impl TraditionalWorkflow {
         // -- Step 2: export measurements from the DB to a text file and
         //    read them back (the psycopg2 → pandas → ModestPy hand-off). ---
         let t = Instant::now();
-        let q = db.execute(&format!(
-            "SELECT * FROM {measurements_table}"
-        ))?;
+        let q = db.execute(&format!("SELECT * FROM {measurements_table}"))?;
         let dataset = query_to_dataset(&q)?;
         let csv_path = self.work_dir.join(format!("{instance_tag}-meas.csv"));
         write_csv(&dataset, &csv_path)?;
@@ -320,14 +316,7 @@ impl TraditionalWorkflow {
             .iter()
             .enumerate()
             .map(|(i, table)| {
-                self.run_si(
-                    db,
-                    table,
-                    fmu_path,
-                    pars,
-                    train_fraction,
-                    &format!("mi{i}"),
-                )
+                self.run_si(db, table, fmu_path, pars, train_fraction, &format!("mi{i}"))
             })
             .collect()
     }
@@ -351,8 +340,7 @@ fn query_to_dataset(q: &pgfmu_sqlmini::QueryResult) -> Result<Dataset> {
     }
     let mut columns = Vec::new();
     for (i, name) in q.columns.iter().enumerate().skip(1) {
-        let col: std::result::Result<Vec<f64>, _> =
-            q.rows.iter().map(|r| r[i].as_f64()).collect();
+        let col: std::result::Result<Vec<f64>, _> = q.rows.iter().map(|r| r[i].as_f64()).collect();
         if let Ok(col) = col {
             columns.push((name.clone(), col));
         }
@@ -401,9 +389,7 @@ mod tests {
         assert!(out.estimation_rmse < 1.0);
         assert!(out.validation_rmse < 1.5);
         // Predictions were imported back into the DBMS.
-        let q = db
-            .execute("SELECT count(*) FROM predictions_t1")
-            .unwrap();
+        let q = db.execute("SELECT count(*) FROM predictions_t1").unwrap();
         assert_eq!(q.rows[0][0], Value::Int(96));
         // Calibration dominates the runtime (paper Table 8: > 99%).
         let t = out.timings;

@@ -24,7 +24,13 @@ fn bench(c: &mut Criterion) {
         .unwrap();
     }
     c.bench_function("sql_select_cached_statement", |b| {
-        b.iter(|| black_box(db.execute("SELECT ts, x, u FROM m WHERE x > 21.0").unwrap().len()))
+        b.iter(|| {
+            black_box(
+                db.execute("SELECT ts, x, u FROM m WHERE x > 21.0")
+                    .unwrap()
+                    .len(),
+            )
+        })
     });
     c.bench_function("sql_select_uncached_statement", |b| {
         b.iter(|| {

@@ -211,8 +211,16 @@ fn run_table8(profile: &Profile) {
         "{}",
         render(
             &[
-                "Model", "Config", "Load", "Read", "Calibrate", "Validate", "Simulate",
-                "Export", "Total", "Calib%"
+                "Model",
+                "Config",
+                "Load",
+                "Read",
+                "Calibrate",
+                "Validate",
+                "Simulate",
+                "Export",
+                "Total",
+                "Calib%"
             ],
             &rendered
         )

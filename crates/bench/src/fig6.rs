@@ -10,9 +10,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use pgfmu_estimation::{
-    estimate_lo, estimate_si, MeasurementData, SimulationObjective,
-};
+use pgfmu_estimation::{estimate_lo, estimate_si, MeasurementData, SimulationObjective};
 use pgfmu_fmi::builtin;
 
 use crate::profiles::Profile;

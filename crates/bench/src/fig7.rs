@@ -87,11 +87,8 @@ pub fn run_model(model: ModelKind, profile: &Profile) -> MiScaling {
             data.load_into(s.db(), &table).unwrap();
             if i > 0 {
                 let id = format!("{}Instance{}", model.name(), i + 1);
-                s.execute(&format!(
-                    "SELECT fmu_copy('{}', '{id}')",
-                    bench.instance
-                ))
-                .unwrap();
+                s.execute(&format!("SELECT fmu_copy('{}', '{id}')", bench.instance))
+                    .unwrap();
                 ids.push(id);
             }
             sqls.push(model.parest_sql(&table));

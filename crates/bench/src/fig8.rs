@@ -76,14 +76,10 @@ pub fn run(seed: u64, participants: usize) -> Usability {
             python_finished: python_minutes <= SESSION_LIMIT_MIN,
         });
     }
-    let pgfmu_mean =
-        out.iter().map(|p| p.pgfmu_minutes).sum::<f64>() / participants as f64;
+    let pgfmu_mean = out.iter().map(|p| p.pgfmu_minutes).sum::<f64>() / participants as f64;
     let finishers: Vec<&Participant> = out.iter().filter(|p| p.python_finished).collect();
-    let python_mean = finishers
-        .iter()
-        .map(|p| p.python_minutes)
-        .sum::<f64>()
-        / finishers.len().max(1) as f64;
+    let python_mean =
+        finishers.iter().map(|p| p.python_minutes).sum::<f64>() / finishers.len().max(1) as f64;
     let speedup = out
         .iter()
         .map(|p| p.python_minutes / p.pgfmu_minutes)

@@ -47,7 +47,8 @@ fn session_with_classroom(seed: u64, samples: usize) -> (PgFmu, usize, String, u
     data.load_into(s.db(), "classroom").unwrap();
     let split = (data.len() as f64 * 0.8) as usize;
     let split_ts = pgfmu_sqlmini::format_timestamp(data.timestamps[split]);
-    s.execute("SELECT fmu_create('Classroom', 'Room1')").unwrap();
+    s.execute("SELECT fmu_create('Classroom', 'Room1')")
+        .unwrap();
     let len = data.len();
     (s, split, split_ts, len)
 }
@@ -63,10 +64,8 @@ pub fn run_arima(seed: u64, samples: usize) -> ArimaCombo {
          WHERE ts < timestamp '{split_ts}'"
     ))
     .unwrap();
-    s.execute(
-        "SELECT arima_train('occupants', 'occ_model', 'time', 'value', '1,0,0,1,336')",
-    )
-    .unwrap();
+    s.execute("SELECT arima_train('occupants', 'occ_model', 'time', 'value', '1,0,0,1,336')")
+        .unwrap();
     let horizon = len - split;
     s.execute("CREATE TABLE occ_forecast (ts timestamp, occ float)")
         .unwrap();
@@ -78,13 +77,15 @@ pub fn run_arima(seed: u64, samples: usize) -> ArimaCombo {
 
     let rmse_for = |label: &str, occ_expr: &str| -> f64 {
         // Warm-up over the training window leaves a clean state estimate.
-        s.execute("SELECT fmu_set_initial('Room1', 't', 21.0)").unwrap();
+        s.execute("SELECT fmu_set_initial('Room1', 't', 21.0)")
+            .unwrap();
         s.execute(&format!(
             "SELECT count(*) FROM fmu_simulate('Room1', \
              'SELECT * FROM classroom WHERE ts <= timestamp ''{split_ts}''')"
         ))
         .unwrap();
-        s.execute(&format!("DROP TABLE IF EXISTS inp_{label}")).unwrap();
+        s.execute(&format!("DROP TABLE IF EXISTS inp_{label}"))
+            .unwrap();
         s.execute(&format!(
             "CREATE TABLE inp_{label} (ts timestamp, solrad float, tout float, \
              occ float, dpos float, vpos float)"
@@ -95,7 +96,8 @@ pub fn run_arima(seed: u64, samples: usize) -> ArimaCombo {
              FROM classroom WHERE ts >= timestamp '{split_ts}'"
         ))
         .unwrap();
-        s.execute(&format!("DROP TABLE IF EXISTS sim_{label}")).unwrap();
+        s.execute(&format!("DROP TABLE IF EXISTS sim_{label}"))
+            .unwrap();
         s.execute(&format!(
             "CREATE TABLE sim_{label} (ts timestamp, i text, v text, value float)"
         ))
@@ -129,7 +131,8 @@ pub fn run_arima(seed: u64, samples: usize) -> ArimaCombo {
     )
     .unwrap();
     let rmse_with_arima = {
-        s.execute("SELECT fmu_set_initial('Room1', 't', 21.0)").unwrap();
+        s.execute("SELECT fmu_set_initial('Room1', 't', 21.0)")
+            .unwrap();
         s.execute(&format!(
             "SELECT count(*) FROM fmu_simulate('Room1', \
              'SELECT * FROM classroom WHERE ts <= timestamp ''{split_ts}''')"

@@ -84,9 +84,9 @@ impl ModelKind {
         match self {
             ModelKind::Hp0 => None,
             ModelKind::Hp1 => Some(format!("SELECT ts, u FROM {table}")),
-            ModelKind::Classroom => {
-                Some(format!("SELECT ts, solrad, tout, occ, dpos, vpos FROM {table}"))
-            }
+            ModelKind::Classroom => Some(format!(
+                "SELECT ts, solrad, tout, occ, dpos, vpos FROM {table}"
+            )),
         }
     }
 }

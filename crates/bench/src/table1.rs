@@ -193,9 +193,7 @@ pub fn run() -> LocComparison {
         .map(|(op, code)| {
             let pgfmu = PGFMU_STEPS
                 .iter()
-                .find(|(p_op, _)| {
-                    p_op.split_whitespace().next() == op.split_whitespace().next()
-                })
+                .find(|(p_op, _)| p_op.split_whitespace().next() == op.split_whitespace().next())
                 .map(|(_, sql)| count_lines(sql))
                 .unwrap_or(0);
             LocRow {

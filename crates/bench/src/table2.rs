@@ -19,7 +19,11 @@ pub struct FeatureRow {
 }
 
 fn probe(ok: bool) -> String {
-    if ok { "yes".into() } else { "no".into() }
+    if ok {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 /// Build the matrix against a live session.

@@ -26,7 +26,10 @@ pub fn calibrate_model(model: ModelKind, profile: &Profile) -> Vec<CalibrationRo
 
     // --- Python (traditional stack). ------------------------------------
     let db = pgfmu_sqlmini::Database::new();
-    model.dataset(profile).load_into(&db, "measurements").unwrap();
+    model
+        .dataset(profile)
+        .load_into(&db, "measurements")
+        .unwrap();
     let wf = pgfmu_baseline::TraditionalWorkflow::in_temp_dir(profile.config).unwrap();
     let fmu_path = wf.work_dir().join(format!("{}.fmu", model.name()));
     archive::write_to_path(
@@ -57,9 +60,7 @@ pub fn calibrate_model(model: ModelKind, profile: &Profile) -> Vec<CalibrationRo
         model.parest_sql("measurements")
     ))
     .unwrap();
-    let out = wf
-        .run_si(&db, "cal", &fmu_path, &pars, 0.75, "t7")
-        .unwrap();
+    let out = wf.run_si(&db, "cal", &fmu_path, &pars, 0.75, "t7").unwrap();
     rows.push(CalibrationRow {
         model: model.name(),
         config: "Python",
@@ -72,15 +73,19 @@ pub fn calibrate_model(model: ModelKind, profile: &Profile) -> Vec<CalibrationRo
         let bench = bench_session(model, profile);
         bench.session.set_mi_enabled(mi);
         let n_train = (bench.dataset.len() as f64 * 0.75) as usize;
-        let cutoff =
-            pgfmu_sqlmini::format_timestamp(bench.dataset.timestamps[n_train]);
+        let cutoff = pgfmu_sqlmini::format_timestamp(bench.dataset.timestamps[n_train]);
         let sql = format!(
             "{} WHERE ts < timestamp '{cutoff}'",
             model.parest_sql(&bench.table)
         );
         let reports = bench
             .session
-            .fmu_parest(std::slice::from_ref(&bench.instance), &[sql], Some(&pars), None)
+            .fmu_parest(
+                std::slice::from_ref(&bench.instance),
+                &[sql],
+                Some(&pars),
+                None,
+            )
             .unwrap();
         rows.push(CalibrationRow {
             model: model.name(),
@@ -113,8 +118,7 @@ pub fn paper_reference() -> Vec<(&'static str, f64)> {
 /// relative tolerance? (The paper reports <= 0.02% relative differences.)
 pub fn configs_agree(rows: &[CalibrationRow], tol: f64) -> bool {
     for model in ["HP0", "HP1", "Classroom"] {
-        let per_model: Vec<&CalibrationRow> =
-            rows.iter().filter(|r| r.model == model).collect();
+        let per_model: Vec<&CalibrationRow> = rows.iter().filter(|r| r.model == model).collect();
         if per_model.len() < 2 {
             continue;
         }

@@ -45,7 +45,10 @@ impl OpTimings {
 /// Time the traditional stack for one model.
 pub fn time_python(model: ModelKind, profile: &Profile) -> OpTimings {
     let db = pgfmu_sqlmini::Database::new();
-    model.dataset(profile).load_into(&db, "measurements").unwrap();
+    model
+        .dataset(profile)
+        .load_into(&db, "measurements")
+        .unwrap();
     let wf = pgfmu_baseline::TraditionalWorkflow::in_temp_dir(profile.config).unwrap();
     let fmu_path = wf.work_dir().join(format!("{}.fmu", model.name()));
     archive::write_to_path(
@@ -54,14 +57,7 @@ pub fn time_python(model: ModelKind, profile: &Profile) -> OpTimings {
     )
     .unwrap();
     let out = wf
-        .run_si(
-            &db,
-            "measurements",
-            &fmu_path,
-            &model.pars(),
-            0.75,
-            "t8",
-        )
+        .run_si(&db, "measurements", &fmu_path, &model.pars(), 0.75, "t8")
         .unwrap();
     let t = out.timings;
     OpTimings {

@@ -239,7 +239,9 @@ impl ModelCatalog {
 
     /// All model UUIDs currently registered.
     pub fn model_ids(&self) -> Result<Vec<Uuid>> {
-        let qres = self.db.execute("SELECT modelid FROM model ORDER BY modelid")?;
+        let qres = self
+            .db
+            .execute("SELECT modelid FROM model ORDER BY modelid")?;
         qres.rows
             .iter()
             .map(|r| {
@@ -346,11 +348,7 @@ impl ModelCatalog {
             .execute("SELECT instanceid FROM modelinstance ORDER BY instanceid")?;
         qres.rows
             .iter()
-            .map(|r| {
-                r[0].as_str()
-                    .map(str::to_string)
-                    .map_err(CatalogError::Sql)
-            })
+            .map(|r| r[0].as_str().map(str::to_string).map_err(CatalogError::Sql))
             .collect()
     }
 
@@ -433,13 +431,7 @@ impl ModelCatalog {
     /// Update a per-model bound (the paper's `fmu_set_minimum` /
     /// `fmu_set_maximum`). Bounds are physical constraints of the *model*,
     /// so they live in `ModelVariable` and affect every instance.
-    pub fn set_bound(
-        &self,
-        instance_id: &str,
-        var: &str,
-        bound: Bound,
-        value: f64,
-    ) -> Result<()> {
+    pub fn set_bound(&self, instance_id: &str, var: &str, bound: Bound, value: f64) -> Result<()> {
         let uuid = self.instance_model(instance_id)?;
         let column = match bound {
             Bound::Min => "minvalue",
@@ -478,10 +470,8 @@ impl ModelCatalog {
             "SELECT v.varname, v.vartype, v.minvalue, v.maxvalue \
              FROM modelvariable v WHERE v.modelid = '{uuid}'"
         ))?;
-        let values: std::collections::HashMap<String, f64> = self
-            .instance_values(instance_id)?
-            .into_iter()
-            .collect();
+        let values: std::collections::HashMap<String, f64> =
+            self.instance_values(instance_id)?.into_iter().collect();
         qres.rows
             .iter()
             .map(|r| {

@@ -113,6 +113,8 @@ mod tests {
     fn parse_rejects_malformed() {
         assert!("nope".parse::<Uuid>().is_err());
         assert!("123".parse::<Uuid>().is_err());
-        assert!("zzzzzzzz-zzzz-zzzz-zzzz-zzzzzzzzzzzz".parse::<Uuid>().is_err());
+        assert!("zzzzzzzz-zzzz-zzzz-zzzz-zzzzzzzzzzzz"
+            .parse::<Uuid>()
+            .is_err());
     }
 }

@@ -1,0 +1,78 @@
+//! Property tests for the catalogue UUID type: uniqueness, canonical
+//! format stability, and parse/display round-trips.
+
+use proptest::prelude::*;
+
+use pgfmu_catalog::uuid::Uuid;
+
+/// Arbitrary 128-bit payloads assembled from two u64 halves.
+fn arb_u128() -> impl Strategy<Value = u128> {
+    (0u64..u64::MAX, 0u64..u64::MAX).prop_map(|(hi, lo)| ((hi as u128) << 64) | lo as u128)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Distinct seeds yield distinct UUIDs (128 random bits; a collision
+    /// among a few hundred draws would be astronomically unlikely, so any
+    /// hit means the derivation lost entropy).
+    #[test]
+    fn distinct_seeds_give_distinct_uuids(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        if a != b {
+            prop_assert_ne!(Uuid::from_seed(a), Uuid::from_seed(b));
+        }
+    }
+
+    /// The same seed always derives the same UUID (stability across calls
+    /// and therefore across catalogue reloads).
+    #[test]
+    fn seed_derivation_is_stable(seed in 0u64..u64::MAX) {
+        prop_assert_eq!(Uuid::from_seed(seed), Uuid::from_seed(seed));
+    }
+
+    /// Canonical textual form: 8-4-4-4-12 lowercase hex with RFC 4122
+    /// version-4 and variant-10 bits set.
+    #[test]
+    fn format_is_canonical_8_4_4_4_12(seed in 0u64..u64::MAX) {
+        let s = Uuid::from_seed(seed).to_string();
+        prop_assert_eq!(s.len(), 36);
+        let groups: Vec<&str> = s.split('-').collect();
+        let lens: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        prop_assert_eq!(lens, vec![8, 4, 4, 4, 12]);
+        for g in &groups {
+            prop_assert!(
+                g.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()),
+                "non-lowercase-hex in {s}"
+            );
+        }
+        prop_assert_eq!(&s[14..15], "4", "version nibble in {}", s);
+        let variant = u8::from_str_radix(&s[19..20], 16).unwrap();
+        prop_assert!(variant & 0b1100 == 0b1000, "variant bits in {s}");
+    }
+
+    /// Display → parse is the identity on arbitrary 128-bit values.
+    #[test]
+    fn display_parse_round_trip(bits in arb_u128()) {
+        let u = Uuid(bits);
+        prop_assert_eq!(u.to_string().parse::<Uuid>().unwrap(), u);
+    }
+
+    /// Parsing is case-insensitive and dash-tolerant, and rejects
+    /// wrong-length inputs.
+    #[test]
+    fn parse_accepts_case_and_dash_variants(seed in 0u64..u64::MAX) {
+        let u = Uuid::from_seed(seed);
+        let s = u.to_string();
+        prop_assert_eq!(s.to_uppercase().parse::<Uuid>().unwrap(), u);
+        prop_assert_eq!(s.replace('-', "").parse::<Uuid>().unwrap(), u);
+        prop_assert!(s[1..].parse::<Uuid>().is_err());
+    }
+}
+
+#[test]
+fn new_v4_uuids_are_unique_in_bulk() {
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..1000 {
+        assert!(seen.insert(Uuid::new_v4()), "duplicate v4 UUID generated");
+    }
+}

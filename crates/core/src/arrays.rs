@@ -87,9 +87,7 @@ mod tests {
 
     #[test]
     fn sql_arrays_split_on_statement_boundaries() {
-        let parsed = parse_sql_array(
-            "{SELECT * FROM measurements, SELECT * FROM measurements2}",
-        );
+        let parsed = parse_sql_array("{SELECT * FROM measurements, SELECT * FROM measurements2}");
         assert_eq!(
             parsed,
             vec!["SELECT * FROM measurements", "SELECT * FROM measurements2"]
@@ -98,9 +96,8 @@ mod tests {
 
     #[test]
     fn sql_arrays_keep_internal_commas() {
-        let parsed = parse_sql_array(
-            "{SELECT ts, x, u FROM m WHERE x IN (1, 2), SELECT ts, x FROM m2}",
-        );
+        let parsed =
+            parse_sql_array("{SELECT ts, x, u FROM m WHERE x IN (1, 2), SELECT ts, x FROM m2}");
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0], "SELECT ts, x, u FROM m WHERE x IN (1, 2)");
         assert_eq!(parsed[1], "SELECT ts, x FROM m2");

@@ -48,9 +48,7 @@ const TIME_COLUMN_NAMES: [&str; 5] = ["ts", "time", "timestamp", "simulationtime
 /// are rejected (the paper's UDFs raise errors on incomplete inputs).
 pub fn decode_table(q: &QueryResult) -> Result<DecodedTable> {
     if q.rows.is_empty() {
-        return Err(PgFmuError::Usage(
-            "input query returned no rows".into(),
-        ));
+        return Err(PgFmuError::Usage("input query returned no rows".into()));
     }
     // Locate the time column.
     let mut time_idx: Option<usize> = None;
@@ -151,9 +149,8 @@ mod tests {
 
     #[test]
     fn decodes_timestamps_and_numeric_columns() {
-        let q = table(
-            "('2015-02-01 00:00', 20.75, 0.0, 'a'), ('2015-02-01 01:00', 23.62, 0.02, 'b')",
-        );
+        let q =
+            table("('2015-02-01 00:00', 20.75, 0.0, 'a'), ('2015-02-01 01:00', 23.62, 0.02, 'b')");
         let d = decode_table(&q).unwrap();
         assert_eq!(d.times_hours, vec![0.0, 1.0]);
         assert_eq!(d.columns.len(), 2, "text column must be skipped");
@@ -173,7 +170,8 @@ mod tests {
     #[test]
     fn empty_result_errors() {
         let db = Database::new();
-        db.execute("CREATE TABLE e (ts timestamp, x float)").unwrap();
+        db.execute("CREATE TABLE e (ts timestamp, x float)")
+            .unwrap();
         let q = db.execute("SELECT * FROM e").unwrap();
         assert!(decode_table(&q).is_err());
     }
@@ -202,7 +200,8 @@ mod tests {
     #[test]
     fn nulls_are_rejected() {
         let db = Database::new();
-        db.execute("CREATE TABLE e (ts timestamp, v float)").unwrap();
+        db.execute("CREATE TABLE e (ts timestamp, v float)")
+            .unwrap();
         db.execute("INSERT INTO e VALUES ('2015-01-01 00:00', NULL)")
             .unwrap();
         let q = db.execute("SELECT * FROM e").unwrap();

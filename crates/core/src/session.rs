@@ -128,12 +128,18 @@ impl PgFmu {
 
     /// `fmu_set_minimum(instanceId, varName, value)`.
     pub fn fmu_set_minimum(&self, instance_id: &str, var: &str, value: f64) -> Result<()> {
-        Ok(self.inner.catalog.set_bound(instance_id, var, Bound::Min, value)?)
+        Ok(self
+            .inner
+            .catalog
+            .set_bound(instance_id, var, Bound::Min, value)?)
     }
 
     /// `fmu_set_maximum(instanceId, varName, value)`.
     pub fn fmu_set_maximum(&self, instance_id: &str, var: &str, value: f64) -> Result<()> {
-        Ok(self.inner.catalog.set_bound(instance_id, var, Bound::Max, value)?)
+        Ok(self
+            .inner
+            .catalog
+            .set_bound(instance_id, var, Bound::Max, value)?)
     }
 
     /// `fmu_reset(instanceId)`.
@@ -235,11 +241,7 @@ impl Session {
             || pgfmu_fmi::builtin::by_name(t).is_some()
     }
 
-    pub(crate) fn fmu_create(
-        &self,
-        model_ref: &str,
-        instance_id: Option<&str>,
-    ) -> Result<String> {
+    pub(crate) fn fmu_create(&self, model_ref: &str, instance_id: Option<&str>) -> Result<String> {
         let fmu = self.resolve_model_ref(model_ref)?;
         let uuid = self.catalog.register_model(fmu)?;
         Ok(self.catalog.create_instance(uuid, instance_id)?)

@@ -80,10 +80,7 @@ pub fn run_simulate(
             }
             let names: Vec<&str> = fmu.input_names().iter().map(|s| s.as_str()).collect();
             let set = InputSet::bind(&names, series)?;
-            let window = (
-                decoded.times_hours[0],
-                *decoded.times_hours.last().unwrap(),
-            );
+            let window = (decoded.times_hours[0], *decoded.times_hours.last().unwrap());
             let step = if decoded.times_hours.len() > 1 {
                 decoded.times_hours[1] - decoded.times_hours[0]
             } else {
@@ -114,12 +111,12 @@ pub fn run_simulate(
     };
     // Window resolution (§7): user window, else the data window, else the
     // model's default experiment.
-    let start = time_from.map(to_hours).unwrap_or_else(|| {
-        data_window.map(|(s, _)| s).unwrap_or(de.start_time)
-    });
-    let stop = time_to.map(to_hours).unwrap_or_else(|| {
-        data_window.map(|(_, e)| e).unwrap_or(de.stop_time)
-    });
+    let start = time_from
+        .map(to_hours)
+        .unwrap_or_else(|| data_window.map(|(s, _)| s).unwrap_or(de.start_time));
+    let stop = time_to
+        .map(to_hours)
+        .unwrap_or_else(|| data_window.map(|(_, e)| e).unwrap_or(de.stop_time));
 
     // Stage 2: simulate.
     let result = inst.simulate(

@@ -199,7 +199,8 @@ pub(crate) fn register_all(db: &Database, weak: Weak<Session>) {
             "minvalue".into(),
             "maxvalue".into(),
         ]);
-        q.rows.push(vec![opt_f64(value), opt_f64(min), opt_f64(max)]);
+        q.rows
+            .push(vec![opt_f64(value), opt_f64(min), opt_f64(max)]);
         Ok(q)
     });
 
@@ -224,8 +225,7 @@ pub(crate) fn register_all(db: &Database, weak: Weak<Session>) {
         } else {
             None
         };
-        let reports =
-            crate::parest::run_parest(&s, &ids, &sqls, pars.as_deref(), threshold)?;
+        let reports = crate::parest::run_parest(&s, &ids, &sqls, pars.as_deref(), threshold)?;
         if reports.len() == 1 {
             Ok(Value::Float(reports[0].rmse))
         } else {
@@ -256,8 +256,7 @@ pub(crate) fn register_all(db: &Database, weak: Weak<Session>) {
         } else {
             None
         };
-        let reports =
-            crate::parest::run_parest(&s, &ids, &sqls, pars.as_deref(), threshold)?;
+        let reports = crate::parest::run_parest(&s, &ids, &sqls, pars.as_deref(), threshold)?;
         let mut q = QueryResult::new(vec![
             "instanceid".into(),
             "estimationerror".into(),
@@ -292,9 +291,7 @@ pub(crate) fn register_all(db: &Database, weak: Weak<Session>) {
             None | Some(Value::Null) => None,
             Some(v) => Some(
                 v.as_str()
-                    .map_err(|_| {
-                        SqlError::Type("fmu_simulate: input_sql must be text".into())
-                    })?
+                    .map_err(|_| SqlError::Type("fmu_simulate: input_sql must be text".into()))?
                     .to_string(),
             ),
         };

@@ -63,7 +63,8 @@ fn fmu_create_tolerates_swapped_argument_order() {
 #[test]
 fn fmu_copy_shares_the_parent_model() {
     let s = PgFmu::new().unwrap();
-    s.execute("SELECT fmu_create('HP1', 'HP1Instance1')").unwrap();
+    s.execute("SELECT fmu_create('HP1', 'HP1Instance1')")
+        .unwrap();
     let q = s
         .execute("SELECT fmu_copy('HP1Instance1', 'HP1Instance2')")
         .unwrap();
@@ -149,7 +150,8 @@ fn delete_instance_and_model() {
 #[test]
 fn fmu_simulate_long_output_matches_table4_shape() {
     let s = session_with_measurements();
-    s.execute("SELECT fmu_create('HP1', 'HP1Instance1')").unwrap();
+    s.execute("SELECT fmu_create('HP1', 'HP1Instance1')")
+        .unwrap();
     let q = s
         .execute(
             "SELECT simulationTime, instanceId, varName, value \
@@ -177,7 +179,8 @@ fn fmu_simulate_long_output_matches_table4_shape() {
 #[test]
 fn fmu_simulate_multi_instance_lateral_join() {
     let s = session_with_measurements();
-    s.execute("SELECT fmu_create('HP1', 'HP1Instance1')").unwrap();
+    s.execute("SELECT fmu_create('HP1', 'HP1Instance1')")
+        .unwrap();
     s.execute("SELECT fmu_copy('HP1Instance1', 'HP1Instance2')")
         .unwrap();
     s.execute("SELECT fmu_copy('HP1Instance1', 'HP1Instance3')")
@@ -251,7 +254,8 @@ fn fmu_simulate_error_paths() {
 #[test]
 fn fmu_parest_single_instance_recovers_parameters() {
     let s = session_with_measurements();
-    s.execute("SELECT fmu_create('HP1', 'HP1Instance1')").unwrap();
+    s.execute("SELECT fmu_create('HP1', 'HP1Instance1')")
+        .unwrap();
     // Paper §6 example (estimating a subset of parameters by name).
     let q = s
         .execute(
@@ -286,7 +290,8 @@ fn fmu_parest_defaults_to_all_tunable_parameters() {
 #[test]
 fn fmu_parest_multi_instance_uses_lo_for_similar_datasets() {
     let s = session_with_measurements();
-    s.execute("SELECT fmu_create('HP1', 'HP1Instance1')").unwrap();
+    s.execute("SELECT fmu_create('HP1', 'HP1Instance1')")
+        .unwrap();
     s.execute("SELECT fmu_copy('HP1Instance1', 'HP1Instance2')")
         .unwrap();
     // A 5%-scaled second dataset (similar under the 20% threshold).
@@ -365,7 +370,8 @@ fn fmu_parest_error_paths() {
         .execute("SELECT fmu_parest('i', 'SELECT * FROM measurements', '{Zp}')")
         .is_err());
     // Input query with no matching columns.
-    s.execute("CREATE TABLE junk (ts timestamp, foo float)").unwrap();
+    s.execute("CREATE TABLE junk (ts timestamp, foo float)")
+        .unwrap();
     s.execute("INSERT INTO junk VALUES ('2015-02-01 00:00', 1.0), ('2015-02-01 01:00', 2.0)")
         .unwrap();
     assert!(s

@@ -39,10 +39,8 @@ pub fn read_csv(path: &Path) -> std::io::Result<Dataset> {
         return Err(bad("CSV header has no columns"));
     }
     let mut timestamps = Vec::new();
-    let mut columns: Vec<(String, Vec<f64>)> = names[1..]
-        .iter()
-        .map(|n| (n.clone(), Vec::new()))
-        .collect();
+    let mut columns: Vec<(String, Vec<f64>)> =
+        names[1..].iter().map(|n| (n.clone(), Vec::new())).collect();
     for line in lines {
         let line = line?;
         if line.trim().is_empty() {
@@ -56,15 +54,14 @@ pub fn read_csv(path: &Path) -> std::io::Result<Dataset> {
                 names.len()
             )));
         }
-        timestamps.push(
-            parse_timestamp(cells[0]).map_err(|e| bad(&format!("bad timestamp: {e}")))?,
-        );
+        timestamps
+            .push(parse_timestamp(cells[0]).map_err(|e| bad(&format!("bad timestamp: {e}")))?);
         for (j, cell) in cells[1..].iter().enumerate() {
-            columns[j]
-                .1
-                .push(cell.trim().parse::<f64>().map_err(|_| {
-                    bad(&format!("bad number '{cell}' in column {}", names[j + 1]))
-                })?);
+            columns[j].1.push(
+                cell.trim()
+                    .parse::<f64>()
+                    .map_err(|_| bad(&format!("bad number '{cell}' in column {}", names[j + 1])))?,
+            );
         }
     }
     if timestamps.is_empty() {

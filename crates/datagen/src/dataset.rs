@@ -80,11 +80,7 @@ impl Dataset {
     }
 
     /// Load the dataset into a (new) table of the given database.
-    pub fn load_into(
-        &self,
-        db: &Database,
-        table: &str,
-    ) -> Result<(), pgfmu_sqlmini::SqlError> {
+    pub fn load_into(&self, db: &Database, table: &str) -> Result<(), pgfmu_sqlmini::SqlError> {
         let cols: Vec<String> = self
             .columns
             .iter()
@@ -112,14 +108,7 @@ impl Dataset {
 
 /// Hourly timestamp grid starting at a civil date, `n` samples,
 /// `step_minutes` apart.
-pub fn timestamp_grid(
-    y: i64,
-    mo: u32,
-    d: u32,
-    h: u32,
-    n: usize,
-    step_minutes: u32,
-) -> Vec<i64> {
+pub fn timestamp_grid(y: i64, mo: u32, d: u32, h: u32, n: usize, step_minutes: u32) -> Vec<i64> {
     let t0 = timestamp_from_parts(y, mo, d, h, 0, 0);
     (0..n)
         .map(|i| t0 + (i as i64) * (step_minutes as i64) * 60)

@@ -76,8 +76,7 @@ pub fn hp1_dataset(seed: u64) -> Dataset {
         } else {
             // Proportional thermostat + feed-forward toward the setpoint.
             let sp = setpoint(hour_of_day);
-            let feed_forward =
-                (sp - HP_OUTDOOR_TEMP) / (HP_RATED_POWER * HP_COP * HP_TRUE_R);
+            let feed_forward = (sp - HP_OUTDOOR_TEMP) / (HP_RATED_POWER * HP_COP * HP_TRUE_R);
             (feed_forward + 0.25 * (sp - x)).clamp(0.0, 1.0)
         };
         xs.push(x);
@@ -135,7 +134,10 @@ mod tests {
         }
         // Indoor temperatures stay in a plausible band.
         let x = d.column("x").unwrap();
-        assert!(x.iter().all(|v| (-15.0..=30.0).contains(v)), "x out of band");
+        assert!(
+            x.iter().all(|v| (-15.0..=30.0).contains(v)),
+            "x out of band"
+        );
     }
 
     #[test]
@@ -144,7 +146,10 @@ mod tests {
         let u = d.column("u").unwrap();
         let mean = u.iter().sum::<f64>() / u.len() as f64;
         let var = u.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / u.len() as f64;
-        assert!(var > 0.005, "control signal too flat for identification: {var}");
+        assert!(
+            var > 0.005,
+            "control signal too flat for identification: {var}"
+        );
     }
 
     #[test]

@@ -29,8 +29,7 @@ mod tests {
         let n = 50_000;
         let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
-        let var: f64 =
-            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "variance {var}");
     }
@@ -39,7 +38,9 @@ mod tests {
     fn deterministic_per_seed() {
         let draw = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..5).map(|_| standard_normal(&mut rng)).collect::<Vec<_>>()
+            (0..5)
+                .map(|_| standard_normal(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(draw(1), draw(1));
         assert_ne!(draw(1), draw(2));

@@ -165,8 +165,7 @@ pub fn estimate_mi(problems: &[MiProblem], cfg: &EstimationConfig) -> Vec<Estima
         let first = &problems[0];
         let use_lo = p.model_key == first.model_key
             && outcomes[0].params.len() == p.objective.dim()
-            && dissimilarity(&p.similarity_series, &first.similarity_series)
-                < cfg.mi_threshold;
+            && dissimilarity(&p.similarity_series, &first.similarity_series) < cfg.mi_threshold;
         if use_lo {
             outcomes.push(estimate_lo(
                 p.objective.as_ref(),
@@ -198,8 +197,7 @@ mod tests {
             .iter()
             .map(|t| (0.55 + 0.35 * (t * 0.37).sin()).clamp(0.0, 1.0))
             .collect();
-        let series =
-            InputSeries::new("u", times.clone(), u.clone(), Interpolation::Hold).unwrap();
+        let series = InputSeries::new("u", times.clone(), u.clone(), Interpolation::Hold).unwrap();
         let inputs = InputSet::bind(&["u"], vec![series]).unwrap();
         let res = inst
             .simulate(

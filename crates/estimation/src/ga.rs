@@ -85,8 +85,7 @@ pub fn run_ga(obj: &dyn Objective, cfg: &EstimationConfig, rng: &mut StdRng) -> 
                 if rng.gen::<f64>() < cfg.mutation_prob {
                     let range = bounds[d].upper - bounds[d].lower;
                     // Sum of uniforms approximates a normal deviate.
-                    let z: f64 =
-                        (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 2.0 - 1.0;
+                    let z: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 2.0 - 1.0;
                     child[d] += z * cfg.mutation_scale * range;
                 }
             }

@@ -73,11 +73,7 @@ pub fn run_local(obj: &dyn Objective, start: &[f64], cfg: &EstimationConfig) -> 
     // unit-magnitude gradients. BFGS updates refine this quickly.
     let h0: Vec<f64> = ranges.iter().map(|r| (0.05 * r) * (0.05 * r)).collect();
     let mut h_inv: Vec<Vec<f64>> = (0..dim)
-        .map(|i| {
-            (0..dim)
-                .map(|j| if i == j { h0[i] } else { 0.0 })
-                .collect()
-        })
+        .map(|i| (0..dim).map(|j| if i == j { h0[i] } else { 0.0 }).collect())
         .collect();
 
     let mut g = gradient(obj, &x, fx);
@@ -113,11 +109,7 @@ pub fn run_local(obj: &dyn Objective, start: &[f64], cfg: &EstimationConfig) -> 
         let mut accepted: Option<(Vec<f64>, f64)> = None;
         let mut best_seen: Option<(Vec<f64>, f64)> = None;
         for attempt in 0..12 {
-            let mut cand: Vec<f64> = x
-                .iter()
-                .zip(&dir)
-                .map(|(xi, di)| xi + step * di)
-                .collect();
+            let mut cand: Vec<f64> = x.iter().zip(&dir).map(|(xi, di)| xi + step * di).collect();
             project(&mut cand, obj);
             let fc = obj.eval(&cand);
             if fc < fx && best_seen.as_ref().is_none_or(|(_, fb)| fc < *fb) {
@@ -166,8 +158,8 @@ pub fn run_local(obj: &dyn Objective, start: &[f64], cfg: &EstimationConfig) -> 
             let yhy: f64 = y.iter().zip(&hy).map(|(a, b)| a * b).sum();
             for i in 0..dim {
                 for j in 0..dim {
-                    h_inv[i][j] += (sy + yhy) * rho * rho * s[i] * s[j]
-                        - rho * (hy[i] * s[j] + s[i] * hy[j]);
+                    h_inv[i][j] +=
+                        (sy + yhy) * rho * rho * s[i] * s[j] - rho * (hy[i] * s[j] + s[i] * hy[j]);
                 }
             }
         }

@@ -95,10 +95,7 @@ mod tests {
         let base: Vec<f64> = (0..100).map(|i| 15.0 + (i as f64 * 0.1).sin()).collect();
         for delta in [0.8, 0.95, 1.0, 1.1, 1.2] {
             let scaled: Vec<f64> = base.iter().map(|v| v * delta).collect();
-            let d = dissimilarity(
-                std::slice::from_ref(&scaled),
-                std::slice::from_ref(&base),
-            );
+            let d = dissimilarity(std::slice::from_ref(&scaled), std::slice::from_ref(&base));
             assert!(
                 (d - (delta - 1.0_f64).abs()).abs() < 1e-9,
                 "delta {delta}: got {d}"

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pgfmu_fmi::{
-    Causality, Fmu, FmiError, InputSeries, InputSet, Interpolation, SimulationOptions, Variability,
+    Causality, FmiError, Fmu, InputSeries, InputSet, Interpolation, SimulationOptions, Variability,
 };
 
 use crate::metrics::rmse;
@@ -325,17 +325,8 @@ mod tests {
         inst.set("Cp", cp).unwrap();
         inst.set("R", r).unwrap();
         let times: Vec<f64> = (0..48).map(|i| i as f64).collect();
-        let u: Vec<f64> = times
-            .iter()
-            .map(|t| 0.5 + 0.4 * (t * 0.3).sin())
-            .collect();
-        let series = InputSeries::new(
-            "u",
-            times.clone(),
-            u.clone(),
-            Interpolation::Hold,
-        )
-        .unwrap();
+        let u: Vec<f64> = times.iter().map(|t| 0.5 + 0.4 * (t * 0.3).sin()).collect();
+        let series = InputSeries::new("u", times.clone(), u.clone(), Interpolation::Hold).unwrap();
         let inputs = InputSet::bind(&["u"], vec![series]).unwrap();
         let res = inst
             .simulate(
@@ -384,11 +375,8 @@ mod tests {
     fn missing_input_column_errors() {
         let fmu = Arc::new(builtin::hp1());
         let inst = fmu.instantiate();
-        let data = MeasurementData::new(
-            vec![0.0, 1.0],
-            vec![("x".into(), vec![20.0, 20.1])],
-        )
-        .unwrap();
+        let data =
+            MeasurementData::new(vec![0.0, 1.0], vec![("x".into(), vec![20.0, 20.1])]).unwrap();
         let err = SimulationObjective::new(
             Arc::clone(&fmu),
             inst.param_values(),
@@ -403,11 +391,8 @@ mod tests {
     fn no_target_column_errors() {
         let fmu = Arc::new(builtin::hp1());
         let inst = fmu.instantiate();
-        let data = MeasurementData::new(
-            vec![0.0, 1.0],
-            vec![("u".into(), vec![0.5, 0.5])],
-        )
-        .unwrap();
+        let data =
+            MeasurementData::new(vec![0.0, 1.0], vec![("u".into(), vec![0.5, 0.5])]).unwrap();
         let err = SimulationObjective::new(
             Arc::clone(&fmu),
             inst.param_values(),
@@ -441,17 +426,12 @@ mod tests {
     fn measurement_data_validation() {
         assert!(MeasurementData::new(vec![0.0], vec![]).is_err());
         assert!(MeasurementData::new(vec![0.0, 0.0], vec![]).is_err());
+        assert!(MeasurementData::new(vec![0.0, 1.0], vec![("x".into(), vec![1.0])]).is_err());
         assert!(
-            MeasurementData::new(vec![0.0, 1.0], vec![("x".into(), vec![1.0])]).is_err()
+            MeasurementData::new(vec![0.0, 1.0], vec![("x".into(), vec![1.0, f64::NAN])]).is_err()
         );
-        assert!(MeasurementData::new(
-            vec![0.0, 1.0],
-            vec![("x".into(), vec![1.0, f64::NAN])]
-        )
-        .is_err());
-        let ok =
-            MeasurementData::new(vec![0.0, 0.5, 1.0], vec![("x".into(), vec![1.0, 2.0, 3.0])])
-                .unwrap();
+        let ok = MeasurementData::new(vec![0.0, 0.5, 1.0], vec![("x".into(), vec![1.0, 2.0, 3.0])])
+            .unwrap();
         assert_eq!(ok.step(), 0.5);
         assert_eq!(ok.column("x").unwrap()[2], 3.0);
         assert!(ok.column("y").is_none());

@@ -355,9 +355,8 @@ fn put_variable(buf: &mut BytesMut, v: &ScalarVariable) {
     buf.put_u8(causality_code(v.causality));
     buf.put_u8(variability_code(v.variability));
     buf.put_u8(var_type_code(v.var_type));
-    let flags = (v.start.is_some() as u8)
-        | ((v.min.is_some() as u8) << 1)
-        | ((v.max.is_some() as u8) << 2);
+    let flags =
+        (v.start.is_some() as u8) | ((v.min.is_some() as u8) << 1) | ((v.max.is_some() as u8) << 2);
     buf.put_u8(flags);
     if let Some(s) = v.start {
         buf.put_f64_le(s);
@@ -599,10 +598,7 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         let err = decode(&bytes).unwrap_err().to_string();
-        assert!(
-            err.contains("checksum") || err.contains("archive"),
-            "{err}"
-        );
+        assert!(err.contains("checksum") || err.contains("archive"), "{err}");
     }
 
     #[test]

@@ -82,10 +82,7 @@ fn hp_der(u: Expr) -> Expr {
     let eta = || Expr::Param(3);
     let theta_a = || Expr::Param(4);
     Expr::add(
-        Expr::div(
-            Expr::sub(theta_a(), Expr::State(0)),
-            Expr::mul(r(), cp()),
-        ),
+        Expr::div(Expr::sub(theta_a(), Expr::State(0)), Expr::mul(r(), cp())),
         Expr::div(Expr::mul(Expr::mul(p(), eta()), u), cp()),
     )
 }
@@ -109,7 +106,12 @@ pub fn hp1() -> Fmu {
             "degC/kW",
             "thermal resistance of the building envelope",
         ),
-        fixed("P", HP_RATED_POWER, "kW", "rated electrical power of the HP"),
+        fixed(
+            "P",
+            HP_RATED_POWER,
+            "kW",
+            "rated electrical power of the HP",
+        ),
         fixed("eta", HP_COP, "1", "coefficient of performance"),
         fixed("theta_a", HP_OUTDOOR_TEMP, "degC", "outdoor temperature"),
         ScalarVariable::new("x", Causality::Local, Variability::Continuous)
@@ -169,7 +171,12 @@ pub fn hp0() -> Fmu {
             "degC/kW",
             "thermal resistance of the building envelope",
         ),
-        fixed("P", HP_RATED_POWER, "kW", "rated electrical power of the HP"),
+        fixed(
+            "P",
+            HP_RATED_POWER,
+            "kW",
+            "rated electrical power of the HP",
+        ),
         fixed("eta", HP_COP, "1", "coefficient of performance"),
         fixed("theta_a", HP_OUTDOOR_TEMP, "degC", "outdoor temperature"),
         fixed(
@@ -466,8 +473,7 @@ mod tests {
                 },
             )
             .unwrap();
-        let expected =
-            HP_OUTDOOR_TEMP + HP_RATED_POWER * HP_COP * HP_TRUE_R * HP0_CONSTANT_RATE;
+        let expected = HP_OUTDOOR_TEMP + HP_RATED_POWER * HP_COP * HP_TRUE_R * HP0_CONSTANT_RATE;
         let xs = res.series("x").unwrap();
         let last = *xs.last().unwrap();
         assert!(
@@ -553,9 +559,7 @@ mod tests {
         let abcde = Arc::new(heatpump_abcde());
         let hp1m = Arc::new(hp1());
         let mut inst_a = abcde.instantiate();
-        inst_a
-            .set("A", -1.0 / (HP_TRUE_R * HP_TRUE_CP))
-            .unwrap();
+        inst_a.set("A", -1.0 / (HP_TRUE_R * HP_TRUE_CP)).unwrap();
         inst_a
             .set("B", HP_RATED_POWER * HP_COP / HP_TRUE_CP)
             .unwrap();

@@ -155,8 +155,7 @@ impl Fmu {
 
 /// Options accepted by [`FmuInstance::simulate`], mirroring the optional
 /// arguments of the paper's `fmu_simulate` UDF.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimulationOptions {
     /// Simulation start time; defaults to the model's default experiment.
     pub start: Option<f64>,
@@ -167,7 +166,6 @@ pub struct SimulationOptions {
     /// Integrator.
     pub solver: SolverKind,
 }
-
 
 /// Trajectories produced by a simulation: a time grid plus one series per
 /// state and output variable.
@@ -318,7 +316,11 @@ impl FmuInstance {
     ///   series must cover the simulation window (the paper specifies an
     ///   error for insufficient input series, §7).
     /// * The result reports states and outputs on the output grid.
-    pub fn simulate(&self, inputs: &InputSet, opts: &SimulationOptions) -> Result<SimulationResult> {
+    pub fn simulate(
+        &self,
+        inputs: &InputSet,
+        opts: &SimulationOptions,
+    ) -> Result<SimulationResult> {
         let de = &self.fmu.description.default_experiment;
         let t0 = opts.start.unwrap_or(de.start_time);
         let t1 = opts.stop.unwrap_or(de.stop_time);
@@ -362,8 +364,7 @@ impl FmuInstance {
 
         let n_points = ((t1 - t0) / dt).round() as usize + 1;
         let mut times = Vec::with_capacity(n_points);
-        let mut series: Vec<Vec<f64>> =
-            vec![Vec::with_capacity(n_points); n_states + n_outputs];
+        let mut series: Vec<Vec<f64>> = vec![Vec::with_capacity(n_points); n_states + n_outputs];
 
         let p = self.param_values.clone();
         let sys = &self.fmu.system;
@@ -414,9 +415,7 @@ mod tests {
     use super::*;
     use crate::expr::Expr;
     use crate::input::{InputSeries, Interpolation};
-    use crate::model_description::{
-        DefaultExperiment, ScalarVariable, VarType, Variability,
-    };
+    use crate::model_description::{DefaultExperiment, ScalarVariable, VarType, Variability};
 
     /// Build the paper's Figure-2 heat pump: der(x)=A*x+B*u+E, y=D*u.
     fn heat_pump() -> Arc<Fmu> {
@@ -436,8 +435,7 @@ mod tests {
                 .with_unit("degC"),
             ScalarVariable::new("u", Causality::Input, Variability::Continuous)
                 .with_bounds(0.0, 1.0),
-            ScalarVariable::new("y", Causality::Output, Variability::Continuous)
-                .with_unit("kW"),
+            ScalarVariable::new("y", Causality::Output, Variability::Continuous).with_unit("kW"),
         ];
         let md = ModelDescription::new(
             "heatpump",
@@ -536,11 +534,7 @@ mod tests {
         let xs = res.series("x").unwrap();
         for (k, &t) in res.times().iter().enumerate() {
             let exact = (x0 + c / a) * (a * t).exp() - c / a;
-            assert!(
-                (xs[k] - exact).abs() < 1e-6,
-                "t={t}: {} vs {exact}",
-                xs[k]
-            );
+            assert!((xs[k] - exact).abs() < 1e-6, "t={t}: {} vs {exact}", xs[k]);
         }
         // Output y = D*u everywhere.
         for &yv in res.series("y").unwrap() {
@@ -600,8 +594,7 @@ mod tests {
     #[test]
     fn uncovered_window_errors() {
         let inst = heat_pump().instantiate();
-        let s = InputSeries::new("u", vec![0.0, 2.0], vec![0.0, 0.0], Interpolation::Hold)
-            .unwrap();
+        let s = InputSeries::new("u", vec![0.0, 2.0], vec![0.0, 0.0], Interpolation::Hold).unwrap();
         let inputs = InputSet::bind(&["u"], vec![s]).unwrap();
         let err = inst.simulate(
             &inputs,
@@ -654,8 +647,7 @@ mod tests {
             ScalarVariable::new("x1", Causality::Local, Variability::Continuous).with_start(0.0),
             ScalarVariable::new("x2", Causality::Local, Variability::Continuous).with_start(0.0),
         ];
-        let md =
-            ModelDescription::new("bad", vars, DefaultExperiment::default()).unwrap();
+        let md = ModelDescription::new("bad", vars, DefaultExperiment::default()).unwrap();
         let sys = EquationSystem::new(1, 0, 0, vec![Expr::Const(0.0)], vec![]).unwrap();
         assert!(Fmu::new(md, sys).is_err());
     }
@@ -680,15 +672,12 @@ mod tests {
         .unwrap();
         let fmu = Arc::new(Fmu::new(md, sys).unwrap());
         let inst = fmu.instantiate();
-        let s = InputSeries::new(
-            "occ",
-            vec![0.0, 24.0],
-            vec![3.0, 3.0],
-            Interpolation::Hold,
-        )
-        .unwrap();
+        let s =
+            InputSeries::new("occ", vec![0.0, 24.0], vec![3.0, 3.0], Interpolation::Hold).unwrap();
         let inputs = InputSet::bind(&["occ"], vec![s]).unwrap();
-        let res = inst.simulate(&inputs, &SimulationOptions::default()).unwrap();
+        let res = inst
+            .simulate(&inputs, &SimulationOptions::default())
+            .unwrap();
         let t_series = res.series("T").unwrap();
         // der(T) = 0.1*occ = 0.3/h -> after 24h: 20 + 7.2
         assert!((t_series.last().unwrap() - 27.2).abs() < 1e-9);

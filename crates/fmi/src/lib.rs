@@ -43,7 +43,7 @@ pub mod system;
 pub use error::{FmiError, Result};
 pub use expr::{BinOp, Expr, UnaryOp};
 pub use fmu::{Fmu, FmuInstance, SimulationOptions, SimulationResult};
-pub use input::{InputSet, InputSeries, Interpolation};
+pub use input::{InputSeries, InputSet, Interpolation};
 pub use model_description::{
     Causality, DefaultExperiment, ModelDescription, ScalarVariable, VarType, Variability,
 };

@@ -351,13 +351,12 @@ impl ModelDescription {
                         )));
                     }
                 }
-                Causality::Local
-                    if v.start.is_none() => {
-                        return Err(FmiError::InvalidModel(format!(
-                            "state '{}' has no start value",
-                            v.name
-                        )));
-                    }
+                Causality::Local if v.start.is_none() => {
+                    return Err(FmiError::InvalidModel(format!(
+                        "state '{}' has no start value",
+                        v.name
+                    )));
+                }
                 _ => {}
             }
         }

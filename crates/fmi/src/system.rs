@@ -135,13 +135,7 @@ mod tests {
     #[test]
     fn dimension_checks() {
         // 2 der expressions for 1 state
-        let err = EquationSystem::new(
-            1,
-            0,
-            0,
-            vec![Expr::Const(0.0), Expr::Const(0.0)],
-            vec![],
-        );
+        let err = EquationSystem::new(1, 0, 0, vec![Expr::Const(0.0), Expr::Const(0.0)], vec![]);
         assert!(err.is_err());
         // reference to a missing input
         let err = EquationSystem::new(1, 0, 0, vec![Expr::Input(0)], vec![]);

@@ -58,10 +58,16 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(5, 64, 3, |inner| {
         prop_oneof![
             (arb_unary(), inner.clone()).prop_map(|(op, a)| Expr::Unary(op, Box::new(a))),
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| Expr::If(Box::new(c), Box::new(a), Box::new(b))),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Binary(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Expr::If(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }
@@ -76,9 +82,13 @@ fn arb_fmu() -> impl Strategy<Value = Fmu> {
             let mut vars = Vec::new();
             for i in 0..N_PARAMS {
                 vars.push(
-                    ScalarVariable::new(format!("p{i}"), Causality::Parameter, Variability::Tunable)
-                        .with_start(i as f64)
-                        .with_bounds(-100.0, 100.0),
+                    ScalarVariable::new(
+                        format!("p{i}"),
+                        Causality::Parameter,
+                        Variability::Tunable,
+                    )
+                    .with_start(i as f64)
+                    .with_bounds(-100.0, 100.0),
                 );
             }
             for i in 0..N_STATES {

@@ -1,0 +1,197 @@
+//! Solver convergence tests against the HP1 analytic solution, and
+//! archive persistence round-trips through the filesystem.
+//!
+//! With a constant power rating `u`, HP1's dynamics
+//! `der(x) = (θa − x)/(R·Cp) + P·η·u/Cp` form a linear ODE with rate
+//! `a = 1/(R·Cp)` and equilibrium `x∞ = θa + R·P·η·u`, so
+//! `x(t) = x∞ + (x0 − x∞)·exp(−a·t)` exactly.
+
+use std::sync::Arc;
+
+use pgfmu_fmi::solver::SolverKind;
+use pgfmu_fmi::{archive, builtin, InputSeries, InputSet, Interpolation, SimulationOptions};
+
+const U_CONST: f64 = 0.6;
+const X0: f64 = 20.75;
+const SPAN: f64 = 10.0;
+
+fn analytic(t: f64) -> f64 {
+    let a = 1.0 / (builtin::HP_TRUE_R * builtin::HP_TRUE_CP);
+    let x_inf = builtin::HP_OUTDOOR_TEMP
+        + builtin::HP_TRUE_R * builtin::HP_RATED_POWER * builtin::HP_COP * U_CONST;
+    x_inf + (X0 - x_inf) * (-a * t).exp()
+}
+
+/// HP1's right-hand side with `u` held constant, for direct integration.
+fn hp1_rhs(_t: f64, x: &[f64], dx: &mut [f64]) {
+    dx[0] = (builtin::HP_OUTDOOR_TEMP - x[0]) / (builtin::HP_TRUE_R * builtin::HP_TRUE_CP)
+        + builtin::HP_RATED_POWER * builtin::HP_COP * U_CONST / builtin::HP_TRUE_CP;
+}
+
+fn final_error(kind: SolverKind) -> f64 {
+    let mut x = vec![X0];
+    kind.integrate(&mut hp1_rhs, 0.0, SPAN, &mut x).unwrap();
+    (x[0] - analytic(SPAN)).abs()
+}
+
+#[test]
+fn solver_error_ordering_euler_rk4_rk45() {
+    let euler = final_error(SolverKind::Euler { step: 0.5 });
+    let rk4 = final_error(SolverKind::Rk4 { step: 0.5 });
+    let rk45 = final_error(SolverKind::Rk45 {
+        rtol: 1e-9,
+        atol: 1e-12,
+    });
+    assert!(
+        euler > rk4 && rk4 > rk45,
+        "expected euler({euler:e}) > rk4({rk4:e}) > rk45({rk45:e})"
+    );
+    // Sanity on magnitudes: all solvers track the solution, Euler coarsely.
+    assert!(euler < 0.5, "euler diverged: {euler}");
+    assert!(rk4 < 1e-3, "rk4 too inaccurate: {rk4}");
+    assert!(rk45 < 1e-7, "rk45 too inaccurate: {rk45}");
+}
+
+#[test]
+fn euler_is_first_order() {
+    let coarse = final_error(SolverKind::Euler { step: 0.4 });
+    let fine = final_error(SolverKind::Euler { step: 0.2 });
+    let ratio = coarse / fine;
+    assert!(
+        (1.5..3.0).contains(&ratio),
+        "halving the step should roughly halve the error; got ratio {ratio} \
+         (coarse {coarse:e}, fine {fine:e})"
+    );
+}
+
+#[test]
+fn rk4_is_fourth_order() {
+    let coarse = final_error(SolverKind::Rk4 { step: 1.0 });
+    let fine = final_error(SolverKind::Rk4 { step: 0.5 });
+    assert!(
+        fine > 1e-13,
+        "fine error {fine:e} too close to machine precision for a ratio test"
+    );
+    let ratio = coarse / fine;
+    assert!(
+        (8.0..40.0).contains(&ratio),
+        "halving the step should cut the error ~16x; got ratio {ratio} \
+         (coarse {coarse:e}, fine {fine:e})"
+    );
+}
+
+#[test]
+fn rk45_tolerance_ordering() {
+    let tolerances = [1e-3, 1e-6, 1e-9];
+    let errors: Vec<f64> = tolerances
+        .iter()
+        .map(|&rtol| {
+            final_error(SolverKind::Rk45 {
+                rtol,
+                atol: rtol * 1e-3,
+            })
+        })
+        .collect();
+    for w in errors.windows(2) {
+        assert!(
+            w[1] <= w[0] + 1e-12,
+            "tightening rtol must not increase error: {errors:?}"
+        );
+    }
+    assert!(
+        errors[2] < 1e-7,
+        "rk45@1e-9 too inaccurate: {:e}",
+        errors[2]
+    );
+}
+
+#[test]
+fn full_fmu_simulation_matches_analytic_solution() {
+    let fmu = Arc::new(builtin::hp1());
+    let inst = fmu.instantiate();
+    let series = InputSeries::new(
+        "u",
+        vec![0.0, SPAN],
+        vec![U_CONST, U_CONST],
+        Interpolation::Hold,
+    )
+    .unwrap();
+    let inputs = InputSet::bind(&["u"], vec![series]).unwrap();
+    let opts = SimulationOptions {
+        start: Some(0.0),
+        stop: Some(SPAN),
+        output_step: Some(1.0),
+        solver: SolverKind::Rk45 {
+            rtol: 1e-9,
+            atol: 1e-12,
+        },
+    };
+    let result = inst.simulate(&inputs, &opts).unwrap();
+    let xs = result.series("x").expect("state series present");
+    for (&t, &x) in result.times().iter().zip(xs) {
+        assert!(
+            (x - analytic(t)).abs() < 1e-6,
+            "at t={t}: simulated {x} vs analytic {}",
+            analytic(t)
+        );
+    }
+    // y = P·u on the whole grid.
+    let ys = result.series("y").expect("output series present");
+    for &y in ys {
+        assert!((y - builtin::HP_RATED_POWER * U_CONST).abs() < 1e-9);
+    }
+}
+
+// --- archive persistence ----------------------------------------------------
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pgfmu-fmi-test-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn write_to_path_then_read_round_trips_all_builtins() {
+    for (label, fmu) in [
+        ("hp0", builtin::hp0()),
+        ("hp1", builtin::hp1()),
+        ("classroom", builtin::classroom()),
+    ] {
+        let path = temp_path(&format!("{label}.fmu"));
+        archive::write_to_path(&fmu, &path).unwrap();
+        let back = archive::read_from_path(&path).unwrap();
+        assert_eq!(back, fmu, "{label} did not round-trip");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn reloaded_fmu_simulates_identically() {
+    let path = temp_path("hp1-sim.fmu");
+    let original = Arc::new(builtin::hp1());
+    archive::write_to_path(&original, &path).unwrap();
+    let reloaded = Arc::new(archive::read_from_path(&path).unwrap());
+    std::fs::remove_file(&path).ok();
+
+    let series = InputSeries::new(
+        "u",
+        vec![0.0, SPAN],
+        vec![U_CONST, U_CONST],
+        Interpolation::Hold,
+    )
+    .unwrap();
+    let inputs = InputSet::bind(&["u"], vec![series]).unwrap();
+    let opts = SimulationOptions {
+        start: Some(0.0),
+        stop: Some(SPAN),
+        output_step: Some(0.5),
+        ..Default::default()
+    };
+    let a = original.instantiate().simulate(&inputs, &opts).unwrap();
+    let b = reloaded.instantiate().simulate(&inputs, &opts).unwrap();
+    assert_eq!(a, b, "decoded model must be simulation-identical");
+}
+
+#[test]
+fn read_from_missing_path_is_an_error() {
+    let err = archive::read_from_path(&temp_path("does-not-exist.fmu"));
+    assert!(err.is_err());
+}

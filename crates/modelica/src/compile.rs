@@ -234,14 +234,9 @@ pub fn compile_model(model: &ModelAst) -> Result<Fmu> {
 
     let md = ModelDescription::new(model.name.clone(), variables, default_experiment)
         .map_err(|e| ModelicaError::new(0, 0, e.to_string()))?;
-    let system = pgfmu_fmi::EquationSystem::new(
-        states.len(),
-        inputs.len(),
-        params.len(),
-        ders,
-        outs,
-    )
-    .map_err(|e| ModelicaError::new(0, 0, e.to_string()))?;
+    let system =
+        pgfmu_fmi::EquationSystem::new(states.len(), inputs.len(), params.len(), ders, outs)
+            .map_err(|e| ModelicaError::new(0, 0, e.to_string()))?;
     Fmu::new(md, system).map_err(|e| ModelicaError::new(0, 0, e.to_string()))
 }
 
@@ -286,11 +281,7 @@ fn scalar(
 }
 
 /// Look up and constant-fold a declaration attribute.
-fn attr_value(
-    c: &Component,
-    key: &str,
-    params: &HashMap<&str, f64>,
-) -> Result<Option<f64>> {
+fn attr_value(c: &Component, key: &str, params: &HashMap<&str, f64>) -> Result<Option<f64>> {
     match c.attributes.iter().find(|(k, _)| k == key) {
         None => Ok(None),
         Some((_, expr)) => fold_const(expr, params).map(Some).ok_or_else(|| {
@@ -459,7 +450,11 @@ fn lower(e: &AstExpr, bindings: &HashMap<&str, Binding>, line: u32) -> Result<Ex
                             format!("{name}() takes exactly two arguments"),
                         ));
                     }
-                    let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+                    let op = if name == "min" {
+                        BinOp::Min
+                    } else {
+                        BinOp::Max
+                    };
                     Expr::Binary(
                         op,
                         Box::new(lower(&args[0], bindings, line)?),

@@ -310,7 +310,15 @@ mod tests {
     fn lexes_operators() {
         assert_eq!(
             kinds("< <= > >= == <> ^"),
-            vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::EqEq, Tok::Ne, Tok::Caret]
+            vec![
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Caret
+            ]
         );
     }
 

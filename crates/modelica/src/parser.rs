@@ -407,8 +407,9 @@ impl<'a> Parser<'a> {
             let key = self.expect_ident("experiment attribute")?;
             self.expect(&Tok::Eq, "'=' in experiment attribute")?;
             let value = self.parse_expr()?;
-            let num = const_eval(&value)
-                .ok_or_else(|| self.err(format!("experiment attribute '{key}' must be constant")))?;
+            let num = const_eval(&value).ok_or_else(|| {
+                self.err(format!("experiment attribute '{key}' must be constant"))
+            })?;
             match key.as_str() {
                 "StartTime" => ann.start_time = Some(num),
                 "StopTime" => ann.stop_time = Some(num),
@@ -477,9 +478,7 @@ impl<'a> Parser<'a> {
         self.eat_keyword("end");
         let end_name = self.expect_ident("model name after 'end'")?;
         if end_name != name {
-            return Err(self.err(format!(
-                "'end {end_name}' does not match 'model {name}'"
-            )));
+            return Err(self.err(format!("'end {end_name}' does not match 'model {name}'")));
         }
         self.expect(&Tok::Semi, "';' after end")?;
         if self.peek().is_some() {
@@ -572,10 +571,9 @@ mod tests {
 
     #[test]
     fn parses_multi_name_declaration() {
-        let m = parse_src(
-            "model m Real a(start=0), b(start=1); equation der(a)=1; der(b)=1; end m;",
-        )
-        .unwrap();
+        let m =
+            parse_src("model m Real a(start=0), b(start=1); equation der(a)=1; der(b)=1; end m;")
+                .unwrap();
         assert_eq!(m.components.len(), 2);
         assert_eq!(m.components[0].name, "a");
         assert_eq!(m.components[1].name, "b");
@@ -589,10 +587,9 @@ mod tests {
 
     #[test]
     fn parses_if_expression() {
-        let m = parse_src(
-            "model m Real x(start=0); equation der(x) = if x > 21 then 0 else 1; end m;",
-        )
-        .unwrap();
+        let m =
+            parse_src("model m Real x(start=0); equation der(x) = if x > 21 then 0 else 1; end m;")
+                .unwrap();
         match &m.equations[0] {
             Equation::Der { rhs, .. } => assert!(matches!(rhs, AstExpr::If(..))),
             _ => panic!("expected der equation"),
@@ -611,8 +608,7 @@ mod tests {
 
     #[test]
     fn power_is_right_associative() {
-        let m =
-            parse_src("model m Real x(start=0); equation der(x) = 2 ^ 3 ^ 2; end m;").unwrap();
+        let m = parse_src("model m Real x(start=0); equation der(x) = 2 ^ 3 ^ 2; end m;").unwrap();
         if let Equation::Der { rhs, .. } = &m.equations[0] {
             assert_eq!(const_eval(rhs), Some(512.0));
         } else {
@@ -653,8 +649,8 @@ mod tests {
 
     #[test]
     fn error_positions_point_at_problem() {
-        let err = parse_src("model m\n  Real x(start=1)\nequation\n  der(x)=0;\nend m;")
-            .unwrap_err();
+        let err =
+            parse_src("model m\n  Real x(start=1)\nequation\n  der(x)=0;\nend m;").unwrap_err();
         // Missing ';' after the declaration: reported on the `equation` line.
         assert_eq!(err.line, 3);
     }

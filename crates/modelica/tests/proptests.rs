@@ -3,7 +3,51 @@
 
 use proptest::prelude::*;
 
-use pgfmu_modelica::{compile_str, lexer, parser};
+use pgfmu_modelica::{compile_str, lexer, parser, sources};
+
+const CORPUS: [(&str, &str); 4] = [
+    ("HP1_MO", sources::HP1_MO),
+    ("HP1_CP_R_MO", sources::HP1_CP_R_MO),
+    ("CLASSROOM_MO", sources::CLASSROOM_MO),
+    ("DECAY_MO", sources::DECAY_MO),
+];
+
+/// Rewrite every space that sits *outside* a string literal with a
+/// token-separator drawn from `picks` (whitespace runs and comments), so
+/// lexing the result must produce the same token stream.
+fn respace(source: &str, picks: &[u8]) -> String {
+    const SEPARATORS: [&str; 5] = [" ", "\t", "\n   ", " /* re-spaced */ ", " // note\n "];
+    let mut out = String::with_capacity(source.len() * 2);
+    let mut in_string = false;
+    let mut next = 0usize;
+    for c in source.chars() {
+        if c == '"' {
+            in_string = !in_string;
+        }
+        if c == ' ' && !in_string {
+            out.push_str(SEPARATORS[picks[next % picks.len()] as usize % SEPARATORS.len()]);
+            next += 1;
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Zero out source line numbers: re-spacing legitimately moves tokens to
+/// different lines, and only the *structure* must be invariant.
+fn strip_lines(mut ast: pgfmu_modelica::ast::ModelAst) -> pgfmu_modelica::ast::ModelAst {
+    use pgfmu_modelica::ast::Equation;
+    for c in &mut ast.components {
+        c.line = 0;
+    }
+    for e in &mut ast.equations {
+        match e {
+            Equation::Der { line, .. } | Equation::Assign { line, .. } => *line = 0,
+        }
+    }
+    ast
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -72,4 +116,58 @@ proptest! {
         let a = fmu.description.variable("A").unwrap().start.unwrap();
         prop_assert!((a - (-1.0 / (r * cp))).abs() < 1e-12);
     }
+
+    /// Lexer/parser round-trip on the shipped `sources::*_MO` corpus:
+    /// re-spacing the source with arbitrary whitespace and comments
+    /// between tokens must not change the parsed AST.
+    #[test]
+    fn corpus_ast_is_invariant_under_respacing(
+        picks in proptest::collection::vec(0u8..5, 64),
+    ) {
+        for (name, src) in CORPUS {
+            let reference = strip_lines(parser::parse(&lexer::lex(src).unwrap()).unwrap());
+            let respaced = respace(src, &picks);
+            let tokens = lexer::lex(&respaced)
+                .unwrap_or_else(|e| panic!("{name} failed to re-lex: {e}"));
+            let ast = parser::parse(&tokens)
+                .unwrap_or_else(|e| panic!("{name} failed to re-parse: {e}"));
+            prop_assert_eq!(
+                strip_lines(ast),
+                reference,
+                "{} AST changed under re-spacing",
+                name
+            );
+        }
+    }
+}
+
+/// Compilation of the corpus is deterministic: two independent runs build
+/// equal FMUs (equation IR, metadata, default experiment).
+#[test]
+fn corpus_compilation_is_deterministic() {
+    for (name, src) in CORPUS {
+        let a = compile_str(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let b = compile_str(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(a, b, "{name} compiled differently on a second run");
+    }
+}
+
+/// The corpus exercises every declaration corner the compiler supports;
+/// spot-check the classified shapes so a parser regression that silently
+/// drops a section cannot pass the re-spacing property by accident.
+#[test]
+fn corpus_shapes_are_as_documented() {
+    let hp1 = compile_str(sources::HP1_CP_R_MO).unwrap();
+    assert_eq!(hp1.name(), "HP1");
+    assert_eq!(hp1.state_names(), ["x"]);
+    assert_eq!(hp1.input_names(), ["u"]);
+    assert_eq!(hp1.output_names(), ["y"]);
+
+    let classroom = compile_str(sources::CLASSROOM_MO).unwrap();
+    assert_eq!(classroom.state_names(), ["t"]);
+    assert_eq!(classroom.input_names().len(), 5);
+
+    let decay = compile_str(sources::DECAY_MO).unwrap();
+    assert_eq!(decay.param_names(), ["k"]);
+    assert!(decay.input_names().is_empty());
 }

@@ -230,8 +230,7 @@ pub const AGGREGATE_FUNCTIONS: [&str; 5] = ["count", "sum", "avg", "min", "max"]
 pub fn contains_aggregate(e: &Expr) -> bool {
     match e {
         Expr::Function { name, args } => {
-            AGGREGATE_FUNCTIONS.contains(&name.as_str())
-                || args.iter().any(contains_aggregate)
+            AGGREGATE_FUNCTIONS.contains(&name.as_str()) || args.iter().any(contains_aggregate)
         }
         Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
             contains_aggregate(expr)

@@ -91,9 +91,7 @@ impl Database {
 
     /// True when the table exists.
     pub fn has_table(&self, name: &str) -> bool {
-        self.tables
-            .read()
-            .contains_key(&name.to_ascii_lowercase())
+        self.tables.read().contains_key(&name.to_ascii_lowercase())
     }
 
     /// Sorted table names (for introspection and tests).
@@ -138,11 +136,7 @@ impl Database {
 
     /// Invoke a scalar function by name.
     pub fn call_scalar(&self, name: &str, args: &[Value]) -> Result<Value> {
-        let f = self
-            .scalars
-            .read()
-            .get(&name.to_ascii_lowercase())
-            .cloned();
+        let f = self.scalars.read().get(&name.to_ascii_lowercase()).cloned();
         match f {
             Some(f) => f(self, args),
             None => Err(SqlError::UnknownFunction(format!("{name}(…)"))),
@@ -289,9 +283,7 @@ mod tests {
     #[test]
     fn update_and_delete() {
         let db = setup();
-        let q = db
-            .execute("UPDATE m SET u = u * 2 WHERE u > 0")
-            .unwrap();
+        let q = db.execute("UPDATE m SET u = u * 2 WHERE u > 0").unwrap();
         assert_eq!(q.rows[0][0], Value::Int(2));
         let q = db.execute("SELECT sum(u) FROM m").unwrap();
         assert!((q.rows[0][0].as_f64().unwrap() - 0.1354).abs() < 1e-9);
@@ -481,11 +473,8 @@ mod tests {
     fn insert_rows_coerces_via_schema() {
         let db = Database::new();
         db.execute("CREATE TABLE t (a float, b variant)").unwrap();
-        db.insert_rows(
-            "t",
-            vec![vec![Value::Int(1), Value::Bool(true)]],
-        )
-        .unwrap();
+        db.insert_rows("t", vec![vec![Value::Int(1), Value::Bool(true)]])
+            .unwrap();
         let handle = db.get_table("t").unwrap();
         let guard = handle.read();
         assert_eq!(guard.rows[0][0], Value::Float(1.0));

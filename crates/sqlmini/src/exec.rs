@@ -95,10 +95,7 @@ pub fn order_cmp(a: &Value, b: &Value) -> Ordering {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
         (false, true) => Ordering::Less,
-        (false, false) => compare(a, b)
-            .ok()
-            .flatten()
-            .unwrap_or(Ordering::Equal),
+        (false, false) => compare(a, b).ok().flatten().unwrap_or(Ordering::Equal),
     }
 }
 
@@ -265,8 +262,7 @@ fn eval(db: &Database, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Valu
                     "aggregate function {name}() is not allowed here"
                 )));
             }
-            let vals: Result<Vec<Value>> =
-                args.iter().map(|a| eval(db, a, env, row)).collect();
+            let vals: Result<Vec<Value>> = args.iter().map(|a| eval(db, a, env, row)).collect();
             db.call_scalar(name, &vals?)
         }
     }
@@ -276,9 +272,9 @@ fn eval(db: &Database, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Valu
 fn is_true(v: &Value) -> Result<bool> {
     match v {
         Value::Null => Ok(false),
-        v => v.as_bool().map_err(|_| {
-            SqlError::Type("argument of WHERE must be type boolean".into())
-        }),
+        v => v
+            .as_bool()
+            .map_err(|_| SqlError::Type("argument of WHERE must be type boolean".into())),
     }
 }
 
@@ -286,12 +282,7 @@ fn is_true(v: &Value) -> Result<bool> {
 // Aggregation
 // ---------------------------------------------------------------------------
 
-fn eval_aggregate_expr(
-    db: &Database,
-    expr: &Expr,
-    env: &Env<'_>,
-    rows: &[Row],
-) -> Result<Value> {
+fn eval_aggregate_expr(db: &Database, expr: &Expr, env: &Env<'_>, rows: &[Row]) -> Result<Value> {
     match expr {
         Expr::Function { name, args } if AGGREGATE_FUNCTIONS.contains(&name.as_str()) => {
             compute_aggregate(db, name, args, env, rows)
@@ -683,14 +674,14 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<QueryResult> {
                 columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
                 offset: 0,
             }];
-            let env = Env {
-                bindings: &binding,
-            };
+            let env = Env { bindings: &binding };
             let mut set_idx = Vec::with_capacity(sets.len());
             for (c, _) in sets {
-                set_idx.push(schema.index_of(c).ok_or_else(|| {
-                    SqlError::UnknownColumn(format!("{c} in UPDATE SET"))
-                })?);
+                set_idx.push(
+                    schema
+                        .index_of(c)
+                        .ok_or_else(|| SqlError::UnknownColumn(format!("{c} in UPDATE SET")))?,
+                );
             }
             let mut new_rows = Vec::with_capacity(snapshot.len());
             let mut n = 0i64;
@@ -730,9 +721,7 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<QueryResult> {
                 columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
                 offset: 0,
             }];
-            let env = Env {
-                bindings: &binding,
-            };
+            let env = Env { bindings: &binding };
             let mut kept = Vec::with_capacity(snapshot.len());
             let mut n = 0i64;
             for r in snapshot {

@@ -55,16 +55,14 @@ pub fn register_builtin_scalars(db: &Database) {
         })
     });
 
-    db.register_scalar("round", |_db, args| {
-        match args {
-            [Value::Null] | [Value::Null, _] => Ok(Value::Null),
-            [v] => Ok(Value::Float(v.as_f64()?.round())),
-            [v, d] => {
-                let scale = 10f64.powi(d.as_i64()? as i32);
-                Ok(Value::Float((v.as_f64()? * scale).round() / scale))
-            }
-            _ => Err(SqlError::Type("round() takes one or two arguments".into())),
+    db.register_scalar("round", |_db, args| match args {
+        [Value::Null] | [Value::Null, _] => Ok(Value::Null),
+        [v] => Ok(Value::Float(v.as_f64()?.round())),
+        [v, d] => {
+            let scale = 10f64.powi(d.as_i64()? as i32);
+            Ok(Value::Float((v.as_f64()? * scale).round() / scale))
         }
+        _ => Err(SqlError::Type("round() takes one or two arguments".into())),
     });
 
     db.register_scalar("power", |_db, args| {
@@ -74,11 +72,9 @@ pub fn register_builtin_scalars(db: &Database) {
         if args[0].is_null() || args[1].is_null() {
             return Ok(Value::Null);
         }
-        Ok(Value::Float(f64_arg(args, 0, "power")?.powf(f64_arg(
-            args,
-            1,
-            "power",
-        )?)))
+        Ok(Value::Float(
+            f64_arg(args, 0, "power")?.powf(f64_arg(args, 1, "power")?),
+        ))
     });
 
     db.register_scalar("coalesce", |_db, args| {
@@ -263,9 +259,7 @@ mod tests {
             .execute("SELECT * FROM generate_series(10, 1, -3)")
             .unwrap();
         assert_eq!(q.len(), 4);
-        assert!(d
-            .execute("SELECT * FROM generate_series(1, 5, 0)")
-            .is_err());
+        assert!(d.execute("SELECT * FROM generate_series(1, 5, 0)").is_err());
     }
 
     #[test]

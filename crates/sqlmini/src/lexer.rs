@@ -89,9 +89,7 @@ pub fn lex(sql: &str) -> Result<Vec<Tok>> {
                             }
                         }
                         Some(other) => s.push(other),
-                        None => {
-                            return Err(SqlError::Parse("unterminated string literal".into()))
-                        }
+                        None => return Err(SqlError::Parse("unterminated string literal".into())),
                     }
                 }
                 out.push(Tok::Str(s));

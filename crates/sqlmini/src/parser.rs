@@ -8,17 +8,15 @@
 //! `IN` / `IS NULL`, `||`, additive, multiplicative, unary minus,
 //! `::` casts, primaries.
 
-use crate::ast::{
-    BinOp, Expr, FromItem, InsertSource, SelectItem, SelectStmt, Stmt, UnOp,
-};
+use crate::ast::{BinOp, Expr, FromItem, InsertSource, SelectItem, SelectStmt, Stmt, UnOp};
 use crate::error::{Result, SqlError};
 use crate::lexer::{lex, Tok};
 use crate::value::{DataType, Value};
 
 /// Keywords that terminate a bare alias.
 const RESERVED: [&str; 18] = [
-    "select", "from", "where", "order", "group", "limit", "and", "or", "not", "in", "is",
-    "as", "asc", "desc", "by", "lateral", "values", "set",
+    "select", "from", "where", "order", "group", "limit", "and", "or", "not", "in", "is", "as",
+    "asc", "desc", "by", "lateral", "values", "set",
 ];
 
 struct Parser {
@@ -90,9 +88,7 @@ impl Parser {
     fn expect_ident(&mut self, what: &str) -> Result<String> {
         match self.bump() {
             Some(Tok::Ident(name)) => Ok(name),
-            other => Err(SqlError::Parse(format!(
-                "expected {what}, found {other:?}"
-            ))),
+            other => Err(SqlError::Parse(format!("expected {what}, found {other:?}"))),
         }
     }
 
@@ -189,11 +185,9 @@ impl Parser {
             return Ok(SelectItem::Wildcard);
         }
         // alias.* ?
-        if let (Some(Tok::Ident(name)), Some(Tok::Dot), Some(Tok::Star)) = (
-            self.peek(),
-            self.peek2(),
-            self.tokens.get(self.pos + 2),
-        ) {
+        if let (Some(Tok::Ident(name)), Some(Tok::Dot), Some(Tok::Star)) =
+            (self.peek(), self.peek2(), self.tokens.get(self.pos + 2))
+        {
             let q = name.clone();
             self.pos += 3;
             return Ok(SelectItem::QualifiedWildcard(q));
@@ -290,9 +284,7 @@ impl Parser {
                 source: InsertSource::Select(Box::new(sel)),
             })
         } else {
-            Err(SqlError::Parse(
-                "INSERT expects VALUES or SELECT".into(),
-            ))
+            Err(SqlError::Parse("INSERT expects VALUES or SELECT".into()))
         }
     }
 
@@ -434,34 +426,33 @@ impl Parser {
             });
         }
         // [NOT] IN (…)
-        let negated_in = if self.peek_kw("not")
-            && matches!(self.peek2(), Some(Tok::Ident(k)) if k == "in")
-        {
-            self.pos += 2;
-            true
-        } else if self.eat_kw("in") {
-            false
-        } else {
-            let op = match self.peek() {
-                Some(Tok::Eq) => Some(BinOp::Eq),
-                Some(Tok::Ne) => Some(BinOp::Ne),
-                Some(Tok::Lt) => Some(BinOp::Lt),
-                Some(Tok::Le) => Some(BinOp::Le),
-                Some(Tok::Gt) => Some(BinOp::Gt),
-                Some(Tok::Ge) => Some(BinOp::Ge),
-                _ => None,
+        let negated_in =
+            if self.peek_kw("not") && matches!(self.peek2(), Some(Tok::Ident(k)) if k == "in") {
+                self.pos += 2;
+                true
+            } else if self.eat_kw("in") {
+                false
+            } else {
+                let op = match self.peek() {
+                    Some(Tok::Eq) => Some(BinOp::Eq),
+                    Some(Tok::Ne) => Some(BinOp::Ne),
+                    Some(Tok::Lt) => Some(BinOp::Lt),
+                    Some(Tok::Le) => Some(BinOp::Le),
+                    Some(Tok::Gt) => Some(BinOp::Gt),
+                    Some(Tok::Ge) => Some(BinOp::Ge),
+                    _ => None,
+                };
+                if let Some(op) = op {
+                    self.pos += 1;
+                    let rhs = self.parse_concat()?;
+                    return Ok(Expr::Binary {
+                        op,
+                        left: Box::new(lhs),
+                        right: Box::new(rhs),
+                    });
+                }
+                return Ok(lhs);
             };
-            if let Some(op) = op {
-                self.pos += 1;
-                let rhs = self.parse_concat()?;
-                return Ok(Expr::Binary {
-                    op,
-                    left: Box::new(lhs),
-                    right: Box::new(rhs),
-                });
-            }
-            return Ok(lhs);
-        };
         self.expect(&Tok::LParen, "'(' after IN")?;
         let mut list = Vec::new();
         loop {
@@ -670,7 +661,9 @@ mod tests {
         if let Stmt::Select(sel) = s {
             assert_eq!(sel.items[0], SelectItem::Wildcard);
             assert_eq!(sel.items[1], SelectItem::QualifiedWildcard("f".into()));
-            assert!(matches!(&sel.from[1], FromItem::Function { name, .. } if name == "fmu_variables"));
+            assert!(
+                matches!(&sel.from[1], FromItem::Function { name, .. } if name == "fmu_variables")
+            );
         } else {
             panic!();
         }
@@ -750,10 +743,8 @@ mod tests {
 
     #[test]
     fn parses_create_drop() {
-        let s = parse(
-            "CREATE TABLE m (ts timestamp, x double precision, u float, note text)",
-        )
-        .unwrap();
+        let s =
+            parse("CREATE TABLE m (ts timestamp, x double precision, u float, note text)").unwrap();
         if let Stmt::CreateTable { columns, .. } = s {
             assert_eq!(columns.len(), 4);
             assert_eq!(columns[1].1, DataType::Float);

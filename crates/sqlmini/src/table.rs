@@ -100,9 +100,8 @@ impl Table {
             .iter()
             .zip(&self.schema.columns)
             .map(|(v, c)| {
-                v.coerce_to(c.dtype).map_err(|e| {
-                    SqlError::Type(format!("column \"{}\": {e}", c.name))
-                })
+                v.coerce_to(c.dtype)
+                    .map_err(|e| SqlError::Type(format!("column \"{}\": {e}", c.name)))
             })
             .collect();
         self.rows.push(coerced?);
@@ -207,7 +206,11 @@ impl QueryResult {
             out.push_str(&format!(
                 "{:<w$}{}",
                 c,
-                if i + 1 < self.columns.len() { " | " } else { "\n" },
+                if i + 1 < self.columns.len() {
+                    " | "
+                } else {
+                    "\n"
+                },
                 w = widths[i]
             ));
         }

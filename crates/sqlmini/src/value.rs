@@ -110,9 +110,7 @@ impl Value {
             Value::Int(i) => Ok(*i as f64),
             Value::Float(f) => Ok(*f),
             Value::Bool(b) => Ok(f64::from(*b)),
-            other => Err(SqlError::Type(format!(
-                "value {other} is not numeric"
-            ))),
+            other => Err(SqlError::Type(format!("value {other} is not numeric"))),
         }
     }
 
@@ -152,9 +150,7 @@ impl Value {
             (DataType::Float, Value::Int(i)) => Ok(Value::Float(*i as f64)),
             (DataType::Int, Value::Float(f)) if f.fract() == 0.0 => Ok(Value::Int(*f as i64)),
             (DataType::Bool, Value::Int(i)) if *i == 0 || *i == 1 => Ok(Value::Bool(*i == 1)),
-            (DataType::Timestamp, Value::Text(s)) => {
-                Ok(Value::Timestamp(parse_timestamp(s)?))
-            }
+            (DataType::Timestamp, Value::Text(s)) => Ok(Value::Timestamp(parse_timestamp(s)?)),
             (DataType::Interval, Value::Text(s)) => Ok(Value::Interval(parse_interval(s)?)),
             (DataType::Text, v) => Ok(Value::Text(v.to_string())),
             (t, v) => Err(SqlError::Type(format!(

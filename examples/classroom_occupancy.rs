@@ -45,20 +45,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Simulate the validation window two ways. ---------------------------
     // (a) without occupancy information (empty room assumption);
-    session.execute("CREATE TABLE inputs_no_occ (ts timestamp, solrad float, tout float, \
-         occ float, dpos float, vpos float)")?;
+    session.execute(
+        "CREATE TABLE inputs_no_occ (ts timestamp, solrad float, tout float, \
+         occ float, dpos float, vpos float)",
+    )?;
     session.execute(&format!(
         "INSERT INTO inputs_no_occ \
          SELECT ts, solrad, tout, 0.0, dpos, vpos FROM classroom \
          WHERE ts >= timestamp '{split_ts}'"
     ))?;
     // (b) with the ARIMA-predicted occupancy joined in.
-    session.execute("CREATE TABLE inputs_arima (ts timestamp, solrad float, tout float, \
-         occ float, dpos float, vpos float)")?;
-    session.execute("INSERT INTO inputs_arima \
+    session.execute(
+        "CREATE TABLE inputs_arima (ts timestamp, solrad float, tout float, \
+         occ float, dpos float, vpos float)",
+    )?;
+    session.execute(
+        "INSERT INTO inputs_arima \
          SELECT c.ts, c.solrad, c.tout, f.occ, c.dpos, c.vpos \
          FROM classroom c, occ_forecast f \
-         WHERE c.ts = f.ts")?;
+         WHERE c.ts = f.ts",
+    )?;
 
     // Each forecast starts from a *warmed-up* state: simulating the
     // training window first leaves the (noise-free) state estimate at the
@@ -112,9 +118,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          SELECT * FROM fmu_simulate('Room1', 'SELECT * FROM classroom') \
          WHERE varname = 't'",
     )?;
-    session.execute(
-        "CREATE TABLE damper (label float, occ float, solrad float, t float)",
-    )?;
+    session.execute("CREATE TABLE damper (label float, occ float, solrad float, t float)")?;
     session.execute(
         "INSERT INTO damper \
          SELECT greatest(0.0, least(1.0, c.dpos / 100.0)), c.occ, c.solrad, s.value \
@@ -132,8 +136,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base_acc = acc("m_base", "occ, solrad")?;
     let temp_acc = acc("m_temp", "occ, solrad, t")?;
     println!("\nDamper-position classification accuracy:");
-    println!("  occupancy + solar features      : {:.1}%", base_acc * 100.0);
-    println!("  + indoor temperature (pgFMU)    : {:.1}%", temp_acc * 100.0);
+    println!(
+        "  occupancy + solar features      : {:.1}%",
+        base_acc * 100.0
+    );
+    println!(
+        "  + indoor temperature (pgFMU)    : {:.1}%",
+        temp_acc * 100.0
+    );
     println!(
         "  improvement                     : {:.1} points",
         (temp_acc - base_acc) * 100.0

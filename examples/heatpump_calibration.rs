@@ -32,15 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          '{SELECT ts, x, u FROM measurements \
            WHERE ts < timestamp ''2015-02-22 00:00''}', '{Cp, R}')",
     )?;
-    println!(
-        "Calibration RMSE: {:.4} degC",
-        rmse.scalar()?.as_f64()?
-    );
+    println!("Calibration RMSE: {:.4} degC", rmse.scalar()?.as_f64()?);
     let params = session.execute(
         "SELECT varname, value FROM modelinstancevalues \
          WHERE instanceid = 'HP1Instance1' AND varname IN ('Cp', 'R')",
     )?;
-    println!("Estimated parameters (truth: Cp=1.5, R=1.5):\n{}", params.to_ascii());
+    println!(
+        "Estimated parameters (truth: Cp=1.5, R=1.5):\n{}",
+        params.to_ascii()
+    );
 
     // -- SQL line 3: predict the validation week under the recorded inputs. --
     let validation = session.execute(
@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                WHERE ts >= timestamp ''2015-02-22 00:00''') \
          WHERE varName = 'x'",
     )?;
-    println!("Validation-week prediction summary:\n{}", validation.to_ascii());
+    println!(
+        "Validation-week prediction summary:\n{}",
+        validation.to_ascii()
+    );
 
     // -- SQL line 4: a what-if heating scenario (max power all week). --------
     session.execute("CREATE TABLE scenario (ts timestamp, u float)")?;

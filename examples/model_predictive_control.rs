@@ -15,9 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Optimize 12 two-hour control intervals toward a 20 degC setpoint,
     // with a small penalty on energy use.
-    let plan = session.execute(
-        "SELECT * FROM fmu_control('House', 'u', 24.0, 12, 20.0, 0.005)",
-    )?;
+    let plan = session.execute("SELECT * FROM fmu_control('House', 'u', 24.0, 12, 20.0, 0.005)")?;
     println!("Optimized heat-pump schedule (hours from now, power rating):");
     println!("{}", plan.to_ascii());
 
@@ -35,6 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
               timestamp '2015-02-01 02:00', timestamp '2015-02-01 22:00') \
          WHERE varname = 'x'",
     )?;
-    println!("Resulting indoor-temperature envelope (t>=2h):\n{}", trajectory.to_ascii());
+    println!(
+        "Resulting indoor-temperature envelope (t>=2h):\n{}",
+        trajectory.to_ascii()
+    );
     Ok(())
 }

@@ -63,6 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          '{SELECT ts, x, u FROM measurements1, SELECT ts, x, u FROM measurements2}', \
          '{Cp, R}')",
     )?;
-    println!("Objective evaluations (first two instances):\n{}", evals.to_ascii());
+    println!(
+        "Objective evaluations (first two instances):\n{}",
+        evals.to_ascii()
+    );
     Ok(())
 }

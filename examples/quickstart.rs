@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          FROM fmu_simulate('HP1Instance1', 'SELECT * FROM schedule') \
          WHERE varName = 'x' ORDER BY simulationTime LIMIT 8",
     )?;
-    println!("First hours of simulated indoor temperature:\n{}", sim.to_ascii());
+    println!(
+        "First hours of simulated indoor temperature:\n{}",
+        sim.to_ascii()
+    );
 
     // 4. Plain SQL over the simulation results (Figure 1, step 7).
     let stats = session.execute(

@@ -54,10 +54,7 @@ fn compiled_mo_and_builtin_agree_end_to_end() {
     // The HP1 .mo source and the builtin HP1 must produce identical
     // simulations through the whole stack (compiler → catalogue → UDF).
     let s = PgFmu::new().unwrap();
-    hp1_dataset(5)
-        .slice(0, 48)
-        .load_into(s.db(), "m")
-        .unwrap();
+    hp1_dataset(5).slice(0, 48).load_into(s.db(), "m").unwrap();
     s.execute(&format!(
         "SELECT fmu_create('{}', 'compiled')",
         sources::HP1_CP_R_MO.replace('\'', "''").replace('\n', " ")
@@ -137,7 +134,8 @@ fn si_and_mi_estimation_have_comparable_accuracy() {
 fn catalogue_is_queryable_alongside_user_tables() {
     // The catalogue is ordinary SQL state: join it with user data.
     let s = PgFmu::new().unwrap();
-    s.execute("SELECT fmu_create('Classroom', 'Room1')").unwrap();
+    s.execute("SELECT fmu_create('Classroom', 'Room1')")
+        .unwrap();
     let q = s
         .execute(
             "SELECT count(*) AS vars FROM model m, modelvariable v \

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is an owned byte buffer with a read cursor (upstream's view
+//! semantics collapsed to the single-owner case), [`BytesMut`] a growable
+//! write buffer. The [`Buf`] / [`BufMut`] traits carry the accessor subset
+//! the workspace's archive codec uses, all little-endian.
+
+use std::ops::Deref;
+
+/// Read-side accessors over a consumable byte cursor.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(b)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+}
+
+/// Write-side accessors over a growable byte buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// An owned, cheaply clonable byte buffer with a read cursor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end of Bytes");
+        self.pos += cnt;
+    }
+}
+
+/// A growable write buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u8(0xAB);
+        w.put_u16_le(0x1234);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_f64_le(-2.5);
+        w.put_slice(b"xyz");
+        let mut r = Bytes::copy_from_slice(&w);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_f64_le(), -2.5);
+        assert_eq!(r.copy_to_bytes(3).to_vec(), b"xyz");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn remaining_tracks_cursor() {
+        let mut b = Bytes::copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(b.remaining(), 4);
+        b.get_u16_le();
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(&*b, &[3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        Bytes::copy_from_slice(&[1]).advance(2);
+    }
+}

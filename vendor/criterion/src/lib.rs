@@ -1,0 +1,156 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` macros, the
+//! [`Criterion`] builder and [`Bencher::iter`] so the workspace's benches
+//! compile (`cargo bench --no-run`) and run as quick smoke benchmarks.
+//! There is no statistics engine: each `bench_function` runs its closure in
+//! timed batches and reports the mean wall-clock time per iteration. The
+//! per-function time budget is the configured `measurement_time`, capped by
+//! the `PGFMU_BENCH_MAX_SECS` environment variable (default 1s) so a full
+//! `cargo bench` sweep stays laptop-friendly.
+
+use std::time::{Duration, Instant};
+
+/// Measurement configuration and bench registry entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    fn budget(&self) -> Duration {
+        let cap = std::env::var("PGFMU_BENCH_MAX_SECS")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        self.measurement_time.min(Duration::from_secs_f64(cap))
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.budget(),
+            max_samples: self.sample_size,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{id:<40} (no iterations recorded)");
+        } else {
+            let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+            println!(
+                "{id:<40} {:>12.1} ns/iter ({} iterations)",
+                per_iter, b.iters
+            );
+        }
+        self
+    }
+}
+
+/// Handed to the bench closure; times repeated invocations of a routine.
+pub struct Bencher {
+    budget: Duration,
+    max_samples: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up run, untimed.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.max_samples as u64 && start.elapsed() < self.budget {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevent the optimizer from eliding a value (re-export convenience).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Accept and ignore harness CLI flags (`--bench`, filters, …).
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts_iterations() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        // warm-up + at least one timed iteration
+        assert!(runs >= 2);
+    }
+
+    #[test]
+    fn builder_is_chainable() {
+        let c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2));
+        assert!(c.budget() <= Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,367 @@
+//! Generator for strings matching a regex subset.
+//!
+//! Supported syntax: literal characters, `\`-escapes, `.` (any char but
+//! newline), character classes `[...]` with ranges and leading-`^`
+//! negation, groups `(...)`, alternation `|`, and the quantifiers `*`,
+//! `+`, `?`, `{n}`, `{m,n}`, `{m,}`. Unbounded quantifiers are capped at
+//! eight extra repetitions. The parser panics on syntax it does not
+//! understand — a regex strategy typo should fail the test loudly, not
+//! generate garbage silently.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// Ordered alternatives (`a|b|c`); a single element means no `|`.
+    Alt(Vec<Vec<Node>>),
+    Literal(char),
+    /// `.`
+    AnyChar,
+    /// Character class: inclusive ranges, possibly negated.
+    Class {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
+    Repeat {
+        node: Box<Node>,
+        min: u32,
+        max: u32,
+    },
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        }
+    }
+
+    fn fail(&self, msg: &str) -> ! {
+        panic!("unsupported regex {:?}: {msg}", self.pattern);
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut alternatives = vec![self.parse_seq()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alternatives.push(self.parse_seq());
+        }
+        Node::Alt(alternatives)
+    }
+
+    fn parse_seq(&mut self) -> Vec<Node> {
+        let mut seq = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            seq.push(self.parse_quantified(atom));
+        }
+        seq
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alt();
+                if self.chars.next() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                inner
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Node::AnyChar,
+            Some('\\') => {
+                let c = self
+                    .chars
+                    .next()
+                    .unwrap_or_else(|| self.fail("dangling backslash"));
+                Node::Literal(unescape(c))
+            }
+            Some(c @ ('*' | '+' | '?' | '{')) => {
+                self.fail(&format!("quantifier {c:?} with nothing to repeat"))
+            }
+            Some(c) => Node::Literal(c),
+            None => self.fail("unexpected end of pattern"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let negated = self.chars.peek() == Some(&'^') && {
+            self.chars.next();
+            true
+        };
+        // (char, was_escaped): an escaped `\-` is always a literal dash,
+        // never a range separator.
+        let mut members: Vec<(char, bool)> = Vec::new();
+        loop {
+            match self.chars.next() {
+                Some(']') if !members.is_empty() => break,
+                Some('\\') => {
+                    let c = self
+                        .chars
+                        .next()
+                        .unwrap_or_else(|| self.fail("dangling backslash"));
+                    members.push((unescape(c), true));
+                }
+                Some(c) => members.push((c, false)),
+                None => self.fail("unclosed character class"),
+            }
+        }
+        // Fold `a-z` spans; a `-` at either end is a literal dash.
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < members.len() {
+            if i + 2 < members.len() && members[i + 1] == ('-', false) {
+                let (lo, hi) = (members[i].0, members[i + 2].0);
+                if lo > hi {
+                    self.fail(&format!("inverted class range {lo}-{hi}"));
+                }
+                ranges.push((lo, hi));
+                i += 3;
+            } else {
+                ranges.push((members[i].0, members[i].0));
+                i += 1;
+            }
+        }
+        Node::Class { ranges, negated }
+    }
+
+    fn parse_quantified(&mut self, atom: Node) -> Node {
+        let (min, max) = match self.chars.peek() {
+            Some('*') => {
+                self.chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                self.chars.next();
+                self.parse_braced_counts()
+            }
+            _ => return atom,
+        };
+        Node::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        }
+    }
+
+    fn parse_braced_counts(&mut self) -> (u32, u32) {
+        let min = self.parse_number();
+        match self.chars.next() {
+            Some('}') => (min, min),
+            Some(',') => match self.chars.peek() {
+                Some('}') => {
+                    self.chars.next();
+                    (min, min + 8)
+                }
+                _ => {
+                    let max = self.parse_number();
+                    if self.chars.next() != Some('}') {
+                        self.fail("unclosed {m,n} quantifier");
+                    }
+                    if max < min {
+                        self.fail("quantifier with max < min");
+                    }
+                    (min, max)
+                }
+            },
+            _ => self.fail("malformed {..} quantifier"),
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let mut digits = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        digits
+            .parse()
+            .unwrap_or_else(|_| self.fail("quantifier count is not a number"))
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Palette for `.` and negated classes: mostly printable ASCII with a
+/// sprinkling of whitespace, controls and multi-byte characters so totality
+/// tests see genuinely hostile input.
+fn any_char(rng: &mut StdRng) -> char {
+    match rng.gen_range(0..20u32) {
+        0 => ' ',
+        1 => '\t',
+        2 => char::from_u32(rng.gen_range(1..32u32)).unwrap_or('\u{1}'),
+        3 => ['é', 'ß', '→', '日', '𝄞', '\u{7f}', '¼', 'Ω'][rng.gen_range(0..8usize)],
+        _ => char::from_u32(rng.gen_range(0x20..0x7Fu32)).unwrap(),
+    }
+}
+
+fn emit(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Alt(alternatives) => {
+            let seq = &alternatives[rng.gen_range(0..alternatives.len())];
+            for n in seq {
+                emit(n, rng, out);
+            }
+        }
+        Node::Literal(c) => out.push(*c),
+        Node::AnyChar => loop {
+            let c = any_char(rng);
+            if c != '\n' {
+                out.push(c);
+                break;
+            }
+        },
+        Node::Class { ranges, negated } => {
+            if *negated {
+                // Rejection-sample; classes in practice exclude few chars.
+                for _ in 0..1000 {
+                    let c = any_char(rng);
+                    if !ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c)) {
+                        out.push(c);
+                        return;
+                    }
+                }
+                panic!("could not find a character outside negated class");
+            }
+            // Weight ranges by their width for a uniform choice.
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut pick = rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let width = hi as u32 - lo as u32 + 1;
+                if pick < width {
+                    out.push(char::from_u32(lo as u32 + pick).unwrap_or(lo));
+                    return;
+                }
+                pick -= width;
+            }
+            unreachable!("weighted class pick out of bounds");
+        }
+        Node::Repeat { node, min, max } => {
+            let count = if min == max {
+                *min
+            } else {
+                rng.gen_range(*min..=*max)
+            };
+            for _ in 0..count {
+                emit(node, rng, out);
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let ast = parser.parse_alt();
+    if parser.chars.next().is_some() {
+        parser.fail("trailing tokens (unbalanced ')'?)");
+    }
+    let mut out = String::new();
+    emit(&ast, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_matching;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        (0..n)
+            .map(|_| generate_matching(pattern, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn literal_sequences() {
+        assert!(gen_many("abc", 5).iter().all(|s| s == "abc"));
+    }
+
+    #[test]
+    fn dot_quantifier_bounds_length() {
+        for s in gen_many(".{0,200}", 50) {
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn the_sqlish_soup_pattern_parses() {
+        let pattern =
+            "(select|from|where|insert|update|t|x|'a'|1|2\\.5|\\(|\\)|,|\\*|=|<|>|\\|\\||::| )+";
+        for s in gen_many(pattern, 30) {
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn the_modelica_class_pattern_stays_in_alphabet() {
+        for s in gen_many("[a-z0-9=+\\-*/^(),;.< >]{0,120}", 30) {
+            assert!(s.chars().count() <= 120);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || "=+-*/^(),;.< >".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_count_and_plus() {
+        for s in gen_many("[a-z]{1,12}", 40) {
+            assert!((1..=12).contains(&s.chars().count()));
+        }
+        for s in gen_many("x+", 40) {
+            assert!(!s.is_empty() && s.chars().all(|c| c == 'x'));
+        }
+    }
+
+    #[test]
+    fn negated_class_avoids_members() {
+        for s in gen_many("[^ab]{5}", 30) {
+            assert!(s.chars().all(|c| c != 'a' && c != 'b'));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn unbalanced_group_is_rejected() {
+        gen_many("(ab", 1);
+    }
+}
