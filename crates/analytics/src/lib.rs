@@ -9,8 +9,8 @@
 //! typed Rust API and as SQL UDFs:
 //!
 //! * `arima_train(source_table, output_table, time_col, value_col
-//!   [, orders])` — orders like `'1,1,1'` or `'1,0,0,1,48'`
-//!   (p,d,q[,D,season]);
+//!   [, orders])` — orders like `'1,1,1'` or `'1,0,0,1,48'`, i.e.
+//!   `p,d,q[,D,season]`;
 //! * `arima_forecast(output_table, steps)` — set-returning
 //!   `(time, value)`;
 //! * `logregr_train(source_table, output_table, dep_col, indep_cols)`;

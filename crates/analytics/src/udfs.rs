@@ -6,20 +6,12 @@
 //! the whole workflow inside the DBMS, as the paper's combined experiment
 //! requires.
 
-use pgfmu_sqlmini::{Database, QueryResult, SqlError, Value};
+use pgfmu_sqlmini::{ArgKind, Database, QueryResult, SqlError, Value};
 
 use crate::arima::{Arima, ArimaSpec};
 use crate::logistic::LogisticRegression;
 
 type SqlResult<T> = std::result::Result<T, SqlError>;
-
-fn text_arg(args: &[Value], i: usize, f: &str) -> SqlResult<String> {
-    args.get(i)
-        .ok_or_else(|| SqlError::Type(format!("{f}: missing argument {}", i + 1)))?
-        .as_str()
-        .map(str::to_string)
-        .map_err(|_| SqlError::Type(format!("{f}: argument {} must be text", i + 1)))
-}
 
 fn ident_ok(s: &str) -> SqlResult<()> {
     if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !s.is_empty() {
@@ -30,229 +22,244 @@ fn ident_ok(s: &str) -> SqlResult<()> {
 }
 
 /// Register `arima_train`, `arima_forecast`, `logregr_train` and
-/// `logregr_prob` on a database.
+/// `logregr_prob` on a database. All four are declared through the typed
+/// UDF builder, so argument coercion and arity errors are centralized.
 pub fn register_udfs(db: &Database) {
-    db.register_scalar("arima_train", |db, args| {
-        let source = text_arg(args, 0, "arima_train")?;
-        let output = text_arg(args, 1, "arima_train")?;
-        let time_col = text_arg(args, 2, "arima_train")?;
-        let value_col = text_arg(args, 3, "arima_train")?;
-        for ident in [&source, &output, &time_col, &value_col] {
-            ident_ok(ident)?;
-        }
-        let spec = if args.len() > 4 {
-            let raw = text_arg(args, 4, "arima_train")?;
-            ArimaSpec::parse(&raw).ok_or_else(|| {
-                SqlError::Type(format!(
-                    "arima_train: bad orders '{raw}' (expected 'p,d,q' or 'p,d,q,D,season')"
-                ))
-            })?
-        } else {
-            ArimaSpec::default()
-        };
-
-        let data = db.execute(&format!(
-            "SELECT {time_col}, {value_col} FROM {source} ORDER BY {time_col}"
-        ))?;
-        let epochs = data.column_timestamps(&time_col)?;
-        let values = data.column_f64(&value_col)?;
-        if epochs.len() < 2 {
-            return Err(SqlError::Execution(
-                "arima_train: need at least two samples".into(),
-            ));
-        }
-        let step = epochs[1] - epochs[0];
-        let model = Arima::fit(&values, spec).ok_or_else(|| {
-            SqlError::Execution(
-                "arima_train: series too short or degenerate for the requested orders".into(),
-            )
-        })?;
-
-        db.execute(&format!("DROP TABLE IF EXISTS {output}"))?;
-        db.execute(&format!(
-            "CREATE TABLE {output} (kind text, idx int, value float)"
-        ))?;
-        let mut rows: Vec<Vec<Value>> = Vec::new();
-        let mut push = |kind: &str, idx: i64, value: f64| {
-            rows.push(vec![
-                Value::Text(kind.into()),
-                Value::Int(idx),
-                Value::Float(value),
-            ]);
-        };
-        for (k, v) in model.phi.iter().enumerate() {
-            push("phi", k as i64, *v);
-        }
-        for (k, v) in model.theta.iter().enumerate() {
-            push("theta", k as i64, *v);
-        }
-        for (k, v) in [
-            spec.p as f64,
-            spec.d as f64,
-            spec.q as f64,
-            spec.seasonal_d as f64,
-            spec.season as f64,
-            model.mean,
-            model.sigma,
-            *epochs.last().unwrap() as f64,
-            step as f64,
-        ]
-        .iter()
-        .enumerate()
-        {
-            push("meta", k as i64, *v);
-        }
-        for (k, v) in model.series.iter().enumerate() {
-            push("series", k as i64, *v);
-        }
-        for (k, v) in model.residuals.iter().enumerate() {
-            push("residual", k as i64, *v);
-        }
-        db.insert_rows(&output, rows)?;
-        Ok(Value::Text(output))
-    });
-
-    db.register_table_fn("arima_forecast", |db, args| {
-        let table = text_arg(args, 0, "arima_forecast")?;
-        ident_ok(&table)?;
-        let steps = args
-            .get(1)
-            .ok_or_else(|| SqlError::Type("arima_forecast: missing steps".into()))?
-            .as_i64()
-            .map_err(|_| SqlError::Type("arima_forecast: steps must be an integer".into()))?;
-        if steps <= 0 || steps > 1_000_000 {
-            return Err(SqlError::Type("arima_forecast: steps out of range".into()));
-        }
-        let model_rows = db.execute(&format!(
-            "SELECT kind, idx, value FROM {table} ORDER BY kind, idx"
-        ))?;
-        let mut phi = Vec::new();
-        let mut theta = Vec::new();
-        let mut meta = Vec::new();
-        let mut series = Vec::new();
-        let mut residuals = Vec::new();
-        for row in &model_rows.rows {
-            let kind = row[0].as_str()?;
-            let value = row[2].as_f64()?;
-            match kind {
-                "phi" => phi.push(value),
-                "theta" => theta.push(value),
-                "meta" => meta.push(value),
-                "series" => series.push(value),
-                "residual" => residuals.push(value),
-                other => {
-                    return Err(SqlError::Execution(format!(
-                        "arima_forecast: unknown model row kind '{other}'"
-                    )))
-                }
+    db.udf("arima_train")
+        .arg("source_table", ArgKind::Text)
+        .arg("output_table", ArgKind::Text)
+        .arg("time_col", ArgKind::Text)
+        .arg("value_col", ArgKind::Text)
+        .opt_arg("orders", ArgKind::Text)
+        .scalar(|db, args| {
+            let source = args.text(0).to_string();
+            let output = args.text(1).to_string();
+            let time_col = args.text(2).to_string();
+            let value_col = args.text(3).to_string();
+            for ident in [&source, &output, &time_col, &value_col] {
+                ident_ok(ident)?;
             }
-        }
-        if meta.len() < 9 {
-            return Err(SqlError::Execution(format!(
-                "arima_forecast: '{table}' is not an arima_train output table"
-            )));
-        }
-        let spec = ArimaSpec {
-            p: meta[0] as usize,
-            d: meta[1] as usize,
-            q: meta[2] as usize,
-            seasonal_d: meta[3] as usize,
-            season: meta[4] as usize,
-        };
-        let model = Arima {
-            spec,
-            phi,
-            theta,
-            mean: meta[5],
-            sigma: meta[6],
-            series,
-            residuals,
-        };
-        let last_epoch = meta[7] as i64;
-        let step = meta[8] as i64;
-        let forecast = model.forecast(steps as usize);
-        let mut q = QueryResult::new(vec!["time".into(), "value".into()]);
-        for (i, v) in forecast.into_iter().enumerate() {
-            q.rows.push(vec![
-                Value::Timestamp(last_epoch + (i as i64 + 1) * step),
-                Value::Float(v),
-            ]);
-        }
-        Ok(q)
-    });
+            let spec = if let Some(raw) = args.opt_text(4) {
+                ArimaSpec::parse(raw).ok_or_else(|| {
+                    SqlError::Type(format!(
+                        "arima_train: bad orders '{raw}' (expected 'p,d,q' or 'p,d,q,D,season')"
+                    ))
+                })?
+            } else {
+                ArimaSpec::default()
+            };
 
-    db.register_scalar("logregr_train", |db, args| {
-        let source = text_arg(args, 0, "logregr_train")?;
-        let output = text_arg(args, 1, "logregr_train")?;
-        let dep = text_arg(args, 2, "logregr_train")?;
-        let indep_raw = text_arg(args, 3, "logregr_train")?;
-        ident_ok(&source)?;
-        ident_ok(&output)?;
-        ident_ok(&dep)?;
-        let indep: Vec<String> = indep_raw
-            .split(',')
-            .map(|s| s.trim().to_string())
-            .filter(|s| !s.is_empty())
-            .collect();
-        if indep.is_empty() {
-            return Err(SqlError::Type(
-                "logregr_train: no independent columns given".into(),
-            ));
-        }
-        for c in &indep {
-            ident_ok(c)?;
-        }
-        let data = db.execute(&format!("SELECT {dep}, {} FROM {source}", indep.join(", ")))?;
-        let y = data.column_f64(&dep)?;
-        let labels: Vec<f64> = y.iter().map(|v| f64::from(*v > 0.5)).collect();
-        let mut x = vec![Vec::with_capacity(indep.len()); data.len()];
-        for c in &indep {
-            let col = data.column_f64(c)?;
-            for (row, v) in x.iter_mut().zip(col) {
-                row.push(v);
+            let data = db.execute(&format!(
+                "SELECT {time_col}, {value_col} FROM {source} ORDER BY {time_col}"
+            ))?;
+            let epochs = data.column_timestamps(&time_col)?;
+            let values = data.column_f64(&value_col)?;
+            if epochs.len() < 2 {
+                return Err(SqlError::Execution(
+                    "arima_train: need at least two samples".into(),
+                ));
             }
-        }
-        let model = LogisticRegression::fit(&x, &labels).ok_or_else(|| {
-            SqlError::Execution("logregr_train: fitting failed (degenerate data)".into())
-        })?;
-        db.execute(&format!("DROP TABLE IF EXISTS {output}"))?;
-        db.execute(&format!("CREATE TABLE {output} (idx int, coef float)"))?;
-        let rows: Vec<Vec<Value>> = model
-            .coefficients
+            let step = epochs[1] - epochs[0];
+            let model = Arima::fit(&values, spec).ok_or_else(|| {
+                SqlError::Execution(
+                    "arima_train: series too short or degenerate for the requested orders".into(),
+                )
+            })?;
+
+            db.execute(&format!("DROP TABLE IF EXISTS {output}"))?;
+            db.execute(&format!(
+                "CREATE TABLE {output} (kind text, idx int, value float)"
+            ))?;
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            let mut push = |kind: &str, idx: i64, value: f64| {
+                rows.push(vec![
+                    Value::Text(kind.into()),
+                    Value::Int(idx),
+                    Value::Float(value),
+                ]);
+            };
+            for (k, v) in model.phi.iter().enumerate() {
+                push("phi", k as i64, *v);
+            }
+            for (k, v) in model.theta.iter().enumerate() {
+                push("theta", k as i64, *v);
+            }
+            for (k, v) in [
+                spec.p as f64,
+                spec.d as f64,
+                spec.q as f64,
+                spec.seasonal_d as f64,
+                spec.season as f64,
+                model.mean,
+                model.sigma,
+                *epochs.last().unwrap() as f64,
+                step as f64,
+            ]
             .iter()
             .enumerate()
-            .map(|(i, c)| vec![Value::Int(i as i64), Value::Float(*c)])
-            .collect();
-        db.insert_rows(&output, rows)?;
-        Ok(Value::Text(output))
-    });
+            {
+                push("meta", k as i64, *v);
+            }
+            for (k, v) in model.series.iter().enumerate() {
+                push("series", k as i64, *v);
+            }
+            for (k, v) in model.residuals.iter().enumerate() {
+                push("residual", k as i64, *v);
+            }
+            db.insert_rows(&output, rows)?;
+            Ok(Value::Text(output))
+        });
 
-    db.register_scalar("logregr_prob", |db, args| {
-        let table = text_arg(args, 0, "logregr_prob")?;
-        ident_ok(&table)?;
-        let coef_rows = db.execute(&format!("SELECT coef FROM {table} ORDER BY idx"))?;
-        let coefficients: Vec<f64> = coef_rows
-            .rows
-            .iter()
-            .map(|r| r[0].as_f64())
-            .collect::<SqlResult<_>>()?;
-        if coefficients.len() != args.len() {
-            return Err(SqlError::Type(format!(
-                "logregr_prob: model '{table}' expects {} features, got {}",
-                coefficients.len() - 1,
-                args.len() - 1
-            )));
-        }
-        let features: Vec<f64> = args[1..]
-            .iter()
-            .map(|v| v.as_f64())
-            .collect::<SqlResult<_>>()?;
-        let model = LogisticRegression {
-            coefficients,
-            iterations: 0,
-        };
-        Ok(Value::Float(model.predict_prob(&features)))
-    });
+    db.udf("arima_forecast")
+        .arg("output_table", ArgKind::Text)
+        .arg("steps", ArgKind::Int)
+        .table(|db, args| {
+            let table = args.text(0).to_string();
+            ident_ok(&table)?;
+            let steps = args.i64(1);
+            if steps <= 0 || steps > 1_000_000 {
+                return Err(SqlError::Type("arima_forecast: steps out of range".into()));
+            }
+            let model_rows = db.execute(&format!(
+                "SELECT kind, idx, value FROM {table} ORDER BY kind, idx"
+            ))?;
+            let mut phi = Vec::new();
+            let mut theta = Vec::new();
+            let mut meta = Vec::new();
+            let mut series = Vec::new();
+            let mut residuals = Vec::new();
+            for row in &model_rows.rows {
+                let kind = row[0].as_str()?;
+                let value = row[2].as_f64()?;
+                match kind {
+                    "phi" => phi.push(value),
+                    "theta" => theta.push(value),
+                    "meta" => meta.push(value),
+                    "series" => series.push(value),
+                    "residual" => residuals.push(value),
+                    other => {
+                        return Err(SqlError::Execution(format!(
+                            "arima_forecast: unknown model row kind '{other}'"
+                        )))
+                    }
+                }
+            }
+            if meta.len() < 9 {
+                return Err(SqlError::Execution(format!(
+                    "arima_forecast: '{table}' is not an arima_train output table"
+                )));
+            }
+            let spec = ArimaSpec {
+                p: meta[0] as usize,
+                d: meta[1] as usize,
+                q: meta[2] as usize,
+                seasonal_d: meta[3] as usize,
+                season: meta[4] as usize,
+            };
+            let model = Arima {
+                spec,
+                phi,
+                theta,
+                mean: meta[5],
+                sigma: meta[6],
+                series,
+                residuals,
+            };
+            let last_epoch = meta[7] as i64;
+            let step = meta[8] as i64;
+            let forecast = model.forecast(steps as usize);
+            let mut q = QueryResult::new(vec!["time".into(), "value".into()]);
+            for (i, v) in forecast.into_iter().enumerate() {
+                q.rows.push(vec![
+                    Value::Timestamp(last_epoch + (i as i64 + 1) * step),
+                    Value::Float(v),
+                ]);
+            }
+            Ok(q)
+        });
+
+    db.udf("logregr_train")
+        .arg("source_table", ArgKind::Text)
+        .arg("output_table", ArgKind::Text)
+        .arg("dep_col", ArgKind::Text)
+        .arg("indep_cols", ArgKind::Text)
+        .scalar(|db, args| {
+            let source = args.text(0).to_string();
+            let output = args.text(1).to_string();
+            let dep = args.text(2).to_string();
+            let indep_raw = args.text(3).to_string();
+            ident_ok(&source)?;
+            ident_ok(&output)?;
+            ident_ok(&dep)?;
+            let indep: Vec<String> = indep_raw
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if indep.is_empty() {
+                return Err(SqlError::Type(
+                    "logregr_train: no independent columns given".into(),
+                ));
+            }
+            for c in &indep {
+                ident_ok(c)?;
+            }
+            let data = db.execute(&format!("SELECT {dep}, {} FROM {source}", indep.join(", ")))?;
+            let y = data.column_f64(&dep)?;
+            let labels: Vec<f64> = y.iter().map(|v| f64::from(*v > 0.5)).collect();
+            let mut x = vec![Vec::with_capacity(indep.len()); data.len()];
+            for c in &indep {
+                let col = data.column_f64(c)?;
+                for (row, v) in x.iter_mut().zip(col) {
+                    row.push(v);
+                }
+            }
+            let model = LogisticRegression::fit(&x, &labels).ok_or_else(|| {
+                SqlError::Execution("logregr_train: fitting failed (degenerate data)".into())
+            })?;
+            db.execute(&format!("DROP TABLE IF EXISTS {output}"))?;
+            db.execute(&format!("CREATE TABLE {output} (idx int, coef float)"))?;
+            let rows: Vec<Vec<Value>> = model
+                .coefficients
+                .iter()
+                .enumerate()
+                .map(|(i, c)| vec![Value::Int(i as i64), Value::Float(*c)])
+                .collect();
+            db.insert_rows(&output, rows)?;
+            Ok(Value::Text(output))
+        });
+
+    db.udf("logregr_prob")
+        .arg("output_table", ArgKind::Text)
+        .variadic(ArgKind::Float)
+        .scalar(|db, args| {
+            let table = args.text(0).to_string();
+            ident_ok(&table)?;
+            let coefficients: Vec<f64> =
+                db.query_as(&format!("SELECT coef FROM {table} ORDER BY idx"), &[])?;
+            let features: Vec<f64> = args
+                .rest(1)
+                .iter()
+                .map(|v| v.as_f64())
+                .collect::<SqlResult<_>>()?;
+            if coefficients.is_empty() {
+                return Err(SqlError::Type(format!(
+                    "logregr_prob: model '{table}' has no coefficients"
+                )));
+            }
+            if coefficients.len() != features.len() + 1 {
+                return Err(SqlError::Type(format!(
+                    "logregr_prob: model '{table}' expects {} features, got {}",
+                    coefficients.len() - 1,
+                    features.len()
+                )));
+            }
+            let model = LogisticRegression {
+                coefficients,
+                iterations: 0,
+            };
+            Ok(Value::Float(model.predict_prob(&features)))
+        });
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Criterion bench for Figure 6: the cost of G+LaG vs LO at one similar
 //! (10%) dissimilarity point — the ratio that makes the MI optimization
-//! worthwhile.
+//! worthwhile — plus the SQL side of the same workload, contrasting
+//! string-interpolated statements against prepared `$n` binds.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -9,6 +10,7 @@ use std::sync::Arc;
 use pgfmu_bench::Profile;
 use pgfmu_estimation::{estimate_lo, estimate_si, MeasurementData, SimulationObjective};
 use pgfmu_fmi::builtin;
+use pgfmu_sqlmini::{format_timestamp, params, Database, Value};
 
 fn objective(data: &MeasurementData) -> SimulationObjective {
     let fmu = Arc::new(builtin::hp1());
@@ -51,6 +53,77 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let out = estimate_lo(&objective(&scaled_data), &anchor.params, &profile.config);
             black_box(out.rmse)
+        })
+    });
+
+    // --- The SQL side of the same workload: feeding a sweep point's
+    // dataset into the engine and reading it back. Interpolated statements
+    // build a distinct text per row; at fleet scale those overflow any
+    // bounded cache, so the cache is capped below the row count here to
+    // measure the steady-state re-parse regime. The bound path prepares
+    // one plan and varies only the `$n` values.
+    let db = Database::new();
+    db.execute("CREATE TABLE m (ts timestamp, x float, u float)")
+        .unwrap();
+    db.set_stmt_cache_capacity(32);
+    let ts = &scaled.timestamps;
+    let xs = scaled.column("x").unwrap();
+    let us = scaled.column("u").unwrap();
+    assert!(ts.len() > 32, "feed bench must overflow the capped cache");
+
+    c.bench_function("fig6_feed_interpolated", |b| {
+        b.iter(|| {
+            for i in 0..ts.len() {
+                db.execute(&format!(
+                    "INSERT INTO m VALUES ('{}', {}, {})",
+                    format_timestamp(ts[i]),
+                    xs[i],
+                    us[i]
+                ))
+                .unwrap();
+            }
+            black_box(db.execute("DELETE FROM m").unwrap().len())
+        })
+    });
+
+    let feed = db.prepare("INSERT INTO m VALUES ($1, $2, $3)").unwrap();
+    c.bench_function("fig6_feed_bound", |b| {
+        b.iter(|| {
+            for i in 0..ts.len() {
+                feed.query(params![Value::Timestamp(ts[i]), xs[i], us[i]])
+                    .unwrap();
+            }
+            black_box(db.execute("DELETE FROM m").unwrap().len())
+        })
+    });
+
+    // Read-back: a repeated identical text (the statement cache's best
+    // case, so restore the default capacity) against the same plan with a
+    // bound cutoff.
+    db.set_stmt_cache_capacity(pgfmu_sqlmini::DEFAULT_STMT_CACHE_CAPACITY);
+    for i in 0..ts.len() {
+        feed.query(params![Value::Timestamp(ts[i]), xs[i], us[i]])
+            .unwrap();
+    }
+    let cutoff = ts[ts.len() / 2];
+    let interpolated = format!(
+        "SELECT count(*), avg(x), avg(u) FROM m WHERE ts >= timestamp '{}'",
+        format_timestamp(cutoff)
+    );
+    c.bench_function("fig6_query_interpolated_cached", |b| {
+        b.iter(|| black_box(db.execute(&interpolated).unwrap().len()))
+    });
+    let bound = db
+        .prepare("SELECT count(*), avg(x), avg(u) FROM m WHERE ts >= $1")
+        .unwrap();
+    c.bench_function("fig6_query_bound", |b| {
+        b.iter(|| {
+            black_box(
+                bound
+                    .query(params![Value::Timestamp(cutoff)])
+                    .unwrap()
+                    .len(),
+            )
         })
     });
 }

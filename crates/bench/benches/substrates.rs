@@ -7,21 +7,23 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use pgfmu_fmi::{archive, builtin, InputSeries, InputSet, Interpolation, SimulationOptions};
-use pgfmu_sqlmini::Database;
+use pgfmu_sqlmini::{params, parse_timestamp, Database, Value};
 
 fn bench(c: &mut Criterion) {
     // --- SQL: prepared (cached) vs uncached execution. ---------------------
     let db = Database::new();
     db.execute("CREATE TABLE m (ts timestamp, x float, u float)")
         .unwrap();
-    for i in 0..500 {
-        db.execute(&format!(
-            "INSERT INTO m VALUES (timestamp '2015-02-01 00:00' + interval '{i} hours', \
-             {}, {})",
-            20.0 + (i % 7) as f64,
-            (i % 10) as f64 / 10.0
-        ))
-        .unwrap();
+    let t0 = parse_timestamp("2015-02-01 00:00").unwrap();
+    let insert = db.prepare("INSERT INTO m VALUES ($1, $2, $3)").unwrap();
+    for i in 0..500i64 {
+        insert
+            .query(params![
+                Value::Timestamp(t0 + i * 3600),
+                20.0 + (i % 7) as f64,
+                (i % 10) as f64 / 10.0
+            ])
+            .unwrap();
     }
     c.bench_function("sql_select_cached_statement", |b| {
         b.iter(|| {
@@ -40,6 +42,13 @@ fn bench(c: &mut Criterion) {
                     .len(),
             )
         })
+    });
+    let bound = db.prepare("SELECT ts, x, u FROM m WHERE x > $1").unwrap();
+    c.bench_function("sql_select_bound_statement", |b| {
+        b.iter(|| black_box(bound.query(params![21.0]).unwrap().len()))
+    });
+    c.bench_function("sql_select_bound_streaming", |b| {
+        b.iter(|| black_box(bound.query_rows(params![21.0]).unwrap().count()))
     });
 
     // --- FMU simulation (one month hourly, RK4). ----------------------------

@@ -15,11 +15,12 @@ fn bench(c: &mut Criterion) {
     // The counter must outlive criterion's repeated sampling phases, or
     // instance identifiers would collide across phases.
     let counter = std::sync::atomic::AtomicUsize::new(0);
+    let create = s.prepare("SELECT fmu_create($1, $2)").unwrap();
     c.bench_function("table8_load_fmu_create", |b| {
         b.iter(|| {
             let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let q = s
-                .execute(&format!("SELECT fmu_create('HP1', 'probe{i}')"))
+            let q = create
+                .query(pgfmu::params!["HP1", format!("probe{i}")])
                 .unwrap();
             black_box(q.len())
         })

@@ -4,10 +4,14 @@
 //! repro [EXPERIMENT…] [--full] [--instances N]
 //!
 //! EXPERIMENT: table1 table2 table3 table4 table7 table8 fig6 fig7 fig8
-//!             madlib  (default: all)
+//!             madlib bench  (default: all)
 //! --full        paper-scale workloads (100 instances, full datasets)
 //! --instances N override the MI instance count
 //! ```
+//!
+//! `bench` times the SQL hot paths (parse, cached interpolation, `$n`
+//! binds, streaming) and writes the per-bench median nanoseconds to
+//! `BENCH_PR2.json` so the performance trajectory accumulates across PRs.
 
 use pgfmu_bench::report::{fmt_secs, render};
 use pgfmu_bench::setup::{bench_session, ModelKind, ALL_MODELS};
@@ -71,6 +75,117 @@ fn main() {
     if want("madlib") {
         run_madlib(&profile);
     }
+    if want("bench") {
+        run_bench_json("BENCH_PR2.json");
+    }
+}
+
+/// Median-of-N wall time of one closure, in nanoseconds.
+fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
+    f(); // warm-up: fill caches, fault pages
+    let mut samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Time the SQL hot paths and write `{name: median_ns}` JSON.
+fn run_bench_json(path: &str) {
+    use pgfmu_sqlmini::{format_timestamp, params, Database, Value};
+
+    println!("== Hot-path microbenchmarks -> {path} ==");
+    let data = pgfmu_datagen::hp::hp1_dataset(7).slice(0, 168);
+    let db = Database::new();
+    data.load_into(&db, "m").unwrap();
+    let ts = &data.timestamps;
+    let xs = data.column("x").unwrap();
+    let us = data.column("u").unwrap();
+    let n_rows = ts.len();
+
+    let select = "SELECT count(*), avg(x), avg(u) FROM m WHERE x > 20.0";
+    let mut results: Vec<(&str, u128)> = Vec::new();
+
+    results.push((
+        "sql_select_uncached_parse",
+        median_ns(40, || {
+            db.execute_uncached(select).unwrap();
+        }),
+    ));
+    results.push((
+        "sql_select_interpolated_cached",
+        median_ns(40, || {
+            db.execute(select).unwrap();
+        }),
+    ));
+    let bound = db
+        .prepare("SELECT count(*), avg(x), avg(u) FROM m WHERE x > $1")
+        .unwrap();
+    results.push((
+        "sql_select_bound",
+        median_ns(40, || {
+            bound.query(params![20.0]).unwrap();
+        }),
+    ));
+    let stream = db.prepare("SELECT ts, x, u FROM m WHERE x > $1").unwrap();
+    results.push((
+        "sql_select_bound_streaming",
+        median_ns(40, || {
+            assert!(stream.query_rows(params![20.0]).unwrap().count() > 0);
+        }),
+    ));
+    db.execute("CREATE TABLE scratch (ts timestamp, x float, u float)")
+        .unwrap();
+    // Interpolated inserts build a distinct text per row; cap the cache
+    // below the row count so the measurement reflects the steady-state
+    // re-parse regime of unbounded distinct texts (fleet scale), not a
+    // warm cache that a real workload would overflow.
+    db.set_stmt_cache_capacity(32);
+    results.push((
+        "sql_insert_interpolated_per_row",
+        median_ns(20, || {
+            for i in 0..n_rows {
+                db.execute(&format!(
+                    "INSERT INTO scratch VALUES ('{}', {}, {})",
+                    format_timestamp(ts[i]),
+                    xs[i],
+                    us[i]
+                ))
+                .unwrap();
+            }
+            db.execute("DELETE FROM scratch").unwrap();
+        }) / (n_rows as u128 + 1),
+    ));
+    let insert = db
+        .prepare("INSERT INTO scratch VALUES ($1, $2, $3)")
+        .unwrap();
+    results.push((
+        "sql_insert_bound_per_row",
+        median_ns(20, || {
+            for i in 0..n_rows {
+                insert
+                    .query(params![Value::Timestamp(ts[i]), xs[i], us[i]])
+                    .unwrap();
+            }
+            db.execute("DELETE FROM scratch").unwrap();
+        }) / (n_rows as u128 + 1),
+    ));
+
+    let mut json = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        json.push_str(&format!("  \"{name}\": {ns}"));
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("}\n");
+    std::fs::write(path, &json).unwrap();
+    for (name, ns) in &results {
+        println!("{name:34} {ns:>12} ns (median)");
+    }
+    println!("wrote {path}\n");
 }
 
 fn run_table1() {

@@ -82,12 +82,15 @@ pub fn run_model(model: ModelKind, profile: &Profile) -> MiScaling {
         s.set_mi_enabled(mi);
         let mut ids = vec![bench.instance.clone()];
         let mut sqls = Vec::new();
+        // One prepared statement drives every per-instance copy: the plan
+        // is parsed once, the instance ids are bound per execution.
+        let copy = s.prepare("SELECT fmu_copy($1, $2)").unwrap();
         for (i, (_, data)) in datasets.iter().enumerate() {
             let table = format!("mi{i}");
             data.load_into(s.db(), &table).unwrap();
             if i > 0 {
                 let id = format!("{}Instance{}", model.name(), i + 1);
-                s.execute(&format!("SELECT fmu_copy('{}', '{id}')", bench.instance))
+                copy.query(pgfmu_sqlmini::params![bench.instance.as_str(), id.as_str()])
                     .unwrap();
                 ids.push(id);
             }

@@ -6,7 +6,7 @@
 //! regression classifying the damper position improves accuracy
 //! (paper: +5.9%).
 
-use pgfmu::PgFmu;
+use pgfmu::{params, PgFmu, Value};
 use pgfmu_datagen::classroom::classroom_dataset;
 
 /// Results of combined experiment 1.
@@ -41,49 +41,63 @@ impl LogisticCombo {
     }
 }
 
-fn session_with_classroom(seed: u64, samples: usize) -> (PgFmu, usize, String, usize) {
+fn session_with_classroom(seed: u64, samples: usize) -> (PgFmu, usize, i64, usize) {
     let s = PgFmu::new().expect("session");
     let data = classroom_dataset(seed).slice(0, samples);
     data.load_into(s.db(), "classroom").unwrap();
     let split = (data.len() as f64 * 0.8) as usize;
-    let split_ts = pgfmu_sqlmini::format_timestamp(data.timestamps[split]);
-    s.execute("SELECT fmu_create('Classroom', 'Room1')")
+    let split_epoch = data.timestamps[split];
+    s.query("SELECT fmu_create($1, $2)", params!["Classroom", "Room1"])
         .unwrap();
     let len = data.len();
-    (s, split, split_ts, len)
+    (s, split, split_epoch, len)
 }
 
 /// Run combined experiment 1 (see `examples/classroom_occupancy.rs` for
 /// the narrated version).
 pub fn run_arima(seed: u64, samples: usize) -> ArimaCombo {
-    let (s, split, split_ts, len) = session_with_classroom(seed, samples);
+    let (s, split, split_epoch, len) = session_with_classroom(seed, samples);
+    let split_ts = Value::Timestamp(split_epoch);
     s.execute("CREATE TABLE occupants (time timestamp, value float)")
         .unwrap();
-    s.execute(&format!(
-        "INSERT INTO occupants SELECT ts, occ FROM classroom \
-         WHERE ts < timestamp '{split_ts}'"
-    ))
+    s.query(
+        "INSERT INTO occupants SELECT ts, occ FROM classroom WHERE ts < $1",
+        params![split_ts.clone()],
+    )
     .unwrap();
     s.execute("SELECT arima_train('occupants', 'occ_model', 'time', 'value', '1,0,0,1,336')")
         .unwrap();
-    let horizon = len - split;
+    let horizon = (len - split) as i64;
     s.execute("CREATE TABLE occ_forecast (ts timestamp, occ float)")
         .unwrap();
-    s.execute(&format!(
+    s.query(
         "INSERT INTO occ_forecast SELECT time, greatest(0.0, value) \
-         FROM arima_forecast('occ_model', {horizon})"
-    ))
+         FROM arima_forecast($1, $2)",
+        params!["occ_model", horizon],
+    )
     .unwrap();
+
+    // One prepared warm-up statement serves every simulation pass; the
+    // training-window input_sql is bound as a plain text parameter, so the
+    // nested quotes no longer need doubling.
+    let warm_up = s
+        .prepare("SELECT count(*) FROM fmu_simulate($1, $2)")
+        .unwrap();
+    let warm_up_sql = format!(
+        "SELECT * FROM classroom WHERE ts <= timestamp '{}'",
+        pgfmu_sqlmini::format_timestamp(split_epoch)
+    );
 
     let rmse_for = |label: &str, occ_expr: &str| -> f64 {
         // Warm-up over the training window leaves a clean state estimate.
-        s.execute("SELECT fmu_set_initial('Room1', 't', 21.0)")
-            .unwrap();
-        s.execute(&format!(
-            "SELECT count(*) FROM fmu_simulate('Room1', \
-             'SELECT * FROM classroom WHERE ts <= timestamp ''{split_ts}''')"
-        ))
+        s.query(
+            "SELECT fmu_set_initial($1, $2, $3)",
+            params!["Room1", "t", 21.0],
+        )
         .unwrap();
+        warm_up
+            .query(params!["Room1", warm_up_sql.as_str()])
+            .unwrap();
         s.execute(&format!("DROP TABLE IF EXISTS inp_{label}"))
             .unwrap();
         s.execute(&format!(
@@ -91,10 +105,13 @@ pub fn run_arima(seed: u64, samples: usize) -> ArimaCombo {
              occ float, dpos float, vpos float)"
         ))
         .unwrap();
-        s.execute(&format!(
-            "INSERT INTO inp_{label} SELECT ts, solrad, tout, {occ_expr}, dpos, vpos \
-             FROM classroom WHERE ts >= timestamp '{split_ts}'"
-        ))
+        s.query(
+            &format!(
+                "INSERT INTO inp_{label} SELECT ts, solrad, tout, {occ_expr}, dpos, vpos \
+                 FROM classroom WHERE ts >= $1"
+            ),
+            params![split_ts.clone()],
+        )
         .unwrap();
         s.execute(&format!("DROP TABLE IF EXISTS sim_{label}"))
             .unwrap();
@@ -102,10 +119,13 @@ pub fn run_arima(seed: u64, samples: usize) -> ArimaCombo {
             "CREATE TABLE sim_{label} (ts timestamp, i text, v text, value float)"
         ))
         .unwrap();
-        s.execute(&format!(
-            "INSERT INTO sim_{label} SELECT * FROM fmu_simulate('Room1', \
-             'SELECT * FROM inp_{label}') WHERE varname = 't'"
-        ))
+        s.query(
+            &format!(
+                "INSERT INTO sim_{label} SELECT * FROM fmu_simulate($1, $2) \
+                 WHERE varname = 't'"
+            ),
+            params!["Room1", format!("SELECT * FROM inp_{label}")],
+        )
         .unwrap();
         s.execute(&format!(
             "SELECT sqrt(avg((x.value - c.t) * (x.value - c.t))) \
@@ -131,18 +151,20 @@ pub fn run_arima(seed: u64, samples: usize) -> ArimaCombo {
     )
     .unwrap();
     let rmse_with_arima = {
-        s.execute("SELECT fmu_set_initial('Room1', 't', 21.0)")
-            .unwrap();
-        s.execute(&format!(
-            "SELECT count(*) FROM fmu_simulate('Room1', \
-             'SELECT * FROM classroom WHERE ts <= timestamp ''{split_ts}''')"
-        ))
+        s.query(
+            "SELECT fmu_set_initial($1, $2, $3)",
+            params!["Room1", "t", 21.0],
+        )
         .unwrap();
+        warm_up
+            .query(params!["Room1", warm_up_sql.as_str()])
+            .unwrap();
         s.execute("CREATE TABLE sim_arima (ts timestamp, i text, v text, value float)")
             .unwrap();
-        s.execute(
-            "INSERT INTO sim_arima SELECT * FROM fmu_simulate('Room1', \
-             'SELECT * FROM joined') WHERE varname = 't'",
+        s.query(
+            "INSERT INTO sim_arima SELECT * FROM fmu_simulate($1, $2) \
+             WHERE varname = 't'",
+            params!["Room1", "SELECT * FROM joined"],
         )
         .unwrap();
         s.execute(
@@ -163,17 +185,21 @@ pub fn run_arima(seed: u64, samples: usize) -> ArimaCombo {
 
 /// Run combined experiment 2.
 pub fn run_logistic(seed: u64, samples: usize) -> LogisticCombo {
-    let (s, _split, _split_ts, len) = session_with_classroom(seed, samples);
+    let (s, _split, _split_epoch, len) = session_with_classroom(seed, samples);
     // pgFMU-simulated temperature over the full window (true inputs).
     let t0 = classroom_dataset(seed).slice(0, samples);
     let start = t0.column("t").unwrap()[0];
-    s.execute(&format!("SELECT fmu_set_initial('Room1', 't', {start})"))
-        .unwrap();
+    s.query(
+        "SELECT fmu_set_initial($1, $2, $3)",
+        params!["Room1", "t", start],
+    )
+    .unwrap();
     s.execute("CREATE TABLE sim_full (ts timestamp, i text, v text, value float)")
         .unwrap();
-    s.execute(
-        "INSERT INTO sim_full SELECT * FROM fmu_simulate('Room1', \
-         'SELECT * FROM classroom') WHERE varname = 't'",
+    s.query(
+        "INSERT INTO sim_full SELECT * FROM fmu_simulate($1, $2) \
+         WHERE varname = 't'",
+        params!["Room1", "SELECT * FROM classroom"],
     )
     .unwrap();
     s.execute("CREATE TABLE damper (label float, occ float, solrad float, t float)")
@@ -189,13 +215,18 @@ pub fn run_logistic(seed: u64, samples: usize) -> LogisticCombo {
     s.execute("SELECT logregr_train('damper', 'm_temp', 'label', 'occ,solrad,t')")
         .unwrap();
     let acc = |model: &str, cols: &str| -> f64 {
-        let q = s
-            .execute(&format!(
-                "SELECT count(*) FROM damper WHERE \
-                 (logregr_prob('{model}', {cols}) >= 0.5) = (label >= 0.5)"
-            ))
+        // The model name binds; the feature columns are identifiers and
+        // stay interpolated.
+        let n: Vec<i64> = s
+            .query_as(
+                &format!(
+                    "SELECT count(*) FROM damper WHERE \
+                     (logregr_prob($1, {cols}) >= 0.5) = (label >= 0.5)"
+                ),
+                params![model],
+            )
             .unwrap();
-        q.rows[0][0].as_i64().unwrap() as f64 / len as f64
+        n[0] as f64 / len as f64
     };
     LogisticCombo {
         accuracy_base: acc("m_base", "occ, solrad"),

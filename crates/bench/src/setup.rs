@@ -116,10 +116,10 @@ pub fn bench_session(model: ModelKind, profile: &Profile) -> Bench {
         .expect("load measurements");
     let instance = format!("{}Instance1", model.name());
     session
-        .execute(&format!(
-            "SELECT fmu_create('{}', '{instance}')",
-            model.name()
-        ))
+        .query(
+            "SELECT fmu_create($1, $2)",
+            pgfmu::params![model.name(), instance.as_str()],
+        )
         .expect("fmu_create");
     Bench {
         session,

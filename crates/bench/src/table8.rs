@@ -80,10 +80,10 @@ pub fn time_pgfmu(model: ModelKind, profile: &Profile) -> OpTimings {
 
     // Step 1: load/build the FMU (a second instance hits the shared FMU).
     let t0 = Instant::now();
-    s.execute(&format!(
-        "SELECT fmu_create('{}', 'timing_probe')",
-        model.name()
-    ))
+    s.query(
+        "SELECT fmu_create($1, $2)",
+        pgfmu::params![model.name(), "timing_probe"],
+    )
     .unwrap();
     let load = t0.elapsed();
 

@@ -30,7 +30,38 @@
 //! `fmu_delete_instance`, `fmu_delete_model`, `fmu_parest` (with the
 //! multi-instance optimization of §6) and `fmu_simulate` (§7), plus the
 //! future-work `fmu_control` and the MADlib-like analytics UDFs of
-//! `pgfmu-analytics`.
+//! `pgfmu-analytics`. All of them are declared through the typed UDF
+//! builder ([`pgfmu_sqlmini::Database::udf`]), which centralizes argument
+//! coercion and arity errors.
+//!
+//! ## Prepared statements and typed decoding
+//!
+//! Beyond `execute`, the session exposes the full prepare/bind/decode
+//! surface of the engine — the paper's §7 "prepared SQL queries"
+//! optimization as a client API. [`PgFmu::prepare`] parses once (cached
+//! by text, bounded LRU); [`PgFmu::query`] binds `$1..$n` values without
+//! literal quoting; [`PgFmu::query_as`] decodes rows into Rust types via
+//! [`FromRow`]/[`FromValue`]; and [`pgfmu_sqlmini::Statement::query_rows`]
+//! streams results. Engine counters (statement-cache hit rate, per-UDF
+//! call counts) are queryable in SQL via `SELECT * FROM pgfmu_stats()`.
+//!
+//! ```
+//! use pgfmu::PgFmu;
+//! use pgfmu_sqlmini::params;
+//!
+//! let session = PgFmu::new().unwrap();
+//! session.execute("CREATE TABLE m (ts timestamp, u float)").unwrap();
+//! let insert = session.prepare("INSERT INTO m VALUES ($1, $2)").unwrap();
+//! for (h, u) in [(0i64, 0.3), (1, 0.9)] {
+//!     insert
+//!         .query(params![format!("2015-02-01 0{h}:00"), u])
+//!         .unwrap();
+//! }
+//! let rows: Vec<(i64, f64)> = session
+//!     .query_as("SELECT count(*), max(u) FROM m WHERE u > $1", params![0.0])
+//!     .unwrap();
+//! assert_eq!(rows, vec![(2, 0.9)]);
+//! ```
 
 pub mod arrays;
 pub mod control;
@@ -48,4 +79,6 @@ pub use simulate::TimeSpec;
 
 // Re-export the pieces users commonly touch alongside the session.
 pub use pgfmu_estimation::{EstimationConfig, Strategy};
-pub use pgfmu_sqlmini::{QueryResult, Value};
+pub use pgfmu_sqlmini::{
+    params, ArgKind, Args, FromRow, FromValue, QueryResult, Rows, Statement, Value,
+};

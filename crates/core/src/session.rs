@@ -14,7 +14,7 @@ use parking_lot::RwLock;
 use pgfmu_catalog::{Bound, FmuStorage, InstanceVariableRow, ModelCatalog, Uuid};
 use pgfmu_estimation::EstimationConfig;
 use pgfmu_fmi::Fmu;
-use pgfmu_sqlmini::{Database, QueryResult};
+use pgfmu_sqlmini::{Database, FromRow, QueryResult, Rows, Statement, Value};
 
 use crate::error::{PgFmuError, Result};
 use crate::parest::{run_parest, ParestReport};
@@ -71,6 +71,46 @@ impl PgFmu {
     /// Execute SQL in this session.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         Ok(self.inner.db.execute(sql)?)
+    }
+
+    /// Prepare a statement in this session — the parsed plan is cached by
+    /// query text, and `$1..$n` placeholders are bound per execution with
+    /// [`Statement::query`] / [`Statement::query_rows`] /
+    /// [`Statement::query_as`].
+    ///
+    /// ```
+    /// use pgfmu::PgFmu;
+    /// use pgfmu_sqlmini::params;
+    ///
+    /// let s = PgFmu::new().unwrap();
+    /// let create = s.prepare("SELECT fmu_create($1, $2)").unwrap();
+    /// create.query(params!["HP1", "HP1Instance1"]).unwrap();
+    /// let n: Vec<i64> = s
+    ///     .query_as(
+    ///         "SELECT count(*) FROM fmu_variables($1)",
+    ///         params!["HP1Instance1"],
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(n, vec![8]);
+    /// ```
+    pub fn prepare(&self, sql: &str) -> Result<Statement<'_>> {
+        Ok(self.inner.db.prepare(sql)?)
+    }
+
+    /// Prepare (with plan-cache reuse) and execute SQL with `$n` binds.
+    pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        Ok(self.inner.db.query(sql, params)?)
+    }
+
+    /// Prepare and execute SQL with binds, streaming result rows.
+    pub fn query_rows(&self, sql: &str, params: &[Value]) -> Result<Rows<'_>> {
+        Ok(self.inner.db.query_rows(sql, params)?)
+    }
+
+    /// Prepare, execute and decode each result row into `T` (scalars,
+    /// `Option<T>`, tuples — see [`FromRow`]).
+    pub fn query_as<T: FromRow>(&self, sql: &str, params: &[Value]) -> Result<Vec<T>> {
+        Ok(self.inner.db.query_as(sql, params)?)
     }
 
     /// Enable/disable the multi-instance optimization — the switch between

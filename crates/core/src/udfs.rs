@@ -9,10 +9,16 @@
 //! Set-returning UDFs (usable in `FROM`, including laterally):
 //! `fmu_variables`, `fmu_get`, `fmu_simulate`, `fmu_parest_report`,
 //! `fmu_control`.
+//!
+//! Every UDF is declared through the typed builder
+//! ([`Database::udf`]) with its argument signature, so argument coercion
+//! and arity/type errors are produced centrally (PostgreSQL-style
+//! messages) instead of per-UDF parsing code, and call counts surface in
+//! `pgfmu_stats()`.
 
 use std::sync::{Arc, Weak};
 
-use pgfmu_sqlmini::{Database, QueryResult, SqlError, Value};
+use pgfmu_sqlmini::{ArgKind, Args, Database, QueryResult, SqlError, Value};
 
 use crate::arrays::{format_float_array, parse_ident_array, parse_sql_array};
 use crate::session::Session;
@@ -25,21 +31,6 @@ fn session(weak: &Weak<Session>) -> SqlResult<Arc<Session>> {
         .ok_or_else(|| SqlError::Execution("pgFMU session has been closed".into()))
 }
 
-fn text_arg(args: &[Value], i: usize, fn_name: &str) -> SqlResult<String> {
-    args.get(i)
-        .ok_or_else(|| SqlError::Type(format!("{fn_name}: missing argument {}", i + 1)))?
-        .as_str()
-        .map(str::to_string)
-        .map_err(|_| SqlError::Type(format!("{fn_name}: argument {} must be text", i + 1)))
-}
-
-fn f64_arg(args: &[Value], i: usize, fn_name: &str) -> SqlResult<f64> {
-    args.get(i)
-        .ok_or_else(|| SqlError::Type(format!("{fn_name}: missing argument {}", i + 1)))?
-        .as_f64()
-        .map_err(|_| SqlError::Type(format!("{fn_name}: argument {} must be numeric", i + 1)))
-}
-
 fn opt_f64(v: Option<f64>) -> Value {
     match v {
         Some(x) => Value::Float(x),
@@ -47,291 +38,286 @@ fn opt_f64(v: Option<f64>) -> Value {
     }
 }
 
+/// Decode the shared `(instanceIds, input_sqls, [pars], [threshold])`
+/// argument block of `fmu_parest` / `fmu_parest_report`.
+type ParestArgs = (Vec<String>, Vec<String>, Option<Vec<String>>, Option<f64>);
+
+fn parest_args(args: &Args) -> ParestArgs {
+    let ids = parse_ident_array(args.text(0));
+    let sqls = parse_sql_array(args.text(1));
+    let pars = args
+        .opt_text(2)
+        .map(parse_ident_array)
+        .filter(|p| !p.is_empty());
+    let threshold = args.opt_f64(3);
+    (ids, sqls, pars, threshold)
+}
+
 /// Register every pgFMU UDF on the database.
 pub(crate) fn register_all(db: &Database, weak: Weak<Session>) {
     // ---- fmu_create ---------------------------------------------------------
     let w = weak.clone();
-    db.register_scalar("fmu_create", move |_db, args| {
-        let s = session(&w)?;
-        if args.is_empty() || args.len() > 2 {
-            return Err(SqlError::Type(
-                "fmu_create(modelRef, [instanceId]) takes one or two arguments".into(),
-            ));
-        }
-        let a = text_arg(args, 0, "fmu_create")?;
-        let instance = if args.len() == 2 {
-            Some(text_arg(args, 1, "fmu_create")?)
-        } else {
-            None
-        };
-        // The paper's examples pass (modelRef, instanceId) and
-        // (instanceId, modelRef) interchangeably; detect which is which.
-        let (model_ref, instance_id) = match &instance {
-            Some(b) if !s.looks_like_model_ref(&a) && s.looks_like_model_ref(b) => {
-                (b.clone(), Some(a))
-            }
-            _ => (a, instance),
-        };
-        let id = s.fmu_create(&model_ref, instance_id.as_deref())?;
-        Ok(Value::Text(id))
-    });
+    db.udf("fmu_create")
+        .arg("modelref", ArgKind::Text)
+        .opt_arg("instanceid", ArgKind::Text)
+        .scalar(move |_db, args| {
+            let s = session(&w)?;
+            let a = args.text(0).to_string();
+            let instance = args.opt_text(1).map(str::to_string);
+            // The paper's examples pass (modelRef, instanceId) and
+            // (instanceId, modelRef) interchangeably; detect which is which.
+            let (model_ref, instance_id) = match &instance {
+                Some(b) if !s.looks_like_model_ref(&a) && s.looks_like_model_ref(b) => {
+                    (b.clone(), Some(a))
+                }
+                _ => (a, instance),
+            };
+            let id = s.fmu_create(&model_ref, instance_id.as_deref())?;
+            Ok(Value::Text(id))
+        });
 
     // ---- fmu_copy ------------------------------------------------------------
     let w = weak.clone();
-    db.register_scalar("fmu_copy", move |_db, args| {
-        let s = session(&w)?;
-        let src = text_arg(args, 0, "fmu_copy")?;
-        let dst = if args.len() > 1 {
-            Some(text_arg(args, 1, "fmu_copy")?)
-        } else {
-            None
-        };
-        let id = s.catalog.copy_instance(&src, dst.as_deref())?;
-        Ok(Value::Text(id))
-    });
+    db.udf("fmu_copy")
+        .arg("instanceid", ArgKind::Text)
+        .opt_arg("instanceid2", ArgKind::Text)
+        .scalar(move |_db, args| {
+            let s = session(&w)?;
+            let id = s.catalog.copy_instance(args.text(0), args.opt_text(1))?;
+            Ok(Value::Text(id))
+        });
 
     // ---- setters / reset / deletes --------------------------------------------
     let w = weak.clone();
-    db.register_scalar("fmu_set_initial", move |_db, args| {
-        let s = session(&w)?;
-        let id = text_arg(args, 0, "fmu_set_initial")?;
-        let var = text_arg(args, 1, "fmu_set_initial")?;
-        let value = f64_arg(args, 2, "fmu_set_initial")?;
-        s.catalog.set_value(&id, &var, value)?;
-        Ok(Value::Text(id))
-    });
+    db.udf("fmu_set_initial")
+        .arg("instanceid", ArgKind::Text)
+        .arg("varname", ArgKind::Text)
+        .arg("value", ArgKind::Float)
+        .scalar(move |_db, args| {
+            let s = session(&w)?;
+            s.catalog
+                .set_value(args.text(0), args.text(1), args.f64(2))?;
+            Ok(Value::Text(args.text(0).to_string()))
+        });
     let w = weak.clone();
-    db.register_scalar("fmu_set_minimum", move |_db, args| {
-        let s = session(&w)?;
-        let id = text_arg(args, 0, "fmu_set_minimum")?;
-        let var = text_arg(args, 1, "fmu_set_minimum")?;
-        let value = f64_arg(args, 2, "fmu_set_minimum")?;
-        s.catalog
-            .set_bound(&id, &var, pgfmu_catalog::Bound::Min, value)?;
-        Ok(Value::Text(id))
-    });
+    db.udf("fmu_set_minimum")
+        .arg("instanceid", ArgKind::Text)
+        .arg("varname", ArgKind::Text)
+        .arg("value", ArgKind::Float)
+        .scalar(move |_db, args| {
+            let s = session(&w)?;
+            s.catalog.set_bound(
+                args.text(0),
+                args.text(1),
+                pgfmu_catalog::Bound::Min,
+                args.f64(2),
+            )?;
+            Ok(Value::Text(args.text(0).to_string()))
+        });
     let w = weak.clone();
-    db.register_scalar("fmu_set_maximum", move |_db, args| {
-        let s = session(&w)?;
-        let id = text_arg(args, 0, "fmu_set_maximum")?;
-        let var = text_arg(args, 1, "fmu_set_maximum")?;
-        let value = f64_arg(args, 2, "fmu_set_maximum")?;
-        s.catalog
-            .set_bound(&id, &var, pgfmu_catalog::Bound::Max, value)?;
-        Ok(Value::Text(id))
-    });
+    db.udf("fmu_set_maximum")
+        .arg("instanceid", ArgKind::Text)
+        .arg("varname", ArgKind::Text)
+        .arg("value", ArgKind::Float)
+        .scalar(move |_db, args| {
+            let s = session(&w)?;
+            s.catalog.set_bound(
+                args.text(0),
+                args.text(1),
+                pgfmu_catalog::Bound::Max,
+                args.f64(2),
+            )?;
+            Ok(Value::Text(args.text(0).to_string()))
+        });
     let w = weak.clone();
-    db.register_scalar("fmu_reset", move |_db, args| {
-        let s = session(&w)?;
-        let id = text_arg(args, 0, "fmu_reset")?;
-        s.catalog.reset_instance(&id)?;
-        Ok(Value::Text(id))
-    });
+    db.udf("fmu_reset")
+        .arg("instanceid", ArgKind::Text)
+        .scalar(move |_db, args| {
+            let s = session(&w)?;
+            s.catalog.reset_instance(args.text(0))?;
+            Ok(Value::Text(args.text(0).to_string()))
+        });
     let w = weak.clone();
-    db.register_scalar("fmu_delete_instance", move |_db, args| {
-        let s = session(&w)?;
-        let id = text_arg(args, 0, "fmu_delete_instance")?;
-        s.catalog.delete_instance(&id)?;
-        Ok(Value::Text(id))
-    });
+    db.udf("fmu_delete_instance")
+        .arg("instanceid", ArgKind::Text)
+        .scalar(move |_db, args| {
+            let s = session(&w)?;
+            s.catalog.delete_instance(args.text(0))?;
+            Ok(Value::Text(args.text(0).to_string()))
+        });
     let w = weak.clone();
-    db.register_scalar("fmu_delete_model", move |_db, args| {
-        let s = session(&w)?;
-        let model = text_arg(args, 0, "fmu_delete_model")?;
-        s.fmu_delete_model(&model)?;
-        Ok(Value::Text(model))
-    });
+    db.udf("fmu_delete_model")
+        .arg("modelref", ArgKind::Text)
+        .scalar(move |_db, args| {
+            let s = session(&w)?;
+            s.fmu_delete_model(args.text(0))?;
+            Ok(Value::Text(args.text(0).to_string()))
+        });
 
     // ---- MI switch (pgFMU+ / pgFMU−) -------------------------------------------
     let w = weak.clone();
-    db.register_scalar("fmu_mi_optimization", move |_db, args| {
-        let s = session(&w)?;
-        let enabled = match args.first() {
-            Some(Value::Bool(b)) => *b,
-            Some(Value::Text(t)) => matches!(t.as_str(), "on" | "true" | "1"),
-            _ => {
-                return Err(SqlError::Type(
-                    "fmu_mi_optimization(on|off) takes one boolean/text argument".into(),
-                ))
-            }
-        };
-        s.mi_enabled
-            .store(enabled, std::sync::atomic::Ordering::Relaxed);
-        Ok(Value::Bool(enabled))
-    });
+    db.udf("fmu_mi_optimization")
+        .arg("enabled", ArgKind::Bool)
+        .scalar(move |_db, args| {
+            let s = session(&w)?;
+            let enabled = args.boolean(0);
+            s.mi_enabled
+                .store(enabled, std::sync::atomic::Ordering::Relaxed);
+            Ok(Value::Bool(enabled))
+        });
 
     // ---- fmu_variables ----------------------------------------------------------
     let w = weak.clone();
-    db.register_table_fn("fmu_variables", move |_db, args| {
-        let s = session(&w)?;
-        let id = text_arg(args, 0, "fmu_variables")?;
-        let rows = s.catalog.variables(&id)?;
-        let mut q = QueryResult::new(vec![
-            "instanceid".into(),
-            "varname".into(),
-            "vartype".into(),
-            "initialvalue".into(),
-            "minvalue".into(),
-            "maxvalue".into(),
-        ]);
-        for r in rows {
-            q.rows.push(vec![
-                Value::Text(r.instance_id),
-                Value::Text(r.var_name),
-                Value::Text(r.var_type),
-                opt_f64(r.value),
-                opt_f64(r.min_value),
-                opt_f64(r.max_value),
+    db.udf("fmu_variables")
+        .arg("instanceid", ArgKind::Text)
+        .table(move |_db, args| {
+            let s = session(&w)?;
+            let rows = s.catalog.variables(args.text(0))?;
+            let mut q = QueryResult::new(vec![
+                "instanceid".into(),
+                "varname".into(),
+                "vartype".into(),
+                "initialvalue".into(),
+                "minvalue".into(),
+                "maxvalue".into(),
             ]);
-        }
-        Ok(q)
-    });
+            for r in rows {
+                q.rows.push(vec![
+                    Value::Text(r.instance_id),
+                    Value::Text(r.var_name),
+                    Value::Text(r.var_type),
+                    opt_f64(r.value),
+                    opt_f64(r.min_value),
+                    opt_f64(r.max_value),
+                ]);
+            }
+            Ok(q)
+        });
 
     // ---- fmu_get -------------------------------------------------------------------
     let w = weak.clone();
-    db.register_table_fn("fmu_get", move |_db, args| {
-        let s = session(&w)?;
-        let id = text_arg(args, 0, "fmu_get")?;
-        let var = text_arg(args, 1, "fmu_get")?;
-        let (value, min, max) = s.catalog.get_value(&id, &var)?;
-        let mut q = QueryResult::new(vec![
-            "initialvalue".into(),
-            "minvalue".into(),
-            "maxvalue".into(),
-        ]);
-        q.rows
-            .push(vec![opt_f64(value), opt_f64(min), opt_f64(max)]);
-        Ok(q)
-    });
+    db.udf("fmu_get")
+        .arg("instanceid", ArgKind::Text)
+        .arg("varname", ArgKind::Text)
+        .table(move |_db, args| {
+            let s = session(&w)?;
+            let (value, min, max) = s.catalog.get_value(args.text(0), args.text(1))?;
+            let mut q = QueryResult::new(vec![
+                "initialvalue".into(),
+                "minvalue".into(),
+                "maxvalue".into(),
+            ]);
+            q.rows
+                .push(vec![opt_f64(value), opt_f64(min), opt_f64(max)]);
+            Ok(q)
+        });
 
     // ---- fmu_parest (scalar, the paper's surface) -----------------------------------
     let w = weak.clone();
-    db.register_scalar("fmu_parest", move |_db, args| {
-        let s = session(&w)?;
-        let ids = parse_ident_array(&text_arg(args, 0, "fmu_parest")?);
-        let sqls = parse_sql_array(&text_arg(args, 1, "fmu_parest")?);
-        let pars = if args.len() > 2 {
-            let parsed = parse_ident_array(&text_arg(args, 2, "fmu_parest")?);
-            if parsed.is_empty() {
-                None
+    db.udf("fmu_parest")
+        .arg("instanceids", ArgKind::Text)
+        .arg("input_sqls", ArgKind::Text)
+        .opt_arg("pars", ArgKind::Text)
+        .opt_arg("threshold", ArgKind::Float)
+        .scalar(move |_db, args| {
+            let s = session(&w)?;
+            let (ids, sqls, pars, threshold) = parest_args(args);
+            let reports = crate::parest::run_parest(&s, &ids, &sqls, pars.as_deref(), threshold)?;
+            if reports.len() == 1 {
+                Ok(Value::Float(reports[0].rmse))
             } else {
-                Some(parsed)
+                Ok(Value::Text(format_float_array(
+                    &reports.iter().map(|r| r.rmse).collect::<Vec<_>>(),
+                )))
             }
-        } else {
-            None
-        };
-        let threshold = if args.len() > 3 {
-            Some(f64_arg(args, 3, "fmu_parest")?)
-        } else {
-            None
-        };
-        let reports = crate::parest::run_parest(&s, &ids, &sqls, pars.as_deref(), threshold)?;
-        if reports.len() == 1 {
-            Ok(Value::Float(reports[0].rmse))
-        } else {
-            Ok(Value::Text(format_float_array(
-                &reports.iter().map(|r| r.rmse).collect::<Vec<_>>(),
-            )))
-        }
-    });
+        });
 
     // ---- fmu_parest_report (table form with strategy details) -------------------------
     let w = weak.clone();
-    db.register_table_fn("fmu_parest_report", move |_db, args| {
-        let s = session(&w)?;
-        let ids = parse_ident_array(&text_arg(args, 0, "fmu_parest_report")?);
-        let sqls = parse_sql_array(&text_arg(args, 1, "fmu_parest_report")?);
-        let pars = if args.len() > 2 {
-            let parsed = parse_ident_array(&text_arg(args, 2, "fmu_parest_report")?);
-            if parsed.is_empty() {
-                None
-            } else {
-                Some(parsed)
-            }
-        } else {
-            None
-        };
-        let threshold = if args.len() > 3 {
-            Some(f64_arg(args, 3, "fmu_parest_report")?)
-        } else {
-            None
-        };
-        let reports = crate::parest::run_parest(&s, &ids, &sqls, pars.as_deref(), threshold)?;
-        let mut q = QueryResult::new(vec![
-            "instanceid".into(),
-            "estimationerror".into(),
-            "strategy".into(),
-            "globalevals".into(),
-            "localevals".into(),
-        ]);
-        for r in reports {
-            q.rows.push(vec![
-                Value::Text(r.instance_id),
-                Value::Float(r.rmse),
-                Value::Text(
-                    match r.strategy {
-                        pgfmu_estimation::Strategy::GlobalLocal => "G+LaG",
-                        pgfmu_estimation::Strategy::LocalOnly => "LO",
-                    }
-                    .into(),
-                ),
-                Value::Int(r.global_evals as i64),
-                Value::Int(r.local_evals as i64),
+    db.udf("fmu_parest_report")
+        .arg("instanceids", ArgKind::Text)
+        .arg("input_sqls", ArgKind::Text)
+        .opt_arg("pars", ArgKind::Text)
+        .opt_arg("threshold", ArgKind::Float)
+        .table(move |_db, args| {
+            let s = session(&w)?;
+            let (ids, sqls, pars, threshold) = parest_args(args);
+            let reports = crate::parest::run_parest(&s, &ids, &sqls, pars.as_deref(), threshold)?;
+            let mut q = QueryResult::new(vec![
+                "instanceid".into(),
+                "estimationerror".into(),
+                "strategy".into(),
+                "globalevals".into(),
+                "localevals".into(),
             ]);
-        }
-        Ok(q)
-    });
+            for r in reports {
+                q.rows.push(vec![
+                    Value::Text(r.instance_id),
+                    Value::Float(r.rmse),
+                    Value::Text(
+                        match r.strategy {
+                            pgfmu_estimation::Strategy::GlobalLocal => "G+LaG",
+                            pgfmu_estimation::Strategy::LocalOnly => "LO",
+                        }
+                        .into(),
+                    ),
+                    Value::Int(r.global_evals as i64),
+                    Value::Int(r.local_evals as i64),
+                ]);
+            }
+            Ok(q)
+        });
 
     // ---- fmu_simulate -------------------------------------------------------------------
     let w = weak.clone();
-    db.register_table_fn("fmu_simulate", move |_db, args| {
-        let s = session(&w)?;
-        let id = text_arg(args, 0, "fmu_simulate")?;
-        let input_sql = match args.get(1) {
-            None | Some(Value::Null) => None,
-            Some(v) => Some(
-                v.as_str()
-                    .map_err(|_| SqlError::Type("fmu_simulate: input_sql must be text".into()))?
-                    .to_string(),
-            ),
-        };
-        let time_from = match args.get(2) {
-            None | Some(Value::Null) => None,
-            Some(v) => Some(TimeSpec::from_value(v)?),
-        };
-        let time_to = match args.get(3) {
-            None | Some(Value::Null) => None,
-            Some(v) => Some(TimeSpec::from_value(v)?),
-        };
-        Ok(crate::simulate::run_simulate(
-            &s,
-            &id,
-            input_sql.as_deref(),
-            time_from,
-            time_to,
-        )?)
-    });
+    db.udf("fmu_simulate")
+        .arg("instanceid", ArgKind::Text)
+        .opt_arg("input_sql", ArgKind::Text)
+        .opt_arg("time_from", ArgKind::Any)
+        .opt_arg("time_to", ArgKind::Any)
+        .table(move |_db, args| {
+            let s = session(&w)?;
+            let time_from = match args.value(2) {
+                Value::Null => None,
+                v => Some(TimeSpec::from_value(v)?),
+            };
+            let time_to = match args.value(3) {
+                Value::Null => None,
+                v => Some(TimeSpec::from_value(v)?),
+            };
+            Ok(crate::simulate::run_simulate(
+                &s,
+                args.text(0),
+                args.opt_text(1),
+                time_from,
+                time_to,
+            )?)
+        });
 
     // ---- fmu_control (future-work MPC) -----------------------------------------------------
     let w = weak;
-    db.register_table_fn("fmu_control", move |_db, args| {
-        let s = session(&w)?;
-        let id = text_arg(args, 0, "fmu_control")?;
-        let input = text_arg(args, 1, "fmu_control")?;
-        let horizon = f64_arg(args, 2, "fmu_control")?;
-        let intervals = f64_arg(args, 3, "fmu_control")? as usize;
-        let setpoint = f64_arg(args, 4, "fmu_control")?;
-        let weight = if args.len() > 5 {
-            f64_arg(args, 5, "fmu_control")?
-        } else {
-            0.01
-        };
-        let plan =
-            crate::control::run_control(&s, &id, &input, horizon, intervals, setpoint, weight)?;
-        let mut q = QueryResult::new(vec!["hours".into(), "value".into()]);
-        for (t, u) in plan {
-            q.rows.push(vec![Value::Float(t), Value::Float(u)]);
-        }
-        Ok(q)
-    });
+    db.udf("fmu_control")
+        .arg("instanceid", ArgKind::Text)
+        .arg("input_name", ArgKind::Text)
+        .arg("horizon_hours", ArgKind::Float)
+        .arg("intervals", ArgKind::Int)
+        .arg("setpoint", ArgKind::Float)
+        .opt_arg("effort_weight", ArgKind::Float)
+        .table(move |_db, args| {
+            let s = session(&w)?;
+            let plan = crate::control::run_control(
+                &s,
+                args.text(0),
+                args.text(1),
+                args.f64(2),
+                args.i64(3) as usize,
+                args.f64(4),
+                args.opt_f64(5).unwrap_or(0.01),
+            )?;
+            let mut q = QueryResult::new(vec!["hours".into(), "value".into()]);
+            for (t, u) in plan {
+                q.rows.push(vec![Value::Float(t), Value::Float(u)]);
+            }
+            Ok(q)
+        });
 }

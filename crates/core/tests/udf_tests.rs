@@ -420,3 +420,63 @@ fn export_predictions_back_into_a_table() {
     let avg = q.rows[0][0].as_f64().unwrap();
     assert!((0.0..25.0).contains(&avg), "implausible mean temp {avg}");
 }
+
+#[test]
+fn prepared_binds_drive_udf_reentrant_estimation() {
+    // The full extended-protocol path from the session surface: a prepared
+    // statement whose binds include the input_sql that fmu_parest executes
+    // re-entrantly — no literal quoting anywhere.
+    let s = session_with_measurements();
+    s.query(
+        "SELECT fmu_create($1, $2)",
+        pgfmu::params!["HP1", "HP1Instance1"],
+    )
+    .unwrap();
+    let parest = s.prepare("SELECT fmu_parest($1, $2, $3)").unwrap();
+    assert_eq!(parest.n_params(), 3);
+    let q = parest
+        .query(pgfmu::params![
+            "HP1Instance1",
+            "SELECT * FROM measurements",
+            "{Cp, R}"
+        ])
+        .unwrap();
+    assert!(q.rows[0][0].as_f64().unwrap() < 1.0);
+
+    // Re-executing the same handle re-enters without re-parsing, and the
+    // statement cache hit is observable through pgfmu_stats().
+    let hits_before: Vec<i64> = s
+        .query_as(
+            "SELECT value FROM pgfmu_stats() WHERE stat = $1",
+            pgfmu::params!["cache_hits"],
+        )
+        .unwrap();
+    parest
+        .query(pgfmu::params![
+            "HP1Instance1",
+            "SELECT * FROM measurements WHERE x IS NOT NULL",
+            "{Cp, R}"
+        ])
+        .unwrap();
+    let hits_after: Vec<i64> = s
+        .query_as(
+            "SELECT value FROM pgfmu_stats() WHERE stat = $1",
+            pgfmu::params!["cache_hits"],
+        )
+        .unwrap();
+    // The re-entrant input_sql and the stats query itself both hit the
+    // cache on their second run.
+    assert!(hits_after[0] > hits_before[0]);
+
+    // Typed decoding of a catalogue join, through the same bound surface.
+    let rows: Vec<(String, f64)> = s
+        .query_as(
+            "SELECT varname, value FROM modelinstancevalues \
+             WHERE instanceid = $1 AND varname = $2",
+            pgfmu::params!["HP1Instance1", "Cp"],
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].0, "Cp");
+    assert!((rows[0].1 - 1.5).abs() < 0.4, "Cp estimate {}", rows[0].1);
+}

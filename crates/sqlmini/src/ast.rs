@@ -128,6 +128,8 @@ impl FromItem {
 pub enum Expr {
     /// Literal value.
     Literal(Value),
+    /// `$n` bind-parameter reference (1-based), bound at execution time.
+    Param(usize),
     /// Column reference, optionally qualified.
     Column {
         /// Optional table/alias qualifier.
@@ -239,7 +241,68 @@ pub fn contains_aggregate(e: &Expr) -> bool {
         Expr::InList { expr, list, .. } => {
             contains_aggregate(expr) || list.iter().any(contains_aggregate)
         }
-        Expr::Literal(_) | Expr::Column { .. } => false,
+        Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => false,
+    }
+}
+
+/// The highest `$n` parameter index in an expression (0 when none).
+pub fn max_param_expr(e: &Expr) -> usize {
+    match e {
+        Expr::Param(n) => *n,
+        Expr::Literal(_) | Expr::Column { .. } => 0,
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+            max_param_expr(expr)
+        }
+        Expr::Binary { left, right, .. } => max_param_expr(left).max(max_param_expr(right)),
+        Expr::Function { args, .. } => args.iter().map(max_param_expr).max().unwrap_or(0),
+        Expr::InList { expr, list, .. } => {
+            max_param_expr(expr).max(list.iter().map(max_param_expr).max().unwrap_or(0))
+        }
+    }
+}
+
+fn max_param_select(sel: &SelectStmt) -> usize {
+    let mut n = 0;
+    for item in &sel.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            n = n.max(max_param_expr(expr));
+        }
+    }
+    for item in &sel.from {
+        if let FromItem::Function { args, .. } = item {
+            n = n.max(args.iter().map(max_param_expr).max().unwrap_or(0));
+        }
+    }
+    if let Some(w) = &sel.where_clause {
+        n = n.max(max_param_expr(w));
+    }
+    for (e, _) in &sel.order_by {
+        n = n.max(max_param_expr(e));
+    }
+    n
+}
+
+/// The number of `$n` bind parameters a statement requires — the highest
+/// placeholder index referenced anywhere in it.
+pub fn max_param(stmt: &Stmt) -> usize {
+    match stmt {
+        Stmt::Select(sel) => max_param_select(sel),
+        Stmt::Insert { source, .. } => match source {
+            InsertSource::Values(rows) => {
+                rows.iter().flatten().map(max_param_expr).max().unwrap_or(0)
+            }
+            InsertSource::Select(sel) => max_param_select(sel),
+        },
+        Stmt::Update {
+            sets, where_clause, ..
+        } => sets
+            .iter()
+            .map(|(_, e)| max_param_expr(e))
+            .max()
+            .unwrap_or(0)
+            .max(where_clause.as_ref().map(max_param_expr).unwrap_or(0)),
+        Stmt::Delete { where_clause, .. } => where_clause.as_ref().map(max_param_expr).unwrap_or(0),
+        Stmt::CreateTable { .. } | Stmt::DropTable { .. } => 0,
     }
 }
 
@@ -260,6 +323,24 @@ mod tests {
             alias: Some("f".into()),
         };
         assert_eq!(f.binding_name(), "f");
+    }
+
+    #[test]
+    fn max_param_walks_every_clause() {
+        let stmt = crate::parser::parse(
+            "SELECT a + $2 FROM t, generate_series(1, $4) AS g \
+             WHERE b > $1 ORDER BY c * $3",
+        )
+        .unwrap();
+        assert_eq!(max_param(&stmt), 4);
+        let stmt = crate::parser::parse("INSERT INTO t VALUES ($1, $2), ($3, 4)").unwrap();
+        assert_eq!(max_param(&stmt), 3);
+        let stmt = crate::parser::parse("UPDATE t SET a = $2 WHERE b IN ($1, $5)").unwrap();
+        assert_eq!(max_param(&stmt), 5);
+        let stmt = crate::parser::parse("DELETE FROM t WHERE a = $1").unwrap();
+        assert_eq!(max_param(&stmt), 1);
+        let stmt = crate::parser::parse("SELECT 1").unwrap();
+        assert_eq!(max_param(&stmt), 0);
     }
 
     #[test]

@@ -6,7 +6,17 @@
 //! a UDF runs — scans snapshot their input first.
 //!
 //! The statement cache implements the paper's "prepared SQL queries"
-//! optimization (§7): repeated query texts skip the parser.
+//! optimization (§7): repeated query texts skip the parser. It is keyed on
+//! the query text only — `$n` bind values vary per call — and bounded by an
+//! LRU policy (default 256 entries, see
+//! [`Database::set_stmt_cache_capacity`]) so a workload of millions of
+//! distinct texts cannot leak memory.
+//!
+//! The client surface follows the PostgreSQL extended protocol shape:
+//! [`Database::prepare`] returns a [`Statement`] handle; binding values to
+//! its `$1..$n` placeholders with [`Statement::query`] (or streaming them
+//! with [`Statement::query_rows`]) skips both re-parsing and literal
+//! quoting entirely.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -14,20 +24,158 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use crate::ast::Stmt;
+use crate::ast::{self, Stmt};
+use crate::decode::FromRow;
 use crate::error::{Result, SqlError};
-use crate::exec;
+use crate::exec::{self, Rows};
 use crate::functions::{self, ScalarFn, TableFn};
 use crate::parser;
 use crate::table::{QueryResult, Row, Table};
 use crate::value::Value;
+
+/// Default bound on the number of cached prepared statements.
+pub const DEFAULT_STMT_CACHE_CAPACITY: usize = 256;
+
+struct CacheEntry {
+    stmt: Arc<Stmt>,
+    n_params: usize,
+    /// Last-use tick for LRU eviction.
+    tick: u64,
+}
+
+/// Text-keyed LRU statement cache.
+struct StmtCache {
+    map: HashMap<String, CacheEntry>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl StmtCache {
+    fn new(capacity: usize) -> Self {
+        StmtCache {
+            map: HashMap::new(),
+            tick: 0,
+            capacity,
+        }
+    }
+
+    fn get(&mut self, sql: &str) -> Option<(Arc<Stmt>, usize)> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(sql).map(|e| {
+            e.tick = tick;
+            (Arc::clone(&e.stmt), e.n_params)
+        })
+    }
+
+    fn insert(&mut self, sql: String, stmt: Arc<Stmt>, n_params: usize) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.insert(
+            sql,
+            CacheEntry {
+                stmt,
+                n_params,
+                tick,
+            },
+        );
+        self.shrink_to(self.capacity);
+    }
+
+    /// Evict least-recently-used entries until at most `cap` remain. The
+    /// linear scan is fine at the default capacity of a few hundred.
+    fn shrink_to(&mut self, cap: usize) {
+        while self.map.len() > cap {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// A prepared statement: a parsed plan bound to its database, executable
+/// any number of times with different `$n` parameter values.
+///
+/// ```
+/// use pgfmu_sqlmini::{Database, Value};
+///
+/// let db = Database::new();
+/// db.execute("CREATE TABLE m (ts timestamp, x float)").unwrap();
+/// let insert = db.prepare("INSERT INTO m VALUES ($1, $2)").unwrap();
+/// insert.query(&["2015-02-01 00:00".into(), 20.75.into()]).unwrap();
+/// insert.query(&["2015-02-01 01:00".into(), 23.62.into()]).unwrap();
+/// let hot = db.prepare("SELECT x FROM m WHERE x > $1").unwrap();
+/// assert_eq!(hot.query(&[21.0.into()]).unwrap().len(), 1);
+/// ```
+pub struct Statement<'db> {
+    db: &'db Database,
+    stmt: Arc<Stmt>,
+    n_params: usize,
+}
+
+impl std::fmt::Debug for Statement<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Statement")
+            .field("n_params", &self.n_params)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'db> Statement<'db> {
+    /// The number of `$n` parameters this statement requires.
+    pub fn n_params(&self) -> usize {
+        self.n_params
+    }
+
+    fn check_binds(&self, params: &[Value]) -> Result<()> {
+        if params.len() != self.n_params {
+            return Err(SqlError::Execution(format!(
+                "bind message supplies {} parameters, but prepared statement requires {}",
+                params.len(),
+                self.n_params
+            )));
+        }
+        Ok(())
+    }
+
+    /// Execute with the given parameter values, materializing the result.
+    pub fn query(&self, params: &[Value]) -> Result<QueryResult> {
+        self.check_binds(params)?;
+        exec::execute_stmt(self.db, &self.stmt, params)
+    }
+
+    /// Execute with the given parameter values, streaming the result rows.
+    pub fn query_rows(&self, params: &[Value]) -> Result<Rows<'db>> {
+        self.check_binds(params)?;
+        exec::execute_stmt_rows(self.db, &self.stmt, params)
+    }
+
+    /// Execute and decode each row into `T` (scalars, `Option`, tuples —
+    /// see [`FromRow`]). Rows are decoded as they stream.
+    pub fn query_as<T: FromRow>(&self, params: &[Value]) -> Result<Vec<T>> {
+        self.query_rows(params)?
+            .map(|r| r.and_then(|row| T::from_row(&row)))
+            .collect()
+    }
+}
 
 /// An in-memory SQL database with UDF support.
 pub struct Database {
     tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
     scalars: RwLock<HashMap<String, ScalarFn>>,
     table_fns: RwLock<HashMap<String, TableFn>>,
-    stmt_cache: Mutex<HashMap<String, Arc<Stmt>>>,
+    stmt_cache: Mutex<StmtCache>,
+    udf_counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
     parses: AtomicU64,
     cache_hits: AtomicU64,
 }
@@ -45,7 +193,8 @@ impl Database {
             tables: RwLock::new(HashMap::new()),
             scalars: RwLock::new(HashMap::new()),
             table_fns: RwLock::new(HashMap::new()),
-            stmt_cache: Mutex::new(HashMap::new()),
+            stmt_cache: Mutex::new(StmtCache::new(DEFAULT_STMT_CACHE_CAPACITY)),
+            udf_counters: RwLock::new(HashMap::new()),
             parses: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
         };
@@ -115,6 +264,10 @@ impl Database {
     // ---- functions ----------------------------------------------------------
 
     /// Register (or replace) a scalar UDF.
+    ///
+    /// This is the raw registration hook: the closure receives the
+    /// unvalidated argument values. Prefer [`Database::udf`], which declares
+    /// an argument signature and centralizes coercion and arity errors.
     pub fn register_scalar<F>(&self, name: &str, f: F)
     where
         F: Fn(&Database, &[Value]) -> Result<Value> + Send + Sync + 'static,
@@ -124,7 +277,8 @@ impl Database {
             .insert(name.to_ascii_lowercase(), Arc::new(f));
     }
 
-    /// Register (or replace) a set-returning UDF.
+    /// Register (or replace) a set-returning UDF (see
+    /// [`Database::register_scalar`] on the raw vs. typed surface).
     pub fn register_table_fn<F>(&self, name: &str, f: F)
     where
         F: Fn(&Database, &[Value]) -> Result<QueryResult> + Send + Sync + 'static,
@@ -132,6 +286,39 @@ impl Database {
         self.table_fns
             .write()
             .insert(name.to_ascii_lowercase(), Arc::new(f));
+    }
+
+    /// Start declaring a typed UDF: argument names and types are declared
+    /// up front, and arity/type errors are produced centrally. See
+    /// [`crate::udf::UdfBuilder`].
+    pub fn udf(&self, name: &str) -> crate::udf::UdfBuilder<'_> {
+        crate::udf::UdfBuilder::new(self, name)
+    }
+
+    /// The call counter for a (typed) UDF, creating it on first use.
+    pub(crate) fn udf_counter(&self, name: &str) -> Arc<AtomicU64> {
+        let key = name.to_ascii_lowercase();
+        if let Some(c) = self.udf_counters.read().get(&key) {
+            return Arc::clone(c);
+        }
+        let mut map = self.udf_counters.write();
+        Arc::clone(
+            map.entry(key)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Per-UDF call counts since session start (typed UDFs only), sorted by
+    /// function name. Surfaced through the `pgfmu_stats()` SRF.
+    pub fn udf_call_counts(&self) -> Vec<(String, u64)> {
+        let mut counts: Vec<(String, u64)> = self
+            .udf_counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        counts.sort();
+        counts
     }
 
     /// Invoke a scalar function by name.
@@ -171,26 +358,50 @@ impl Database {
 
     // ---- execution -----------------------------------------------------------
 
-    /// Parse (with statement-cache reuse) and execute one SQL statement.
+    /// Prepare one SQL statement, reusing the parsed plan from the
+    /// statement cache when the same text was seen before.
+    pub fn prepare(&self, sql: &str) -> Result<Statement<'_>> {
+        if let Some((stmt, n_params)) = self.stmt_cache.lock().get(sql) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Statement {
+                db: self,
+                stmt,
+                n_params,
+            });
+        }
+        self.parses.fetch_add(1, Ordering::Relaxed);
+        let parsed = Arc::new(parser::parse(sql)?);
+        let n_params = ast::max_param(&parsed);
+        self.stmt_cache
+            .lock()
+            .insert(sql.to_string(), Arc::clone(&parsed), n_params);
+        Ok(Statement {
+            db: self,
+            stmt: parsed,
+            n_params,
+        })
+    }
+
+    /// Prepare (with cache reuse) and execute one statement with `$n` bind
+    /// values.
+    pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        self.prepare(sql)?.query(params)
+    }
+
+    /// Prepare and execute, streaming result rows instead of materializing.
+    pub fn query_rows(&self, sql: &str, params: &[Value]) -> Result<Rows<'_>> {
+        self.prepare(sql)?.query_rows(params)
+    }
+
+    /// Prepare, execute and decode each row into `T` (see [`FromRow`]).
+    pub fn query_as<T: FromRow>(&self, sql: &str, params: &[Value]) -> Result<Vec<T>> {
+        self.prepare(sql)?.query_as(params)
+    }
+
+    /// Parse (with statement-cache reuse) and execute one parameterless SQL
+    /// statement.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
-        let stmt = {
-            let cached = self.stmt_cache.lock().get(sql).cloned();
-            match cached {
-                Some(s) => {
-                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    s
-                }
-                None => {
-                    self.parses.fetch_add(1, Ordering::Relaxed);
-                    let parsed = Arc::new(parser::parse(sql)?);
-                    self.stmt_cache
-                        .lock()
-                        .insert(sql.to_string(), Arc::clone(&parsed));
-                    parsed
-                }
-            }
-        };
-        exec::execute_stmt(self, &stmt)
+        self.query(sql, &[])
     }
 
     /// Execute without consulting or filling the statement cache (used by
@@ -198,7 +409,7 @@ impl Database {
     pub fn execute_uncached(&self, sql: &str) -> Result<QueryResult> {
         self.parses.fetch_add(1, Ordering::Relaxed);
         let stmt = parser::parse(sql)?;
-        exec::execute_stmt(self, &stmt)
+        exec::execute_stmt(self, &stmt, &[])
     }
 
     /// `(parse count, statement cache hits)` since creation.
@@ -207,6 +418,24 @@ impl Database {
             self.parses.load(Ordering::Relaxed),
             self.cache_hits.load(Ordering::Relaxed),
         )
+    }
+
+    /// Number of statements currently cached.
+    pub fn stmt_cache_len(&self) -> usize {
+        self.stmt_cache.lock().map.len()
+    }
+
+    /// The statement cache's eviction bound.
+    pub fn stmt_cache_capacity(&self) -> usize {
+        self.stmt_cache.lock().capacity
+    }
+
+    /// Rebound the statement cache, evicting least-recently-used entries if
+    /// the new capacity is smaller than the current population.
+    pub fn set_stmt_cache_capacity(&self, capacity: usize) {
+        let mut cache = self.stmt_cache.lock();
+        cache.capacity = capacity;
+        cache.shrink_to(capacity);
     }
 }
 
@@ -386,6 +615,114 @@ mod tests {
     }
 
     #[test]
+    fn prepared_statement_binds_parameters() {
+        let db = setup();
+        let stmt = db
+            .prepare("SELECT x FROM m WHERE u > $1 AND x > $2 ORDER BY x DESC")
+            .unwrap();
+        assert_eq!(stmt.n_params(), 2);
+        let q = stmt
+            .query(&[Value::Float(0.01), Value::Float(22.0)])
+            .unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.rows[0][0], Value::Float(23.6231));
+        // Same handle, different binds: no re-parse.
+        let (p0, _) = db.statement_stats();
+        let q = stmt
+            .query(&[Value::Float(-1.0), Value::Float(0.0)])
+            .unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(db.statement_stats().0, p0);
+    }
+
+    #[test]
+    fn prepared_statement_rejects_wrong_bind_count() {
+        let db = setup();
+        let stmt = db
+            .prepare("SELECT x FROM m WHERE u > $1 AND x < $2")
+            .unwrap();
+        let err = stmt.query(&[Value::Float(0.0)]).unwrap_err();
+        assert!(
+            err.to_string().contains("supplies 1 parameters")
+                && err.to_string().contains("requires 2"),
+            "{err}"
+        );
+        // Executing a parameterized statement with no binds fails the same
+        // check.
+        assert!(db.execute("SELECT x FROM m WHERE u > $1").is_err());
+    }
+
+    #[test]
+    fn prepared_insert_round_trips_values() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a int, b text, c float)")
+            .unwrap();
+        let ins = db.prepare("INSERT INTO t VALUES ($1, $2, $3)").unwrap();
+        ins.query(&[Value::Int(1), Value::Text("it's".into()), Value::Float(0.5)])
+            .unwrap();
+        ins.query(&[Value::Int(2), Value::Null, Value::Float(-1.5)])
+            .unwrap();
+        let q = db.execute("SELECT * FROM t ORDER BY a").unwrap();
+        assert_eq!(q.rows[0][1], Value::Text("it's".into()));
+        assert_eq!(q.rows[1][1], Value::Null);
+    }
+
+    #[test]
+    fn query_rows_streams_lazily() {
+        let db = setup();
+        let mut rows = db
+            .query_rows("SELECT x FROM m WHERE u >= $1", &[Value::Float(0.0)])
+            .unwrap();
+        assert_eq!(rows.columns(), ["x"]);
+        assert_eq!(rows.next().unwrap().unwrap(), vec![Value::Float(20.7507)]);
+        // Stopping early is fine; remaining rows are never projected.
+        drop(rows);
+        // Ordered queries still stream correct, sorted output.
+        let rows = db
+            .query_rows("SELECT x FROM m ORDER BY x DESC", &[])
+            .unwrap();
+        let xs: Vec<Row> = rows.collect::<Result<_>>().unwrap();
+        assert_eq!(xs[0][0], Value::Float(23.6231));
+    }
+
+    #[test]
+    fn lru_statement_cache_evicts_oldest() {
+        let db = Database::new();
+        db.set_stmt_cache_capacity(4);
+        assert_eq!(db.stmt_cache_capacity(), 4);
+        for i in 0..10 {
+            db.execute(&format!("SELECT {i}")).unwrap();
+        }
+        assert!(db.stmt_cache_len() <= 4);
+        // The most recent text is still a cache hit…
+        let (_, h0) = db.statement_stats();
+        db.execute("SELECT 9").unwrap();
+        assert_eq!(db.statement_stats().1, h0 + 1);
+        // …while the oldest was evicted and must re-parse.
+        let (p0, _) = db.statement_stats();
+        db.execute("SELECT 0").unwrap();
+        assert_eq!(db.statement_stats().0, p0 + 1);
+        // Shrinking the capacity evicts immediately.
+        db.set_stmt_cache_capacity(1);
+        assert!(db.stmt_cache_len() <= 1);
+    }
+
+    #[test]
+    fn lru_cache_refreshes_on_use() {
+        let db = Database::new();
+        db.set_stmt_cache_capacity(2);
+        db.execute("SELECT 1").unwrap();
+        db.execute("SELECT 2").unwrap();
+        db.execute("SELECT 1").unwrap(); // refresh 1 → 2 becomes LRU
+        db.execute("SELECT 3").unwrap(); // evicts 2
+        let (p0, _) = db.statement_stats();
+        db.execute("SELECT 1").unwrap();
+        assert_eq!(db.statement_stats().0, p0, "SELECT 1 must still be cached");
+        db.execute("SELECT 2").unwrap();
+        assert_eq!(db.statement_stats().0, p0 + 1, "SELECT 2 was evicted");
+    }
+
+    #[test]
     fn error_paths() {
         let db = Database::new();
         assert!(matches!(
@@ -408,6 +745,11 @@ mod tests {
         assert!(matches!(
             db.execute("SELECT b FROM generate_series(1,2) AS g"),
             Err(SqlError::UnknownColumn(_))
+        ));
+        // Preparing invalid SQL fails at prepare time, not execution time.
+        assert!(matches!(
+            db.prepare("SELEKT 1").map(|_| ()),
+            Err(SqlError::Parse(_))
         ));
     }
 

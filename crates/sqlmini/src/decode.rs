@@ -1,0 +1,182 @@
+//! Typed row decoding: the [`FromValue`] / [`FromRow`] trait family.
+//!
+//! `FromValue` converts one SQL [`Value`] into a Rust type; `FromRow`
+//! converts a whole row. Implementations cover the scalars (`f64`, `i64`,
+//! `i32`, `bool`, `String`, and [`Value`] itself as the catch-all),
+//! `Option<T>` for nullable columns, and tuples up to eight columns, so
+//! query results decode positionally:
+//!
+//! ```
+//! use pgfmu_sqlmini::Database;
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE m (name text, x float)").unwrap();
+//! db.execute("INSERT INTO m VALUES ('a', 1.5), ('b', NULL)").unwrap();
+//! let rows: Vec<(String, Option<f64>)> =
+//!     db.query_as("SELECT name, x FROM m ORDER BY name", &[]).unwrap();
+//! assert_eq!(rows, vec![("a".into(), Some(1.5)), ("b".into(), None)]);
+//! let n: Vec<i64> = db.query_as("SELECT count(*) FROM m", &[]).unwrap();
+//! assert_eq!(n, vec![2]);
+//! ```
+
+use crate::error::{Result, SqlError};
+use crate::value::Value;
+
+/// Decode one SQL value into a Rust type.
+pub trait FromValue: Sized {
+    /// Convert `v`, erroring on a type mismatch (including unexpected
+    /// NULLs — decode nullable columns as `Option<T>`).
+    fn from_value(v: &Value) -> Result<Self>;
+}
+
+impl FromValue for Value {
+    fn from_value(v: &Value) -> Result<Self> {
+        Ok(v.clone())
+    }
+}
+
+impl FromValue for f64 {
+    fn from_value(v: &Value) -> Result<Self> {
+        v.as_f64()
+    }
+}
+
+impl FromValue for i64 {
+    fn from_value(v: &Value) -> Result<Self> {
+        v.as_i64()
+    }
+}
+
+impl FromValue for i32 {
+    fn from_value(v: &Value) -> Result<Self> {
+        let n = v.as_i64()?;
+        i32::try_from(n)
+            .map_err(|_| SqlError::Type(format!("value {n} is out of range for an i32")))
+    }
+}
+
+impl FromValue for bool {
+    fn from_value(v: &Value) -> Result<Self> {
+        v.as_bool()
+    }
+}
+
+impl FromValue for String {
+    fn from_value(v: &Value) -> Result<Self> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl<T: FromValue> FromValue for Option<T> {
+    fn from_value(v: &Value) -> Result<Self> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+/// Decode one result row into a Rust type, positionally.
+pub trait FromRow: Sized {
+    /// Convert a row, erroring when the column count or any column type
+    /// does not match.
+    fn from_row(row: &[Value]) -> Result<Self>;
+}
+
+fn check_width(row: &[Value], want: usize) -> Result<()> {
+    if row.len() == want {
+        Ok(())
+    } else {
+        Err(SqlError::Type(format!(
+            "cannot decode a {}-column row into a {}-column type",
+            row.len(),
+            want
+        )))
+    }
+}
+
+macro_rules! scalar_from_row {
+    ($($t:ty),+ $(,)?) => {$(
+        impl FromRow for $t {
+            fn from_row(row: &[Value]) -> Result<Self> {
+                check_width(row, 1)?;
+                <$t as FromValue>::from_value(&row[0])
+            }
+        }
+    )+};
+}
+
+scalar_from_row!(f64, i64, i32, bool, String, Value);
+
+impl<T: FromValue> FromRow for Option<T> {
+    fn from_row(row: &[Value]) -> Result<Self> {
+        check_width(row, 1)?;
+        <Option<T> as FromValue>::from_value(&row[0])
+    }
+}
+
+macro_rules! tuple_from_row {
+    ($n:expr; $($t:ident @ $i:tt),+) => {
+        impl<$($t: FromValue),+> FromRow for ($($t,)+) {
+            fn from_row(row: &[Value]) -> Result<Self> {
+                check_width(row, $n)?;
+                Ok(($($t::from_value(&row[$i])?,)+))
+            }
+        }
+    };
+}
+
+tuple_from_row!(1; A @ 0);
+tuple_from_row!(2; A @ 0, B @ 1);
+tuple_from_row!(3; A @ 0, B @ 1, C @ 2);
+tuple_from_row!(4; A @ 0, B @ 1, C @ 2, D @ 3);
+tuple_from_row!(5; A @ 0, B @ 1, C @ 2, D @ 3, E @ 4);
+tuple_from_row!(6; A @ 0, B @ 1, C @ 2, D @ 3, E @ 4, F @ 5);
+tuple_from_row!(7; A @ 0, B @ 1, C @ 2, D @ 3, E @ 4, F @ 5, G @ 6);
+tuple_from_row!(8; A @ 0, B @ 1, C @ 2, D @ 3, E @ 4, F @ 5, G @ 6, H @ 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+
+    #[test]
+    fn scalar_decoding() {
+        assert_eq!(f64::from_value(&Value::Int(2)).unwrap(), 2.0);
+        assert_eq!(i64::from_value(&Value::Float(3.0)).unwrap(), 3);
+        assert_eq!(i32::from_value(&Value::Int(7)).unwrap(), 7);
+        assert!(i32::from_value(&Value::Int(1 << 40)).is_err());
+        assert_eq!(String::from_value(&Value::Text("x".into())).unwrap(), "x");
+        assert!(String::from_value(&Value::Int(1)).is_err());
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert!(f64::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn row_width_is_checked() {
+        let row = vec![Value::Int(1), Value::Int(2)];
+        assert!(f64::from_row(&row).is_err());
+        assert!(<(i64, i64, i64)>::from_row(&row).is_err());
+        assert_eq!(<(i64, f64)>::from_row(&row).unwrap(), (1, 2.0));
+    }
+
+    #[test]
+    fn query_as_decodes_tuples_and_scalars() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (id int, name text, v float)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'a', 0.5), (2, 'b', NULL)")
+            .unwrap();
+        let rows: Vec<(i64, String, Option<f64>)> =
+            db.query_as("SELECT * FROM t ORDER BY id", &[]).unwrap();
+        assert_eq!(rows[1], (2, "b".into(), None));
+        let names: Vec<String> = db
+            .query_as("SELECT name FROM t WHERE id = $1", &[Value::Int(1)])
+            .unwrap();
+        assert_eq!(names, vec!["a".to_string()]);
+        // A type mismatch is an error, not a panic.
+        let bad: Result<Vec<f64>> = db.query_as("SELECT name FROM t", &[]);
+        assert!(bad.is_err());
+    }
+}

@@ -1,5 +1,13 @@
 //! Query executor: expression evaluation, cross/lateral joins, filtering,
 //! projection, aggregation, ordering.
+//!
+//! Execution is parameterized: every entry point takes a slice of bind
+//! values for `$n` placeholders (empty for plain statements). `SELECT`
+//! results can be consumed through the streaming [`Rows`] iterator —
+//! filtering and projection run per `next()` call, so callers that stop
+//! early (or decode row-by-row) never materialize the full output. Queries
+//! with `ORDER BY` or aggregates are materialized up front, as ordering is
+//! a pipeline breaker.
 
 use std::cmp::Ordering;
 
@@ -11,6 +19,13 @@ use crate::db::Database;
 use crate::error::{Result, SqlError};
 use crate::table::{Column, QueryResult, Row, Schema, Table};
 use crate::value::Value;
+
+/// Everything expression evaluation needs besides the row: the database
+/// (for UDF calls) and the statement's bind parameters.
+struct Ctx<'a> {
+    db: &'a Database,
+    params: &'a [Value],
+}
 
 /// One FROM item's contribution to the name environment.
 #[derive(Debug, Clone)]
@@ -26,7 +41,7 @@ struct Env<'a> {
     bindings: &'a [Binding],
 }
 
-impl<'a> Env<'a> {
+impl Env<'_> {
     /// Resolve a column reference to a flat index.
     fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
         let name = name.to_ascii_lowercase();
@@ -172,15 +187,20 @@ fn logical(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
 // Expression evaluation
 // ---------------------------------------------------------------------------
 
-fn eval(db: &Database, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Value> {
+fn eval(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
+        Expr::Param(i) => ctx
+            .params
+            .get(*i - 1)
+            .cloned()
+            .ok_or_else(|| SqlError::Execution(format!("there is no parameter ${i}"))),
         Expr::Column { table, name } => {
             let i = env.resolve(table.as_deref(), name)?;
             Ok(row[i].clone())
         }
         Expr::Unary { op, expr } => {
-            let v = eval(db, expr, env, row)?;
+            let v = eval(ctx, expr, env, row)?;
             match op {
                 UnOp::Neg => match v {
                     Value::Null => Ok(Value::Null),
@@ -196,8 +216,8 @@ fn eval(db: &Database, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Valu
             }
         }
         Expr::Binary { op, left, right } => {
-            let a = eval(db, left, env, row)?;
-            let b = eval(db, right, env, row)?;
+            let a = eval(ctx, left, env, row)?;
+            let b = eval(ctx, right, env, row)?;
             match op {
                 BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(*op, &a, &b),
                 BinOp::And | BinOp::Or => logical(*op, &a, &b),
@@ -225,19 +245,19 @@ fn eval(db: &Database, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Valu
                 }
             }
         }
-        Expr::Cast { expr, ty } => eval(db, expr, env, row)?.cast_to(*ty),
+        Expr::Cast { expr, ty } => eval(ctx, expr, env, row)?.cast_to(*ty),
         Expr::InList {
             expr,
             list,
             negated,
         } => {
-            let probe = eval(db, expr, env, row)?;
+            let probe = eval(ctx, expr, env, row)?;
             if probe.is_null() {
                 return Ok(Value::Null);
             }
             let mut saw_null = false;
             for item in list {
-                let v = eval(db, item, env, row)?;
+                let v = eval(ctx, item, env, row)?;
                 if v.is_null() {
                     saw_null = true;
                     continue;
@@ -253,7 +273,7 @@ fn eval(db: &Database, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Valu
             }
         }
         Expr::IsNull { expr, negated } => {
-            let v = eval(db, expr, env, row)?;
+            let v = eval(ctx, expr, env, row)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
         Expr::Function { name, args } => {
@@ -262,8 +282,8 @@ fn eval(db: &Database, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Valu
                     "aggregate function {name}() is not allowed here"
                 )));
             }
-            let vals: Result<Vec<Value>> = args.iter().map(|a| eval(db, a, env, row)).collect();
-            db.call_scalar(name, &vals?)
+            let vals: Result<Vec<Value>> = args.iter().map(|a| eval(ctx, a, env, row)).collect();
+            ctx.db.call_scalar(name, &vals?)
         }
     }
 }
@@ -282,16 +302,17 @@ fn is_true(v: &Value) -> Result<bool> {
 // Aggregation
 // ---------------------------------------------------------------------------
 
-fn eval_aggregate_expr(db: &Database, expr: &Expr, env: &Env<'_>, rows: &[Row]) -> Result<Value> {
+fn eval_aggregate_expr(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, rows: &[Row]) -> Result<Value> {
     match expr {
         Expr::Function { name, args } if AGGREGATE_FUNCTIONS.contains(&name.as_str()) => {
-            compute_aggregate(db, name, args, env, rows)
+            compute_aggregate(ctx, name, args, env, rows)
         }
         Expr::Literal(v) => Ok(v.clone()),
+        Expr::Param(_) => eval(ctx, expr, env, &[]),
         Expr::Unary { op, expr } => {
-            let inner = eval_aggregate_expr(db, expr, env, rows)?;
+            let inner = eval_aggregate_expr(ctx, expr, env, rows)?;
             eval(
-                db,
+                ctx,
                 &Expr::Unary {
                     op: *op,
                     expr: Box::new(Expr::Literal(inner)),
@@ -301,10 +322,10 @@ fn eval_aggregate_expr(db: &Database, expr: &Expr, env: &Env<'_>, rows: &[Row]) 
             )
         }
         Expr::Binary { op, left, right } => {
-            let l = eval_aggregate_expr(db, left, env, rows)?;
-            let r = eval_aggregate_expr(db, right, env, rows)?;
+            let l = eval_aggregate_expr(ctx, left, env, rows)?;
+            let r = eval_aggregate_expr(ctx, right, env, rows)?;
             eval(
-                db,
+                ctx,
                 &Expr::Binary {
                     op: *op,
                     left: Box::new(Expr::Literal(l)),
@@ -314,13 +335,13 @@ fn eval_aggregate_expr(db: &Database, expr: &Expr, env: &Env<'_>, rows: &[Row]) 
                 &[],
             )
         }
-        Expr::Cast { expr, ty } => eval_aggregate_expr(db, expr, env, rows)?.cast_to(*ty),
+        Expr::Cast { expr, ty } => eval_aggregate_expr(ctx, expr, env, rows)?.cast_to(*ty),
         Expr::Function { name, args } => {
             let vals: Result<Vec<Value>> = args
                 .iter()
-                .map(|a| eval_aggregate_expr(db, a, env, rows))
+                .map(|a| eval_aggregate_expr(ctx, a, env, rows))
                 .collect();
-            db.call_scalar(name, &vals?)
+            ctx.db.call_scalar(name, &vals?)
         }
         Expr::Column { name, .. } => Err(SqlError::Execution(format!(
             "column \"{name}\" must appear in an aggregate function"
@@ -332,7 +353,7 @@ fn eval_aggregate_expr(db: &Database, expr: &Expr, env: &Env<'_>, rows: &[Row]) 
 }
 
 fn compute_aggregate(
-    db: &Database,
+    ctx: &Ctx<'_>,
     name: &str,
     args: &[Expr],
     env: &Env<'_>,
@@ -348,7 +369,7 @@ fn compute_aggregate(
     }
     let mut values = Vec::with_capacity(rows.len());
     for r in rows {
-        let v = eval(db, &args[0], env, r)?;
+        let v = eval(ctx, &args[0], env, r)?;
         if !v.is_null() {
             values.push(v);
         }
@@ -395,11 +416,138 @@ fn compute_aggregate(
 }
 
 // ---------------------------------------------------------------------------
+// Streaming result cursor
+// ---------------------------------------------------------------------------
+
+/// A streaming query result: an iterator of `Result<Row>` plus column
+/// names. For plain `SELECT`s (no `ORDER BY`, no aggregates) the WHERE
+/// filter and the projection run lazily per [`Iterator::next`] call, so
+/// consumers that stop early never pay for the full result; ordered and
+/// aggregated queries are materialized up front.
+pub struct Rows<'db> {
+    columns: Vec<String>,
+    state: RowsState<'db>,
+}
+
+enum RowsState<'db> {
+    /// Fully materialized output rows.
+    Done(std::vec::IntoIter<Row>),
+    /// Joined source rows with deferred filter + projection.
+    Lazy {
+        db: &'db Database,
+        params: Vec<Value>,
+        bindings: Vec<Binding>,
+        where_clause: Option<Expr>,
+        projections: Vec<Expr>,
+        source: std::vec::IntoIter<Row>,
+        remaining: usize,
+        failed: bool,
+    },
+}
+
+impl<'db> Rows<'db> {
+    /// Wrap an already-materialized result.
+    pub fn from_result(result: QueryResult) -> Rows<'db> {
+        Rows {
+            columns: result.columns,
+            state: RowsState::Done(result.rows.into_iter()),
+        }
+    }
+
+    /// Output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Drain the cursor into a materialized [`QueryResult`].
+    pub fn into_result(mut self) -> Result<QueryResult> {
+        let mut q = QueryResult::new(std::mem::take(&mut self.columns));
+        if let RowsState::Done(it) = self.state {
+            q.rows = it.collect();
+            return Ok(q);
+        }
+        for r in self {
+            q.rows.push(r?);
+        }
+        Ok(q)
+    }
+}
+
+impl Iterator for Rows<'_> {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Result<Row>> {
+        match &mut self.state {
+            RowsState::Done(it) => it.next().map(Ok),
+            RowsState::Lazy {
+                db,
+                params,
+                bindings,
+                where_clause,
+                projections,
+                source,
+                remaining,
+                failed,
+            } => {
+                if *failed || *remaining == 0 {
+                    return None;
+                }
+                let ctx = Ctx {
+                    db,
+                    params: &params[..],
+                };
+                let env = Env {
+                    bindings: &bindings[..],
+                };
+                loop {
+                    let r = source.next()?;
+                    match where_clause {
+                        None => {}
+                        Some(p) => match eval(&ctx, p, &env, &r).and_then(|v| is_true(&v)) {
+                            Ok(true) => {}
+                            Ok(false) => continue,
+                            Err(e) => {
+                                *failed = true;
+                                return Some(Err(e));
+                            }
+                        },
+                    }
+                    *remaining -= 1;
+                    let mut out = Vec::with_capacity(projections.len());
+                    for e in projections.iter() {
+                        match eval(&ctx, e, &env, &r) {
+                            Ok(v) => out.push(v),
+                            Err(e) => {
+                                *failed = true;
+                                return Some(Err(e));
+                            }
+                        }
+                    }
+                    return Some(Ok(out));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // SELECT execution
 // ---------------------------------------------------------------------------
 
 /// Execute a SELECT and materialize the result.
-pub fn execute_select(db: &Database, sel: &SelectStmt) -> Result<QueryResult> {
+pub fn execute_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<QueryResult> {
+    select_rows(db, sel, params)?.into_result()
+}
+
+/// Execute a SELECT, returning a (lazily projected, where possible)
+/// streaming cursor.
+pub fn select_rows<'db>(
+    db: &'db Database,
+    sel: &SelectStmt,
+    params: &[Value],
+) -> Result<Rows<'db>> {
+    let ctx = Ctx { db, params };
+
     // 1. FROM: build the joined row set, functions joining laterally.
     let mut bindings: Vec<Binding> = Vec::new();
     let mut rows: Vec<Row> = vec![Vec::new()];
@@ -442,8 +590,15 @@ pub fn execute_select(db: &Database, sel: &SelectStmt) -> Result<QueryResult> {
                 let mut out_cols: Option<Vec<String>> = None;
                 for base in &rows {
                     let vals: Result<Vec<Value>> =
-                        args.iter().map(|a| eval(db, a, &env, base)).collect();
+                        args.iter().map(|a| eval(&ctx, a, &env, base)).collect();
                     let result = db.call_table_fn(name, &vals?)?;
+                    // A columnless empty result (a STRICT function's NULL
+                    // short-circuit) contributes zero rows without pinning
+                    // the schema — other input rows may still produce real
+                    // output.
+                    if result.columns.is_empty() && result.rows.is_empty() {
+                        continue;
+                    }
                     let mut cols = result.columns.clone();
                     // Single-column SRFs adopt the alias as the column name,
                     // as PostgreSQL does for `generate_series(…) AS id`.
@@ -477,22 +632,8 @@ pub fn execute_select(db: &Database, sel: &SelectStmt) -> Result<QueryResult> {
             }
         }
     }
-    let env = Env {
-        bindings: &bindings,
-    };
 
-    // 2. WHERE
-    if let Some(pred) = &sel.where_clause {
-        let mut kept = Vec::with_capacity(rows.len());
-        for r in rows {
-            if is_true(&eval(db, pred, &env, &r)?)? {
-                kept.push(r);
-            }
-        }
-        rows = kept;
-    }
-
-    // 3. Expand projection wildcards into (expr, output name) pairs.
+    // 2. Expand projection wildcards into (expr, output name) pairs.
     let mut projections: Vec<(Expr, String)> = Vec::new();
     for item in &sel.items {
         match item {
@@ -533,53 +674,81 @@ pub fn execute_select(db: &Database, sel: &SelectStmt) -> Result<QueryResult> {
             }
         }
     }
-
-    // 4. Aggregate vs plain projection.
-    let aggregate_mode = projections.iter().any(|(e, _)| contains_aggregate(e));
     let columns: Vec<String> = projections.iter().map(|(_, n)| n.clone()).collect();
+    let aggregate_mode = projections.iter().any(|(e, _)| contains_aggregate(e));
+    let limit = sel.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+
+    // 3. Plain SELECT: defer WHERE + projection + LIMIT to the cursor.
+    if !aggregate_mode && sel.order_by.is_empty() {
+        return Ok(Rows {
+            columns,
+            state: RowsState::Lazy {
+                db,
+                params: params.to_vec(),
+                bindings,
+                where_clause: sel.where_clause.clone(),
+                projections: projections.into_iter().map(|(e, _)| e).collect(),
+                source: rows.into_iter(),
+                remaining: limit,
+                failed: false,
+            },
+        });
+    }
+
+    // 4. WHERE (pipeline breakers ahead — filter eagerly).
+    let env = Env {
+        bindings: &bindings,
+    };
+    if let Some(pred) = &sel.where_clause {
+        let mut kept = Vec::with_capacity(rows.len());
+        for r in rows {
+            if is_true(&eval(&ctx, pred, &env, &r)?)? {
+                kept.push(r);
+            }
+        }
+        rows = kept;
+    }
+
+    // 5. Aggregates collapse to a single row (ORDER BY/LIMIT are no-ops).
     let mut result = QueryResult::new(columns);
     if aggregate_mode {
         let mut out = Vec::with_capacity(projections.len());
         for (e, _) in &projections {
-            out.push(eval_aggregate_expr(db, e, &env, &rows)?);
+            out.push(eval_aggregate_expr(&ctx, e, &env, &rows)?);
         }
         result.rows.push(out);
-        return Ok(result); // ORDER BY/LIMIT on a single row is a no-op.
+        return Ok(Rows::from_result(result));
     }
 
-    // 5. ORDER BY on source rows.
-    if !sel.order_by.is_empty() {
-        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
-        for r in rows {
-            let mut keys = Vec::with_capacity(sel.order_by.len());
-            for (e, _) in &sel.order_by {
-                keys.push(eval(db, e, &env, &r)?);
-            }
-            keyed.push((keys, r));
+    // 6. ORDER BY on source rows.
+    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for r in rows {
+        let mut keys = Vec::with_capacity(sel.order_by.len());
+        for (e, _) in &sel.order_by {
+            keys.push(eval(&ctx, e, &env, &r)?);
         }
-        keyed.sort_by(|(ka, _), (kb, _)| {
-            for (i, (_, desc)) in sel.order_by.iter().enumerate() {
-                let o = order_cmp(&ka[i], &kb[i]);
-                let o = if *desc { o.reverse() } else { o };
-                if o != Ordering::Equal {
-                    return o;
-                }
-            }
-            Ordering::Equal
-        });
-        rows = keyed.into_iter().map(|(_, r)| r).collect();
+        keyed.push((keys, r));
     }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, (_, desc)) in sel.order_by.iter().enumerate() {
+            let o = order_cmp(&ka[i], &kb[i]);
+            let o = if *desc { o.reverse() } else { o };
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    });
 
-    // 6. LIMIT + projection.
-    let limit = sel.limit.map(|l| l as usize).unwrap_or(usize::MAX);
-    for r in rows.into_iter().take(limit) {
+    // 7. LIMIT + projection.
+    for (_, r) in keyed.into_iter().take(limit) {
         let mut out = Vec::with_capacity(projections.len());
         for (e, _) in &projections {
-            out.push(eval(db, e, &env, &r)?);
+            out.push(eval(&ctx, e, &env, &r)?);
         }
         result.rows.push(out);
     }
-    Ok(result)
+    Ok(Rows::from_result(result))
 }
 
 /// Output column name for an unaliased projection.
@@ -596,10 +765,24 @@ fn derived_name(e: &Expr) -> String {
 // DML / DDL execution
 // ---------------------------------------------------------------------------
 
-/// Execute any statement.
-pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<QueryResult> {
+/// Execute any statement with bind parameters, materializing the result.
+pub fn execute_stmt(db: &Database, stmt: &Stmt, params: &[Value]) -> Result<QueryResult> {
     match stmt {
-        Stmt::Select(sel) => execute_select(db, sel),
+        Stmt::Select(sel) => execute_select(db, sel, params),
+        other => execute_stmt_rows(db, other, params)?.into_result(),
+    }
+}
+
+/// Execute any statement with bind parameters; `SELECT`s stream through
+/// [`Rows`], everything else returns its (tiny) materialized status result.
+pub fn execute_stmt_rows<'db>(
+    db: &'db Database,
+    stmt: &Stmt,
+    params: &[Value],
+) -> Result<Rows<'db>> {
+    let ctx = Ctx { db, params };
+    match stmt {
+        Stmt::Select(sel) => select_rows(db, sel, params),
         Stmt::Insert {
             table,
             columns,
@@ -613,12 +796,12 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<QueryResult> {
                     let mut out = Vec::with_capacity(rows.len());
                     for row in rows {
                         let vals: Result<Row> =
-                            row.iter().map(|e| eval(db, e, &env, &[])).collect();
+                            row.iter().map(|e| eval(&ctx, e, &env, &[])).collect();
                         out.push(vals?);
                     }
                     out
                 }
-                InsertSource::Select(sel) => execute_select(db, sel)?.rows,
+                InsertSource::Select(sel) => execute_select(db, sel, params)?.rows,
             };
             let mapped: Vec<Row> = match columns {
                 None => input_rows,
@@ -655,7 +838,7 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<QueryResult> {
             }
             let mut q = QueryResult::new(vec!["count".into()]);
             q.rows.push(vec![Value::Int(n as i64)]);
-            Ok(q)
+            Ok(Rows::from_result(q))
         }
         Stmt::Update {
             table,
@@ -688,12 +871,12 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<QueryResult> {
             for r in snapshot {
                 let hit = match where_clause {
                     None => true,
-                    Some(p) => is_true(&eval(db, p, &env, &r)?)?,
+                    Some(p) => is_true(&eval(&ctx, p, &env, &r)?)?,
                 };
                 if hit {
                     let mut updated = r.clone();
                     for ((_, e), &i) in sets.iter().zip(&set_idx) {
-                        let v = eval(db, e, &env, &r)?;
+                        let v = eval(&ctx, e, &env, &r)?;
                         updated[i] = v.coerce_to(schema.columns[i].dtype)?;
                     }
                     new_rows.push(updated);
@@ -705,7 +888,7 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<QueryResult> {
             handle.write().rows = new_rows;
             let mut q = QueryResult::new(vec!["count".into()]);
             q.rows.push(vec![Value::Int(n)]);
-            Ok(q)
+            Ok(Rows::from_result(q))
         }
         Stmt::Delete {
             table,
@@ -727,7 +910,7 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<QueryResult> {
             for r in snapshot {
                 let hit = match where_clause {
                     None => true,
-                    Some(p) => is_true(&eval(db, p, &env, &r)?)?,
+                    Some(p) => is_true(&eval(&ctx, p, &env, &r)?)?,
                 };
                 if hit {
                     n += 1;
@@ -738,7 +921,7 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<QueryResult> {
             handle.write().rows = kept;
             let mut q = QueryResult::new(vec!["count".into()]);
             q.rows.push(vec![Value::Int(n)]);
-            Ok(q)
+            Ok(Rows::from_result(q))
         }
         Stmt::CreateTable {
             name,
@@ -755,7 +938,7 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<QueryResult> {
                 Err(SqlError::Constraint(_)) if *if_not_exists => {}
                 Err(e) => return Err(e),
             }
-            Ok(QueryResult::new(vec![]))
+            Ok(Rows::from_result(QueryResult::new(vec![])))
         }
         Stmt::DropTable { name, if_exists } => {
             match db.drop_table(name) {
@@ -763,7 +946,7 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<QueryResult> {
                 Err(SqlError::UnknownTable(_)) if *if_exists => {}
                 Err(e) => return Err(e),
             }
-            Ok(QueryResult::new(vec![]))
+            Ok(Rows::from_result(QueryResult::new(vec![])))
         }
     }
 }

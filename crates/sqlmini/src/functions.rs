@@ -4,12 +4,19 @@
 //! user-defined functions (pgFMU's `fmu_parest`, `fmu_simulate`, MADlib's
 //! `arima_train`, …) can execute SQL themselves — the re-entrancy at the
 //! heart of the paper's "in-place computation inside the DBMS" argument.
+//!
+//! All built-ins are registered through the typed [`crate::udf::UdfBuilder`]
+//! surface, so arity/type errors are produced centrally and every function
+//! maintains a call counter. Engine counters (statement-cache stats and
+//! those call counts) are queryable through the `pgfmu_stats()`
+//! set-returning function.
 
 use std::sync::Arc;
 
 use crate::db::Database;
 use crate::error::{Result, SqlError};
 use crate::table::QueryResult;
+use crate::udf::ArgKind;
 use crate::value::Value;
 
 /// A scalar UDF: `(db, args) -> value`.
@@ -18,24 +25,13 @@ pub type ScalarFn = Arc<dyn Fn(&Database, &[Value]) -> Result<Value> + Send + Sy
 /// A set-returning UDF: `(db, args) -> table`.
 pub type TableFn = Arc<dyn Fn(&Database, &[Value]) -> Result<QueryResult> + Send + Sync>;
 
-fn f64_arg(args: &[Value], i: usize, name: &str) -> Result<f64> {
-    args.get(i)
-        .ok_or_else(|| SqlError::Type(format!("{name}: missing argument {i}")))?
-        .as_f64()
-}
-
 /// Register the built-in scalar functions.
 pub fn register_builtin_scalars(db: &Database) {
     let simple = |db: &Database, name: &'static str, f: fn(f64) -> f64| {
-        db.register_scalar(name, move |_db, args| {
-            if args.len() != 1 {
-                return Err(SqlError::Type(format!("{name}() takes one argument")));
-            }
-            if args[0].is_null() {
-                return Ok(Value::Null);
-            }
-            Ok(Value::Float(f(args[0].as_f64()?)))
-        });
+        db.udf(name)
+            .arg("x", ArgKind::Float)
+            .strict()
+            .scalar(move |_db, args| Ok(Value::Float(f(args.f64(0)))));
     };
     simple(db, "sqrt", f64::sqrt);
     simple(db, "exp", f64::exp);
@@ -44,97 +40,95 @@ pub fn register_builtin_scalars(db: &Database) {
     simple(db, "ceil", f64::ceil);
     simple(db, "ceiling", f64::ceil);
 
-    db.register_scalar("abs", |_db, args| {
-        if args.len() != 1 {
-            return Err(SqlError::Type("abs() takes one argument".into()));
-        }
-        Ok(match &args[0] {
-            Value::Null => Value::Null,
-            Value::Int(i) => Value::Int(i.abs()),
-            v => Value::Float(v.as_f64()?.abs()),
-        })
-    });
+    // abs preserves integer-ness, so it takes its argument untyped.
+    db.udf("abs")
+        .arg("x", ArgKind::Any)
+        .strict()
+        .scalar(|_db, args| match args.value(0) {
+            Value::Int(i) => Ok(Value::Int(i.abs())),
+            v => Ok(Value::Float(v.as_f64()?.abs())),
+        });
 
-    db.register_scalar("round", |_db, args| match args {
-        [Value::Null] | [Value::Null, _] => Ok(Value::Null),
-        [v] => Ok(Value::Float(v.as_f64()?.round())),
-        [v, d] => {
-            let scale = 10f64.powi(d.as_i64()? as i32);
-            Ok(Value::Float((v.as_f64()? * scale).round() / scale))
-        }
-        _ => Err(SqlError::Type("round() takes one or two arguments".into())),
-    });
-
-    db.register_scalar("power", |_db, args| {
-        if args.len() != 2 {
-            return Err(SqlError::Type("power() takes two arguments".into()));
-        }
-        if args[0].is_null() || args[1].is_null() {
-            return Ok(Value::Null);
-        }
-        Ok(Value::Float(
-            f64_arg(args, 0, "power")?.powf(f64_arg(args, 1, "power")?),
-        ))
-    });
-
-    db.register_scalar("coalesce", |_db, args| {
-        for a in args {
-            if !a.is_null() {
-                return Ok(a.clone());
-            }
-        }
-        Ok(Value::Null)
-    });
-
-    db.register_scalar("nullif", |_db, args| {
-        if args.len() != 2 {
-            return Err(SqlError::Type("nullif() takes two arguments".into()));
-        }
-        if args[0] == args[1] {
-            Ok(Value::Null)
-        } else {
-            Ok(args[0].clone())
-        }
-    });
-
-    db.register_scalar("lower", |_db, args| match args {
-        [Value::Null] => Ok(Value::Null),
-        [Value::Text(s)] => Ok(Value::Text(s.to_lowercase())),
-        _ => Err(SqlError::Type("lower() takes one text argument".into())),
-    });
-
-    db.register_scalar("upper", |_db, args| match args {
-        [Value::Null] => Ok(Value::Null),
-        [Value::Text(s)] => Ok(Value::Text(s.to_uppercase())),
-        _ => Err(SqlError::Type("upper() takes one text argument".into())),
-    });
-
-    db.register_scalar("length", |_db, args| match args {
-        [Value::Null] => Ok(Value::Null),
-        [Value::Text(s)] => Ok(Value::Int(s.chars().count() as i64)),
-        _ => Err(SqlError::Type("length() takes one text argument".into())),
-    });
-
-    db.register_scalar("greatest", |_db, args| {
-        let mut best: Option<Value> = None;
-        for a in args.iter().filter(|a| !a.is_null()) {
-            best = Some(match best {
-                None => a.clone(),
-                Some(b) => {
-                    if crate::exec::compare(a, &b)? == Some(std::cmp::Ordering::Greater) {
-                        a.clone()
-                    } else {
-                        b
-                    }
+    db.udf("round")
+        .arg("x", ArgKind::Float)
+        .opt_arg("digits", ArgKind::Int)
+        .strict()
+        .scalar(|_db, args| {
+            let x = args.f64(0);
+            match args.opt_i64(1) {
+                None => Ok(Value::Float(x.round())),
+                Some(d) => {
+                    let scale = 10f64.powi(d as i32);
+                    Ok(Value::Float((x * scale).round() / scale))
                 }
-            });
-        }
-        Ok(best.unwrap_or(Value::Null))
-    });
+            }
+        });
 
-    db.register_scalar("least", |_db, args| {
+    db.udf("power")
+        .arg("base", ArgKind::Float)
+        .arg("exponent", ArgKind::Float)
+        .strict()
+        .scalar(|_db, args| Ok(Value::Float(args.f64(0).powf(args.f64(1)))));
+
+    db.udf("coalesce")
+        .variadic(ArgKind::Any)
+        .scalar(|_db, args| {
+            for a in args.raw() {
+                if !a.is_null() {
+                    return Ok(a.clone());
+                }
+            }
+            Ok(Value::Null)
+        });
+
+    db.udf("nullif")
+        .arg("a", ArgKind::Any)
+        .arg("b", ArgKind::Any)
+        .scalar(|_db, args| {
+            if args.value(0) == args.value(1) {
+                Ok(Value::Null)
+            } else {
+                Ok(args.value(0).clone())
+            }
+        });
+
+    db.udf("lower")
+        .arg("s", ArgKind::Text)
+        .strict()
+        .scalar(|_db, args| Ok(Value::Text(args.text(0).to_lowercase())));
+
+    db.udf("upper")
+        .arg("s", ArgKind::Text)
+        .strict()
+        .scalar(|_db, args| Ok(Value::Text(args.text(0).to_uppercase())));
+
+    db.udf("length")
+        .arg("s", ArgKind::Text)
+        .strict()
+        .scalar(|_db, args| Ok(Value::Int(args.text(0).chars().count() as i64)));
+
+    db.udf("greatest")
+        .variadic(ArgKind::Any)
+        .scalar(|_db, args| {
+            let mut best: Option<Value> = None;
+            for a in args.raw().iter().filter(|a| !a.is_null()) {
+                best = Some(match best {
+                    None => a.clone(),
+                    Some(b) => {
+                        if crate::exec::compare(a, &b)? == Some(std::cmp::Ordering::Greater) {
+                            a.clone()
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        });
+
+    db.udf("least").variadic(ArgKind::Any).scalar(|_db, args| {
         let mut best: Option<Value> = None;
-        for a in args.iter().filter(|a| !a.is_null()) {
+        for a in args.raw().iter().filter(|a| !a.is_null()) {
             best = Some(match best {
                 None => a.clone(),
                 Some(b) => {
@@ -150,56 +144,82 @@ pub fn register_builtin_scalars(db: &Database) {
     });
 
     // extract(epoch from ts) is spelled extract_epoch(ts) in our dialect.
-    db.register_scalar("extract_epoch", |_db, args| match args {
-        [Value::Timestamp(t)] => Ok(Value::Int(*t)),
-        [Value::Interval(t)] => Ok(Value::Int(*t)),
-        [Value::Null] => Ok(Value::Null),
-        _ => Err(SqlError::Type(
-            "extract_epoch() takes a timestamp or interval".into(),
-        )),
-    });
+    db.udf("extract_epoch")
+        .arg("t", ArgKind::Any)
+        .strict()
+        .scalar(|_db, args| match args.value(0) {
+            Value::Timestamp(t) | Value::Interval(t) => Ok(Value::Int(*t)),
+            _ => Err(SqlError::Type(
+                "extract_epoch() takes a timestamp or interval".into(),
+            )),
+        });
 }
 
 /// Register the built-in set-returning functions.
 pub fn register_builtin_table_fns(db: &Database) {
-    db.register_table_fn("generate_series", |_db, args| {
-        let mut q = QueryResult::new(vec!["generate_series".into()]);
-        match args {
-            [Value::Int(a), Value::Int(b)] => {
-                for v in *a..=*b {
-                    q.rows.push(vec![Value::Int(v)]);
+    // generate_series has int and timestamp overloads, so it dispatches on
+    // the raw values of a variadic signature.
+    db.udf("generate_series")
+        .variadic(ArgKind::Any)
+        .table(|_db, args| {
+            let mut q = QueryResult::new(vec!["generate_series".into()]);
+            match args.raw() {
+                [Value::Int(a), Value::Int(b)] => {
+                    for v in *a..=*b {
+                        q.rows.push(vec![Value::Int(v)]);
+                    }
+                }
+                [Value::Int(a), Value::Int(b), Value::Int(step)] => {
+                    if *step == 0 {
+                        return Err(SqlError::Execution(
+                            "generate_series step cannot be zero".into(),
+                        ));
+                    }
+                    let mut v = *a;
+                    while (*step > 0 && v <= *b) || (*step < 0 && v >= *b) {
+                        q.rows.push(vec![Value::Int(v)]);
+                        v += step;
+                    }
+                }
+                [Value::Timestamp(a), Value::Timestamp(b), Value::Interval(step)] => {
+                    if *step <= 0 {
+                        return Err(SqlError::Execution(
+                            "generate_series interval must be positive".into(),
+                        ));
+                    }
+                    let mut t = *a;
+                    while t <= *b {
+                        q.rows.push(vec![Value::Timestamp(t)]);
+                        t += step;
+                    }
+                }
+                _ => {
+                    return Err(SqlError::Type(
+                        "generate_series expects (int, int[, int]) or \
+                         (timestamp, timestamp, interval)"
+                            .into(),
+                    ))
                 }
             }
-            [Value::Int(a), Value::Int(b), Value::Int(step)] => {
-                if *step == 0 {
-                    return Err(SqlError::Execution(
-                        "generate_series step cannot be zero".into(),
-                    ));
-                }
-                let mut v = *a;
-                while (*step > 0 && v <= *b) || (*step < 0 && v >= *b) {
-                    q.rows.push(vec![Value::Int(v)]);
-                    v += step;
-                }
-            }
-            [Value::Timestamp(a), Value::Timestamp(b), Value::Interval(step)] => {
-                if *step <= 0 {
-                    return Err(SqlError::Execution(
-                        "generate_series interval must be positive".into(),
-                    ));
-                }
-                let mut t = *a;
-                while t <= *b {
-                    q.rows.push(vec![Value::Timestamp(t)]);
-                    t += step;
-                }
-            }
-            _ => {
-                return Err(SqlError::Type(
-                    "generate_series expects (int, int[, int]) or \
-                     (timestamp, timestamp, interval)"
-                        .into(),
-                ))
+            Ok(q)
+        });
+
+    // Engine observability: parse/cache counters and per-UDF call counts as
+    // a queryable relation `(stat text, value bigint)`.
+    db.udf("pgfmu_stats").table(|db, _args| {
+        let (parses, cache_hits) = db.statement_stats();
+        let mut q = QueryResult::new(vec!["stat".into(), "value".into()]);
+        let mut push = |stat: &str, value: u64| {
+            q.rows
+                .push(vec![Value::Text(stat.into()), Value::Int(value as i64)]);
+        };
+        push("parses", parses);
+        push("cache_hits", cache_hits);
+        push("stmt_cache_size", db.stmt_cache_len() as u64);
+        push("stmt_cache_capacity", db.stmt_cache_capacity() as u64);
+        for (name, count) in db.udf_call_counts() {
+            if count > 0 {
+                push(&format!("calls.{name}"), count);
             }
         }
         Ok(q)
@@ -237,6 +257,16 @@ mod tests {
         assert_eq!(one("SELECT nullif(1, 1)"), Value::Null);
         assert_eq!(one("SELECT nullif(1, 2)"), Value::Int(1));
         assert_eq!(one("SELECT abs(NULL)"), Value::Null);
+    }
+
+    #[test]
+    fn arity_and_type_errors_are_central() {
+        let d = db();
+        assert!(d.execute("SELECT sqrt()").is_err());
+        assert!(d.execute("SELECT sqrt(1, 2)").is_err());
+        assert!(d.execute("SELECT lower(42)").is_err());
+        let err = d.execute("SELECT power(2)").unwrap_err().to_string();
+        assert!(err.contains("power(integer) does not exist"), "{err}");
     }
 
     #[test]
@@ -285,5 +315,38 @@ mod tests {
             .unwrap()
             .clone();
         assert_eq!(v, Value::Int(3600));
+    }
+
+    #[test]
+    fn pgfmu_stats_surfaces_engine_counters() {
+        let d = db();
+        d.execute("CREATE TABLE t (v int)").unwrap();
+        d.execute("INSERT INTO t VALUES (1)").unwrap();
+        d.execute("SELECT sqrt(4.0)").unwrap();
+        d.execute("SELECT sqrt(4.0)").unwrap(); // cache hit + second call
+        let q = d.execute("SELECT * FROM pgfmu_stats()").unwrap();
+        assert_eq!(q.columns, vec!["stat", "value"]);
+        let get = |stat: &str| -> i64 {
+            q.rows
+                .iter()
+                .find(|r| r[0] == Value::Text(stat.into()))
+                .unwrap_or_else(|| panic!("missing stat {stat}"))[1]
+                .as_i64()
+                .unwrap()
+        };
+        assert!(get("parses") >= 4);
+        assert!(get("cache_hits") >= 1);
+        assert!(get("stmt_cache_size") >= 1);
+        assert_eq!(
+            get("stmt_cache_capacity"),
+            crate::db::DEFAULT_STMT_CACHE_CAPACITY as i64
+        );
+        assert_eq!(get("calls.sqrt"), 2);
+        assert_eq!(get("calls.pgfmu_stats"), 1);
+        // Counters are monotone across calls.
+        let q2 = d
+            .execute("SELECT value FROM pgfmu_stats() WHERE stat = 'calls.pgfmu_stats'")
+            .unwrap();
+        assert_eq!(q2.rows[0][0], Value::Int(2));
     }
 }

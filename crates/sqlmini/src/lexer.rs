@@ -16,6 +16,8 @@ pub enum Tok {
     Float(f64),
     /// Single-quoted string literal.
     Str(String),
+    /// `$n` bind-parameter placeholder (1-based, as in PostgreSQL).
+    Param(usize),
     /// `(`
     LParen,
     /// `)`
@@ -159,6 +161,27 @@ pub fn lex(sql: &str) -> Result<Vec<Tok>> {
                     out.push(Tok::Int(v));
                 }
             }
+            '$' => {
+                chars.next();
+                let mut digits = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        digits.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if digits.is_empty() {
+                    return Err(SqlError::Parse(
+                        "expected a parameter number after '$'".into(),
+                    ));
+                }
+                let n: usize = digits
+                    .parse()
+                    .map_err(|_| SqlError::Parse(format!("bad parameter number '${digits}'")))?;
+                out.push(Tok::Param(n));
+            }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut name = String::new();
                 while let Some(&c) = chars.peek() {
@@ -294,6 +317,27 @@ mod tests {
                 Tok::Int(2)
             ]
         );
+    }
+
+    #[test]
+    fn bind_parameters() {
+        assert_eq!(
+            lex("WHERE x > $1 AND y < $23").unwrap(),
+            vec![
+                Tok::Ident("where".into()),
+                Tok::Ident("x".into()),
+                Tok::Gt,
+                Tok::Param(1),
+                Tok::Ident("and".into()),
+                Tok::Ident("y".into()),
+                Tok::Lt,
+                Tok::Param(23),
+            ]
+        );
+        // `$` inside an identifier stays part of the identifier; a bare `$`
+        // is an error.
+        assert_eq!(lex("a$1").unwrap(), vec![Tok::Ident("a$1".into())]);
+        assert!(lex("$ 1").is_err());
     }
 
     #[test]

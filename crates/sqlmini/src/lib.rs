@@ -14,32 +14,65 @@
 //! * a PostgreSQL-flavoured type system including `timestamp`, `interval`
 //!   and the `variant` extension type the model catalogue relies on;
 //! * a statement cache implementing the paper's "prepared SQL queries"
-//!   optimization (§7).
+//!   optimization (§7), bounded by an LRU policy.
+//!
+//! ## Prepared statements, binds and typed decoding
+//!
+//! The client surface mirrors the PostgreSQL extended protocol:
+//! [`Database::prepare`] parses once (with statement-cache reuse) and
+//! returns a [`Statement`]; `$1..$n` placeholders are bound per execution
+//! with [`Statement::query`], streamed with [`Statement::query_rows`]
+//! (see [`Rows`]), or decoded into Rust types with
+//! [`Statement::query_as`] via the [`FromRow`]/[`FromValue`] traits.
+//! Binding sidesteps literal quoting entirely and repeated executions
+//! never re-parse:
 //!
 //! ```
-//! use pgfmu_sqlmini::Database;
+//! use pgfmu_sqlmini::{params, Database};
 //!
 //! let db = Database::new();
 //! db.execute("CREATE TABLE measurements (ts timestamp, x float)").unwrap();
-//! db.execute("INSERT INTO measurements VALUES ('2015-02-01 00:00', 20.75)").unwrap();
-//! let q = db.execute("SELECT avg(x) FROM measurements").unwrap();
-//! assert_eq!(q.rows[0][0].as_f64().unwrap(), 20.75);
+//! let insert = db.prepare("INSERT INTO measurements VALUES ($1, $2)").unwrap();
+//! insert.query(params!["2015-02-01 00:00", 20.75]).unwrap();
+//! insert.query(params!["2015-02-01 01:00", 23.25]).unwrap();
+//! let avg: Vec<Option<f64>> = db
+//!     .query_as("SELECT avg(x) FROM measurements WHERE x < $1", params![30.0])
+//!     .unwrap();
+//! assert_eq!(avg, vec![Some(22.0)]);
 //! ```
+//!
+//! UDFs are declared through the typed [`Database::udf`] builder (argument
+//! signatures, central coercion/arity errors — see [`udf::UdfBuilder`]),
+//! and engine counters are queryable in SQL via `pgfmu_stats()`.
 
 pub mod ast;
 pub mod db;
+pub mod decode;
 pub mod error;
 pub mod exec;
 pub mod functions;
 pub mod lexer;
 pub mod parser;
 pub mod table;
+pub mod udf;
 pub mod value;
 
-pub use db::Database;
+pub use db::{Database, Statement, DEFAULT_STMT_CACHE_CAPACITY};
+pub use decode::{FromRow, FromValue};
 pub use error::{Result, SqlError};
+pub use exec::Rows;
 pub use functions::{ScalarFn, TableFn};
 pub use table::{Column, QueryResult, Row, Schema, Table};
+pub use udf::{ArgKind, Args, UdfBuilder};
 pub use value::{
     format_timestamp, parse_interval, parse_timestamp, timestamp_from_parts, DataType, Value,
 };
+
+/// Build a `&[Value]` bind-parameter slice from Rust values:
+/// `params!["HP1Instance1", 20.75, None::<f64>]`. Each element goes through
+/// [`Value::from`], so `Option<T>` encodes SQL NULL.
+#[macro_export]
+macro_rules! params {
+    () => { &[] as &[$crate::Value] };
+    ($($v:expr),+ $(,)?) => { &[$($crate::Value::from($v)),+][..] };
+}

@@ -554,6 +554,12 @@ impl Parser {
             Some(Tok::Int(v)) => Ok(Expr::Literal(Value::Int(v))),
             Some(Tok::Float(v)) => Ok(Expr::Literal(Value::Float(v))),
             Some(Tok::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(Tok::Param(n)) => {
+                if n == 0 {
+                    return Err(SqlError::Parse("there is no parameter $0".into()));
+                }
+                Ok(Expr::Param(n))
+            }
             Some(Tok::LParen) => {
                 let e = self.parse_expr()?;
                 self.expect(&Tok::RParen, "')'")?;
@@ -814,6 +820,19 @@ mod tests {
         } else {
             panic!();
         }
+    }
+
+    #[test]
+    fn parses_bind_parameters() {
+        let s = parse("SELECT x FROM t WHERE ts < $1 AND u = $2").unwrap();
+        if let Stmt::Select(sel) = s {
+            let w = sel.where_clause.unwrap();
+            assert!(matches!(w, Expr::Binary { op: BinOp::And, .. }));
+            assert_eq!(crate::ast::max_param_expr(&w), 2);
+        } else {
+            panic!();
+        }
+        assert!(parse("SELECT $0").is_err());
     }
 
     #[test]

@@ -6,6 +6,37 @@ use proptest::prelude::*;
 use pgfmu_sqlmini::value::{civil_from_days, days_from_civil};
 use pgfmu_sqlmini::{format_timestamp, parse_timestamp, Database, Value};
 
+/// Any storable SQL value, biased toward the quoting hazards (quotes,
+/// doubled quotes, SQL-ish punctuation) that literal interpolation has to
+/// escape and binds must pass through untouched.
+fn arb_value() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        Just(Value::Bool(true)),
+        Just(Value::Bool(false)),
+        (-1_000_000_000i64..1_000_000_000).prop_map(Value::Int),
+        (-1e9f64..1e9).prop_map(Value::Float),
+        "[a-zA-Z0-9 ',;%_()$=<>|.]{0,30}".prop_map(Value::Text),
+        Just(Value::Text("it''s '' quoted".into())),
+        (-4_000_000_000i64..8_000_000_000).prop_map(Value::Timestamp),
+    ]
+    .boxed()
+}
+
+/// Render a value as an escaped SQL literal — the interpolation path the
+/// bind API replaces.
+fn literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".into(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f:?}"),
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Timestamp(t) => format!("timestamp '{}'", format_timestamp(*t)),
+        Value::Interval(s) => format!("interval '{s} seconds'"),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -114,4 +145,62 @@ proptest! {
         let b = below.rows[0][0].as_i64().unwrap();
         prop_assert_eq!(a + b, values.len() as i64);
     }
+
+    /// A `$1` bind stores exactly the same value as the equivalent escaped
+    /// literal — binds and interpolation are interchangeable (modulo the
+    /// quoting hazards binds avoid entirely).
+    #[test]
+    fn bind_and_escaped_literal_round_trip_identically(v in arb_value()) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (tag int, v variant)").unwrap();
+        db.execute(&format!("INSERT INTO t VALUES (0, {})", literal(&v)))
+            .unwrap();
+        db.query("INSERT INTO t VALUES (1, $1)", std::slice::from_ref(&v))
+            .unwrap();
+        let q = db.execute("SELECT v FROM t ORDER BY tag").unwrap();
+        prop_assert_eq!(&q.rows[0][0], &q.rows[1][0]);
+        prop_assert_eq!(&q.rows[1][0], &v);
+        // The bound value also round-trips through a WHERE comparison.
+        if !v.is_null() {
+            let hits = db
+                .query("SELECT count(*) FROM t WHERE v = $1", std::slice::from_ref(&v))
+                .unwrap();
+            prop_assert_eq!(hits.rows[0][0].clone(), Value::Int(2));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error paths of the prepare/bind surface.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn out_of_range_and_malformed_parameters_error() {
+    let db = Database::new();
+    // $0 is rejected at parse time (PostgreSQL numbers parameters from 1).
+    let err = db.prepare("SELECT $0").unwrap_err().to_string();
+    assert!(err.contains("$0"), "{err}");
+    // A bare `$` is a lex error.
+    assert!(db.prepare("SELECT $").is_err());
+    // Highest referenced parameter determines the requirement; supplying
+    // fewer binds than $n requires is an execution error naming the counts.
+    let stmt = db.prepare("SELECT $2").unwrap();
+    assert_eq!(stmt.n_params(), 2);
+    let err = stmt.query(&[Value::Int(1)]).unwrap_err().to_string();
+    assert!(
+        err.contains("supplies 1 parameters") && err.contains("requires 2"),
+        "{err}"
+    );
+    // Extra binds are rejected too.
+    let stmt = db.prepare("SELECT $1").unwrap();
+    let err = stmt
+        .query(&[Value::Int(1), Value::Int(2)])
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("supplies 2 parameters") && err.contains("requires 1"),
+        "{err}"
+    );
+    // Preparing invalid SQL fails up front, before any execution.
+    assert!(db.prepare("SELECT FROM WHERE").is_err());
 }

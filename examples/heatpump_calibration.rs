@@ -3,11 +3,15 @@
 //! scenarios, with calibration against measurements stored in the DBMS.
 //!
 //! The whole analytical workflow is four SQL statements — the paper's
-//! Table 1 contrast with the 88-line traditional stack.
+//! Table 1 contrast with the 88-line traditional stack. Every statement is
+//! executed through the prepared-statement API: values are bound to
+//! `$1..$n` placeholders (no literal quoting — note how the calibration
+//! window timestamp needs no doubled-quote escaping), and results decode
+//! straight into Rust types.
 //!
 //! Run with: `cargo run --release --example heatpump_calibration`
 
-use pgfmu::PgFmu;
+use pgfmu::{params, PgFmu};
 use pgfmu_datagen::hp::hp1_dataset;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,31 +28,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // -- SQL line 1: create the model instance. -----------------------------
-    session.execute("SELECT fmu_create('HP1', 'HP1Instance1')")?;
+    session
+        .prepare("SELECT fmu_create($1, $2)")?
+        .query(params!["HP1", "HP1Instance1"])?;
 
     // -- SQL line 2: calibrate Cp and R against Feb 1-21. --------------------
-    let rmse = session.execute(
-        "SELECT fmu_parest('{HP1Instance1}', \
-         '{SELECT ts, x, u FROM measurements \
-           WHERE ts < timestamp ''2015-02-22 00:00''}', '{Cp, R}')",
+    let rmse: Vec<f64> = session.query_as(
+        "SELECT fmu_parest($1, $2, $3)",
+        params![
+            "{HP1Instance1}",
+            "{SELECT ts, x, u FROM measurements WHERE ts < timestamp '2015-02-22 00:00'}",
+            "{Cp, R}"
+        ],
     )?;
-    println!("Calibration RMSE: {:.4} degC", rmse.scalar()?.as_f64()?);
-    let params = session.execute(
+    println!("Calibration RMSE: {:.4} degC", rmse[0]);
+    let params_est: Vec<(String, f64)> = session.query_as(
         "SELECT varname, value FROM modelinstancevalues \
-         WHERE instanceid = 'HP1Instance1' AND varname IN ('Cp', 'R')",
+         WHERE instanceid = $1 AND varname IN ($2, $3)",
+        params!["HP1Instance1", "Cp", "R"],
     )?;
-    println!(
-        "Estimated parameters (truth: Cp=1.5, R=1.5):\n{}",
-        params.to_ascii()
-    );
+    println!("Estimated parameters (truth: Cp=1.5, R=1.5):");
+    for (name, value) in &params_est {
+        println!("  {name} = {value:.3}");
+    }
 
     // -- SQL line 3: predict the validation week under the recorded inputs. --
-    let validation = session.execute(
+    let validation = session.query(
         "SELECT count(*) AS points, min(value) AS coldest, max(value) AS warmest \
-         FROM fmu_simulate('HP1Instance1', \
-              'SELECT ts, u FROM measurements \
-               WHERE ts >= timestamp ''2015-02-22 00:00''') \
-         WHERE varName = 'x'",
+         FROM fmu_simulate($1, $2) WHERE varName = $3",
+        params![
+            "HP1Instance1",
+            "SELECT ts, u FROM measurements WHERE ts >= timestamp '2015-02-22 00:00'",
+            "x"
+        ],
     )?;
     println!(
         "Validation-week prediction summary:\n{}",
@@ -57,19 +69,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // -- SQL line 4: a what-if heating scenario (max power all week). --------
     session.execute("CREATE TABLE scenario (ts timestamp, u float)")?;
-    session.execute(
-        "INSERT INTO scenario \
-         SELECT g, 1.0 FROM generate_series(timestamp '2015-02-22 00:00', \
-            timestamp '2015-02-28 23:00', interval '1 hour') AS g",
-    )?;
-    let scenario = session.execute(
+    session
+        .prepare(
+            "INSERT INTO scenario \
+             SELECT g, $1 FROM generate_series(timestamp '2015-02-22 00:00', \
+                timestamp '2015-02-28 23:00', interval '1 hour') AS g",
+        )?
+        .query(params![1.0])?;
+    let max_temp: Vec<Option<f64>> = session.query_as(
         "SELECT max(value) AS max_temp \
-         FROM fmu_simulate('HP1Instance1', 'SELECT * FROM scenario') \
-         WHERE varName = 'x'",
+         FROM fmu_simulate($1, $2) WHERE varName = $3",
+        params!["HP1Instance1", "SELECT * FROM scenario", "x"],
     )?;
     println!(
-        "Max indoor temperature under the heating-at-max-power scenario:\n{}",
-        scenario.to_ascii()
+        "Max indoor temperature under the heating-at-max-power scenario: {:.2} degC",
+        max_temp[0].unwrap_or(f64::NAN)
     );
     Ok(())
 }

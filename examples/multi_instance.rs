@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example multi_instance`
 
-use pgfmu::{EstimationConfig, PgFmu};
+use pgfmu::{params, EstimationConfig, PgFmu};
 use pgfmu_datagen::hp::hp1_dataset;
 use pgfmu_datagen::synthetic_instances;
 
@@ -25,13 +25,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut ids = Vec::new();
     let mut sqls = Vec::new();
-    session.execute("SELECT fmu_create('HP1', 'HP1Instance1')")?;
+    session.query("SELECT fmu_create($1, $2)", params!["HP1", "HP1Instance1"])?;
+    // One prepared plan drives every per-instance copy; only the target
+    // instance id varies per execution.
+    let copy = session.prepare("SELECT fmu_copy($1, $2)")?;
     for (i, (delta, data)) in datasets.iter().enumerate() {
         let table = format!("measurements{}", i + 1);
         data.load_into(session.db(), &table)?;
         let id = format!("HP1Instance{}", i + 1);
         if i > 0 {
-            session.execute(&format!("SELECT fmu_copy('HP1Instance1', '{id}')"))?;
+            copy.query(params!["HP1Instance1", id.as_str()])?;
         }
         println!("instance {id}: dataset delta = {delta:.3}");
         ids.push(id);
@@ -39,11 +42,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Estimate all instances; Algorithm 3 decides G+LaG vs LO per instance.
-    let report = session.execute(&format!(
-        "SELECT * FROM fmu_parest_report('{{{}}}', '{{{}}}', '{{Cp, R}}')",
-        ids.join(", "),
-        sqls.join(", "),
-    ))?;
+    // The array arguments bind as plain text — no literal quoting needed.
+    let report = session.query(
+        "SELECT * FROM fmu_parest_report($1, $2, $3)",
+        params![
+            format!("{{{}}}", ids.join(", ")),
+            format!("{{{}}}", sqls.join(", ")),
+            "{Cp, R}"
+        ],
+    )?;
     println!("\nPer-instance estimation report:\n{}", report.to_ascii());
 
     // Fleet-wide simulation with the paper's LATERAL pattern.

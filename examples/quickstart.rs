@@ -1,63 +1,70 @@
 //! Quickstart: create an FMU model instance from inline Modelica source,
-//! inspect it, simulate it, and read the results — all through SQL.
+//! inspect it, simulate it, and read the results — all through SQL, using
+//! the prepared-statement (bind/decode) client API.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use pgfmu::PgFmu;
+use pgfmu::{params, PgFmu};
+
+const HEATPUMP_MO: &str = "model heatpump \
+   parameter Real A(min = -10, max = 10) = -0.444 \"state coefficient\"; \
+   parameter Real B(min = -20, max = 20) = 13.78 \"input gain\"; \
+   parameter Real E(min = -20, max = 20) = -4.444 \"offset\"; \
+   parameter Real C = 0; \
+   parameter Real D = 7.8; \
+   discrete input Real u(min = 0, max = 1) \"HP power rating\"; \
+   output Real y \"HP power consumption\"; \
+   Real x(start = 20.75) \"indoor temperature\"; \
+ equation \
+   der(x) = A*x + B*u + E; \
+   y = C*x + D*u; \
+ end heatpump;";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A pgFMU session: an in-memory DBMS with the pgFMU UDFs installed.
     let session = PgFmu::new()?;
 
     // 1. Create a model instance from inline Modelica source (the paper's
-    //    Figure-2 heat pump). `fmu_create` compiles the model, registers
-    //    it in the model catalogue and creates the instance.
-    session.execute(
-        "SELECT fmu_create('model heatpump \
-           parameter Real A(min = -10, max = 10) = -0.444 \"state coefficient\"; \
-           parameter Real B(min = -20, max = 20) = 13.78 \"input gain\"; \
-           parameter Real E(min = -20, max = 20) = -4.444 \"offset\"; \
-           parameter Real C = 0; \
-           parameter Real D = 7.8; \
-           discrete input Real u(min = 0, max = 1) \"HP power rating\"; \
-           output Real y \"HP power consumption\"; \
-           Real x(start = 20.75) \"indoor temperature\"; \
-         equation \
-           der(x) = A*x + B*u + E; \
-           y = C*x + D*u; \
-         end heatpump;', 'HP1Instance1')",
-    )?;
+    //    Figure-2 heat pump). The source is passed as a $1 bind value, so
+    //    no quote-escaping of the Modelica text is needed.
+    session
+        .prepare("SELECT fmu_create($1, $2)")?
+        .query(params![HEATPUMP_MO, "HP1Instance1"])?;
 
     // 2. Inspect the instance's variables (paper Table 3).
-    let vars = session.execute(
-        "SELECT * FROM fmu_variables('HP1Instance1') AS f \
-         WHERE f.varType = 'parameter'",
+    let vars = session.query(
+        "SELECT * FROM fmu_variables($1) AS f WHERE f.varType = $2",
+        params!["HP1Instance1", "parameter"],
     )?;
     println!("Model parameters:\n{}", vars.to_ascii());
 
-    // 3. Provide a small control schedule and simulate 24 hours.
+    // 3. Provide a small control schedule and simulate 24 hours. The
+    //    prepared INSERT binds one (timestamp, power) row per execution.
     session.execute("CREATE TABLE schedule (ts timestamp, u float)")?;
-    session.execute(
-        "INSERT INTO schedule \
-         SELECT g, 0.9 FROM generate_series(timestamp '2015-02-01 00:00', \
-            timestamp '2015-02-02 00:00', interval '1 hour') AS g",
-    )?;
-    let sim = session.execute(
+    let insert = session.prepare("INSERT INTO schedule VALUES ($1, $2)")?;
+    for hour in 0..=24i64 {
+        let ts = format!("2015-02-{:02} {:02}:00", 1 + hour / 24, hour % 24);
+        insert.query(params![ts, 0.9])?;
+    }
+    let sim = session.query(
         "SELECT simulationTime, varName, value \
-         FROM fmu_simulate('HP1Instance1', 'SELECT * FROM schedule') \
-         WHERE varName = 'x' ORDER BY simulationTime LIMIT 8",
+         FROM fmu_simulate($1, $2) \
+         WHERE varName = $3 ORDER BY simulationTime LIMIT 8",
+        params!["HP1Instance1", "SELECT * FROM schedule", "x"],
     )?;
     println!(
         "First hours of simulated indoor temperature:\n{}",
         sim.to_ascii()
     );
 
-    // 4. Plain SQL over the simulation results (Figure 1, step 7).
-    let stats = session.execute(
+    // 4. Plain SQL over the simulation results (Figure 1, step 7), decoded
+    //    straight into Rust floats.
+    let envelope: Vec<(f64, f64)> = session.query_as(
         "SELECT min(value) AS coldest, max(value) AS warmest \
-         FROM fmu_simulate('HP1Instance1', 'SELECT * FROM schedule') \
-         WHERE varName = 'x'",
+         FROM fmu_simulate($1, $2) WHERE varName = $3",
+        params!["HP1Instance1", "SELECT * FROM schedule", "x"],
     )?;
-    println!("Temperature envelope:\n{}", stats.to_ascii());
+    let (coldest, warmest) = envelope[0];
+    println!("Temperature envelope: {coldest:.2} .. {warmest:.2} degC");
     Ok(())
 }
