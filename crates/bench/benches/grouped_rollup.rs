@@ -1,0 +1,25 @@
+//! Criterion bench: the per-day energy rollup over simulated output, run
+//! as one grouped SQL statement vs. the pre-GROUP-BY client-side fold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pgfmu_bench::grouped::{per_day_energy, per_day_energy_client_side, simulated_session};
+use pgfmu_bench::Profile;
+
+fn bench(c: &mut Criterion) {
+    let session = simulated_session(&Profile::quick());
+    c.bench_function("rollup_sql_group_by", |b| {
+        b.iter(|| black_box(per_day_energy(&session, 0.0)))
+    });
+    c.bench_function("rollup_client_side_fold", |b| {
+        b.iter(|| black_box(per_day_energy_client_side(&session, 0.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench
+}
+criterion_main!(benches);

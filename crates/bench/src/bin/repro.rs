@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT…] [--full] [--instances N]
 //!
 //! EXPERIMENT: table1 table2 table3 table4 table7 table8 fig6 fig7 fig8
-//!             madlib bench  (default: all)
+//!             madlib grouped bench  (default: all)
 //! --full        paper-scale workloads (100 instances, full datasets)
 //! --instances N override the MI instance count
 //! ```
@@ -15,7 +15,7 @@
 
 use pgfmu_bench::report::{fmt_secs, render};
 use pgfmu_bench::setup::{bench_session, ModelKind, ALL_MODELS};
-use pgfmu_bench::{fig6, fig7, fig8, madlib, table1, table2, table7, table8, Profile};
+use pgfmu_bench::{fig6, fig7, fig8, grouped, madlib, table1, table2, table7, table8, Profile};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,9 +75,43 @@ fn main() {
     if want("madlib") {
         run_madlib(&profile);
     }
+    if want("grouped") {
+        run_grouped(&profile);
+    }
     if want("bench") {
         run_bench_json("BENCH_PR2.json");
     }
+}
+
+/// Per-day energy rollup over simulated HP1 output, grouped in SQL vs the
+/// client-side fold it replaces.
+fn run_grouped(profile: &Profile) {
+    println!("== Grouped rollup: per-day HP1 output energy (GROUP BY / HAVING) ==");
+    let session = grouped::simulated_session(profile);
+    let days = grouped::per_day_energy(&session, 0.0);
+    let rows: Vec<Vec<String>> = days
+        .iter()
+        .map(|d| {
+            vec![
+                d.day.to_string(),
+                format!("{:.2}", d.energy_kwh),
+                d.samples.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render(&["day", "energy kWh", "samples"], &rows));
+    let sql_ns = median_ns(20, || {
+        grouped::per_day_energy(&session, 0.0);
+    });
+    let client_ns = median_ns(20, || {
+        grouped::per_day_energy_client_side(&session, 0.0);
+    });
+    println!(
+        "one grouped statement: {} | client-side fold: {} ({:.1}x)\n",
+        fmt_secs(sql_ns as f64 / 1e9),
+        fmt_secs(client_ns as f64 / 1e9),
+        client_ns as f64 / sql_ns as f64
+    );
 }
 
 /// Median-of-N wall time of one closure, in nanoseconds.

@@ -1,0 +1,162 @@
+//! Grouped MADlib-style rollups over simulated output.
+//!
+//! The paper's §8 analytics combos aggregate `fmu_simulate` output — per
+//! day, per variable, per instance. Until GROUP BY landed in `sqlmini`
+//! those rollups had to stream every row to the client and fold in Rust;
+//! this driver runs the per-day energy rollup of the Table-8 SI workload
+//! as one grouped SQL statement (HAVING threshold bound as `$1`) and keeps
+//! the old client-side fold around as the comparison baseline for the
+//! `grouped_rollup` Criterion bench.
+
+use std::collections::BTreeMap;
+
+use pgfmu::params;
+
+use crate::profiles::Profile;
+use crate::setup::{bench_session, Bench, ModelKind};
+
+/// One per-day energy bucket of the rollup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayEnergy {
+    /// Day index since the Unix epoch (`floor(epoch / 86400)`).
+    pub day: i64,
+    /// Sum of hourly output-power samples (kW · 1 h = kWh).
+    pub energy_kwh: f64,
+    /// Samples contributing to the bucket.
+    pub samples: i64,
+}
+
+/// Build an HP1 session and materialize one simulation pass into a `sim`
+/// table in `fmu_simulate`'s long format.
+pub fn simulated_session(profile: &Profile) -> Bench {
+    let bench = bench_session(ModelKind::Hp1, profile);
+    let s = &bench.session;
+    s.execute(
+        "CREATE TABLE sim (simulationtime timestamp, instanceid text, \
+         varname text, value float)",
+    )
+    .expect("create sim");
+    s.query(
+        "INSERT INTO sim SELECT * FROM fmu_simulate($1, $2)",
+        params![
+            bench.instance.as_str(),
+            format!("SELECT ts, u FROM {}", bench.table)
+        ],
+    )
+    .expect("simulate into sim");
+    bench
+}
+
+/// The grouped rollup: aggregate the simulated output power per day in one
+/// statement, `HAVING` pruning days below `min_kwh` (bound as `$1`).
+pub fn per_day_energy(bench: &Bench, min_kwh: f64) -> Vec<DayEnergy> {
+    let rows: Vec<(i64, f64, i64)> = bench
+        .session
+        .query_as(
+            "SELECT floor(extract_epoch(simulationtime) / 86400.0)::int AS day, \
+                    sum(value) AS energy_kwh, count(*) AS samples \
+             FROM sim WHERE varname = 'y' \
+             GROUP BY floor(extract_epoch(simulationtime) / 86400.0)::int \
+             HAVING sum(value) > $1 ORDER BY day",
+            params![min_kwh],
+        )
+        .expect("per-day rollup");
+    rows.into_iter()
+        .map(|(day, energy_kwh, samples)| DayEnergy {
+            day,
+            energy_kwh,
+            samples,
+        })
+        .collect()
+}
+
+/// The same rollup the pre-GROUP-BY way: stream every output row to the
+/// client and fold per day in Rust. Kept as the bench baseline.
+pub fn per_day_energy_client_side(bench: &Bench, min_kwh: f64) -> Vec<DayEnergy> {
+    let rows: Vec<(i64, f64)> = bench
+        .session
+        .query_as(
+            "SELECT extract_epoch(simulationtime), value FROM sim WHERE varname = 'y'",
+            params![],
+        )
+        .expect("client-side scan");
+    let mut days: BTreeMap<i64, (f64, i64)> = BTreeMap::new();
+    for (epoch, v) in rows {
+        let slot = days.entry(epoch.div_euclid(86_400)).or_insert((0.0, 0));
+        slot.0 += v;
+        slot.1 += 1;
+    }
+    days.into_iter()
+        .filter(|(_, (sum, _))| *sum > min_kwh)
+        .map(|(day, (energy_kwh, samples))| DayEnergy {
+            day,
+            energy_kwh,
+            samples,
+        })
+        .collect()
+}
+
+/// Per-variable means over the whole simulation — the §8.2 combo shape
+/// (`GROUP BY varname`), previously only expressible one variable at a
+/// time.
+pub fn per_variable_means(bench: &Bench) -> Vec<(String, f64, i64)> {
+    bench
+        .session
+        .query_as(
+            "SELECT varname, avg(value), count(*) FROM sim \
+             GROUP BY varname ORDER BY varname",
+            params![],
+        )
+        .expect("per-variable rollup")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_rollup_matches_client_side_fold() {
+        let bench = simulated_session(&Profile::test());
+        let sql = per_day_energy(&bench, 0.0);
+        let client = per_day_energy_client_side(&bench, 0.0);
+        assert_eq!(sql.len(), client.len());
+        assert!(!sql.is_empty(), "simulation produced no full days");
+        for (a, b) in sql.iter().zip(&client) {
+            assert_eq!(a.day, b.day);
+            assert_eq!(a.samples, b.samples);
+            assert!(
+                (a.energy_kwh - b.energy_kwh).abs() < 1e-9 * (1.0 + b.energy_kwh.abs()),
+                "day {}: {} vs {}",
+                a.day,
+                a.energy_kwh,
+                b.energy_kwh
+            );
+        }
+    }
+
+    #[test]
+    fn having_threshold_prunes_days() {
+        let bench = simulated_session(&Profile::test());
+        let all = per_day_energy(&bench, f64::MIN);
+        let none = per_day_energy(&bench, f64::MAX);
+        assert!(!all.is_empty());
+        assert!(none.is_empty());
+        // A threshold at the median keeps a strict subset.
+        let mut sums: Vec<f64> = all.iter().map(|d| d.energy_kwh).collect();
+        sums.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sums[sums.len() / 2];
+        let some = per_day_energy(&bench, median);
+        assert!(some.len() < all.len());
+    }
+
+    #[test]
+    fn per_variable_rollup_covers_the_model_outputs() {
+        let bench = simulated_session(&Profile::test());
+        let vars = per_variable_means(&bench);
+        let names: Vec<&str> = vars.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert!(names.contains(&"x") && names.contains(&"y"), "{names:?}");
+        for (_, _, n) in &vars {
+            assert!(*n > 0);
+        }
+    }
+}

@@ -10,6 +10,7 @@
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod grouped;
 pub mod madlib;
 pub mod profiles;
 pub mod report;

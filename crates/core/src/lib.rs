@@ -62,6 +62,29 @@
 //!     .unwrap();
 //! assert_eq!(rows, vec![(2, 0.9)]);
 //! ```
+//!
+//! ## Grouped analytics over simulated output
+//!
+//! `fmu_simulate` returns an ordinary long-format relation
+//! `(simulationtime, instanceid, varname, value)`, so the engine's
+//! grouped aggregation composes with it directly — the paper's
+//! MADlib-style combos (per-variable, per-day, per-instance rollups)
+//! are one statement each:
+//!
+//! ```
+//! use pgfmu::{params, PgFmu};
+//!
+//! let session = PgFmu::new().unwrap();
+//! session.execute("SELECT fmu_create('HP0', 'i')").unwrap();
+//! let rollup: Vec<(String, i64)> = session
+//!     .query_as(
+//!         "SELECT varname, count(*) FROM fmu_simulate($1) \
+//!          GROUP BY varname HAVING count(*) > $2 ORDER BY varname",
+//!         params!["i", 0],
+//!     )
+//!     .unwrap();
+//! assert!(!rollup.is_empty());
+//! ```
 
 pub mod arrays;
 pub mod control;

@@ -68,6 +68,11 @@ pub struct SelectStmt {
     pub from: Vec<FromItem>,
     /// WHERE predicate.
     pub where_clause: Option<Expr>,
+    /// GROUP BY expressions (empty = no grouping). An integer literal is a
+    /// 1-based select-list ordinal, as in PostgreSQL (`GROUP BY 1`).
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate, evaluated once per group.
+    pub having: Option<Expr>,
     /// ORDER BY expressions with descending flags.
     pub order_by: Vec<(Expr, bool)>,
     /// LIMIT row count.
@@ -276,6 +281,12 @@ fn max_param_select(sel: &SelectStmt) -> usize {
     if let Some(w) = &sel.where_clause {
         n = n.max(max_param_expr(w));
     }
+    for e in &sel.group_by {
+        n = n.max(max_param_expr(e));
+    }
+    if let Some(h) = &sel.having {
+        n = n.max(max_param_expr(h));
+    }
     for (e, _) in &sel.order_by {
         n = n.max(max_param_expr(e));
     }
@@ -333,6 +344,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(max_param(&stmt), 4);
+        let stmt =
+            crate::parser::parse("SELECT a FROM t GROUP BY a + $6 HAVING count(*) > $5 ORDER BY a")
+                .unwrap();
+        assert_eq!(max_param(&stmt), 6);
         let stmt = crate::parser::parse("INSERT INTO t VALUES ($1, $2), ($3, 4)").unwrap();
         assert_eq!(max_param(&stmt), 3);
         let stmt = crate::parser::parse("UPDATE t SET a = $2 WHERE b IN ($1, $5)").unwrap();

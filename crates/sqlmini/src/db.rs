@@ -117,6 +117,25 @@ impl StmtCache {
 /// let hot = db.prepare("SELECT x FROM m WHERE x > $1").unwrap();
 /// assert_eq!(hot.query(&[21.0.into()]).unwrap().len(), 1);
 /// ```
+///
+/// Placeholders bind anywhere an expression is legal, including grouped
+/// aggregation clauses — the plan is cached once, the HAVING threshold
+/// varies per execution:
+///
+/// ```
+/// use pgfmu_sqlmini::{params, Database};
+///
+/// let db = Database::new();
+/// db.execute("CREATE TABLE m (site text, x float)").unwrap();
+/// db.execute("INSERT INTO m VALUES ('a', 1.0), ('a', 2.0), ('b', 9.0)").unwrap();
+/// let per_site = db
+///     .prepare("SELECT site, sum(x) FROM m GROUP BY site HAVING sum(x) > $1 ORDER BY site")
+///     .unwrap();
+/// let rows: Vec<(String, f64)> = per_site.query_as(params![2.0]).unwrap();
+/// assert_eq!(rows, vec![("a".into(), 3.0), ("b".into(), 9.0)]);
+/// let rows: Vec<(String, f64)> = per_site.query_as(params![5.0]).unwrap();
+/// assert_eq!(rows, vec![("b".into(), 9.0)]);
+/// ```
 pub struct Statement<'db> {
     db: &'db Database,
     stmt: Arc<Stmt>,
@@ -507,6 +526,27 @@ mod tests {
         let db = setup();
         let err = db.execute("SELECT x, count(*) FROM m");
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn group_by_having_through_prepare_and_query_as() {
+        let db = setup();
+        // The acceptance-criterion shape: key + aggregate, HAVING threshold
+        // bound as $1, decoded through the typed row surface.
+        let stmt = db
+            .prepare(
+                "SELECT u, count(*) FROM m GROUP BY u \
+                 HAVING count(*) >= $1 ORDER BY u",
+            )
+            .unwrap();
+        let all: Vec<(f64, i64)> = stmt.query_as(&[Value::Int(1)]).unwrap();
+        assert_eq!(all.len(), 3, "three distinct u values");
+        let none: Vec<(f64, i64)> = stmt.query_as(&[Value::Int(2)]).unwrap();
+        assert!(none.is_empty());
+        // Re-executing the handle reuses the cached plan — no re-parse.
+        let (p0, _) = db.statement_stats();
+        stmt.query(&[Value::Int(1)]).unwrap();
+        assert_eq!(db.statement_stats().0, p0);
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub enum SqlError {
     UnknownFunction(String),
     /// Value/type mismatch (bad cast, bad operand types, arity).
     Type(String),
+    /// Grouping rule violation (ungrouped column next to an aggregate,
+    /// aggregate in WHERE/GROUP BY, nested aggregates). The message carries
+    /// PostgreSQL's wording verbatim, so it is displayed as-is.
+    Grouping(String),
     /// Constraint violation (duplicate table, wrong column count, …).
     Constraint(String),
     /// Any runtime failure raised by UDFs or the executor.
@@ -32,6 +36,7 @@ impl fmt::Display for SqlError {
             SqlError::UnknownColumn(c) => write!(f, "column \"{c}\" does not exist"),
             SqlError::UnknownFunction(x) => write!(f, "function {x} does not exist"),
             SqlError::Type(m) => write!(f, "type error: {m}"),
+            SqlError::Grouping(m) => write!(f, "{m}"),
             SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
             SqlError::Execution(m) => write!(f, "execution error: {m}"),
         }
@@ -55,5 +60,10 @@ mod tests {
             "column \"varname\" does not exist"
         );
         assert!(SqlError::Parse("bad".into()).to_string().contains("syntax"));
+        // Grouping errors carry PostgreSQL's wording verbatim, no prefix.
+        assert_eq!(
+            SqlError::Grouping("aggregate functions are not allowed in WHERE".into()).to_string(),
+            "aggregate functions are not allowed in WHERE"
+        );
     }
 }

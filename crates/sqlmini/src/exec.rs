@@ -1,15 +1,24 @@
 //! Query executor: expression evaluation, cross/lateral joins, filtering,
-//! projection, aggregation, ordering.
+//! projection, grouped aggregation, ordering.
 //!
 //! Execution is parameterized: every entry point takes a slice of bind
 //! values for `$n` placeholders (empty for plain statements). `SELECT`
 //! results can be consumed through the streaming [`Rows`] iterator —
 //! filtering and projection run per `next()` call, so callers that stop
 //! early (or decode row-by-row) never materialize the full output. Queries
-//! with `ORDER BY` or aggregates are materialized up front, as ordering is
-//! a pipeline breaker.
+//! with `ORDER BY`, `GROUP BY` or aggregates are materialized up front, as
+//! ordering and grouping are pipeline breakers.
+//!
+//! Grouped aggregation is a hash operator: each input row's `GROUP BY` key
+//! is evaluated and hashed (NULLs group together, `-0.0`/`NaN` are
+//! canonicalized), rows are bucketed per key in one pass, and every output
+//! expression is then rewritten per group — grouping expressions become the
+//! key values, aggregate calls collapse over the bucket — before ordinary
+//! scalar evaluation. References to ungrouped columns and aggregates in
+//! `WHERE`/`GROUP BY` fail with PostgreSQL's wording.
 
 use std::cmp::Ordering;
+use std::collections::{hash_map::Entry, HashMap};
 
 use crate::ast::{
     contains_aggregate, BinOp, Expr, FromItem, InsertSource, SelectItem, SelectStmt, Stmt, UnOp,
@@ -288,68 +297,186 @@ fn eval(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Valu
     }
 }
 
-/// WHERE-clause truthiness: NULL is not true.
-fn is_true(v: &Value) -> Result<bool> {
+/// Predicate-clause truthiness: NULL is not true. `clause` names the
+/// clause in the type error (`WHERE`, `HAVING`).
+fn is_true_in(v: &Value, clause: &str) -> Result<bool> {
     match v {
         Value::Null => Ok(false),
         v => v
             .as_bool()
-            .map_err(|_| SqlError::Type("argument of WHERE must be type boolean".into())),
+            .map_err(|_| SqlError::Type(format!("argument of {clause} must be type boolean"))),
     }
 }
 
+/// WHERE-clause truthiness.
+fn is_true(v: &Value) -> Result<bool> {
+    is_true_in(v, "WHERE")
+}
+
 // ---------------------------------------------------------------------------
-// Aggregation
+// Grouped aggregation
 // ---------------------------------------------------------------------------
 
-fn eval_aggregate_expr(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, rows: &[Row]) -> Result<Value> {
+/// Hashable, normalized form of one grouping-key component. NULLs group
+/// together (as in PostgreSQL's GROUP BY), and `-0.0`/`NaN` floats are
+/// canonicalized so every row lands in a stable bucket.
+#[derive(PartialEq, Eq, Hash)]
+enum KeyAtom {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(u64),
+    Text(String),
+    Timestamp(i64),
+    Interval(i64),
+}
+
+impl KeyAtom {
+    fn from_value(v: &Value) -> KeyAtom {
+        match v {
+            Value::Null => KeyAtom::Null,
+            Value::Bool(b) => KeyAtom::Bool(*b),
+            Value::Int(i) => KeyAtom::Int(*i),
+            Value::Float(f) => {
+                let f = if *f == 0.0 { 0.0 } else { *f };
+                KeyAtom::Float(if f.is_nan() {
+                    f64::NAN.to_bits()
+                } else {
+                    f.to_bits()
+                })
+            }
+            Value::Text(s) => KeyAtom::Text(s.clone()),
+            Value::Timestamp(t) => KeyAtom::Timestamp(*t),
+            Value::Interval(s) => KeyAtom::Interval(*s),
+        }
+    }
+}
+
+/// One hash bucket during grouped evaluation: the resolved GROUP BY
+/// expressions, this group's key values, and its source rows.
+struct Group<'a> {
+    exprs: &'a [Expr],
+    key: &'a [Value],
+    rows: &'a [Row],
+}
+
+/// The PostgreSQL grouping-rule error for a raw column reference that is
+/// neither grouped nor inside an aggregate.
+fn ungrouped_column(table: Option<&str>, name: &str) -> SqlError {
+    let qualified = match table {
+        Some(t) => format!("{t}.{name}"),
+        None => name.to_string(),
+    };
+    SqlError::Grouping(format!(
+        "column \"{qualified}\" must appear in the GROUP BY clause \
+         or be used in an aggregate function"
+    ))
+}
+
+/// Reject aggregate calls in clauses where PostgreSQL forbids them
+/// (`aggregate functions are not allowed in WHERE`, …).
+fn reject_aggregate(clause: &str, e: &Expr) -> Result<()> {
+    if contains_aggregate(e) {
+        return Err(SqlError::Grouping(format!(
+            "aggregate functions are not allowed in {clause}"
+        )));
+    }
+    Ok(())
+}
+
+/// Are these two expressions the same grouping expression? Structural
+/// equality, except bare column references compare by resolved position, so
+/// `SELECT t.a … GROUP BY a` matches.
+fn same_group_expr(env: &Env<'_>, a: &Expr, b: &Expr) -> bool {
+    if a == b {
+        return true;
+    }
+    if let (
+        Expr::Column {
+            table: ta,
+            name: na,
+        },
+        Expr::Column {
+            table: tb,
+            name: nb,
+        },
+    ) = (a, b)
+    {
+        if let (Ok(ia), Ok(ib)) = (
+            env.resolve(ta.as_deref(), na),
+            env.resolve(tb.as_deref(), nb),
+        ) {
+            return ia == ib;
+        }
+    }
+    false
+}
+
+/// Rewrite an output/HAVING/ORDER BY expression of a grouped query into a
+/// row-free scalar expression: subtrees matching a GROUP BY expression
+/// become the group's key value, aggregate calls are computed over the
+/// group's rows, and any column reference left over is a grouping error.
+/// The lowered expression is then evaluated by the ordinary [`eval`].
+fn lower_grouped(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, g: &Group<'_>) -> Result<Expr> {
+    if let Some(i) = g.exprs.iter().position(|e| same_group_expr(env, e, expr)) {
+        return Ok(Expr::Literal(g.key[i].clone()));
+    }
     match expr {
         Expr::Function { name, args } if AGGREGATE_FUNCTIONS.contains(&name.as_str()) => {
-            compute_aggregate(ctx, name, args, env, rows)
+            if args.iter().any(contains_aggregate) {
+                return Err(SqlError::Grouping(
+                    "aggregate function calls cannot be nested".into(),
+                ));
+            }
+            Ok(Expr::Literal(compute_aggregate(
+                ctx, name, args, env, g.rows,
+            )?))
         }
-        Expr::Literal(v) => Ok(v.clone()),
-        Expr::Param(_) => eval(ctx, expr, env, &[]),
-        Expr::Unary { op, expr } => {
-            let inner = eval_aggregate_expr(ctx, expr, env, rows)?;
-            eval(
-                ctx,
-                &Expr::Unary {
-                    op: *op,
-                    expr: Box::new(Expr::Literal(inner)),
-                },
-                env,
-                &[],
-            )
-        }
-        Expr::Binary { op, left, right } => {
-            let l = eval_aggregate_expr(ctx, left, env, rows)?;
-            let r = eval_aggregate_expr(ctx, right, env, rows)?;
-            eval(
-                ctx,
-                &Expr::Binary {
-                    op: *op,
-                    left: Box::new(Expr::Literal(l)),
-                    right: Box::new(Expr::Literal(r)),
-                },
-                env,
-                &[],
-            )
-        }
-        Expr::Cast { expr, ty } => eval_aggregate_expr(ctx, expr, env, rows)?.cast_to(*ty),
-        Expr::Function { name, args } => {
-            let vals: Result<Vec<Value>> = args
+        Expr::Column { table, name } => Err(ungrouped_column(table.as_deref(), name)),
+        Expr::Literal(_) | Expr::Param(_) => Ok(expr.clone()),
+        Expr::Unary { op, expr } => Ok(Expr::Unary {
+            op: *op,
+            expr: Box::new(lower_grouped(ctx, expr, env, g)?),
+        }),
+        Expr::Binary { op, left, right } => Ok(Expr::Binary {
+            op: *op,
+            left: Box::new(lower_grouped(ctx, left, env, g)?),
+            right: Box::new(lower_grouped(ctx, right, env, g)?),
+        }),
+        Expr::Cast { expr, ty } => Ok(Expr::Cast {
+            expr: Box::new(lower_grouped(ctx, expr, env, g)?),
+            ty: *ty,
+        }),
+        Expr::IsNull { expr, negated } => Ok(Expr::IsNull {
+            expr: Box::new(lower_grouped(ctx, expr, env, g)?),
+            negated: *negated,
+        }),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Ok(Expr::InList {
+            expr: Box::new(lower_grouped(ctx, expr, env, g)?),
+            list: list
                 .iter()
-                .map(|a| eval_aggregate_expr(ctx, a, env, rows))
-                .collect();
-            ctx.db.call_scalar(name, &vals?)
-        }
-        Expr::Column { name, .. } => Err(SqlError::Execution(format!(
-            "column \"{name}\" must appear in an aggregate function"
-        ))),
-        other => Err(SqlError::Execution(format!(
-            "unsupported expression in aggregate query: {other:?}"
-        ))),
+                .map(|e| lower_grouped(ctx, e, env, g))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        }),
+        Expr::Function { name, args } => Ok(Expr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| lower_grouped(ctx, a, env, g))
+                .collect::<Result<_>>()?,
+        }),
     }
+}
+
+/// Lower a grouped expression and evaluate it to a value.
+fn eval_grouped(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, g: &Group<'_>) -> Result<Value> {
+    let lowered = lower_grouped(ctx, expr, env, g)?;
+    eval(ctx, &lowered, env, &[])
 }
 
 fn compute_aggregate(
@@ -420,10 +547,11 @@ fn compute_aggregate(
 // ---------------------------------------------------------------------------
 
 /// A streaming query result: an iterator of `Result<Row>` plus column
-/// names. For plain `SELECT`s (no `ORDER BY`, no aggregates) the WHERE
-/// filter and the projection run lazily per [`Iterator::next`] call, so
-/// consumers that stop early never pay for the full result; ordered and
-/// aggregated queries are materialized up front.
+/// names. For plain `SELECT`s (no `ORDER BY`, no `GROUP BY`, no
+/// aggregates) the WHERE filter and the projection run lazily per
+/// [`Iterator::next`] call, so consumers that stop early never pay for the
+/// full result; ordered and grouped/aggregated queries are materialized up
+/// front, as both are pipeline breakers.
 pub struct Rows<'db> {
     columns: Vec<String>,
     state: RowsState<'db>,
@@ -547,6 +675,18 @@ pub fn select_rows<'db>(
     params: &[Value],
 ) -> Result<Rows<'db>> {
     let ctx = Ctx { db, params };
+
+    // 0. Clause-placement validation (PostgreSQL wording).
+    if let Some(w) = &sel.where_clause {
+        reject_aggregate("WHERE", w)?;
+    }
+    for item in &sel.from {
+        if let FromItem::Function { args, .. } = item {
+            for a in args {
+                reject_aggregate("FROM", a)?;
+            }
+        }
+    }
 
     // 1. FROM: build the joined row set, functions joining laterally.
     let mut bindings: Vec<Binding> = Vec::new();
@@ -675,11 +815,81 @@ pub fn select_rows<'db>(
         }
     }
     let columns: Vec<String> = projections.iter().map(|(_, n)| n.clone()).collect();
-    let aggregate_mode = projections.iter().any(|(e, _)| contains_aggregate(e));
+
+    // Resolve GROUP BY ordinals (`GROUP BY 1` names the first select item,
+    // as in PostgreSQL) and reject aggregates in grouping expressions.
+    let mut group_exprs: Vec<Expr> = Vec::with_capacity(sel.group_by.len());
+    for e in &sel.group_by {
+        let resolved = match e {
+            Expr::Literal(Value::Int(n)) => {
+                let i = usize::try_from(*n - 1)
+                    .ok()
+                    .filter(|i| *i < projections.len())
+                    .ok_or_else(|| {
+                        SqlError::Grouping(format!("GROUP BY position {n} is not in select list"))
+                    })?;
+                projections[i].0.clone()
+            }
+            other => other.clone(),
+        };
+        reject_aggregate("GROUP BY", &resolved)?;
+        group_exprs.push(resolved);
+    }
+
+    // ORDER BY items may name an output column (alias) or its 1-based
+    // ordinal, as in PostgreSQL; both resolve to the projected expression.
+    // A bare name matching both an output and an input column means the
+    // output column.
+    let mut order_by: Vec<(Expr, bool)> = Vec::with_capacity(sel.order_by.len());
+    for (e, desc) in &sel.order_by {
+        let resolved = match e {
+            Expr::Literal(Value::Int(n)) => {
+                let i = usize::try_from(*n - 1)
+                    .ok()
+                    .filter(|i| *i < projections.len())
+                    .ok_or_else(|| {
+                        SqlError::Grouping(format!("ORDER BY position {n} is not in select list"))
+                    })?;
+                projections[i].0.clone()
+            }
+            Expr::Column { table: None, name } => {
+                let hits: Vec<&Expr> = projections
+                    .iter()
+                    .filter(|(_, out)| out.eq_ignore_ascii_case(name))
+                    .map(|(pe, _)| pe)
+                    .collect();
+                match hits.as_slice() {
+                    [] => e.clone(),
+                    [first, rest @ ..] => {
+                        // Several output columns may share the name as long
+                        // as they are the same expression (`SELECT *, x …
+                        // ORDER BY x`); different expressions are ambiguous.
+                        let probe = Env {
+                            bindings: &bindings,
+                        };
+                        if rest.iter().all(|pe| same_group_expr(&probe, first, pe)) {
+                            (*first).clone()
+                        } else {
+                            return Err(SqlError::Grouping(format!(
+                                "ORDER BY \"{name}\" is ambiguous"
+                            )));
+                        }
+                    }
+                }
+            }
+            other => other.clone(),
+        };
+        order_by.push((resolved, *desc));
+    }
+
+    let has_aggregate = projections.iter().any(|(e, _)| contains_aggregate(e))
+        || sel.having.as_ref().is_some_and(contains_aggregate)
+        || order_by.iter().any(|(e, _)| contains_aggregate(e));
+    let grouped = has_aggregate || !group_exprs.is_empty() || sel.having.is_some();
     let limit = sel.limit.map(|l| l as usize).unwrap_or(usize::MAX);
 
     // 3. Plain SELECT: defer WHERE + projection + LIMIT to the cursor.
-    if !aggregate_mode && sel.order_by.is_empty() {
+    if !grouped && order_by.is_empty() {
         return Ok(Rows {
             columns,
             state: RowsState::Lazy {
@@ -709,36 +919,69 @@ pub fn select_rows<'db>(
         rows = kept;
     }
 
-    // 5. Aggregates collapse to a single row (ORDER BY/LIMIT are no-ops).
+    // 5. Grouped aggregation: hash rows into per-key buckets (no GROUP BY
+    //    = one group over the whole input), filter groups with HAVING, then
+    //    project / order / limit per group.
     let mut result = QueryResult::new(columns);
-    if aggregate_mode {
-        let mut out = Vec::with_capacity(projections.len());
-        for (e, _) in &projections {
-            out.push(eval_aggregate_expr(&ctx, e, &env, &rows)?);
+    if grouped {
+        let groups: Vec<(Vec<Value>, Vec<Row>)> = if group_exprs.is_empty() {
+            vec![(Vec::new(), rows)]
+        } else {
+            let mut index: HashMap<Vec<KeyAtom>, usize> = HashMap::new();
+            let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
+            for r in rows {
+                let mut key = Vec::with_capacity(group_exprs.len());
+                for e in &group_exprs {
+                    key.push(eval(&ctx, e, &env, &r)?);
+                }
+                match index.entry(key.iter().map(KeyAtom::from_value).collect()) {
+                    Entry::Occupied(o) => groups[*o.get()].1.push(r),
+                    Entry::Vacant(v) => {
+                        v.insert(groups.len());
+                        groups.push((key, vec![r]));
+                    }
+                }
+            }
+            groups
+        };
+
+        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(groups.len());
+        for (key, grows) in &groups {
+            let g = Group {
+                exprs: &group_exprs,
+                key,
+                rows: grows,
+            };
+            if let Some(h) = &sel.having {
+                if !is_true_in(&eval_grouped(&ctx, h, &env, &g)?, "HAVING")? {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(projections.len());
+            for (e, _) in &projections {
+                out.push(eval_grouped(&ctx, e, &env, &g)?);
+            }
+            let mut sort_key = Vec::with_capacity(order_by.len());
+            for (e, _) in &order_by {
+                sort_key.push(eval_grouped(&ctx, e, &env, &g)?);
+            }
+            keyed.push((sort_key, out));
         }
-        result.rows.push(out);
+        sort_keyed(&mut keyed, &order_by);
+        result.rows = keyed.into_iter().take(limit).map(|(_, r)| r).collect();
         return Ok(Rows::from_result(result));
     }
 
     // 6. ORDER BY on source rows.
     let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
     for r in rows {
-        let mut keys = Vec::with_capacity(sel.order_by.len());
-        for (e, _) in &sel.order_by {
+        let mut keys = Vec::with_capacity(order_by.len());
+        for (e, _) in &order_by {
             keys.push(eval(&ctx, e, &env, &r)?);
         }
         keyed.push((keys, r));
     }
-    keyed.sort_by(|(ka, _), (kb, _)| {
-        for (i, (_, desc)) in sel.order_by.iter().enumerate() {
-            let o = order_cmp(&ka[i], &kb[i]);
-            let o = if *desc { o.reverse() } else { o };
-            if o != Ordering::Equal {
-                return o;
-            }
-        }
-        Ordering::Equal
-    });
+    sort_keyed(&mut keyed, &order_by);
 
     // 7. LIMIT + projection.
     for (_, r) in keyed.into_iter().take(limit) {
@@ -749,6 +992,20 @@ pub fn select_rows<'db>(
         result.rows.push(out);
     }
     Ok(Rows::from_result(result))
+}
+
+/// Stable multi-key sort shared by the grouped and plain ORDER BY paths.
+fn sort_keyed(keyed: &mut [(Vec<Value>, Row)], order_by: &[(Expr, bool)]) {
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, (_, desc)) in order_by.iter().enumerate() {
+            let o = order_cmp(&ka[i], &kb[i]);
+            let o = if *desc { o.reverse() } else { o };
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    });
 }
 
 /// Output column name for an unaliased projection.
@@ -795,6 +1052,9 @@ pub fn execute_stmt_rows<'db>(
                     let env = Env { bindings: &[] };
                     let mut out = Vec::with_capacity(rows.len());
                     for row in rows {
+                        for e in row {
+                            reject_aggregate("VALUES", e)?;
+                        }
                         let vals: Result<Row> =
                             row.iter().map(|e| eval(&ctx, e, &env, &[])).collect();
                         out.push(vals?);
@@ -845,6 +1105,12 @@ pub fn execute_stmt_rows<'db>(
             sets,
             where_clause,
         } => {
+            for (_, e) in sets {
+                reject_aggregate("UPDATE", e)?;
+            }
+            if let Some(w) = where_clause {
+                reject_aggregate("WHERE", w)?;
+            }
             let handle = db.get_table(table)?;
             // Snapshot for evaluation, then apply — keeps evaluation free of
             // the write lock so UDFs inside SET expressions may re-enter.
@@ -894,6 +1160,9 @@ pub fn execute_stmt_rows<'db>(
             table,
             where_clause,
         } => {
+            if let Some(w) = where_clause {
+                reject_aggregate("WHERE", w)?;
+            }
             let handle = db.get_table(table)?;
             let (schema, snapshot) = {
                 let g = handle.read();

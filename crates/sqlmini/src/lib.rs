@@ -5,8 +5,9 @@
 //! it needs from the DBMS is:
 //!
 //! * SQL query execution over ordinary tables (`SELECT` with projections,
-//!   cross joins, WHERE/ORDER BY/LIMIT, aggregates; `INSERT … VALUES` and
-//!   `INSERT … SELECT`; `UPDATE`; `DELETE`; `CREATE`/`DROP TABLE`);
+//!   cross joins, WHERE/GROUP BY/HAVING/ORDER BY/LIMIT, hash-grouped
+//!   aggregates; `INSERT … VALUES` and `INSERT … SELECT`; `UPDATE`;
+//!   `DELETE`; `CREATE`/`DROP TABLE`);
 //! * **scalar and set-returning user-defined functions** that can re-enter
 //!   the database — `fmu_parest` executes the user's `input_sql`, and
 //!   `fmu_simulate` appears in `FROM` clauses, including the paper's
@@ -41,9 +42,62 @@
 //! assert_eq!(avg, vec![Some(22.0)]);
 //! ```
 //!
+//! ## Grouped aggregation
+//!
+//! `GROUP BY` / `HAVING` run as a hash-grouping operator over the joined
+//! input: `count`/`sum`/`avg`/`min`/`max` evaluate per group, grouping
+//! keys may be arbitrary expressions (or select-list ordinals), and
+//! placeholders bind inside grouping and `HAVING` clauses. Ungrouped
+//! column references and aggregates in `WHERE` fail with PostgreSQL's
+//! wording:
+//!
+//! ```
+//! use pgfmu_sqlmini::{params, Database};
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE m (site text, x float)").unwrap();
+//! db.execute("INSERT INTO m VALUES ('a', 1.5), ('a', 2.5), ('b', 9.0)").unwrap();
+//! let rows: Vec<(String, f64)> = db
+//!     .query_as(
+//!         "SELECT site, sum(x) FROM m GROUP BY site HAVING sum(x) > $1 ORDER BY site",
+//!         params![3.0],
+//!     )
+//!     .unwrap();
+//! assert_eq!(rows, vec![("a".into(), 4.0), ("b".into(), 9.0)]);
+//! let err = db.execute("SELECT site, x, sum(x) FROM m GROUP BY site").unwrap_err();
+//! assert_eq!(
+//!     err.to_string(),
+//!     "column \"x\" must appear in the GROUP BY clause or be used in an aggregate function",
+//! );
+//! ```
+//!
+//! ## UDFs and engine observability
+//!
 //! UDFs are declared through the typed [`Database::udf`] builder (argument
 //! signatures, central coercion/arity errors — see [`udf::UdfBuilder`]),
-//! and engine counters are queryable in SQL via `pgfmu_stats()`.
+//! and engine counters are queryable in SQL via the `pgfmu_stats()`
+//! set-returning function. It yields one `(stat text, value bigint)` row
+//! per counter: `parses` (statements parsed), `cache_hits` (statement-cache
+//! hits), `stmt_cache_size` / `stmt_cache_capacity` (current plan-cache
+//! population and bound), and one `calls.<name>` row per typed UDF that has
+//! been invoked:
+//!
+//! ```
+//! use pgfmu_sqlmini::Database;
+//!
+//! let db = Database::new();
+//! db.execute("SELECT sqrt(4.0)").unwrap();
+//! let stats: Vec<(String, i64)> = db
+//!     .query_as("SELECT stat, value FROM pgfmu_stats() ORDER BY stat", &[])
+//!     .unwrap();
+//! assert!(stats.iter().any(|(s, n)| s == "parses" && *n >= 1));
+//! assert!(stats.iter().any(|(s, n)| s == "calls.sqrt" && *n == 1));
+//! // Grouped SQL works over the stats relation like any other:
+//! let n: Vec<i64> = db
+//!     .query_as("SELECT count(*) FROM pgfmu_stats() GROUP BY value >= 0", &[])
+//!     .unwrap();
+//! assert!(n[0] >= 4);
+//! ```
 
 pub mod ast;
 pub mod db;

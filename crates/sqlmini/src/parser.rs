@@ -1,8 +1,9 @@
 //! Recursive-descent SQL parser.
 //!
 //! Supported statements: `SELECT` (projection, FROM with tables and
-//! lateral set-returning functions, WHERE, ORDER BY, LIMIT), `INSERT …
-//! VALUES/SELECT`, `UPDATE`, `DELETE`, `CREATE TABLE`, `DROP TABLE`.
+//! lateral set-returning functions, WHERE, GROUP BY, HAVING, ORDER BY,
+//! LIMIT), `INSERT … VALUES/SELECT`, `UPDATE`, `DELETE`, `CREATE TABLE`,
+//! `DROP TABLE`.
 //!
 //! Expression precedence (low→high): `OR`, `AND`, `NOT`, comparison /
 //! `IN` / `IS NULL`, `||`, additive, multiplicative, unary minus,
@@ -14,9 +15,9 @@ use crate::lexer::{lex, Tok};
 use crate::value::{DataType, Value};
 
 /// Keywords that terminate a bare alias.
-const RESERVED: [&str; 18] = [
-    "select", "from", "where", "order", "group", "limit", "and", "or", "not", "in", "is", "as",
-    "asc", "desc", "by", "lateral", "values", "set",
+const RESERVED: [&str; 19] = [
+    "select", "from", "where", "order", "group", "having", "limit", "and", "or", "not", "in", "is",
+    "as", "asc", "desc", "by", "lateral", "values", "set",
 ];
 
 struct Parser {
@@ -142,6 +143,21 @@ impl Parser {
         } else {
             None
         };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_kw("order") {
             self.expect_kw("by")?;
@@ -175,6 +191,8 @@ impl Parser {
             items,
             from,
             where_clause,
+            group_by,
+            having,
             order_by,
             limit,
         })
@@ -715,6 +733,41 @@ mod tests {
         } else {
             panic!();
         }
+    }
+
+    #[test]
+    fn parses_group_by_and_having() {
+        let s = parse(
+            "SELECT varname, sum(value) FROM sim GROUP BY varname, instanceid \
+             HAVING sum(value) > $1 ORDER BY varname LIMIT 3",
+        )
+        .unwrap();
+        if let Stmt::Select(sel) = s {
+            assert_eq!(sel.group_by.len(), 2);
+            assert!(matches!(
+                &sel.group_by[0],
+                Expr::Column { name, .. } if name == "varname"
+            ));
+            assert!(matches!(
+                sel.having,
+                Some(Expr::Binary { op: BinOp::Gt, .. })
+            ));
+            assert_eq!(sel.order_by.len(), 1);
+            assert_eq!(sel.limit, Some(3));
+        } else {
+            panic!();
+        }
+        // HAVING is legal without GROUP BY (one group over the whole input).
+        let s = parse("SELECT count(*) FROM t HAVING count(*) > 0").unwrap();
+        if let Stmt::Select(sel) = s {
+            assert!(sel.group_by.is_empty());
+            assert!(sel.having.is_some());
+        } else {
+            panic!();
+        }
+        // GROUP BY must not swallow a following keyword as an alias.
+        assert!(parse("SELECT a FROM t GROUP BY").is_err());
+        assert!(parse("SELECT a FROM t GROUP a").is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Tier-2 tests for the SQL dialect corners the cross-crate integration
-//! suite relies on: aggregate/plain-column mixing rules, PostgreSQL-style
-//! `''` string escaping, and `LATERAL`-style set-returning functions in
-//! `FROM`.
+//! suite relies on: aggregate/plain-column mixing rules, grouped
+//! aggregation (GROUP BY / HAVING), PostgreSQL-style `''` string escaping,
+//! and `LATERAL`-style set-returning functions in `FROM`.
 
 use pgfmu_sqlmini::{Database, QueryResult, Value};
 
@@ -24,10 +24,17 @@ fn plain_column_next_to_aggregate_is_an_error() {
         .execute("SELECT id, count(*) FROM m")
         .unwrap_err()
         .to_string();
-    assert!(
-        err.contains("must appear in an aggregate function"),
-        "unexpected error: {err}"
+    assert_eq!(
+        err,
+        "column \"id\" must appear in the GROUP BY clause \
+         or be used in an aggregate function"
     );
+    // Qualified references name the qualifier, as PostgreSQL does.
+    let err = db
+        .execute("SELECT m.id, count(*) FROM m")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("column \"m.id\" must appear"), "{err}");
 }
 
 #[test]
@@ -37,7 +44,23 @@ fn aggregate_inside_where_is_an_error() {
         .execute("SELECT id FROM m WHERE count(*) > 1")
         .unwrap_err()
         .to_string();
-    assert!(err.contains("not allowed here"), "unexpected error: {err}");
+    assert_eq!(err, "aggregate functions are not allowed in WHERE");
+    // The same rule applies under grouping and in DML predicates.
+    let err = db
+        .execute("SELECT id FROM m WHERE sum(v) > 1 GROUP BY id")
+        .unwrap_err()
+        .to_string();
+    assert_eq!(err, "aggregate functions are not allowed in WHERE");
+    let err = db
+        .execute("DELETE FROM m WHERE v = max(v)")
+        .unwrap_err()
+        .to_string();
+    assert_eq!(err, "aggregate functions are not allowed in WHERE");
+    let err = db
+        .execute("UPDATE m SET v = sum(v)")
+        .unwrap_err()
+        .to_string();
+    assert_eq!(err, "aggregate functions are not allowed in UPDATE");
 }
 
 #[test]
@@ -61,6 +84,218 @@ fn aggregate_over_empty_table_yields_one_row() {
     assert_eq!(q.rows[0][0], Value::Int(0));
     assert_eq!(q.rows[0][1], Value::Null);
     assert_eq!(q.rows[0][2], Value::Null);
+}
+
+// --- grouped aggregation (GROUP BY / HAVING) -------------------------------
+
+fn db_with_readings() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE r (site text, day int, v float)")
+        .unwrap();
+    for (site, day, v) in [
+        ("a", 1, 10.0),
+        ("a", 1, 20.0),
+        ("a", 2, 5.0),
+        ("b", 1, 7.0),
+        ("b", 2, 1.0),
+    ] {
+        db.execute(&format!("INSERT INTO r VALUES ('{site}', {day}, {v})"))
+            .unwrap();
+    }
+    db
+}
+
+#[test]
+fn group_by_partitions_aggregates_per_key() {
+    let db = db_with_readings();
+    let q = db
+        .execute("SELECT site, count(*), sum(v) FROM r GROUP BY site ORDER BY site")
+        .unwrap();
+    assert_eq!(q.columns, vec!["site", "count", "sum"]);
+    assert_eq!(q.rows.len(), 2);
+    assert_eq!(q.rows[0][0], Value::Text("a".into()));
+    assert_eq!(q.rows[0][1], Value::Int(3));
+    assert_eq!(q.rows[0][2].as_f64().unwrap(), 35.0);
+    assert_eq!(q.rows[1][1], Value::Int(2));
+    assert_eq!(q.rows[1][2].as_f64().unwrap(), 8.0);
+}
+
+#[test]
+fn group_by_composite_key_and_expression() {
+    let db = db_with_readings();
+    let q = db
+        .execute(
+            "SELECT site, day * 10 AS decade, avg(v) FROM r \
+             GROUP BY site, day * 10 ORDER BY site, decade",
+        )
+        .unwrap();
+    assert_eq!(q.rows.len(), 4);
+    assert_eq!(q.rows[0][1], Value::Int(10));
+    assert_eq!(q.rows[0][2].as_f64().unwrap(), 15.0);
+    // An ordinal names the select item, as in PostgreSQL.
+    let q2 = db
+        .execute("SELECT day * 10 AS decade, count(*) FROM r GROUP BY 1 ORDER BY 1")
+        .unwrap();
+    assert_eq!(q2.rows.len(), 2);
+    assert_eq!(q2.rows[0][1], Value::Int(3));
+}
+
+#[test]
+fn having_filters_groups() {
+    let db = db_with_readings();
+    let q = db
+        .execute(
+            "SELECT site, sum(v) FROM r GROUP BY site \
+             HAVING sum(v) > 10 ORDER BY site",
+        )
+        .unwrap();
+    assert_eq!(q.rows.len(), 1);
+    assert_eq!(q.rows[0][0], Value::Text("a".into()));
+    // HAVING without GROUP BY treats the whole input as one group.
+    let q = db
+        .execute("SELECT sum(v) FROM r HAVING count(*) > 100")
+        .unwrap();
+    assert_eq!(q.rows.len(), 0);
+    let q = db
+        .execute("SELECT sum(v) FROM r HAVING count(*) > 1")
+        .unwrap();
+    assert_eq!(q.rows.len(), 1);
+}
+
+#[test]
+fn group_by_groups_nulls_together_and_orders_by_aggregate() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (k text, v int)").unwrap();
+    db.execute("INSERT INTO t VALUES ('x', 1), (NULL, 2), (NULL, 3), ('x', 4)")
+        .unwrap();
+    let q = db
+        .execute("SELECT k, sum(v) FROM t GROUP BY k ORDER BY sum(v) DESC")
+        .unwrap();
+    assert_eq!(q.rows.len(), 2);
+    assert_eq!(q.rows[0][0], Value::Text("x".into()));
+    assert_eq!(q.rows[0][1].as_f64().unwrap(), 5.0);
+    assert_eq!(q.rows[1][0], Value::Null);
+}
+
+#[test]
+fn grouped_query_over_empty_input_returns_no_groups() {
+    let db = Database::new();
+    db.execute("CREATE TABLE e (k text, v float)").unwrap();
+    let q = db.execute("SELECT k, count(*) FROM e GROUP BY k").unwrap();
+    assert_eq!(q.rows.len(), 0);
+    // Without GROUP BY the single whole-input group survives (count = 0).
+    let q = db.execute("SELECT count(*) FROM e").unwrap();
+    assert_eq!(q.rows[0][0], Value::Int(0));
+}
+
+#[test]
+fn grouped_error_paths_use_postgres_wording() {
+    let db = db_with_readings();
+    // Ungrouped column in the select list.
+    let err = db
+        .execute("SELECT site, day, sum(v) FROM r GROUP BY site")
+        .unwrap_err()
+        .to_string();
+    assert_eq!(
+        err,
+        "column \"day\" must appear in the GROUP BY clause \
+         or be used in an aggregate function"
+    );
+    // HAVING referencing an ungrouped column (with and without GROUP BY).
+    let err = db
+        .execute("SELECT sum(v) FROM r GROUP BY site HAVING day > 1")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("column \"day\" must appear"), "{err}");
+    let err = db
+        .execute("SELECT count(*) FROM r HAVING day > 1")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("column \"day\" must appear"), "{err}");
+    // Aggregates cannot appear in GROUP BY or nest inside each other.
+    let err = db
+        .execute("SELECT count(*) FROM r GROUP BY sum(v)")
+        .unwrap_err()
+        .to_string();
+    assert_eq!(err, "aggregate functions are not allowed in GROUP BY");
+    let err = db
+        .execute("SELECT sum(count(*)) FROM r GROUP BY site")
+        .unwrap_err()
+        .to_string();
+    assert_eq!(err, "aggregate function calls cannot be nested");
+    // Out-of-range ordinals are named.
+    let err = db
+        .execute("SELECT site FROM r GROUP BY 7")
+        .unwrap_err()
+        .to_string();
+    assert_eq!(err, "GROUP BY position 7 is not in select list");
+}
+
+#[test]
+fn order_by_alias_and_ordinal_resolution() {
+    let db = db_with_readings();
+    // An alias in ORDER BY names the output column, even when the
+    // underlying expression is an aggregate.
+    let q = db
+        .execute("SELECT site, sum(v) AS total FROM r GROUP BY site ORDER BY total DESC")
+        .unwrap();
+    assert_eq!(q.rows[0][0], Value::Text("a".into()));
+    // Duplicated aliases over *different* expressions are ambiguous…
+    let err = db
+        .execute("SELECT day AS x, v AS x FROM r ORDER BY x")
+        .unwrap_err()
+        .to_string();
+    assert_eq!(err, "ORDER BY \"x\" is ambiguous");
+    // …but repeating the same expression (wildcard + explicit column) is
+    // fine, as in PostgreSQL.
+    let q = db.execute("SELECT *, site FROM r ORDER BY site").unwrap();
+    assert_eq!(q.rows.len(), 5);
+}
+
+#[test]
+fn grouping_matches_qualified_and_bare_references() {
+    let db = db_with_readings();
+    // `GROUP BY site` must satisfy a qualified `r.site` projection (they
+    // resolve to the same column) and grouped keys stay usable inside
+    // scalar expressions.
+    let q = db
+        .execute(
+            "SELECT r.site || '!' AS tag, max(v) FROM r \
+             GROUP BY site ORDER BY tag",
+        )
+        .unwrap();
+    assert_eq!(q.rows[0][0], Value::Text("a!".into()));
+    assert_eq!(q.rows[0][1].as_f64().unwrap(), 20.0);
+}
+
+#[test]
+fn grouped_queries_work_through_binds_and_streaming() {
+    let db = db_with_readings();
+    let stmt = db
+        .prepare(
+            "SELECT site, sum(v * $1) AS weighted FROM r \
+             GROUP BY site HAVING sum(v * $1) > $2 ORDER BY site",
+        )
+        .unwrap();
+    assert_eq!(stmt.n_params(), 2);
+    let q = stmt
+        .query(&[Value::Float(2.0), Value::Float(10.0)])
+        .unwrap();
+    assert_eq!(q.rows.len(), 2, "sums 70 and 16 both clear 10");
+    // Re-execute with different binds: the cached plan regroups.
+    let q = stmt
+        .query(&[Value::Float(2.0), Value::Float(30.0)])
+        .unwrap();
+    assert_eq!(q.rows.len(), 1);
+    assert_eq!(q.rows[0][1].as_f64().unwrap(), 70.0);
+    // The streaming surface yields the same (materialized) groups.
+    let rows: Vec<Vec<Value>> = stmt
+        .query_rows(&[Value::Float(2.0), Value::Float(30.0)])
+        .unwrap()
+        .collect::<pgfmu_sqlmini::Result<_>>()
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::Text("a".into()));
 }
 
 // --- quoted-string escaping ------------------------------------------------

@@ -124,6 +124,50 @@ proptest! {
         prop_assert_eq!(q.rows[0][3].as_f64().unwrap(), max);
     }
 
+    /// Grouped aggregation is a partition of the whole-table aggregate:
+    /// the per-key sums and counts add up to the ungrouped totals, and
+    /// each group's sum matches a WHERE-filtered whole-table sum.
+    #[test]
+    fn grouped_sums_partition_whole_table_sums(
+        rows in proptest::collection::vec((0i64..5, -1e6f64..1e6), 1..60),
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (k int, v float)").unwrap();
+        let insert = db.prepare("INSERT INTO t VALUES ($1, $2)").unwrap();
+        for (k, v) in &rows {
+            insert.query(&[Value::Int(*k), Value::Float(*v)]).unwrap();
+        }
+        let total: f64 = rows.iter().map(|(_, v)| v).sum();
+        let grouped = db
+            .execute("SELECT k, count(*), sum(v) FROM t GROUP BY k ORDER BY k")
+            .unwrap();
+        let mut group_total = 0.0;
+        let mut group_count = 0i64;
+        for r in &grouped.rows {
+            let k = r[0].as_i64().unwrap();
+            group_count += r[1].as_i64().unwrap();
+            let sum = r[2].as_f64().unwrap();
+            group_total += sum;
+            // Each group's sum equals the WHERE-filtered whole-table sum.
+            let filtered = db
+                .query("SELECT sum(v) FROM t WHERE k = $1", &[Value::Int(k)])
+                .unwrap();
+            let direct = filtered.rows[0][0].as_f64().unwrap();
+            prop_assert!((sum - direct).abs() < 1e-6 * (1.0 + direct.abs()));
+        }
+        prop_assert_eq!(group_count, rows.len() as i64);
+        prop_assert!((group_total - total).abs() < 1e-6 * (1.0 + total.abs()));
+        // HAVING true keeps every group; HAVING false drops them all.
+        let all = db
+            .execute("SELECT k FROM t GROUP BY k HAVING count(*) > 0")
+            .unwrap();
+        prop_assert_eq!(all.rows.len(), grouped.rows.len());
+        let none = db
+            .execute("SELECT k FROM t GROUP BY k HAVING count(*) < 0")
+            .unwrap();
+        prop_assert_eq!(none.rows.len(), 0);
+    }
+
     /// WHERE partitioning: matching + non-matching = all rows.
     #[test]
     fn where_partitions_rows(

@@ -126,12 +126,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     session.execute("SELECT logregr_train('damper', 'm_base', 'label', 'occ,solrad')")?;
     session.execute("SELECT logregr_train('damper', 'm_temp', 'label', 'occ,solrad,t')")?;
+    // One grouped statement per model replaces the old per-outcome count
+    // queries: the logistic UDF's hit/miss breakdown comes back as two
+    // GROUP BY buckets.
     let acc = |model: &str, cols: &str| -> Result<f64, Box<dyn std::error::Error>> {
-        let q = session.execute(&format!(
-            "SELECT count(*) FROM damper WHERE \
-             (logregr_prob('{model}', {cols}) >= 0.5) = (label >= 0.5)"
-        ))?;
-        Ok(q.scalar()?.as_i64()? as f64 / data.len() as f64)
+        let buckets: Vec<(bool, i64)> = session.query_as(
+            &format!(
+                "SELECT (logregr_prob('{model}', {cols}) >= 0.5) = (label >= 0.5) AS correct, \
+                 count(*) FROM damper GROUP BY 1 ORDER BY 1"
+            ),
+            &[],
+        )?;
+        let hits = buckets
+            .iter()
+            .find(|(correct, _)| *correct)
+            .map_or(0, |(_, n)| *n);
+        Ok(hits as f64 / data.len() as f64)
     };
     let base_acc = acc("m_base", "occ, solrad")?;
     let temp_acc = acc("m_temp", "occ, solrad, t")?;

@@ -53,15 +53,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("\nPer-instance estimation report:\n{}", report.to_ascii());
 
-    // Fleet-wide simulation with the paper's LATERAL pattern.
+    // Fleet-wide simulation with the paper's LATERAL pattern, rolled up
+    // per instance in the same statement — before GROUP BY landed this
+    // took one query (or a client-side fold) per heat pump.
     let fleet = session.execute(&format!(
-        "SELECT count(*) AS rows_produced \
+        "SELECT f.instanceid, count(*) AS samples, avg(f.value) AS mean_temp \
          FROM generate_series(1, {N_INSTANCES}) AS id, \
          LATERAL fmu_simulate('HP1Instance' || id::text, \
                               'SELECT ts, u FROM measurements' || id::text) AS f \
-         WHERE f.varName = 'x'"
+         WHERE f.varName = 'x' \
+         GROUP BY f.instanceid ORDER BY f.instanceid"
     ))?;
-    println!("LATERAL fleet simulation:\n{}", fleet.to_ascii());
+    println!(
+        "LATERAL fleet simulation, per instance:\n{}",
+        fleet.to_ascii()
+    );
 
     // How much compute did the MI optimization save?
     let evals = session.execute(

@@ -3,6 +3,11 @@
 //! This package exists to host the runnable `examples/` and the
 //! cross-crate integration tests in `tests/`; the library surface simply
 //! re-exports the member crates so examples can depend on one name.
+//!
+//! The crate-level documentation below is the repository `README.md`,
+//! included verbatim so its code blocks are compiled and run as doc-tests
+//! (`cargo test --doc -p pgfmu-rs`) — the README cannot silently rot.
+#![doc = include_str!("../README.md")]
 
 pub use pgfmu;
 pub use pgfmu_analytics as analytics;

@@ -210,26 +210,35 @@ fn full_workflow_single_statement_composition() {
     s.execute("SELECT fmu_create('HP1', 'i')").unwrap();
     s.execute("SELECT fmu_parest('i', 'SELECT ts, x, u FROM m', '{Cp, R}')")
         .unwrap();
-    let q = s
+    // Aggregate next to a bare column requires GROUP BY (PostgreSQL rule)…
+    let err = s
         .execute(
             "SELECT varname, avg(value) AS mean_value \
              FROM fmu_simulate('i', 'SELECT ts, u FROM m') \
-             WHERE varname IN ('x', 'y') AND value IS NOT NULL \
-             ORDER BY varname LIMIT 1",
+             WHERE value IS NOT NULL",
         )
         .unwrap_err();
-    // Aggregate + bare column requires GROUP BY, which our dialect keeps
-    // minimal — the supported phrasing follows:
-    assert!(q.to_string().contains("aggregate"));
+    assert!(
+        err.to_string()
+            .contains("must appear in the GROUP BY clause"),
+        "{err}"
+    );
+    // …and with GROUP BY the paper's MADlib-style combo runs per variable
+    // in one statement, HAVING pruning the constant output series.
     let q = s
         .execute(
-            "SELECT avg(value) AS mean_temp \
+            "SELECT varname, avg(value) AS mean_value, count(*) AS n \
              FROM fmu_simulate('i', 'SELECT ts, u FROM m') \
-             WHERE varname = 'x'",
+             WHERE varname IN ('x', 'y') AND value IS NOT NULL \
+             GROUP BY varname HAVING count(*) > 10 ORDER BY varname",
         )
         .unwrap();
-    let mean = q.rows[0][0].as_f64().unwrap();
+    assert_eq!(q.columns, vec!["varname", "mean_value", "n"]);
+    assert_eq!(q.rows.len(), 2);
+    assert_eq!(q.rows[0][0], Value::Text("x".into()));
+    let mean = q.rows[0][1].as_f64().unwrap();
     assert!((5.0..25.0).contains(&mean), "implausible mean {mean}");
+    assert_eq!(q.rows[1][0], Value::Text("y".into()));
 }
 
 #[test]
