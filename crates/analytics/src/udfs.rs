@@ -49,11 +49,29 @@ pub fn register_udfs(db: &Database) {
                 ArimaSpec::default()
             };
 
-            let data = db.execute(&format!(
-                "SELECT {time_col}, {value_col} FROM {source} ORDER BY {time_col}"
-            ))?;
-            let epochs = data.column_timestamps(&time_col)?;
-            let values = data.column_f64(&value_col)?;
+            // Stream the training series row by row, decoding columns by
+            // name — the intermediate result set is never materialized.
+            let data = db
+                .query_rows(
+                    &format!("SELECT {time_col}, {value_col} FROM {source} ORDER BY {time_col}"),
+                    &[],
+                )?
+                .into_named();
+            let mut epochs: Vec<i64> = Vec::new();
+            let mut values: Vec<f64> = Vec::new();
+            for row in data {
+                let row = row?;
+                epochs.push(match row.raw(&time_col)? {
+                    Value::Timestamp(t) => *t,
+                    Value::Text(s) => pgfmu_sqlmini::parse_timestamp(s)?,
+                    other => {
+                        return Err(SqlError::Type(format!(
+                            "column \"{time_col}\": {other} is not a timestamp"
+                        )))
+                    }
+                });
+                values.push(row.get::<f64>(&value_col)?);
+            }
             if epochs.len() < 2 {
                 return Err(SqlError::Execution(
                     "arima_train: need at least two samples".into(),
@@ -204,15 +222,24 @@ pub fn register_udfs(db: &Database) {
             for c in &indep {
                 ident_ok(c)?;
             }
-            let data = db.execute(&format!("SELECT {dep}, {} FROM {source}", indep.join(", ")))?;
-            let y = data.column_f64(&dep)?;
-            let labels: Vec<f64> = y.iter().map(|v| f64::from(*v > 0.5)).collect();
-            let mut x = vec![Vec::with_capacity(indep.len()); data.len()];
-            for c in &indep {
-                let col = data.column_f64(c)?;
-                for (row, v) in x.iter_mut().zip(col) {
-                    row.push(v);
-                }
+            // Stream the design matrix row by row, reading the dependent
+            // and independent columns by name.
+            let data = db
+                .query_rows(
+                    &format!("SELECT {dep}, {} FROM {source}", indep.join(", ")),
+                    &[],
+                )?
+                .into_named();
+            let mut labels: Vec<f64> = Vec::new();
+            let mut x: Vec<Vec<f64>> = Vec::new();
+            for row in data {
+                let row = row?;
+                labels.push(f64::from(row.get::<f64>(&dep)? > 0.5));
+                let features: Vec<f64> = indep
+                    .iter()
+                    .map(|c| row.get::<f64>(c))
+                    .collect::<SqlResult<_>>()?;
+                x.push(features);
             }
             let model = LogisticRegression::fit(&x, &labels).ok_or_else(|| {
                 SqlError::Execution("logregr_train: fitting failed (degenerate data)".into())

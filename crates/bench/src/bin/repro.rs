@@ -9,9 +9,10 @@
 //! --instances N override the MI instance count
 //! ```
 //!
-//! `bench` times the SQL hot paths (parse, cached interpolation, `$n`
-//! binds, streaming) and writes the per-bench median nanoseconds to
-//! `BENCH_PR2.json` so the performance trajectory accumulates across PRs.
+//! `bench` times the SQL hot paths (parse, cached plan execution, `$n`
+//! binds, streaming, the grouped rollup vs. its client-side fold) and
+//! writes the per-bench median nanoseconds to `BENCH_PR4.json` so the
+//! performance trajectory accumulates across PRs.
 
 use pgfmu_bench::report::{fmt_secs, render};
 use pgfmu_bench::setup::{bench_session, ModelKind, ALL_MODELS};
@@ -79,7 +80,7 @@ fn main() {
         run_grouped(&profile);
     }
     if want("bench") {
-        run_bench_json("BENCH_PR2.json");
+        run_bench_json("BENCH_PR4.json");
     }
 }
 
@@ -207,6 +208,34 @@ fn run_bench_json(path: &str) {
             }
             db.execute("DELETE FROM scratch").unwrap();
         }) / (n_rows as u128 + 1),
+    ));
+    // INSERT … SELECT streams its source through the cursor.
+    let copy_in = db
+        .prepare("INSERT INTO scratch SELECT ts, x, u FROM m")
+        .unwrap();
+    results.push((
+        "sql_insert_select_streamed",
+        median_ns(20, || {
+            copy_in.query(params![]).unwrap();
+            db.execute("DELETE FROM scratch").unwrap();
+        }),
+    ));
+
+    // The per-day energy rollup over simulated output: grouped SQL
+    // statement (index-bucketed grouping, memoized aggregates) vs. the
+    // client-side fold it replaced — the plan-pipeline acceptance number.
+    let bench = pgfmu_bench::grouped::simulated_session(&pgfmu_bench::Profile::quick());
+    results.push((
+        "grouped_rollup_sql",
+        median_ns(20, || {
+            pgfmu_bench::grouped::per_day_energy(&bench, 0.0);
+        }),
+    ));
+    results.push((
+        "grouped_rollup_client_fold",
+        median_ns(20, || {
+            pgfmu_bench::grouped::per_day_energy_client_side(&bench, 0.0);
+        }),
     ));
 
     let mut json = String::from("{\n");

@@ -6,7 +6,9 @@
 //! this driver runs the per-day energy rollup of the Table-8 SI workload
 //! as one grouped SQL statement (HAVING threshold bound as `$1`) and keeps
 //! the old client-side fold around as the comparison baseline for the
-//! `grouped_rollup` Criterion bench.
+//! `grouped_rollup` Criterion bench. Since the plan → execute pipeline
+//! (zero-copy grouped scans, memoized aggregates) the grouped statement
+//! beats the fold — see `BENCH_PR4.json`.
 
 use std::collections::BTreeMap;
 

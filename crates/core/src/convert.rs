@@ -40,43 +40,63 @@ impl DecodedTable {
 /// column is present.
 const TIME_COLUMN_NAMES: [&str; 5] = ["ts", "time", "timestamp", "simulationtime", "datetime"];
 
-/// Decode a query result into measurement structures.
+/// Single-pass, streaming decoder for measurement result sets: rows are
+/// pushed one at a time (e.g. straight off a [`pgfmu_sqlmini::Rows`]
+/// cursor), so the SQL result is never materialized as a whole.
 ///
-/// The time column is found automatically: the first column holding
-/// `timestamp` values, else the first column with a conventional time
-/// name. All remaining numeric columns become measurement series; NULLs
-/// are rejected (the paper's UDFs raise errors on incomplete inputs).
-pub fn decode_table(q: &QueryResult) -> Result<DecodedTable> {
-    if q.rows.is_empty() {
-        return Err(PgFmuError::Usage("input query returned no rows".into()));
-    }
-    // Locate the time column.
-    let mut time_idx: Option<usize> = None;
-    for (i, _) in q.columns.iter().enumerate() {
-        if matches!(q.rows[0][i], Value::Timestamp(_)) {
-            time_idx = Some(i);
-            break;
-        }
-    }
-    if time_idx.is_none() {
-        for (i, name) in q.columns.iter().enumerate() {
-            if TIME_COLUMN_NAMES.contains(&name.as_str()) {
+/// The time column is found automatically from the first row: the first
+/// column holding a `timestamp` value, else the first column with a
+/// conventional time name. All remaining numeric columns become
+/// measurement series; NULLs are rejected (the paper's UDFs raise errors
+/// on incomplete inputs).
+struct TableDecoder {
+    time_idx: usize,
+    epochs: Vec<i64>,
+    /// `(name, values)` per non-time column; `None` once a column proved
+    /// non-numeric and dropped out.
+    columns: Vec<(String, Option<Vec<f64>>)>,
+}
+
+impl TableDecoder {
+    fn new(columns: &[String], first: &[Value]) -> Result<TableDecoder> {
+        let mut time_idx: Option<usize> = None;
+        for (i, _) in columns.iter().enumerate() {
+            if matches!(first[i], Value::Timestamp(_)) {
                 time_idx = Some(i);
                 break;
             }
         }
+        if time_idx.is_none() {
+            for (i, name) in columns.iter().enumerate() {
+                if TIME_COLUMN_NAMES.contains(&name.as_str()) {
+                    time_idx = Some(i);
+                    break;
+                }
+            }
+        }
+        let time_idx = time_idx.ok_or_else(|| {
+            PgFmuError::Usage(
+                "input query has no timestamp column (expected a timestamp-typed \
+                 column or one named ts/time/timestamp)"
+                    .into(),
+            )
+        })?;
+        let mut decoder = TableDecoder {
+            time_idx,
+            epochs: Vec::new(),
+            columns: columns
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != time_idx)
+                .map(|(_, n)| (n.clone(), Some(Vec::new())))
+                .collect(),
+        };
+        decoder.push(first)?;
+        Ok(decoder)
     }
-    let time_idx = time_idx.ok_or_else(|| {
-        PgFmuError::Usage(
-            "input query has no timestamp column (expected a timestamp-typed \
-             column or one named ts/time/timestamp)"
-                .into(),
-        )
-    })?;
 
-    let mut epochs = Vec::with_capacity(q.rows.len());
-    for row in &q.rows {
-        let epoch = match &row[time_idx] {
+    fn push(&mut self, row: &[Value]) -> Result<()> {
+        let epoch = match &row[self.time_idx] {
             Value::Timestamp(t) => *t,
             Value::Text(s) => pgfmu_sqlmini::parse_timestamp(s).map_err(PgFmuError::Sql)?,
             // Numeric time columns are interpreted as hours.
@@ -88,49 +108,84 @@ pub fn decode_table(q: &QueryResult) -> Result<DecodedTable> {
                 )))
             }
         };
-        epochs.push(epoch);
-    }
-    let anchor = epochs[0];
-    let times_hours: Vec<f64> = epochs
-        .iter()
-        .map(|e| (e - anchor) as f64 / 3600.0)
-        .collect();
-
-    let mut columns = Vec::new();
-    for (i, name) in q.columns.iter().enumerate() {
-        if i == time_idx {
-            continue;
-        }
-        let mut col = Vec::with_capacity(q.rows.len());
-        let mut numeric = true;
-        for row in &q.rows {
-            match row[i].as_f64() {
-                Ok(v) => col.push(v),
-                Err(_) if row[i].is_null() => {
+        self.epochs.push(epoch);
+        let mut vi = 0usize;
+        for (i, v) in row.iter().enumerate() {
+            if i == self.time_idx {
+                continue;
+            }
+            let (name, col) = &mut self.columns[vi];
+            vi += 1;
+            let Some(values) = col else { continue };
+            match v.as_f64() {
+                Ok(x) => values.push(x),
+                Err(_) if v.is_null() => {
                     return Err(PgFmuError::Usage(format!(
                         "input column \"{name}\" contains NULLs"
                     )))
                 }
-                Err(_) => {
-                    numeric = false;
-                    break;
-                }
+                Err(_) => *col = None,
             }
         }
-        if numeric {
-            columns.push((name.clone(), col));
+        Ok(())
+    }
+
+    fn finish(self) -> Result<DecodedTable> {
+        let anchor = self.epochs[0];
+        let times_hours: Vec<f64> = self
+            .epochs
+            .iter()
+            .map(|e| (e - anchor) as f64 / 3600.0)
+            .collect();
+        let columns: Vec<(String, Vec<f64>)> = self
+            .columns
+            .into_iter()
+            .filter_map(|(n, c)| c.map(|c| (n, c)))
+            .collect();
+        if columns.is_empty() {
+            return Err(PgFmuError::Usage(
+                "input query produced no numeric measurement columns".into(),
+            ));
         }
+        Ok(DecodedTable {
+            anchor_epoch: anchor,
+            times_hours,
+            columns,
+        })
     }
-    if columns.is_empty() {
-        return Err(PgFmuError::Usage(
-            "input query produced no numeric measurement columns".into(),
-        ));
+}
+
+/// Decode a materialized query result into measurement structures (see
+/// [`decode_rows`] for the streaming variant and the column conventions).
+pub fn decode_table(q: &QueryResult) -> Result<DecodedTable> {
+    if q.rows.is_empty() {
+        return Err(PgFmuError::Usage("input query returned no rows".into()));
     }
-    Ok(DecodedTable {
-        anchor_epoch: anchor,
-        times_hours,
-        columns,
-    })
+    let mut decoder = TableDecoder::new(&q.columns, &q.rows[0])?;
+    for row in &q.rows[1..] {
+        decoder.push(row)?;
+    }
+    decoder.finish()
+}
+
+/// Decode a streamed result-row cursor into measurement structures in one
+/// pass — the path `fmu_parest` / `fmu_simulate` use for their re-entrant
+/// `input_sql` queries, so the input result set is consumed row by row
+/// instead of being materialized first.
+pub fn decode_rows<I>(columns: &[String], rows: I) -> Result<DecodedTable>
+where
+    I: IntoIterator<Item = pgfmu_sqlmini::Result<pgfmu_sqlmini::Row>>,
+{
+    let mut rows = rows.into_iter();
+    let first = rows
+        .next()
+        .ok_or_else(|| PgFmuError::Usage("input query returned no rows".into()))?
+        .map_err(PgFmuError::Sql)?;
+    let mut decoder = TableDecoder::new(columns, &first)?;
+    for row in rows {
+        decoder.push(&row.map_err(PgFmuError::Sql)?)?;
+    }
+    decoder.finish()
 }
 
 #[cfg(test)]

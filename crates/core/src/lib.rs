@@ -98,10 +98,11 @@ pub mod udfs;
 pub use error::{PgFmuError, Result};
 pub use parest::ParestReport;
 pub use session::PgFmu;
-pub use simulate::TimeSpec;
+pub use simulate::{SimRows, TimeSpec};
 
 // Re-export the pieces users commonly touch alongside the session.
 pub use pgfmu_estimation::{EstimationConfig, Strategy};
 pub use pgfmu_sqlmini::{
-    params, ArgKind, Args, FromRow, FromValue, QueryResult, Rows, Statement, Value,
+    params, ArgKind, Args, FromRow, FromValue, NamedRow, NamedRows, OwnedNamedRow, QueryResult,
+    Rows, Statement, Value,
 };

@@ -7,7 +7,7 @@ use pgfmu_estimation::{
     estimate_mi, estimate_si, EstimationConfig, MiProblem, SimulationObjective, Strategy,
 };
 
-use crate::convert::decode_table;
+use crate::convert::decode_rows;
 use crate::error::{PgFmuError, Result};
 use crate::session::Session;
 
@@ -87,8 +87,11 @@ pub fn run_parest(
         } else {
             &input_sqls[i]
         };
-        let result = session.db.execute(sql)?;
-        let decoded = decode_table(&result)?;
+        // Stream the user's input query row by row into the one-pass
+        // decoder — the re-entrant result set is never materialized.
+        let result_rows = session.db.query_rows(sql, &[])?;
+        let cols = result_rows.columns().to_vec();
+        let decoded = decode_rows(&cols, result_rows)?;
         let data = decoded.to_measurement_data()?;
 
         let instance_pars: Vec<String> = match pars {

@@ -223,6 +223,30 @@ impl PgFmu {
         run_simulate(&self.inner, instance_id, input_sql, time_from, time_to)
     }
 
+    /// Like [`PgFmu::fmu_simulate`], but streaming: the long output table
+    /// is produced through a row-producing cursor, so consumers that
+    /// filter, decode row by row, or stop early never materialize the
+    /// whole result.
+    ///
+    /// ```
+    /// use pgfmu::PgFmu;
+    ///
+    /// let s = PgFmu::new().unwrap();
+    /// s.execute("SELECT fmu_create('HP0', 'i')").unwrap();
+    /// let rows = s.fmu_simulate_rows("i", None, None, None).unwrap();
+    /// let first = rows.into_named().next().unwrap().unwrap();
+    /// assert_eq!(first.get::<String>("instanceid").unwrap(), "i");
+    /// ```
+    pub fn fmu_simulate_rows(
+        &self,
+        instance_id: &str,
+        input_sql: Option<&str>,
+        time_from: Option<TimeSpec>,
+        time_to: Option<TimeSpec>,
+    ) -> Result<Rows<'static>> {
+        crate::simulate::run_simulate_rows(&self.inner, instance_id, input_sql, time_from, time_to)
+    }
+
     /// `fmu_control(...)` — the future-work dynamic-optimization UDF; see
     /// [`crate::control`].
     pub fn fmu_control(

@@ -1,10 +1,12 @@
 //! `fmu_simulate` — model simulation with automatic input binding
 //! (paper §7, Algorithm 4).
 
-use pgfmu_fmi::{InputSeries, InputSet, Interpolation, SimulationOptions, Variability};
-use pgfmu_sqlmini::{QueryResult, Value};
+use pgfmu_fmi::{
+    InputSeries, InputSet, Interpolation, SimulationOptions, SimulationResult, Variability,
+};
+use pgfmu_sqlmini::{QueryResult, Row, Rows, Value};
 
-use crate::convert::decode_table;
+use crate::convert::decode_rows;
 use crate::error::{PgFmuError, Result};
 use crate::session::Session;
 
@@ -35,6 +37,55 @@ impl TimeSpec {
     }
 }
 
+/// Streaming long-format output of one simulation: yields the
+/// `(simulationtime, instanceid, varname, value)` rows of paper Table 4
+/// one at a time, in time-major order, straight from the solver's
+/// trajectories — no intermediate `Vec<Row>` is built.
+pub struct SimRows {
+    result: SimulationResult,
+    instance_id: String,
+    anchor_epoch: i64,
+    /// Next grid point.
+    k: usize,
+    /// Next variable at that grid point.
+    v: usize,
+}
+
+impl Iterator for SimRows {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        if self.k >= self.result.len() || self.result.names().is_empty() {
+            return None;
+        }
+        let t = self.result.times()[self.k];
+        let name = &self.result.names()[self.v];
+        let value = self.result.series_at(self.v)[self.k];
+        let row = vec![
+            Value::Timestamp(self.anchor_epoch + (t * 3600.0).round() as i64),
+            Value::Text(self.instance_id.clone()),
+            Value::Text(name.clone()),
+            Value::Float(value),
+        ];
+        self.v += 1;
+        if self.v >= self.result.names().len() {
+            self.v = 0;
+            self.k += 1;
+        }
+        Some(row)
+    }
+}
+
+/// The output column names of `fmu_simulate` (paper Table 4).
+fn sim_columns() -> Vec<String> {
+    vec![
+        "simulationtime".into(),
+        "instanceid".into(),
+        "varname".into(),
+        "value".into(),
+    ]
+}
+
 /// Execute `fmu_simulate` and return the long output table
 /// `(simulationtime, instanceid, varname, value)` of paper Table 4.
 pub fn run_simulate(
@@ -44,15 +95,31 @@ pub fn run_simulate(
     time_from: Option<TimeSpec>,
     time_to: Option<TimeSpec>,
 ) -> Result<QueryResult> {
+    let rows = run_simulate_rows(session, instance_id, input_sql, time_from, time_to)?;
+    rows.into_result().map_err(PgFmuError::Sql)
+}
+
+/// Execute `fmu_simulate`, streaming the long output table through a
+/// row-producing cursor: the solver result is rendered to SQL rows only
+/// as the consumer iterates.
+pub fn run_simulate_rows(
+    session: &Session,
+    instance_id: &str,
+    input_sql: Option<&str>,
+    time_from: Option<TimeSpec>,
+    time_to: Option<TimeSpec>,
+) -> Result<Rows<'static>> {
     let (fmu, inst) = session.catalog.instantiate(instance_id)?;
     let de = fmu.description.default_experiment;
 
     // Stage 1 (Algorithm 4): build the input object from the input SQL,
-    // mapping columns to input variables via meta-data.
+    // mapping columns to input variables via meta-data. The input result
+    // set streams through the lazy cursor into the one-pass decoder.
     let (inputs, anchor_epoch, data_window, data_step) = match input_sql {
         Some(sql) => {
-            let result = session.db.execute(sql)?;
-            let decoded = decode_table(&result)?;
+            let result_rows = session.db.query_rows(sql, &[])?;
+            let cols = result_rows.columns().to_vec();
+            let decoded = decode_rows(&cols, result_rows)?;
             let mut series = Vec::new();
             for input in fmu.input_names() {
                 let col = decoded
@@ -139,19 +206,15 @@ pub fn run_simulate(
         }
     }
 
-    let mut out = QueryResult::new(vec![
-        "simulationtime".into(),
-        "instanceid".into(),
-        "varname".into(),
-        "value".into(),
-    ]);
-    for (t, name, value) in result.long_rows() {
-        out.rows.push(vec![
-            Value::Timestamp(anchor_epoch + (t * 3600.0).round() as i64),
-            Value::Text(instance_id.to_string()),
-            Value::Text(name.to_string()),
-            Value::Float(value),
-        ]);
-    }
-    Ok(out)
+    Ok(Rows::streamed(
+        sim_columns(),
+        SimRows {
+            result,
+            instance_id: instance_id.to_string(),
+            anchor_epoch,
+            k: 0,
+            v: 0,
+        }
+        .map(Ok),
+    ))
 }

@@ -196,6 +196,11 @@ impl SimulationResult {
             .map(|i| self.series[i].as_slice())
     }
 
+    /// Series for the v-th reported variable (the order of [`Self::names`]).
+    pub fn series_at(&self, v: usize) -> &[f64] {
+        &self.series[v]
+    }
+
     /// Number of grid points.
     pub fn len(&self) -> usize {
         self.times.len()

@@ -62,6 +62,8 @@ pub enum InsertSource {
 /// A SELECT statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
+    /// `SELECT DISTINCT` — deduplicate output rows.
+    pub distinct: bool,
     /// Projection list.
     pub items: Vec<SelectItem>,
     /// FROM items (comma-separated cross join; functions join laterally).
@@ -188,6 +190,25 @@ pub enum Expr {
         /// Negation flag.
         negated: bool,
     },
+    /// Resolved column reference: an index into the flattened joined row.
+    /// Produced by the planner, never by the parser.
+    Slot(usize),
+    /// Reference to the i-th GROUP BY key value of the current group.
+    /// Produced by the planner's grouped lowering, never by the parser.
+    GroupKey(usize),
+    /// Reference to the k-th memoized aggregate value of the current
+    /// group. Produced by the planner's grouped lowering, never by the
+    /// parser; the argument expressions live in the plan's aggregate list.
+    Agg(usize),
+    /// Scalar function call resolved to an index into the plan's function
+    /// table — per-row evaluation skips the registry lookup entirely.
+    /// Produced by the planner, never by the parser.
+    ScalarCall {
+        /// Index into the plan's resolved scalar-function table.
+        f: usize,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
 }
 
 /// Unary operators.
@@ -246,7 +267,13 @@ pub fn contains_aggregate(e: &Expr) -> bool {
         Expr::InList { expr, list, .. } => {
             contains_aggregate(expr) || list.iter().any(contains_aggregate)
         }
-        Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => false,
+        Expr::ScalarCall { args, .. } => args.iter().any(contains_aggregate),
+        Expr::Agg(_) => true,
+        Expr::Literal(_)
+        | Expr::Param(_)
+        | Expr::Column { .. }
+        | Expr::Slot(_)
+        | Expr::GroupKey(_) => false,
     }
 }
 
@@ -254,12 +281,18 @@ pub fn contains_aggregate(e: &Expr) -> bool {
 pub fn max_param_expr(e: &Expr) -> usize {
     match e {
         Expr::Param(n) => *n,
-        Expr::Literal(_) | Expr::Column { .. } => 0,
+        Expr::Literal(_)
+        | Expr::Column { .. }
+        | Expr::Slot(_)
+        | Expr::GroupKey(_)
+        | Expr::Agg(_) => 0,
         Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
             max_param_expr(expr)
         }
         Expr::Binary { left, right, .. } => max_param_expr(left).max(max_param_expr(right)),
-        Expr::Function { args, .. } => args.iter().map(max_param_expr).max().unwrap_or(0),
+        Expr::Function { args, .. } | Expr::ScalarCall { args, .. } => {
+            args.iter().map(max_param_expr).max().unwrap_or(0)
+        }
         Expr::InList { expr, list, .. } => {
             max_param_expr(expr).max(list.iter().map(max_param_expr).max().unwrap_or(0))
         }

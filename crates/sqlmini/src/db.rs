@@ -12,6 +12,13 @@
 //! [`Database::set_stmt_cache_capacity`]) so a workload of millions of
 //! distinct texts cannot leak memory.
 //!
+//! Each cached statement also carries its compiled physical plan
+//! (built lazily on first execution): repeated executions reuse the
+//! shared `Arc<PhysicalPlan>` without re-resolving a single expression.
+//! Plans are invalidated by DDL through a schema epoch that CREATE/DROP
+//! TABLE bump; `plans_built` / `plan_cache_hits` / `agg_evals` counters
+//! surface the planner's behaviour through `pgfmu_stats()`.
+//!
 //! The client surface follows the PostgreSQL extended protocol shape:
 //! [`Database::prepare`] returns a [`Statement`] handle; binding values to
 //! its `$1..$n` placeholders with [`Statement::query`] (or streaming them
@@ -30,15 +37,35 @@ use crate::error::{Result, SqlError};
 use crate::exec::{self, Rows};
 use crate::functions::{self, ScalarFn, TableFn};
 use crate::parser;
+use crate::plan::{self, PhysicalPlan};
 use crate::table::{QueryResult, Row, Table};
 use crate::value::Value;
 
 /// Default bound on the number of cached prepared statements.
 pub const DEFAULT_STMT_CACHE_CAPACITY: usize = 256;
 
-struct CacheEntry {
+/// One parsed statement plus its lazily compiled physical plan, shared by
+/// every [`Statement`] handle with the same text.
+pub(crate) struct Prepared {
     stmt: Arc<Stmt>,
     n_params: usize,
+    /// `(schema epoch at compile time, compiled plan)`. Recompiled when
+    /// the database's schema epoch has moved (DDL ran).
+    plan: Mutex<Option<(u64, Arc<PhysicalPlan>)>>,
+}
+
+impl Prepared {
+    fn new(stmt: Arc<Stmt>, n_params: usize) -> Self {
+        Prepared {
+            stmt,
+            n_params,
+            plan: Mutex::new(None),
+        }
+    }
+}
+
+struct CacheEntry {
+    prepared: Arc<Prepared>,
     /// Last-use tick for LRU eviction.
     tick: u64,
 }
@@ -59,29 +86,22 @@ impl StmtCache {
         }
     }
 
-    fn get(&mut self, sql: &str) -> Option<(Arc<Stmt>, usize)> {
+    fn get(&mut self, sql: &str) -> Option<Arc<Prepared>> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(sql).map(|e| {
             e.tick = tick;
-            (Arc::clone(&e.stmt), e.n_params)
+            Arc::clone(&e.prepared)
         })
     }
 
-    fn insert(&mut self, sql: String, stmt: Arc<Stmt>, n_params: usize) {
+    fn insert(&mut self, sql: String, prepared: Arc<Prepared>) {
         if self.capacity == 0 {
             return;
         }
         self.tick += 1;
         let tick = self.tick;
-        self.map.insert(
-            sql,
-            CacheEntry {
-                stmt,
-                n_params,
-                tick,
-            },
-        );
+        self.map.insert(sql, CacheEntry { prepared, tick });
         self.shrink_to(self.capacity);
     }
 
@@ -138,14 +158,13 @@ impl StmtCache {
 /// ```
 pub struct Statement<'db> {
     db: &'db Database,
-    stmt: Arc<Stmt>,
-    n_params: usize,
+    prepared: Arc<Prepared>,
 }
 
 impl std::fmt::Debug for Statement<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Statement")
-            .field("n_params", &self.n_params)
+            .field("n_params", &self.prepared.n_params)
             .finish_non_exhaustive()
     }
 }
@@ -153,15 +172,15 @@ impl std::fmt::Debug for Statement<'_> {
 impl<'db> Statement<'db> {
     /// The number of `$n` parameters this statement requires.
     pub fn n_params(&self) -> usize {
-        self.n_params
+        self.prepared.n_params
     }
 
     fn check_binds(&self, params: &[Value]) -> Result<()> {
-        if params.len() != self.n_params {
+        if params.len() != self.prepared.n_params {
             return Err(SqlError::Execution(format!(
                 "bind message supplies {} parameters, but prepared statement requires {}",
                 params.len(),
-                self.n_params
+                self.prepared.n_params
             )));
         }
         Ok(())
@@ -169,14 +188,16 @@ impl<'db> Statement<'db> {
 
     /// Execute with the given parameter values, materializing the result.
     pub fn query(&self, params: &[Value]) -> Result<QueryResult> {
-        self.check_binds(params)?;
-        exec::execute_stmt(self.db, &self.stmt, params)
+        self.query_rows(params)?.into_result()
     }
 
     /// Execute with the given parameter values, streaming the result rows.
+    /// Re-executions bind against the shared compiled plan — no re-parse,
+    /// no re-planning, no expression clones.
     pub fn query_rows(&self, params: &[Value]) -> Result<Rows<'db>> {
         self.check_binds(params)?;
-        exec::execute_stmt_rows(self.db, &self.stmt, params)
+        let plan = self.db.plan_for(&self.prepared)?;
+        exec::execute(self.db, &self.prepared.stmt, &plan, params)
     }
 
     /// Execute and decode each row into `T` (scalars, `Option`, tuples —
@@ -193,10 +214,19 @@ pub struct Database {
     tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
     scalars: RwLock<HashMap<String, ScalarFn>>,
     table_fns: RwLock<HashMap<String, TableFn>>,
+    /// Builtin names the planner may evaluate natively; cleared for a
+    /// name when it is re-registered as an ordinary UDF.
+    intrinsics: RwLock<HashMap<String, functions::Intrinsic>>,
     stmt_cache: Mutex<StmtCache>,
     udf_counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
     parses: AtomicU64,
     cache_hits: AtomicU64,
+    /// Bumped by CREATE/DROP TABLE; cached plans compiled under an older
+    /// epoch are recompiled on their next execution.
+    schema_epoch: AtomicU64,
+    plans_built: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    agg_evals: AtomicU64,
 }
 
 impl Default for Database {
@@ -212,10 +242,15 @@ impl Database {
             tables: RwLock::new(HashMap::new()),
             scalars: RwLock::new(HashMap::new()),
             table_fns: RwLock::new(HashMap::new()),
+            intrinsics: RwLock::new(HashMap::new()),
             stmt_cache: Mutex::new(StmtCache::new(DEFAULT_STMT_CACHE_CAPACITY)),
             udf_counters: RwLock::new(HashMap::new()),
             parses: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            schema_epoch: AtomicU64::new(0),
+            plans_built: AtomicU64::new(0),
+            plan_cache_hits: AtomicU64::new(0),
+            agg_evals: AtomicU64::new(0),
         };
         functions::register_builtin_scalars(&db);
         functions::register_builtin_table_fns(&db);
@@ -234,17 +269,21 @@ impl Database {
             )));
         }
         tables.insert(key, Arc::new(RwLock::new(table)));
+        self.schema_epoch.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Drop a table; errors if missing.
     pub fn drop_table(&self, name: &str) -> Result<()> {
         let key = name.to_ascii_lowercase();
-        self.tables
-            .write()
-            .remove(&key)
-            .map(|_| ())
-            .ok_or(SqlError::UnknownTable(key))
+        let removed = self.tables.write().remove(&key);
+        match removed {
+            Some(_) => {
+                self.schema_epoch.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            None => Err(SqlError::UnknownTable(key)),
+        }
     }
 
     /// Handle to a table for direct (non-SQL) access.
@@ -291,9 +330,13 @@ impl Database {
     where
         F: Fn(&Database, &[Value]) -> Result<Value> + Send + Sync + 'static,
     {
-        self.scalars
-            .write()
-            .insert(name.to_ascii_lowercase(), Arc::new(f));
+        let key = name.to_ascii_lowercase();
+        // A user registration shadows any intrinsic of the same name.
+        self.intrinsics.write().remove(&key);
+        self.scalars.write().insert(key, Arc::new(f));
+        // Cached plans resolve scalar functions by reference; registering
+        // (or replacing) one invalidates them like DDL does.
+        self.schema_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Register (or replace) a set-returning UDF (see
@@ -305,6 +348,41 @@ impl Database {
         self.table_fns
             .write()
             .insert(name.to_ascii_lowercase(), Arc::new(f));
+        self.schema_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark a builtin as natively evaluable by the planner. Must run
+    /// after the builtin's registration (which clears the mark).
+    pub(crate) fn mark_intrinsic(&self, name: &str, op: functions::Intrinsic) {
+        self.intrinsics
+            .write()
+            .insert(name.to_ascii_lowercase(), op);
+    }
+
+    /// The intrinsic for a function name, if still active.
+    pub(crate) fn intrinsic_of(&self, name: &str) -> Option<functions::Intrinsic> {
+        let map = self.intrinsics.read();
+        if let Some(op) = map.get(name) {
+            return Some(*op);
+        }
+        if name.bytes().any(|b| b.is_ascii_uppercase()) {
+            return map.get(&name.to_ascii_lowercase()).copied();
+        }
+        None
+    }
+
+    /// Resolve a scalar function for the planner (case-insensitive; names
+    /// from the parser are already lower-case, so the common path does
+    /// not allocate).
+    pub(crate) fn lookup_scalar(&self, name: &str) -> Option<ScalarFn> {
+        let map = self.scalars.read();
+        if let Some(f) = map.get(name) {
+            return Some(Arc::clone(f));
+        }
+        if name.bytes().any(|b| b.is_ascii_uppercase()) {
+            return map.get(&name.to_ascii_lowercase()).map(Arc::clone);
+        }
+        None
     }
 
     /// Start declaring a typed UDF: argument names and types are declared
@@ -342,8 +420,7 @@ impl Database {
 
     /// Invoke a scalar function by name.
     pub fn call_scalar(&self, name: &str, args: &[Value]) -> Result<Value> {
-        let f = self.scalars.read().get(&name.to_ascii_lowercase()).cloned();
-        match f {
+        match self.lookup_scalar(name) {
             Some(f) => f(self, args),
             None => Err(SqlError::UnknownFunction(format!("{name}(…)"))),
         }
@@ -377,28 +454,48 @@ impl Database {
 
     // ---- execution -----------------------------------------------------------
 
-    /// Prepare one SQL statement, reusing the parsed plan from the
-    /// statement cache when the same text was seen before.
+    /// Prepare one SQL statement, reusing the parsed statement (and its
+    /// compiled physical plan) from the statement cache when the same
+    /// text was seen before.
     pub fn prepare(&self, sql: &str) -> Result<Statement<'_>> {
-        if let Some((stmt, n_params)) = self.stmt_cache.lock().get(sql) {
+        if let Some(prepared) = self.stmt_cache.lock().get(sql) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Statement {
-                db: self,
-                stmt,
-                n_params,
-            });
+            return Ok(Statement { db: self, prepared });
         }
         self.parses.fetch_add(1, Ordering::Relaxed);
         let parsed = Arc::new(parser::parse(sql)?);
         let n_params = ast::max_param(&parsed);
+        let prepared = Arc::new(Prepared::new(parsed, n_params));
         self.stmt_cache
             .lock()
-            .insert(sql.to_string(), Arc::clone(&parsed), n_params);
-        Ok(Statement {
-            db: self,
-            stmt: parsed,
-            n_params,
-        })
+            .insert(sql.to_string(), Arc::clone(&prepared));
+        Ok(Statement { db: self, prepared })
+    }
+
+    /// The compiled plan for a prepared statement: reused while the
+    /// schema epoch is unchanged, recompiled after DDL.
+    pub(crate) fn plan_for(&self, prepared: &Prepared) -> Result<Arc<PhysicalPlan>> {
+        let epoch = self.schema_epoch.load(Ordering::Relaxed);
+        if let Some((e, plan)) = &*prepared.plan.lock() {
+            if *e == epoch {
+                self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(plan));
+            }
+        }
+        let plan = Arc::new(plan::compile(self, &prepared.stmt)?);
+        self.plans_built.fetch_add(1, Ordering::Relaxed);
+        *prepared.plan.lock() = Some((epoch, Arc::clone(&plan)));
+        Ok(plan)
+    }
+
+    /// Count one transient (non-cached) plan compilation.
+    pub(crate) fn note_plan_built(&self) {
+        self.plans_built.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count per-group aggregate evaluations.
+    pub(crate) fn note_agg_evals(&self, n: u64) {
+        self.agg_evals.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Prepare (with cache reuse) and execute one statement with `$n` bind
@@ -437,6 +534,24 @@ impl Database {
             self.parses.load(Ordering::Relaxed),
             self.cache_hits.load(Ordering::Relaxed),
         )
+    }
+
+    /// `(physical plans compiled, plan-cache hits)` since creation. A
+    /// re-executed prepared statement hits; DDL (CREATE/DROP TABLE) bumps
+    /// the schema epoch and forces a recompile on next execution.
+    pub fn plan_stats(&self) -> (u64, u64) {
+        (
+            self.plans_built.load(Ordering::Relaxed),
+            self.plan_cache_hits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of per-group aggregate evaluations performed by the
+    /// grouping operator since creation. Each *distinct* aggregate call
+    /// of a statement counts once per group, however many times it
+    /// appears across the select list, HAVING and ORDER BY.
+    pub fn agg_eval_count(&self) -> u64 {
+        self.agg_evals.load(Ordering::Relaxed)
     }
 
     /// Number of statements currently cached.
@@ -849,6 +964,110 @@ mod tests {
         assert_eq!(q.rows[2][0], Value::Null);
         let q = db.execute("SELECT v FROM t ORDER BY v LIMIT 1").unwrap();
         assert_eq!(q.len(), 1);
+    }
+
+    /// Read one engine counter through the SQL stats surface.
+    fn stat(stats: &Statement<'_>, name: &str) -> i64 {
+        let q = stats.query(&[Value::Text(name.into())]).unwrap();
+        q.rows[0][0].as_i64().unwrap()
+    }
+
+    #[test]
+    fn plan_cache_reuses_plans_across_executions() {
+        let db = setup();
+        let stats = db
+            .prepare("SELECT value FROM pgfmu_stats() WHERE stat = $1")
+            .unwrap();
+        let target = db.prepare("SELECT x FROM m WHERE u > $1").unwrap();
+        target.query(&[Value::Float(0.0)]).unwrap(); // compiles the plan
+        stats.query(&[Value::Text("plans_built".into())]).unwrap(); // compiles the stats plan
+        let built0 = stat(&stats, "plans_built");
+        let hits0 = stat(&stats, "plan_cache_hits");
+        // Re-executions (same handle and re-prepared text) perform no
+        // re-planning — only plan-cache hits move.
+        target.query(&[Value::Float(0.1)]).unwrap();
+        target.query_rows(&[Value::Float(0.2)]).unwrap().count();
+        db.query("SELECT x FROM m WHERE u > $1", &[Value::Float(0.3)])
+            .unwrap();
+        assert_eq!(stat(&stats, "plans_built"), built0, "no plan rebuilds");
+        assert!(stat(&stats, "plan_cache_hits") >= hits0 + 3);
+        // The uncached path compiles a transient plan every time.
+        let (b, _) = db.plan_stats();
+        db.execute_uncached("SELECT x FROM m").unwrap();
+        assert_eq!(db.plan_stats().0, b + 1);
+    }
+
+    #[test]
+    fn ddl_bumps_the_schema_epoch_and_replans() {
+        let db = setup();
+        let target = db.prepare("SELECT x FROM m").unwrap();
+        target.query(&[]).unwrap();
+        let (built0, _) = db.plan_stats();
+        target.query(&[]).unwrap();
+        assert_eq!(db.plan_stats().0, built0, "stable schema reuses the plan");
+        db.execute("CREATE TABLE other (a int)").unwrap();
+        target.query(&[]).unwrap();
+        assert_eq!(
+            db.plan_stats().0,
+            built0 + 2,
+            "DDL invalidates cached plans"
+        );
+        // Dropping and recreating the scanned table re-resolves correctly.
+        db.execute("DROP TABLE m").unwrap();
+        assert!(target.query(&[]).is_err(), "missing table fails at replan");
+        db.execute("CREATE TABLE m (x float)").unwrap();
+        db.execute("INSERT INTO m VALUES (1.5)").unwrap();
+        let q = target.query(&[]).unwrap();
+        assert_eq!(q.rows[0][0], Value::Float(1.5));
+    }
+
+    #[test]
+    fn grouped_aggregates_memoize_per_group() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (k int, v float)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 1.0), (1, 2.0), (2, 3.0), (2, 4.0), (3, 5.0)")
+            .unwrap();
+        let a0 = db.agg_eval_count();
+        // sum(v) appears four times (twice in the select list, in HAVING,
+        // in ORDER BY) but is one distinct aggregate call — it must fold
+        // exactly once per group.
+        db.execute(
+            "SELECT k, sum(v), sum(v) * 2 FROM t GROUP BY k \
+             HAVING sum(v) > 0 ORDER BY sum(v) DESC",
+        )
+        .unwrap();
+        assert_eq!(db.agg_eval_count() - a0, 3, "one fold per group");
+        // Distinct aggregate calls each count: sum(v) and count(*) over
+        // three groups = 6 evaluations.
+        let a1 = db.agg_eval_count();
+        db.execute("SELECT k, sum(v), count(*) FROM t GROUP BY k")
+            .unwrap();
+        assert_eq!(db.agg_eval_count() - a1, 6);
+    }
+
+    #[test]
+    fn statement_query_reexecution_is_clone_free_end_to_end() {
+        // The acceptance shape: a prepared grouped statement re-executes
+        // with different binds against the same shared plan — verified
+        // through the SQL stats surface.
+        let db = setup();
+        let stats = db
+            .prepare("SELECT value FROM pgfmu_stats() WHERE stat = $1")
+            .unwrap();
+        let rollup = db
+            .prepare(
+                "SELECT u, count(*), sum(x) FROM m GROUP BY u \
+                 HAVING sum(x) > $1 ORDER BY sum(x) DESC",
+            )
+            .unwrap();
+        rollup.query(&[Value::Float(0.0)]).unwrap();
+        stats.query(&[Value::Text("plans_built".into())]).unwrap();
+        let built0 = stat(&stats, "plans_built");
+        for i in 0..5 {
+            rollup.query(&[Value::Float(i as f64)]).unwrap();
+        }
+        assert_eq!(stat(&stats, "plans_built"), built0);
+        assert!(stat(&stats, "agg_evals") > 0);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Typed row decoding: the [`FromValue`] / [`FromRow`] trait family.
+//! Typed row decoding: the [`FromValue`] / [`FromRow`] trait family, plus
+//! by-name column access through [`NamedRow`].
 //!
 //! `FromValue` converts one SQL [`Value`] into a Rust type; `FromRow`
 //! converts a whole row. Implementations cover the scalars (`f64`, `i64`,
@@ -125,6 +126,139 @@ macro_rules! tuple_from_row {
             }
         }
     };
+}
+
+// ---------------------------------------------------------------------------
+// By-name column access
+// ---------------------------------------------------------------------------
+
+/// A borrowed view of one result row with by-name column access — the
+/// less brittle way to decode wide pgFMU result rows, where positional
+/// tuples would silently shift when a projection changes:
+///
+/// ```
+/// use pgfmu_sqlmini::{Database, NamedRow};
+///
+/// let db = Database::new();
+/// db.execute("CREATE TABLE m (ts timestamp, x float, y float)").unwrap();
+/// db.execute("INSERT INTO m VALUES ('2015-02-01 00:00', 20.75, NULL)").unwrap();
+/// let q = db.execute("SELECT * FROM m").unwrap();
+/// let row = q.named_rows().next().unwrap();
+/// assert_eq!(row.get::<f64>("x").unwrap(), 20.75);
+/// assert_eq!(row.get::<Option<f64>>("Y").unwrap(), None); // case-insensitive
+/// assert!(row.get::<f64>("missing").is_err());
+/// ```
+#[derive(Clone, Copy)]
+pub struct NamedRow<'a> {
+    columns: &'a [String],
+    values: &'a [Value],
+}
+
+impl<'a> NamedRow<'a> {
+    /// View a row against its column names.
+    pub fn new(columns: &'a [String], values: &'a [Value]) -> NamedRow<'a> {
+        NamedRow { columns, values }
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &'a [String] {
+        self.columns
+    }
+
+    /// The raw row values.
+    pub fn values(&self) -> &'a [Value] {
+        self.values
+    }
+
+    /// The raw value of a column, by (case-insensitive) name.
+    pub fn raw(&self, name: &str) -> Result<&'a Value> {
+        let i = self
+            .columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+            .ok_or_else(|| SqlError::UnknownColumn(name.to_ascii_lowercase()))?;
+        Ok(&self.values[i])
+    }
+
+    /// Decode a column by (case-insensitive) name (see [`FromValue`]).
+    pub fn get<T: FromValue>(&self, name: &str) -> Result<T> {
+        T::from_value(self.raw(name)?)
+    }
+}
+
+/// An owned row paired with its (shared) column names, produced by
+/// streaming cursors via [`crate::Rows::into_named`].
+pub struct OwnedNamedRow {
+    columns: std::sync::Arc<[String]>,
+    values: crate::table::Row,
+}
+
+impl OwnedNamedRow {
+    /// Borrow as a [`NamedRow`] view.
+    pub fn as_named(&self) -> NamedRow<'_> {
+        NamedRow::new(&self.columns, &self.values)
+    }
+
+    /// Decode a column by (case-insensitive) name.
+    pub fn get<T: FromValue>(&self, name: &str) -> Result<T> {
+        self.as_named().get(name)
+    }
+
+    /// The raw value of a column, by (case-insensitive) name.
+    pub fn raw(&self, name: &str) -> Result<&Value> {
+        self.as_named().raw(name)
+    }
+
+    /// Take the row values.
+    pub fn into_values(self) -> crate::table::Row {
+        self.values
+    }
+}
+
+/// Streaming by-name rows: wraps a [`crate::Rows`] cursor, sharing the
+/// column names across items.
+///
+/// ```
+/// use pgfmu_sqlmini::Database;
+///
+/// let db = Database::new();
+/// db.execute("CREATE TABLE m (name text, v float)").unwrap();
+/// db.execute("INSERT INTO m VALUES ('a', 1.5), ('b', 2.5)").unwrap();
+/// let mut total = 0.0;
+/// for row in db.query_rows("SELECT * FROM m", &[]).unwrap().into_named() {
+///     total += row.unwrap().get::<f64>("v").unwrap();
+/// }
+/// assert_eq!(total, 4.0);
+/// ```
+pub struct NamedRows<'db> {
+    columns: std::sync::Arc<[String]>,
+    inner: crate::exec::Rows<'db>,
+}
+
+impl<'db> NamedRows<'db> {
+    pub(crate) fn new(inner: crate::exec::Rows<'db>) -> NamedRows<'db> {
+        NamedRows {
+            columns: inner.columns().into(),
+            inner,
+        }
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+}
+
+impl Iterator for NamedRows<'_> {
+    type Item = Result<OwnedNamedRow>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let row = self.inner.next()?;
+        Some(row.map(|values| OwnedNamedRow {
+            columns: std::sync::Arc::clone(&self.columns),
+            values,
+        }))
+    }
 }
 
 tuple_from_row!(1; A @ 0);

@@ -1,81 +1,64 @@
-//! Query executor: expression evaluation, cross/lateral joins, filtering,
-//! projection, grouped aggregation, ordering.
+//! Query executor — the execute half of the plan → execute pipeline.
 //!
-//! Execution is parameterized: every entry point takes a slice of bind
-//! values for `$n` placeholders (empty for plain statements). `SELECT`
-//! results can be consumed through the streaming [`Rows`] iterator —
-//! filtering and projection run per `next()` call, so callers that stop
-//! early (or decode row-by-row) never materialize the full output. Queries
-//! with `ORDER BY`, `GROUP BY` or aggregates are materialized up front, as
-//! ordering and grouping are pipeline breakers.
+//! Every statement runs from an immutable physical plan (see the
+//! `plan` module): scans snapshot their input, the filter / group /
+//! having / project / sort operators evaluate the plan's slot-resolved
+//! expressions in place, and plain `SELECT`s stream their filter and
+//! projection through the [`Rows`] cursor — the cursor holds the shared
+//! `Arc<PhysicalPlan>`, so repeated executions of a prepared statement
+//! clone no expressions at all.
 //!
-//! Grouped aggregation is a hash operator: each input row's `GROUP BY` key
-//! is evaluated and hashed (NULLs group together, `-0.0`/`NaN` are
-//! canonicalized), rows are bucketed per key in one pass, and every output
-//! expression is then rewritten per group — grouping expressions become the
-//! key values, aggregate calls collapse over the bucket — before ordinary
-//! scalar evaluation. References to ungrouped columns and aggregates in
-//! `WHERE`/`GROUP BY` fail with PostgreSQL's wording.
+//! Grouped aggregation is a hash operator over *row indices*: each input
+//! row's `GROUP BY` key is evaluated and hashed (NULLs group together,
+//! `-0.0`/`NaN` are canonicalized) and the row's index is appended to its
+//! bucket — rows are never cloned into groups. Each distinct aggregate
+//! call of the statement (deduplicated at plan time by expression
+//! identity) is then folded exactly once per group, no matter how many
+//! times it appears across the select list, `HAVING` and `ORDER BY`; the
+//! lowered output expressions just read the memoized values.
+//!
+//! `INSERT … SELECT` consumes its source through the streaming cursor and
+//! inserts row by row, so the intermediate result is never materialized.
 
 use std::cmp::Ordering;
-use std::collections::{hash_map::Entry, HashMap};
+use std::collections::{hash_map::Entry, HashMap, HashSet};
+use std::sync::Arc;
 
-use crate::ast::{
-    contains_aggregate, BinOp, Expr, FromItem, InsertSource, SelectItem, SelectStmt, Stmt, UnOp,
-    AGGREGATE_FUNCTIONS,
-};
+use crate::ast::{Expr, FromItem, InsertSource, SelectStmt, Stmt, UnOp, AGGREGATE_FUNCTIONS};
 use crate::db::Database;
+use crate::decode::NamedRows;
 use crate::error::{Result, SqlError};
+use crate::plan::{
+    AggCall, AggOp, Binding, Env, GroupPlan, InsertPlan, PhysicalPlan, PlanFn, SelectOps,
+};
 use crate::table::{Column, QueryResult, Row, Schema, Table};
 use crate::value::Value;
 
+/// The values of one group during grouped evaluation: its key and its
+/// memoized aggregate results, read by `GroupKey`/`Agg` expressions.
+#[derive(Clone, Copy)]
+struct GroupVals<'a> {
+    key: &'a [Value],
+    aggs: &'a [Value],
+}
+
 /// Everything expression evaluation needs besides the row: the database
-/// (for UDF calls) and the statement's bind parameters.
+/// (for UDF calls), the statement's bind parameters, and — inside the
+/// grouping operator — the current group's key and aggregate values.
 struct Ctx<'a> {
     db: &'a Database,
     params: &'a [Value],
+    /// The plan's resolved scalar-function table (`Expr::ScalarCall`
+    /// indexes); empty in contexts that evaluate raw AST expressions.
+    fns: &'a [PlanFn],
+    group: Option<GroupVals<'a>>,
 }
 
-/// One FROM item's contribution to the name environment.
-#[derive(Debug, Clone)]
-struct Binding {
-    qualifier: String,
-    columns: Vec<String>,
-    /// Offset of this binding's first column in the flattened row.
-    offset: usize,
-}
+/// No resolved functions — raw-AST evaluation contexts.
+const NO_FNS: &[PlanFn] = &[];
 
-/// Name environment over a flattened joined row.
-struct Env<'a> {
-    bindings: &'a [Binding],
-}
-
-impl Env<'_> {
-    /// Resolve a column reference to a flat index.
-    fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
-        let name = name.to_ascii_lowercase();
-        let mut found: Option<usize> = None;
-        for b in self.bindings {
-            if let Some(q) = table {
-                if !q.eq_ignore_ascii_case(&b.qualifier) {
-                    continue;
-                }
-            }
-            if let Some(i) = b.columns.iter().position(|c| *c == name) {
-                if found.is_some() {
-                    return Err(SqlError::UnknownColumn(format!(
-                        "{name} (ambiguous reference)"
-                    )));
-                }
-                found = Some(b.offset + i);
-            }
-        }
-        found.ok_or_else(|| match table {
-            Some(t) => SqlError::UnknownColumn(format!("{t}.{name}")),
-            None => SqlError::UnknownColumn(name),
-        })
-    }
-}
+/// The empty name environment used once expressions are slot-resolved.
+const NO_BINDINGS: &[Binding] = &[];
 
 // ---------------------------------------------------------------------------
 // Value operations
@@ -123,51 +106,60 @@ pub fn order_cmp(a: &Value, b: &Value) -> Ordering {
     }
 }
 
-fn arith(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+fn arith(op: BinOpKind, a: &Value, b: &Value) -> Result<Value> {
     use Value::*;
     if a.is_null() || b.is_null() {
         return Ok(Null);
     }
     Ok(match (op, a, b) {
-        (BinOp::Add, Int(x), Int(y)) => Int(x + y),
-        (BinOp::Sub, Int(x), Int(y)) => Int(x - y),
-        (BinOp::Mul, Int(x), Int(y)) => Int(x * y),
-        (BinOp::Div, Int(x), Int(y)) => {
+        (BinOpKind::Add, Int(x), Int(y)) => Int(x + y),
+        (BinOpKind::Sub, Int(x), Int(y)) => Int(x - y),
+        (BinOpKind::Mul, Int(x), Int(y)) => Int(x * y),
+        (BinOpKind::Div, Int(x), Int(y)) => {
             if *y == 0 {
                 return Err(SqlError::Execution("division by zero".into()));
             }
             Int(x / y)
         }
         // timestamp/interval arithmetic
-        (BinOp::Add, Timestamp(t), Interval(i)) | (BinOp::Add, Interval(i), Timestamp(t)) => {
-            Timestamp(t + i)
+        (BinOpKind::Add, Timestamp(t), Interval(i))
+        | (BinOpKind::Add, Interval(i), Timestamp(t)) => Timestamp(t + i),
+        (BinOpKind::Sub, Timestamp(t), Interval(i)) => Timestamp(t - i),
+        (BinOpKind::Sub, Timestamp(x), Timestamp(y)) => Interval(x - y),
+        (BinOpKind::Add, Interval(x), Interval(y)) => Interval(x + y),
+        (BinOpKind::Sub, Interval(x), Interval(y)) => Interval(x - y),
+        (BinOpKind::Mul, Interval(x), Int(y)) | (BinOpKind::Mul, Int(y), Interval(x)) => {
+            Interval(x * y)
         }
-        (BinOp::Sub, Timestamp(t), Interval(i)) => Timestamp(t - i),
-        (BinOp::Sub, Timestamp(x), Timestamp(y)) => Interval(x - y),
-        (BinOp::Add, Interval(x), Interval(y)) => Interval(x + y),
-        (BinOp::Sub, Interval(x), Interval(y)) => Interval(x - y),
-        (BinOp::Mul, Interval(x), Int(y)) | (BinOp::Mul, Int(y), Interval(x)) => Interval(x * y),
         // float-promoting arithmetic
         (op, x, y) => {
             let xf = x.as_f64()?;
             let yf = y.as_f64()?;
             match op {
-                BinOp::Add => Float(xf + yf),
-                BinOp::Sub => Float(xf - yf),
-                BinOp::Mul => Float(xf * yf),
-                BinOp::Div => {
+                BinOpKind::Add => Float(xf + yf),
+                BinOpKind::Sub => Float(xf - yf),
+                BinOpKind::Mul => Float(xf * yf),
+                BinOpKind::Div => {
                     if yf == 0.0 {
                         return Err(SqlError::Execution("division by zero".into()));
                     }
                     Float(xf / yf)
                 }
-                _ => unreachable!("arith called with non-arithmetic operator"),
             }
         }
     })
 }
 
-fn logical(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+/// Arithmetic subset of [`crate::ast::BinOp`] (keeps `arith` total).
+#[derive(Clone, Copy)]
+enum BinOpKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+fn logical(and: bool, a: &Value, b: &Value) -> Result<Value> {
     let lhs = match a {
         Value::Null => None,
         v => Some(v.as_bool()?),
@@ -177,18 +169,18 @@ fn logical(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
         v => Some(v.as_bool()?),
     };
     // Kleene three-valued logic.
-    Ok(match op {
-        BinOp::And => match (lhs, rhs) {
+    Ok(if and {
+        match (lhs, rhs) {
             (Some(false), _) | (_, Some(false)) => Value::Bool(false),
             (Some(true), Some(true)) => Value::Bool(true),
             _ => Value::Null,
-        },
-        BinOp::Or => match (lhs, rhs) {
+        }
+    } else {
+        match (lhs, rhs) {
             (Some(true), _) | (_, Some(true)) => Value::Bool(true),
             (Some(false), Some(false)) => Value::Bool(false),
             _ => Value::Null,
-        },
-        _ => unreachable!("logical called with non-logical operator"),
+        }
     })
 }
 
@@ -197,6 +189,7 @@ fn logical(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
 // ---------------------------------------------------------------------------
 
 fn eval(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Value> {
+    use crate::ast::BinOp;
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Param(i) => ctx
@@ -204,6 +197,19 @@ fn eval(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Valu
             .get(*i - 1)
             .cloned()
             .ok_or_else(|| SqlError::Execution(format!("there is no parameter ${i}"))),
+        Expr::Slot(i) => Ok(row[*i].clone()),
+        Expr::GroupKey(i) => match &ctx.group {
+            Some(g) => Ok(g.key[*i].clone()),
+            None => Err(SqlError::Execution(
+                "group key referenced outside the grouping operator".into(),
+            )),
+        },
+        Expr::Agg(k) => match &ctx.group {
+            Some(g) => Ok(g.aggs[*k].clone()),
+            None => Err(SqlError::Execution(
+                "aggregate referenced outside the grouping operator".into(),
+            )),
+        },
         Expr::Column { table, name } => {
             let i = env.resolve(table.as_deref(), name)?;
             Ok(row[i].clone())
@@ -228,8 +234,12 @@ fn eval(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Valu
             let a = eval(ctx, left, env, row)?;
             let b = eval(ctx, right, env, row)?;
             match op {
-                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(*op, &a, &b),
-                BinOp::And | BinOp::Or => logical(*op, &a, &b),
+                BinOp::Add => arith(BinOpKind::Add, &a, &b),
+                BinOp::Sub => arith(BinOpKind::Sub, &a, &b),
+                BinOp::Mul => arith(BinOpKind::Mul, &a, &b),
+                BinOp::Div => arith(BinOpKind::Div, &a, &b),
+                BinOp::And => logical(true, &a, &b),
+                BinOp::Or => logical(false, &a, &b),
                 BinOp::Concat => {
                     if a.is_null() || b.is_null() {
                         Ok(Value::Null)
@@ -294,6 +304,26 @@ fn eval(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Valu
             let vals: Result<Vec<Value>> = args.iter().map(|a| eval(ctx, a, env, row)).collect();
             ctx.db.call_scalar(name, &vals?)
         }
+        Expr::ScalarCall { f, args } => {
+            let vals: Result<Vec<Value>> = args.iter().map(|a| eval(ctx, a, env, row)).collect();
+            let vals = vals?;
+            match &ctx.fns[*f] {
+                PlanFn::Udf(f) => f(ctx.db, &vals),
+                PlanFn::Intrinsic {
+                    op,
+                    counter,
+                    fallback,
+                } => match crate::functions::eval_intrinsic(*op, &vals) {
+                    Some(r) => {
+                        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        r
+                    }
+                    // A shape the native path does not handle: the
+                    // registered UDF owns the error wording.
+                    None => fallback(ctx.db, &vals),
+                },
+            }
+        }
     }
 }
 
@@ -314,14 +344,15 @@ fn is_true(v: &Value) -> Result<bool> {
 }
 
 // ---------------------------------------------------------------------------
-// Grouped aggregation
+// Grouping keys and aggregation
 // ---------------------------------------------------------------------------
 
-/// Hashable, normalized form of one grouping-key component. NULLs group
-/// together (as in PostgreSQL's GROUP BY), and `-0.0`/`NaN` floats are
-/// canonicalized so every row lands in a stable bucket.
+/// Hashable, normalized form of one grouping-key (or DISTINCT row)
+/// component. NULLs group together (as in PostgreSQL's GROUP BY), and
+/// `-0.0`/`NaN` floats are canonicalized so every row lands in a stable
+/// bucket.
 #[derive(PartialEq, Eq, Hash)]
-enum KeyAtom {
+pub(crate) enum KeyAtom {
     Null,
     Bool(bool),
     Int(i64),
@@ -332,7 +363,7 @@ enum KeyAtom {
 }
 
 impl KeyAtom {
-    fn from_value(v: &Value) -> KeyAtom {
+    pub(crate) fn from_value(v: &Value) -> KeyAtom {
         match v {
             Value::Null => KeyAtom::Null,
             Value::Bool(b) => KeyAtom::Bool(*b),
@@ -350,182 +381,66 @@ impl KeyAtom {
             Value::Interval(s) => KeyAtom::Interval(*s),
         }
     }
-}
 
-/// One hash bucket during grouped evaluation: the resolved GROUP BY
-/// expressions, this group's key values, and its source rows.
-struct Group<'a> {
-    exprs: &'a [Expr],
-    key: &'a [Value],
-    rows: &'a [Row],
-}
-
-/// The PostgreSQL grouping-rule error for a raw column reference that is
-/// neither grouped nor inside an aggregate.
-fn ungrouped_column(table: Option<&str>, name: &str) -> SqlError {
-    let qualified = match table {
-        Some(t) => format!("{t}.{name}"),
-        None => name.to_string(),
-    };
-    SqlError::Grouping(format!(
-        "column \"{qualified}\" must appear in the GROUP BY clause \
-         or be used in an aggregate function"
-    ))
-}
-
-/// Reject aggregate calls in clauses where PostgreSQL forbids them
-/// (`aggregate functions are not allowed in WHERE`, …).
-fn reject_aggregate(clause: &str, e: &Expr) -> Result<()> {
-    if contains_aggregate(e) {
-        return Err(SqlError::Grouping(format!(
-            "aggregate functions are not allowed in {clause}"
-        )));
+    fn row_key(row: &[Value]) -> Vec<KeyAtom> {
+        row.iter().map(KeyAtom::from_value).collect()
     }
-    Ok(())
 }
 
-/// Are these two expressions the same grouping expression? Structural
-/// equality, except bare column references compare by resolved position, so
-/// `SELECT t.a … GROUP BY a` matches.
-fn same_group_expr(env: &Env<'_>, a: &Expr, b: &Expr) -> bool {
-    if a == b {
-        return true;
-    }
-    if let (
-        Expr::Column {
-            table: ta,
-            name: na,
-        },
-        Expr::Column {
-            table: tb,
-            name: nb,
-        },
-    ) = (a, b)
-    {
-        if let (Ok(ia), Ok(ib)) = (
-            env.resolve(ta.as_deref(), na),
-            env.resolve(tb.as_deref(), nb),
-        ) {
-            return ia == ib;
+/// Streaming accumulator for one aggregate call of one group.
+enum AggAcc {
+    Count(i64),
+    Sum { sum: f64, n: i64 },
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggAcc {
+    fn new(op: AggOp) -> AggAcc {
+        match op {
+            AggOp::CountStar | AggOp::Count => AggAcc::Count(0),
+            AggOp::Sum => AggAcc::Sum { sum: 0.0, n: 0 },
+            AggOp::Avg => AggAcc::Avg { sum: 0.0, n: 0 },
+            AggOp::Min => AggAcc::Min(None),
+            AggOp::Max => AggAcc::Max(None),
         }
     }
-    false
-}
 
-/// Rewrite an output/HAVING/ORDER BY expression of a grouped query into a
-/// row-free scalar expression: subtrees matching a GROUP BY expression
-/// become the group's key value, aggregate calls are computed over the
-/// group's rows, and any column reference left over is a grouping error.
-/// The lowered expression is then evaluated by the ordinary [`eval`].
-fn lower_grouped(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, g: &Group<'_>) -> Result<Expr> {
-    if let Some(i) = g.exprs.iter().position(|e| same_group_expr(env, e, expr)) {
-        return Ok(Expr::Literal(g.key[i].clone()));
-    }
-    match expr {
-        Expr::Function { name, args } if AGGREGATE_FUNCTIONS.contains(&name.as_str()) => {
-            if args.iter().any(contains_aggregate) {
-                return Err(SqlError::Grouping(
-                    "aggregate function calls cannot be nested".into(),
-                ));
-            }
-            Ok(Expr::Literal(compute_aggregate(
-                ctx, name, args, env, g.rows,
-            )?))
+    /// Fold one source row into the accumulator (NULL argument values are
+    /// skipped, as in SQL aggregates).
+    fn update(
+        &mut self,
+        ctx: &Ctx<'_>,
+        call: &AggCall,
+        env: &Env<'_>,
+        row: &[Value],
+    ) -> Result<()> {
+        if call.op == AggOp::CountStar {
+            let AggAcc::Count(n) = self else {
+                unreachable!()
+            };
+            *n += 1;
+            return Ok(());
         }
-        Expr::Column { table, name } => Err(ungrouped_column(table.as_deref(), name)),
-        Expr::Literal(_) | Expr::Param(_) => Ok(expr.clone()),
-        Expr::Unary { op, expr } => Ok(Expr::Unary {
-            op: *op,
-            expr: Box::new(lower_grouped(ctx, expr, env, g)?),
-        }),
-        Expr::Binary { op, left, right } => Ok(Expr::Binary {
-            op: *op,
-            left: Box::new(lower_grouped(ctx, left, env, g)?),
-            right: Box::new(lower_grouped(ctx, right, env, g)?),
-        }),
-        Expr::Cast { expr, ty } => Ok(Expr::Cast {
-            expr: Box::new(lower_grouped(ctx, expr, env, g)?),
-            ty: *ty,
-        }),
-        Expr::IsNull { expr, negated } => Ok(Expr::IsNull {
-            expr: Box::new(lower_grouped(ctx, expr, env, g)?),
-            negated: *negated,
-        }),
-        Expr::InList {
-            expr,
-            list,
-            negated,
-        } => Ok(Expr::InList {
-            expr: Box::new(lower_grouped(ctx, expr, env, g)?),
-            list: list
-                .iter()
-                .map(|e| lower_grouped(ctx, e, env, g))
-                .collect::<Result<_>>()?,
-            negated: *negated,
-        }),
-        Expr::Function { name, args } => Ok(Expr::Function {
-            name: name.clone(),
-            args: args
-                .iter()
-                .map(|a| lower_grouped(ctx, a, env, g))
-                .collect::<Result<_>>()?,
-        }),
-    }
-}
-
-/// Lower a grouped expression and evaluate it to a value.
-fn eval_grouped(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, g: &Group<'_>) -> Result<Value> {
-    let lowered = lower_grouped(ctx, expr, env, g)?;
-    eval(ctx, &lowered, env, &[])
-}
-
-fn compute_aggregate(
-    ctx: &Ctx<'_>,
-    name: &str,
-    args: &[Expr],
-    env: &Env<'_>,
-    rows: &[Row],
-) -> Result<Value> {
-    if name == "count" && args.is_empty() {
-        return Ok(Value::Int(rows.len() as i64));
-    }
-    if args.len() != 1 {
-        return Err(SqlError::Type(format!(
-            "{name}() takes exactly one argument"
-        )));
-    }
-    let mut values = Vec::with_capacity(rows.len());
-    for r in rows {
-        let v = eval(ctx, &args[0], env, r)?;
-        if !v.is_null() {
-            values.push(v);
+        let v = eval(ctx, &call.args[0], env, row)?;
+        if v.is_null() {
+            return Ok(());
         }
-    }
-    match name {
-        "count" => Ok(Value::Int(values.len() as i64)),
-        "sum" | "avg" => {
-            if values.is_empty() {
-                return Ok(Value::Null);
+        let is_min = matches!(self, AggAcc::Min(_));
+        match self {
+            AggAcc::Count(n) => *n += 1,
+            AggAcc::Sum { sum, n } | AggAcc::Avg { sum, n } => {
+                *sum += v.as_f64()?;
+                *n += 1;
             }
-            let mut acc = 0.0;
-            for v in &values {
-                acc += v.as_f64()?;
-            }
-            if name == "avg" {
-                Ok(Value::Float(acc / values.len() as f64))
-            } else {
-                Ok(Value::Float(acc))
-            }
-        }
-        "min" | "max" => {
-            let mut best: Option<Value> = None;
-            for v in values {
-                best = Some(match best {
+            AggAcc::Min(best) | AggAcc::Max(best) => {
+                *best = Some(match best.take() {
                     None => v,
                     Some(b) => {
                         let keep_new = match compare(&v, &b)? {
-                            Some(Ordering::Less) => name == "min",
-                            Some(Ordering::Greater) => name == "max",
+                            Some(Ordering::Less) => is_min,
+                            Some(Ordering::Greater) => !is_min,
                             _ => false,
                         };
                         if keep_new {
@@ -536,9 +451,169 @@ fn compute_aggregate(
                     }
                 });
             }
-            Ok(best.unwrap_or(Value::Null))
         }
-        other => Err(SqlError::UnknownFunction(format!("{other}()"))),
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggAcc::Count(n) => Value::Int(n),
+            AggAcc::Sum { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum)
+                }
+            }
+            AggAcc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            AggAcc::Min(best) | AggAcc::Max(best) => best.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// The grouping operator's accumulation pass, in one sweep over borrowed
+/// source rows: apply the WHERE filter, hash each surviving row's key
+/// into its bucket (rows are never cloned — only key values are kept),
+/// and fold every distinct aggregate call incrementally. Returns each
+/// group's `(key values, memoized aggregate values)`. No GROUP BY = one
+/// group over the whole input, even when it is empty (the ungrouped
+/// aggregate's one-row result).
+fn grouped_groups(
+    ctx: &Ctx<'_>,
+    ops: &SelectOps,
+    gp: &GroupPlan,
+    rows: &[Row],
+) -> Result<Vec<(Vec<Value>, Vec<Value>)>> {
+    let env = Env {
+        bindings: NO_BINDINGS,
+    };
+    let mut index: HashMap<Vec<KeyAtom>, usize> = HashMap::new();
+    let mut groups: Vec<(Vec<Value>, Vec<AggAcc>)> = Vec::new();
+    let accs_new = || {
+        gp.aggs
+            .iter()
+            .map(|c| AggAcc::new(c.op))
+            .collect::<Vec<_>>()
+    };
+    if gp.keys.is_empty() {
+        groups.push((Vec::new(), accs_new()));
+    }
+    let mut key: Vec<Value> = Vec::with_capacity(gp.keys.len());
+    for r in rows {
+        if let Some(p) = &ops.where_clause {
+            if !is_true(&eval(ctx, p, &env, r)?)? {
+                continue;
+            }
+        }
+        let gi = if gp.keys.is_empty() {
+            0
+        } else {
+            key.clear();
+            for e in &gp.keys {
+                key.push(eval(ctx, e, &env, r)?);
+            }
+            match index.entry(KeyAtom::row_key(&key)) {
+                Entry::Occupied(o) => *o.get(),
+                Entry::Vacant(v) => {
+                    v.insert(groups.len());
+                    groups.push((key.clone(), accs_new()));
+                    groups.len() - 1
+                }
+            }
+        };
+        let (_, accs) = &mut groups[gi];
+        for (acc, call) in accs.iter_mut().zip(&gp.aggs) {
+            acc.update(ctx, call, &env, r)?;
+        }
+    }
+    // One memoized evaluation per (group, distinct call) — the
+    // observability counter the memoization tests pin down.
+    ctx.db.note_agg_evals((groups.len() * gp.aggs.len()) as u64);
+    Ok(groups
+        .into_iter()
+        .map(|(key, accs)| (key, accs.into_iter().map(AggAcc::finish).collect()))
+        .collect())
+}
+
+/// The grouping operator's emission pass (runs without any table guard):
+/// per group, evaluate the lowered HAVING / projection / ORDER BY
+/// expressions against the memoized key and aggregate values.
+fn emit_groups(
+    db: &Database,
+    params: &[Value],
+    ops: &SelectOps,
+    groups: Vec<(Vec<Value>, Vec<Value>)>,
+) -> Result<Vec<(Vec<Value>, Row)>> {
+    let env = Env {
+        bindings: NO_BINDINGS,
+    };
+    let mut keyed = Vec::with_capacity(groups.len());
+    let Some(gp) = &ops.group else {
+        unreachable!("emit_groups runs under a group plan");
+    };
+    for (key, aggs) in &groups {
+        let gctx = Ctx {
+            db,
+            params,
+            fns: &ops.fns,
+            group: Some(GroupVals { key, aggs }),
+        };
+        if let Some(h) = &gp.having {
+            if !is_true_in(&eval(&gctx, h, &env, &[])?, "HAVING")? {
+                continue;
+            }
+        }
+        let mut out = Vec::with_capacity(ops.projections.len());
+        for e in &ops.projections {
+            out.push(eval(&gctx, e, &env, &[])?);
+        }
+        let mut sort_key = Vec::with_capacity(ops.order_by.len());
+        for (e, _) in &ops.order_by {
+            sort_key.push(eval(&gctx, e, &env, &[])?);
+        }
+        keyed.push((sort_key, out));
+    }
+    Ok(keyed)
+}
+
+/// Shared tail of the grouped paths: DISTINCT deduplication, ordering
+/// and LIMIT over the projected group rows.
+fn grouped_tail(mut keyed: Vec<(Vec<Value>, Row)>, ops: &SelectOps) -> Vec<Row> {
+    if ops.distinct {
+        let mut seen = HashSet::new();
+        keyed.retain(|(_, r)| seen.insert(KeyAtom::row_key(r)));
+        sort_by_output(&mut keyed, &ops.distinct_order);
+    } else {
+        sort_keyed(&mut keyed, &ops.order_by);
+    }
+    keyed.into_iter().take(ops.limit).map(|(_, r)| r).collect()
+}
+
+/// May this expression run while a table read guard is held? True when it
+/// cannot re-enter the database: no raw function calls, and resolved
+/// calls only to native intrinsics.
+fn scan_safe(e: &Expr, fns: &[PlanFn]) -> bool {
+    match e {
+        Expr::Literal(_) | Expr::Param(_) | Expr::Slot(_) | Expr::GroupKey(_) | Expr::Agg(_) => {
+            true
+        }
+        Expr::Column { .. } | Expr::Function { .. } => false,
+        Expr::ScalarCall { f, args } => {
+            matches!(fns[*f], PlanFn::Intrinsic { .. }) && args.iter().all(|a| scan_safe(a, fns))
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+            scan_safe(expr, fns)
+        }
+        Expr::Binary { left, right, .. } => scan_safe(left, fns) && scan_safe(right, fns),
+        Expr::InList { expr, list, .. } => {
+            scan_safe(expr, fns) && list.iter().all(|e| scan_safe(e, fns))
+        }
     }
 }
 
@@ -548,29 +623,57 @@ fn compute_aggregate(
 
 /// A streaming query result: an iterator of `Result<Row>` plus column
 /// names. For plain `SELECT`s (no `ORDER BY`, no `GROUP BY`, no
-/// aggregates) the WHERE filter and the projection run lazily per
-/// [`Iterator::next`] call, so consumers that stop early never pay for the
-/// full result; ordered and grouped/aggregated queries are materialized up
-/// front, as both are pipeline breakers.
+/// aggregates) the WHERE filter, the projection and DISTINCT
+/// deduplication run lazily per [`Iterator::next`] call against the
+/// shared physical plan, so consumers that stop early never pay for the
+/// full result and repeated executions clone no expressions; ordered and
+/// grouped/aggregated queries are materialized up front, as both are
+/// pipeline breakers.
 pub struct Rows<'db> {
     columns: Vec<String>,
     state: RowsState<'db>,
 }
 
+/// Where a lazy cursor's operator pipeline lives.
+enum OpsSource {
+    /// The shared plan of a prepared statement — zero per-execution
+    /// expression clones.
+    Plan(Arc<PhysicalPlan>),
+    /// A pipeline resolved at execution time (dynamic scans).
+    Owned(Box<SelectOps>),
+}
+
+impl OpsSource {
+    fn ops(&self) -> &SelectOps {
+        match self {
+            OpsSource::Plan(p) => match &**p {
+                PhysicalPlan::StaticSelect(sp) => &sp.ops,
+                _ => unreachable!("lazy cursors only reference SELECT plans"),
+            },
+            OpsSource::Owned(o) => o,
+        }
+    }
+}
+
+struct LazyScan<'db> {
+    db: &'db Database,
+    params: Vec<Value>,
+    ops: OpsSource,
+    source: std::vec::IntoIter<Row>,
+    /// DISTINCT: projected rows already emitted.
+    seen: Option<HashSet<Vec<KeyAtom>>>,
+    remaining: usize,
+    failed: bool,
+}
+
 enum RowsState<'db> {
     /// Fully materialized output rows.
     Done(std::vec::IntoIter<Row>),
-    /// Joined source rows with deferred filter + projection.
-    Lazy {
-        db: &'db Database,
-        params: Vec<Value>,
-        bindings: Vec<Binding>,
-        where_clause: Option<Expr>,
-        projections: Vec<Expr>,
-        source: std::vec::IntoIter<Row>,
-        remaining: usize,
-        failed: bool,
-    },
+    /// An externally produced row stream (e.g. `fmu_simulate` output
+    /// assembly) surfaced through the same cursor type.
+    Streamed(Box<dyn Iterator<Item = Result<Row>> + 'db>),
+    /// Scan source with deferred filter + projection (+ DISTINCT).
+    Lazy(Box<LazyScan<'db>>),
 }
 
 impl<'db> Rows<'db> {
@@ -582,9 +685,26 @@ impl<'db> Rows<'db> {
         }
     }
 
+    /// Wrap an external row-producing iterator as a streaming cursor.
+    pub fn streamed<I>(columns: Vec<String>, iter: I) -> Rows<'db>
+    where
+        I: Iterator<Item = Result<Row>> + 'db,
+    {
+        Rows {
+            columns,
+            state: RowsState::Streamed(Box::new(iter)),
+        }
+    }
+
     /// Output column names.
     pub fn columns(&self) -> &[String] {
         &self.columns
+    }
+
+    /// Convert into an iterator of by-name-addressable rows (see
+    /// [`crate::decode::NamedRow`]).
+    pub fn into_named(self) -> NamedRows<'db> {
+        NamedRows::new(self)
     }
 
     /// Drain the cursor into a materialized [`QueryResult`].
@@ -607,50 +727,50 @@ impl Iterator for Rows<'_> {
     fn next(&mut self) -> Option<Result<Row>> {
         match &mut self.state {
             RowsState::Done(it) => it.next().map(Ok),
-            RowsState::Lazy {
-                db,
-                params,
-                bindings,
-                where_clause,
-                projections,
-                source,
-                remaining,
-                failed,
-            } => {
-                if *failed || *remaining == 0 {
+            RowsState::Streamed(it) => it.next(),
+            RowsState::Lazy(scan) => {
+                if scan.failed || scan.remaining == 0 {
                     return None;
                 }
+                let ops = scan.ops.ops();
                 let ctx = Ctx {
-                    db,
-                    params: &params[..],
+                    db: scan.db,
+                    params: &scan.params,
+                    fns: &ops.fns,
+                    group: None,
                 };
                 let env = Env {
-                    bindings: &bindings[..],
+                    bindings: NO_BINDINGS,
                 };
                 loop {
-                    let r = source.next()?;
-                    match where_clause {
+                    let r = scan.source.next()?;
+                    match &ops.where_clause {
                         None => {}
                         Some(p) => match eval(&ctx, p, &env, &r).and_then(|v| is_true(&v)) {
                             Ok(true) => {}
                             Ok(false) => continue,
                             Err(e) => {
-                                *failed = true;
+                                scan.failed = true;
                                 return Some(Err(e));
                             }
                         },
                     }
-                    *remaining -= 1;
-                    let mut out = Vec::with_capacity(projections.len());
-                    for e in projections.iter() {
+                    let mut out = Vec::with_capacity(ops.projections.len());
+                    for e in &ops.projections {
                         match eval(&ctx, e, &env, &r) {
                             Ok(v) => out.push(v),
                             Err(e) => {
-                                *failed = true;
+                                scan.failed = true;
                                 return Some(Err(e));
                             }
                         }
                     }
+                    if let Some(seen) = &mut scan.seen {
+                        if !seen.insert(KeyAtom::row_key(&out)) {
+                            continue;
+                        }
+                    }
+                    scan.remaining -= 1;
                     return Some(Ok(out));
                 }
             }
@@ -662,36 +782,80 @@ impl Iterator for Rows<'_> {
 // SELECT execution
 // ---------------------------------------------------------------------------
 
-/// Execute a SELECT and materialize the result.
-pub fn execute_select(db: &Database, sel: &SelectStmt, params: &[Value]) -> Result<QueryResult> {
-    select_rows(db, sel, params)?.into_result()
+/// A scanned table's schema no longer matches the cached plan — a DDL
+/// race between the plan's epoch check and the scan. The caller's next
+/// execution recompiles against the new epoch.
+fn stale_plan(name: &str) -> SqlError {
+    SqlError::Execution(format!(
+        "cached plan is stale: relation \"{name}\" changed during execution"
+    ))
 }
 
-/// Execute a SELECT, returning a (lazily projected, where possible)
-/// streaming cursor.
-pub fn select_rows<'db>(
-    db: &'db Database,
-    sel: &SelectStmt,
-    params: &[Value],
-) -> Result<Rows<'db>> {
-    let ctx = Ctx { db, params };
+/// Does a table's live schema still match the column layout a plan was
+/// compiled against? Checked under the same guard the rows come from.
+fn schema_matches(schema: &Schema, planned: &[String]) -> bool {
+    schema.len() == planned.len()
+        && schema
+            .columns
+            .iter()
+            .zip(planned)
+            .all(|(c, p)| c.name == *p)
+}
 
-    // 0. Clause-placement validation (PostgreSQL wording).
-    if let Some(w) = &sel.where_clause {
-        reject_aggregate("WHERE", w)?;
+/// Cross-join a snapshot of table rows onto the joined set so far. The
+/// initial state (one empty row) short-circuits: `[[]] × T = T`.
+fn cross_join(rows: Vec<Row>, trows: Vec<Row>) -> Vec<Row> {
+    if rows.len() == 1 && rows[0].is_empty() {
+        return trows;
     }
-    for item in &sel.from {
-        if let FromItem::Function { args, .. } = item {
-            for a in args {
-                reject_aggregate("FROM", a)?;
-            }
+    let mut next = Vec::with_capacity(rows.len() * trows.len().max(1));
+    for base in &rows {
+        for tr in &trows {
+            let mut r = base.clone();
+            r.extend(tr.iter().cloned());
+            next.push(r);
         }
     }
+    next
+}
 
-    // 1. FROM: build the joined row set, functions joining laterally.
+/// Scan the base tables of a static plan into the joined row set,
+/// re-checking each table's schema against the plan under the same guard
+/// the rows are snapshotted from (so `Slot` indices stay in bounds and
+/// keep pointing at the planned columns).
+fn scan_tables(db: &Database, tables: &[String], schemas: &[Vec<String>]) -> Result<Vec<Row>> {
+    let mut rows: Vec<Row> = vec![Vec::new()];
+    for (name, planned) in tables.iter().zip(schemas) {
+        let handle = db.get_table(name)?;
+        let trows = {
+            let guard = handle.read();
+            if !schema_matches(&guard.schema, planned) {
+                return Err(stale_plan(name));
+            }
+            guard.rows.clone()
+        };
+        rows = cross_join(rows, trows);
+    }
+    Ok(rows)
+}
+
+/// Evaluate a dynamic FROM clause left to right (set-returning functions
+/// join laterally and may re-enter the database), returning the runtime
+/// bindings and the joined row set.
+fn scan_from(
+    db: &Database,
+    params: &[Value],
+    from: &[FromItem],
+) -> Result<(Vec<Binding>, Vec<Row>)> {
+    let ctx = Ctx {
+        db,
+        params,
+        fns: NO_FNS,
+        group: None,
+    };
     let mut bindings: Vec<Binding> = Vec::new();
     let mut rows: Vec<Row> = vec![Vec::new()];
-    for item in &sel.from {
+    for item in from {
         match item {
             FromItem::Table { name, alias } => {
                 let table = db.get_table(name)?;
@@ -707,20 +871,12 @@ pub fn select_rows<'db>(
                         guard.rows.clone(),
                     )
                 };
-                let mut next = Vec::with_capacity(rows.len() * trows.len().max(1));
-                for base in &rows {
-                    for tr in &trows {
-                        let mut r = base.clone();
-                        r.extend(tr.iter().cloned());
-                        next.push(r);
-                    }
-                }
                 bindings.push(Binding {
                     qualifier: alias.clone().unwrap_or_else(|| name.clone()),
                     columns: cols,
                     offset: bindings.last().map_or(0, |b| b.offset + b.columns.len()),
                 });
-                rows = next;
+                rows = cross_join(rows, trows);
             }
             FromItem::Function { name, args, alias } => {
                 let env = Env {
@@ -757,9 +913,13 @@ pub fn select_rows<'db>(
                         }
                     }
                     for fr in result.rows {
-                        let mut r = base.clone();
-                        r.extend(fr);
-                        next.push(r);
+                        if base.is_empty() {
+                            next.push(fr);
+                        } else {
+                            let mut r = base.clone();
+                            r.extend(fr);
+                            next.push(r);
+                        }
                     }
                 }
                 let cols = out_cols.unwrap_or_default();
@@ -772,144 +932,75 @@ pub fn select_rows<'db>(
             }
         }
     }
+    Ok((bindings, rows))
+}
 
-    // 2. Expand projection wildcards into (expr, output name) pairs.
-    let mut projections: Vec<(Expr, String)> = Vec::new();
-    for item in &sel.items {
-        match item {
-            SelectItem::Wildcard => {
-                for b in &bindings {
-                    for c in &b.columns {
-                        projections.push((
-                            Expr::Column {
-                                table: Some(b.qualifier.clone()),
-                                name: c.clone(),
-                            },
-                            c.clone(),
-                        ));
-                    }
-                }
-                if bindings.is_empty() {
-                    return Err(SqlError::Parse("SELECT * with no FROM items".into()));
-                }
-            }
-            SelectItem::QualifiedWildcard(q) => {
-                let b = bindings
-                    .iter()
-                    .find(|b| b.qualifier.eq_ignore_ascii_case(q))
-                    .ok_or_else(|| SqlError::UnknownTable(q.clone()))?;
-                for c in &b.columns {
-                    projections.push((
-                        Expr::Column {
-                            table: Some(b.qualifier.clone()),
-                            name: c.clone(),
-                        },
-                        c.clone(),
-                    ));
-                }
-            }
-            SelectItem::Expr { expr, alias } => {
-                let name = alias.clone().unwrap_or_else(|| derived_name(expr));
-                projections.push((expr.clone(), name.to_ascii_lowercase()));
-            }
-        }
-    }
-    let columns: Vec<String> = projections.iter().map(|(_, n)| n.clone()).collect();
-
-    // Resolve GROUP BY ordinals (`GROUP BY 1` names the first select item,
-    // as in PostgreSQL) and reject aggregates in grouping expressions.
-    let mut group_exprs: Vec<Expr> = Vec::with_capacity(sel.group_by.len());
-    for e in &sel.group_by {
-        let resolved = match e {
-            Expr::Literal(Value::Int(n)) => {
-                let i = usize::try_from(*n - 1)
-                    .ok()
-                    .filter(|i| *i < projections.len())
-                    .ok_or_else(|| {
-                        SqlError::Grouping(format!("GROUP BY position {n} is not in select list"))
-                    })?;
-                projections[i].0.clone()
-            }
-            other => other.clone(),
-        };
-        reject_aggregate("GROUP BY", &resolved)?;
-        group_exprs.push(resolved);
-    }
-
-    // ORDER BY items may name an output column (alias) or its 1-based
-    // ordinal, as in PostgreSQL; both resolve to the projected expression.
-    // A bare name matching both an output and an input column means the
-    // output column.
-    let mut order_by: Vec<(Expr, bool)> = Vec::with_capacity(sel.order_by.len());
-    for (e, desc) in &sel.order_by {
-        let resolved = match e {
-            Expr::Literal(Value::Int(n)) => {
-                let i = usize::try_from(*n - 1)
-                    .ok()
-                    .filter(|i| *i < projections.len())
-                    .ok_or_else(|| {
-                        SqlError::Grouping(format!("ORDER BY position {n} is not in select list"))
-                    })?;
-                projections[i].0.clone()
-            }
-            Expr::Column { table: None, name } => {
-                let hits: Vec<&Expr> = projections
-                    .iter()
-                    .filter(|(_, out)| out.eq_ignore_ascii_case(name))
-                    .map(|(pe, _)| pe)
-                    .collect();
-                match hits.as_slice() {
-                    [] => e.clone(),
-                    [first, rest @ ..] => {
-                        // Several output columns may share the name as long
-                        // as they are the same expression (`SELECT *, x …
-                        // ORDER BY x`); different expressions are ambiguous.
-                        let probe = Env {
-                            bindings: &bindings,
-                        };
-                        if rest.iter().all(|pe| same_group_expr(&probe, first, pe)) {
-                            (*first).clone()
-                        } else {
-                            return Err(SqlError::Grouping(format!(
-                                "ORDER BY \"{name}\" is ambiguous"
-                            )));
-                        }
-                    }
-                }
-            }
-            other => other.clone(),
-        };
-        order_by.push((resolved, *desc));
-    }
-
-    let has_aggregate = projections.iter().any(|(e, _)| contains_aggregate(e))
-        || sel.having.as_ref().is_some_and(contains_aggregate)
-        || order_by.iter().any(|(e, _)| contains_aggregate(e));
-    let grouped = has_aggregate || !group_exprs.is_empty() || sel.having.is_some();
-    let limit = sel.limit.map(|l| l as usize).unwrap_or(usize::MAX);
-
-    // 3. Plain SELECT: defer WHERE + projection + LIMIT to the cursor.
-    if !grouped && order_by.is_empty() {
+/// Run the resolved operator pipeline over the scanned rows: either a
+/// lazy cursor (plain SELECT) or an eager materialization (pipeline
+/// breakers present).
+fn run_select<'db>(
+    db: &'db Database,
+    ops_src: OpsSource,
+    source: Vec<Row>,
+    params: &[Value],
+) -> Result<Rows<'db>> {
+    let (lazy, columns, distinct, limit) = {
+        let ops = ops_src.ops();
+        (
+            ops.group.is_none() && ops.order_by.is_empty() && ops.distinct_order.is_empty(),
+            ops.columns.clone(),
+            ops.distinct,
+            ops.limit,
+        )
+    };
+    if lazy {
         return Ok(Rows {
             columns,
-            state: RowsState::Lazy {
+            state: RowsState::Lazy(Box::new(LazyScan {
                 db,
                 params: params.to_vec(),
-                bindings,
-                where_clause: sel.where_clause.clone(),
-                projections: projections.into_iter().map(|(e, _)| e).collect(),
-                source: rows.into_iter(),
+                ops: ops_src,
+                source: source.into_iter(),
+                seen: distinct.then(HashSet::new),
                 remaining: limit,
                 failed: false,
-            },
+            })),
         });
     }
+    let rows = materialize(db, ops_src.ops(), source, params)?;
+    Ok(Rows {
+        columns,
+        state: RowsState::Done(rows.into_iter()),
+    })
+}
 
-    // 4. WHERE (pipeline breakers ahead — filter eagerly).
-    let env = Env {
-        bindings: &bindings,
+/// Eager pipeline: filter → \[group → having\] → project → \[distinct\]
+/// → sort → limit.
+fn materialize(
+    db: &Database,
+    ops: &SelectOps,
+    source: Vec<Row>,
+    params: &[Value],
+) -> Result<Vec<Row>> {
+    let ctx = Ctx {
+        db,
+        params,
+        fns: &ops.fns,
+        group: None,
     };
-    if let Some(pred) = &sel.where_clause {
+    let env = Env {
+        bindings: NO_BINDINGS,
+    };
+
+    if let Some(gp) = &ops.group {
+        // Grouping applies its own WHERE during the accumulation sweep.
+        let groups = grouped_groups(&ctx, ops, gp, &source)?;
+        let keyed = emit_groups(db, params, ops, groups)?;
+        return Ok(grouped_tail(keyed, ops));
+    }
+
+    let mut rows = source;
+    if let Some(pred) = &ops.where_clause {
         let mut kept = Vec::with_capacity(rows.len());
         for r in rows {
             if is_true(&eval(&ctx, pred, &env, &r)?)? {
@@ -919,83 +1010,50 @@ pub fn select_rows<'db>(
         rows = kept;
     }
 
-    // 5. Grouped aggregation: hash rows into per-key buckets (no GROUP BY
-    //    = one group over the whole input), filter groups with HAVING, then
-    //    project / order / limit per group.
-    let mut result = QueryResult::new(columns);
-    if grouped {
-        let groups: Vec<(Vec<Value>, Vec<Row>)> = if group_exprs.is_empty() {
-            vec![(Vec::new(), rows)]
-        } else {
-            let mut index: HashMap<Vec<KeyAtom>, usize> = HashMap::new();
-            let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
-            for r in rows {
-                let mut key = Vec::with_capacity(group_exprs.len());
-                for e in &group_exprs {
-                    key.push(eval(&ctx, e, &env, &r)?);
-                }
-                match index.entry(key.iter().map(KeyAtom::from_value).collect()) {
-                    Entry::Occupied(o) => groups[*o.get()].1.push(r),
-                    Entry::Vacant(v) => {
-                        v.insert(groups.len());
-                        groups.push((key, vec![r]));
-                    }
-                }
+    let mut keyed: Vec<(Vec<Value>, Row)>;
+    if ops.distinct {
+        // DISTINCT sorts on projected columns, so project everything now.
+        keyed = Vec::with_capacity(rows.len());
+        for r in &rows {
+            let mut out = Vec::with_capacity(ops.projections.len());
+            for e in &ops.projections {
+                out.push(eval(&ctx, e, &env, r)?);
             }
-            groups
-        };
-
-        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(groups.len());
-        for (key, grows) in &groups {
-            let g = Group {
-                exprs: &group_exprs,
-                key,
-                rows: grows,
-            };
-            if let Some(h) = &sel.having {
-                if !is_true_in(&eval_grouped(&ctx, h, &env, &g)?, "HAVING")? {
-                    continue;
-                }
-            }
-            let mut out = Vec::with_capacity(projections.len());
-            for (e, _) in &projections {
-                out.push(eval_grouped(&ctx, e, &env, &g)?);
-            }
-            let mut sort_key = Vec::with_capacity(order_by.len());
-            for (e, _) in &order_by {
-                sort_key.push(eval_grouped(&ctx, e, &env, &g)?);
-            }
-            keyed.push((sort_key, out));
+            keyed.push((Vec::new(), out));
         }
-        sort_keyed(&mut keyed, &order_by);
-        result.rows = keyed.into_iter().take(limit).map(|(_, r)| r).collect();
-        return Ok(Rows::from_result(result));
+    } else {
+        // Ordered: sort keys evaluate per source row; projection runs after
+        // the sort, only for the rows LIMIT keeps.
+        keyed = Vec::with_capacity(rows.len());
+        for r in rows {
+            let mut sort_key = Vec::with_capacity(ops.order_by.len());
+            for (e, _) in &ops.order_by {
+                sort_key.push(eval(&ctx, e, &env, &r)?);
+            }
+            keyed.push((sort_key, r));
+        }
     }
 
-    // 6. ORDER BY on source rows.
-    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
-    for r in rows {
-        let mut keys = Vec::with_capacity(order_by.len());
-        for (e, _) in &order_by {
-            keys.push(eval(&ctx, e, &env, &r)?);
-        }
-        keyed.push((keys, r));
+    if ops.distinct {
+        return Ok(grouped_tail(keyed, ops));
     }
-    sort_keyed(&mut keyed, &order_by);
-
-    // 7. LIMIT + projection.
-    for (_, r) in keyed.into_iter().take(limit) {
-        let mut out = Vec::with_capacity(projections.len());
-        for (e, _) in &projections {
+    sort_keyed(&mut keyed, &ops.order_by);
+    let mut out_rows = Vec::with_capacity(keyed.len().min(ops.limit));
+    for (_, r) in keyed.into_iter().take(ops.limit) {
+        let mut out = Vec::with_capacity(ops.projections.len());
+        for e in &ops.projections {
             out.push(eval(&ctx, e, &env, &r)?);
         }
-        result.rows.push(out);
+        out_rows.push(out);
     }
-    Ok(Rows::from_result(result))
+    Ok(out_rows)
 }
 
 /// Stable multi-key sort shared by the grouped and plain ORDER BY paths.
 fn sort_keyed(keyed: &mut [(Vec<Value>, Row)], order_by: &[(Expr, bool)]) {
+    if order_by.is_empty() {
+        return;
+    }
     keyed.sort_by(|(ka, _), (kb, _)| {
         for (i, (_, desc)) in order_by.iter().enumerate() {
             let o = order_cmp(&ka[i], &kb[i]);
@@ -1008,109 +1066,201 @@ fn sort_keyed(keyed: &mut [(Vec<Value>, Row)], order_by: &[(Expr, bool)]) {
     });
 }
 
-/// Output column name for an unaliased projection.
-fn derived_name(e: &Expr) -> String {
-    match e {
-        Expr::Column { name, .. } => name.clone(),
-        Expr::Function { name, .. } => name.clone(),
-        Expr::Cast { expr, .. } => derived_name(expr),
-        _ => "?column?".into(),
+/// DISTINCT ordering: sort deduplicated rows on projected column indices.
+fn sort_by_output(keyed: &mut [(Vec<Value>, Row)], spec: &[(usize, bool)]) {
+    if spec.is_empty() {
+        return;
     }
+    keyed.sort_by(|(_, ra), (_, rb)| {
+        for (i, desc) in spec {
+            let o = order_cmp(&ra[*i], &rb[*i]);
+            let o = if *desc { o.reverse() } else { o };
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    });
+}
+
+fn run_static_select<'db>(
+    db: &'db Database,
+    plan: &Arc<PhysicalPlan>,
+    params: &[Value],
+) -> Result<Rows<'db>> {
+    let PhysicalPlan::StaticSelect(sp) = &**plan else {
+        unreachable!("run_static_select takes a static SELECT plan");
+    };
+    // Zero-copy grouped scan: a single-table grouped query whose filter,
+    // keys and aggregate arguments cannot re-enter the database runs its
+    // accumulation sweep over the table's rows in place, under the read
+    // guard — no row is ever cloned. (Emission — HAVING, projection,
+    // ORDER BY — runs after the guard drops, so those clauses may still
+    // call arbitrary UDFs.)
+    if let Some(gp) = &sp.ops.group {
+        let scan_pure = sp.tables.len() == 1
+            && sp
+                .ops
+                .where_clause
+                .as_ref()
+                .is_none_or(|w| scan_safe(w, &sp.ops.fns))
+            && gp.keys.iter().all(|k| scan_safe(k, &sp.ops.fns))
+            && gp
+                .aggs
+                .iter()
+                .all(|c| c.args.iter().all(|a| scan_safe(a, &sp.ops.fns)));
+        if scan_pure {
+            let handle = db.get_table(&sp.tables[0])?;
+            let ctx = Ctx {
+                db,
+                params,
+                fns: &sp.ops.fns,
+                group: None,
+            };
+            let groups = {
+                let guard = handle.read();
+                if !schema_matches(&guard.schema, &sp.schemas[0]) {
+                    return Err(stale_plan(&sp.tables[0]));
+                }
+                grouped_groups(&ctx, &sp.ops, gp, &guard.rows)?
+            };
+            let keyed = emit_groups(db, params, &sp.ops, groups)?;
+            let rows = grouped_tail(keyed, &sp.ops);
+            return Ok(Rows {
+                columns: sp.ops.columns.clone(),
+                state: RowsState::Done(rows.into_iter()),
+            });
+        }
+    }
+    let rows = scan_tables(db, &sp.tables, &sp.schemas)?;
+    run_select(db, OpsSource::Plan(Arc::clone(plan)), rows, params)
+}
+
+fn run_dynamic_select<'db>(
+    db: &'db Database,
+    sel: &SelectStmt,
+    params: &[Value],
+) -> Result<Rows<'db>> {
+    let (bindings, rows) = scan_from(db, params, &sel.from)?;
+    let ops = crate::plan::build_select(db, sel, &bindings)?;
+    run_select(db, OpsSource::Owned(Box::new(ops)), rows, params)
 }
 
 // ---------------------------------------------------------------------------
 // DML / DDL execution
 // ---------------------------------------------------------------------------
 
-/// Execute any statement with bind parameters, materializing the result.
-pub fn execute_stmt(db: &Database, stmt: &Stmt, params: &[Value]) -> Result<QueryResult> {
-    match stmt {
-        Stmt::Select(sel) => execute_select(db, sel, params),
-        other => execute_stmt_rows(db, other, params)?.into_result(),
+/// One-row `count` status result shared by the DML statements.
+fn count_result<'db>(n: i64) -> Rows<'db> {
+    let mut q = QueryResult::new(vec!["count".into()]);
+    q.rows.push(vec![Value::Int(n)]);
+    Rows::from_result(q)
+}
+
+/// Map a source row onto the target schema through an INSERT column list.
+fn map_insert_row(r: Row, ip: &InsertPlan) -> Result<Row> {
+    match &ip.column_idxs {
+        None => Ok(r),
+        Some(idxs) => {
+            if r.len() != idxs.len() {
+                return Err(SqlError::Constraint(format!(
+                    "INSERT row has {} values for {} columns",
+                    r.len(),
+                    idxs.len()
+                )));
+            }
+            let mut full = vec![Value::Null; ip.schema_len];
+            for (v, &i) in r.into_iter().zip(idxs) {
+                full[i] = v;
+            }
+            Ok(full)
+        }
     }
 }
 
-/// Execute any statement with bind parameters; `SELECT`s stream through
-/// [`Rows`], everything else returns its (tiny) materialized status result.
-pub fn execute_stmt_rows<'db>(
+fn run_insert<'db>(
     db: &'db Database,
     stmt: &Stmt,
+    ip: &InsertPlan,
     params: &[Value],
 ) -> Result<Rows<'db>> {
-    let ctx = Ctx { db, params };
-    match stmt {
-        Stmt::Select(sel) => select_rows(db, sel, params),
-        Stmt::Insert {
-            table,
-            columns,
-            source,
-        } => {
-            let handle = db.get_table(table)?;
-            let schema = handle.read().schema.clone();
-            let input_rows: Vec<Row> = match source {
-                InsertSource::Values(rows) => {
-                    let env = Env { bindings: &[] };
-                    let mut out = Vec::with_capacity(rows.len());
-                    for row in rows {
-                        for e in row {
-                            reject_aggregate("VALUES", e)?;
-                        }
-                        let vals: Result<Row> =
-                            row.iter().map(|e| eval(&ctx, e, &env, &[])).collect();
-                        out.push(vals?);
-                    }
-                    out
-                }
-                InsertSource::Select(sel) => execute_select(db, sel, params)?.rows,
+    let Stmt::Insert { source, .. } = stmt else {
+        unreachable!("insert plan compiled from a non-INSERT statement");
+    };
+    let handle = db.get_table(&ip.table)?;
+    // The plan's column mapping is positional: if the target's schema
+    // changed since planning (a DDL race past the epoch check), fail as
+    // stale instead of silently mapping values into the wrong columns.
+    if !schema_matches(&handle.read().schema, &ip.schema_cols) {
+        return Err(stale_plan(&ip.table));
+    }
+    let n = match source {
+        InsertSource::Values(rows) => {
+            let ctx = Ctx {
+                db,
+                params,
+                fns: NO_FNS,
+                group: None,
             };
-            let mapped: Vec<Row> = match columns {
-                None => input_rows,
-                Some(cols) => {
-                    let mut idxs = Vec::with_capacity(cols.len());
-                    for c in cols {
-                        idxs.push(schema.index_of(c).ok_or_else(|| {
-                            SqlError::UnknownColumn(format!("{c} in INSERT column list"))
-                        })?);
-                    }
-                    input_rows
-                        .into_iter()
-                        .map(|r| {
-                            if r.len() != idxs.len() {
-                                return Err(SqlError::Constraint(format!(
-                                    "INSERT row has {} values for {} columns",
-                                    r.len(),
-                                    idxs.len()
-                                )));
-                            }
-                            let mut full = vec![Value::Null; schema.len()];
-                            for (v, &i) in r.into_iter().zip(&idxs) {
-                                full[i] = v;
-                            }
-                            Ok(full)
-                        })
-                        .collect::<Result<_>>()?
-                }
+            let env = Env {
+                bindings: NO_BINDINGS,
             };
-            let n = mapped.len();
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let vals: Result<Row> = row.iter().map(|e| eval(&ctx, e, &env, &[])).collect();
+                out.push(map_insert_row(vals?, ip)?);
+            }
+            let n = out.len();
             let mut guard = handle.write();
-            for r in mapped {
+            for r in out {
                 guard.insert(r)?;
             }
-            let mut q = QueryResult::new(vec!["count".into()]);
-            q.rows.push(vec![Value::Int(n as i64)]);
-            Ok(Rows::from_result(q))
+            n
         }
+        InsertSource::Select(sel) => {
+            // Stream the source: each row is projected by the cursor and
+            // inserted immediately — the intermediate result set is never
+            // materialized. The scan snapshotted its input, so inserting
+            // into a table the SELECT reads is safe (and sees the
+            // pre-statement state, as before). There are no transactions:
+            // an error mid-stream leaves the rows inserted so far (the
+            // same partial-insert semantics a mid-batch coercion failure
+            // always had).
+            let src_plan = ip
+                .source
+                .as_ref()
+                .expect("INSERT … SELECT has a source plan");
+            let src = match &**src_plan {
+                PhysicalPlan::StaticSelect(_) => run_static_select(db, src_plan, params)?,
+                PhysicalPlan::DynamicSelect => run_dynamic_select(db, sel, params)?,
+                _ => unreachable!("INSERT source compiles to a SELECT plan"),
+            };
+            let mut n = 0usize;
+            for r in src {
+                let full = map_insert_row(r?, ip)?;
+                handle.write().insert(full)?;
+                n += 1;
+            }
+            n
+        }
+    };
+    Ok(count_result(n as i64))
+}
+
+/// UPDATE / DELETE / DDL — statements without a compiled operator tree.
+fn run_other<'db>(db: &'db Database, stmt: &Stmt, params: &[Value]) -> Result<Rows<'db>> {
+    let ctx = Ctx {
+        db,
+        params,
+        fns: NO_FNS,
+        group: None,
+    };
+    match stmt {
         Stmt::Update {
             table,
             sets,
             where_clause,
         } => {
-            for (_, e) in sets {
-                reject_aggregate("UPDATE", e)?;
-            }
-            if let Some(w) = where_clause {
-                reject_aggregate("WHERE", w)?;
-            }
             let handle = db.get_table(table)?;
             // Snapshot for evaluation, then apply — keeps evaluation free of
             // the write lock so UDFs inside SET expressions may re-enter.
@@ -1152,17 +1302,12 @@ pub fn execute_stmt_rows<'db>(
                 }
             }
             handle.write().rows = new_rows;
-            let mut q = QueryResult::new(vec!["count".into()]);
-            q.rows.push(vec![Value::Int(n)]);
-            Ok(Rows::from_result(q))
+            Ok(count_result(n))
         }
         Stmt::Delete {
             table,
             where_clause,
         } => {
-            if let Some(w) = where_clause {
-                reject_aggregate("WHERE", w)?;
-            }
             let handle = db.get_table(table)?;
             let (schema, snapshot) = {
                 let g = handle.read();
@@ -1188,9 +1333,7 @@ pub fn execute_stmt_rows<'db>(
                 }
             }
             handle.write().rows = kept;
-            let mut q = QueryResult::new(vec!["count".into()]);
-            q.rows.push(vec![Value::Int(n)]);
-            Ok(Rows::from_result(q))
+            Ok(count_result(n))
         }
         Stmt::CreateTable {
             name,
@@ -1217,5 +1360,52 @@ pub fn execute_stmt_rows<'db>(
             }
             Ok(Rows::from_result(QueryResult::new(vec![])))
         }
+        Stmt::Select(_) | Stmt::Insert { .. } => {
+            unreachable!("SELECT/INSERT execute through their compiled plans")
+        }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Execute a statement against its compiled plan with bind parameters;
+/// `SELECT`s stream through [`Rows`], everything else returns its (tiny)
+/// materialized status result.
+pub(crate) fn execute<'db>(
+    db: &'db Database,
+    stmt: &Stmt,
+    plan: &Arc<PhysicalPlan>,
+    params: &[Value],
+) -> Result<Rows<'db>> {
+    match &**plan {
+        PhysicalPlan::StaticSelect(_) => run_static_select(db, plan, params),
+        PhysicalPlan::DynamicSelect => {
+            let Stmt::Select(sel) = stmt else {
+                unreachable!("dynamic SELECT plan compiled from a non-SELECT statement");
+            };
+            run_dynamic_select(db, sel, params)
+        }
+        PhysicalPlan::Insert(ip) => run_insert(db, stmt, ip, params),
+        PhysicalPlan::Other => run_other(db, stmt, params),
+    }
+}
+
+/// Compile and execute one statement, materializing the result. Used by
+/// the uncached execution path; prepared statements share their plan
+/// through the statement cache instead.
+pub fn execute_stmt(db: &Database, stmt: &Stmt, params: &[Value]) -> Result<QueryResult> {
+    execute_stmt_rows(db, stmt, params)?.into_result()
+}
+
+/// Compile and execute one statement, streaming the result rows.
+pub fn execute_stmt_rows<'db>(
+    db: &'db Database,
+    stmt: &Stmt,
+    params: &[Value],
+) -> Result<Rows<'db>> {
+    let plan = Arc::new(crate::plan::compile(db, stmt)?);
+    db.note_plan_built();
+    execute(db, stmt, &plan, params)
 }

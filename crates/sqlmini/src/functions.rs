@@ -25,6 +25,54 @@ pub type ScalarFn = Arc<dyn Fn(&Database, &[Value]) -> Result<Value> + Send + Sy
 /// A set-returning UDF: `(db, args) -> table`.
 pub type TableFn = Arc<dyn Fn(&Database, &[Value]) -> Result<QueryResult> + Send + Sync>;
 
+/// Pure single-argument builtins the planner may evaluate natively —
+/// no registry dispatch, no argument-coercion allocation, and (because
+/// they cannot touch the database) safe to run inside a zero-copy scan
+/// that holds a table read guard. Re-registering the name as a UDF
+/// disables its intrinsic and restores ordinary dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Intrinsic {
+    Floor,
+    Ceil,
+    Sqrt,
+    Exp,
+    Ln,
+    Abs,
+    ExtractEpoch,
+}
+
+/// Evaluate an intrinsic on the happy path. `None` means "not handled
+/// natively" — the caller falls back to the registered UDF, which owns
+/// the arity/type error wording.
+pub(crate) fn eval_intrinsic(op: Intrinsic, args: &[Value]) -> Option<Result<Value>> {
+    let [arg] = args else { return None };
+    // All intrinsics are STRICT: a NULL argument yields NULL.
+    if arg.is_null() {
+        return Some(Ok(Value::Null));
+    }
+    let float = |f: fn(f64) -> f64| match arg {
+        Value::Float(x) => Some(Ok(Value::Float(f(*x)))),
+        Value::Int(i) => Some(Ok(Value::Float(f(*i as f64)))),
+        _ => None,
+    };
+    match op {
+        Intrinsic::Floor => float(f64::floor),
+        Intrinsic::Ceil => float(f64::ceil),
+        Intrinsic::Sqrt => float(f64::sqrt),
+        Intrinsic::Exp => float(f64::exp),
+        Intrinsic::Ln => float(f64::ln),
+        Intrinsic::Abs => match arg {
+            Value::Int(i) => Some(Ok(Value::Int(i.abs()))),
+            Value::Float(x) => Some(Ok(Value::Float(x.abs()))),
+            _ => None,
+        },
+        Intrinsic::ExtractEpoch => match arg {
+            Value::Timestamp(t) | Value::Interval(t) => Some(Ok(Value::Int(*t))),
+            _ => None,
+        },
+    }
+}
+
 /// Register the built-in scalar functions.
 pub fn register_builtin_scalars(db: &Database) {
     let simple = |db: &Database, name: &'static str, f: fn(f64) -> f64| {
@@ -153,6 +201,21 @@ pub fn register_builtin_scalars(db: &Database) {
                 "extract_epoch() takes a timestamp or interval".into(),
             )),
         });
+
+    // Mark the pure math builtins as planner intrinsics (after the typed
+    // registrations above, which clear any previous mark).
+    for (name, op) in [
+        ("floor", Intrinsic::Floor),
+        ("ceil", Intrinsic::Ceil),
+        ("ceiling", Intrinsic::Ceil),
+        ("sqrt", Intrinsic::Sqrt),
+        ("exp", Intrinsic::Exp),
+        ("ln", Intrinsic::Ln),
+        ("abs", Intrinsic::Abs),
+        ("extract_epoch", Intrinsic::ExtractEpoch),
+    ] {
+        db.mark_intrinsic(name, op);
+    }
 }
 
 /// Register the built-in set-returning functions.
@@ -204,10 +267,11 @@ pub fn register_builtin_table_fns(db: &Database) {
             Ok(q)
         });
 
-    // Engine observability: parse/cache counters and per-UDF call counts as
-    // a queryable relation `(stat text, value bigint)`.
+    // Engine observability: parse/plan/cache counters and per-UDF call
+    // counts as a queryable relation `(stat text, value bigint)`.
     db.udf("pgfmu_stats").table(|db, _args| {
         let (parses, cache_hits) = db.statement_stats();
+        let (plans_built, plan_cache_hits) = db.plan_stats();
         let mut q = QueryResult::new(vec!["stat".into(), "value".into()]);
         let mut push = |stat: &str, value: u64| {
             q.rows
@@ -215,6 +279,9 @@ pub fn register_builtin_table_fns(db: &Database) {
         };
         push("parses", parses);
         push("cache_hits", cache_hits);
+        push("plans_built", plans_built);
+        push("plan_cache_hits", plan_cache_hits);
+        push("agg_evals", db.agg_eval_count());
         push("stmt_cache_size", db.stmt_cache_len() as u64);
         push("stmt_cache_capacity", db.stmt_cache_capacity() as u64);
         for (name, count) in db.udf_call_counts() {

@@ -4,10 +4,11 @@
 //! contribution is a set of SQL-invocable UDFs plus a model catalogue; what
 //! it needs from the DBMS is:
 //!
-//! * SQL query execution over ordinary tables (`SELECT` with projections,
-//!   cross joins, WHERE/GROUP BY/HAVING/ORDER BY/LIMIT, hash-grouped
-//!   aggregates; `INSERT … VALUES` and `INSERT … SELECT`; `UPDATE`;
-//!   `DELETE`; `CREATE`/`DROP TABLE`);
+//! * SQL query execution over ordinary tables (`SELECT [DISTINCT]` with
+//!   projections, cross joins, WHERE/GROUP BY/HAVING/ORDER BY/LIMIT,
+//!   hash-grouped aggregates; `INSERT … VALUES` and a streaming
+//!   `INSERT … SELECT`; `UPDATE`; `DELETE`; `CREATE`/`DROP TABLE`) —
+//!   compiled once into a shared physical plan, executed many times;
 //! * **scalar and set-returning user-defined functions** that can re-enter
 //!   the database — `fmu_parest` executes the user's `input_sql`, and
 //!   `fmu_simulate` appears in `FROM` clauses, including the paper's
@@ -78,9 +79,12 @@
 //! and engine counters are queryable in SQL via the `pgfmu_stats()`
 //! set-returning function. It yields one `(stat text, value bigint)` row
 //! per counter: `parses` (statements parsed), `cache_hits` (statement-cache
-//! hits), `stmt_cache_size` / `stmt_cache_capacity` (current plan-cache
-//! population and bound), and one `calls.<name>` row per typed UDF that has
-//! been invoked:
+//! hits), `plans_built` / `plan_cache_hits` (physical plans compiled vs.
+//! executions reusing a statement's shared plan), `agg_evals` (one per
+//! group per distinct aggregate call — the grouping operator's
+//! memoization at work), `stmt_cache_size` / `stmt_cache_capacity`
+//! (current statement-cache population and bound), and one `calls.<name>`
+//! row per typed UDF that has been invoked:
 //!
 //! ```
 //! use pgfmu_sqlmini::Database;
@@ -107,12 +111,13 @@ pub mod exec;
 pub mod functions;
 pub mod lexer;
 pub mod parser;
+pub(crate) mod plan;
 pub mod table;
 pub mod udf;
 pub mod value;
 
 pub use db::{Database, Statement, DEFAULT_STMT_CACHE_CAPACITY};
-pub use decode::{FromRow, FromValue};
+pub use decode::{FromRow, FromValue, NamedRow, NamedRows, OwnedNamedRow};
 pub use error::{Result, SqlError};
 pub use exec::Rows;
 pub use functions::{ScalarFn, TableFn};

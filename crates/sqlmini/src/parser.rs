@@ -15,9 +15,9 @@ use crate::lexer::{lex, Tok};
 use crate::value::{DataType, Value};
 
 /// Keywords that terminate a bare alias.
-const RESERVED: [&str; 19] = [
-    "select", "from", "where", "order", "group", "having", "limit", "and", "or", "not", "in", "is",
-    "as", "asc", "desc", "by", "lateral", "values", "set",
+const RESERVED: [&str; 20] = [
+    "select", "distinct", "from", "where", "order", "group", "having", "limit", "and", "or", "not",
+    "in", "is", "as", "asc", "desc", "by", "lateral", "values", "set",
 ];
 
 struct Parser {
@@ -122,6 +122,7 @@ impl Parser {
 
     fn parse_select(&mut self) -> Result<SelectStmt> {
         self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
         let mut items = Vec::new();
         loop {
             items.push(self.parse_select_item()?);
@@ -188,6 +189,7 @@ impl Parser {
             None
         };
         Ok(SelectStmt {
+            distinct,
             items,
             from,
             where_clause,

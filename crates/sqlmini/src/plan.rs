@@ -1,0 +1,805 @@
+//! Physical plans — the compile half of the plan → execute pipeline.
+//!
+//! [`compile`] turns one parsed [`Stmt`] into an immutable
+//! [`PhysicalPlan`]. Plans are held as `Arc<PhysicalPlan>` by prepared
+//! statements, so repeated [`crate::Statement::query`] executions bind
+//! parameters against a shared operator tree instead of re-resolving (or
+//! cloning) any expression per execution:
+//!
+//! * **Static SELECTs** (every FROM item is a base table) resolve
+//!   completely at plan time: wildcards expand against the table schemas,
+//!   GROUP BY / ORDER BY ordinals and output aliases resolve to
+//!   projection expressions, and every column reference is rewritten to a
+//!   positional [`Expr::Slot`] — per-row evaluation never touches the
+//!   name environment again.
+//! * **Grouped queries** are lowered once: subtrees matching a GROUP BY
+//!   key become [`Expr::GroupKey`] references, aggregate calls are
+//!   deduplicated by expression identity into the plan's [`AggCall`] list
+//!   and replaced by [`Expr::Agg`] references — so each distinct
+//!   aggregate is computed exactly once per group at execution, no matter
+//!   how often it appears across the select list, HAVING and ORDER BY.
+//! * **Dynamic SELECTs** (a set-returning function appears in FROM) only
+//!   know their scan schema at execution time; the same resolution and
+//!   lowering run per execution against the runtime bindings, feeding the
+//!   identical execution operators.
+//!
+//! Plans are invalidated by DDL: the [`crate::Database`] keeps a schema
+//! epoch that CREATE/DROP TABLE bump, and a cached plan compiled under an
+//! older epoch is recompiled on its next execution.
+
+use std::sync::Arc;
+
+use crate::ast::{
+    contains_aggregate, Expr, FromItem, InsertSource, SelectItem, SelectStmt, Stmt,
+    AGGREGATE_FUNCTIONS,
+};
+use crate::db::Database;
+use crate::error::{Result, SqlError};
+use crate::functions::ScalarFn;
+use crate::value::Value;
+
+/// One FROM item's contribution to the name environment.
+#[derive(Debug, Clone)]
+pub(crate) struct Binding {
+    /// Qualifier other parts of the query use for this item's columns.
+    pub qualifier: String,
+    /// Column names, in order.
+    pub columns: Vec<String>,
+    /// Offset of this binding's first column in the flattened row.
+    pub offset: usize,
+}
+
+/// Name environment over a flattened joined row.
+pub(crate) struct Env<'a> {
+    pub bindings: &'a [Binding],
+}
+
+impl Env<'_> {
+    /// Resolve a column reference to a flat index.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let name = name.to_ascii_lowercase();
+        let mut found: Option<usize> = None;
+        for b in self.bindings {
+            if let Some(q) = table {
+                if !q.eq_ignore_ascii_case(&b.qualifier) {
+                    continue;
+                }
+            }
+            if let Some(i) = b.columns.iter().position(|c| *c == name) {
+                if found.is_some() {
+                    return Err(SqlError::UnknownColumn(format!(
+                        "{name} (ambiguous reference)"
+                    )));
+                }
+                found = Some(b.offset + i);
+            }
+        }
+        found.ok_or_else(|| match table {
+            Some(t) => SqlError::UnknownColumn(format!("{t}.{name}")),
+            None => SqlError::UnknownColumn(name),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan types
+// ---------------------------------------------------------------------------
+
+/// A compiled statement, shared immutably between executions.
+pub(crate) enum PhysicalPlan {
+    /// SELECT over base tables only — fully resolved at plan time.
+    StaticSelect(Box<StaticSelectPlan>),
+    /// SELECT with set-returning functions in FROM: the scan schema is
+    /// only known at execution, so resolution and lowering re-run per
+    /// execution (feeding the same operators as the static path).
+    DynamicSelect,
+    /// INSERT with its target column mapping resolved.
+    Insert(InsertPlan),
+    /// UPDATE / DELETE / DDL — executed directly from the AST (their
+    /// clause validation still happens here, at plan time).
+    Other,
+}
+
+/// A fully resolved SELECT over base tables.
+pub(crate) struct StaticSelectPlan {
+    /// Scanned tables in join order (lower-case names).
+    pub tables: Vec<String>,
+    /// Column names of each scanned table at plan time. The scan
+    /// re-checks these under its read guard: a concurrent DROP+CREATE
+    /// between the epoch check and the scan must surface as a stale-plan
+    /// error, never as an out-of-bounds (or silently remapped) `Slot`.
+    pub schemas: Vec<Vec<String>>,
+    /// The resolved operator pipeline.
+    pub ops: SelectOps,
+}
+
+/// The operator pipeline of a SELECT after name resolution: filter →
+/// \[group → having\] → project → \[distinct\] → sort → limit. All
+/// expressions are slot-resolved; in grouped pipelines the projection,
+/// HAVING and ORDER BY expressions are additionally lowered to
+/// `GroupKey`/`Agg` references.
+pub(crate) struct SelectOps {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Scalar functions referenced by the resolved expressions;
+    /// `Expr::ScalarCall` indexes into this table, so per-row evaluation
+    /// never consults the function registry. (UDF re-registration bumps
+    /// the schema epoch, invalidating plans that resolved the old body.)
+    pub fns: Vec<PlanFn>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// Projection expressions, one per output column.
+    pub projections: Vec<Expr>,
+    /// ORDER BY keys (evaluated per source row, or per group when
+    /// grouped). Empty when `distinct` ordering applies.
+    pub order_by: Vec<(Expr, bool)>,
+    /// Grouping operator, when the query groups or aggregates.
+    pub group: Option<GroupPlan>,
+    /// `SELECT DISTINCT` — deduplicate projected rows.
+    pub distinct: bool,
+    /// For DISTINCT + ORDER BY: sort keys as output-column indices
+    /// (DISTINCT requires ORDER BY expressions to appear in the select
+    /// list, so they always map to projected columns).
+    pub distinct_order: Vec<(usize, bool)>,
+    /// LIMIT row bound.
+    pub limit: usize,
+}
+
+/// One resolved scalar function of a plan: either an ordinary registered
+/// UDF, or a pure builtin the executor evaluates natively (the call
+/// counter still ticks, and a type the native path does not handle falls
+/// back to the UDF so error wording stays identical).
+pub(crate) enum PlanFn {
+    /// Registered UDF, called through its (coercing, counting) wrapper.
+    Udf(ScalarFn),
+    /// Pure builtin evaluated in place — also safe inside a zero-copy
+    /// scan that holds a table read guard, since it cannot re-enter the
+    /// database.
+    Intrinsic {
+        op: crate::functions::Intrinsic,
+        counter: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        fallback: ScalarFn,
+    },
+}
+
+/// The grouping operator: bucket source rows by key, memoize each
+/// distinct aggregate once per group.
+pub(crate) struct GroupPlan {
+    /// Grouping key expressions (empty = one group over the whole input).
+    pub keys: Vec<Expr>,
+    /// Distinct aggregate calls referenced anywhere in the select list,
+    /// HAVING or ORDER BY; `Expr::Agg(k)` indexes into this list.
+    pub aggs: Vec<AggCall>,
+    /// HAVING predicate, lowered to `GroupKey`/`Agg` references.
+    pub having: Option<Expr>,
+}
+
+/// The aggregate kinds the grouping operator folds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AggOp {
+    /// `count(*)` — rows in the group.
+    CountStar,
+    /// `count(e)` — non-NULL values.
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// One deduplicated aggregate call of a grouped query.
+#[derive(PartialEq)]
+pub(crate) struct AggCall {
+    /// The fold this call performs (resolved from the name at plan time).
+    pub op: AggOp,
+    /// Argument expressions, slot-resolved (evaluated per source row).
+    pub args: Vec<Expr>,
+}
+
+/// INSERT with the target column mapping resolved against the schema.
+pub(crate) struct InsertPlan {
+    /// Target table (lower-case).
+    pub table: String,
+    /// Schema positions of an explicit column list, in list order.
+    pub column_idxs: Option<Vec<usize>>,
+    /// Width of the target schema (for NULL-filling partial rows).
+    pub schema_len: usize,
+    /// Target column names at plan time — re-checked before inserting so
+    /// a DDL race cannot silently remap values into the wrong columns.
+    pub schema_cols: Vec<String>,
+    /// Compiled SELECT source (`None` for VALUES — those expressions are
+    /// evaluated straight from the AST).
+    pub source: Option<Arc<PhysicalPlan>>,
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+/// Reject aggregate calls in clauses where PostgreSQL forbids them
+/// (`aggregate functions are not allowed in WHERE`, …).
+pub(crate) fn reject_aggregate(clause: &str, e: &Expr) -> Result<()> {
+    if contains_aggregate(e) {
+        return Err(SqlError::Grouping(format!(
+            "aggregate functions are not allowed in {clause}"
+        )));
+    }
+    Ok(())
+}
+
+/// Compile one statement into its physical plan.
+pub(crate) fn compile(db: &Database, stmt: &Stmt) -> Result<PhysicalPlan> {
+    match stmt {
+        Stmt::Select(sel) => compile_select(db, sel),
+        Stmt::Insert {
+            table,
+            columns,
+            source,
+        } => {
+            let handle = db.get_table(table)?;
+            let (schema_len, schema_cols, column_idxs) = {
+                let guard = handle.read();
+                let idxs = columns
+                    .as_ref()
+                    .map(|cols| {
+                        cols.iter()
+                            .map(|c| {
+                                guard.schema.index_of(c).ok_or_else(|| {
+                                    SqlError::UnknownColumn(format!("{c} in INSERT column list"))
+                                })
+                            })
+                            .collect::<Result<Vec<usize>>>()
+                    })
+                    .transpose()?;
+                let cols: Vec<String> = guard
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect();
+                (guard.schema.len(), cols, idxs)
+            };
+            let source_plan = match source {
+                InsertSource::Values(rows) => {
+                    for row in rows {
+                        for e in row {
+                            reject_aggregate("VALUES", e)?;
+                        }
+                    }
+                    None
+                }
+                InsertSource::Select(sel) => Some(Arc::new(compile_select(db, sel)?)),
+            };
+            Ok(PhysicalPlan::Insert(InsertPlan {
+                table: table.to_ascii_lowercase(),
+                column_idxs,
+                schema_len,
+                schema_cols,
+                source: source_plan,
+            }))
+        }
+        Stmt::Update {
+            sets, where_clause, ..
+        } => {
+            for (_, e) in sets {
+                reject_aggregate("UPDATE", e)?;
+            }
+            if let Some(w) = where_clause {
+                reject_aggregate("WHERE", w)?;
+            }
+            Ok(PhysicalPlan::Other)
+        }
+        Stmt::Delete { where_clause, .. } => {
+            if let Some(w) = where_clause {
+                reject_aggregate("WHERE", w)?;
+            }
+            Ok(PhysicalPlan::Other)
+        }
+        Stmt::CreateTable { .. } | Stmt::DropTable { .. } => Ok(PhysicalPlan::Other),
+    }
+}
+
+fn compile_select(db: &Database, sel: &SelectStmt) -> Result<PhysicalPlan> {
+    // Clause-placement validation (independent of any schema).
+    if let Some(w) = &sel.where_clause {
+        reject_aggregate("WHERE", w)?;
+    }
+    for item in &sel.from {
+        if let FromItem::Function { args, .. } = item {
+            for a in args {
+                reject_aggregate("FROM", a)?;
+            }
+        }
+    }
+    if sel
+        .from
+        .iter()
+        .any(|i| matches!(i, FromItem::Function { .. }))
+    {
+        return Ok(PhysicalPlan::DynamicSelect);
+    }
+
+    // All-table FROM: the scan schema is known now — resolve everything.
+    let mut bindings: Vec<Binding> = Vec::with_capacity(sel.from.len());
+    let mut tables = Vec::with_capacity(sel.from.len());
+    for item in &sel.from {
+        let FromItem::Table { name, alias } = item else {
+            unreachable!("function FROM items take the dynamic path");
+        };
+        let handle = db.get_table(name)?;
+        let cols: Vec<String> = handle
+            .read()
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        bindings.push(Binding {
+            qualifier: alias.clone().unwrap_or_else(|| name.clone()),
+            columns: cols,
+            offset: bindings.last().map_or(0, |b| b.offset + b.columns.len()),
+        });
+        tables.push(name.to_ascii_lowercase());
+    }
+    let schemas = bindings.iter().map(|b| b.columns.clone()).collect();
+    let ops = build_select(db, sel, &bindings)?;
+    Ok(PhysicalPlan::StaticSelect(Box::new(StaticSelectPlan {
+        tables,
+        schemas,
+        ops,
+    })))
+}
+
+/// Shared state of one resolution pass: the database (for scalar-function
+/// lookup) and the plan's deduplicated function table.
+struct Resolver<'a> {
+    db: &'a Database,
+    names: Vec<String>,
+    fns: Vec<PlanFn>,
+}
+
+impl Resolver<'_> {
+    /// Resolve a scalar function to its table index, registering it on
+    /// first use. Unknown functions error here — at plan time. Pure
+    /// builtins resolve to native intrinsics (the registered UDF stays as
+    /// the error/fallback path).
+    fn function(&mut self, name: &str) -> Result<usize> {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return Ok(i);
+        }
+        let f = self
+            .db
+            .lookup_scalar(name)
+            .ok_or_else(|| SqlError::UnknownFunction(format!("{name}(…)")))?;
+        let entry = match self.db.intrinsic_of(name) {
+            Some(op) => PlanFn::Intrinsic {
+                op,
+                counter: self.db.udf_counter(name),
+                fallback: f,
+            },
+            None => PlanFn::Udf(f),
+        };
+        self.names.push(name.to_string());
+        self.fns.push(entry);
+        Ok(self.fns.len() - 1)
+    }
+}
+
+/// Resolve and lower a SELECT's clauses against a known scan schema into
+/// the executable operator pipeline. Shared by plan-time compilation
+/// (static scans) and per-execution resolution (dynamic scans).
+pub(crate) fn build_select(
+    db: &Database,
+    sel: &SelectStmt,
+    bindings: &[Binding],
+) -> Result<SelectOps> {
+    let env = Env { bindings };
+    let mut resolver = Resolver {
+        db,
+        names: Vec::new(),
+        fns: Vec::new(),
+    };
+
+    // 1. Expand projection wildcards into (raw expr, output name) pairs.
+    let mut raw_projs: Vec<(Expr, String)> = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for b in bindings {
+                    for c in &b.columns {
+                        raw_projs.push((
+                            Expr::Column {
+                                table: Some(b.qualifier.clone()),
+                                name: c.clone(),
+                            },
+                            c.clone(),
+                        ));
+                    }
+                }
+                if bindings.is_empty() {
+                    return Err(SqlError::Parse("SELECT * with no FROM items".into()));
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let b = bindings
+                    .iter()
+                    .find(|b| b.qualifier.eq_ignore_ascii_case(q))
+                    .ok_or_else(|| SqlError::UnknownTable(q.clone()))?;
+                for c in &b.columns {
+                    raw_projs.push((
+                        Expr::Column {
+                            table: Some(b.qualifier.clone()),
+                            name: c.clone(),
+                        },
+                        c.clone(),
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| derived_name(expr));
+                raw_projs.push((expr.clone(), name.to_ascii_lowercase()));
+            }
+        }
+    }
+    let columns: Vec<String> = raw_projs.iter().map(|(_, n)| n.clone()).collect();
+
+    // 2. Resolve GROUP BY ordinals (`GROUP BY 1` names the first select
+    //    item, as in PostgreSQL) and reject aggregates in keys.
+    let mut raw_group: Vec<Expr> = Vec::with_capacity(sel.group_by.len());
+    for e in &sel.group_by {
+        let resolved = match e {
+            Expr::Literal(Value::Int(n)) => {
+                let i = usize::try_from(*n - 1)
+                    .ok()
+                    .filter(|i| *i < raw_projs.len())
+                    .ok_or_else(|| {
+                        SqlError::Grouping(format!("GROUP BY position {n} is not in select list"))
+                    })?;
+                raw_projs[i].0.clone()
+            }
+            other => other.clone(),
+        };
+        reject_aggregate("GROUP BY", &resolved)?;
+        raw_group.push(resolved);
+    }
+
+    // 3. ORDER BY items may name an output column (alias) or its 1-based
+    //    ordinal; both resolve to the projected expression. A bare name
+    //    matching both an output and an input column means the output.
+    let mut raw_order: Vec<(Expr, bool)> = Vec::with_capacity(sel.order_by.len());
+    for (e, desc) in &sel.order_by {
+        let resolved = match e {
+            Expr::Literal(Value::Int(n)) => {
+                let i = usize::try_from(*n - 1)
+                    .ok()
+                    .filter(|i| *i < raw_projs.len())
+                    .ok_or_else(|| {
+                        SqlError::Grouping(format!("ORDER BY position {n} is not in select list"))
+                    })?;
+                raw_projs[i].0.clone()
+            }
+            Expr::Column { table: None, name } => {
+                let hits: Vec<&Expr> = raw_projs
+                    .iter()
+                    .filter(|(_, out)| out.eq_ignore_ascii_case(name))
+                    .map(|(pe, _)| pe)
+                    .collect();
+                match hits.as_slice() {
+                    [] => e.clone(),
+                    [first, rest @ ..] => {
+                        // Several output columns may share the name as long
+                        // as they are the same expression (`SELECT *, x …
+                        // ORDER BY x`); different expressions are ambiguous.
+                        if rest.iter().all(|pe| same_group_expr(&env, first, pe)) {
+                            (*first).clone()
+                        } else {
+                            return Err(SqlError::Grouping(format!(
+                                "ORDER BY \"{name}\" is ambiguous"
+                            )));
+                        }
+                    }
+                }
+            }
+            other => other.clone(),
+        };
+        raw_order.push((resolved, *desc));
+    }
+
+    let has_aggregate = raw_projs.iter().any(|(e, _)| contains_aggregate(e))
+        || sel.having.as_ref().is_some_and(contains_aggregate)
+        || raw_order.iter().any(|(e, _)| contains_aggregate(e));
+    let grouped = has_aggregate || !raw_group.is_empty() || sel.having.is_some();
+    let limit = sel.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+
+    // 4. DISTINCT sorting happens on projected rows, so each ORDER BY
+    //    expression must be one of the select-list expressions.
+    let mut distinct_order: Vec<(usize, bool)> = Vec::new();
+    if sel.distinct && !raw_order.is_empty() {
+        for (e, desc) in &raw_order {
+            let i = raw_projs
+                .iter()
+                .position(|(p, _)| same_group_expr(&env, p, e))
+                .ok_or_else(|| {
+                    SqlError::Grouping(
+                        "for SELECT DISTINCT, ORDER BY expressions must appear in select list"
+                            .into(),
+                    )
+                })?;
+            distinct_order.push((i, *desc));
+        }
+    }
+
+    let where_clause = sel
+        .where_clause
+        .as_ref()
+        .map(|w| resolve_cols(w, &env, &mut resolver))
+        .transpose()?;
+
+    if grouped {
+        // Lower the output clauses once: key subtrees → GroupKey, each
+        // distinct aggregate call → Agg over the shared list.
+        let keys: Vec<Expr> = raw_group
+            .iter()
+            .map(|e| resolve_cols(e, &env, &mut resolver))
+            .collect::<Result<_>>()?;
+        let mut aggs: Vec<AggCall> = Vec::new();
+        let projections: Vec<Expr> = raw_projs
+            .iter()
+            .map(|(e, _)| lower_grouped(e, &raw_group, &env, &mut aggs, &mut resolver))
+            .collect::<Result<_>>()?;
+        let having = sel
+            .having
+            .as_ref()
+            .map(|h| lower_grouped(h, &raw_group, &env, &mut aggs, &mut resolver))
+            .transpose()?;
+        let order_by = if sel.distinct {
+            Vec::new()
+        } else {
+            raw_order
+                .iter()
+                .map(|(e, desc)| {
+                    Ok((
+                        lower_grouped(e, &raw_group, &env, &mut aggs, &mut resolver)?,
+                        *desc,
+                    ))
+                })
+                .collect::<Result<_>>()?
+        };
+        Ok(SelectOps {
+            columns,
+            fns: resolver.fns,
+            where_clause,
+            projections,
+            order_by,
+            group: Some(GroupPlan { keys, aggs, having }),
+            distinct: sel.distinct,
+            distinct_order,
+            limit,
+        })
+    } else {
+        let projections: Vec<Expr> = raw_projs
+            .iter()
+            .map(|(e, _)| resolve_cols(e, &env, &mut resolver))
+            .collect::<Result<_>>()?;
+        let order_by = if sel.distinct {
+            Vec::new()
+        } else {
+            raw_order
+                .iter()
+                .map(|(e, desc)| Ok((resolve_cols(e, &env, &mut resolver)?, *desc)))
+                .collect::<Result<_>>()?
+        };
+        Ok(SelectOps {
+            columns,
+            fns: resolver.fns,
+            where_clause,
+            projections,
+            order_by,
+            group: None,
+            distinct: sel.distinct,
+            distinct_order,
+            limit,
+        })
+    }
+}
+
+/// Rewrite every column reference to its flat row index and every scalar
+/// function call to its plan-table index.
+fn resolve_cols(e: &Expr, env: &Env<'_>, r: &mut Resolver<'_>) -> Result<Expr> {
+    Ok(match e {
+        Expr::Column { table, name } => Expr::Slot(env.resolve(table.as_deref(), name)?),
+        Expr::Literal(_) | Expr::Param(_) | Expr::Slot(_) | Expr::GroupKey(_) | Expr::Agg(_) => {
+            e.clone()
+        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(resolve_cols(expr, env, r)?),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(resolve_cols(left, env, r)?),
+            right: Box::new(resolve_cols(right, env, r)?),
+        },
+        Expr::Cast { expr, ty } => Expr::Cast {
+            expr: Box::new(resolve_cols(expr, env, r)?),
+            ty: *ty,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(resolve_cols(expr, env, r)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(resolve_cols(expr, env, r)?),
+            list: list
+                .iter()
+                .map(|e| resolve_cols(e, env, r))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Function { name, args } => Expr::ScalarCall {
+            f: r.function(name)?,
+            args: args
+                .iter()
+                .map(|a| resolve_cols(a, env, r))
+                .collect::<Result<_>>()?,
+        },
+        Expr::ScalarCall { f, args } => Expr::ScalarCall {
+            f: *f,
+            args: args
+                .iter()
+                .map(|a| resolve_cols(a, env, r))
+                .collect::<Result<_>>()?,
+        },
+    })
+}
+
+/// The PostgreSQL grouping-rule error for a raw column reference that is
+/// neither grouped nor inside an aggregate.
+fn ungrouped_column(table: Option<&str>, name: &str) -> SqlError {
+    let qualified = match table {
+        Some(t) => format!("{t}.{name}"),
+        None => name.to_string(),
+    };
+    SqlError::Grouping(format!(
+        "column \"{qualified}\" must appear in the GROUP BY clause \
+         or be used in an aggregate function"
+    ))
+}
+
+/// Are these two expressions the same grouping expression? Structural
+/// equality, except bare column references compare by resolved position,
+/// so `SELECT t.a … GROUP BY a` matches.
+pub(crate) fn same_group_expr(env: &Env<'_>, a: &Expr, b: &Expr) -> bool {
+    if a == b {
+        return true;
+    }
+    if let (
+        Expr::Column {
+            table: ta,
+            name: na,
+        },
+        Expr::Column {
+            table: tb,
+            name: nb,
+        },
+    ) = (a, b)
+    {
+        if let (Ok(ia), Ok(ib)) = (
+            env.resolve(ta.as_deref(), na),
+            env.resolve(tb.as_deref(), nb),
+        ) {
+            return ia == ib;
+        }
+    }
+    false
+}
+
+/// Lower one output/HAVING/ORDER BY expression of a grouped query:
+/// subtrees matching a GROUP BY expression become `GroupKey` references,
+/// aggregate calls are deduplicated into `aggs` and become `Agg`
+/// references, and any column reference left over is a grouping error.
+fn lower_grouped(
+    e: &Expr,
+    keys: &[Expr],
+    env: &Env<'_>,
+    aggs: &mut Vec<AggCall>,
+    r: &mut Resolver<'_>,
+) -> Result<Expr> {
+    if let Some(i) = keys.iter().position(|k| same_group_expr(env, k, e)) {
+        return Ok(Expr::GroupKey(i));
+    }
+    Ok(match e {
+        Expr::Function { name, args } if AGGREGATE_FUNCTIONS.contains(&name.as_str()) => {
+            if args.iter().any(contains_aggregate) {
+                return Err(SqlError::Grouping(
+                    "aggregate function calls cannot be nested".into(),
+                ));
+            }
+            let op = match (name.as_str(), args.len()) {
+                ("count", 0) => AggOp::CountStar,
+                ("count", 1) => AggOp::Count,
+                ("sum", 1) => AggOp::Sum,
+                ("avg", 1) => AggOp::Avg,
+                ("min", 1) => AggOp::Min,
+                ("max", 1) => AggOp::Max,
+                (n, _) => return Err(SqlError::Type(format!("{n}() takes exactly one argument"))),
+            };
+            let call = AggCall {
+                op,
+                args: args
+                    .iter()
+                    .map(|a| resolve_cols(a, env, r))
+                    .collect::<Result<_>>()?,
+            };
+            let k = match aggs.iter().position(|c| *c == call) {
+                Some(k) => k,
+                None => {
+                    aggs.push(call);
+                    aggs.len() - 1
+                }
+            };
+            Expr::Agg(k)
+        }
+        Expr::Column { table, name } => return Err(ungrouped_column(table.as_deref(), name)),
+        Expr::Literal(_) | Expr::Param(_) | Expr::Slot(_) | Expr::GroupKey(_) | Expr::Agg(_) => {
+            e.clone()
+        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(lower_grouped(expr, keys, env, aggs, r)?),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(lower_grouped(left, keys, env, aggs, r)?),
+            right: Box::new(lower_grouped(right, keys, env, aggs, r)?),
+        },
+        Expr::Cast { expr, ty } => Expr::Cast {
+            expr: Box::new(lower_grouped(expr, keys, env, aggs, r)?),
+            ty: *ty,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(lower_grouped(expr, keys, env, aggs, r)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(lower_grouped(expr, keys, env, aggs, r)?),
+            list: list
+                .iter()
+                .map(|e| lower_grouped(e, keys, env, aggs, r))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Function { name, args } => Expr::ScalarCall {
+            f: r.function(name)?,
+            args: args
+                .iter()
+                .map(|a| lower_grouped(a, keys, env, aggs, r))
+                .collect::<Result<_>>()?,
+        },
+        Expr::ScalarCall { f, args } => Expr::ScalarCall {
+            f: *f,
+            args: args
+                .iter()
+                .map(|a| lower_grouped(a, keys, env, aggs, r))
+                .collect::<Result<_>>()?,
+        },
+    })
+}
+
+/// Output column name for an unaliased projection.
+fn derived_name(e: &Expr) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => name.clone(),
+        Expr::Cast { expr, .. } => derived_name(expr),
+        _ => "?column?".into(),
+    }
+}

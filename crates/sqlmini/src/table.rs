@@ -169,6 +169,14 @@ impl QueryResult {
             .collect()
     }
 
+    /// Iterate rows as by-name-addressable views (see
+    /// [`crate::decode::NamedRow`]).
+    pub fn named_rows(&self) -> impl Iterator<Item = crate::decode::NamedRow<'_>> {
+        self.rows
+            .iter()
+            .map(|r| crate::decode::NamedRow::new(&self.columns, r))
+    }
+
     /// First value of the first row — convenient for scalar queries like
     /// `SELECT fmu_create(…)`.
     pub fn scalar(&self) -> Result<&Value> {

@@ -298,6 +298,119 @@ fn grouped_queries_work_through_binds_and_streaming() {
     assert_eq!(rows[0][0], Value::Text("a".into()));
 }
 
+// --- SELECT DISTINCT -------------------------------------------------------
+
+#[test]
+fn select_distinct_deduplicates_rows() {
+    let db = db_with_readings();
+    let q = db
+        .execute("SELECT DISTINCT site FROM r ORDER BY site")
+        .unwrap();
+    assert_eq!(q.rows.len(), 2);
+    assert_eq!(q.rows[0][0], Value::Text("a".into()));
+    assert_eq!(q.rows[1][0], Value::Text("b".into()));
+    // Composite DISTINCT rows dedup as whole tuples.
+    let q = db
+        .execute("SELECT DISTINCT site, day FROM r ORDER BY site, day")
+        .unwrap();
+    assert_eq!(q.rows.len(), 4);
+    // DISTINCT over an expression.
+    let q = db.execute("SELECT DISTINCT day * 10 FROM r").unwrap();
+    assert_eq!(q.rows.len(), 2);
+}
+
+#[test]
+fn select_distinct_streams_without_order_by() {
+    let db = db_with_readings();
+    // No pipeline breaker: the deduplication runs inside the lazy cursor,
+    // in first-occurrence order.
+    let rows: Vec<Vec<Value>> = db
+        .query_rows("SELECT DISTINCT site FROM r", &[])
+        .unwrap()
+        .collect::<pgfmu_sqlmini::Result<_>>()
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][0], Value::Text("a".into()), "first occurrence wins");
+    // LIMIT counts distinct rows, not scanned rows.
+    let q = db.execute("SELECT DISTINCT site FROM r LIMIT 1").unwrap();
+    assert_eq!(q.rows.len(), 1);
+}
+
+#[test]
+fn select_distinct_groups_nulls_together() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (v int)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (NULL), (NULL), (1)")
+        .unwrap();
+    let q = db.execute("SELECT DISTINCT v FROM t ORDER BY v").unwrap();
+    assert_eq!(q.rows.len(), 2);
+    assert_eq!(q.rows[1][0], Value::Null, "NULLs sort last");
+}
+
+#[test]
+fn select_distinct_order_by_must_be_in_select_list() {
+    let db = db_with_readings();
+    let err = db
+        .execute("SELECT DISTINCT site FROM r ORDER BY day")
+        .unwrap_err()
+        .to_string();
+    assert_eq!(
+        err,
+        "for SELECT DISTINCT, ORDER BY expressions must appear in select list"
+    );
+    // The same expression (not just the same name) is fine.
+    let q = db
+        .execute("SELECT DISTINCT day * 10 AS decade FROM r ORDER BY decade DESC")
+        .unwrap();
+    assert_eq!(q.rows[0][0], Value::Int(20));
+}
+
+#[test]
+fn select_distinct_composes_with_grouping() {
+    let db = db_with_readings();
+    // Two sites share sum(v) after rounding to one bucket each; DISTINCT
+    // applies to the grouped output rows.
+    let q = db
+        .execute("SELECT DISTINCT count(*) FROM r GROUP BY site ORDER BY count(*)")
+        .unwrap();
+    assert_eq!(q.rows.len(), 2, "groups of 3 and 2 rows");
+    let q = db
+        .execute("SELECT DISTINCT 1 FROM r GROUP BY site")
+        .unwrap();
+    assert_eq!(q.rows.len(), 1, "both groups project the same row");
+}
+
+// --- streaming INSERT … SELECT ---------------------------------------------
+
+#[test]
+fn insert_select_snapshots_its_source() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (v int)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    // The streamed source snapshots the scan: self-insertion doubles the
+    // table instead of looping over its own output.
+    let q = db.execute("INSERT INTO t SELECT v + 10 FROM t").unwrap();
+    assert_eq!(q.rows[0][0], Value::Int(2));
+    let all: Vec<i64> = db.query_as("SELECT v FROM t ORDER BY v", &[]).unwrap();
+    assert_eq!(all, vec![1, 2, 11, 12]);
+}
+
+#[test]
+fn insert_select_with_column_list_streams_and_fills_nulls() {
+    let db = Database::new();
+    db.execute("CREATE TABLE src (a int, b text)").unwrap();
+    db.execute("INSERT INTO src VALUES (1, 'x'), (2, 'y')")
+        .unwrap();
+    db.execute("CREATE TABLE dst (a int, b text, c float)")
+        .unwrap();
+    db.execute("INSERT INTO dst (b, a) SELECT b, a FROM src")
+        .unwrap();
+    let rows: Vec<(i64, String, Option<f64>)> =
+        db.query_as("SELECT * FROM dst ORDER BY a", &[]).unwrap();
+    assert_eq!(rows[0], (1, "x".into(), None));
+    assert_eq!(rows[1], (2, "y".into(), None));
+}
+
 // --- quoted-string escaping ------------------------------------------------
 
 #[test]

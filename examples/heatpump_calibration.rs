@@ -66,6 +66,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Validation-week prediction summary:\n{}",
         validation.to_ascii()
     );
+    // Wide result rows also decode by column name, so the code stays
+    // correct if the projection above gains or reorders columns.
+    if let Some(row) = validation.named_rows().next() {
+        println!(
+            "  ({} points, coldest {:.2} degC)",
+            row.get::<i64>("points")?,
+            row.get::<f64>("coldest")?
+        );
+    }
 
     // -- SQL line 4: a what-if heating scenario (max power all week). --------
     session.execute("CREATE TABLE scenario (ts timestamp, u float)")?;

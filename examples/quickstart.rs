@@ -66,5 +66,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let (coldest, warmest) = envelope[0];
     println!("Temperature envelope: {coldest:.2} .. {warmest:.2} degC");
+
+    // 5. Which variables did the simulation report? SELECT DISTINCT over
+    //    the long-format output, one row per variable.
+    let vars: Vec<String> = session.query_as(
+        "SELECT DISTINCT varName FROM fmu_simulate($1, $2) ORDER BY varName",
+        params!["HP1Instance1", "SELECT * FROM schedule"],
+    )?;
+    println!("Simulated variables: {}", vars.join(", "));
     Ok(())
 }
