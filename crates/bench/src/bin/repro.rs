@@ -10,9 +10,11 @@
 //! ```
 //!
 //! `bench` times the SQL hot paths (parse, cached plan execution, `$n`
-//! binds, streaming, the grouped rollup vs. its client-side fold) and
-//! writes the per-bench median nanoseconds to `BENCH_PR4.json` so the
-//! performance trajectory accumulates across PRs.
+//! binds, the zero-copy scan paths — streamed vs materialized, ordered,
+//! in-place UPDATE/DELETE — the grouped rollup vs. its client-side fold,
+//! and a full 672 h FMU simulation) and writes per-bench robust medians
+//! (`{"median_ns": …, "mad_ns": …}`, see `criterion::stats`) to
+//! `BENCH_PR5.json` so the performance trajectory accumulates across PRs.
 
 use pgfmu_bench::report::{fmt_secs, render};
 use pgfmu_bench::setup::{bench_session, ModelKind, ALL_MODELS};
@@ -80,7 +82,7 @@ fn main() {
         run_grouped(&profile);
     }
     if want("bench") {
-        run_bench_json("BENCH_PR4.json");
+        run_bench_json("BENCH_PR5.json");
     }
 }
 
@@ -115,23 +117,30 @@ fn run_grouped(profile: &Profile) {
     );
 }
 
-/// Median-of-N wall time of one closure, in nanoseconds.
-fn median_ns(runs: usize, mut f: impl FnMut()) -> u128 {
+/// N timed runs of one closure (after one untimed warm-up), in ns.
+fn sample_ns(runs: usize, mut f: impl FnMut()) -> Vec<f64> {
     f(); // warm-up: fill caches, fault pages
-    let mut samples: Vec<u128> = (0..runs)
+    (0..runs)
         .map(|_| {
             let t0 = std::time::Instant::now();
             f();
-            t0.elapsed().as_nanos()
+            t0.elapsed().as_nanos() as f64
         })
-        .collect();
-    samples.sort_unstable();
-    samples[samples.len() / 2]
+        .collect()
 }
 
-/// Time the SQL hot paths and write `{name: median_ns}` JSON.
+/// Median-of-N wall time of one closure, in nanoseconds.
+fn median_ns(runs: usize, f: impl FnMut()) -> u128 {
+    criterion::stats::summarize(&sample_ns(runs, f)).median as u128
+}
+
+/// Time the SQL hot paths and write per-bench robust medians
+/// (`{"name": {"median_ns": …, "mad_ns": …}}`) plus the engine's scan
+/// counters as JSON.
 fn run_bench_json(path: &str) {
+    use criterion::stats::{summarize, Summary};
     use pgfmu_sqlmini::{format_timestamp, params, Database, Value};
+    use std::hint::black_box;
 
     println!("== Hot-path microbenchmarks -> {path} ==");
     let data = pgfmu_datagen::hp::hp1_dataset(7).slice(0, 168);
@@ -143,36 +152,86 @@ fn run_bench_json(path: &str) {
     let n_rows = ts.len();
 
     let select = "SELECT count(*), avg(x), avg(u) FROM m WHERE x > 20.0";
-    let mut results: Vec<(&str, u128)> = Vec::new();
+    // Timed runs per SELECT bench; sample_ns adds one warm-up execution.
+    const SELECT_RUNS: usize = 120;
+    let mut results: Vec<(&str, Summary)> = Vec::new();
+    let mut push = |name: &'static str, samples: Vec<f64>| {
+        results.push((name, summarize(&samples)));
+    };
 
-    results.push((
+    push(
         "sql_select_uncached_parse",
-        median_ns(40, || {
+        sample_ns(SELECT_RUNS, || {
             db.execute_uncached(select).unwrap();
         }),
-    ));
-    results.push((
+    );
+    push(
         "sql_select_interpolated_cached",
-        median_ns(40, || {
+        sample_ns(SELECT_RUNS, || {
             db.execute(select).unwrap();
         }),
-    ));
-    let bound = db
+    );
+    // The bound/streaming pair runs the *same* statement both ways: the
+    // inversion check is purely "does the streaming cursor cost more
+    // than materializing a QueryResult and reading it back". Both take
+    // the zero-copy scan (asserted below).
+    let (_, zero_before, _) = db.scan_stats();
+    let pair = db.prepare("SELECT ts, x, u FROM m WHERE x > $1").unwrap();
+    push(
+        "sql_select_bound",
+        sample_ns(SELECT_RUNS, || {
+            let q = pair.query(params![20.0]).unwrap();
+            for r in q.rows {
+                black_box(r);
+            }
+        }),
+    );
+    push(
+        "sql_select_bound_streaming",
+        sample_ns(SELECT_RUNS, || {
+            pair.query_rows(params![20.0]).unwrap().for_each(|r| {
+                black_box(r.unwrap());
+            });
+        }),
+    );
+    // The aggregate shape the PR-4 file called `sql_select_bound`
+    // (zero-copy grouped accumulation, one output row).
+    let agg = db
         .prepare("SELECT count(*), avg(x), avg(u) FROM m WHERE x > $1")
         .unwrap();
-    results.push((
-        "sql_select_bound",
-        median_ns(40, || {
-            bound.query(params![20.0]).unwrap();
+    push(
+        "sql_select_agg_bound",
+        sample_ns(SELECT_RUNS, || {
+            agg.query(params![20.0]).unwrap();
         }),
-    ));
-    let stream = db.prepare("SELECT ts, x, u FROM m WHERE x > $1").unwrap();
-    results.push((
-        "sql_select_bound_streaming",
-        median_ns(40, || {
-            assert!(stream.query_rows(params![20.0]).unwrap().count() > 0);
+    );
+    // Ordered + LIMIT: the zero-copy path sorts pruned projections of
+    // the surviving rows, never full-row clones.
+    let topk = db
+        .prepare("SELECT ts, x FROM m WHERE u >= $1 ORDER BY x DESC LIMIT 24")
+        .unwrap();
+    push(
+        "sql_select_ordered_limit",
+        sample_ns(SELECT_RUNS, || {
+            topk.query(params![0.0]).unwrap();
         }),
-    ));
+    );
+    // The scan-side statements above must all have run zero-copy.
+    let zero_copy_sql = db
+        .query(
+            "SELECT value FROM pgfmu_stats() WHERE stat = $1",
+            params!["scans_zero_copy"],
+        )
+        .unwrap()
+        .rows[0][0]
+        .as_i64()
+        .unwrap();
+    assert!(
+        zero_copy_sql as u64 >= zero_before + 4 * (SELECT_RUNS as u64 + 1),
+        "bench SELECTs must take the zero-copy scan path \
+         (pgfmu_stats reports {zero_copy_sql}, started at {zero_before})"
+    );
+
     db.execute("CREATE TABLE scratch (ts timestamp, x float, u float)")
         .unwrap();
     // Interpolated inserts build a distinct text per row; cap the cache
@@ -180,9 +239,15 @@ fn run_bench_json(path: &str) {
     // re-parse regime of unbounded distinct texts (fleet scale), not a
     // warm cache that a real workload would overflow.
     db.set_stmt_cache_capacity(32);
-    results.push((
+    let per_row = |samples: Vec<f64>| {
+        samples
+            .into_iter()
+            .map(|ns| ns / (n_rows as f64 + 1.0))
+            .collect::<Vec<f64>>()
+    };
+    push(
         "sql_insert_interpolated_per_row",
-        median_ns(20, || {
+        per_row(sample_ns(20, || {
             for i in 0..n_rows {
                 db.execute(&format!(
                     "INSERT INTO scratch VALUES ('{}', {}, {})",
@@ -193,61 +258,122 @@ fn run_bench_json(path: &str) {
                 .unwrap();
             }
             db.execute("DELETE FROM scratch").unwrap();
-        }) / (n_rows as u128 + 1),
-    ));
+        })),
+    );
     let insert = db
         .prepare("INSERT INTO scratch VALUES ($1, $2, $3)")
         .unwrap();
-    results.push((
+    push(
         "sql_insert_bound_per_row",
-        median_ns(20, || {
+        per_row(sample_ns(20, || {
             for i in 0..n_rows {
                 insert
                     .query(params![Value::Timestamp(ts[i]), xs[i], us[i]])
                     .unwrap();
             }
             db.execute("DELETE FROM scratch").unwrap();
-        }) / (n_rows as u128 + 1),
-    ));
-    // INSERT … SELECT streams its source through the cursor.
+        })),
+    );
+    // INSERT … SELECT streams its source through the cursor (the source
+    // scan is zero-copy and column-pruned).
     let copy_in = db
         .prepare("INSERT INTO scratch SELECT ts, x, u FROM m")
         .unwrap();
-    results.push((
+    push(
         "sql_insert_select_streamed",
-        median_ns(20, || {
+        sample_ns(20, || {
             copy_in.query(params![]).unwrap();
             db.execute("DELETE FROM scratch").unwrap();
         }),
-    ));
+    );
+    // In-place DML: the predicate (and SET expressions) evaluate under
+    // one write guard; only matching rows are touched, by index. The
+    // UPDATE is idempotent and the DELETE predicate never matches, so
+    // every sample sees the same table.
+    db.execute("INSERT INTO scratch SELECT ts, x, u FROM m")
+        .unwrap();
+    let upd = db
+        .prepare("UPDATE scratch SET x = x * $1 WHERE u > $2")
+        .unwrap();
+    push(
+        "sql_update_in_place",
+        sample_ns(SELECT_RUNS, || {
+            upd.query(params![1.0, 0.5]).unwrap();
+        }),
+    );
+    let del = db.prepare("DELETE FROM scratch WHERE x < $1").unwrap();
+    push(
+        "sql_delete_scan_in_place",
+        sample_ns(SELECT_RUNS, || {
+            del.query(params![-1e12]).unwrap();
+        }),
+    );
 
     // The per-day energy rollup over simulated output: grouped SQL
     // statement (index-bucketed grouping, memoized aggregates) vs. the
     // client-side fold it replaced — the plan-pipeline acceptance number.
     let bench = pgfmu_bench::grouped::simulated_session(&pgfmu_bench::Profile::quick());
-    results.push((
+    push(
         "grouped_rollup_sql",
-        median_ns(20, || {
+        sample_ns(20, || {
             pgfmu_bench::grouped::per_day_energy(&bench, 0.0);
         }),
-    ));
-    results.push((
+    );
+    push(
         "grouped_rollup_client_fold",
-        median_ns(20, || {
+        sample_ns(20, || {
             pgfmu_bench::grouped::per_day_energy_client_side(&bench, 0.0);
         }),
-    ));
+    );
 
-    let mut json = String::from("{\n");
-    for (i, (name, ns)) in results.iter().enumerate() {
-        json.push_str(&format!("  \"{name}\": {ns}"));
-        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    // One month of hourly HP1 simulation, RK4 — the FMU hot loop
+    // (allocation-free solver scratch, hoisted input buffer).
+    {
+        use pgfmu_fmi::{builtin, InputSeries, InputSet, Interpolation, SimulationOptions};
+        let fmu = std::sync::Arc::new(builtin::hp1());
+        let inst = fmu.instantiate();
+        let times: Vec<f64> = (0..672).map(|i| i as f64).collect();
+        let u: Vec<f64> = times.iter().map(|t| (t * 0.3).sin().abs()).collect();
+        let series = InputSeries::new("u", times, u, Interpolation::Hold).unwrap();
+        let inputs = InputSet::bind(&["u"], vec![series]).unwrap();
+        let opts = SimulationOptions {
+            start: Some(0.0),
+            stop: Some(671.0),
+            output_step: Some(1.0),
+            ..Default::default()
+        };
+        push(
+            "fmu_simulate_672h",
+            sample_ns(15, || {
+                black_box(inst.simulate(&inputs, &opts).unwrap().len());
+            }),
+        );
     }
+
+    let (rows_scanned, zero_copy, fallbacks) = db.scan_stats();
+    let mut json = String::from("{\n");
+    for (name, s) in &results {
+        json.push_str(&format!(
+            "  \"{name}\": {{\"median_ns\": {}, \"mad_ns\": {}}},\n",
+            s.median as u128, s.mad as u128
+        ));
+    }
+    json.push_str(&format!(
+        "  \"pgfmu_stats\": {{\"rows_scanned\": {rows_scanned}, \
+         \"scans_zero_copy\": {zero_copy}, \"scan_fallbacks\": {fallbacks}}}\n"
+    ));
     json.push_str("}\n");
     std::fs::write(path, &json).unwrap();
-    for (name, ns) in &results {
-        println!("{name:34} {ns:>12} ns (median)");
+    for (name, s) in &results {
+        println!(
+            "{name:34} {:>12} ns (median, ±{} MAD)",
+            s.median as u128, s.mad as u128
+        );
     }
+    println!(
+        "scan counters: {rows_scanned} rows scanned, {zero_copy} zero-copy scans, \
+         {fallbacks} snapshot scans (zero-copy confirmed via pgfmu_stats())"
+    );
     println!("wrote {path}\n");
 }
 

@@ -198,11 +198,11 @@ pub fn run_simulate_rows(
 
     // Persist the final simulated state back into the catalogue (the
     // paper's italic `ModelInstanceValues` update after fmu_simulate).
-    for name in fmu.state_names() {
-        if let Some(series) = result.series(name) {
-            if let Some(last) = series.last() {
-                session.catalog.set_value(instance_id, name, *last)?;
-            }
+    // States are the first `n_states` reported series, so no by-name
+    // series search is needed.
+    for (i, name) in fmu.state_names().iter().enumerate() {
+        if let Some(last) = result.series_at(i).last() {
+            session.catalog.set_value(instance_id, name, *last)?;
         }
     }
 

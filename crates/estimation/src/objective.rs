@@ -200,7 +200,10 @@ impl SimulationObjective {
         let input_names: Vec<&str> = fmu.input_names().iter().map(|s| s.as_str()).collect();
         let inputs = InputSet::bind(&input_names, series)?;
 
-        // Calibration targets: measured states and outputs.
+        // Calibration targets: measured states and outputs. The reported
+        // series order is states-then-outputs, so each target's series
+        // index is resolved here, once — the RMSE loop never looks a
+        // variable up by name again.
         let mut targets = Vec::new();
         let mut target_names = Vec::new();
         for (name, col) in &data.columns {
@@ -208,7 +211,13 @@ impl SimulationObjective {
                 continue;
             };
             if matches!(var.causality, Causality::Local | Causality::Output) {
-                targets.push((0usize, col.clone())); // index resolved lazily
+                let idx = fmu
+                    .state_names()
+                    .iter()
+                    .chain(fmu.output_names())
+                    .position(|n| n == name)
+                    .expect("state/output variable is always reported");
+                targets.push((idx, col.clone()));
                 target_names.push(name.clone());
             }
         }
@@ -262,10 +271,8 @@ impl SimulationObjective {
         if inst.set_params(&full).is_err() {
             return 1e9;
         }
-        for (i, name) in self.fmu.state_names().iter().enumerate() {
-            if inst.set(name, self.start_state[i]).is_err() {
-                return 1e9;
-            }
+        if inst.set_start_states(&self.start_state).is_err() {
+            return 1e9;
         }
         let result = match inst.simulate(&self.inputs, &self.opts) {
             Ok(r) => r,
@@ -273,10 +280,8 @@ impl SimulationObjective {
         };
         let mut total_sq = 0.0;
         let mut n = 0usize;
-        for (tname, (_, measured)) in self.target_names.iter().zip(&self.targets) {
-            let Some(sim) = result.series(tname) else {
-                return 1e9;
-            };
+        for (idx, measured) in &self.targets {
+            let sim = result.series_at(*idx);
             let m = sim.len().min(measured.len());
             let r = rmse(&sim[..m], &measured[..m]);
             total_sq += r * r * m as f64;

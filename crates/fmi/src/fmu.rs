@@ -307,6 +307,27 @@ impl FmuInstance {
         Ok(())
     }
 
+    /// Set the whole state start vector at once (equation-index order) —
+    /// the estimator's inner loop uses this together with
+    /// [`FmuInstance::set_params`] so no per-evaluation name resolution
+    /// remains.
+    pub fn set_start_states(&mut self, values: &[f64]) -> Result<()> {
+        if values.len() != self.start_state.len() {
+            return Err(FmiError::Simulation(format!(
+                "state vector length {} != {}",
+                values.len(),
+                self.start_state.len()
+            )));
+        }
+        if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
+            return Err(FmiError::Simulation(format!(
+                "refusing to set a state start value to non-finite {bad}"
+            )));
+        }
+        self.start_state.copy_from_slice(values);
+        Ok(())
+    }
+
     /// Restore every parameter and state start value to the model defaults
     /// (`fmu_reset` in the paper).
     pub fn reset(&mut self) {
@@ -373,12 +394,18 @@ impl FmuInstance {
 
         let p = self.param_values.clone();
         let sys = &self.fmu.system;
-        let mut rhs = |t: f64, xs: &[f64], dx: &mut [f64]| {
-            let mut ub = vec![0.0; n_in];
+        // The RHS owns its input buffer: no allocation per derivative
+        // evaluation (RK4 makes four of these per internal step).
+        let mut ub = vec![0.0; n_in];
+        let p_ref = &p;
+        let mut rhs = move |t: f64, xs: &[f64], dx: &mut [f64]| {
             inputs.sample_into(t, &mut ub);
-            sys.derivatives(t, xs, &ub, &p, dx);
+            sys.derivatives(t, xs, &ub, p_ref, dx);
         };
 
+        // One set of integrator work buffers for the whole trajectory —
+        // the per-step loop below allocates nothing.
+        let mut scratch = crate::solver::Scratch::new(n_states);
         let mut k = 0usize;
         loop {
             let t = t0 + k as f64 * dt;
@@ -396,7 +423,8 @@ impl FmuInstance {
                 break;
             }
             let t_next = (t0 + (k + 1) as f64 * dt).min(t1);
-            opts.solver.integrate(&mut rhs, t, t_next, &mut x)?;
+            opts.solver
+                .integrate_with(&mut scratch, &mut rhs, t, t_next, &mut x)?;
             k += 1;
         }
 

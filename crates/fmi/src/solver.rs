@@ -69,10 +69,29 @@ impl SolverKind {
 
     /// Advance the state `x` from `t0` to `t1` in place.
     ///
-    /// `f(t, x, dx)` must fill `dx` with the derivatives. `scratch` buffers
-    /// are managed internally; the method allocates a handful of vectors per
-    /// call, which is negligible next to the per-step RHS evaluations.
+    /// `f(t, x, dx)` must fill `dx` with the derivatives. Work buffers are
+    /// allocated per call; hot loops that integrate the same system many
+    /// times (one `integrate` per output step of a simulation) should hold
+    /// a [`Scratch`] and call [`SolverKind::integrate_with`] instead.
     pub fn integrate<F>(&self, f: &mut F, t0: f64, t1: f64, x: &mut [f64]) -> Result<()>
+    where
+        F: FnMut(f64, &[f64], &mut [f64]),
+    {
+        self.integrate_with(&mut Scratch::new(x.len()), f, t0, t1, x)
+    }
+
+    /// [`SolverKind::integrate`] with caller-owned work buffers: no
+    /// allocation happens per call (or per internal step), so a
+    /// simulation driver can reuse one [`Scratch`] across every output
+    /// step of a trajectory.
+    pub fn integrate_with<F>(
+        &self,
+        scratch: &mut Scratch,
+        f: &mut F,
+        t0: f64,
+        t1: f64,
+        x: &mut [f64],
+    ) -> Result<()>
     where
         F: FnMut(f64, &[f64], &mut [f64]),
     {
@@ -85,23 +104,30 @@ impl SolverKind {
         if t1 == t0 || x.is_empty() {
             return Ok(());
         }
+        scratch.resize(x.len());
         match *self {
-            SolverKind::Euler { step } => fixed_step(f, t0, t1, x, step, euler_step),
-            SolverKind::Rk4 { step } => fixed_step(f, t0, t1, x, step, rk4_step),
-            SolverKind::Rk45 { rtol, atol } => rk45_adaptive(f, t0, t1, x, rtol, atol),
+            SolverKind::Euler { step } => fixed_step(f, t0, t1, x, step, scratch, euler_step),
+            SolverKind::Rk4 { step } => fixed_step(f, t0, t1, x, step, scratch, rk4_step),
+            SolverKind::Rk45 { rtol, atol } => rk45_adaptive(f, t0, t1, x, rtol, atol, scratch),
         }
     }
 }
 
 /// Drive a one-step method over `[t0, t1]` with a fixed internal step,
 /// shortening the final step to land exactly on `t1`.
-fn fixed_step<F, S>(f: &mut F, t0: f64, t1: f64, x: &mut [f64], step: f64, stepper: S) -> Result<()>
+fn fixed_step<F, S>(
+    f: &mut F,
+    t0: f64,
+    t1: f64,
+    x: &mut [f64],
+    step: f64,
+    scratch: &mut Scratch,
+    stepper: S,
+) -> Result<()>
 where
     F: FnMut(f64, &[f64], &mut [f64]),
     S: Fn(&mut F, f64, f64, &mut [f64], &mut Scratch),
 {
-    let n = x.len();
-    let mut scratch = Scratch::new(n);
     let mut t = t0;
     // Guard against degenerate intervals producing huge iteration counts.
     let max_steps = (((t1 - t0) / step).ceil() as usize).saturating_add(2);
@@ -110,7 +136,7 @@ where
             break;
         }
         let h = step.min(t1 - t);
-        stepper(f, t, h, x, &mut scratch);
+        stepper(f, t, h, x, scratch);
         if x.iter().any(|v| !v.is_finite()) {
             return Err(FmiError::Simulation(format!(
                 "state became non-finite at t={t} (step {h}); \
@@ -122,23 +148,48 @@ where
     Ok(())
 }
 
-/// Work buffers reused across steps.
-struct Scratch {
+/// Reusable integrator work buffers — stage derivatives, trial states and
+/// the adaptive method's error estimate. Holding one of these across
+/// many [`SolverKind::integrate_with`] calls makes the whole simulation
+/// loop allocation-free after the first step.
+#[derive(Debug, Default)]
+pub struct Scratch {
     k1: Vec<f64>,
     k2: Vec<f64>,
     k3: Vec<f64>,
     k4: Vec<f64>,
     tmp: Vec<f64>,
+    /// Dormand–Prince stage derivatives (adaptive method only; left
+    /// empty by the fixed-step methods).
+    k7: Vec<Vec<f64>>,
+    x5: Vec<f64>,
+    err: Vec<f64>,
 }
 
 impl Scratch {
-    fn new(n: usize) -> Self {
-        Scratch {
-            k1: vec![0.0; n],
-            k2: vec![0.0; n],
-            k3: vec![0.0; n],
-            k4: vec![0.0; n],
-            tmp: vec![0.0; n],
+    /// Buffers sized for an `n`-dimensional state.
+    pub fn new(n: usize) -> Self {
+        let mut s = Scratch::default();
+        s.resize(n);
+        s
+    }
+
+    /// Grow (or shrink) the buffers to an `n`-dimensional state; reusing
+    /// the same dimension is free.
+    pub fn resize(&mut self, n: usize) {
+        for b in [
+            &mut self.k1,
+            &mut self.k2,
+            &mut self.k3,
+            &mut self.k4,
+            &mut self.tmp,
+            &mut self.x5,
+            &mut self.err,
+        ] {
+            b.resize(n, 0.0);
+        }
+        for k in &mut self.k7 {
+            k.resize(n, 0.0);
         }
     }
 }
@@ -199,15 +250,26 @@ mod dp {
     ];
 }
 
-fn rk45_adaptive<F>(f: &mut F, t0: f64, t1: f64, x: &mut [f64], rtol: f64, atol: f64) -> Result<()>
+fn rk45_adaptive<F>(
+    f: &mut F,
+    t0: f64,
+    t1: f64,
+    x: &mut [f64],
+    rtol: f64,
+    atol: f64,
+    scratch: &mut Scratch,
+) -> Result<()>
 where
     F: FnMut(f64, &[f64], &mut [f64]),
 {
     let n = x.len();
-    let mut k: Vec<Vec<f64>> = (0..7).map(|_| vec![0.0; n]).collect();
-    let mut tmp = vec![0.0; n];
-    let mut x5 = vec![0.0; n];
-    let mut err = vec![0.0; n];
+    if scratch.k7.len() != 7 {
+        scratch.k7 = (0..7).map(|_| vec![0.0; n]).collect();
+    }
+    let k = &mut scratch.k7;
+    let tmp = &mut scratch.tmp;
+    let x5 = &mut scratch.x5;
+    let err = &mut scratch.err;
 
     let span = t1 - t0;
     let mut h = (span / 16.0).clamp(1e-9, 1.0);
@@ -239,7 +301,7 @@ where
             }
             let (before, after) = k.split_at_mut(s);
             let _ = before;
-            f(t + dp::C[s] * h, &tmp, &mut after[0]);
+            f(t + dp::C[s] * h, tmp, &mut after[0]);
         }
         // 5th order solution and embedded error estimate.
         let mut max_ratio = 0.0_f64;
@@ -262,7 +324,7 @@ where
         }
         if max_ratio <= 1.0 {
             // Accept.
-            x.copy_from_slice(&x5);
+            x.copy_from_slice(x5);
             t += h;
         }
         // PI-ish step-size update with the customary safety factor.

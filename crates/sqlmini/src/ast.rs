@@ -277,6 +277,68 @@ pub fn contains_aggregate(e: &Expr) -> bool {
     }
 }
 
+/// Visit every `Expr::Slot` index in an expression (planner helper for
+/// column-usage analysis).
+pub fn walk_slots(e: &Expr, f: &mut impl FnMut(usize)) {
+    match e {
+        Expr::Slot(i) => f(*i),
+        Expr::Literal(_)
+        | Expr::Param(_)
+        | Expr::Column { .. }
+        | Expr::GroupKey(_)
+        | Expr::Agg(_) => {}
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+            walk_slots(expr, f)
+        }
+        Expr::Binary { left, right, .. } => {
+            walk_slots(left, f);
+            walk_slots(right, f);
+        }
+        Expr::Function { args, .. } | Expr::ScalarCall { args, .. } => {
+            for a in args {
+                walk_slots(a, f);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            walk_slots(expr, f);
+            for a in list {
+                walk_slots(a, f);
+            }
+        }
+    }
+}
+
+/// Rewrite every `Expr::Slot` index in place (planner helper for
+/// re-addressing expressions after column pruning).
+pub fn map_slots(e: &mut Expr, f: &mut impl FnMut(usize) -> usize) {
+    match e {
+        Expr::Slot(i) => *i = f(*i),
+        Expr::Literal(_)
+        | Expr::Param(_)
+        | Expr::Column { .. }
+        | Expr::GroupKey(_)
+        | Expr::Agg(_) => {}
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+            map_slots(expr, f)
+        }
+        Expr::Binary { left, right, .. } => {
+            map_slots(left, f);
+            map_slots(right, f);
+        }
+        Expr::Function { args, .. } | Expr::ScalarCall { args, .. } => {
+            for a in args {
+                map_slots(a, f);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            map_slots(expr, f);
+            for a in list {
+                map_slots(a, f);
+            }
+        }
+    }
+}
+
 /// The highest `$n` parameter index in an expression (0 when none).
 pub fn max_param_expr(e: &Expr) -> usize {
     match e {

@@ -44,6 +44,15 @@ use crate::value::Value;
 /// Default bound on the number of cached prepared statements.
 pub const DEFAULT_STMT_CACHE_CAPACITY: usize = 256;
 
+std::thread_local! {
+    /// Tables whose read guards are held by live streaming cursors on
+    /// this thread (keyed by the table lock's address). The engine's
+    /// write paths consult this to turn a same-thread
+    /// write-while-streaming into an error instead of a deadlock.
+    static HELD_READ_GUARDS: std::cell::RefCell<Vec<usize>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// One parsed statement plus its lazily compiled physical plan, shared by
 /// every [`Statement`] handle with the same text.
 pub(crate) struct Prepared {
@@ -194,6 +203,18 @@ impl<'db> Statement<'db> {
     /// Execute with the given parameter values, streaming the result rows.
     /// Re-executions bind against the shared compiled plan — no re-parse,
     /// no re-planning, no expression clones.
+    ///
+    /// A plain single-table `SELECT` whose expressions cannot re-enter
+    /// the database streams **zero-copy**: the cursor holds the scanned
+    /// table's read guard until it is drained or dropped. While the
+    /// cursor is live, treat the scanned table as read-locked: a
+    /// same-thread write to it fails with an execution error (instead of
+    /// deadlocking), and even a same-thread *read* of it should be
+    /// avoided — on writer-preferring lock implementations it can queue
+    /// behind a waiting writer from another thread and deadlock. Drain
+    /// or drop the cursor first; materializing consumers like
+    /// [`Statement::query`] and `query_as` finish their cursor
+    /// internally and are never affected.
     pub fn query_rows(&self, params: &[Value]) -> Result<Rows<'db>> {
         self.check_binds(params)?;
         let plan = self.db.plan_for(&self.prepared)?;
@@ -227,6 +248,9 @@ pub struct Database {
     plans_built: AtomicU64,
     plan_cache_hits: AtomicU64,
     agg_evals: AtomicU64,
+    rows_scanned: AtomicU64,
+    scans_zero_copy: AtomicU64,
+    scan_fallbacks: AtomicU64,
 }
 
 impl Default for Database {
@@ -251,6 +275,9 @@ impl Database {
             plans_built: AtomicU64::new(0),
             plan_cache_hits: AtomicU64::new(0),
             agg_evals: AtomicU64::new(0),
+            rows_scanned: AtomicU64::new(0),
+            scans_zero_copy: AtomicU64::new(0),
+            scan_fallbacks: AtomicU64::new(0),
         };
         functions::register_builtin_scalars(&db);
         functions::register_builtin_table_fns(&db);
@@ -311,6 +338,7 @@ impl Database {
     /// Bulk-insert rows through the coercion path (loader convenience).
     pub fn insert_rows(&self, table: &str, rows: Vec<Row>) -> Result<usize> {
         let handle = self.get_table(table)?;
+        Self::check_writable(table, &handle)?;
         let mut guard = handle.write();
         let n = rows.len();
         for r in rows {
@@ -496,6 +524,99 @@ impl Database {
     /// Count per-group aggregate evaluations.
     pub(crate) fn note_agg_evals(&self, n: u64) {
         self.agg_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one table scan: `rows` source rows examined, either
+    /// zero-copy (under the table guard, no snapshot) or through a
+    /// snapshot fallback. A guarded streaming cursor passes 0 here and
+    /// reports its exact examined count through
+    /// [`Database::note_scan_rows`] when it finishes.
+    pub(crate) fn note_scan(&self, rows: u64, zero_copy: bool) {
+        self.rows_scanned.fetch_add(rows, Ordering::Relaxed);
+        if zero_copy {
+            self.scans_zero_copy.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.scan_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Add rows examined by an already-recorded scan.
+    pub(crate) fn note_scan_rows(&self, rows: u64) {
+        self.rows_scanned.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Register a streaming cursor's read guard on this thread (see
+    /// [`Database::check_writable`]). Returns the key to release.
+    pub(crate) fn note_cursor_guard(handle: &Arc<parking_lot::RwLock<Table>>) -> usize {
+        let key = Arc::as_ptr(handle) as usize;
+        HELD_READ_GUARDS.with(|g| g.borrow_mut().push(key));
+        key
+    }
+
+    /// Release a streaming cursor's read-guard registration.
+    pub(crate) fn release_cursor_guard(key: usize) {
+        HELD_READ_GUARDS.with(|g| {
+            let mut held = g.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&k| k == key) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Fail loudly — instead of deadlocking — when this thread tries to
+    /// write a table that one of its own live streaming cursors is
+    /// reading zero-copy. Writers on *other* threads simply wait for the
+    /// cursor, as for any reader.
+    pub(crate) fn check_writable(
+        table: &str,
+        handle: &Arc<parking_lot::RwLock<Table>>,
+    ) -> Result<()> {
+        let key = Arc::as_ptr(handle) as usize;
+        let held = HELD_READ_GUARDS.with(|g| g.borrow().contains(&key));
+        if held {
+            return Err(SqlError::Execution(format!(
+                "cannot write to relation \"{table}\" while a streaming cursor \
+                 is reading it zero-copy — drain or drop the cursor first"
+            )));
+        }
+        Ok(())
+    }
+
+    /// `(rows scanned, zero-copy scans, snapshot scans)` since creation.
+    ///
+    /// A *zero-copy* scan ran directly over the table's rows under its
+    /// guard, materializing only the statement's surviving output — the
+    /// executor picks it per plan whenever a single-table statement's
+    /// scan-side expressions cannot re-enter the database. Everything
+    /// else (multi-table joins, re-entrant expressions, dynamic FROM
+    /// items) counts as a snapshot scan. The same numbers are queryable
+    /// from SQL via `pgfmu_stats()`:
+    ///
+    /// ```
+    /// use pgfmu_sqlmini::{Database, Value};
+    ///
+    /// let db = Database::new();
+    /// db.execute("CREATE TABLE m (x float, note text)").unwrap();
+    /// db.execute("INSERT INTO m VALUES (1.0, 'a'), (2.0, 'b'), (3.0, 'c')").unwrap();
+    /// db.execute("SELECT x FROM m WHERE x > 1.5").unwrap(); // zero-copy
+    /// db.execute("SELECT a.x FROM m a, m b").unwrap(); // join: snapshot scans
+    /// let q = db
+    ///     .execute("SELECT value FROM pgfmu_stats() WHERE stat = 'scans_zero_copy'")
+    ///     .unwrap();
+    /// assert!(q.rows[0][0].as_i64().unwrap() >= 1);
+    /// let q = db
+    ///     .execute("SELECT value FROM pgfmu_stats() WHERE stat = 'rows_scanned'")
+    ///     .unwrap();
+    /// assert!(q.rows[0][0].as_i64().unwrap() >= 9);
+    /// let (rows, zero, fallback) = db.scan_stats();
+    /// assert!(rows >= 9 && zero >= 1 && fallback >= 2);
+    /// ```
+    pub fn scan_stats(&self) -> (u64, u64, u64) {
+        (
+            self.rows_scanned.load(Ordering::Relaxed),
+            self.scans_zero_copy.load(Ordering::Relaxed),
+            self.scan_fallbacks.load(Ordering::Relaxed),
+        )
     }
 
     /// Prepare (with cache reuse) and execute one statement with `$n` bind
@@ -1068,6 +1189,149 @@ mod tests {
         }
         assert_eq!(stat(&stats, "plans_built"), built0);
         assert!(stat(&stats, "agg_evals") > 0);
+    }
+
+    #[test]
+    fn insert_select_from_the_same_table_takes_no_guard() {
+        // The INSERT source must not hold the scanned table's read guard
+        // while the insert takes its write guard — same-table
+        // INSERT … SELECT would deadlock otherwise.
+        let db = setup();
+        let q = db
+            .execute("INSERT INTO m SELECT ts, x + 100.0, y, u FROM m WHERE x < 22")
+            .unwrap();
+        assert_eq!(q.rows[0][0], Value::Int(2));
+        assert_eq!(db.execute("SELECT * FROM m").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn guarded_cursor_releases_the_table_on_drop() {
+        let db = setup();
+        let mut rows = db.query_rows("SELECT x FROM m", &[]).unwrap();
+        assert!(rows.next().is_some());
+        // Partially consumed: the zero-copy cursor still holds the read
+        // guard here. Dropping it must release the table for writers.
+        drop(rows);
+        db.execute("UPDATE m SET u = 1.0").unwrap();
+        assert_eq!(
+            db.execute("SELECT sum(u) FROM m").unwrap().rows[0][0],
+            Value::Float(3.0)
+        );
+        // A fully drained cursor releases the guard too.
+        let n = db.query_rows("SELECT x FROM m", &[]).unwrap().count();
+        assert_eq!(n, 3);
+        db.execute("DELETE FROM m WHERE x > 23").unwrap();
+        assert_eq!(db.execute("SELECT * FROM m").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn writing_the_streamed_table_fails_loudly_instead_of_deadlocking() {
+        let db = setup();
+        let mut rows = db.query_rows("SELECT x FROM m", &[]).unwrap();
+        assert!(rows.next().is_some());
+        // The cursor holds m's read guard: a same-thread write to m must
+        // surface as an error, not hang on the lock.
+        let err = db.execute("DELETE FROM m WHERE x > 0").unwrap_err();
+        assert!(
+            err.to_string().contains("streaming cursor"),
+            "unexpected error: {err}"
+        );
+        assert!(db.execute("UPDATE m SET u = 0.0").is_err());
+        assert!(db
+            .execute("INSERT INTO m VALUES ('2015-03-01', 1, 1, 1)")
+            .is_err());
+        // Other tables stay writable. (A same-thread *read* of m is safe
+        // here only because this test is single-threaded — no writer can
+        // be queued on m's lock; see the query_rows locking rule.)
+        db.execute("CREATE TABLE other (a int)").unwrap();
+        db.execute("INSERT INTO other VALUES (1)").unwrap();
+        assert_eq!(
+            db.execute("SELECT count(*) FROM m").unwrap().rows[0][0],
+            Value::Int(3)
+        );
+        // Finishing with the cursor restores writability.
+        drop(rows);
+        db.execute("DELETE FROM m WHERE x > 0").unwrap();
+    }
+
+    #[test]
+    fn guarded_cursor_applies_distinct_and_limit_lazily() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v int)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2), (1), (3), (2), (4)")
+            .unwrap();
+        let mut rows = db
+            .query_rows("SELECT DISTINCT v FROM t LIMIT 3", &[])
+            .unwrap();
+        let got: Vec<Value> = (&mut rows).map(|r| r.unwrap().remove(0)).collect();
+        assert_eq!(got, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn in_place_update_is_atomic_on_error() {
+        // Pass 1 (evaluation) fails before pass 2 (mutation) starts: a
+        // division by zero on the *last* matching row must leave every
+        // row untouched.
+        let db = Database::new();
+        db.execute("CREATE TABLE t (k int, v float)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0), (3, 0.0)")
+            .unwrap();
+        let err = db.execute("UPDATE t SET v = 10.0 / v").unwrap_err();
+        assert!(err.to_string().contains("division by zero"), "{err}");
+        let q = db.execute("SELECT v FROM t ORDER BY k").unwrap();
+        assert_eq!(
+            q.rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            vec![Value::Float(1.0), Value::Float(2.0), Value::Float(0.0)],
+            "no partial update applied"
+        );
+    }
+
+    #[test]
+    fn scan_counters_track_strategy_per_statement() {
+        let db = setup();
+        let (r0, z0, f0) = db.scan_stats();
+        db.execute("SELECT x FROM m WHERE u >= 0.0").unwrap(); // zero-copy (guarded)
+        db.execute("SELECT x FROM m ORDER BY x LIMIT 2").unwrap(); // zero-copy (eager)
+        db.execute("SELECT count(*), avg(x) FROM m").unwrap(); // zero-copy (grouped)
+        db.execute("UPDATE m SET y = x * 2.0 WHERE u > 0.0")
+            .unwrap(); // in place
+        db.execute("DELETE FROM m WHERE x > 1e9").unwrap(); // in place
+        let (r1, z1, f1) = db.scan_stats();
+        assert_eq!(z1 - z0, 5);
+        assert_eq!(f1, f0, "no snapshot taken by any of the above");
+        assert_eq!(r1 - r0, 15, "3 rows examined per statement");
+        // A join and a re-entrant predicate both fall back to snapshots.
+        db.register_scalar("opaque", |_db, args| Ok(args[0].clone()));
+        db.execute("SELECT a.x FROM m a, m b").unwrap();
+        db.execute("SELECT x FROM m WHERE opaque(u) >= 0.0")
+            .unwrap();
+        let (_, z2, f2) = db.scan_stats();
+        assert_eq!(z2, z1);
+        assert_eq!(f2 - f1, 3, "two join scans + one fallback scan");
+    }
+
+    #[test]
+    fn join_snapshots_are_column_pruned() {
+        // A two-table join projecting one column per side still joins
+        // correctly (pruned slot remapping) and leaves wide columns
+        // behind in the snapshot.
+        let db = Database::new();
+        db.execute("CREATE TABLE wide (a int, blob text, b int)")
+            .unwrap();
+        db.execute("CREATE TABLE tags (t text, n int)").unwrap();
+        db.execute("INSERT INTO wide VALUES (1, 'xxxxxxxxxxxxxxxx', 10), (2, 'y', 20)")
+            .unwrap();
+        db.execute("INSERT INTO tags VALUES ('p', 1), ('q', 2)")
+            .unwrap();
+        let q = db
+            .execute(
+                "SELECT tags.t, wide.b FROM wide, tags \
+                 WHERE wide.a = tags.n ORDER BY tags.t",
+            )
+            .unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.rows[0], vec![Value::Text("p".into()), Value::Int(10)]);
+        assert_eq!(q.rows[1], vec![Value::Text("q".into()), Value::Int(20)]);
     }
 
     #[test]

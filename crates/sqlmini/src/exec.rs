@@ -29,7 +29,8 @@ use crate::db::Database;
 use crate::decode::NamedRows;
 use crate::error::{Result, SqlError};
 use crate::plan::{
-    AggCall, AggOp, Binding, Env, GroupPlan, InsertPlan, PhysicalPlan, PlanFn, SelectOps,
+    AggCall, AggOp, Binding, DmlPlan, Env, GroupPlan, InsertPlan, PhysicalPlan, PlanFn, SelectOps,
+    ZeroScanKind,
 };
 use crate::table::{Column, QueryResult, Row, Schema, Table};
 use crate::value::Value;
@@ -231,6 +232,20 @@ fn eval(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Valu
             }
         }
         Expr::Binary { op, left, right } => {
+            // AND/OR short-circuit as in PostgreSQL: a false (resp. true)
+            // left side decides without evaluating the right side.
+            // (Kleene logic: NULL on the left still needs the right side.)
+            if matches!(op, BinOp::And | BinOp::Or) {
+                let a = eval(ctx, left, env, row)?;
+                let and = matches!(op, BinOp::And);
+                if let Ok(decided) = a.as_bool() {
+                    if decided != and {
+                        return Ok(Value::Bool(decided));
+                    }
+                }
+                let b = eval(ctx, right, env, row)?;
+                return logical(and, &a, &b);
+            }
             let a = eval(ctx, left, env, row)?;
             let b = eval(ctx, right, env, row)?;
             match op {
@@ -238,8 +253,9 @@ fn eval(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Valu
                 BinOp::Sub => arith(BinOpKind::Sub, &a, &b),
                 BinOp::Mul => arith(BinOpKind::Mul, &a, &b),
                 BinOp::Div => arith(BinOpKind::Div, &a, &b),
-                BinOp::And => logical(true, &a, &b),
-                BinOp::Or => logical(false, &a, &b),
+                BinOp::And | BinOp::Or => {
+                    unreachable!("AND/OR take the short-circuit path above")
+                }
                 BinOp::Concat => {
                     if a.is_null() || b.is_null() {
                         Ok(Value::Null)
@@ -486,7 +502,7 @@ impl AggAcc {
 /// aggregate's one-row result).
 fn grouped_groups(
     ctx: &Ctx<'_>,
-    ops: &SelectOps,
+    where_clause: Option<&Expr>,
     gp: &GroupPlan,
     rows: &[Row],
 ) -> Result<Vec<(Vec<Value>, Vec<Value>)>> {
@@ -506,7 +522,7 @@ fn grouped_groups(
     }
     let mut key: Vec<Value> = Vec::with_capacity(gp.keys.len());
     for r in rows {
-        if let Some(p) = &ops.where_clause {
+        if let Some(p) = where_clause {
             if !is_true(&eval(ctx, p, &env, r)?)? {
                 continue;
             }
@@ -595,28 +611,6 @@ fn grouped_tail(mut keyed: Vec<(Vec<Value>, Row)>, ops: &SelectOps) -> Vec<Row> 
     keyed.into_iter().take(ops.limit).map(|(_, r)| r).collect()
 }
 
-/// May this expression run while a table read guard is held? True when it
-/// cannot re-enter the database: no raw function calls, and resolved
-/// calls only to native intrinsics.
-fn scan_safe(e: &Expr, fns: &[PlanFn]) -> bool {
-    match e {
-        Expr::Literal(_) | Expr::Param(_) | Expr::Slot(_) | Expr::GroupKey(_) | Expr::Agg(_) => {
-            true
-        }
-        Expr::Column { .. } | Expr::Function { .. } => false,
-        Expr::ScalarCall { f, args } => {
-            matches!(fns[*f], PlanFn::Intrinsic { .. }) && args.iter().all(|a| scan_safe(a, fns))
-        }
-        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
-            scan_safe(expr, fns)
-        }
-        Expr::Binary { left, right, .. } => scan_safe(left, fns) && scan_safe(right, fns),
-        Expr::InList { expr, list, .. } => {
-            scan_safe(expr, fns) && list.iter().all(|e| scan_safe(e, fns))
-        }
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Streaming result cursor
 // ---------------------------------------------------------------------------
@@ -626,9 +620,13 @@ fn scan_safe(e: &Expr, fns: &[PlanFn]) -> bool {
 /// aggregates) the WHERE filter, the projection and DISTINCT
 /// deduplication run lazily per [`Iterator::next`] call against the
 /// shared physical plan, so consumers that stop early never pay for the
-/// full result and repeated executions clone no expressions; ordered and
-/// grouped/aggregated queries are materialized up front, as both are
-/// pipeline breakers.
+/// full result and repeated executions clone no expressions. When the
+/// plan additionally classified every scan-side expression as
+/// re-entrancy-free, the cursor streams **zero-copy**: it owns the
+/// scanned table's read guard (released when drained or dropped) and
+/// never snapshots the table — see [`crate::Statement::query_rows`] for
+/// the locking rule this implies. Ordered and grouped/aggregated queries
+/// are materialized up front, as both are pipeline breakers.
 pub struct Rows<'db> {
     columns: Vec<String>,
     state: RowsState<'db>,
@@ -666,6 +664,44 @@ struct LazyScan<'db> {
     failed: bool,
 }
 
+/// A zero-copy streaming scan: the cursor owns the table's read guard
+/// and evaluates filter + projection per `next()` against the borrowed
+/// rows — no snapshot, no intermediate output buffer. The guard is held
+/// until the cursor is drained or dropped, which is why only plans whose
+/// scan-side expressions cannot re-enter the database take this path
+/// (and why a consumer must not write to the scanned table before
+/// finishing with the cursor).
+struct GuardedScan<'db> {
+    db: &'db Database,
+    params: Vec<Value>,
+    /// The shared plan — holds the zero-copy expressions and fns table.
+    plan: Arc<PhysicalPlan>,
+    /// Registration key in the thread's held-guard set (lets same-thread
+    /// writers fail loudly instead of deadlocking; see
+    /// [`Database::check_writable`]).
+    guard_key: usize,
+    guard: parking_lot::ArcRwLockReadGuard<Table>,
+    /// Projection as plain slot indices when every output is a bare
+    /// column (skips expression dispatch per value).
+    slot_projs: Option<Vec<usize>>,
+    /// Next source row.
+    idx: usize,
+    /// DISTINCT: projected rows already emitted.
+    seen: Option<HashSet<Vec<KeyAtom>>>,
+    remaining: usize,
+    failed: bool,
+}
+
+impl Drop for GuardedScan<'_> {
+    fn drop(&mut self) {
+        // `rows_scanned` counts rows actually examined: an early-stopping
+        // consumer (LIMIT, partial drain) is charged only for what the
+        // cursor read. Flushed once, when the cursor finishes.
+        self.db.note_scan_rows(self.idx as u64);
+        Database::release_cursor_guard(self.guard_key);
+    }
+}
+
 enum RowsState<'db> {
     /// Fully materialized output rows.
     Done(std::vec::IntoIter<Row>),
@@ -674,6 +710,8 @@ enum RowsState<'db> {
     Streamed(Box<dyn Iterator<Item = Result<Row>> + 'db>),
     /// Scan source with deferred filter + projection (+ DISTINCT).
     Lazy(Box<LazyScan<'db>>),
+    /// Zero-copy scan streaming under the table read guard.
+    Guarded(Box<GuardedScan<'db>>),
 }
 
 impl<'db> Rows<'db> {
@@ -723,6 +761,66 @@ impl<'db> Rows<'db> {
 
 impl Iterator for Rows<'_> {
     type Item = Result<Row>;
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.state {
+            // Materialized output: the length is exact, so collecting
+            // consumers (`query_as`, `into_result`) preallocate.
+            RowsState::Done(it) => it.size_hint(),
+            RowsState::Streamed(_) => (0, None),
+            RowsState::Lazy(scan) => {
+                if scan.failed {
+                    (0, Some(0))
+                } else {
+                    (0, Some(scan.source.len().min(scan.remaining)))
+                }
+            }
+            RowsState::Guarded(scan) => {
+                if scan.failed {
+                    (0, Some(0))
+                } else {
+                    let left = scan.guard.rows.len().saturating_sub(scan.idx);
+                    (0, Some(left.min(scan.remaining)))
+                }
+            }
+        }
+    }
+
+    fn count(self) -> usize {
+        match self.state {
+            // O(1) for materialized output — no per-row dispatch.
+            RowsState::Done(it) => it.count(),
+            state => Rows {
+                columns: self.columns,
+                state,
+            }
+            .fold(0, |n, _| n + 1),
+        }
+    }
+
+    fn fold<B, G>(self, init: B, mut g: G) -> B
+    where
+        G: FnMut(B, Self::Item) -> B,
+    {
+        // Internal iteration over the materialized and streamed states
+        // skips the per-row state dispatch of `next()` — `for_each`,
+        // `sum`, `count` and friends all drain through here.
+        match self.state {
+            RowsState::Done(it) => it.fold(init, |acc, r| g(acc, Ok(r))),
+            RowsState::Streamed(it) => it.fold(init, g),
+            state => {
+                let mut rows = Rows {
+                    columns: self.columns,
+                    state,
+                };
+                let mut acc = init;
+                for item in &mut rows {
+                    acc = g(acc, item);
+                }
+                acc
+            }
+        }
+    }
 
     fn next(&mut self) -> Option<Result<Row>> {
         match &mut self.state {
@@ -774,6 +872,80 @@ impl Iterator for Rows<'_> {
                     return Some(Ok(out));
                 }
             }
+            RowsState::Guarded(scan) => {
+                // Destructure for disjoint field borrows: the plan (and
+                // the guard's rows) are read while the cursor position,
+                // DISTINCT set and limit mutate.
+                let GuardedScan {
+                    db,
+                    params,
+                    plan,
+                    guard_key: _,
+                    guard,
+                    slot_projs,
+                    idx,
+                    seen,
+                    remaining,
+                    failed,
+                } = &mut **scan;
+                if *failed || *remaining == 0 {
+                    return None;
+                }
+                let PhysicalPlan::StaticSelect(sp) = &**plan else {
+                    unreachable!("guarded scans hold a static SELECT plan");
+                };
+                let Some(z) = &sp.zero else {
+                    unreachable!("guarded scans hold a zero-copy plan");
+                };
+                let ZeroScanKind::Select { projections, .. } = &z.kind else {
+                    unreachable!("guarded scans are plain SELECTs");
+                };
+                let ctx = Ctx {
+                    db,
+                    params,
+                    fns: &sp.ops.fns,
+                    group: None,
+                };
+                let env = Env {
+                    bindings: NO_BINDINGS,
+                };
+                loop {
+                    let i = *idx;
+                    if i >= guard.rows.len() {
+                        return None;
+                    }
+                    *idx += 1;
+                    let r = &guard.rows[i];
+                    if let Some(p) = &z.where_clause {
+                        match eval(&ctx, p, &env, r).and_then(|v| is_true(&v)) {
+                            Ok(true) => {}
+                            Ok(false) => continue,
+                            Err(e) => {
+                                *failed = true;
+                                return Some(Err(e));
+                            }
+                        }
+                    }
+                    let projected: Result<Row> = match slot_projs {
+                        Some(slots) => Ok(slots.iter().map(|&s| r[s].clone()).collect()),
+                        None => projections.iter().map(|e| eval(&ctx, e, &env, r)).collect(),
+                    };
+                    let out = match projected {
+                        Ok(out) => out,
+                        Err(e) => {
+                            *failed = true;
+                            return Some(Err(e));
+                        }
+                    };
+                    if let Some(seen) = seen.as_mut() {
+                        if !seen.insert(KeyAtom::row_key(&out)) {
+                            continue;
+                        }
+                    }
+                    *remaining -= 1;
+                    return Some(Ok(out));
+                }
+            }
         }
     }
 }
@@ -822,17 +994,24 @@ fn cross_join(rows: Vec<Row>, trows: Vec<Row>) -> Vec<Row> {
 /// Scan the base tables of a static plan into the joined row set,
 /// re-checking each table's schema against the plan under the same guard
 /// the rows are snapshotted from (so `Slot` indices stay in bounds and
-/// keep pointing at the planned columns).
-fn scan_tables(db: &Database, tables: &[String], schemas: &[Vec<String>]) -> Result<Vec<Row>> {
+/// keep pointing at the planned columns). Only the columns the statement
+/// actually reads are cloned — the snapshot is column-pruned.
+fn scan_tables(
+    db: &Database,
+    tables: &[String],
+    schemas: &[Vec<String>],
+    used_cols: &[Vec<usize>],
+) -> Result<Vec<Row>> {
     let mut rows: Vec<Row> = vec![Vec::new()];
-    for (name, planned) in tables.iter().zip(schemas) {
+    for ((name, planned), used) in tables.iter().zip(schemas).zip(used_cols) {
         let handle = db.get_table(name)?;
         let trows = {
             let guard = handle.read();
             if !schema_matches(&guard.schema, planned) {
                 return Err(stale_plan(name));
             }
-            guard.rows.clone()
+            db.note_scan(guard.rows.len() as u64, false);
+            guard.project_rows(used)
         };
         rows = cross_join(rows, trows);
     }
@@ -861,6 +1040,7 @@ fn scan_from(
                 let table = db.get_table(name)?;
                 let (cols, trows) = {
                     let guard = table.read();
+                    db.note_scan(guard.rows.len() as u64, false);
                     (
                         guard
                             .schema
@@ -994,7 +1174,7 @@ fn materialize(
 
     if let Some(gp) = &ops.group {
         // Grouping applies its own WHERE during the accumulation sweep.
-        let groups = grouped_groups(&ctx, ops, gp, &source)?;
+        let groups = grouped_groups(&ctx, ops.where_clause.as_ref(), gp, &source)?;
         let keyed = emit_groups(db, params, ops, groups)?;
         return Ok(grouped_tail(keyed, ops));
     }
@@ -1083,56 +1263,151 @@ fn sort_by_output(keyed: &mut [(Vec<Value>, Row)], spec: &[(usize, bool)]) {
     });
 }
 
+/// Execute a static SELECT plan. `lazy` allows the plain zero-copy path
+/// to return a [`GuardedScan`] cursor that streams under the table read
+/// guard; internal consumers that write while reading (`INSERT … SELECT`
+/// into the scanned table) pass `false` and get the output materialized
+/// under the guard instead, which releases it before any insert.
 fn run_static_select<'db>(
     db: &'db Database,
     plan: &Arc<PhysicalPlan>,
     params: &[Value],
+    lazy: bool,
 ) -> Result<Rows<'db>> {
     let PhysicalPlan::StaticSelect(sp) = &**plan else {
         unreachable!("run_static_select takes a static SELECT plan");
     };
-    // Zero-copy grouped scan: a single-table grouped query whose filter,
-    // keys and aggregate arguments cannot re-enter the database runs its
-    // accumulation sweep over the table's rows in place, under the read
-    // guard — no row is ever cloned. (Emission — HAVING, projection,
-    // ORDER BY — runs after the guard drops, so those clauses may still
-    // call arbitrary UDFs.)
-    if let Some(gp) = &sp.ops.group {
-        let scan_pure = sp.tables.len() == 1
-            && sp
-                .ops
-                .where_clause
-                .as_ref()
-                .is_none_or(|w| scan_safe(w, &sp.ops.fns))
-            && gp.keys.iter().all(|k| scan_safe(k, &sp.ops.fns))
-            && gp
-                .aggs
-                .iter()
-                .all(|c| c.args.iter().all(|a| scan_safe(a, &sp.ops.fns)));
-        if scan_pure {
-            let handle = db.get_table(&sp.tables[0])?;
-            let ctx = Ctx {
-                db,
-                params,
-                fns: &sp.ops.fns,
-                group: None,
-            };
-            let groups = {
+    // Zero-copy scan: the plan classified every scan-side expression as
+    // re-entrancy-free, so the statement runs directly over the table's
+    // rows under the read guard — no snapshot is taken, and only the
+    // projection of rows that survive the filter is ever materialized.
+    if let Some(z) = &sp.zero {
+        let handle = db.get_table(&sp.tables[0])?;
+        let ctx = Ctx {
+            db,
+            params,
+            fns: &sp.ops.fns,
+            group: None,
+        };
+        let env = Env {
+            bindings: NO_BINDINGS,
+        };
+        match &z.kind {
+            // Grouped: the accumulation sweep folds borrowed rows under
+            // the guard; emission (HAVING, projection, ORDER BY — which
+            // may still call arbitrary UDFs) runs after it drops.
+            ZeroScanKind::Grouped(gp) => {
+                let groups = {
+                    let guard = handle.read();
+                    if !schema_matches(&guard.schema, &sp.schemas[0]) {
+                        return Err(stale_plan(&sp.tables[0]));
+                    }
+                    db.note_scan(guard.rows.len() as u64, true);
+                    grouped_groups(&ctx, z.where_clause.as_ref(), gp, &guard.rows)?
+                };
+                let keyed = emit_groups(db, params, &sp.ops, groups)?;
+                let rows = grouped_tail(keyed, &sp.ops);
+                return Ok(Rows {
+                    columns: sp.ops.columns.clone(),
+                    state: RowsState::Done(rows.into_iter()),
+                });
+            }
+            // Plain / DISTINCT / ordered SELECT: filter and project per
+            // borrowed row; the sort (if any) runs after the guard
+            // drops, over pruned projections instead of full-row clones.
+            ZeroScanKind::Select {
+                projections,
+                order_by,
+            } => {
+                // Projection lists that are plain column references (the
+                // common `SELECT a, b, c` shape) clone slots directly,
+                // skipping expression dispatch per value.
+                let slot_projs: Option<Vec<usize>> = projections
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Slot(i) => Some(*i),
+                        _ => None,
+                    })
+                    .collect();
+                let project = |r: &Row| -> Result<Row> {
+                    match &slot_projs {
+                        Some(slots) => Ok(slots.iter().map(|&i| r[i].clone()).collect()),
+                        None => {
+                            let mut out = Vec::with_capacity(projections.len());
+                            for e in projections {
+                                out.push(eval(&ctx, e, &env, r)?);
+                            }
+                            Ok(out)
+                        }
+                    }
+                };
+                let ordered = !order_by.is_empty() || !sp.ops.distinct_order.is_empty();
+                if !ordered {
+                    // True streaming: the cursor owns the read guard and
+                    // filters/projects per `next()` — one pass, nothing
+                    // buffered, early-stopping consumers pay only for
+                    // what they read. A `lazy == false` caller (an
+                    // INSERT … SELECT source) drains the same cursor
+                    // here, releasing the guard before returning.
+                    let guard = handle.read_arc();
+                    if !schema_matches(&guard.schema, &sp.schemas[0]) {
+                        return Err(stale_plan(&sp.tables[0]));
+                    }
+                    // Rows examined are charged when the cursor finishes
+                    // (see `GuardedScan::drop`); only the strategy is
+                    // recorded here.
+                    db.note_scan(0, true);
+                    let cursor = Rows {
+                        columns: sp.ops.columns.clone(),
+                        state: RowsState::Guarded(Box::new(GuardedScan {
+                            db,
+                            params: params.to_vec(),
+                            plan: Arc::clone(plan),
+                            guard_key: Database::note_cursor_guard(&handle),
+                            guard,
+                            slot_projs,
+                            idx: 0,
+                            seen: sp.ops.distinct.then(HashSet::new),
+                            remaining: sp.ops.limit,
+                            failed: false,
+                        })),
+                    };
+                    if lazy {
+                        return Ok(cursor);
+                    }
+                    return cursor.into_result().map(Rows::from_result);
+                }
+                // Sort keys and projections evaluate per surviving row;
+                // the sort (and DISTINCT + LIMIT) runs on those pruned
+                // projections after the guard drops.
                 let guard = handle.read();
                 if !schema_matches(&guard.schema, &sp.schemas[0]) {
                     return Err(stale_plan(&sp.tables[0]));
                 }
-                grouped_groups(&ctx, &sp.ops, gp, &guard.rows)?
-            };
-            let keyed = emit_groups(db, params, &sp.ops, groups)?;
-            let rows = grouped_tail(keyed, &sp.ops);
-            return Ok(Rows {
-                columns: sp.ops.columns.clone(),
-                state: RowsState::Done(rows.into_iter()),
-            });
+                let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
+                for r in &guard.rows {
+                    if let Some(p) = &z.where_clause {
+                        if !is_true(&eval(&ctx, p, &env, r)?)? {
+                            continue;
+                        }
+                    }
+                    let mut sort_key = Vec::with_capacity(order_by.len());
+                    for (e, _) in order_by {
+                        sort_key.push(eval(&ctx, e, &env, r)?);
+                    }
+                    keyed.push((sort_key, project(r)?));
+                }
+                db.note_scan(guard.rows.len() as u64, true);
+                drop(guard);
+                let rows = grouped_tail(keyed, &sp.ops);
+                return Ok(Rows {
+                    columns: sp.ops.columns.clone(),
+                    state: RowsState::Done(rows.into_iter()),
+                });
+            }
         }
     }
-    let rows = scan_tables(db, &sp.tables, &sp.schemas)?;
+    let rows = scan_tables(db, &sp.tables, &sp.schemas, &sp.used_cols)?;
     run_select(db, OpsSource::Plan(Arc::clone(plan)), rows, params)
 }
 
@@ -1188,6 +1463,7 @@ fn run_insert<'db>(
         unreachable!("insert plan compiled from a non-INSERT statement");
     };
     let handle = db.get_table(&ip.table)?;
+    Database::check_writable(&ip.table, &handle)?;
     // The plan's column mapping is positional: if the target's schema
     // changed since planning (a DDL race past the epoch check), fail as
     // stale instead of silently mapping values into the wrong columns.
@@ -1218,28 +1494,51 @@ fn run_insert<'db>(
             n
         }
         InsertSource::Select(sel) => {
-            // Stream the source: each row is projected by the cursor and
-            // inserted immediately — the intermediate result set is never
-            // materialized. The scan snapshotted its input, so inserting
-            // into a table the SELECT reads is safe (and sees the
-            // pre-statement state, as before). There are no transactions:
-            // an error mid-stream leaves the rows inserted so far (the
-            // same partial-insert semantics a mid-batch coercion failure
-            // always had).
+            // The source runs with `lazy = false`, so it never hands back
+            // a cursor holding a table guard: a zero-copy static source
+            // arrives fully materialized (produced under the source
+            // table's read guard, released before the inserts — which is
+            // why INSERT INTO t SELECT FROM t is safe and observes the
+            // pre-statement rows), while snapshot/dynamic sources stream
+            // lazily off their guard-free snapshot. There are no
+            // transactions: an error mid-stream leaves the rows inserted
+            // so far (the same partial-insert semantics a mid-batch
+            // coercion failure always had).
             let src_plan = ip
                 .source
                 .as_ref()
                 .expect("INSERT … SELECT has a source plan");
             let src = match &**src_plan {
-                PhysicalPlan::StaticSelect(_) => run_static_select(db, src_plan, params)?,
+                PhysicalPlan::StaticSelect(_) => run_static_select(db, src_plan, params, false)?,
                 PhysicalPlan::DynamicSelect => run_dynamic_select(db, sel, params)?,
                 _ => unreachable!("INSERT source compiles to a SELECT plan"),
             };
             let mut n = 0usize;
-            for r in src {
-                let full = map_insert_row(r?, ip)?;
-                handle.write().insert(full)?;
-                n += 1;
+            match src.state {
+                // Fully materialized source: nothing is evaluated per
+                // row anymore, so one write guard covers the whole batch
+                // instead of a lock round-trip per row.
+                RowsState::Done(it) => {
+                    let mut guard = handle.write();
+                    for r in it {
+                        guard.insert(map_insert_row(r, ip)?)?;
+                        n += 1;
+                    }
+                }
+                // Lazy sources still evaluate expressions (possibly
+                // re-entrant UDFs) per row: keep the write lock scoped to
+                // each insert so those evaluations run lock-free.
+                state => {
+                    let src = Rows {
+                        columns: src.columns,
+                        state,
+                    };
+                    for r in src {
+                        let full = map_insert_row(r?, ip)?;
+                        handle.write().insert(full)?;
+                        n += 1;
+                    }
+                }
             }
             n
         }
@@ -1247,94 +1546,159 @@ fn run_insert<'db>(
     Ok(count_result(n as i64))
 }
 
-/// UPDATE / DELETE / DDL — statements without a compiled operator tree.
-fn run_other<'db>(db: &'db Database, stmt: &Stmt, params: &[Value]) -> Result<Rows<'db>> {
+/// UPDATE: evaluate the predicate and SET expressions against each row,
+/// then assign the new values. When every expression is re-entrancy-free
+/// (the planned common case) the whole statement runs under one write
+/// guard and touches only the matching rows, by index — nothing is
+/// snapshotted and non-matching rows are never copied. Re-entrant
+/// expressions keep the old snapshot-evaluate-rebuild path so UDFs in
+/// SET or WHERE may call back into the database.
+fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<Rows<'db>> {
     let ctx = Ctx {
         db,
         params,
-        fns: NO_FNS,
+        fns: &up.fns,
         group: None,
     };
+    let env = Env {
+        bindings: NO_BINDINGS,
+    };
+    let handle = db.get_table(&up.table)?;
+    Database::check_writable(&up.table, &handle)?;
+    if up.in_place {
+        let mut guard = handle.write();
+        if !schema_matches(&guard.schema, &up.schema_cols) {
+            return Err(stale_plan(&up.table));
+        }
+        // Pass 1 (read-only): evaluate the predicate per row and, for
+        // hits, the new values against the *old* row. Errors surface
+        // before any mutation.
+        let mut pending: Vec<(usize, Vec<Value>)> = Vec::new();
+        for (i, r) in guard.rows.iter().enumerate() {
+            let hit = match &up.where_clause {
+                None => true,
+                Some(p) => is_true(&eval(&ctx, p, &env, r)?)?,
+            };
+            if !hit {
+                continue;
+            }
+            let mut vals = Vec::with_capacity(up.sets.len());
+            for (e, &c) in up.sets.iter().zip(&up.set_idx) {
+                let v = eval(&ctx, e, &env, r)?;
+                vals.push(v.coerce_to(guard.schema.columns[c].dtype)?);
+            }
+            pending.push((i, vals));
+        }
+        db.note_scan(guard.rows.len() as u64, true);
+        // Pass 2: write the new values into the matching rows.
+        let n = pending.len() as i64;
+        for (i, vals) in pending {
+            for (v, &c) in vals.into_iter().zip(&up.set_idx) {
+                guard.rows[i][c] = v;
+            }
+        }
+        return Ok(count_result(n));
+    }
+    // Snapshot fallback: evaluation must run without the lock so the
+    // expressions may re-enter the database.
+    let (dtypes, snapshot) = {
+        let g = handle.read();
+        if !schema_matches(&g.schema, &up.schema_cols) {
+            return Err(stale_plan(&up.table));
+        }
+        db.note_scan(g.rows.len() as u64, false);
+        let dtypes: Vec<_> = g.schema.columns.iter().map(|c| c.dtype).collect();
+        (dtypes, g.rows.clone())
+    };
+    let mut new_rows = Vec::with_capacity(snapshot.len());
+    let mut n = 0i64;
+    for r in snapshot {
+        let hit = match &up.where_clause {
+            None => true,
+            Some(p) => is_true(&eval(&ctx, p, &env, &r)?)?,
+        };
+        if hit {
+            let mut updated = r.clone();
+            for (e, &i) in up.sets.iter().zip(&up.set_idx) {
+                let v = eval(&ctx, e, &env, &r)?;
+                updated[i] = v.coerce_to(dtypes[i])?;
+            }
+            new_rows.push(updated);
+            n += 1;
+        } else {
+            new_rows.push(r);
+        }
+    }
+    handle.write().rows = new_rows;
+    Ok(count_result(n))
+}
+
+/// DELETE: with a re-entrancy-free predicate the statement marks matching
+/// rows under one write guard and compacts the storage in place (a stable
+/// `retain` — survivors are moved, never cloned). A re-entrant predicate
+/// falls back to snapshot evaluation.
+fn run_delete<'db>(db: &'db Database, dp: &DmlPlan, params: &[Value]) -> Result<Rows<'db>> {
+    let ctx = Ctx {
+        db,
+        params,
+        fns: &dp.fns,
+        group: None,
+    };
+    let env = Env {
+        bindings: NO_BINDINGS,
+    };
+    let handle = db.get_table(&dp.table)?;
+    Database::check_writable(&dp.table, &handle)?;
+    if dp.in_place {
+        let mut guard = handle.write();
+        if !schema_matches(&guard.schema, &dp.schema_cols) {
+            return Err(stale_plan(&dp.table));
+        }
+        let mut hits = vec![false; guard.rows.len()];
+        for (i, r) in guard.rows.iter().enumerate() {
+            hits[i] = match &dp.where_clause {
+                None => true,
+                Some(p) => is_true(&eval(&ctx, p, &env, r)?)?,
+            };
+        }
+        db.note_scan(guard.rows.len() as u64, true);
+        let n = hits.iter().filter(|&&h| h).count() as i64;
+        let mut i = 0;
+        guard.rows.retain(|_| {
+            let keep = !hits[i];
+            i += 1;
+            keep
+        });
+        return Ok(count_result(n));
+    }
+    let snapshot = {
+        let g = handle.read();
+        if !schema_matches(&g.schema, &dp.schema_cols) {
+            return Err(stale_plan(&dp.table));
+        }
+        db.note_scan(g.rows.len() as u64, false);
+        g.rows.clone()
+    };
+    let mut kept = Vec::with_capacity(snapshot.len());
+    let mut n = 0i64;
+    for r in snapshot {
+        let hit = match &dp.where_clause {
+            None => true,
+            Some(p) => is_true(&eval(&ctx, p, &env, &r)?)?,
+        };
+        if hit {
+            n += 1;
+        } else {
+            kept.push(r);
+        }
+    }
+    handle.write().rows = kept;
+    Ok(count_result(n))
+}
+
+/// DDL — statements without a compiled operator tree.
+fn run_other<'db>(db: &'db Database, stmt: &Stmt) -> Result<Rows<'db>> {
     match stmt {
-        Stmt::Update {
-            table,
-            sets,
-            where_clause,
-        } => {
-            let handle = db.get_table(table)?;
-            // Snapshot for evaluation, then apply — keeps evaluation free of
-            // the write lock so UDFs inside SET expressions may re-enter.
-            let (schema, snapshot) = {
-                let g = handle.read();
-                (g.schema.clone(), g.rows.clone())
-            };
-            let binding = [Binding {
-                qualifier: table.clone(),
-                columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
-                offset: 0,
-            }];
-            let env = Env { bindings: &binding };
-            let mut set_idx = Vec::with_capacity(sets.len());
-            for (c, _) in sets {
-                set_idx.push(
-                    schema
-                        .index_of(c)
-                        .ok_or_else(|| SqlError::UnknownColumn(format!("{c} in UPDATE SET")))?,
-                );
-            }
-            let mut new_rows = Vec::with_capacity(snapshot.len());
-            let mut n = 0i64;
-            for r in snapshot {
-                let hit = match where_clause {
-                    None => true,
-                    Some(p) => is_true(&eval(&ctx, p, &env, &r)?)?,
-                };
-                if hit {
-                    let mut updated = r.clone();
-                    for ((_, e), &i) in sets.iter().zip(&set_idx) {
-                        let v = eval(&ctx, e, &env, &r)?;
-                        updated[i] = v.coerce_to(schema.columns[i].dtype)?;
-                    }
-                    new_rows.push(updated);
-                    n += 1;
-                } else {
-                    new_rows.push(r);
-                }
-            }
-            handle.write().rows = new_rows;
-            Ok(count_result(n))
-        }
-        Stmt::Delete {
-            table,
-            where_clause,
-        } => {
-            let handle = db.get_table(table)?;
-            let (schema, snapshot) = {
-                let g = handle.read();
-                (g.schema.clone(), g.rows.clone())
-            };
-            let binding = [Binding {
-                qualifier: table.clone(),
-                columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
-                offset: 0,
-            }];
-            let env = Env { bindings: &binding };
-            let mut kept = Vec::with_capacity(snapshot.len());
-            let mut n = 0i64;
-            for r in snapshot {
-                let hit = match where_clause {
-                    None => true,
-                    Some(p) => is_true(&eval(&ctx, p, &env, &r)?)?,
-                };
-                if hit {
-                    n += 1;
-                } else {
-                    kept.push(r);
-                }
-            }
-            handle.write().rows = kept;
-            Ok(count_result(n))
-        }
         Stmt::CreateTable {
             name,
             columns,
@@ -1360,8 +1724,8 @@ fn run_other<'db>(db: &'db Database, stmt: &Stmt, params: &[Value]) -> Result<Ro
             }
             Ok(Rows::from_result(QueryResult::new(vec![])))
         }
-        Stmt::Select(_) | Stmt::Insert { .. } => {
-            unreachable!("SELECT/INSERT execute through their compiled plans")
+        Stmt::Select(_) | Stmt::Insert { .. } | Stmt::Update { .. } | Stmt::Delete { .. } => {
+            unreachable!("DML executes through its compiled plan")
         }
     }
 }
@@ -1380,7 +1744,7 @@ pub(crate) fn execute<'db>(
     params: &[Value],
 ) -> Result<Rows<'db>> {
     match &**plan {
-        PhysicalPlan::StaticSelect(_) => run_static_select(db, plan, params),
+        PhysicalPlan::StaticSelect(_) => run_static_select(db, plan, params, true),
         PhysicalPlan::DynamicSelect => {
             let Stmt::Select(sel) = stmt else {
                 unreachable!("dynamic SELECT plan compiled from a non-SELECT statement");
@@ -1388,7 +1752,9 @@ pub(crate) fn execute<'db>(
             run_dynamic_select(db, sel, params)
         }
         PhysicalPlan::Insert(ip) => run_insert(db, stmt, ip, params),
-        PhysicalPlan::Other => run_other(db, stmt, params),
+        PhysicalPlan::Update(up) => run_update(db, up, params),
+        PhysicalPlan::Delete(dp) => run_delete(db, dp, params),
+        PhysicalPlan::Other => run_other(db, stmt),
     }
 }
 

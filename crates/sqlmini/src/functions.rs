@@ -282,6 +282,10 @@ pub fn register_builtin_table_fns(db: &Database) {
         push("plans_built", plans_built);
         push("plan_cache_hits", plan_cache_hits);
         push("agg_evals", db.agg_eval_count());
+        let (rows_scanned, zero_copy, fallbacks) = db.scan_stats();
+        push("rows_scanned", rows_scanned);
+        push("scans_zero_copy", zero_copy);
+        push("scan_fallbacks", fallbacks);
         push("stmt_cache_size", db.stmt_cache_len() as u64);
         push("stmt_cache_capacity", db.stmt_cache_capacity() as u64);
         for (name, count) in db.udf_call_counts() {

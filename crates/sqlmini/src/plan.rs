@@ -30,8 +30,8 @@
 use std::sync::Arc;
 
 use crate::ast::{
-    contains_aggregate, Expr, FromItem, InsertSource, SelectItem, SelectStmt, Stmt,
-    AGGREGATE_FUNCTIONS,
+    contains_aggregate, map_slots, walk_slots, Expr, FromItem, InsertSource, SelectItem,
+    SelectStmt, Stmt, AGGREGATE_FUNCTIONS,
 };
 use crate::db::Database;
 use crate::error::{Result, SqlError};
@@ -95,8 +95,11 @@ pub(crate) enum PhysicalPlan {
     DynamicSelect,
     /// INSERT with its target column mapping resolved.
     Insert(InsertPlan),
-    /// UPDATE / DELETE / DDL — executed directly from the AST (their
-    /// clause validation still happens here, at plan time).
+    /// UPDATE with its SET targets and expressions resolved.
+    Update(DmlPlan),
+    /// DELETE with its predicate resolved.
+    Delete(DmlPlan),
+    /// DDL — executed directly from the AST.
     Other,
 }
 
@@ -109,8 +112,69 @@ pub(crate) struct StaticSelectPlan {
     /// between the epoch check and the scan must surface as a stale-plan
     /// error, never as an out-of-bounds (or silently remapped) `Slot`.
     pub schemas: Vec<Vec<String>>,
-    /// The resolved operator pipeline.
+    /// Per scanned table: the column indices the statement actually
+    /// reads, ascending. Snapshot scans clone only these columns; the
+    /// pruned row is the concatenation of each table's used columns.
+    pub used_cols: Vec<Vec<usize>>,
+    /// The resolved operator pipeline. Every expression addresses the
+    /// **pruned** row layout.
     pub ops: SelectOps,
+    /// Zero-copy scan program (expressions in the **full** row layout of
+    /// the single scanned table), present when every scan-side
+    /// expression is re-entrancy-free — the executor then runs the scan
+    /// over borrowed rows under the table read guard, materializing only
+    /// the projection of rows that survive the filter.
+    pub zero: Option<ZeroScan>,
+}
+
+/// The under-guard half of a zero-copy scan: the statement's scan-side
+/// expressions, kept in the scanned table's full column layout so they
+/// evaluate directly against borrowed rows. Scalar calls index the same
+/// [`SelectOps::fns`] table as the pruned pipeline.
+pub(crate) struct ZeroScan {
+    /// WHERE predicate (full layout).
+    pub where_clause: Option<Expr>,
+    pub kind: ZeroScanKind,
+}
+
+/// What runs under the read guard for each statement shape.
+pub(crate) enum ZeroScanKind {
+    /// Plain / DISTINCT / ordered SELECT: the projection (and ORDER BY
+    /// keys) evaluate per surviving row; only their results materialize.
+    Select {
+        /// Projection expressions (full layout).
+        projections: Vec<Expr>,
+        /// ORDER BY keys (full layout); the sort itself runs after the
+        /// guard drops, over `(key, projected row)` pairs.
+        order_by: Vec<(Expr, bool)>,
+    },
+    /// Grouped query: the accumulation sweep (keys + aggregate
+    /// arguments, full layout) runs under the guard; emission reads the
+    /// memoized per-group values through the pruned pipeline afterwards.
+    Grouped(GroupPlan),
+}
+
+/// UPDATE / DELETE with the predicate (and SET expressions) resolved to
+/// the target table's column layout.
+pub(crate) struct DmlPlan {
+    /// Target table (lower-case).
+    pub table: String,
+    /// Target column names at plan time — re-checked under the guard so
+    /// a DDL race surfaces as a stale-plan error.
+    pub schema_cols: Vec<String>,
+    /// Schema positions assigned by SET, in statement order (UPDATE;
+    /// empty for DELETE).
+    pub set_idx: Vec<usize>,
+    /// SET value expressions, slot-resolved (UPDATE; empty for DELETE).
+    pub sets: Vec<Expr>,
+    /// WHERE predicate, slot-resolved.
+    pub where_clause: Option<Expr>,
+    /// Resolved scalar functions referenced by the expressions.
+    pub fns: Vec<PlanFn>,
+    /// Every expression is re-entrancy-free: the executor may evaluate
+    /// under the table's write guard and mutate matching rows in place
+    /// instead of snapshotting and rebuilding the table.
+    pub in_place: bool,
 }
 
 /// The operator pipeline of a SELECT after name resolution: filter →
@@ -279,7 +343,9 @@ pub(crate) fn compile(db: &Database, stmt: &Stmt) -> Result<PhysicalPlan> {
             }))
         }
         Stmt::Update {
-            sets, where_clause, ..
+            table,
+            sets,
+            where_clause,
         } => {
             for (_, e) in sets {
                 reject_aggregate("UPDATE", e)?;
@@ -287,15 +353,116 @@ pub(crate) fn compile(db: &Database, stmt: &Stmt) -> Result<PhysicalPlan> {
             if let Some(w) = where_clause {
                 reject_aggregate("WHERE", w)?;
             }
-            Ok(PhysicalPlan::Other)
+            let (plan, set_idx, resolved) =
+                compile_dml(db, table, where_clause.as_ref(), |schema| {
+                    let mut idx = Vec::with_capacity(sets.len());
+                    for (c, _) in sets {
+                        idx.push(schema.index_of(c).ok_or_else(|| {
+                            SqlError::UnknownColumn(format!("{c} in UPDATE SET"))
+                        })?);
+                    }
+                    Ok((idx, sets.iter().map(|(_, e)| e).collect()))
+                })?;
+            Ok(PhysicalPlan::Update(DmlPlan {
+                set_idx,
+                sets: resolved,
+                ..plan
+            }))
         }
-        Stmt::Delete { where_clause, .. } => {
+        Stmt::Delete {
+            table,
+            where_clause,
+        } => {
             if let Some(w) = where_clause {
                 reject_aggregate("WHERE", w)?;
             }
-            Ok(PhysicalPlan::Other)
+            let (plan, _, _) = compile_dml(db, table, where_clause.as_ref(), |_| {
+                Ok((Vec::new(), Vec::new()))
+            })?;
+            Ok(PhysicalPlan::Delete(plan))
         }
         Stmt::CreateTable { .. } | Stmt::DropTable { .. } => Ok(PhysicalPlan::Other),
+    }
+}
+
+/// Shared UPDATE/DELETE compilation: resolve the target schema, the SET
+/// columns/expressions (via `sets_of`) and the WHERE predicate, and
+/// classify whether everything may evaluate under the table's write
+/// guard (no expression can re-enter the database).
+fn compile_dml<'a>(
+    db: &Database,
+    table: &str,
+    where_clause: Option<&Expr>,
+    sets_of: impl FnOnce(&crate::table::Schema) -> Result<(Vec<usize>, Vec<&'a Expr>)>,
+) -> Result<(DmlPlan, Vec<usize>, Vec<Expr>)> {
+    let handle = db.get_table(table)?;
+    let (schema_cols, set_idx, set_exprs) = {
+        let guard = handle.read();
+        let cols: Vec<String> = guard
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let (idx, exprs) = sets_of(&guard.schema)?;
+        (cols, idx, exprs)
+    };
+    let binding = [Binding {
+        qualifier: table.to_string(),
+        columns: schema_cols.clone(),
+        offset: 0,
+    }];
+    let env = Env { bindings: &binding };
+    let mut resolver = Resolver {
+        db,
+        names: Vec::new(),
+        fns: Vec::new(),
+    };
+    let sets: Vec<Expr> = set_exprs
+        .into_iter()
+        .map(|e| resolve_cols(e, &env, &mut resolver))
+        .collect::<Result<_>>()?;
+    let where_clause = where_clause
+        .map(|w| resolve_cols(w, &env, &mut resolver))
+        .transpose()?;
+    let in_place = where_clause
+        .as_ref()
+        .is_none_or(|w| scan_safe(w, &resolver.fns))
+        && sets.iter().all(|e| scan_safe(e, &resolver.fns));
+    Ok((
+        DmlPlan {
+            table: table.to_ascii_lowercase(),
+            schema_cols,
+            set_idx: Vec::new(),
+            sets: Vec::new(),
+            where_clause,
+            fns: resolver.fns,
+            in_place,
+        },
+        set_idx,
+        sets,
+    ))
+}
+
+/// May this expression run while a table guard is held? True when it
+/// cannot re-enter the database: no raw function calls, and resolved
+/// calls only to native intrinsics.
+pub(crate) fn scan_safe(e: &Expr, fns: &[PlanFn]) -> bool {
+    match e {
+        Expr::Literal(_) | Expr::Param(_) | Expr::Slot(_) | Expr::GroupKey(_) | Expr::Agg(_) => {
+            true
+        }
+        Expr::Column { .. } | Expr::Function { .. } => false,
+        Expr::ScalarCall { f, args } => {
+            matches!(fns[*f], PlanFn::Intrinsic { .. }) && args.iter().all(|a| scan_safe(a, fns))
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+            scan_safe(expr, fns)
+        }
+        Expr::Binary { left, right, .. } => scan_safe(left, fns) && scan_safe(right, fns),
+        Expr::InList { expr, list, .. } => {
+            scan_safe(expr, fns) && list.iter().all(|e| scan_safe(e, fns))
+        }
     }
 }
 
@@ -341,13 +508,134 @@ fn compile_select(db: &Database, sel: &SelectStmt) -> Result<PhysicalPlan> {
         });
         tables.push(name.to_ascii_lowercase());
     }
-    let schemas = bindings.iter().map(|b| b.columns.clone()).collect();
-    let ops = build_select(db, sel, &bindings)?;
+    let schemas: Vec<Vec<String>> = bindings.iter().map(|b| b.columns.clone()).collect();
+    let mut ops = build_select(db, sel, &bindings)?;
+    let zero = build_zero_scan(&ops, tables.len());
+    let used_cols = prune_columns(&mut ops, &bindings);
     Ok(PhysicalPlan::StaticSelect(Box::new(StaticSelectPlan {
         tables,
         schemas,
+        used_cols,
         ops,
+        zero,
     })))
+}
+
+/// Classify a static plan's scan: when it reads a single table and every
+/// scan-side expression is re-entrancy-free, clone those expressions
+/// (still in the full column layout) into the zero-copy scan program the
+/// executor runs under the table read guard. Re-entrant expressions —
+/// UDFs that may call back into the database — keep the snapshot path,
+/// chosen here, per plan, never per row.
+fn build_zero_scan(ops: &SelectOps, n_tables: usize) -> Option<ZeroScan> {
+    if n_tables != 1 {
+        return None;
+    }
+    let safe = |e: &Expr| scan_safe(e, &ops.fns);
+    if !ops.where_clause.as_ref().is_none_or(safe) {
+        return None;
+    }
+    match &ops.group {
+        Some(gp) => {
+            // Grouped: only the accumulation sweep runs under the guard
+            // (emission reads memoized group values, so HAVING /
+            // projection / ORDER BY may still call arbitrary UDFs).
+            let sweep_safe =
+                gp.keys.iter().all(safe) && gp.aggs.iter().all(|c| c.args.iter().all(safe));
+            sweep_safe.then(|| ZeroScan {
+                where_clause: ops.where_clause.clone(),
+                kind: ZeroScanKind::Grouped(GroupPlan {
+                    keys: gp.keys.clone(),
+                    aggs: gp
+                        .aggs
+                        .iter()
+                        .map(|c| AggCall {
+                            op: c.op,
+                            args: c.args.clone(),
+                        })
+                        .collect(),
+                    // HAVING belongs to emission; the sweep never
+                    // evaluates it.
+                    having: None,
+                }),
+            })
+        }
+        None => {
+            let all_safe =
+                ops.projections.iter().all(safe) && ops.order_by.iter().all(|(e, _)| safe(e));
+            all_safe.then(|| ZeroScan {
+                where_clause: ops.where_clause.clone(),
+                kind: ZeroScanKind::Select {
+                    projections: ops.projections.clone(),
+                    order_by: ops.order_by.clone(),
+                },
+            })
+        }
+    }
+}
+
+/// Column pruning: compute the set of slots the pipeline actually reads,
+/// re-address every expression to the pruned row layout, and return each
+/// table's used column indices (what a snapshot scan must clone).
+fn prune_columns(ops: &mut SelectOps, bindings: &[Binding]) -> Vec<Vec<usize>> {
+    let mut used: Vec<usize> = Vec::new();
+    {
+        let mut mark = |i: usize| used.push(i);
+        for e in ops
+            .where_clause
+            .iter()
+            .chain(&ops.projections)
+            .chain(ops.order_by.iter().map(|(e, _)| e))
+        {
+            walk_slots(e, &mut mark);
+        }
+        if let Some(gp) = &ops.group {
+            for e in gp.keys.iter().chain(gp.aggs.iter().flat_map(|c| &c.args)) {
+                walk_slots(e, &mut mark);
+            }
+            if let Some(h) = &gp.having {
+                walk_slots(h, &mut mark);
+            }
+        }
+    }
+    used.sort_unstable();
+    used.dedup();
+    // Old flat slot -> pruned index.
+    let full_width = bindings.last().map_or(0, |b| b.offset + b.columns.len());
+    let mut map = vec![usize::MAX; full_width];
+    for (new, &old) in used.iter().enumerate() {
+        map[old] = new;
+    }
+    let mut remap = |i: usize| map[i];
+    for e in ops
+        .where_clause
+        .iter_mut()
+        .chain(ops.projections.iter_mut())
+        .chain(ops.order_by.iter_mut().map(|(e, _)| e))
+    {
+        map_slots(e, &mut remap);
+    }
+    if let Some(gp) = &mut ops.group {
+        for e in gp
+            .keys
+            .iter_mut()
+            .chain(gp.aggs.iter_mut().flat_map(|c| c.args.iter_mut()))
+        {
+            map_slots(e, &mut remap);
+        }
+        if let Some(h) = &mut gp.having {
+            map_slots(h, &mut remap);
+        }
+    }
+    bindings
+        .iter()
+        .map(|b| {
+            used.iter()
+                .filter(|&&s| s >= b.offset && s < b.offset + b.columns.len())
+                .map(|&s| s - b.offset)
+                .collect()
+        })
+        .collect()
 }
 
 /// Shared state of one resolution pass: the database (for scalar-function

@@ -117,6 +117,20 @@ impl Table {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// Clone the row storage keeping only the given columns, in `cols`
+    /// order — the column-pruned snapshot the executor takes when a scan
+    /// cannot run zero-copy. Cloning whole rows is the fast path when
+    /// every column is read.
+    pub fn project_rows(&self, cols: &[usize]) -> Vec<Row> {
+        if cols.len() == self.schema.len() && cols.iter().enumerate().all(|(i, &c)| i == c) {
+            return self.rows.clone();
+        }
+        self.rows
+            .iter()
+            .map(|r| cols.iter().map(|&i| r[i].clone()).collect())
+            .collect()
+    }
 }
 
 /// A materialized query result: schema-lite (names only matter for lookup)
@@ -271,6 +285,22 @@ mod tests {
             .insert(vec![Value::Text("x".into()), Value::Float(0.0)])
             .is_err());
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn project_rows_prunes_columns() {
+        let mut t = Table::new(schema());
+        t.insert(vec![Value::Int(1), Value::Float(1.5)]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Float(2.5)]).unwrap();
+        // Subset, preserving row order.
+        assert_eq!(
+            t.project_rows(&[1]),
+            vec![vec![Value::Float(1.5)], vec![Value::Float(2.5)]]
+        );
+        // Identity selection is the whole-row clone fast path.
+        assert_eq!(t.project_rows(&[0, 1]), t.rows);
+        // No used columns: row count preserved, rows empty.
+        assert_eq!(t.project_rows(&[]), vec![Vec::new(), Vec::new()]);
     }
 
     #[test]

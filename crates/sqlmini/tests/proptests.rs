@@ -255,6 +255,112 @@ proptest! {
         }
     }
 
+    /// The zero-copy scan (under the table read guard) and the snapshot
+    /// fallback produce identical results for every SELECT shape —
+    /// WHERE, ORDER BY (asc/desc), DISTINCT, LIMIT in all combinations.
+    /// The fallback is forced by routing the predicate through a
+    /// re-entrant UDF (`opaque`), which the planner must classify as
+    /// unsafe to run under a guard; the scan-strategy counters verify
+    /// each statement actually took the intended path.
+    #[test]
+    fn zero_copy_and_snapshot_scans_agree(
+        rows in proptest::collection::vec((0i64..5, -100i64..100), 0..50),
+        threshold in -101i64..101,
+        order in (0i64..3).prop_map(|o| match o {
+            0 => "",
+            1 => " ORDER BY k, v",
+            _ => " ORDER BY v DESC, k",
+        }),
+        distinct in (0i64..2).prop_map(|b| b == 1),
+        limit in (0u64..8).prop_map(|l| (l > 0).then_some(l)),
+    ) {
+        let db = Database::new();
+        // A raw-registered scalar: the planner cannot prove it stays out
+        // of the database, so any statement using it must snapshot.
+        db.register_scalar("opaque", |_db, args| Ok(args[0].clone()));
+        db.execute("CREATE TABLE t (k int, v int)").unwrap();
+        let insert = db.prepare("INSERT INTO t VALUES ($1, $2)").unwrap();
+        for (k, v) in &rows {
+            insert.query(&[Value::Int(*k), Value::Int(*v)]).unwrap();
+        }
+        let tail = format!(
+            "{order}{}",
+            limit.map(|l| format!(" LIMIT {l}")).unwrap_or_default()
+        );
+        let head = if distinct { "SELECT DISTINCT" } else { "SELECT" };
+        // DISTINCT + ORDER BY requires the sort keys in the select list —
+        // `k, v` always are.
+        let zero_sql = format!("{head} k, v FROM t WHERE v > {threshold}{tail}");
+        let snap_sql = format!("{head} k, v FROM t WHERE opaque(v) > {threshold}{tail}");
+        let (_, z0, f0) = db.scan_stats();
+        let zero = db.execute(&zero_sql).unwrap();
+        let (_, z1, f1) = db.scan_stats();
+        prop_assert_eq!(z1, z0 + 1, "safe scan must run zero-copy");
+        let snap = db.execute(&snap_sql).unwrap();
+        let (_, z2, f2) = db.scan_stats();
+        prop_assert_eq!(f2, f1 + 1, "re-entrant predicate must snapshot");
+        prop_assert_eq!(z2, z1, "re-entrant predicate must not run zero-copy");
+        prop_assert_eq!(&zero.rows, &snap.rows);
+        prop_assert_eq!(f1, f0, "safe scan must not snapshot");
+        // The streamed cursor agrees with both.
+        let streamed: Vec<Vec<Value>> = db
+            .query_rows(&zero_sql, &[])
+            .unwrap()
+            .collect::<pgfmu_sqlmini::Result<_>>()
+            .unwrap();
+        prop_assert_eq!(&zero.rows, &streamed);
+    }
+
+    /// In-place UPDATE / DELETE (predicates evaluated under one write
+    /// guard, matching rows touched by index) behave exactly like the
+    /// snapshot-rebuild fallback that re-entrant expressions still take:
+    /// same rows afterwards, same affected-row counts.
+    #[test]
+    fn in_place_dml_matches_snapshot_dml(
+        rows in proptest::collection::vec((0i64..6, -50i64..50), 0..40),
+        threshold in -51i64..51,
+        delta in 1i64..5,
+    ) {
+        let db = Database::new();
+        db.register_scalar("opaque", |_db, args| Ok(args[0].clone()));
+        for t in ["a", "b"] {
+            db.execute(&format!("CREATE TABLE {t} (k int, v int)")).unwrap();
+            let insert = db.prepare(&format!("INSERT INTO {t} VALUES ($1, $2)")).unwrap();
+            for (k, v) in &rows {
+                insert.query(&[Value::Int(*k), Value::Int(*v)]).unwrap();
+            }
+        }
+        let (_, z0, f0) = db.scan_stats();
+        let fast = db
+            .execute(&format!("UPDATE a SET v = v + {delta} WHERE k > {threshold}"))
+            .unwrap();
+        let (_, z1, _) = db.scan_stats();
+        prop_assert_eq!(z1, z0 + 1, "safe UPDATE runs in place");
+        let slow = db
+            .execute(&format!(
+                "UPDATE b SET v = opaque(v) + {delta} WHERE k > {threshold}"
+            ))
+            .unwrap();
+        let (_, z2, f2) = db.scan_stats();
+        prop_assert_eq!(z2, z1, "re-entrant UPDATE snapshots");
+        prop_assert!(f2 > f0);
+        prop_assert_eq!(&fast.rows, &slow.rows, "same affected-row count");
+        let qa = db.execute("SELECT k, v FROM a").unwrap();
+        let qb = db.execute("SELECT k, v FROM b").unwrap();
+        prop_assert_eq!(&qa.rows, &qb.rows, "same table contents after UPDATE");
+
+        let fast = db
+            .execute(&format!("DELETE FROM a WHERE v > {threshold}"))
+            .unwrap();
+        let slow = db
+            .execute(&format!("DELETE FROM b WHERE opaque(v) > {threshold}"))
+            .unwrap();
+        prop_assert_eq!(&fast.rows, &slow.rows, "same deleted-row count");
+        let qa = db.execute("SELECT k, v FROM a").unwrap();
+        let qb = db.execute("SELECT k, v FROM b").unwrap();
+        prop_assert_eq!(&qa.rows, &qb.rows, "same table contents after DELETE");
+    }
+
     /// A `$1` bind stores exactly the same value as the equivalent escaped
     /// literal — binds and interpolation are interchangeable (modulo the
     /// quoting hazards binds avoid entirely).

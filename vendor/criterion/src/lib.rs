@@ -3,13 +3,58 @@
 //! Provides the `criterion_group!` / `criterion_main!` macros, the
 //! [`Criterion`] builder and [`Bencher::iter`] so the workspace's benches
 //! compile (`cargo bench --no-run`) and run as quick smoke benchmarks.
-//! There is no statistics engine: each `bench_function` runs its closure in
-//! timed batches and reports the mean wall-clock time per iteration. The
-//! per-function time budget is the configured `measurement_time`, capped by
-//! the `PGFMU_BENCH_MAX_SECS` environment variable (default 1s) so a full
+//! Unlike upstream there is no full statistics engine, but each
+//! `bench_function` records per-sample wall-clock times and reports the
+//! **median ± MAD** (median absolute deviation) through the [`stats`]
+//! module — robust location/spread estimates that a stray
+//! context-switch cannot drag around the way a mean can. The per-function
+//! time budget is the configured `measurement_time`, capped by the
+//! `PGFMU_BENCH_MAX_SECS` environment variable (default 1s) so a full
 //! `cargo bench` sweep stays laptop-friendly.
 
 use std::time::{Duration, Instant};
+
+/// Robust summary statistics over raw timing samples — shared by the
+/// bench harness and the `repro bench` driver (which records them to
+/// `BENCH_PR*.json`).
+pub mod stats {
+    /// Median and median-absolute-deviation of a sample set.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Summary {
+        /// Median of the samples (0 when empty).
+        pub median: f64,
+        /// Median of `|x - median|` — a robust spread estimate.
+        pub mad: f64,
+        /// Number of samples summarized.
+        pub n: usize,
+    }
+
+    fn median_of(sorted: &[f64]) -> f64 {
+        let n = sorted.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    }
+
+    /// Summarize samples (any order; non-finite values are ignored).
+    pub fn summarize(samples: &[f64]) -> Summary {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
+        let median = median_of(&sorted);
+        let mut dev: Vec<f64> = sorted.iter().map(|v| (v - median).abs()).collect();
+        dev.sort_by(|a, b| a.partial_cmp(b).expect("finite deviations compare"));
+        Summary {
+            median,
+            mad: median_of(&dev),
+            n: sorted.len(),
+        }
+    }
+}
 
 /// Measurement configuration and bench registry entry point.
 pub struct Criterion {
@@ -55,15 +100,16 @@ impl Criterion {
             max_samples: self.sample_size,
             iters: 0,
             elapsed: Duration::ZERO,
+            samples: Vec::new(),
         };
         f(&mut b);
-        if b.iters == 0 {
+        if b.samples.is_empty() {
             println!("{id:<40} (no iterations recorded)");
         } else {
-            let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+            let s = stats::summarize(&b.samples);
             println!(
-                "{id:<40} {:>12.1} ns/iter ({} iterations)",
-                per_iter, b.iters
+                "{id:<40} {:>12.1} ns/iter (median, ±{:.1} MAD, {} samples)",
+                s.median, s.mad, s.n
             );
         }
         self
@@ -76,6 +122,8 @@ pub struct Bencher {
     max_samples: usize,
     iters: u64,
     elapsed: Duration,
+    /// Per-sample wall time in nanoseconds.
+    samples: Vec<f64>,
 }
 
 impl Bencher {
@@ -84,8 +132,11 @@ impl Bencher {
         std::hint::black_box(routine());
         let start = Instant::now();
         let mut iters = 0u64;
+        self.samples.clear();
         while iters < self.max_samples as u64 && start.elapsed() < self.budget {
+            let t0 = Instant::now();
             std::hint::black_box(routine());
+            self.samples.push(t0.elapsed().as_nanos() as f64);
             iters += 1;
         }
         self.iters = iters.max(1);
@@ -152,5 +203,25 @@ mod tests {
             .sample_size(10)
             .measurement_time(Duration::from_secs(2));
         assert!(c.budget() <= Duration::from_secs(2));
+    }
+
+    #[test]
+    fn median_and_mad_are_robust_to_outliers() {
+        // Odd count: exact middle element.
+        let s = stats::summarize(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.mad, 1.0);
+        assert_eq!(s.n, 3);
+        // Even count: midpoint of the central pair.
+        let s = stats::summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median, 2.5);
+        // A wild outlier barely moves the median and not the MAD, while
+        // the mean would be dragged to ~200.
+        let s = stats::summarize(&[10.0, 11.0, 9.0, 10.0, 1000.0]);
+        assert_eq!(s.median, 10.0);
+        assert_eq!(s.mad, 1.0);
+        // Non-finite samples are ignored; the empty set is all zeros.
+        let s = stats::summarize(&[f64::NAN, f64::INFINITY]);
+        assert_eq!((s.median, s.mad, s.n), (0.0, 0.0, 0));
     }
 }

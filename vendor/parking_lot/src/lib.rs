@@ -2,8 +2,14 @@
 //! locks exposing the poison-free API (`lock()` / `read()` / `write()`
 //! return guards directly). A poisoned std lock is recovered rather than
 //! propagated — matching `parking_lot`'s behaviour of never poisoning.
+//! [`RwLock::read_arc`] mirrors upstream's `arc_lock` feature: an owned
+//! read guard that keeps the lock alive through an `Arc`, usable where a
+//! borrowed guard's lifetime cannot be expressed (e.g. a cursor that
+//! holds a table's read lock while it streams).
 
+use std::mem::ManuallyDrop;
 use std::sync;
+use std::sync::Arc;
 
 pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
@@ -67,6 +73,60 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+impl<T: 'static> RwLock<T> {
+    /// Acquire a read lock whose guard owns a clone of the `Arc` instead
+    /// of borrowing the lock (upstream `parking_lot`'s
+    /// `RwLock::read_arc`, feature `arc_lock`). The lock is held until
+    /// the guard drops; the `Arc` keeps the lock allocation alive for at
+    /// least that long.
+    pub fn read_arc(self: &Arc<Self>) -> ArcRwLockReadGuard<T> {
+        let lock = Arc::clone(self);
+        let guard = lock.0.read().unwrap_or_else(|p| p.into_inner());
+        // SAFETY: the guard references the `RwLock` inside the `Arc`
+        // allocation, whose address is stable and which `lock` keeps
+        // alive for the guard's whole lifetime. `ArcRwLockReadGuard`
+        // drops the guard before the `Arc` and never exposes the
+        // lifetime-extended guard itself.
+        let guard = unsafe {
+            std::mem::transmute::<RwLockReadGuard<'_, T>, RwLockReadGuard<'static, T>>(guard)
+        };
+        ArcRwLockReadGuard {
+            guard: ManuallyDrop::new(guard),
+            _lock: lock,
+        }
+    }
+}
+
+/// An owned read guard: holds the `Arc<RwLock<T>>` it locked. See
+/// [`RwLock::read_arc`].
+pub struct ArcRwLockReadGuard<T: ?Sized + 'static> {
+    /// Declared (and dropped) before `_lock`: the guard must release the
+    /// lock while the `Arc` still keeps it alive.
+    guard: ManuallyDrop<RwLockReadGuard<'static, T>>,
+    _lock: Arc<RwLock<T>>,
+}
+
+impl<T: ?Sized + 'static> std::ops::Deref for ArcRwLockReadGuard<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized + 'static> Drop for ArcRwLockReadGuard<T> {
+    fn drop(&mut self) {
+        // SAFETY: dropped exactly once, before `_lock`.
+        unsafe { ManuallyDrop::drop(&mut self.guard) };
+    }
+}
+
+impl<T: ?Sized + 'static + std::fmt::Debug> std::fmt::Debug for ArcRwLockReadGuard<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +157,27 @@ mod tests {
         let m = Mutex::new(0);
         let _g = m.lock();
         assert!(m.try_lock().is_none());
+    }
+
+    #[test]
+    fn arc_read_guard_outlives_its_borrow_site() {
+        let l = Arc::new(RwLock::new(String::from("pinned")));
+        let g = {
+            // The borrowed `&Arc` goes out of scope; the guard lives on.
+            let local = Arc::clone(&l);
+            local.read_arc()
+        };
+        assert_eq!(&*g, "pinned");
+        // Other readers coexist with the owned guard.
+        assert_eq!(l.read().len(), 6);
+        drop(g);
+        l.write().push('!');
+        assert_eq!(&*l.read(), "pinned!");
+    }
+
+    #[test]
+    fn arc_read_guard_keeps_lock_alive_after_last_external_arc() {
+        let g = Arc::new(RwLock::new(vec![1, 2, 3])).read_arc();
+        assert_eq!(g.len(), 3);
     }
 }
