@@ -12,9 +12,11 @@
 //! `bench` times the SQL hot paths (parse, cached plan execution, `$n`
 //! binds, the zero-copy scan paths — streamed vs materialized, ordered,
 //! in-place UPDATE/DELETE — the grouped rollup vs. its client-side fold,
-//! and a full 672 h FMU simulation) and writes per-bench robust medians
-//! (`{"median_ns": …, "mad_ns": …}`, see `criterion::stats`) to
-//! `BENCH_PR5.json` so the performance trajectory accumulates across PRs.
+//! a concurrent read-while-ingest workload that the pre-MVCC engine
+//! rejected outright, and a full 672 h FMU simulation) and writes
+//! per-bench robust medians (`{"median_ns": …, "mad_ns": …}`, see
+//! `criterion::stats`) to `BENCH_PR6.json` so the performance
+//! trajectory accumulates across PRs.
 
 use pgfmu_bench::report::{fmt_secs, render};
 use pgfmu_bench::setup::{bench_session, ModelKind, ALL_MODELS};
@@ -82,7 +84,7 @@ fn main() {
         run_grouped(&profile);
     }
     if want("bench") {
-        run_bench_json("BENCH_PR5.json");
+        run_bench_json("BENCH_PR6.json");
     }
 }
 
@@ -308,6 +310,36 @@ fn run_bench_json(path: &str) {
             del.query(params![-1e12]).unwrap();
         }),
     );
+    // Concurrent read-while-ingest: a writer thread appends the HP1
+    // rows through the bound INSERT while this thread keeps a streaming
+    // cursor churning over the growing table. Before MVCC this workload
+    // was impossible by construction — any open cursor made writes to
+    // the table error out — so the sample is the wall time for the full
+    // ingest with a reader continuously streaming against it.
+    push(
+        "sql_concurrent_read_while_ingest",
+        sample_ns(20, || {
+            std::thread::scope(|s| {
+                let writer = s.spawn(|| {
+                    let ins = db
+                        .prepare("INSERT INTO scratch VALUES ($1, $2, $3)")
+                        .unwrap();
+                    for i in 0..n_rows {
+                        ins.query(params![Value::Timestamp(ts[i]), xs[i], us[i]])
+                            .unwrap();
+                    }
+                });
+                let scan = db.prepare("SELECT x FROM scratch").unwrap();
+                while !writer.is_finished() {
+                    scan.query_rows(params![]).unwrap().for_each(|r| {
+                        black_box(r.unwrap());
+                    });
+                }
+                writer.join().unwrap();
+            });
+            db.execute("DELETE FROM scratch").unwrap();
+        }),
+    );
 
     // The per-day energy rollup over simulated output: grouped SQL
     // statement (index-bucketed grouping, memoized aggregates) vs. the
@@ -351,6 +383,8 @@ fn run_bench_json(path: &str) {
     }
 
     let (rows_scanned, zero_copy, fallbacks) = db.scan_stats();
+    let (txns_committed, txns_rolled_back) = db.txn_stats();
+    let versions_gc = db.gc_stats();
     let mut json = String::from("{\n");
     for (name, s) in &results {
         json.push_str(&format!(
@@ -360,7 +394,10 @@ fn run_bench_json(path: &str) {
     }
     json.push_str(&format!(
         "  \"pgfmu_stats\": {{\"rows_scanned\": {rows_scanned}, \
-         \"scans_zero_copy\": {zero_copy}, \"scan_fallbacks\": {fallbacks}}}\n"
+         \"scans_zero_copy\": {zero_copy}, \"scan_fallbacks\": {fallbacks}, \
+         \"txns_committed\": {txns_committed}, \
+         \"txns_rolled_back\": {txns_rolled_back}, \
+         \"versions_gc\": {versions_gc}}}\n"
     ));
     json.push_str("}\n");
     std::fs::write(path, &json).unwrap();
@@ -372,7 +409,8 @@ fn run_bench_json(path: &str) {
     }
     println!(
         "scan counters: {rows_scanned} rows scanned, {zero_copy} zero-copy scans, \
-         {fallbacks} snapshot scans (zero-copy confirmed via pgfmu_stats())"
+         {fallbacks} snapshot scans (zero-copy confirmed via pgfmu_stats()); \
+         {versions_gc} dead row versions reclaimed by GC"
     );
     println!("wrote {path}\n");
 }

@@ -48,6 +48,12 @@ pub enum Stmt {
         /// `IF EXISTS` given.
         if_exists: bool,
     },
+    /// `BEGIN [TRANSACTION | WORK]` / `START TRANSACTION`
+    Begin,
+    /// `COMMIT [TRANSACTION | WORK]` / `END [TRANSACTION | WORK]`
+    Commit,
+    /// `ROLLBACK [TRANSACTION | WORK]` / `ABORT [TRANSACTION | WORK]`
+    Rollback,
 }
 
 /// Row source of an INSERT.
@@ -408,7 +414,11 @@ pub fn max_param(stmt: &Stmt) -> usize {
             .unwrap_or(0)
             .max(where_clause.as_ref().map(max_param_expr).unwrap_or(0)),
         Stmt::Delete { where_clause, .. } => where_clause.as_ref().map(max_param_expr).unwrap_or(0),
-        Stmt::CreateTable { .. } | Stmt::DropTable { .. } => 0,
+        Stmt::CreateTable { .. }
+        | Stmt::DropTable { .. }
+        | Stmt::Begin
+        | Stmt::Commit
+        | Stmt::Rollback => 0,
     }
 }
 

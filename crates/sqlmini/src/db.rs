@@ -25,9 +25,10 @@
 //! with [`Statement::query_rows`]) skips both re-parsing and literal
 //! quoting entirely.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::ThreadId;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -38,20 +39,11 @@ use crate::exec::{self, Rows};
 use crate::functions::{self, ScalarFn, TableFn};
 use crate::parser;
 use crate::plan::{self, PhysicalPlan};
-use crate::table::{QueryResult, Row, Table};
+use crate::table::{QueryResult, Row, Snapshot, Table, UNCOMMITTED};
 use crate::value::Value;
 
 /// Default bound on the number of cached prepared statements.
 pub const DEFAULT_STMT_CACHE_CAPACITY: usize = 256;
-
-std::thread_local! {
-    /// Tables whose read guards are held by live streaming cursors on
-    /// this thread (keyed by the table lock's address). The engine's
-    /// write paths consult this to turn a same-thread
-    /// write-while-streaming into an error instead of a deadlock.
-    static HELD_READ_GUARDS: std::cell::RefCell<Vec<usize>> =
-        const { std::cell::RefCell::new(Vec::new()) };
-}
 
 /// One parsed statement plus its lazily compiled physical plan, shared by
 /// every [`Statement`] handle with the same text.
@@ -205,29 +197,95 @@ impl<'db> Statement<'db> {
     /// no re-planning, no expression clones.
     ///
     /// A plain single-table `SELECT` whose expressions cannot re-enter
-    /// the database streams **zero-copy**: the cursor holds the scanned
-    /// table's read guard until it is drained or dropped. While the
-    /// cursor is live, treat the scanned table as read-locked: a
-    /// same-thread write to it fails with an execution error (instead of
-    /// deadlocking), and even a same-thread *read* of it should be
-    /// avoided — on writer-preferring lock implementations it can queue
-    /// behind a waiting writer from another thread and deadlock. Drain
-    /// or drop the cursor first; materializing consumers like
-    /// [`Statement::query`] and `query_as` finish their cursor
-    /// internally and are never affected.
+    /// the database streams **zero-copy**: the cursor pins an MVCC
+    /// snapshot of the scanned table and refills its row buffer in short
+    /// batches under the table's read guard, holding no lock between
+    /// batches. The table stays fully writable — even from the same
+    /// thread, mid-stream — and the cursor keeps seeing the consistent
+    /// snapshot it pinned; writes committed after the cursor opened are
+    /// invisible to it. Dropping the cursor releases its snapshot pin
+    /// immediately.
     pub fn query_rows(&self, params: &[Value]) -> Result<Rows<'db>> {
-        self.check_binds(params)?;
-        let plan = self.db.plan_for(&self.prepared)?;
-        exec::execute(self.db, &self.prepared.stmt, &plan, params)
+        // An aborted transaction rejects statements before they are even
+        // planned (PostgreSQL wording), and any pre-execution failure —
+        // bad bind count, plan-time error such as an unknown function —
+        // aborts an open transaction exactly like an execution failure.
+        if !matches!(*self.prepared.stmt, ast::Stmt::Commit | ast::Stmt::Rollback) {
+            self.db.check_txn_ok()?;
+        }
+        let run = || {
+            self.check_binds(params)?;
+            let plan = self.db.plan_for(&self.prepared)?;
+            exec::execute(self.db, &self.prepared.stmt, &plan, params)
+        };
+        run().inspect_err(|_| self.db.abort_txn())
     }
 
     /// Execute and decode each row into `T` (scalars, `Option`, tuples —
-    /// see [`FromRow`]). Rows are decoded as they stream.
+    /// see [`FromRow`]). The result is materialized through the bulk
+    /// scan path (one guard acquisition) and decoded in place — the
+    /// output is a `Vec` either way, so nothing is saved by streaming.
     pub fn query_as<T: FromRow>(&self, params: &[Value]) -> Result<Vec<T>> {
-        self.query_rows(params)?
-            .map(|r| r.and_then(|row| T::from_row(&row)))
-            .collect()
+        let q = self.query(params)?;
+        q.rows.iter().map(|row| T::from_row(row)).collect()
     }
+}
+
+/// One undo-log record of an open transaction, applied in reverse on
+/// ROLLBACK. Each record maps onto one statement's worth of the existing
+/// error-before-mutation DML, so replaying the log restores the exact
+/// pre-transaction state.
+pub(crate) enum UndoEntry {
+    /// A DML statement: versions it created (to tombstone) and versions
+    /// it end-stamped (to resurrect), by index into the table's heap.
+    /// The indices stay valid because the transaction pins the table
+    /// against compaction.
+    Write {
+        handle: Arc<RwLock<Table>>,
+        created: Vec<usize>,
+        ended: Vec<usize>,
+    },
+    /// `CREATE TABLE` ran: drop it again on rollback.
+    CreateTable { name: String },
+    /// `DROP TABLE` ran: the displaced handle, reinstated on rollback.
+    DropTable {
+        name: String,
+        handle: Arc<RwLock<Table>>,
+    },
+}
+
+/// The state of one session's open transaction. Sessions are threads:
+/// the [`Database`] keys open transactions by [`ThreadId`].
+struct Txn {
+    /// Transaction id, stamped as `UNCOMMITTED | txid` on pending writes.
+    txid: u64,
+    /// Snapshot pinned at BEGIN — every statement in the transaction
+    /// reads at this timestamp (snapshot isolation).
+    ts: u64,
+    /// Set when a statement errored; everything but COMMIT/ROLLBACK is
+    /// then rejected, and COMMIT rolls back.
+    aborted: bool,
+    /// Schema epoch at BEGIN plus the number of epoch bumps this
+    /// transaction performed — used to restore the epoch exactly when a
+    /// ROLLBACK undoes DDL.
+    epoch0: u64,
+    ddl_bumps: u64,
+    /// Undo log, applied in reverse on rollback.
+    undo: Vec<UndoEntry>,
+    /// Tables pinned against compaction (once per recorded write).
+    pinned: Vec<Arc<RwLock<Table>>>,
+}
+
+/// The write stamp a DML statement should put on the versions it creates
+/// and ends: a freshly allocated commit timestamp when auto-committing,
+/// or the owning transaction's `UNCOMMITTED | txid` mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WriteTxn {
+    /// No open transaction: the statement commits by itself.
+    Auto,
+    /// Inside `BEGIN … COMMIT`: stamp with the transaction id and record
+    /// an undo entry.
+    Txn { txid: u64 },
 }
 
 /// An in-memory SQL database with UDF support.
@@ -251,6 +309,24 @@ pub struct Database {
     rows_scanned: AtomicU64,
     scans_zero_copy: AtomicU64,
     scan_fallbacks: AtomicU64,
+    /// The commit clock. A statement's snapshot is the clock value when
+    /// it starts; each committing write advances the clock and stamps its
+    /// versions with the new value, so writes are invisible to snapshots
+    /// pinned before them.
+    clock: AtomicU64,
+    /// Transaction-id allocator (ids start at 1; 0 means "no txn").
+    txid_gen: AtomicU64,
+    /// Open transactions by session (= thread).
+    txns: Mutex<HashMap<ThreadId, Txn>>,
+    /// Fast-path count of open transactions: when 0, per-statement
+    /// transaction lookups are skipped entirely.
+    txn_count: AtomicU64,
+    /// Snapshot timestamps pinned by open transactions (refcounted).
+    /// The garbage collector's watermark is the oldest key.
+    pinned_snapshots: Mutex<BTreeMap<u64, usize>>,
+    txns_committed: AtomicU64,
+    txns_rolled_back: AtomicU64,
+    versions_gc: AtomicU64,
 }
 
 impl Default for Database {
@@ -278,6 +354,14 @@ impl Database {
             rows_scanned: AtomicU64::new(0),
             scans_zero_copy: AtomicU64::new(0),
             scan_fallbacks: AtomicU64::new(0),
+            clock: AtomicU64::new(1),
+            txid_gen: AtomicU64::new(0),
+            txns: Mutex::new(HashMap::new()),
+            txn_count: AtomicU64::new(0),
+            pinned_snapshots: Mutex::new(BTreeMap::new()),
+            txns_committed: AtomicU64::new(0),
+            txns_rolled_back: AtomicU64::new(0),
+            versions_gc: AtomicU64::new(0),
         };
         functions::register_builtin_scalars(&db);
         functions::register_builtin_table_fns(&db);
@@ -336,13 +420,28 @@ impl Database {
     }
 
     /// Bulk-insert rows through the coercion path (loader convenience).
+    /// Atomic: every row is validated before any is stored. Honors an
+    /// open transaction on the calling thread.
     pub fn insert_rows(&self, table: &str, rows: Vec<Row>) -> Result<usize> {
         let handle = self.get_table(table)?;
-        Self::check_writable(table, &handle)?;
+        let txn = self.write_txn();
+        if let WriteTxn::Txn { .. } = txn {
+            self.txn_pin(&handle);
+        }
         let mut guard = handle.write();
-        let n = rows.len();
-        for r in rows {
-            guard.insert(r)?;
+        let coerced: Result<Vec<Row>> = rows.into_iter().map(|r| guard.coerce_row(r)).collect();
+        let coerced = coerced?;
+        let n = coerced.len();
+        let stamp = match txn {
+            WriteTxn::Auto => self.commit_ts(),
+            WriteTxn::Txn { txid } => UNCOMMITTED | txid,
+        };
+        let created: Vec<usize> = coerced
+            .into_iter()
+            .map(|r| guard.push_version(stamp, r))
+            .collect();
+        if let WriteTxn::Txn { .. } = txn {
+            self.txn_record_write(&handle, created, Vec::new());
         }
         Ok(n)
     }
@@ -491,7 +590,9 @@ impl Database {
             return Ok(Statement { db: self, prepared });
         }
         self.parses.fetch_add(1, Ordering::Relaxed);
-        let parsed = Arc::new(parser::parse(sql)?);
+        // A syntax error aborts an open transaction (PostgreSQL reports
+        // the parse error itself, but the transaction is done for).
+        let parsed = Arc::new(parser::parse(sql).inspect_err(|_| self.abort_txn())?);
         let n_params = ast::max_param(&parsed);
         let prepared = Arc::new(Prepared::new(parsed, n_params));
         self.stmt_cache
@@ -545,41 +646,374 @@ impl Database {
         self.rows_scanned.fetch_add(rows, Ordering::Relaxed);
     }
 
-    /// Register a streaming cursor's read guard on this thread (see
-    /// [`Database::check_writable`]). Returns the key to release.
-    pub(crate) fn note_cursor_guard(handle: &Arc<parking_lot::RwLock<Table>>) -> usize {
-        let key = Arc::as_ptr(handle) as usize;
-        HELD_READ_GUARDS.with(|g| g.borrow_mut().push(key));
-        key
-    }
+    // ---- transactions, snapshots and garbage collection ---------------------
 
-    /// Release a streaming cursor's read-guard registration.
-    pub(crate) fn release_cursor_guard(key: usize) {
-        HELD_READ_GUARDS.with(|g| {
-            let mut held = g.borrow_mut();
-            if let Some(pos) = held.iter().rposition(|&k| k == key) {
-                held.remove(pos);
+    /// The snapshot the current statement should read at: the open
+    /// transaction's pinned timestamp on this thread, or "now" (the
+    /// current commit clock, no txid) outside a transaction.
+    pub(crate) fn current_snapshot(&self) -> Snapshot {
+        if self.txn_count.load(Ordering::SeqCst) > 0 {
+            let txns = self.txns.lock();
+            if let Some(t) = txns.get(&std::thread::current().id()) {
+                return Snapshot {
+                    ts: t.ts,
+                    txid: t.txid,
+                };
             }
-        });
+        }
+        Snapshot {
+            ts: self.clock.load(Ordering::SeqCst),
+            txid: 0,
+        }
     }
 
-    /// Fail loudly — instead of deadlocking — when this thread tries to
-    /// write a table that one of its own live streaming cursors is
-    /// reading zero-copy. Writers on *other* threads simply wait for the
-    /// cursor, as for any reader.
-    pub(crate) fn check_writable(
-        table: &str,
-        handle: &Arc<parking_lot::RwLock<Table>>,
-    ) -> Result<()> {
-        let key = Arc::as_ptr(handle) as usize;
-        let held = HELD_READ_GUARDS.with(|g| g.borrow().contains(&key));
-        if held {
-            return Err(SqlError::Execution(format!(
-                "cannot write to relation \"{table}\" while a streaming cursor \
-                 is reading it zero-copy — drain or drop the cursor first"
-            )));
+    /// How the current statement's writes should be stamped: auto-commit,
+    /// or marked with this thread's open transaction id.
+    pub(crate) fn write_txn(&self) -> WriteTxn {
+        if self.txn_count.load(Ordering::SeqCst) > 0 {
+            let txns = self.txns.lock();
+            if let Some(t) = txns.get(&std::thread::current().id()) {
+                return WriteTxn::Txn { txid: t.txid };
+            }
         }
-        Ok(())
+        WriteTxn::Auto
+    }
+
+    /// Allocate a commit timestamp. Callers must hold the write guard of
+    /// every table they are stamping *before* allocating, so that any
+    /// snapshot new enough to see the timestamp blocks on those guards
+    /// until the stamps are complete.
+    pub(crate) fn commit_ts(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// True when nothing in the system can ever read below `cts`: no
+    /// transaction has a snapshot pinned before it. Together with the
+    /// written table being unpinned (no live cursors — checked by the
+    /// caller under the table's *write* guard, which excludes new pins)
+    /// this licenses the single-version fast path: an auto-commit
+    /// UPDATE/DELETE may mutate the current version in place instead of
+    /// versioning it, because every statement snapshot is loaded while
+    /// holding the table's guard ([`Database::begin_txn`] closes the one
+    /// unguarded load by registering under this same lock).
+    pub(crate) fn overwrite_safe(&self, cts: u64) -> bool {
+        self.pinned_snapshots
+            .lock()
+            .keys()
+            .next()
+            .is_none_or(|&oldest| oldest >= cts)
+    }
+
+    /// Allocate a transaction id. Auto-commit statements that stream
+    /// their source rows use one too: the rows go in uncommitted (marked
+    /// with the id) and are stamped — or tombstoned, on error — only when
+    /// the stream finishes, which is what makes the statement atomic.
+    pub(crate) fn next_txid(&self) -> u64 {
+        self.txid_gen.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// True when the calling thread has an open transaction.
+    pub fn in_transaction(&self) -> bool {
+        self.txn_count.load(Ordering::SeqCst) > 0
+            && self.txns.lock().contains_key(&std::thread::current().id())
+    }
+
+    /// Reject further statements in an aborted transaction (PostgreSQL
+    /// behaviour and wording). COMMIT/ROLLBACK are exempt — the executor
+    /// does not route them here.
+    pub(crate) fn check_txn_ok(&self) -> Result<()> {
+        if self.txn_count.load(Ordering::SeqCst) == 0 {
+            return Ok(());
+        }
+        let txns = self.txns.lock();
+        match txns.get(&std::thread::current().id()) {
+            Some(t) if t.aborted => Err(SqlError::Execution(
+                "current transaction is aborted, commands ignored until end of \
+                 transaction block"
+                    .into(),
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// Mark this thread's open transaction aborted after a failed
+    /// statement (no-op outside a transaction).
+    pub(crate) fn abort_txn(&self) {
+        if self.txn_count.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        if let Some(t) = self.txns.lock().get_mut(&std::thread::current().id()) {
+            t.aborted = true;
+        }
+    }
+
+    /// Pin a table against compaction for the rest of this thread's open
+    /// transaction (undo entries hold version indices into it). Must be
+    /// called *before* the statement takes the table's write guard.
+    pub(crate) fn txn_pin(&self, handle: &Arc<RwLock<Table>>) {
+        handle.read().pin();
+        if let Some(t) = self.txns.lock().get_mut(&std::thread::current().id()) {
+            t.pinned.push(Arc::clone(handle));
+        } else {
+            // No open transaction (raced with an external rollback):
+            // release immediately rather than leak the pin.
+            handle.read().unpin();
+        }
+    }
+
+    /// Append one statement's worth of pending writes to this thread's
+    /// undo log.
+    pub(crate) fn txn_record_write(
+        &self,
+        handle: &Arc<RwLock<Table>>,
+        created: Vec<usize>,
+        ended: Vec<usize>,
+    ) {
+        if created.is_empty() && ended.is_empty() {
+            return;
+        }
+        if let Some(t) = self.txns.lock().get_mut(&std::thread::current().id()) {
+            t.undo.push(UndoEntry::Write {
+                handle: Arc::clone(handle),
+                created,
+                ended,
+            });
+        }
+    }
+
+    /// Record a DDL undo entry (CREATE/DROP TABLE inside a transaction)
+    /// and count the schema-epoch bump it caused, so ROLLBACK can restore
+    /// the epoch exactly.
+    pub(crate) fn txn_record_ddl(&self, entry: UndoEntry) {
+        if let Some(t) = self.txns.lock().get_mut(&std::thread::current().id()) {
+            t.ddl_bumps += 1;
+            t.undo.push(entry);
+        }
+    }
+
+    /// `BEGIN`: open a transaction on this thread. Returns `false` (with
+    /// no other effect) when one is already open — the caller issues the
+    /// PostgreSQL notice.
+    pub(crate) fn begin_txn(&self) -> bool {
+        let mut txns = self.txns.lock();
+        let thread = std::thread::current().id();
+        if txns.contains_key(&thread) {
+            return false;
+        }
+        // Read the clock *inside* the registry lock: a writer probing
+        // `overwrite_safe` after this either sees the registration, or
+        // took the lock first — in which case this load happens after its
+        // clock bump and the pinned timestamp lands at or above its cts.
+        let ts = {
+            let mut pins = self.pinned_snapshots.lock();
+            let ts = self.clock.load(Ordering::SeqCst);
+            *pins.entry(ts).or_insert(0) += 1;
+            ts
+        };
+        txns.insert(
+            thread,
+            Txn {
+                txid: self.next_txid(),
+                ts,
+                aborted: false,
+                epoch0: self.schema_epoch.load(Ordering::SeqCst),
+                ddl_bumps: 0,
+                undo: Vec::new(),
+                pinned: Vec::new(),
+            },
+        );
+        self.txn_count.fetch_add(1, Ordering::SeqCst);
+        true
+    }
+
+    /// `COMMIT`: publish this thread's pending writes atomically under
+    /// one fresh commit timestamp. Returns `false` when no transaction is
+    /// open; an aborted transaction rolls back instead (PostgreSQL
+    /// behaviour).
+    pub(crate) fn commit_txn(&self) -> Result<bool> {
+        let txn = match self.take_txn() {
+            Some(t) => t,
+            None => return Ok(false),
+        };
+        if txn.aborted {
+            self.apply_rollback(txn);
+            return Ok(true);
+        }
+        // Merge per-statement write entries by table so each guard is
+        // taken once, then hold *all* the guards while allocating the
+        // commit timestamp and stamping (see `commit_ts`).
+        type PendingStamps = (Arc<RwLock<Table>>, Vec<usize>, Vec<usize>);
+        let mut by_table: Vec<PendingStamps> = Vec::new();
+        for entry in &txn.undo {
+            if let UndoEntry::Write {
+                handle,
+                created,
+                ended,
+            } = entry
+            {
+                match by_table.iter_mut().find(|(h, _, _)| Arc::ptr_eq(h, handle)) {
+                    Some((_, c, e)) => {
+                        c.extend_from_slice(created);
+                        e.extend_from_slice(ended);
+                    }
+                    None => by_table.push((Arc::clone(handle), created.clone(), ended.clone())),
+                }
+            }
+        }
+        // A deterministic lock order prevents deadlock between commits.
+        by_table.sort_by_key(|(h, _, _)| Arc::as_ptr(h) as usize);
+        {
+            let mut guards: Vec<_> = by_table.iter().map(|(h, _, _)| h.write()).collect();
+            let cts = self.commit_ts();
+            for (guard, (_, created, ended)) in guards.iter_mut().zip(&by_table) {
+                for &i in created {
+                    guard.commit_begin(i, txn.txid, cts);
+                }
+                for &i in ended {
+                    guard.commit_end(i, txn.txid, cts);
+                }
+            }
+        }
+        self.finish_txn(&txn);
+        self.txns_committed.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// `ROLLBACK`: discard this thread's pending writes. Returns `false`
+    /// when no transaction is open.
+    pub(crate) fn rollback_txn(&self) -> bool {
+        match self.take_txn() {
+            Some(t) => {
+                self.apply_rollback(t);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Detach this thread's transaction from the session map.
+    fn take_txn(&self) -> Option<Txn> {
+        if self.txn_count.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let taken = self.txns.lock().remove(&std::thread::current().id());
+        if taken.is_some() {
+            self.txn_count.fetch_sub(1, Ordering::SeqCst);
+        }
+        taken
+    }
+
+    /// Replay the undo log in reverse, restoring tables, the catalog and
+    /// the schema epoch to their pre-transaction state.
+    fn apply_rollback(&self, mut txn: Txn) {
+        while let Some(entry) = txn.undo.pop() {
+            match entry {
+                UndoEntry::Write {
+                    handle,
+                    created,
+                    ended,
+                } => {
+                    let mut guard = handle.write();
+                    for &i in &ended {
+                        guard.revert_end(i, txn.txid);
+                    }
+                    for &i in &created {
+                        guard.revert_insert(i, txn.txid);
+                    }
+                }
+                UndoEntry::CreateTable { name } => {
+                    self.tables.write().remove(&name);
+                    self.schema_epoch.fetch_add(1, Ordering::SeqCst);
+                    txn.ddl_bumps += 1;
+                }
+                UndoEntry::DropTable { name, handle } => {
+                    self.tables.write().insert(name, handle);
+                    self.schema_epoch.fetch_add(1, Ordering::SeqCst);
+                    txn.ddl_bumps += 1;
+                }
+            }
+        }
+        // Undoing DDL bumped the epoch past where the transaction left
+        // it. If no concurrent session moved it meanwhile, snap it back
+        // to its pre-transaction value so statement-cache plans compiled
+        // before BEGIN validate again; otherwise leave the bumps in
+        // place (they only force replans, never stale reads).
+        if txn.ddl_bumps > 0 {
+            let _ = self.schema_epoch.compare_exchange(
+                txn.epoch0 + txn.ddl_bumps,
+                txn.epoch0,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+        self.finish_txn(&txn);
+        self.txns_rolled_back.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Release a finished transaction's table pins and snapshot pin.
+    fn finish_txn(&self, txn: &Txn) {
+        for handle in &txn.pinned {
+            handle.read().unpin();
+        }
+        let mut pins = self.pinned_snapshots.lock();
+        if let Some(n) = pins.get_mut(&txn.ts) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&txn.ts);
+            }
+        }
+    }
+
+    /// The GC watermark: no live snapshot reads below this timestamp, so
+    /// versions dead at or before it are unreachable. Streaming cursors
+    /// and snapshot DML don't register here — they pin their tables
+    /// against compaction instead.
+    pub(crate) fn gc_watermark(&self) -> u64 {
+        let pinned = self.pinned_snapshots.lock();
+        match pinned.keys().next() {
+            Some(&oldest) => oldest,
+            None => self.clock.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Opportunistic garbage collection, called by write paths while they
+    /// already hold the table's write guard.
+    pub(crate) fn maybe_gc(&self, table: &mut Table) {
+        if table.needs_gc() {
+            let freed = table.compact(self.gc_watermark());
+            self.versions_gc.fetch_add(freed as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Reclaim dead row versions in every table, regardless of the
+    /// accumulation threshold the opportunistic collector uses. Tables
+    /// pinned by live cursors or open transactions are skipped. Returns
+    /// the number of versions reclaimed.
+    pub fn vacuum(&self) -> usize {
+        let handles: Vec<Arc<RwLock<Table>>> = self.tables.read().values().cloned().collect();
+        let watermark = self.gc_watermark();
+        let mut freed = 0;
+        for handle in handles {
+            freed += handle.write().compact(watermark);
+        }
+        self.versions_gc.fetch_add(freed as u64, Ordering::Relaxed);
+        freed
+    }
+
+    /// `(transactions committed, transactions rolled back)` since
+    /// creation. Rolled-back counts include aborted transactions closed
+    /// by COMMIT.
+    pub fn txn_stats(&self) -> (u64, u64) {
+        (
+            self.txns_committed.load(Ordering::Relaxed),
+            self.txns_rolled_back.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of dead row versions reclaimed by the garbage collector
+    /// since creation.
+    pub fn gc_stats(&self) -> u64 {
+        self.versions_gc.load(Ordering::Relaxed)
     }
 
     /// `(rows scanned, zero-copy scans, snapshot scans)` since creation.
@@ -645,7 +1079,7 @@ impl Database {
     /// benchmarks to isolate the prepared-statement effect).
     pub fn execute_uncached(&self, sql: &str) -> Result<QueryResult> {
         self.parses.fetch_add(1, Ordering::Relaxed);
-        let stmt = parser::parse(sql)?;
+        let stmt = parser::parse(sql).inspect_err(|_| self.abort_txn())?;
         exec::execute_stmt(self, &stmt, &[])
     }
 
@@ -1225,33 +1659,30 @@ mod tests {
     }
 
     #[test]
-    fn writing_the_streamed_table_fails_loudly_instead_of_deadlocking() {
+    fn writing_the_streamed_table_succeeds_mid_stream() {
+        // The PR-5 regression this MVCC design exists to fix: a
+        // half-consumed streaming SELECT no longer locks its table
+        // against same-thread writers — and the stream keeps reading its
+        // pinned snapshot, blind to the interleaved writes.
         let db = setup();
         let mut rows = db.query_rows("SELECT x FROM m", &[]).unwrap();
         assert!(rows.next().is_some());
-        // The cursor holds m's read guard: a same-thread write to m must
-        // surface as an error, not hang on the lock.
-        let err = db.execute("DELETE FROM m WHERE x > 0").unwrap_err();
-        assert!(
-            err.to_string().contains("streaming cursor"),
-            "unexpected error: {err}"
-        );
-        assert!(db.execute("UPDATE m SET u = 0.0").is_err());
-        assert!(db
-            .execute("INSERT INTO m VALUES ('2015-03-01', 1, 1, 1)")
-            .is_err());
-        // Other tables stay writable. (A same-thread *read* of m is safe
-        // here only because this test is single-threaded — no writer can
-        // be queued on m's lock; see the query_rows locking rule.)
-        db.execute("CREATE TABLE other (a int)").unwrap();
-        db.execute("INSERT INTO other VALUES (1)").unwrap();
+        db.execute("INSERT INTO m VALUES ('2015-03-01', 99, 1, 1)")
+            .unwrap();
+        db.execute("UPDATE m SET x = x + 1000").unwrap();
+        db.execute("DELETE FROM m WHERE x > 1050").unwrap();
+        // The open cursor still sees the pre-write snapshot: the
+        // original x values, unshifted, without the new row.
+        let rest: Vec<Value> = rows.map(|r| r.unwrap().remove(0)).collect();
+        assert_eq!(rest, vec![Value::Float(23.6231), Value::Float(21.5)]);
+        // A fresh statement sees the writes' outcome: three surviving
+        // rows, all shifted by 1000.
         assert_eq!(
-            db.execute("SELECT count(*) FROM m").unwrap().rows[0][0],
+            db.execute("SELECT count(*) FROM m WHERE x > 1000")
+                .unwrap()
+                .rows[0][0],
             Value::Int(3)
         );
-        // Finishing with the cursor restores writability.
-        drop(rows);
-        db.execute("DELETE FROM m WHERE x > 0").unwrap();
     }
 
     #[test]
@@ -1341,8 +1772,344 @@ mod tests {
         db.insert_rows("t", vec![vec![Value::Int(1), Value::Bool(true)]])
             .unwrap();
         let handle = db.get_table("t").unwrap();
-        let guard = handle.read();
-        assert_eq!(guard.rows[0][0], Value::Float(1.0));
-        assert_eq!(guard.rows[0][1].data_type(), DataType::Bool);
+        let rows = handle.read().latest_rows();
+        assert_eq!(rows[0][0], Value::Float(1.0));
+        assert_eq!(rows[0][1].data_type(), DataType::Bool);
+    }
+
+    #[test]
+    fn begin_commit_publishes_atomically() {
+        let db = setup();
+        db.execute("BEGIN").unwrap();
+        assert!(db.in_transaction());
+        db.execute("INSERT INTO m VALUES ('2015-03-01', 1.0, 0, 0)")
+            .unwrap();
+        db.execute("UPDATE m SET u = 9.0 WHERE x = 21.5").unwrap();
+        // The transaction's own statements see its pending writes.
+        assert_eq!(
+            db.execute("SELECT count(*) FROM m").unwrap().rows[0][0],
+            Value::Int(4)
+        );
+        db.execute("COMMIT").unwrap();
+        assert!(!db.in_transaction());
+        assert_eq!(
+            db.execute("SELECT count(*) FROM m").unwrap().rows[0][0],
+            Value::Int(4)
+        );
+        assert_eq!(
+            db.execute("SELECT u FROM m WHERE x = 21.5").unwrap().rows[0][0],
+            Value::Float(9.0)
+        );
+        assert_eq!(db.txn_stats(), (1, 0));
+    }
+
+    #[test]
+    fn uncommitted_writes_are_invisible_to_other_threads() {
+        let db = setup();
+        db.execute("BEGIN").unwrap();
+        db.execute("DELETE FROM m").unwrap();
+        assert_eq!(
+            db.execute("SELECT count(*) FROM m").unwrap().rows[0][0],
+            Value::Int(0),
+            "own session sees its pending delete"
+        );
+        std::thread::scope(|s| {
+            let db = &db;
+            s.spawn(move || {
+                assert_eq!(
+                    db.execute("SELECT count(*) FROM m").unwrap().rows[0][0],
+                    Value::Int(3),
+                    "another session must not see uncommitted writes"
+                );
+            });
+        });
+        db.execute("ROLLBACK").unwrap();
+        assert_eq!(
+            db.execute("SELECT count(*) FROM m").unwrap().rows[0][0],
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn rollback_restores_contents_and_schema_epoch() {
+        let db = setup();
+        let before = db.execute("SELECT * FROM m ORDER BY ts").unwrap();
+        let epoch0 = db.schema_epoch.load(Ordering::SeqCst);
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO m VALUES ('2015-03-01', 1, 1, 1)")
+            .unwrap();
+        db.execute("UPDATE m SET u = 100.0").unwrap();
+        db.execute("DELETE FROM m WHERE x > 23").unwrap();
+        db.execute("CREATE TABLE scratch (a int)").unwrap();
+        db.execute("DROP TABLE scratch").unwrap();
+        db.execute("ROLLBACK").unwrap();
+        let after = db.execute("SELECT * FROM m ORDER BY ts").unwrap();
+        assert_eq!(before.rows, after.rows, "contents identical after ROLLBACK");
+        assert!(!db.has_table("scratch"));
+        assert_eq!(
+            db.schema_epoch.load(Ordering::SeqCst),
+            epoch0,
+            "epoch restored so pre-BEGIN cached plans revalidate"
+        );
+        assert_eq!(db.txn_stats(), (0, 1));
+    }
+
+    #[test]
+    fn rollback_reinstates_a_dropped_table() {
+        let db = setup();
+        db.execute("BEGIN").unwrap();
+        db.execute("DROP TABLE m").unwrap();
+        assert!(!db.has_table("m"));
+        db.execute("ROLLBACK").unwrap();
+        assert!(db.has_table("m"));
+        assert_eq!(
+            db.execute("SELECT count(*) FROM m").unwrap().rows[0][0],
+            Value::Int(3),
+            "the displaced table came back with its rows"
+        );
+    }
+
+    #[test]
+    fn transaction_notices_match_postgres_wording() {
+        let db = Database::new();
+        let q = db.execute("COMMIT").unwrap();
+        assert_eq!(q.columns, vec!["notice".to_string()]);
+        assert_eq!(
+            q.rows[0][0],
+            Value::Text("there is no transaction in progress".into())
+        );
+        let q = db.execute("ROLLBACK").unwrap();
+        assert_eq!(
+            q.rows[0][0],
+            Value::Text("there is no transaction in progress".into())
+        );
+        db.execute("BEGIN").unwrap();
+        let q = db.execute("BEGIN").unwrap();
+        assert_eq!(
+            q.rows[0][0],
+            Value::Text("there is already a transaction in progress".into())
+        );
+        // The duplicate BEGIN left the original transaction open.
+        assert!(db.in_transaction());
+        db.execute("COMMIT").unwrap();
+        assert!(!db.in_transaction());
+    }
+
+    #[test]
+    fn transaction_statement_aliases_parse() {
+        let db = Database::new();
+        db.execute("START TRANSACTION").unwrap();
+        db.execute("COMMIT WORK").unwrap();
+        db.execute("BEGIN TRANSACTION").unwrap();
+        db.execute("END").unwrap();
+        db.execute("BEGIN WORK").unwrap();
+        db.execute("ABORT").unwrap();
+        assert_eq!(db.txn_stats(), (2, 1));
+    }
+
+    #[test]
+    fn failed_statement_aborts_the_transaction() {
+        let db = setup();
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO m VALUES ('2015-03-01', 1, 1, 1)")
+            .unwrap();
+        // u = 0.0 on the first row: a runtime evaluation error.
+        assert!(db.execute("UPDATE m SET y = x / u").is_err());
+        let err = db.execute("SELECT count(*) FROM m").unwrap_err();
+        assert!(
+            err.to_string().contains(
+                "current transaction is aborted, commands ignored until end of \
+                 transaction block"
+            ),
+            "unexpected error: {err}"
+        );
+        // COMMIT of an aborted transaction rolls it back.
+        db.execute("COMMIT").unwrap();
+        assert_eq!(
+            db.execute("SELECT count(*) FROM m").unwrap().rows[0][0],
+            Value::Int(3)
+        );
+        assert_eq!(db.txn_stats(), (0, 1));
+    }
+
+    #[test]
+    fn pre_execution_failures_abort_the_transaction() {
+        // Plan-time errors (unknown function) and parse errors abort an
+        // open transaction just like execution failures — PostgreSQL
+        // aborts on *any* failed statement inside a transaction block.
+        let db = setup();
+        db.execute("BEGIN").unwrap();
+        assert!(db.execute("SELECT no_such_function(x) FROM m").is_err());
+        let err = db.execute("SELECT 1").unwrap_err();
+        assert!(
+            err.to_string().contains("current transaction is aborted"),
+            "plan-time failure should abort: {err}"
+        );
+        db.execute("ROLLBACK").unwrap();
+
+        db.execute("BEGIN").unwrap();
+        assert!(db.execute("SELEKT garbage").is_err());
+        let err = db.execute("SELECT 1").unwrap_err();
+        assert!(
+            err.to_string().contains("current transaction is aborted"),
+            "parse failure should abort: {err}"
+        );
+        // Inside the aborted transaction, a statement that itself fails
+        // to plan is still rejected with the aborted wording: rejection
+        // happens before planning.
+        let err = db.execute("SELECT no_such_function(1)").unwrap_err();
+        assert!(
+            err.to_string().contains("current transaction is aborted"),
+            "aborted check should precede planning: {err}"
+        );
+        db.execute("ROLLBACK").unwrap();
+        assert_eq!(db.txn_stats(), (0, 2));
+    }
+
+    #[test]
+    fn concurrent_update_is_a_serialization_failure() {
+        let db = setup();
+        db.execute("BEGIN").unwrap();
+        db.execute("UPDATE m SET u = 1.0 WHERE x = 21.5").unwrap();
+        std::thread::scope(|s| {
+            let db = &db;
+            s.spawn(move || {
+                // First updater wins: the other session's auto-commit
+                // UPDATE of the same row fails rather than clobbering.
+                let err = db
+                    .execute("UPDATE m SET u = 2.0 WHERE x = 21.5")
+                    .unwrap_err();
+                assert!(
+                    err.to_string().contains("could not serialize access"),
+                    "unexpected error: {err}"
+                );
+            });
+        });
+        db.execute("COMMIT").unwrap();
+        assert_eq!(
+            db.execute("SELECT u FROM m WHERE x = 21.5").unwrap().rows[0][0],
+            Value::Float(1.0)
+        );
+    }
+
+    #[test]
+    fn streamed_insert_select_is_atomic_on_error() {
+        // A lazy INSERT … SELECT source errors mid-stream: the rows
+        // already appended are tombstoned, not left behind.
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v int)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        db.register_scalar("boom_on_two", |_db, args| match args[0] {
+            Value::Int(2) => Err(SqlError::Execution("boom".into())),
+            ref v => Ok(v.clone()),
+        });
+        let err = db
+            .execute("INSERT INTO t SELECT boom_on_two(v) FROM t")
+            .unwrap_err();
+        assert!(err.to_string().contains("boom"), "{err}");
+        assert_eq!(
+            db.execute("SELECT count(*) FROM t").unwrap().rows[0][0],
+            Value::Int(3),
+            "no partial insert survives the failed statement"
+        );
+    }
+
+    #[test]
+    fn vacuum_reclaims_dead_versions() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v int)").unwrap();
+        db.execute("INSERT INTO t VALUES (0)").unwrap();
+        // Transactional updates always append versions (the in-place
+        // overwrite fast path only applies to auto-commit statements),
+        // so each round leaves one dead version for vacuum.
+        for i in 1..=10 {
+            db.execute("BEGIN").unwrap();
+            db.execute(&format!("UPDATE t SET v = {i}")).unwrap();
+            db.execute("COMMIT").unwrap();
+        }
+        let freed = db.vacuum();
+        assert!(freed >= 9, "freed only {freed} versions");
+        assert!(db.gc_stats() >= 9);
+        assert_eq!(
+            db.execute("SELECT v FROM t").unwrap().rows[0][0],
+            Value::Int(10),
+            "the live version survives compaction"
+        );
+    }
+
+    #[test]
+    fn write_paths_collect_garbage_opportunistically() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v int)").unwrap();
+        db.execute("INSERT INTO t VALUES (0)").unwrap();
+        // A half-open cursor pins the table: every UPDATE must append a
+        // version (no in-place overwrite), and compaction is deferred.
+        // Enough rounds to cross the opportunistic GC threshold.
+        let mut rows = db.query_rows("SELECT v FROM t", &[]).unwrap();
+        assert!(rows.next().is_some());
+        for i in 1..=200 {
+            db.execute(&format!("UPDATE t SET v = {i}")).unwrap();
+        }
+        assert_eq!(db.gc_stats(), 0, "pinned table must not compact");
+        drop(rows);
+        // The next write-path visit notices the backlog and compacts
+        // in-line — no explicit vacuum.
+        db.execute("UPDATE t SET v = 201").unwrap();
+        assert!(
+            db.gc_stats() > 0,
+            "UPDATE-heavy workload should trigger in-line compaction"
+        );
+        assert_eq!(
+            db.execute("SELECT v FROM t").unwrap().rows[0][0],
+            Value::Int(201)
+        );
+    }
+
+    #[test]
+    fn open_cursors_block_compaction() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v int)").unwrap();
+        db.execute("INSERT INTO t VALUES (0), (1)").unwrap();
+        let mut rows = db.query_rows("SELECT v FROM t", &[]).unwrap();
+        assert!(rows.next().is_some());
+        // Writes land while the cursor is open — and must append
+        // versions, because the cursor's snapshot still reads the old
+        // ones.
+        for i in 1..=5 {
+            db.execute(&format!("UPDATE t SET v = v + {i}")).unwrap();
+        }
+        // The half-consumed cursor pins the table: its saved version
+        // index must stay valid, so compaction skips the table.
+        assert_eq!(db.vacuum(), 0);
+        drop(rows);
+        assert!(db.vacuum() > 0, "dropping the cursor re-enables GC");
+    }
+
+    #[test]
+    fn gc_watermark_respects_old_snapshots() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v int)").unwrap();
+        db.execute("INSERT INTO t VALUES (0)").unwrap();
+        db.execute("BEGIN").unwrap(); // pins this snapshot timestamp
+        std::thread::scope(|s| {
+            let db2 = &db;
+            s.spawn(move || {
+                for i in 1..=10 {
+                    db2.execute(&format!("UPDATE t SET v = {i}")).unwrap();
+                }
+                assert_eq!(
+                    db2.vacuum(),
+                    0,
+                    "versions the pinned snapshot can still read must survive"
+                );
+            });
+        });
+        // The open transaction still reads its pinned snapshot.
+        assert_eq!(
+            db.execute("SELECT v FROM t").unwrap().rows[0][0],
+            Value::Int(0)
+        );
+        db.execute("COMMIT").unwrap();
+        assert!(db.vacuum() >= 9, "watermark advanced after COMMIT");
     }
 }

@@ -1,12 +1,12 @@
 //! Query executor — the execute half of the plan → execute pipeline.
 //!
 //! Every statement runs from an immutable physical plan (see the
-//! `plan` module): scans snapshot their input, the filter / group /
-//! having / project / sort operators evaluate the plan's slot-resolved
-//! expressions in place, and plain `SELECT`s stream their filter and
-//! projection through the [`Rows`] cursor — the cursor holds the shared
-//! `Arc<PhysicalPlan>`, so repeated executions of a prepared statement
-//! clone no expressions at all.
+//! `plan` module): scans read the MVCC-visible rows of their snapshot,
+//! the filter / group / having / project / sort operators evaluate the
+//! plan's slot-resolved expressions in place, and plain `SELECT`s stream
+//! their filter and projection through the [`Rows`] cursor — the cursor
+//! holds the shared `Arc<PhysicalPlan>`, so repeated executions of a
+//! prepared statement clone no expressions at all.
 //!
 //! Grouped aggregation is a hash operator over *row indices*: each input
 //! row's `GROUP BY` key is evaluated and hashed (NULLs group together,
@@ -18,21 +18,28 @@
 //! lowered output expressions just read the memoized values.
 //!
 //! `INSERT … SELECT` consumes its source through the streaming cursor and
-//! inserts row by row, so the intermediate result is never materialized.
+//! inserts row by row, so the intermediate result is never materialized;
+//! the new rows stay uncommitted (marked with a transaction id) until the
+//! stream finishes, so an error mid-stream leaves nothing behind.
+//!
+//! Writes are versioned: DML never overwrites a row in place — UPDATE and
+//! DELETE end the visible version and (for UPDATE) append a successor,
+//! stamped either with a fresh commit timestamp (auto-commit) or with the
+//! open transaction's id, to be resolved at `COMMIT`/`ROLLBACK`.
 
 use std::cmp::Ordering;
-use std::collections::{hash_map::Entry, HashMap, HashSet};
+use std::collections::{hash_map::Entry, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use crate::ast::{Expr, FromItem, InsertSource, SelectStmt, Stmt, UnOp, AGGREGATE_FUNCTIONS};
-use crate::db::Database;
+use crate::db::{Database, UndoEntry, WriteTxn};
 use crate::decode::NamedRows;
 use crate::error::{Result, SqlError};
 use crate::plan::{
     AggCall, AggOp, Binding, DmlPlan, Env, GroupPlan, InsertPlan, PhysicalPlan, PlanFn, SelectOps,
     ZeroScanKind,
 };
-use crate::table::{Column, QueryResult, Row, Schema, Table};
+use crate::table::{Column, QueryResult, Row, Schema, Snapshot, Table, LIVE, UNCOMMITTED};
 use crate::value::Value;
 
 /// The values of one group during grouped evaluation: its key and its
@@ -500,11 +507,11 @@ impl AggAcc {
 /// group's `(key values, memoized aggregate values)`. No GROUP BY = one
 /// group over the whole input, even when it is empty (the ungrouped
 /// aggregate's one-row result).
-fn grouped_groups(
+fn grouped_groups<'r>(
     ctx: &Ctx<'_>,
     where_clause: Option<&Expr>,
     gp: &GroupPlan,
-    rows: &[Row],
+    rows: impl IntoIterator<Item = &'r Row>,
 ) -> Result<Vec<(Vec<Value>, Vec<Value>)>> {
     let env = Env {
         bindings: NO_BINDINGS,
@@ -664,41 +671,159 @@ struct LazyScan<'db> {
     failed: bool,
 }
 
-/// A zero-copy streaming scan: the cursor owns the table's read guard
-/// and evaluates filter + projection per `next()` against the borrowed
-/// rows — no snapshot, no intermediate output buffer. The guard is held
-/// until the cursor is drained or dropped, which is why only plans whose
-/// scan-side expressions cannot re-enter the database take this path
-/// (and why a consumer must not write to the scanned table before
-/// finishing with the cursor).
-struct GuardedScan<'db> {
+/// How many output rows a streaming scan produces per read-guard
+/// acquisition. Large enough to amortize the lock round-trip, small
+/// enough that a writer waiting on the table gets in promptly.
+const CURSOR_BATCH: usize = 128;
+
+/// A zero-copy streaming scan over the cursor's MVCC snapshot: filter +
+/// projection evaluate against rows borrowed from the version array,
+/// refilled a batch at a time under short-lived read guards. No lock is
+/// held between refills, so the consumer may freely write to the scanned
+/// table mid-stream — its own appends carry commit timestamps newer than
+/// the pinned snapshot and stay invisible, which keeps the stream
+/// consistent. The cursor pins the table (not the lock) so compaction
+/// cannot renumber versions while its position is saved.
+struct MvccScan<'db> {
     db: &'db Database,
     params: Vec<Value>,
     /// The shared plan — holds the zero-copy expressions and fns table.
     plan: Arc<PhysicalPlan>,
-    /// Registration key in the thread's held-guard set (lets same-thread
-    /// writers fail loudly instead of deadlocking; see
-    /// [`Database::check_writable`]).
-    guard_key: usize,
-    guard: parking_lot::ArcRwLockReadGuard<Table>,
+    handle: Arc<parking_lot::RwLock<Table>>,
+    /// The snapshot this cursor reads as of; writes stamped after its
+    /// timestamp are invisible.
+    snap: Snapshot,
     /// Projection as plain slot indices when every output is a bare
     /// column (skips expression dispatch per value).
     slot_projs: Option<Vec<usize>>,
-    /// Next source row.
-    idx: usize,
+    /// Next version index to examine on refill.
+    next_version: usize,
+    /// Snapshot-visible rows examined so far (flushed to `rows_scanned`
+    /// when the cursor drops).
+    examined: u64,
+    /// Output rows produced by the last refill, drained by `next()`.
+    buf: VecDeque<Row>,
     /// DISTINCT: projected rows already emitted.
     seen: Option<HashSet<Vec<KeyAtom>>>,
     remaining: usize,
     failed: bool,
+    /// An evaluation error hit during refill, surfaced after the rows
+    /// buffered before it have been yielded (the per-row cursor's
+    /// rows-then-error ordering).
+    pending_err: Option<SqlError>,
+    /// The version array is exhausted (or LIMIT reached) — no refill
+    /// will produce more rows.
+    done: bool,
 }
 
-impl Drop for GuardedScan<'_> {
+impl Drop for MvccScan<'_> {
     fn drop(&mut self) {
         // `rows_scanned` counts rows actually examined: an early-stopping
         // consumer (LIMIT, partial drain) is charged only for what the
-        // cursor read. Flushed once, when the cursor finishes.
-        self.db.note_scan_rows(self.idx as u64);
-        Database::release_cursor_guard(self.guard_key);
+        // cursor read. Flushed once, when the cursor finishes — and the
+        // table pin is released here too, so dropping a half-consumed
+        // cursor promptly re-enables compaction.
+        self.db.note_scan_rows(self.examined);
+        self.handle.read().unpin();
+    }
+}
+
+impl MvccScan<'_> {
+    /// Re-acquire the table read guard and walk versions from the saved
+    /// position: visibility check, filter, projection (+ DISTINCT), until
+    /// [`CURSOR_BATCH`] output rows are buffered, LIMIT is exhausted, or
+    /// the version array ends. The guard drops on return.
+    fn refill(&mut self) -> Result<()> {
+        let mut buf = std::mem::take(&mut self.buf);
+        let res = self.scan_rows(CURSOR_BATCH, &mut |r| buf.push_back(r));
+        self.buf = buf;
+        res
+    }
+
+    /// Drain every remaining output row straight into `out` under a
+    /// single guard acquisition — the materializing (`into_result`)
+    /// path, which wants the whole result at once and gains nothing
+    /// from batched refills.
+    fn drain_all(&mut self, out: &mut Vec<Row>) -> Result<()> {
+        out.extend(self.buf.drain(..));
+        if self.done {
+            return Ok(());
+        }
+        self.scan_rows(usize::MAX, &mut |r| out.push(r))
+    }
+
+    fn scan_rows(&mut self, batch: usize, sink: &mut dyn FnMut(Row)) -> Result<()> {
+        let MvccScan {
+            db,
+            params,
+            plan,
+            handle,
+            snap,
+            slot_projs,
+            next_version,
+            examined,
+            buf: _,
+            seen,
+            remaining,
+            failed: _,
+            pending_err: _,
+            done,
+        } = self;
+        let PhysicalPlan::StaticSelect(sp) = &**plan else {
+            unreachable!("streaming scans hold a static SELECT plan");
+        };
+        let Some(z) = &sp.zero else {
+            unreachable!("streaming scans hold a zero-copy plan");
+        };
+        let ZeroScanKind::Select { projections, .. } = &z.kind else {
+            unreachable!("streaming scans are plain SELECTs");
+        };
+        let ctx = Ctx {
+            db,
+            params,
+            fns: &sp.ops.fns,
+            group: None,
+        };
+        let env = Env {
+            bindings: NO_BINDINGS,
+        };
+        let guard = handle.read();
+        let all_vis = guard.all_visible(*snap);
+        let versions = guard.versions();
+        let mut produced = 0usize;
+        while produced < batch && *remaining > 0 && *next_version < versions.len() {
+            let v = &versions[*next_version];
+            *next_version += 1;
+            if !(all_vis || v.visible(*snap)) {
+                continue;
+            }
+            *examined += 1;
+            let r = &v.data;
+            if let Some(p) = &z.where_clause {
+                if !is_true(&eval(&ctx, p, &env, r)?)? {
+                    continue;
+                }
+            }
+            let out: Row = match slot_projs {
+                Some(slots) => slots.iter().map(|&s| r[s].clone()).collect(),
+                None => projections
+                    .iter()
+                    .map(|e| eval(&ctx, e, &env, r))
+                    .collect::<Result<_>>()?,
+            };
+            if let Some(seen) = seen.as_mut() {
+                if !seen.insert(KeyAtom::row_key(&out)) {
+                    continue;
+                }
+            }
+            *remaining -= 1;
+            produced += 1;
+            sink(out);
+        }
+        if *remaining == 0 || *next_version >= versions.len() {
+            *done = true;
+        }
+        Ok(())
     }
 }
 
@@ -710,8 +835,9 @@ enum RowsState<'db> {
     Streamed(Box<dyn Iterator<Item = Result<Row>> + 'db>),
     /// Scan source with deferred filter + projection (+ DISTINCT).
     Lazy(Box<LazyScan<'db>>),
-    /// Zero-copy scan streaming under the table read guard.
-    Guarded(Box<GuardedScan<'db>>),
+    /// Zero-copy scan streaming over a pinned MVCC snapshot, refilled in
+    /// batches under short-lived read guards.
+    Mvcc(Box<MvccScan<'db>>),
 }
 
 impl<'db> Rows<'db> {
@@ -748,9 +874,26 @@ impl<'db> Rows<'db> {
     /// Drain the cursor into a materialized [`QueryResult`].
     pub fn into_result(mut self) -> Result<QueryResult> {
         let mut q = QueryResult::new(std::mem::take(&mut self.columns));
-        if let RowsState::Done(it) = self.state {
-            q.rows = it.collect();
-            return Ok(q);
+        match &mut self.state {
+            RowsState::Done(it) => {
+                q.rows = it.collect();
+                return Ok(q);
+            }
+            // Bulk drain: one guard acquisition, rows pushed straight
+            // into the result, skipping `next()`'s per-row dispatch and
+            // the batch buffer entirely.
+            RowsState::Mvcc(scan) => {
+                if let Some(e) = scan.pending_err.take() {
+                    return Err(e);
+                }
+                if scan.failed {
+                    q.rows.extend(scan.buf.drain(..));
+                    return Ok(q);
+                }
+                scan.drain_all(&mut q.rows)?;
+                return Ok(q);
+            }
+            _ => {}
         }
         for r in self {
             q.rows.push(r?);
@@ -775,12 +918,15 @@ impl Iterator for Rows<'_> {
                     (0, Some(scan.source.len().min(scan.remaining)))
                 }
             }
-            RowsState::Guarded(scan) => {
+            RowsState::Mvcc(scan) => {
                 if scan.failed {
                     (0, Some(0))
+                } else if scan.done && scan.pending_err.is_none() {
+                    (scan.buf.len(), Some(scan.buf.len()))
                 } else {
-                    let left = scan.guard.rows.len().saturating_sub(scan.idx);
-                    (0, Some(left.min(scan.remaining)))
+                    // Unlocked between refills: the total is unknowable
+                    // without the guard, but buffered rows are certain.
+                    (scan.buf.len(), None)
                 }
             }
         }
@@ -872,80 +1018,26 @@ impl Iterator for Rows<'_> {
                     return Some(Ok(out));
                 }
             }
-            RowsState::Guarded(scan) => {
-                // Destructure for disjoint field borrows: the plan (and
-                // the guard's rows) are read while the cursor position,
-                // DISTINCT set and limit mutate.
-                let GuardedScan {
-                    db,
-                    params,
-                    plan,
-                    guard_key: _,
-                    guard,
-                    slot_projs,
-                    idx,
-                    seen,
-                    remaining,
-                    failed,
-                } = &mut **scan;
-                if *failed || *remaining == 0 {
+            RowsState::Mvcc(scan) => loop {
+                // Drain the buffered batch first; only when it runs dry
+                // does the cursor take the table guard again to refill.
+                if let Some(r) = scan.buf.pop_front() {
+                    return Some(Ok(r));
+                }
+                if scan.failed {
                     return None;
                 }
-                let PhysicalPlan::StaticSelect(sp) = &**plan else {
-                    unreachable!("guarded scans hold a static SELECT plan");
-                };
-                let Some(z) = &sp.zero else {
-                    unreachable!("guarded scans hold a zero-copy plan");
-                };
-                let ZeroScanKind::Select { projections, .. } = &z.kind else {
-                    unreachable!("guarded scans are plain SELECTs");
-                };
-                let ctx = Ctx {
-                    db,
-                    params,
-                    fns: &sp.ops.fns,
-                    group: None,
-                };
-                let env = Env {
-                    bindings: NO_BINDINGS,
-                };
-                loop {
-                    let i = *idx;
-                    if i >= guard.rows.len() {
-                        return None;
-                    }
-                    *idx += 1;
-                    let r = &guard.rows[i];
-                    if let Some(p) = &z.where_clause {
-                        match eval(&ctx, p, &env, r).and_then(|v| is_true(&v)) {
-                            Ok(true) => {}
-                            Ok(false) => continue,
-                            Err(e) => {
-                                *failed = true;
-                                return Some(Err(e));
-                            }
-                        }
-                    }
-                    let projected: Result<Row> = match slot_projs {
-                        Some(slots) => Ok(slots.iter().map(|&s| r[s].clone()).collect()),
-                        None => projections.iter().map(|e| eval(&ctx, e, &env, r)).collect(),
-                    };
-                    let out = match projected {
-                        Ok(out) => out,
-                        Err(e) => {
-                            *failed = true;
-                            return Some(Err(e));
-                        }
-                    };
-                    if let Some(seen) = seen.as_mut() {
-                        if !seen.insert(KeyAtom::row_key(&out)) {
-                            continue;
-                        }
-                    }
-                    *remaining -= 1;
-                    return Some(Ok(out));
+                if let Some(e) = scan.pending_err.take() {
+                    scan.failed = true;
+                    return Some(Err(e));
                 }
-            }
+                if scan.done {
+                    return None;
+                }
+                if let Err(e) = scan.refill() {
+                    scan.pending_err = Some(e);
+                }
+            },
         }
     }
 }
@@ -1002,17 +1094,37 @@ fn scan_tables(
     schemas: &[Vec<String>],
     used_cols: &[Vec<usize>],
 ) -> Result<Vec<Row>> {
+    // Hold every distinct table's read guard *simultaneously* (acquired
+    // in pointer order — the commit path's lock order) and load one
+    // snapshot under them: the projections below are point-in-time
+    // consistent across tables, and an in-place writer (see
+    // `run_update`) can never slip a mutation between this snapshot and
+    // the reads it covers.
+    let handles: Vec<_> = tables
+        .iter()
+        .map(|n| db.get_table(n))
+        .collect::<Result<Vec<_>>>()?;
+    let mut distinct: Vec<&Arc<parking_lot::RwLock<Table>>> = handles.iter().collect();
+    distinct.sort_by_key(|h| Arc::as_ptr(h) as usize);
+    distinct.dedup_by_key(|h| Arc::as_ptr(h) as usize);
+    let guards: Vec<(usize, parking_lot::RwLockReadGuard<'_, Table>)> = distinct
+        .iter()
+        .map(|h| (Arc::as_ptr(h) as usize, h.read()))
+        .collect();
+    let snap = db.current_snapshot();
     let mut rows: Vec<Row> = vec![Vec::new()];
-    for ((name, planned), used) in tables.iter().zip(schemas).zip(used_cols) {
-        let handle = db.get_table(name)?;
-        let trows = {
-            let guard = handle.read();
-            if !schema_matches(&guard.schema, planned) {
-                return Err(stale_plan(name));
-            }
-            db.note_scan(guard.rows.len() as u64, false);
-            guard.project_rows(used)
-        };
+    for (((name, planned), used), handle) in tables.iter().zip(schemas).zip(used_cols).zip(&handles)
+    {
+        let key = Arc::as_ptr(handle) as usize;
+        let (_, guard) = guards
+            .iter()
+            .find(|(p, _)| *p == key)
+            .expect("every scanned table has a held guard");
+        if !schema_matches(&guard.schema, planned) {
+            return Err(stale_plan(name));
+        }
+        let trows = guard.project_rows(used, snap);
+        db.note_scan(trows.len() as u64, false);
         rows = cross_join(rows, trows);
     }
     Ok(rows)
@@ -1040,7 +1152,13 @@ fn scan_from(
                 let table = db.get_table(name)?;
                 let (cols, trows) = {
                     let guard = table.read();
-                    db.note_scan(guard.rows.len() as u64, false);
+                    // Loaded under the guard so in-place writers cannot
+                    // intervene; set-returning functions interleave and
+                    // may themselves write, so a dynamic FROM reads each
+                    // table at its own statement-time snapshot.
+                    let snap = db.current_snapshot();
+                    let trows: Vec<Row> = guard.visible(snap).cloned().collect();
+                    db.note_scan(trows.len() as u64, false);
                     (
                         guard
                             .schema
@@ -1048,7 +1166,7 @@ fn scan_from(
                             .iter()
                             .map(|c| c.name.clone())
                             .collect::<Vec<_>>(),
-                        guard.rows.clone(),
+                        trows,
                     )
                 };
                 bindings.push(Binding {
@@ -1264,10 +1382,10 @@ fn sort_by_output(keyed: &mut [(Vec<Value>, Row)], spec: &[(usize, bool)]) {
 }
 
 /// Execute a static SELECT plan. `lazy` allows the plain zero-copy path
-/// to return a [`GuardedScan`] cursor that streams under the table read
-/// guard; internal consumers that write while reading (`INSERT … SELECT`
-/// into the scanned table) pass `false` and get the output materialized
-/// under the guard instead, which releases it before any insert.
+/// to return an [`MvccScan`] cursor that streams the plan's snapshot in
+/// batches; internal consumers that insert per source row (`INSERT …
+/// SELECT`) pass `false` and get the output materialized up front
+/// instead, so nothing interleaves with their writes.
 fn run_static_select<'db>(
     db: &'db Database,
     plan: &Arc<PhysicalPlan>,
@@ -1279,8 +1397,9 @@ fn run_static_select<'db>(
     };
     // Zero-copy scan: the plan classified every scan-side expression as
     // re-entrancy-free, so the statement runs directly over the table's
-    // rows under the read guard — no snapshot is taken, and only the
-    // projection of rows that survive the filter is ever materialized.
+    // version array under the read guard — rows are borrowed, never
+    // copied into an input snapshot, and only the projection of rows
+    // that are snapshot-visible and survive the filter is materialized.
     if let Some(z) = &sp.zero {
         let handle = db.get_table(&sp.tables[0])?;
         let ctx = Ctx {
@@ -1302,8 +1421,16 @@ fn run_static_select<'db>(
                     if !schema_matches(&guard.schema, &sp.schemas[0]) {
                         return Err(stale_plan(&sp.tables[0]));
                     }
-                    db.note_scan(guard.rows.len() as u64, true);
-                    grouped_groups(&ctx, z.where_clause.as_ref(), gp, &guard.rows)?
+                    let snap = db.current_snapshot();
+                    let mut examined = 0u64;
+                    let groups = grouped_groups(
+                        &ctx,
+                        z.where_clause.as_ref(),
+                        gp,
+                        guard.visible(snap).inspect(|_| examined += 1),
+                    )?;
+                    db.note_scan(examined, true);
+                    groups
                 };
                 let keyed = emit_groups(db, params, &sp.ops, groups)?;
                 let rows = grouped_tail(keyed, &sp.ops);
@@ -1343,33 +1470,44 @@ fn run_static_select<'db>(
                 };
                 let ordered = !order_by.is_empty() || !sp.ops.distinct_order.is_empty();
                 if !ordered {
-                    // True streaming: the cursor owns the read guard and
-                    // filters/projects per `next()` — one pass, nothing
-                    // buffered, early-stopping consumers pay only for
-                    // what they read. A `lazy == false` caller (an
-                    // INSERT … SELECT source) drains the same cursor
-                    // here, releasing the guard before returning.
-                    let guard = handle.read_arc();
-                    if !schema_matches(&guard.schema, &sp.schemas[0]) {
-                        return Err(stale_plan(&sp.tables[0]));
-                    }
+                    // True streaming: the cursor pins the table and an
+                    // MVCC snapshot, then filters/projects borrowed rows
+                    // in batches under short-lived read guards — early-
+                    // stopping consumers pay only for what they read, and
+                    // the consumer may write to the scanned table between
+                    // batches (its writes are newer than the snapshot and
+                    // stay invisible to the stream).
+                    let snap = {
+                        let guard = handle.read();
+                        if !schema_matches(&guard.schema, &sp.schemas[0]) {
+                            return Err(stale_plan(&sp.tables[0]));
+                        }
+                        // Pin before loading the snapshot so compaction
+                        // cannot renumber versions under the cursor.
+                        guard.pin();
+                        db.current_snapshot()
+                    };
                     // Rows examined are charged when the cursor finishes
-                    // (see `GuardedScan::drop`); only the strategy is
+                    // (see `MvccScan::drop`); only the strategy is
                     // recorded here.
                     db.note_scan(0, true);
                     let cursor = Rows {
                         columns: sp.ops.columns.clone(),
-                        state: RowsState::Guarded(Box::new(GuardedScan {
+                        state: RowsState::Mvcc(Box::new(MvccScan {
                             db,
                             params: params.to_vec(),
                             plan: Arc::clone(plan),
-                            guard_key: Database::note_cursor_guard(&handle),
-                            guard,
+                            handle,
+                            snap,
                             slot_projs,
-                            idx: 0,
+                            next_version: 0,
+                            examined: 0,
+                            buf: VecDeque::new(),
                             seen: sp.ops.distinct.then(HashSet::new),
                             remaining: sp.ops.limit,
                             failed: false,
+                            pending_err: None,
+                            done: false,
                         })),
                     };
                     if lazy {
@@ -1384,8 +1522,11 @@ fn run_static_select<'db>(
                 if !schema_matches(&guard.schema, &sp.schemas[0]) {
                     return Err(stale_plan(&sp.tables[0]));
                 }
+                let snap = db.current_snapshot();
+                let mut examined = 0u64;
                 let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
-                for r in &guard.rows {
+                for r in guard.visible(snap) {
+                    examined += 1;
                     if let Some(p) = &z.where_clause {
                         if !is_true(&eval(&ctx, p, &env, r)?)? {
                             continue;
@@ -1397,7 +1538,7 @@ fn run_static_select<'db>(
                     }
                     keyed.push((sort_key, project(r)?));
                 }
-                db.note_scan(guard.rows.len() as u64, true);
+                db.note_scan(examined, true);
                 drop(guard);
                 let rows = grouped_tail(keyed, &sp.ops);
                 return Ok(Rows {
@@ -1453,6 +1594,44 @@ fn map_insert_row(r: Row, ip: &InsertPlan) -> Result<Row> {
     }
 }
 
+/// First-updater-wins write conflict under snapshot isolation
+/// (PostgreSQL's REPEATABLE READ wording).
+fn serialize_conflict() -> SqlError {
+    SqlError::Execution("could not serialize access due to concurrent update".into())
+}
+
+/// RAII table pin for auto-commit writes that hold version indices
+/// across guard releases: blocks compaction (which renumbers versions)
+/// until the statement finishes. Transactional writes pin through
+/// [`Database::txn_pin`] instead, which holds until COMMIT/ROLLBACK.
+struct TablePin<'a> {
+    handle: &'a Arc<parking_lot::RwLock<Table>>,
+}
+
+impl<'a> TablePin<'a> {
+    fn new(handle: &'a Arc<parking_lot::RwLock<Table>>) -> TablePin<'a> {
+        handle.read().pin();
+        TablePin { handle }
+    }
+}
+
+impl Drop for TablePin<'_> {
+    fn drop(&mut self) {
+        self.handle.read().unpin();
+    }
+}
+
+/// The begin/end stamp for one statement's versioned writes: a fresh
+/// commit timestamp in auto-commit (allocate it while holding the write
+/// guard — see [`Database::commit_ts`]), or the open transaction's
+/// marker, resolved later by COMMIT/ROLLBACK.
+fn write_stamp(db: &Database, txn: WriteTxn) -> u64 {
+    match txn {
+        WriteTxn::Auto => db.commit_ts(),
+        WriteTxn::Txn { txid } => UNCOMMITTED | txid,
+    }
+}
+
 fn run_insert<'db>(
     db: &'db Database,
     stmt: &Stmt,
@@ -1463,12 +1642,17 @@ fn run_insert<'db>(
         unreachable!("insert plan compiled from a non-INSERT statement");
     };
     let handle = db.get_table(&ip.table)?;
-    Database::check_writable(&ip.table, &handle)?;
     // The plan's column mapping is positional: if the target's schema
     // changed since planning (a DDL race past the epoch check), fail as
     // stale instead of silently mapping values into the wrong columns.
+    // One check suffices — a table object's schema never mutates (DDL
+    // replaces the whole table), so the handle stays consistent with it.
     if !schema_matches(&handle.read().schema, &ip.schema_cols) {
         return Err(stale_plan(&ip.table));
+    }
+    let txn = db.write_txn();
+    if let WriteTxn::Txn { .. } = txn {
+        db.txn_pin(&handle);
     }
     let n = match source {
         InsertSource::Values(rows) => {
@@ -1481,29 +1665,42 @@ fn run_insert<'db>(
             let env = Env {
                 bindings: NO_BINDINGS,
             };
+            // Evaluate before taking the guard: VALUES expressions may
+            // call UDFs that re-enter the database.
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
                 let vals: Result<Row> = row.iter().map(|e| eval(&ctx, e, &env, &[])).collect();
-                out.push(map_insert_row(vals?, ip)?);
+                out.push(vals?);
             }
             let n = out.len();
             let mut guard = handle.write();
+            let begin = write_stamp(db, txn);
+            // Coerce and append in one pass; an arity or type error
+            // truncates the appended tail, leaving the table untouched.
+            let start = guard.versions().len();
             for r in out {
-                guard.insert(r)?;
+                match map_insert_row(r, ip).and_then(|r| guard.coerce_row(r)) {
+                    Ok(r) => {
+                        guard.push_version(begin, r);
+                    }
+                    Err(e) => {
+                        guard.truncate_versions(start);
+                        return Err(e);
+                    }
+                }
+            }
+            if let WriteTxn::Txn { .. } = txn {
+                drop(guard);
+                db.txn_record_write(&handle, (start..start + n).collect(), Vec::new());
             }
             n
         }
         InsertSource::Select(sel) => {
-            // The source runs with `lazy = false`, so it never hands back
-            // a cursor holding a table guard: a zero-copy static source
-            // arrives fully materialized (produced under the source
-            // table's read guard, released before the inserts — which is
-            // why INSERT INTO t SELECT FROM t is safe and observes the
-            // pre-statement rows), while snapshot/dynamic sources stream
-            // lazily off their guard-free snapshot. There are no
-            // transactions: an error mid-stream leaves the rows inserted
-            // so far (the same partial-insert semantics a mid-batch
-            // coercion failure always had).
+            // The source runs with `lazy = false`, so a zero-copy static
+            // source arrives fully materialized before any insert — which
+            // is why INSERT INTO t SELECT FROM t observes only the
+            // pre-statement rows — while snapshot/dynamic sources stream
+            // lazily off their guard-free input copy.
             let src_plan = ip
                 .source
                 .as_ref()
@@ -1517,26 +1714,91 @@ fn run_insert<'db>(
             match src.state {
                 // Fully materialized source: nothing is evaluated per
                 // row anymore, so one write guard covers the whole batch
-                // instead of a lock round-trip per row.
+                // instead of a lock round-trip per row. Coercion and
+                // append run in one pass; an error truncates the
+                // appended tail, leaving the table untouched.
                 RowsState::Done(it) => {
                     let mut guard = handle.write();
+                    let begin = write_stamp(db, txn);
+                    let start = guard.versions().len();
                     for r in it {
-                        guard.insert(map_insert_row(r, ip)?)?;
-                        n += 1;
+                        match map_insert_row(r, ip).and_then(|r| guard.coerce_row(r)) {
+                            Ok(r) => {
+                                guard.push_version(begin, r);
+                                n += 1;
+                            }
+                            Err(e) => {
+                                guard.truncate_versions(start);
+                                return Err(e);
+                            }
+                        }
+                    }
+                    if let WriteTxn::Txn { .. } = txn {
+                        drop(guard);
+                        db.txn_record_write(&handle, (start..start + n).collect(), Vec::new());
                     }
                 }
                 // Lazy sources still evaluate expressions (possibly
-                // re-entrant UDFs) per row: keep the write lock scoped to
-                // each insert so those evaluations run lock-free.
+                // re-entrant UDFs) per row: the write lock stays scoped
+                // to each append so those evaluations run lock-free. The
+                // appends are marked uncommitted under a transaction id
+                // and stamped only when the stream finishes — an error
+                // mid-stream tombstones what was inserted, so the
+                // statement is atomic despite releasing the lock.
                 state => {
                     let src = Rows {
                         columns: src.columns,
                         state,
                     };
+                    let _pin = match txn {
+                        // Version indices survive guard releases only
+                        // while the table is pinned against compaction.
+                        WriteTxn::Auto => Some(TablePin::new(&handle)),
+                        WriteTxn::Txn { .. } => None, // pinned via the txn
+                    };
+                    let txid = match txn {
+                        WriteTxn::Txn { txid } => txid,
+                        WriteTxn::Auto => db.next_txid(),
+                    };
+                    let mut created: Vec<usize> = Vec::new();
+                    let mut err = None;
                     for r in src {
-                        let full = map_insert_row(r?, ip)?;
-                        handle.write().insert(full)?;
-                        n += 1;
+                        let step = r.and_then(|row| map_insert_row(row, ip)).and_then(|full| {
+                            let mut guard = handle.write();
+                            let full = guard.coerce_row(full)?;
+                            created.push(guard.push_version(UNCOMMITTED | txid, full));
+                            Ok(())
+                        });
+                        match step {
+                            Ok(()) => n += 1,
+                            Err(e) => {
+                                err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    match (err, txn) {
+                        (Some(e), _) => {
+                            // Undo this statement's own appends; under an
+                            // explicit transaction they were never
+                            // recorded in the undo log, so no double
+                            // revert on ROLLBACK.
+                            let mut guard = handle.write();
+                            for &i in &created {
+                                guard.revert_insert(i, txid);
+                            }
+                            return Err(e);
+                        }
+                        (None, WriteTxn::Auto) => {
+                            let mut guard = handle.write();
+                            let cts = db.commit_ts();
+                            for &i in &created {
+                                guard.commit_begin(i, txid, cts);
+                            }
+                        }
+                        (None, WriteTxn::Txn { .. }) => {
+                            db.txn_record_write(&handle, created, Vec::new());
+                        }
                     }
                 }
             }
@@ -1546,13 +1808,14 @@ fn run_insert<'db>(
     Ok(count_result(n as i64))
 }
 
-/// UPDATE: evaluate the predicate and SET expressions against each row,
-/// then assign the new values. When every expression is re-entrancy-free
-/// (the planned common case) the whole statement runs under one write
-/// guard and touches only the matching rows, by index — nothing is
-/// snapshotted and non-matching rows are never copied. Re-entrant
-/// expressions keep the old snapshot-evaluate-rebuild path so UDFs in
-/// SET or WHERE may call back into the database.
+/// UPDATE: evaluate the predicate and SET expressions against each
+/// snapshot-visible row, then end the old version and append the new one
+/// under the statement's write stamp. When every expression is
+/// re-entrancy-free (the planned common case) the whole statement runs
+/// under one write guard; re-entrant expressions keep a lock-free
+/// evaluate-then-apply path so UDFs in SET or WHERE may call back into
+/// the database. Either way, a visible version already ended by another
+/// transaction is a first-updater-wins conflict.
 fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<Rows<'db>> {
     let ctx = Ctx {
         db,
@@ -1564,17 +1827,24 @@ fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<
         bindings: NO_BINDINGS,
     };
     let handle = db.get_table(&up.table)?;
-    Database::check_writable(&up.table, &handle)?;
+    let txn = db.write_txn();
+    if let WriteTxn::Txn { .. } = txn {
+        db.txn_pin(&handle);
+    }
     if up.in_place {
         let mut guard = handle.write();
         if !schema_matches(&guard.schema, &up.schema_cols) {
             return Err(stale_plan(&up.table));
         }
-        // Pass 1 (read-only): evaluate the predicate per row and, for
-        // hits, the new values against the *old* row. Errors surface
-        // before any mutation.
+        let snap = db.current_snapshot();
+        // Pass 1 (read-only): evaluate the predicate per visible row
+        // and, for hits, the new values against the *old* row. Errors —
+        // including write conflicts — surface before any mutation.
         let mut pending: Vec<(usize, Vec<Value>)> = Vec::new();
-        for (i, r) in guard.rows.iter().enumerate() {
+        let mut examined = 0u64;
+        for (vi, v) in guard.visible_versions(snap) {
+            examined += 1;
+            let r = &v.data;
             let hit = match &up.where_clause {
                 None => true,
                 Some(p) => is_true(&eval(&ctx, p, &env, r)?)?,
@@ -1582,61 +1852,132 @@ fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<
             if !hit {
                 continue;
             }
+            if v.end != LIVE {
+                return Err(serialize_conflict());
+            }
             let mut vals = Vec::with_capacity(up.sets.len());
             for (e, &c) in up.sets.iter().zip(&up.set_idx) {
-                let v = eval(&ctx, e, &env, r)?;
-                vals.push(v.coerce_to(guard.schema.columns[c].dtype)?);
+                let val = eval(&ctx, e, &env, r)?;
+                vals.push(val.coerce_to(guard.schema.columns[c].dtype)?);
             }
-            pending.push((i, vals));
+            pending.push((vi, vals));
         }
-        db.note_scan(guard.rows.len() as u64, true);
-        // Pass 2: write the new values into the matching rows.
+        db.note_scan(examined, true);
+        // Pass 2: end each hit version and append its successor — or,
+        // when no snapshot below the fresh commit timestamp is live and
+        // no cursor pins this table, overwrite the payloads in place:
+        // the single-version fast path, which creates no garbage.
         let n = pending.len() as i64;
-        for (i, vals) in pending {
-            for (v, &c) in vals.into_iter().zip(&up.set_idx) {
-                guard.rows[i][c] = v;
+        match txn {
+            WriteTxn::Auto => {
+                let cts = db.commit_ts();
+                if !guard.pinned() && db.overwrite_safe(cts) {
+                    for (vi, vals) in pending {
+                        let row = guard.version_data_mut(vi);
+                        for (v, &c) in vals.into_iter().zip(&up.set_idx) {
+                            row[c] = v;
+                        }
+                    }
+                } else {
+                    for (vi, vals) in pending {
+                        let mut new_row = guard.versions()[vi].data.clone();
+                        for (v, &c) in vals.into_iter().zip(&up.set_idx) {
+                            new_row[c] = v;
+                        }
+                        guard.end_version(vi, cts);
+                        guard.push_version(cts, new_row);
+                    }
+                }
+                db.maybe_gc(&mut guard);
+            }
+            WriteTxn::Txn { txid } => {
+                let stamp = UNCOMMITTED | txid;
+                let mut created = Vec::with_capacity(pending.len());
+                let mut ended = Vec::with_capacity(pending.len());
+                for (vi, vals) in pending {
+                    let mut new_row = guard.versions()[vi].data.clone();
+                    for (v, &c) in vals.into_iter().zip(&up.set_idx) {
+                        new_row[c] = v;
+                    }
+                    guard.end_version(vi, stamp);
+                    ended.push(vi);
+                    created.push(guard.push_version(stamp, new_row));
+                }
+                drop(guard);
+                db.txn_record_write(&handle, created, ended);
             }
         }
         return Ok(count_result(n));
     }
-    // Snapshot fallback: evaluation must run without the lock so the
-    // expressions may re-enter the database.
+    // Re-entrant fallback: evaluation must run without the lock so the
+    // expressions may call back into the database. The visible versions
+    // are copied out with their indices (the pin keeps those indices
+    // stable), evaluated lock-free, and applied under one write guard
+    // with a conflict re-check per version.
+    let _pin = match txn {
+        WriteTxn::Auto => Some(TablePin::new(&handle)),
+        WriteTxn::Txn { .. } => None, // pinned via the txn
+    };
+    let snap = db.current_snapshot();
     let (dtypes, snapshot) = {
         let g = handle.read();
         if !schema_matches(&g.schema, &up.schema_cols) {
             return Err(stale_plan(&up.table));
         }
-        db.note_scan(g.rows.len() as u64, false);
         let dtypes: Vec<_> = g.schema.columns.iter().map(|c| c.dtype).collect();
-        (dtypes, g.rows.clone())
+        let snapshot: Vec<(usize, Row)> = g
+            .visible_versions(snap)
+            .map(|(vi, v)| (vi, v.data.clone()))
+            .collect();
+        db.note_scan(snapshot.len() as u64, false);
+        (dtypes, snapshot)
     };
-    let mut new_rows = Vec::with_capacity(snapshot.len());
-    let mut n = 0i64;
-    for r in snapshot {
+    let mut pending: Vec<(usize, Row)> = Vec::new();
+    for (vi, r) in snapshot {
         let hit = match &up.where_clause {
             None => true,
             Some(p) => is_true(&eval(&ctx, p, &env, &r)?)?,
         };
-        if hit {
-            let mut updated = r.clone();
-            for (e, &i) in up.sets.iter().zip(&up.set_idx) {
-                let v = eval(&ctx, e, &env, &r)?;
-                updated[i] = v.coerce_to(dtypes[i])?;
-            }
-            new_rows.push(updated);
-            n += 1;
-        } else {
-            new_rows.push(r);
+        if !hit {
+            continue;
+        }
+        let mut updated = r.clone();
+        for (e, &i) in up.sets.iter().zip(&up.set_idx) {
+            let v = eval(&ctx, e, &env, &r)?;
+            updated[i] = v.coerce_to(dtypes[i])?;
+        }
+        pending.push((vi, updated));
+    }
+    let n = pending.len() as i64;
+    let mut guard = handle.write();
+    for &(vi, _) in &pending {
+        if guard.versions()[vi].end != LIVE {
+            return Err(serialize_conflict());
         }
     }
-    handle.write().rows = new_rows;
+    let stamp = write_stamp(db, txn);
+    let mut created = Vec::with_capacity(pending.len());
+    let mut ended = Vec::with_capacity(pending.len());
+    for (vi, new_row) in pending {
+        guard.end_version(vi, stamp);
+        ended.push(vi);
+        created.push(guard.push_version(stamp, new_row));
+    }
+    match txn {
+        WriteTxn::Auto => db.maybe_gc(&mut guard),
+        WriteTxn::Txn { .. } => {
+            drop(guard);
+            db.txn_record_write(&handle, created, ended);
+        }
+    }
     Ok(count_result(n))
 }
 
-/// DELETE: with a re-entrancy-free predicate the statement marks matching
-/// rows under one write guard and compacts the storage in place (a stable
-/// `retain` — survivors are moved, never cloned). A re-entrant predicate
-/// falls back to snapshot evaluation.
+/// DELETE: end the visible version of each matching row under the
+/// statement's write stamp — survivors are never touched, and the dead
+/// versions are reclaimed later by the GC watermark. A re-entrant
+/// predicate falls back to lock-free evaluation over a copied-out
+/// snapshot, applied with a conflict re-check per version.
 fn run_delete<'db>(db: &'db Database, dp: &DmlPlan, params: &[Value]) -> Result<Rows<'db>> {
     let ctx = Ctx {
         db,
@@ -1648,55 +1989,122 @@ fn run_delete<'db>(db: &'db Database, dp: &DmlPlan, params: &[Value]) -> Result<
         bindings: NO_BINDINGS,
     };
     let handle = db.get_table(&dp.table)?;
-    Database::check_writable(&dp.table, &handle)?;
+    let txn = db.write_txn();
+    if let WriteTxn::Txn { .. } = txn {
+        db.txn_pin(&handle);
+    }
     if dp.in_place {
         let mut guard = handle.write();
         if !schema_matches(&guard.schema, &dp.schema_cols) {
             return Err(stale_plan(&dp.table));
         }
-        let mut hits = vec![false; guard.rows.len()];
-        for (i, r) in guard.rows.iter().enumerate() {
-            hits[i] = match &dp.where_clause {
+        let snap = db.current_snapshot();
+        let mut hits: Vec<usize> = Vec::new();
+        let mut examined = 0u64;
+        for (vi, v) in guard.visible_versions(snap) {
+            examined += 1;
+            let hit = match &dp.where_clause {
                 None => true,
-                Some(p) => is_true(&eval(&ctx, p, &env, r)?)?,
+                Some(p) => is_true(&eval(&ctx, p, &env, &v.data)?)?,
             };
+            if !hit {
+                continue;
+            }
+            if v.end != LIVE {
+                return Err(serialize_conflict());
+            }
+            hits.push(vi);
         }
-        db.note_scan(guard.rows.len() as u64, true);
-        let n = hits.iter().filter(|&&h| h).count() as i64;
-        let mut i = 0;
-        guard.rows.retain(|_| {
-            let keep = !hits[i];
-            i += 1;
-            keep
-        });
+        db.note_scan(examined, true);
+        let n = hits.len() as i64;
+        match txn {
+            WriteTxn::Auto => {
+                let cts = db.commit_ts();
+                if !guard.pinned() && db.overwrite_safe(cts) {
+                    // Single-version fast path: nothing can ever read
+                    // these versions again, so remove them outright.
+                    guard.remove_versions(&hits);
+                } else {
+                    for &vi in &hits {
+                        guard.end_version(vi, cts);
+                    }
+                }
+                db.maybe_gc(&mut guard);
+            }
+            WriteTxn::Txn { txid } => {
+                for &vi in &hits {
+                    guard.end_version(vi, UNCOMMITTED | txid);
+                }
+                drop(guard);
+                db.txn_record_write(&handle, Vec::new(), hits);
+            }
+        }
         return Ok(count_result(n));
     }
+    let _pin = match txn {
+        WriteTxn::Auto => Some(TablePin::new(&handle)),
+        WriteTxn::Txn { .. } => None, // pinned via the txn
+    };
+    let snap = db.current_snapshot();
     let snapshot = {
         let g = handle.read();
         if !schema_matches(&g.schema, &dp.schema_cols) {
             return Err(stale_plan(&dp.table));
         }
-        db.note_scan(g.rows.len() as u64, false);
-        g.rows.clone()
+        let snapshot: Vec<(usize, Row)> = g
+            .visible_versions(snap)
+            .map(|(vi, v)| (vi, v.data.clone()))
+            .collect();
+        db.note_scan(snapshot.len() as u64, false);
+        snapshot
     };
-    let mut kept = Vec::with_capacity(snapshot.len());
-    let mut n = 0i64;
-    for r in snapshot {
+    let mut hits: Vec<usize> = Vec::new();
+    for (vi, r) in snapshot {
         let hit = match &dp.where_clause {
             None => true,
             Some(p) => is_true(&eval(&ctx, p, &env, &r)?)?,
         };
         if hit {
-            n += 1;
-        } else {
-            kept.push(r);
+            hits.push(vi);
         }
     }
-    handle.write().rows = kept;
+    let n = hits.len() as i64;
+    let mut guard = handle.write();
+    for &vi in &hits {
+        if guard.versions()[vi].end != LIVE {
+            return Err(serialize_conflict());
+        }
+    }
+    let stamp = write_stamp(db, txn);
+    for &vi in &hits {
+        guard.end_version(vi, stamp);
+    }
+    match txn {
+        WriteTxn::Auto => db.maybe_gc(&mut guard),
+        WriteTxn::Txn { .. } => {
+            drop(guard);
+            db.txn_record_write(&handle, Vec::new(), hits);
+        }
+    }
     Ok(count_result(n))
 }
 
-/// DDL — statements without a compiled operator tree.
+/// The no-rows status result of DDL and transaction-control statements.
+fn empty_result<'db>() -> Rows<'db> {
+    Rows::from_result(QueryResult::new(vec![]))
+}
+
+/// A session-level notice surfaced as a one-row result. PostgreSQL sends
+/// these out-of-band as `NOTICE` messages; sqlmini has no wire protocol,
+/// so the text rides in a `notice` column instead.
+fn notice_result<'db>(msg: &str) -> Rows<'db> {
+    let mut q = QueryResult::new(vec!["notice".into()]);
+    q.rows.push(vec![Value::Text(msg.into())]);
+    Rows::from_result(q)
+}
+
+/// DDL and transaction control — statements without a compiled operator
+/// tree.
 fn run_other<'db>(db: &'db Database, stmt: &Stmt) -> Result<Rows<'db>> {
     match stmt {
         Stmt::CreateTable {
@@ -1710,19 +2118,52 @@ fn run_other<'db>(db: &'db Database, stmt: &Stmt) -> Result<Rows<'db>> {
                 .collect::<Vec<_>>();
             let schema = Schema::new(cols)?;
             match db.create_table(name, Table::new(schema)) {
-                Ok(()) => {}
+                Ok(()) => db.txn_record_ddl(UndoEntry::CreateTable {
+                    name: name.to_ascii_lowercase(),
+                }),
                 Err(SqlError::Constraint(_)) if *if_not_exists => {}
                 Err(e) => return Err(e),
             }
-            Ok(Rows::from_result(QueryResult::new(vec![])))
+            Ok(empty_result())
         }
         Stmt::DropTable { name, if_exists } => {
+            // Hold on to the displaced table so ROLLBACK can reinstate
+            // it — versions, stats and all.
+            let displaced = db.get_table(name).ok();
             match db.drop_table(name) {
-                Ok(()) => {}
+                Ok(()) => {
+                    if let Some(handle) = displaced {
+                        db.txn_record_ddl(UndoEntry::DropTable {
+                            name: name.to_ascii_lowercase(),
+                            handle,
+                        });
+                    }
+                }
                 Err(SqlError::UnknownTable(_)) if *if_exists => {}
                 Err(e) => return Err(e),
             }
-            Ok(Rows::from_result(QueryResult::new(vec![])))
+            Ok(empty_result())
+        }
+        Stmt::Begin => {
+            if db.begin_txn() {
+                Ok(empty_result())
+            } else {
+                Ok(notice_result("there is already a transaction in progress"))
+            }
+        }
+        Stmt::Commit => {
+            if db.commit_txn()? {
+                Ok(empty_result())
+            } else {
+                Ok(notice_result("there is no transaction in progress"))
+            }
+        }
+        Stmt::Rollback => {
+            if db.rollback_txn() {
+                Ok(empty_result())
+            } else {
+                Ok(notice_result("there is no transaction in progress"))
+            }
         }
         Stmt::Select(_) | Stmt::Insert { .. } | Stmt::Update { .. } | Stmt::Delete { .. } => {
             unreachable!("DML executes through its compiled plan")
@@ -1743,7 +2184,13 @@ pub(crate) fn execute<'db>(
     plan: &Arc<PhysicalPlan>,
     params: &[Value],
 ) -> Result<Rows<'db>> {
-    match &**plan {
+    // Inside an aborted transaction every statement except COMMIT /
+    // ROLLBACK is rejected with PostgreSQL's wording; and a failed
+    // statement aborts the enclosing transaction, as in PostgreSQL.
+    if !matches!(stmt, Stmt::Commit | Stmt::Rollback) {
+        db.check_txn_ok()?;
+    }
+    let result = match &**plan {
         PhysicalPlan::StaticSelect(_) => run_static_select(db, plan, params, true),
         PhysicalPlan::DynamicSelect => {
             let Stmt::Select(sel) = stmt else {
@@ -1755,7 +2202,11 @@ pub(crate) fn execute<'db>(
         PhysicalPlan::Update(up) => run_update(db, up, params),
         PhysicalPlan::Delete(dp) => run_delete(db, dp, params),
         PhysicalPlan::Other => run_other(db, stmt),
+    };
+    if result.is_err() {
+        db.abort_txn();
     }
+    result
 }
 
 /// Compile and execute one statement, materializing the result. Used by
@@ -1771,7 +2222,13 @@ pub fn execute_stmt_rows<'db>(
     stmt: &Stmt,
     params: &[Value],
 ) -> Result<Rows<'db>> {
-    let plan = Arc::new(crate::plan::compile(db, stmt)?);
+    // Mirror `Statement::query_rows`: aborted transactions reject the
+    // statement before planning, and a plan-time failure aborts an open
+    // transaction just like an execution failure.
+    if !matches!(stmt, Stmt::Commit | Stmt::Rollback) {
+        db.check_txn_ok()?;
+    }
+    let plan = Arc::new(crate::plan::compile(db, stmt).inspect_err(|_| db.abort_txn())?);
     db.note_plan_built();
     execute(db, stmt, &plan, params)
 }

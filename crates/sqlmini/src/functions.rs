@@ -288,6 +288,10 @@ pub fn register_builtin_table_fns(db: &Database) {
         push("scan_fallbacks", fallbacks);
         push("stmt_cache_size", db.stmt_cache_len() as u64);
         push("stmt_cache_capacity", db.stmt_cache_capacity() as u64);
+        let (committed, rolled_back) = db.txn_stats();
+        push("txns_committed", committed);
+        push("txns_rolled_back", rolled_back);
+        push("versions_gc", db.gc_stats());
         for (name, count) in db.udf_call_counts() {
             if count > 0 {
                 push(&format!("calls.{name}"), count);

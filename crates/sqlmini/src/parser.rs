@@ -114,10 +114,32 @@ impl Parser {
         if self.eat_kw("drop") {
             return self.parse_drop();
         }
+        if self.eat_kw("begin") {
+            self.eat_txn_noise();
+            return Ok(Stmt::Begin);
+        }
+        if self.eat_kw("start") {
+            self.expect_kw("transaction")?;
+            return Ok(Stmt::Begin);
+        }
+        if self.eat_kw("commit") || self.eat_kw("end") {
+            self.eat_txn_noise();
+            return Ok(Stmt::Commit);
+        }
+        if self.eat_kw("rollback") || self.eat_kw("abort") {
+            self.eat_txn_noise();
+            return Ok(Stmt::Rollback);
+        }
         Err(SqlError::Parse(format!(
             "expected a statement, found {:?}",
             self.peek()
         )))
+    }
+
+    /// The optional `TRANSACTION` / `WORK` noise word after BEGIN, COMMIT,
+    /// END, ROLLBACK and ABORT.
+    fn eat_txn_noise(&mut self) {
+        let _ = self.eat_kw("transaction") || self.eat_kw("work");
     }
 
     fn parse_select(&mut self) -> Result<SelectStmt> {

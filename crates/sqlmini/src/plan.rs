@@ -381,7 +381,11 @@ pub(crate) fn compile(db: &Database, stmt: &Stmt) -> Result<PhysicalPlan> {
             })?;
             Ok(PhysicalPlan::Delete(plan))
         }
-        Stmt::CreateTable { .. } | Stmt::DropTable { .. } => Ok(PhysicalPlan::Other),
+        Stmt::CreateTable { .. }
+        | Stmt::DropTable { .. }
+        | Stmt::Begin
+        | Stmt::Commit
+        | Stmt::Rollback => Ok(PhysicalPlan::Other),
     }
 }
 

@@ -69,13 +69,140 @@ impl Schema {
 /// A row of values.
 pub type Row = Vec<Value>;
 
-/// An in-memory heap table.
-#[derive(Debug, Clone, Default)]
+/// `end` stamp of a version that has not been deleted or superseded.
+///
+/// Note that `LIVE` has the [`UNCOMMITTED`] bit set, so visibility checks
+/// must test for `LIVE` before interpreting the uncommitted bit.
+pub(crate) const LIVE: u64 = u64::MAX;
+
+/// High bit of a begin/end stamp: the stamp is a transaction id, not a
+/// commit timestamp. `UNCOMMITTED | txid` marks a pending write that only
+/// the owning transaction can see (begin) or still sees (end).
+pub(crate) const UNCOMMITTED: u64 = 1 << 63;
+
+/// `begin` stamp of a version that no snapshot can ever see again (a
+/// rolled-back insert). Transaction ids start at 1, so `UNCOMMITTED | 0`
+/// never collides with a real pending write.
+pub(crate) const TOMBSTONE: u64 = UNCOMMITTED;
+
+/// The read position of one statement or cursor: every version committed
+/// at or before `ts` is visible, plus this transaction's own pending
+/// writes when `txid != 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct Snapshot {
+    /// Commit-clock value pinned when the snapshot was taken.
+    pub ts: u64,
+    /// Owning transaction id, or 0 outside an explicit transaction.
+    pub txid: u64,
+}
+
+impl Snapshot {
+    /// A snapshot that sees every committed version and no pending ones —
+    /// the view a brand-new statement would get "now".
+    #[cfg(test)]
+    pub(crate) fn latest() -> Self {
+        Snapshot {
+            ts: UNCOMMITTED - 1,
+            txid: 0,
+        }
+    }
+}
+
+/// One version of one row: the payload plus the half-open commit-time
+/// interval `[begin, end)` during which it is the current version.
+#[derive(Debug, Clone)]
+pub(crate) struct VersionedRow {
+    /// Commit timestamp of the writer that created this version, or
+    /// `UNCOMMITTED | txid` while that writer is still in flight.
+    pub begin: u64,
+    /// Commit timestamp of the writer that deleted/superseded it,
+    /// [`LIVE`] while current, or `UNCOMMITTED | txid` for a pending
+    /// delete.
+    pub end: u64,
+    /// The row payload.
+    pub data: Row,
+}
+
+impl VersionedRow {
+    /// The MVCC visibility rule: created by us or committed at-or-before
+    /// our snapshot, and not yet deleted as far as our snapshot can tell.
+    pub(crate) fn visible(&self, snap: Snapshot) -> bool {
+        let begin_ok = if self.begin & UNCOMMITTED != 0 {
+            snap.txid != 0 && self.begin == UNCOMMITTED | snap.txid
+        } else {
+            self.begin <= snap.ts
+        };
+        if !begin_ok {
+            return false;
+        }
+        if self.end == LIVE {
+            return true;
+        }
+        if self.end & UNCOMMITTED != 0 {
+            // Another transaction's pending delete does not hide the row;
+            // our own does.
+            !(snap.txid != 0 && self.end == UNCOMMITTED | snap.txid)
+        } else {
+            self.end > snap.ts
+        }
+    }
+
+    /// True when no current or future snapshot can see this version:
+    /// a rolled-back insert, or a deletion committed at or before the
+    /// oldest snapshot still alive.
+    fn reclaimable(&self, watermark: u64) -> bool {
+        self.begin == TOMBSTONE
+            || (self.end != LIVE && self.end & UNCOMMITTED == 0 && self.end <= watermark)
+    }
+
+    /// Dead for accounting purposes: it can eventually be reclaimed once
+    /// the watermark passes it.
+    fn dead(&self) -> bool {
+        self.begin == TOMBSTONE || (self.end != LIVE && self.end & UNCOMMITTED == 0)
+    }
+}
+
+/// Compaction trigger: at least this many dead versions, and at least
+/// half the heap dead.
+const GC_MIN_DEAD: usize = 64;
+
+/// An in-memory heap table: a schema plus an append-only heap of row
+/// versions. Visibility of a version to a given `Snapshot` is decided
+/// per read; dead versions linger until compaction reclaims them.
+#[derive(Debug, Default)]
 pub struct Table {
     /// The table's schema.
     pub schema: Schema,
-    /// Row storage.
-    pub rows: Vec<Row>,
+    /// Version storage. Append-only except for [`Table::compact`], so
+    /// version indices stay valid while `pins > 0`.
+    versions: Vec<VersionedRow>,
+    /// Count of versions whose data can eventually be reclaimed.
+    dead: usize,
+    /// Count of versions carrying an in-flight transaction's stamp — an
+    /// uncommitted begin or a pending delete. Tombstones are excluded
+    /// (they are counted in `dead`).
+    pending: usize,
+    /// Highest committed begin stamp ever appended (monotone; may
+    /// overstate after removals, which only makes the quiescence check
+    /// conservative).
+    max_begin: u64,
+    /// Holders of version indices that outlive a single guard (streaming
+    /// cursors, open transactions, snapshot DML). Compaction is skipped
+    /// while any pin is held, because it renumbers versions.
+    pins: std::sync::atomic::AtomicUsize,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            schema: self.schema.clone(),
+            versions: self.versions.clone(),
+            dead: self.dead,
+            pending: self.pending,
+            max_begin: self.max_begin,
+            pins: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
 }
 
 impl Table {
@@ -83,12 +210,17 @@ impl Table {
     pub fn new(schema: Schema) -> Self {
         Table {
             schema,
-            rows: Vec::new(),
+            versions: Vec::new(),
+            dead: 0,
+            pending: 0,
+            max_begin: 0,
+            pins: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
-    /// Insert a row, coercing each value to its column type.
-    pub fn insert(&mut self, row: Row) -> Result<()> {
+    /// Validate arity and coerce each value to its column type, without
+    /// storing anything — the error-before-mutation half of every insert.
+    pub(crate) fn coerce_row(&self, row: Row) -> Result<Row> {
         if row.len() != self.schema.len() {
             return Err(SqlError::Constraint(format!(
                 "INSERT has {} values but table has {} columns",
@@ -96,40 +228,231 @@ impl Table {
                 self.schema.len()
             )));
         }
-        let coerced: Result<Row> = row
-            .iter()
+        row.iter()
             .zip(&self.schema.columns)
             .map(|(v, c)| {
                 v.coerce_to(c.dtype)
                     .map_err(|e| SqlError::Type(format!("column \"{}\": {e}", c.name)))
             })
-            .collect();
-        self.rows.push(coerced?);
+            .collect()
+    }
+
+    /// Insert a row, coercing each value to its column type. The version
+    /// is created visible to every snapshot (begin 0) — the direct table
+    /// building path used before a table is registered.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        let coerced = self.coerce_row(row)?;
+        self.push_version(0, coerced);
         Ok(())
     }
 
-    /// Number of rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// True when the table holds no rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Clone the row storage keeping only the given columns, in `cols`
-    /// order — the column-pruned snapshot the executor takes when a scan
-    /// cannot run zero-copy. Cloning whole rows is the fast path when
-    /// every column is read.
-    pub fn project_rows(&self, cols: &[usize]) -> Vec<Row> {
-        if cols.len() == self.schema.len() && cols.iter().enumerate().all(|(i, &c)| i == c) {
-            return self.rows.clone();
+    /// Roll back versions appended past `len` by the current statement —
+    /// the error path of a batch insert. Safe under the exclusive guard
+    /// the statement holds: the truncated tail was never visible to any
+    /// other snapshot, and pinned cursors only hold indices below it.
+    pub(crate) fn truncate_versions(&mut self, len: usize) {
+        // The tail was appended by the failing statement: under a
+        // transaction those versions carry uncommitted begin stamps.
+        for v in &self.versions[len..] {
+            if v.begin & UNCOMMITTED != 0 && v.begin != TOMBSTONE {
+                self.pending -= 1;
+            }
         }
-        self.rows
+        self.versions.truncate(len);
+    }
+
+    /// Append a version (already coerced) and return its index.
+    pub(crate) fn push_version(&mut self, begin: u64, data: Row) -> usize {
+        if begin & UNCOMMITTED != 0 {
+            self.pending += 1;
+        } else if begin > self.max_begin {
+            self.max_begin = begin;
+        }
+        self.versions.push(VersionedRow {
+            begin,
+            end: LIVE,
+            data,
+        });
+        self.versions.len() - 1
+    }
+
+    /// All versions, for conflict checks by index.
+    pub(crate) fn versions(&self) -> &[VersionedRow] {
+        &self.versions
+    }
+
+    /// Stamp a version's end (delete/supersede it as of `stamp`).
+    pub(crate) fn end_version(&mut self, i: usize, stamp: u64) {
+        self.versions[i].end = stamp;
+        if stamp & UNCOMMITTED == 0 {
+            self.dead += 1;
+        } else {
+            self.pending += 1;
+        }
+    }
+
+    /// Commit a pending insert: `UNCOMMITTED | txid` → `cts`.
+    pub(crate) fn commit_begin(&mut self, i: usize, txid: u64, cts: u64) {
+        if self.versions[i].begin == UNCOMMITTED | txid {
+            self.versions[i].begin = cts;
+            self.pending -= 1;
+            if cts > self.max_begin {
+                self.max_begin = cts;
+            }
+        }
+    }
+
+    /// Commit a pending delete: `UNCOMMITTED | txid` → `cts`.
+    pub(crate) fn commit_end(&mut self, i: usize, txid: u64, cts: u64) {
+        if self.versions[i].end == UNCOMMITTED | txid {
+            self.versions[i].end = cts;
+            self.pending -= 1;
+            self.dead += 1;
+        }
+    }
+
+    /// Undo a pending delete: the version is current again.
+    pub(crate) fn revert_end(&mut self, i: usize, txid: u64) {
+        if self.versions[i].end == UNCOMMITTED | txid {
+            self.versions[i].end = LIVE;
+            self.pending -= 1;
+        }
+    }
+
+    /// Undo a pending insert: tombstone the version.
+    pub(crate) fn revert_insert(&mut self, i: usize, txid: u64) {
+        if self.versions[i].begin == UNCOMMITTED | txid {
+            self.versions[i].begin = TOMBSTONE;
+            self.pending -= 1;
+            self.dead += 1;
+        }
+    }
+
+    /// Block compaction while version indices are held across guard
+    /// releases. Paired with [`Table::unpin`].
+    pub(crate) fn pin(&self) {
+        self.pins.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Release a [`Table::pin`].
+    pub(crate) fn unpin(&self) {
+        self.pins.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// True when compaction may renumber versions.
+    pub(crate) fn pinned(&self) -> bool {
+        self.pins.load(std::sync::atomic::Ordering::SeqCst) > 0
+    }
+
+    /// Mutable payload access for the single-version fast path: an
+    /// auto-commit UPDATE overwrites the current version in place —
+    /// creating no garbage — once its caller has proven that no snapshot
+    /// below its commit timestamp is live and no cursor pins this table
+    /// (see `Database::overwrite_safe`).
+    pub(crate) fn version_data_mut(&mut self, i: usize) -> &mut Row {
+        &mut self.versions[i].data
+    }
+
+    /// Physically remove versions by ascending index — the single-version
+    /// fast path of an auto-commit DELETE. Renumbers the heap, so it
+    /// demands the same proof as [`Table::version_data_mut`].
+    pub(crate) fn remove_versions(&mut self, sorted: &[usize]) {
+        let mut doomed = sorted.iter().copied().peekable();
+        let mut i = 0usize;
+        self.versions.retain(|_| {
+            let hit = doomed.peek() == Some(&i);
+            if hit {
+                doomed.next();
+            }
+            i += 1;
+            !hit
+        });
+    }
+
+    /// True when enough garbage has accumulated to be worth a compaction
+    /// pass (the caller still checks pins via [`Table::compact`]).
+    pub(crate) fn needs_gc(&self) -> bool {
+        self.dead >= GC_MIN_DEAD && self.dead * 2 >= self.versions.len()
+    }
+
+    /// Drop every version no snapshot at or after `watermark` can see.
+    /// Returns the number reclaimed; a no-op while the table is pinned
+    /// (compaction renumbers the surviving versions).
+    pub(crate) fn compact(&mut self, watermark: u64) -> usize {
+        if self.pinned() {
+            return 0;
+        }
+        let before = self.versions.len();
+        self.versions.retain(|v| !v.reclaimable(watermark));
+        self.dead = self.versions.iter().filter(|v| v.dead()).count();
+        before - self.versions.len()
+    }
+
+    /// Every version in the heap is visible to `snap`: nothing dead,
+    /// nothing pending, and nothing committed after the snapshot. Scans
+    /// use this to skip the per-version visibility check on quiescent
+    /// tables — the overwhelmingly common serial case.
+    pub(crate) fn all_visible(&self, snap: Snapshot) -> bool {
+        self.dead == 0 && self.pending == 0 && self.max_begin <= snap.ts
+    }
+
+    /// Number of current committed rows (pending writes count as still
+    /// current to everyone but their owner).
+    pub fn len(&self) -> usize {
+        if self.dead == 0 && self.pending == 0 {
+            return self.versions.len();
+        }
+        self.versions
             .iter()
+            .filter(|v| v.begin & UNCOMMITTED == 0 && (v.end == LIVE || v.end & UNCOMMITTED != 0))
+            .count()
+    }
+
+    /// True when the table holds no current committed rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the rows visible to `snap`, in version order.
+    pub(crate) fn visible(&self, snap: Snapshot) -> impl Iterator<Item = &Row> {
+        let all = self.all_visible(snap);
+        self.versions
+            .iter()
+            .filter(move |v| all || v.visible(snap))
+            .map(|v| &v.data)
+    }
+
+    /// Iterate `(version index, version)` pairs visible to `snap` — for
+    /// DML, which needs the index to stamp the version it supersedes.
+    pub(crate) fn visible_versions(
+        &self,
+        snap: Snapshot,
+    ) -> impl Iterator<Item = (usize, &VersionedRow)> {
+        let all = self.all_visible(snap);
+        self.versions
+            .iter()
+            .enumerate()
+            .filter(move |(_, v)| all || v.visible(snap))
+    }
+
+    /// Clone the rows visible to `snap` keeping only the given columns,
+    /// in `cols` order — the column-pruned snapshot the executor takes
+    /// when a scan cannot run zero-copy. Cloning whole rows is the fast
+    /// path when every column is read.
+    pub(crate) fn project_rows(&self, cols: &[usize], snap: Snapshot) -> Vec<Row> {
+        if cols.len() == self.schema.len() && cols.iter().enumerate().all(|(i, &c)| i == c) {
+            return self.visible(snap).cloned().collect();
+        }
+        self.visible(snap)
             .map(|r| cols.iter().map(|&i| r[i].clone()).collect())
             .collect()
+    }
+
+    /// Clone the current committed rows — a convenience for tests and
+    /// direct (non-SQL) inspection.
+    #[cfg(test)]
+    pub(crate) fn latest_rows(&self) -> Vec<Row> {
+        self.visible(Snapshot::latest()).cloned().collect()
     }
 }
 
@@ -279,7 +602,7 @@ mod tests {
     fn insert_coerces_and_checks_arity() {
         let mut t = Table::new(schema());
         t.insert(vec![Value::Int(1), Value::Int(2)]).unwrap();
-        assert_eq!(t.rows[0][1], Value::Float(2.0));
+        assert_eq!(t.latest_rows()[0][1], Value::Float(2.0));
         assert!(t.insert(vec![Value::Int(1)]).is_err());
         assert!(t
             .insert(vec![Value::Text("x".into()), Value::Float(0.0)])
@@ -292,15 +615,62 @@ mod tests {
         let mut t = Table::new(schema());
         t.insert(vec![Value::Int(1), Value::Float(1.5)]).unwrap();
         t.insert(vec![Value::Int(2), Value::Float(2.5)]).unwrap();
+        let snap = Snapshot::latest();
         // Subset, preserving row order.
         assert_eq!(
-            t.project_rows(&[1]),
+            t.project_rows(&[1], snap),
             vec![vec![Value::Float(1.5)], vec![Value::Float(2.5)]]
         );
         // Identity selection is the whole-row clone fast path.
-        assert_eq!(t.project_rows(&[0, 1]), t.rows);
+        assert_eq!(t.project_rows(&[0, 1], snap), t.latest_rows());
         // No used columns: row count preserved, rows empty.
-        assert_eq!(t.project_rows(&[]), vec![Vec::new(), Vec::new()]);
+        assert_eq!(t.project_rows(&[], snap), vec![Vec::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn visibility_follows_begin_end_stamps() {
+        let mut t = Table::new(schema());
+        t.insert(vec![Value::Int(1), Value::Float(1.0)]).unwrap();
+        // Committed at ts 5, still live.
+        let i = t.push_version(5, vec![Value::Int(2), Value::Float(2.0)]);
+        // Pending insert by txn 9.
+        let j = t.push_version(UNCOMMITTED | 9, vec![Value::Int(3), Value::Float(3.0)]);
+        let old = Snapshot { ts: 4, txid: 0 };
+        let new = Snapshot { ts: 5, txid: 0 };
+        let own = Snapshot { ts: 4, txid: 9 };
+        assert_eq!(t.visible(old).count(), 1);
+        assert_eq!(t.visible(new).count(), 2);
+        assert_eq!(t.visible(own).count(), 2, "own pending insert is visible");
+        // Delete version i at ts 7: snapshots at or after 7 lose it.
+        t.end_version(i, 7);
+        assert_eq!(t.visible(Snapshot { ts: 6, txid: 0 }).count(), 2);
+        assert_eq!(t.visible(Snapshot { ts: 7, txid: 0 }).count(), 1);
+        // Own pending delete hides the row from its owner only.
+        t.commit_begin(j, 9, 8);
+        t.end_version(j, UNCOMMITTED | 11);
+        assert_eq!(t.visible(Snapshot { ts: 8, txid: 11 }).count(), 1);
+        assert_eq!(t.visible(Snapshot { ts: 8, txid: 0 }).count(), 2);
+    }
+
+    #[test]
+    fn compaction_respects_watermark_and_pins() {
+        let mut t = Table::new(schema());
+        for k in 0..4 {
+            t.insert(vec![Value::Int(k), Value::Float(0.0)]).unwrap();
+        }
+        t.end_version(0, 5);
+        t.end_version(1, 9);
+        t.revert_insert(2, 0); // not a pending insert of txn 0: no-op
+        assert_eq!(t.len(), 2);
+        // A pin blocks compaction entirely.
+        t.pin();
+        assert_eq!(t.compact(10), 0);
+        t.unpin();
+        // Watermark 5 reclaims only the version that died at ts <= 5.
+        assert_eq!(t.compact(5), 1);
+        assert_eq!(t.compact(9), 1);
+        assert_eq!(t.compact(9), 0);
+        assert_eq!(t.len(), 2);
     }
 
     #[test]

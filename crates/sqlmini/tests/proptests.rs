@@ -345,9 +345,28 @@ proptest! {
         prop_assert_eq!(z2, z1, "re-entrant UPDATE snapshots");
         prop_assert!(f2 > f0);
         prop_assert_eq!(&fast.rows, &slow.rows, "same affected-row count");
+        // Physical order may differ: the auto-commit fast path
+        // overwrites rows in place, the re-entrant fallback ends the
+        // old version and appends the new one. SQL promises a multiset.
+        let key = |r: &Vec<Value>| {
+            r.iter()
+                .map(|v| match v {
+                    Value::Int(i) => *i,
+                    other => panic!("unexpected value {other:?}"),
+                })
+                .collect::<Vec<i64>>()
+        };
+        let sorted = |mut rows: Vec<Vec<Value>>| {
+            rows.sort_by_key(key);
+            rows
+        };
         let qa = db.execute("SELECT k, v FROM a").unwrap();
         let qb = db.execute("SELECT k, v FROM b").unwrap();
-        prop_assert_eq!(&qa.rows, &qb.rows, "same table contents after UPDATE");
+        prop_assert_eq!(
+            sorted(qa.rows),
+            sorted(qb.rows),
+            "same table contents after UPDATE"
+        );
 
         let fast = db
             .execute(&format!("DELETE FROM a WHERE v > {threshold}"))
@@ -358,7 +377,118 @@ proptest! {
         prop_assert_eq!(&fast.rows, &slow.rows, "same deleted-row count");
         let qa = db.execute("SELECT k, v FROM a").unwrap();
         let qb = db.execute("SELECT k, v FROM b").unwrap();
-        prop_assert_eq!(&qa.rows, &qb.rows, "same table contents after DELETE");
+        prop_assert_eq!(
+            sorted(qa.rows),
+            sorted(qb.rows),
+            "same table contents after DELETE"
+        );
+    }
+
+    /// Serial workloads cannot tell MVCC from single-version storage: a
+    /// random INSERT/UPDATE/DELETE sequence applied to the engine and to
+    /// a plain in-memory model yields the same multiset of rows after
+    /// every statement.
+    #[test]
+    fn serial_dml_matches_single_version_model(
+        ops in proptest::collection::vec((0u8..3, -20i64..20, -20i64..20), 0..30),
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v int)").unwrap();
+        let mut model: Vec<i64> = Vec::new();
+        for (op, a, b) in ops {
+            match op {
+                0 => {
+                    db.execute(&format!("INSERT INTO t VALUES ({a})")).unwrap();
+                    model.push(a);
+                }
+                1 => {
+                    db.execute(&format!("UPDATE t SET v = {b} WHERE v < {a}")).unwrap();
+                    for v in model.iter_mut() {
+                        if *v < a {
+                            *v = b;
+                        }
+                    }
+                }
+                _ => {
+                    db.execute(&format!("DELETE FROM t WHERE v > {a}")).unwrap();
+                    model.retain(|v| *v <= a);
+                }
+            }
+            let mut got: Vec<i64> = db
+                .execute("SELECT v FROM t")
+                .unwrap()
+                .rows
+                .iter()
+                .map(|r| r[0].as_i64().unwrap())
+                .collect();
+            got.sort_unstable();
+            let mut want = model.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// A streaming reader opened before a batch of writes never observes
+    /// them: the cursor's snapshot is immutable no matter how the table
+    /// changes while it is open — whether the writes auto-commit one by
+    /// one or land atomically through BEGIN … COMMIT.
+    #[test]
+    fn open_cursors_never_see_later_writes(
+        initial in proptest::collection::vec(-100i64..100, 1..20),
+        writes in proptest::collection::vec((0u8..3, -100i64..100), 1..10),
+        in_txn in (0i64..2).prop_map(|b| b == 1),
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v int)").unwrap();
+        for v in &initial {
+            db.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+        }
+        let mut rows = db.query_rows("SELECT v FROM t", &[]).unwrap();
+        let first = rows.next().unwrap().unwrap();
+        prop_assert_eq!(&first[0], &Value::Int(initial[0]));
+        if in_txn {
+            db.execute("BEGIN").unwrap();
+        }
+        for (op, x) in &writes {
+            match op {
+                0 => db.execute(&format!("INSERT INTO t VALUES ({x})")).unwrap(),
+                1 => db.execute(&format!("UPDATE t SET v = v + 1 WHERE v < {x}")).unwrap(),
+                _ => db.execute(&format!("DELETE FROM t WHERE v > {x}")).unwrap(),
+            };
+        }
+        if in_txn {
+            db.execute("COMMIT").unwrap();
+        }
+        let rest: Vec<i64> = rows.map(|r| r.unwrap()[0].as_i64().unwrap()).collect();
+        let mut seen = vec![initial[0]];
+        seen.extend(rest);
+        prop_assert_eq!(seen, initial, "the cursor reads its snapshot, not the writes");
+    }
+
+    /// ROLLBACK erases every trace of a transaction's random DML: the
+    /// table reads back exactly — contents and order — as before BEGIN.
+    #[test]
+    fn rolled_back_transactions_are_invisible(
+        initial in proptest::collection::vec(-100i64..100, 0..20),
+        ops in proptest::collection::vec((0u8..3, -100i64..100), 1..12),
+    ) {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v int)").unwrap();
+        for v in &initial {
+            db.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+        }
+        let before = db.execute("SELECT v FROM t").unwrap();
+        db.execute("BEGIN").unwrap();
+        for (op, x) in &ops {
+            match op {
+                0 => db.execute(&format!("INSERT INTO t VALUES ({x})")).unwrap(),
+                1 => db.execute(&format!("UPDATE t SET v = v + 1 WHERE v < {x}")).unwrap(),
+                _ => db.execute(&format!("DELETE FROM t WHERE v > {x}")).unwrap(),
+            };
+        }
+        db.execute("ROLLBACK").unwrap();
+        let after = db.execute("SELECT v FROM t").unwrap();
+        prop_assert_eq!(&before.rows, &after.rows);
     }
 
     /// A `$1` bind stores exactly the same value as the equivalent escaped
