@@ -13,9 +13,11 @@
 //! binds, the zero-copy scan paths — streamed vs materialized, ordered,
 //! in-place UPDATE/DELETE — the grouped rollup vs. its client-side fold,
 //! a concurrent read-while-ingest workload that the pre-MVCC engine
-//! rejected outright, and a full 672 h FMU simulation) and writes
-//! per-bench robust medians (`{"median_ns": …, "mad_ns": …}`, see
-//! `criterion::stats`) to `BENCH_PR6.json` so the performance
+//! rejected outright, the access-path subsystem — indexed point/range
+//! lookups vs sequential scans on a 100 k-row table and the hash join
+//! vs its nested-loop baseline — and a full 672 h FMU simulation) and
+//! writes per-bench robust medians (`{"median_ns": …, "mad_ns": …}`,
+//! see `criterion::stats`) to `BENCH_PR7.json` so the performance
 //! trajectory accumulates across PRs.
 
 use pgfmu_bench::report::{fmt_secs, render};
@@ -84,7 +86,7 @@ fn main() {
         run_grouped(&profile);
     }
     if want("bench") {
-        run_bench_json("BENCH_PR6.json");
+        run_bench_json("BENCH_PR7.json");
     }
 }
 
@@ -341,6 +343,89 @@ fn run_bench_json(path: &str) {
         }),
     );
 
+    // Access paths: a 100 k-row table probed by key, with the planner's
+    // index choice toggled off for the sequential baseline. The per-PR
+    // acceptance number is the indexed/seq ratio; the pgfmu_stats()
+    // assertion below proves the fast runs actually took the index path.
+    {
+        db.execute("CREATE TABLE big (k int, v float)").unwrap();
+        let ins = db.prepare("INSERT INTO big VALUES ($1, $2)").unwrap();
+        for i in 0..100_000i64 {
+            ins.query(params![i, (i % 97) as f64]).unwrap();
+        }
+        db.execute("CREATE UNIQUE INDEX big_k ON big (k)").unwrap();
+        db.execute("ANALYZE big").unwrap();
+        let point = db.prepare("SELECT v FROM big WHERE k = $1").unwrap();
+        let (ix_before, _, _, _) = db.access_stats();
+        push(
+            "sql_point_lookup_indexed",
+            sample_ns(SELECT_RUNS, || {
+                black_box(point.query(params![77_777i64]).unwrap());
+            }),
+        );
+        let (ix_after, _, _, _) = db.access_stats();
+        assert!(
+            ix_after > ix_before + SELECT_RUNS as u64,
+            "point lookups must take the index path \
+             (pgfmu_stats reports {ix_after} index scans, started at {ix_before})"
+        );
+        let range = db
+            .prepare("SELECT count(*), avg(v) FROM big WHERE k >= $1 AND k < $2")
+            .unwrap();
+        push(
+            "sql_range_scan_indexed",
+            sample_ns(SELECT_RUNS, || {
+                black_box(range.query(params![50_000i64, 50_256i64]).unwrap());
+            }),
+        );
+        db.set_index_access_enabled(false);
+        push(
+            "sql_point_lookup_seq",
+            sample_ns(30, || {
+                black_box(point.query(params![77_777i64]).unwrap());
+            }),
+        );
+        db.set_index_access_enabled(true);
+    }
+    // Hash join vs the nested loop it replaces, on an equi-join whose
+    // cross product (2000 x 400) the cost model refuses to nested-loop.
+    {
+        db.execute("CREATE TABLE jl (k int, v float)").unwrap();
+        db.execute("CREATE TABLE jr (k int, w float)").unwrap();
+        let ins = db.prepare("INSERT INTO jl VALUES ($1, $2)").unwrap();
+        for i in 0..2000i64 {
+            ins.query(params![i, i as f64]).unwrap();
+        }
+        let ins = db.prepare("INSERT INTO jr VALUES ($1, $2)").unwrap();
+        for i in 0..400i64 {
+            ins.query(params![i * 5, i as f64]).unwrap();
+        }
+        let join = db
+            .prepare("SELECT count(*), avg(jl.v + jr.w) FROM jl JOIN jr ON jl.k = jr.k")
+            .unwrap();
+        let (_, _, hj_before, _) = db.access_stats();
+        push(
+            "sql_hash_join_vs_nested",
+            sample_ns(30, || {
+                black_box(join.query(params![]).unwrap());
+            }),
+        );
+        let (_, _, hj_after, _) = db.access_stats();
+        assert!(
+            hj_after >= hj_before + 31,
+            "the equi-join must build a hash table \
+             (pgfmu_stats reports {hj_after} hash joins, started at {hj_before})"
+        );
+        db.set_hash_join_enabled(false);
+        push(
+            "sql_nested_loop_join",
+            sample_ns(30, || {
+                black_box(join.query(params![]).unwrap());
+            }),
+        );
+        db.set_hash_join_enabled(true);
+    }
+
     // The per-day energy rollup over simulated output: grouped SQL
     // statement (index-bucketed grouping, memoized aggregates) vs. the
     // client-side fold it replaced — the plan-pipeline acceptance number.
@@ -384,6 +469,7 @@ fn run_bench_json(path: &str) {
 
     let (rows_scanned, zero_copy, fallbacks) = db.scan_stats();
     let (txns_committed, txns_rolled_back) = db.txn_stats();
+    let (index_scans, seq_scans, hash_joins, analyze_runs) = db.access_stats();
     let versions_gc = db.gc_stats();
     let mut json = String::from("{\n");
     for (name, s) in &results {
@@ -395,6 +481,8 @@ fn run_bench_json(path: &str) {
     json.push_str(&format!(
         "  \"pgfmu_stats\": {{\"rows_scanned\": {rows_scanned}, \
          \"scans_zero_copy\": {zero_copy}, \"scan_fallbacks\": {fallbacks}, \
+         \"index_scans\": {index_scans}, \"seq_scans\": {seq_scans}, \
+         \"hash_joins\": {hash_joins}, \"analyze_runs\": {analyze_runs}, \
          \"txns_committed\": {txns_committed}, \
          \"txns_rolled_back\": {txns_rolled_back}, \
          \"versions_gc\": {versions_gc}}}\n"
@@ -407,9 +495,24 @@ fn run_bench_json(path: &str) {
             s.median as u128, s.mad as u128
         );
     }
+    let median_of = |name: &str| -> f64 {
+        results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s.median)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "access paths: indexed point lookup {:.1}x over seq scan (100k rows), \
+         hash join {:.1}x over nested loop",
+        median_of("sql_point_lookup_seq") / median_of("sql_point_lookup_indexed"),
+        median_of("sql_nested_loop_join") / median_of("sql_hash_join_vs_nested")
+    );
     println!(
         "scan counters: {rows_scanned} rows scanned, {zero_copy} zero-copy scans, \
          {fallbacks} snapshot scans (zero-copy confirmed via pgfmu_stats()); \
+         {index_scans} index scans / {seq_scans} seq scans / {hash_joins} hash joins \
+         / {analyze_runs} analyze runs; \
          {versions_gc} dead row versions reclaimed by GC"
     );
     println!("wrote {path}\n");

@@ -48,6 +48,26 @@ pub enum Stmt {
         /// `IF EXISTS` given.
         if_exists: bool,
     },
+    /// `CREATE [UNIQUE] INDEX name ON t (col)`
+    CreateIndex {
+        /// Index name (globally unique).
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed column.
+        column: String,
+        /// `UNIQUE` given.
+        unique: bool,
+    },
+    /// `DROP INDEX name`
+    DropIndex {
+        /// Index name.
+        name: String,
+    },
+    /// `ANALYZE [t]` — collect planner statistics for one table or all.
+    Analyze(Option<String>),
+    /// `EXPLAIN stmt` — render the chosen physical plan as rows.
+    Explain(Box<Stmt>),
     /// `BEGIN [TRANSACTION | WORK]` / `START TRANSACTION`
     Begin,
     /// `COMMIT [TRANSACTION | WORK]` / `END [TRANSACTION | WORK]`
@@ -74,6 +94,9 @@ pub struct SelectStmt {
     pub items: Vec<SelectItem>,
     /// FROM items (comma-separated cross join; functions join laterally).
     pub from: Vec<FromItem>,
+    /// `JOIN … ON` conditions (inner-join semantics: the planner ANDs
+    /// them into the WHERE clause; equi-join keys may hash-join).
+    pub join_on: Vec<Expr>,
     /// WHERE predicate.
     pub where_clause: Option<Expr>,
     /// GROUP BY expressions (empty = no grouping). An integer literal is a
@@ -172,6 +195,9 @@ pub enum Expr {
         name: String,
         /// Arguments.
         args: Vec<Expr>,
+        /// `DISTINCT` argument qualifier (`count(DISTINCT x)`); only
+        /// meaningful on aggregate calls.
+        distinct: bool,
     },
     /// `expr::type` cast.
     Cast {
@@ -263,7 +289,7 @@ pub const AGGREGATE_FUNCTIONS: [&str; 5] = ["count", "sum", "avg", "min", "max"]
 /// Does this expression contain an aggregate function call?
 pub fn contains_aggregate(e: &Expr) -> bool {
     match e {
-        Expr::Function { name, args } => {
+        Expr::Function { name, args, .. } => {
             AGGREGATE_FUNCTIONS.contains(&name.as_str()) || args.iter().any(contains_aggregate)
         }
         Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
@@ -379,6 +405,9 @@ fn max_param_select(sel: &SelectStmt) -> usize {
             n = n.max(args.iter().map(max_param_expr).max().unwrap_or(0));
         }
     }
+    for e in &sel.join_on {
+        n = n.max(max_param_expr(e));
+    }
     if let Some(w) = &sel.where_clause {
         n = n.max(max_param_expr(w));
     }
@@ -414,8 +443,14 @@ pub fn max_param(stmt: &Stmt) -> usize {
             .unwrap_or(0)
             .max(where_clause.as_ref().map(max_param_expr).unwrap_or(0)),
         Stmt::Delete { where_clause, .. } => where_clause.as_ref().map(max_param_expr).unwrap_or(0),
+        // EXPLAIN renders the inner plan without executing it, but the
+        // bind surface is the inner statement's.
+        Stmt::Explain(inner) => max_param(inner),
         Stmt::CreateTable { .. }
         | Stmt::DropTable { .. }
+        | Stmt::CreateIndex { .. }
+        | Stmt::DropIndex { .. }
+        | Stmt::Analyze(_)
         | Stmt::Begin
         | Stmt::Commit
         | Stmt::Rollback => 0,
@@ -471,6 +506,7 @@ mod tests {
                 table: None,
                 name: "x".into(),
             }],
+            distinct: false,
         };
         assert!(contains_aggregate(&agg));
         let nested = Expr::Binary {
@@ -482,6 +518,7 @@ mod tests {
         let plain = Expr::Function {
             name: "abs".into(),
             args: vec![Expr::Literal(Value::Int(-1))],
+            distinct: false,
         };
         assert!(!contains_aggregate(&plain));
     }

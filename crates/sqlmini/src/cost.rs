@@ -1,0 +1,357 @@
+//! The cost model: given a statement's WHERE clause, the table's
+//! secondary indexes and its [`TableStats`], pick the cheapest access
+//! path (sequential scan vs index point/range scan) and decide when a
+//! hash join should replace the nested-loop join.
+//!
+//! Costing is deliberately small — row counts, per-column NDV and
+//! numeric min/max are the only inputs, as in the classic textbook
+//! model: a sequential scan costs one unit per row; an index scan costs
+//! a logarithmic descent plus a re-check unit per estimated candidate.
+
+use crate::ast::{BinOp, Expr};
+use crate::index::KeySpace;
+use crate::stats::{Bound, TableStats};
+use crate::table::Schema;
+
+/// Per-candidate overhead of an index scan relative to one sequential
+/// row visit: the probe result is re-checked against the snapshot and
+/// the full WHERE clause, and candidates are visited out of cache order.
+const RECHECK_FACTOR: f64 = 2.0;
+
+/// A chosen index access path: the index to probe and the bound value
+/// expressions (slot-free, evaluated once per execution). Equality sets
+/// both bounds to the same expression; strict range predicates widen to
+/// inclusive probes (the WHERE re-check restores exactness).
+#[derive(Debug, Clone)]
+pub(crate) struct IndexChoice {
+    /// Name of the chosen index.
+    pub(crate) index_name: String,
+    /// Indexed column ordinal (full table layout).
+    pub(crate) column: usize,
+    /// The column's key space.
+    pub(crate) space: KeySpace,
+    /// Inclusive lower bound value expression.
+    pub(crate) lo: Option<Expr>,
+    /// Inclusive upper bound value expression.
+    pub(crate) hi: Option<Expr>,
+    /// The conjuncts backing the probe, rendered for EXPLAIN.
+    pub(crate) conds: Vec<(usize, BinOp, Expr)>,
+}
+
+/// An expression the executor can evaluate without a row: no column
+/// slots, no function calls (which may re-enter the database), no
+/// aggregate references. Bound expressions must be const so the probe
+/// can run once, before the scan.
+pub(crate) fn const_expr(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) | Expr::Param(_) => true,
+        Expr::Unary { expr, .. } => const_expr(expr),
+        Expr::Binary { left, right, .. } => const_expr(left) && const_expr(right),
+        Expr::Cast { expr, .. } => const_expr(expr),
+        Expr::IsNull { expr, .. } => const_expr(expr),
+        Expr::InList { expr, list, .. } => const_expr(expr) && list.iter().all(const_expr),
+        Expr::Slot(_)
+        | Expr::Column { .. }
+        | Expr::Function { .. }
+        | Expr::ScalarCall { .. }
+        | Expr::GroupKey(_)
+        | Expr::Agg(_) => false,
+    }
+}
+
+/// Split a WHERE clause into its top-level AND conjuncts.
+fn conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match e {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            conjuncts(left, out);
+            conjuncts(right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Mirror a comparison so the slot reads on the left: `5 < k` ⇒ `k > 5`.
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// The sargable conjuncts of a WHERE clause: `(slot, op, value)` triples
+/// where `op` compares a bare column slot against a const expression,
+/// normalized with the slot on the left.
+pub(crate) fn sargable_conjuncts(where_clause: &Expr) -> Vec<(usize, BinOp, Expr)> {
+    let mut parts = Vec::new();
+    conjuncts(where_clause, &mut parts);
+    let mut out = Vec::new();
+    for c in parts {
+        let Expr::Binary { op, left, right } = c else {
+            continue;
+        };
+        if !matches!(
+            op,
+            BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        ) {
+            continue;
+        }
+        match (&**left, &**right) {
+            (Expr::Slot(s), v) if const_expr(v) => out.push((*s, *op, v.clone())),
+            (v, Expr::Slot(s)) if const_expr(v) => out.push((*s, flip(*op), v.clone())),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The `Slot(a) = Slot(b)` top-level conjuncts of a WHERE clause — hash
+/// equi-join candidates when `a` and `b` land in different tables.
+pub(crate) fn equi_slot_pairs(where_clause: &Expr) -> Vec<(usize, usize)> {
+    let mut parts = Vec::new();
+    conjuncts(where_clause, &mut parts);
+    parts
+        .iter()
+        .filter_map(|c| match c {
+            Expr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } => match (&**left, &**right) {
+                (Expr::Slot(a), Expr::Slot(b)) => Some((*a, *b)),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect()
+}
+
+/// The numeric value of a literal bound, when known at plan time.
+fn literal_f64(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Literal(v) => match v {
+            crate::value::Value::Int(i) => Some(*i as f64),
+            crate::value::Value::Float(f) if !f.is_nan() => Some(*f),
+            crate::value::Value::Timestamp(t) | crate::value::Value::Interval(t) => Some(*t as f64),
+            _ => None,
+        },
+        Expr::Unary {
+            op: crate::ast::UnOp::Neg,
+            expr,
+        } => literal_f64(expr).map(|f| -f),
+        _ => None,
+    }
+}
+
+/// Pick the cheapest access path for a single-table scan: `None` keeps
+/// the sequential scan, `Some` names the index to probe and its bounds.
+/// `indexes` lists the table's indexes as `(name, column ordinal)`.
+pub(crate) fn choose_access(
+    where_clause: Option<&Expr>,
+    schema: &Schema,
+    indexes: &[(String, usize)],
+    stats: &TableStats,
+) -> Option<IndexChoice> {
+    let sargs = sargable_conjuncts(where_clause?);
+    if sargs.is_empty() || indexes.is_empty() {
+        return None;
+    }
+    let seq_cost = stats.row_count as f64;
+    let mut best: Option<(f64, IndexChoice)> = None;
+    for (name, col) in indexes {
+        let Some(space) = KeySpace::of(schema.columns[*col].dtype) else {
+            continue;
+        };
+        let mut eq = None;
+        let mut lo = None;
+        let mut hi = None;
+        let mut conds = Vec::new();
+        for (s, op, v) in &sargs {
+            if s != col {
+                continue;
+            }
+            let slot = match op {
+                BinOp::Eq => &mut eq,
+                BinOp::Lt | BinOp::Le => &mut hi,
+                BinOp::Gt | BinOp::Ge => &mut lo,
+                _ => continue,
+            };
+            if slot.is_none() {
+                *slot = Some(v.clone());
+                conds.push((*s, *op, v.clone()));
+            }
+        }
+        let est = if let Some(e) = &eq {
+            // An equality bound overrides any range bounds on the same
+            // column (the re-check keeps the result exact either way).
+            lo = Some(e.clone());
+            hi = Some(e.clone());
+            conds.retain(|(_, op, _)| *op == BinOp::Eq);
+            stats.est_eq_rows(*col)
+        } else if lo.is_some() || hi.is_some() {
+            let bound = |e: &Option<Expr>| match e {
+                None => Bound::None,
+                Some(e) => literal_f64(e).map_or(Bound::Unknown, Bound::Known),
+            };
+            stats.est_range_rows(*col, bound(&lo), bound(&hi))
+        } else {
+            continue; // no sargable conjunct on this index's column
+        };
+        let cost = (stats.row_count.max(2) as f64).log2() + est * RECHECK_FACTOR;
+        let improves = match &best {
+            None => true,
+            Some((c, _)) => cost < *c,
+        };
+        if cost < seq_cost && improves {
+            best = Some((
+                cost,
+                IndexChoice {
+                    index_name: name.clone(),
+                    column: *col,
+                    space,
+                    lo,
+                    hi,
+                    conds,
+                },
+            ));
+        }
+    }
+    best.map(|(_, choice)| choice)
+}
+
+/// Should an equi-join build a hash table instead of nested-looping?
+/// Nested cost is the cross product; hash cost is one pass over each
+/// side plus build overhead.
+pub(crate) fn hash_join_beats_nested(left_rows: u64, right_rows: u64) -> bool {
+    let nested = left_rows as f64 * right_rows as f64;
+    let hash = (left_rows + right_rows) as f64 * 2.0 + 16.0;
+    nested > hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ColumnStats;
+    use crate::table::Column;
+    use crate::value::{DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("x", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    fn stats(n: u64, ndv: u64) -> TableStats {
+        TableStats {
+            row_count: n,
+            columns: vec![
+                ColumnStats {
+                    ndv,
+                    min: Some(0.0),
+                    max: Some(n as f64),
+                    null_count: 0,
+                },
+                ColumnStats::default(),
+            ],
+            mods_at_analyze: 0,
+        }
+    }
+
+    fn eq_where(slot: usize, v: i64) -> Expr {
+        Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(Expr::Slot(slot)),
+            right: Box::new(Expr::Literal(Value::Int(v))),
+        }
+    }
+
+    #[test]
+    fn selective_point_lookup_takes_the_index() {
+        let w = eq_where(0, 7);
+        let ix = vec![("t_k_idx".to_string(), 0usize)];
+        let choice = choose_access(Some(&w), &schema(), &ix, &stats(100_000, 100_000)).unwrap();
+        assert_eq!(choice.index_name, "t_k_idx");
+        assert!(choice.lo.is_some() && choice.hi.is_some());
+    }
+
+    #[test]
+    fn tiny_tables_and_unindexed_columns_stay_sequential() {
+        let w = eq_where(0, 7);
+        let ix = vec![("t_k_idx".to_string(), 0usize)];
+        assert!(choose_access(Some(&w), &schema(), &ix, &stats(4, 4)).is_none());
+        let w_other = eq_where(1, 7);
+        assert!(choose_access(Some(&w_other), &schema(), &ix, &stats(100_000, 9)).is_none());
+    }
+
+    #[test]
+    fn flipped_and_range_conjuncts_normalize() {
+        // 5 < k AND k <= 9  (5 on the left flips to k > 5)
+        let w = Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(Expr::Binary {
+                op: BinOp::Lt,
+                left: Box::new(Expr::Literal(Value::Int(5))),
+                right: Box::new(Expr::Slot(0)),
+            }),
+            right: Box::new(Expr::Binary {
+                op: BinOp::Le,
+                left: Box::new(Expr::Slot(0)),
+                right: Box::new(Expr::Literal(Value::Int(9))),
+            }),
+        };
+        let sargs = sargable_conjuncts(&w);
+        assert_eq!(sargs.len(), 2);
+        assert_eq!(sargs[0].1, BinOp::Gt);
+        let ix = vec![("i".to_string(), 0usize)];
+        let choice = choose_access(Some(&w), &schema(), &ix, &stats(100_000, 50_000)).unwrap();
+        assert!(choice.lo.is_some() && choice.hi.is_some());
+    }
+
+    #[test]
+    fn param_bounded_ranges_still_take_the_index() {
+        // k >= $1 AND k < $2 — bound values unknown until execution must
+        // not estimate as a full-table range.
+        let w = Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(Expr::Binary {
+                op: BinOp::Ge,
+                left: Box::new(Expr::Slot(0)),
+                right: Box::new(Expr::Param(0)),
+            }),
+            right: Box::new(Expr::Binary {
+                op: BinOp::Lt,
+                left: Box::new(Expr::Slot(0)),
+                right: Box::new(Expr::Param(1)),
+            }),
+        };
+        let ix = vec![("i".to_string(), 0usize)];
+        let choice = choose_access(Some(&w), &schema(), &ix, &stats(100_000, 50_000)).unwrap();
+        assert!(choice.lo.is_some() && choice.hi.is_some());
+    }
+
+    #[test]
+    fn non_const_bounds_are_not_sargable() {
+        // k = x (another column): not a probe.
+        let w = Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(Expr::Slot(0)),
+            right: Box::new(Expr::Slot(1)),
+        };
+        assert!(sargable_conjuncts(&w).is_empty());
+    }
+
+    #[test]
+    fn hash_join_threshold() {
+        assert!(hash_join_beats_nested(100, 100));
+        assert!(!hash_join_beats_nested(2, 2));
+        assert!(!hash_join_beats_nested(0, 1_000_000));
+    }
+}

@@ -26,7 +26,7 @@
 //! quoting entirely.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::ThreadId;
 
@@ -39,6 +39,7 @@ use crate::exec::{self, Rows};
 use crate::functions::{self, ScalarFn, TableFn};
 use crate::parser;
 use crate::plan::{self, PhysicalPlan};
+use crate::stats::{self, TableStats};
 use crate::table::{QueryResult, Row, Snapshot, Table, UNCOMMITTED};
 use crate::value::Value;
 
@@ -252,6 +253,18 @@ pub(crate) enum UndoEntry {
         name: String,
         handle: Arc<RwLock<Table>>,
     },
+    /// `CREATE INDEX` ran: drop it again on rollback.
+    CreateIndex {
+        table: Arc<RwLock<Table>>,
+        name: String,
+    },
+    /// `DROP INDEX` ran: the index's shape, rebuilt on rollback.
+    DropIndex {
+        table: Arc<RwLock<Table>>,
+        name: String,
+        column: String,
+        unique: bool,
+    },
 }
 
 /// The state of one session's open transaction. Sessions are threads:
@@ -327,6 +340,19 @@ pub struct Database {
     txns_committed: AtomicU64,
     txns_rolled_back: AtomicU64,
     versions_gc: AtomicU64,
+    /// Planner statistics per table (lower-case name), refreshed by
+    /// `ANALYZE` / [`Database::analyze`] and automatically when a table's
+    /// churn since the last pass crosses the staleness threshold.
+    table_stats: RwLock<HashMap<String, TableStats>>,
+    index_scans: AtomicU64,
+    seq_scans: AtomicU64,
+    hash_joins: AtomicU64,
+    analyze_runs: AtomicU64,
+    /// Planner toggles (both default on). Turning one off pins the
+    /// pessimistic plan shape — sequential scans / nested loops — which
+    /// the equivalence tests and benchmarks use as the baseline side.
+    index_access: AtomicBool,
+    hash_join: AtomicBool,
 }
 
 impl Default for Database {
@@ -362,6 +388,13 @@ impl Database {
             txns_committed: AtomicU64::new(0),
             txns_rolled_back: AtomicU64::new(0),
             versions_gc: AtomicU64::new(0),
+            table_stats: RwLock::new(HashMap::new()),
+            index_scans: AtomicU64::new(0),
+            seq_scans: AtomicU64::new(0),
+            hash_joins: AtomicU64::new(0),
+            analyze_runs: AtomicU64::new(0),
+            index_access: AtomicBool::new(true),
+            hash_join: AtomicBool::new(true),
         };
         functions::register_builtin_scalars(&db);
         functions::register_builtin_table_fns(&db);
@@ -384,12 +417,15 @@ impl Database {
         Ok(())
     }
 
-    /// Drop a table; errors if missing.
+    /// Drop a table; errors if missing. The table's secondary indexes go
+    /// with it (they live inside the [`Table`]), as do its cached
+    /// planner statistics.
     pub fn drop_table(&self, name: &str) -> Result<()> {
         let key = name.to_ascii_lowercase();
         let removed = self.tables.write().remove(&key);
         match removed {
             Some(_) => {
+                self.table_stats.write().remove(&key);
                 self.schema_epoch.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
@@ -444,6 +480,186 @@ impl Database {
             self.txn_record_write(&handle, created, Vec::new());
         }
         Ok(n)
+    }
+
+    // ---- indexes and planner statistics -------------------------------------
+
+    /// `CREATE [UNIQUE] INDEX name ON table (column)`. Index names are
+    /// global, PostgreSQL-style: creation fails when any table already
+    /// owns an index of that name. Returns the owning table's handle so
+    /// transactional DDL can record its undo entry.
+    pub(crate) fn create_index(
+        &self,
+        name: &str,
+        table: &str,
+        column: &str,
+        unique: bool,
+    ) -> Result<Arc<RwLock<Table>>> {
+        let iname = name.to_ascii_lowercase();
+        // Hold the catalog read lock across the name check *and* the
+        // build so two racing CREATE INDEX calls cannot both pass the
+        // check (catalog lock before table guard is the global order).
+        let tables = self.tables.read();
+        let handle = tables
+            .get(&table.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| SqlError::UnknownTable(table.to_ascii_lowercase()))?;
+        for h in tables.values() {
+            if h.read().find_index(&iname).is_some() {
+                return Err(SqlError::Constraint(format!(
+                    "relation \"{iname}\" already exists"
+                )));
+            }
+        }
+        handle.write().create_index(&iname, column, unique)?;
+        drop(tables);
+        self.schema_epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(handle)
+    }
+
+    /// `DROP INDEX name`: the owning table is found by scanning the
+    /// catalog. Returns `(table, index name, column name, unique)` — the
+    /// shape a transactional undo entry needs to rebuild it.
+    pub(crate) fn drop_index(
+        &self,
+        name: &str,
+    ) -> Result<(Arc<RwLock<Table>>, String, String, bool)> {
+        let iname = name.to_ascii_lowercase();
+        let owner = {
+            let tables = self.tables.read();
+            tables
+                .values()
+                .find(|h| h.read().find_index(&iname).is_some())
+                .cloned()
+        };
+        let Some(handle) = owner else {
+            return Err(SqlError::Execution(format!(
+                "index \"{iname}\" does not exist"
+            )));
+        };
+        let dropped = {
+            let mut guard = handle.write();
+            let Some(ix) = guard.drop_index(&iname) else {
+                // Raced with a concurrent DROP INDEX of the same name.
+                return Err(SqlError::Execution(format!(
+                    "index \"{iname}\" does not exist"
+                )));
+            };
+            let column = guard.schema.columns[ix.column].name.clone();
+            (iname, column, ix.unique)
+        };
+        self.schema_epoch.fetch_add(1, Ordering::SeqCst);
+        Ok((handle, dropped.0, dropped.1, dropped.2))
+    }
+
+    /// Planner statistics for a table, recomputed when stale (churn since
+    /// the last pass crossed the threshold — see [`TableStats::stale`]).
+    /// Called at plan time; a cached plan keeps its access-path choice
+    /// until the schema epoch moves, so an automatic refresh here only
+    /// affects plans compiled afterwards. `ANALYZE` bumps the epoch to
+    /// force the issue.
+    pub(crate) fn stats_for(&self, table: &str) -> Option<TableStats> {
+        let key = table.to_ascii_lowercase();
+        let handle = self.get_table(&key).ok()?;
+        let mod_count = handle.read().mod_count();
+        if let Some(s) = self.table_stats.read().get(&key) {
+            if !s.stale(mod_count) {
+                return Some(s.clone());
+            }
+        }
+        let s = {
+            let guard = handle.read();
+            let snap = self.current_snapshot();
+            stats::analyze_table(&guard, snap, guard.mod_count())
+        };
+        self.analyze_runs.fetch_add(1, Ordering::Relaxed);
+        self.table_stats.write().insert(key, s.clone());
+        Some(s)
+    }
+
+    /// `ANALYZE [table]`: refresh planner statistics now, then bump the
+    /// schema epoch so cached plans re-choose their access paths against
+    /// the fresh numbers. Returns `(table, visible row count)` per table
+    /// analyzed, sorted by name.
+    pub fn analyze(&self, table: Option<&str>) -> Result<Vec<(String, u64)>> {
+        let names: Vec<String> = match table {
+            Some(t) => {
+                let key = t.to_ascii_lowercase();
+                if !self.has_table(&key) {
+                    return Err(SqlError::UnknownTable(key));
+                }
+                vec![key]
+            }
+            None => self.table_names(),
+        };
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            let Ok(handle) = self.get_table(&name) else {
+                continue; // dropped concurrently
+            };
+            let s = {
+                let guard = handle.read();
+                let snap = self.current_snapshot();
+                stats::analyze_table(&guard, snap, guard.mod_count())
+            };
+            self.analyze_runs.fetch_add(1, Ordering::Relaxed);
+            out.push((name.clone(), s.row_count));
+            self.table_stats.write().insert(name, s);
+        }
+        self.schema_epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(out)
+    }
+
+    /// Is the planner allowed to choose index scans?
+    pub(crate) fn index_access_enabled(&self) -> bool {
+        self.index_access.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable index access paths (plans fall back to sequential
+    /// scans when off). Bumps the schema epoch so cached plans re-plan.
+    pub fn set_index_access_enabled(&self, on: bool) {
+        self.index_access.store(on, Ordering::SeqCst);
+        self.schema_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Is the planner allowed to choose hash joins?
+    pub(crate) fn hash_join_enabled(&self) -> bool {
+        self.hash_join.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable hash joins (plans fall back to nested loops when
+    /// off). Bumps the schema epoch so cached plans re-plan.
+    pub fn set_hash_join_enabled(&self, on: bool) {
+        self.hash_join.store(on, Ordering::SeqCst);
+        self.schema_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Count one single-table access-path execution.
+    pub(crate) fn note_access(&self, indexed: bool) {
+        if indexed {
+            self.index_scans.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.seq_scans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one hash-join execution.
+    pub(crate) fn note_hash_join(&self) {
+        self.hash_joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(index scans, sequential scans, hash joins, analyze passes)`
+    /// since creation. Scan counts cover single-table SELECT access
+    /// paths (one per base-table scan, indexed or not); analyze passes
+    /// count both explicit `ANALYZE` and automatic staleness refreshes.
+    /// The same numbers surface through `pgfmu_stats()`.
+    pub fn access_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.index_scans.load(Ordering::Relaxed),
+            self.seq_scans.load(Ordering::Relaxed),
+            self.hash_joins.load(Ordering::Relaxed),
+            self.analyze_runs.load(Ordering::Relaxed),
+        )
     }
 
     // ---- functions ----------------------------------------------------------
@@ -928,6 +1144,27 @@ impl Database {
                 }
                 UndoEntry::DropTable { name, handle } => {
                     self.tables.write().insert(name, handle);
+                    self.schema_epoch.fetch_add(1, Ordering::SeqCst);
+                    txn.ddl_bumps += 1;
+                }
+                UndoEntry::CreateIndex { table, name } => {
+                    table.write().drop_index(&name);
+                    self.schema_epoch.fetch_add(1, Ordering::SeqCst);
+                    txn.ddl_bumps += 1;
+                }
+                UndoEntry::DropIndex {
+                    table,
+                    name,
+                    column,
+                    unique,
+                } => {
+                    // Later statements of the transaction have already
+                    // been undone (reverse replay), so the heap matches
+                    // the moment just after the DROP — the rebuild
+                    // cannot find uniqueness violations the original
+                    // index did not contain. Best-effort regardless:
+                    // rollback must not fail.
+                    let _ = table.write().create_index(&name, &column, unique);
                     self.schema_epoch.fetch_add(1, Ordering::SeqCst);
                     txn.ddl_bumps += 1;
                 }

@@ -32,12 +32,13 @@ use std::collections::{hash_map::Entry, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use crate::ast::{Expr, FromItem, InsertSource, SelectStmt, Stmt, UnOp, AGGREGATE_FUNCTIONS};
+use crate::cost::IndexChoice;
 use crate::db::{Database, UndoEntry, WriteTxn};
 use crate::decode::NamedRows;
 use crate::error::{Result, SqlError};
 use crate::plan::{
-    AggCall, AggOp, Binding, DmlPlan, Env, GroupPlan, InsertPlan, PhysicalPlan, PlanFn, SelectOps,
-    ZeroScanKind,
+    AggCall, AggOp, Binding, DmlPlan, Env, GroupPlan, HashJoin, InsertPlan, PhysicalPlan, PlanFn,
+    SelectOps, ZeroScanKind,
 };
 use crate::table::{Column, QueryResult, Row, Schema, Snapshot, Table, LIVE, UNCOMMITTED};
 use crate::value::Value;
@@ -318,10 +319,19 @@ fn eval(ctx: &Ctx<'_>, expr: &Expr, env: &Env<'_>, row: &[Value]) -> Result<Valu
             let v = eval(ctx, expr, env, row)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
-        Expr::Function { name, args } => {
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } => {
             if AGGREGATE_FUNCTIONS.contains(&name.as_str()) {
                 return Err(SqlError::Execution(format!(
                     "aggregate function {name}() is not allowed here"
+                )));
+            }
+            if *distinct {
+                return Err(SqlError::Type(format!(
+                    "DISTINCT specified, but {name} is not an aggregate function"
                 )));
             }
             let vals: Result<Vec<Value>> = args.iter().map(|a| eval(ctx, a, env, row)).collect();
@@ -413,8 +423,16 @@ impl KeyAtom {
 /// Streaming accumulator for one aggregate call of one group.
 enum AggAcc {
     Count(i64),
-    Sum { sum: f64, n: i64 },
-    Avg { sum: f64, n: i64 },
+    /// `count(DISTINCT x)`: the set of normalized non-NULL values seen.
+    CountDistinct(HashSet<KeyAtom>),
+    Sum {
+        sum: f64,
+        n: i64,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -423,6 +441,7 @@ impl AggAcc {
     fn new(op: AggOp) -> AggAcc {
         match op {
             AggOp::CountStar | AggOp::Count => AggAcc::Count(0),
+            AggOp::CountDistinct => AggAcc::CountDistinct(HashSet::new()),
             AggOp::Sum => AggAcc::Sum { sum: 0.0, n: 0 },
             AggOp::Avg => AggAcc::Avg { sum: 0.0, n: 0 },
             AggOp::Min => AggAcc::Min(None),
@@ -453,6 +472,9 @@ impl AggAcc {
         let is_min = matches!(self, AggAcc::Min(_));
         match self {
             AggAcc::Count(n) => *n += 1,
+            AggAcc::CountDistinct(seen) => {
+                seen.insert(KeyAtom::from_value(&v));
+            }
             AggAcc::Sum { sum, n } | AggAcc::Avg { sum, n } => {
                 *sum += v.as_f64()?;
                 *n += 1;
@@ -481,6 +503,7 @@ impl AggAcc {
     fn finish(self) -> Value {
         match self {
             AggAcc::Count(n) => Value::Int(n),
+            AggAcc::CountDistinct(seen) => Value::Int(seen.len() as i64),
             AggAcc::Sum { sum, n } => {
                 if n == 0 {
                     Value::Null
@@ -696,7 +719,12 @@ struct MvccScan<'db> {
     /// Projection as plain slot indices when every output is a bare
     /// column (skips expression dispatch per value).
     slot_projs: Option<Vec<usize>>,
-    /// Next version index to examine on refill.
+    /// Index-scan candidate positions (ascending), probed when the
+    /// cursor opened; `None` scans every version sequentially. The pin
+    /// keeps the positions valid across refills.
+    cand: Option<Vec<usize>>,
+    /// Next version index (or candidate-list index) to examine on
+    /// refill.
     next_version: usize,
     /// Snapshot-visible rows examined so far (flushed to `rows_scanned`
     /// when the cursor drops).
@@ -760,6 +788,7 @@ impl MvccScan<'_> {
             handle,
             snap,
             slot_projs,
+            cand,
             next_version,
             examined,
             buf: _,
@@ -790,9 +819,21 @@ impl MvccScan<'_> {
         let guard = handle.read();
         let all_vis = guard.all_visible(*snap);
         let versions = guard.versions();
+        // An index scan walks its candidate list instead of the heap;
+        // the list was probed at open time, so rows appended since are
+        // skipped — they are newer than the snapshot and invisible to a
+        // sequential walk too.
+        let total = match cand {
+            Some(c) => c.len(),
+            None => versions.len(),
+        };
         let mut produced = 0usize;
-        while produced < batch && *remaining > 0 && *next_version < versions.len() {
-            let v = &versions[*next_version];
+        while produced < batch && *remaining > 0 && *next_version < total {
+            let pos = match cand {
+                Some(c) => c[*next_version],
+                None => *next_version,
+            };
+            let v = &versions[pos];
             *next_version += 1;
             if !(all_vis || v.visible(*snap)) {
                 continue;
@@ -820,7 +861,7 @@ impl MvccScan<'_> {
             produced += 1;
             sink(out);
         }
-        if *remaining == 0 || *next_version >= versions.len() {
+        if *remaining == 0 || *next_version >= total {
             *done = true;
         }
         Ok(())
@@ -1093,6 +1134,7 @@ fn scan_tables(
     tables: &[String],
     schemas: &[Vec<String>],
     used_cols: &[Vec<usize>],
+    hash_join: Option<&HashJoin>,
 ) -> Result<Vec<Row>> {
     // Hold every distinct table's read guard *simultaneously* (acquired
     // in pointer order — the commit path's lock order) and load one
@@ -1112,8 +1154,11 @@ fn scan_tables(
         .map(|h| (Arc::as_ptr(h) as usize, h.read()))
         .collect();
     let snap = db.current_snapshot();
-    let mut rows: Vec<Row> = vec![Vec::new()];
-    for (((name, planned), used), handle) in tables.iter().zip(schemas).zip(used_cols).zip(&handles)
+    let mut scanned: Vec<Vec<Row>> = Vec::with_capacity(tables.len());
+    for ((name, planned), (used, handle)) in tables
+        .iter()
+        .zip(schemas)
+        .zip(used_cols.iter().zip(&handles))
     {
         let key = Arc::as_ptr(handle) as usize;
         let (_, guard) = guards
@@ -1125,9 +1170,89 @@ fn scan_tables(
         }
         let trows = guard.project_rows(used, snap);
         db.note_scan(trows.len() as u64, false);
+        scanned.push(trows);
+    }
+    if let Some(hj) = hash_join {
+        debug_assert_eq!(scanned.len(), 2, "hash joins are planned for two tables");
+        let right = scanned.pop().expect("two scanned tables");
+        let left = scanned.pop().expect("two scanned tables");
+        // Right-side slots address the pruned concatenated layout; the
+        // right table's own rows start after the left's pruned width.
+        return hash_join_rows(
+            db,
+            left,
+            right,
+            hj.left_slot,
+            hj.right_slot - used_cols[0].len(),
+        );
+    }
+    let mut rows: Vec<Row> = vec![Vec::new()];
+    for trows in scanned {
         rows = cross_join(rows, trows);
     }
     Ok(rows)
+}
+
+/// Hash equi-join: build a hash table over the right rows' keys, probe
+/// with each left row in scan order. Emission order (left-major, right
+/// rows in scan order per match) and semantics match the nested loop the
+/// cost model replaced: NULL keys never join, and a NaN key raises the
+/// "NaN comparison" error a per-pair comparison would have raised —
+/// whenever the other side has at least one non-NULL key to compare
+/// against. The join conjunct stays in the WHERE clause and is re-checked
+/// downstream; a hash match always passes it ([`KeyAtom`] equality
+/// implies [`compare`] equality within one data type, which is all the
+/// planner admits).
+fn hash_join_rows(
+    db: &Database,
+    left: Vec<Row>,
+    right: Vec<Row>,
+    left_slot: usize,
+    right_slot: usize,
+) -> Result<Vec<Row>> {
+    db.note_hash_join();
+    let nan_err = || SqlError::Execution("NaN comparison".into());
+    let is_nan = |v: &Value| matches!(v, Value::Float(f) if f.is_nan());
+    let mut table: HashMap<KeyAtom, Vec<usize>> = HashMap::new();
+    let mut right_nan = false;
+    let mut right_keys = 0usize;
+    for (i, r) in right.iter().enumerate() {
+        let v = &r[right_slot];
+        if v.is_null() {
+            continue;
+        }
+        right_keys += 1;
+        if is_nan(v) {
+            right_nan = true;
+            continue;
+        }
+        table.entry(KeyAtom::from_value(v)).or_default().push(i);
+    }
+    let left_keys = left.iter().filter(|l| !l[left_slot].is_null()).count();
+    if right_nan && left_keys > 0 {
+        return Err(nan_err());
+    }
+    let mut out = Vec::new();
+    for l in &left {
+        let v = &l[left_slot];
+        if v.is_null() {
+            continue;
+        }
+        if is_nan(v) {
+            if right_keys > 0 {
+                return Err(nan_err());
+            }
+            continue;
+        }
+        if let Some(matches) = table.get(&KeyAtom::from_value(v)) {
+            for &i in matches {
+                let mut row = l.clone();
+                row.extend(right[i].iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Evaluate a dynamic FROM clause left to right (set-returning functions
@@ -1381,6 +1506,42 @@ fn sort_by_output(keyed: &mut [(Vec<Value>, Row)], spec: &[(usize, bool)]) {
     });
 }
 
+/// Evaluate a plan's index access path into candidate version positions
+/// (ascending — index scans visit rows in heap order, so results match a
+/// sequential scan byte for byte). `None` falls back to the sequential
+/// scan: no access path was planned, the index vanished since planning
+/// (epoch races), or a bound does not map into the key space (the
+/// per-row comparison must then surface its own errors). Candidates are
+/// a superset of the matches; the caller still applies snapshot
+/// visibility and the full WHERE clause.
+fn probe_access(
+    ctx: &Ctx<'_>,
+    access: Option<&IndexChoice>,
+    guard: &Table,
+) -> Result<Option<Vec<usize>>> {
+    let Some(a) = access else {
+        return Ok(None);
+    };
+    let Some(ix) = guard.find_index(&a.index_name) else {
+        return Ok(None);
+    };
+    if ix.column != a.column {
+        return Ok(None);
+    }
+    let env = Env {
+        bindings: NO_BINDINGS,
+    };
+    let lo = match &a.lo {
+        Some(e) => Some(eval(ctx, e, &env, &[])?),
+        None => None,
+    };
+    let hi = match &a.hi {
+        Some(e) => Some(eval(ctx, e, &env, &[])?),
+        None => None,
+    };
+    Ok(ix.probe(a.space, lo.as_ref(), hi.as_ref()))
+}
+
 /// Execute a static SELECT plan. `lazy` allows the plain zero-copy path
 /// to return an [`MvccScan`] cursor that streams the plan's snapshot in
 /// batches; internal consumers that insert per source row (`INSERT …
@@ -1422,13 +1583,23 @@ fn run_static_select<'db>(
                         return Err(stale_plan(&sp.tables[0]));
                     }
                     let snap = db.current_snapshot();
+                    let cand = probe_access(&ctx, z.access.as_ref(), &guard)?;
+                    db.note_access(cand.is_some());
                     let mut examined = 0u64;
-                    let groups = grouped_groups(
-                        &ctx,
-                        z.where_clause.as_ref(),
-                        gp,
-                        guard.visible(snap).inspect(|_| examined += 1),
-                    )?;
+                    let groups = match &cand {
+                        Some(pos) => grouped_groups(
+                            &ctx,
+                            z.where_clause.as_ref(),
+                            gp,
+                            guard.visible_at(pos, snap).inspect(|_| examined += 1),
+                        )?,
+                        None => grouped_groups(
+                            &ctx,
+                            z.where_clause.as_ref(),
+                            gp,
+                            guard.visible(snap).inspect(|_| examined += 1),
+                        )?,
+                    };
                     db.note_scan(examined, true);
                     groups
                 };
@@ -1477,16 +1648,26 @@ fn run_static_select<'db>(
                     // the consumer may write to the scanned table between
                     // batches (its writes are newer than the snapshot and
                     // stay invisible to the stream).
-                    let snap = {
+                    let (snap, cand) = {
                         let guard = handle.read();
                         if !schema_matches(&guard.schema, &sp.schemas[0]) {
                             return Err(stale_plan(&sp.tables[0]));
                         }
                         // Pin before loading the snapshot so compaction
-                        // cannot renumber versions under the cursor.
+                        // cannot renumber versions under the cursor (the
+                        // same pin keeps any probed candidate positions
+                        // valid across refills).
                         guard.pin();
-                        db.current_snapshot()
+                        let snap = db.current_snapshot();
+                        match probe_access(&ctx, z.access.as_ref(), &guard) {
+                            Ok(cand) => (snap, cand),
+                            Err(e) => {
+                                guard.unpin();
+                                return Err(e);
+                            }
+                        }
                     };
+                    db.note_access(cand.is_some());
                     // Rows examined are charged when the cursor finishes
                     // (see `MvccScan::drop`); only the strategy is
                     // recorded here.
@@ -1500,6 +1681,7 @@ fn run_static_select<'db>(
                             handle,
                             snap,
                             slot_projs,
+                            cand,
                             next_version: 0,
                             examined: 0,
                             buf: VecDeque::new(),
@@ -1523,13 +1705,15 @@ fn run_static_select<'db>(
                     return Err(stale_plan(&sp.tables[0]));
                 }
                 let snap = db.current_snapshot();
+                let cand = probe_access(&ctx, z.access.as_ref(), &guard)?;
+                db.note_access(cand.is_some());
                 let mut examined = 0u64;
                 let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
-                for r in guard.visible(snap) {
+                let mut per_row = |r: &Row| -> Result<()> {
                     examined += 1;
                     if let Some(p) = &z.where_clause {
                         if !is_true(&eval(&ctx, p, &env, r)?)? {
-                            continue;
+                            return Ok(());
                         }
                     }
                     let mut sort_key = Vec::with_capacity(order_by.len());
@@ -1537,6 +1721,19 @@ fn run_static_select<'db>(
                         sort_key.push(eval(&ctx, e, &env, r)?);
                     }
                     keyed.push((sort_key, project(r)?));
+                    Ok(())
+                };
+                match &cand {
+                    Some(pos) => {
+                        for r in guard.visible_at(pos, snap) {
+                            per_row(r)?;
+                        }
+                    }
+                    None => {
+                        for r in guard.visible(snap) {
+                            per_row(r)?;
+                        }
+                    }
                 }
                 db.note_scan(examined, true);
                 drop(guard);
@@ -1548,7 +1745,13 @@ fn run_static_select<'db>(
             }
         }
     }
-    let rows = scan_tables(db, &sp.tables, &sp.schemas, &sp.used_cols)?;
+    let rows = scan_tables(
+        db,
+        &sp.tables,
+        &sp.schemas,
+        &sp.used_cols,
+        sp.hash_join.as_ref(),
+    )?;
     run_select(db, OpsSource::Plan(Arc::clone(plan)), rows, params)
 }
 
@@ -1632,6 +1835,15 @@ fn write_stamp(db: &Database, txn: WriteTxn) -> u64 {
     }
 }
 
+/// The owning transaction id for unique-constraint checks (0 in
+/// auto-commit: every pending version then counts as a conflict).
+fn stmt_txid(txn: WriteTxn) -> u64 {
+    match txn {
+        WriteTxn::Txn { txid } => txid,
+        WriteTxn::Auto => 0,
+    }
+}
+
 fn run_insert<'db>(
     db: &'db Database,
     stmt: &Stmt,
@@ -1677,15 +1889,29 @@ fn run_insert<'db>(
             let begin = write_stamp(db, txn);
             // Coerce and append in one pass; an arity or type error
             // truncates the appended tail, leaving the table untouched.
+            // A unique index forces coerce-then-check-then-append order
+            // instead, so the duplicate check errors before any mutation.
             let start = guard.versions().len();
-            for r in out {
-                match map_insert_row(r, ip).and_then(|r| guard.coerce_row(r)) {
-                    Ok(r) => {
-                        guard.push_version(begin, r);
-                    }
-                    Err(e) => {
-                        guard.truncate_versions(start);
-                        return Err(e);
+            if guard.has_unique_index() {
+                let coerced: Result<Vec<Row>> = out
+                    .into_iter()
+                    .map(|r| map_insert_row(r, ip).and_then(|r| guard.coerce_row(r)))
+                    .collect();
+                let coerced = coerced?;
+                guard.check_unique(&coerced, &[], stmt_txid(txn))?;
+                for r in coerced {
+                    guard.push_version(begin, r);
+                }
+            } else {
+                for r in out {
+                    match map_insert_row(r, ip).and_then(|r| guard.coerce_row(r)) {
+                        Ok(r) => {
+                            guard.push_version(begin, r);
+                        }
+                        Err(e) => {
+                            guard.truncate_versions(start);
+                            return Err(e);
+                        }
                     }
                 }
             }
@@ -1721,15 +1947,27 @@ fn run_insert<'db>(
                     let mut guard = handle.write();
                     let begin = write_stamp(db, txn);
                     let start = guard.versions().len();
-                    for r in it {
-                        match map_insert_row(r, ip).and_then(|r| guard.coerce_row(r)) {
-                            Ok(r) => {
-                                guard.push_version(begin, r);
-                                n += 1;
-                            }
-                            Err(e) => {
-                                guard.truncate_versions(start);
-                                return Err(e);
+                    if guard.has_unique_index() {
+                        let coerced: Result<Vec<Row>> = it
+                            .map(|r| map_insert_row(r, ip).and_then(|r| guard.coerce_row(r)))
+                            .collect();
+                        let coerced = coerced?;
+                        guard.check_unique(&coerced, &[], stmt_txid(txn))?;
+                        for r in coerced {
+                            guard.push_version(begin, r);
+                            n += 1;
+                        }
+                    } else {
+                        for r in it {
+                            match map_insert_row(r, ip).and_then(|r| guard.coerce_row(r)) {
+                                Ok(r) => {
+                                    guard.push_version(begin, r);
+                                    n += 1;
+                                }
+                                Err(e) => {
+                                    guard.truncate_versions(start);
+                                    return Err(e);
+                                }
                             }
                         }
                     }
@@ -1766,6 +2004,13 @@ fn run_insert<'db>(
                         let step = r.and_then(|row| map_insert_row(row, ip)).and_then(|full| {
                             let mut guard = handle.write();
                             let full = guard.coerce_row(full)?;
+                            // Streamed rows check one by one: earlier
+                            // appends of this statement are pending under
+                            // the same txid, so in-stream duplicates
+                            // conflict exactly like committed ones.
+                            if guard.has_unique_index() {
+                                guard.check_unique(std::slice::from_ref(&full), &[], txid)?;
+                            }
                             created.push(guard.push_version(UNCOMMITTED | txid, full));
                             Ok(())
                         });
@@ -1863,6 +2108,23 @@ fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<
             pending.push((vi, vals));
         }
         db.note_scan(examined, true);
+        // Unique check, still before any mutation: the candidate rows
+        // are the old rows with the SET columns applied, and the
+        // versions they replace cannot conflict with themselves.
+        if guard.has_unique_index() && !pending.is_empty() {
+            let superseded: Vec<usize> = pending.iter().map(|&(vi, _)| vi).collect();
+            let new_rows: Vec<Row> = pending
+                .iter()
+                .map(|(vi, vals)| {
+                    let mut r = guard.versions()[*vi].data.clone();
+                    for (v, &c) in vals.iter().zip(&up.set_idx) {
+                        r[c] = v.clone();
+                    }
+                    r
+                })
+                .collect();
+            guard.check_unique(&new_rows, &superseded, stmt_txid(txn))?;
+        }
         // Pass 2: end each hit version and append its successor — or,
         // when no snapshot below the fresh commit timestamp is live and
         // no cursor pins this table, overwrite the payloads in place:
@@ -1873,10 +2135,7 @@ fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<
                 let cts = db.commit_ts();
                 if !guard.pinned() && db.overwrite_safe(cts) {
                     for (vi, vals) in pending {
-                        let row = guard.version_data_mut(vi);
-                        for (v, &c) in vals.into_iter().zip(&up.set_idx) {
-                            row[c] = v;
-                        }
+                        guard.overwrite_version(vi, &up.set_idx, vals);
                     }
                 } else {
                     for (vi, vals) in pending {
@@ -1954,6 +2213,11 @@ fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<
         if guard.versions()[vi].end != LIVE {
             return Err(serialize_conflict());
         }
+    }
+    if guard.has_unique_index() && !pending.is_empty() {
+        let superseded: Vec<usize> = pending.iter().map(|&(vi, _)| vi).collect();
+        let new_rows: Vec<Row> = pending.iter().map(|(_, r)| r.clone()).collect();
+        guard.check_unique(&new_rows, &superseded, stmt_txid(txn))?;
     }
     let stamp = write_stamp(db, txn);
     let mut created = Vec::with_capacity(pending.len());
@@ -2165,8 +2429,39 @@ fn run_other<'db>(db: &'db Database, stmt: &Stmt) -> Result<Rows<'db>> {
                 Ok(notice_result("there is no transaction in progress"))
             }
         }
-        Stmt::Select(_) | Stmt::Insert { .. } | Stmt::Update { .. } | Stmt::Delete { .. } => {
-            unreachable!("DML executes through its compiled plan")
+        Stmt::CreateIndex {
+            name,
+            table,
+            column,
+            unique,
+        } => {
+            let handle = db.create_index(name, table, column, *unique)?;
+            db.txn_record_ddl(UndoEntry::CreateIndex {
+                table: handle,
+                name: name.to_ascii_lowercase(),
+            });
+            Ok(empty_result())
+        }
+        Stmt::DropIndex { name } => {
+            let (table, iname, column, unique) = db.drop_index(name)?;
+            db.txn_record_ddl(UndoEntry::DropIndex {
+                table,
+                name: iname,
+                column,
+                unique,
+            });
+            Ok(empty_result())
+        }
+        Stmt::Analyze(table) => {
+            db.analyze(table.as_deref())?;
+            Ok(empty_result())
+        }
+        Stmt::Select(_)
+        | Stmt::Insert { .. }
+        | Stmt::Update { .. }
+        | Stmt::Delete { .. }
+        | Stmt::Explain(_) => {
+            unreachable!("DML and EXPLAIN execute through their compiled plans")
         }
     }
 }
@@ -2201,6 +2496,13 @@ pub(crate) fn execute<'db>(
         PhysicalPlan::Insert(ip) => run_insert(db, stmt, ip, params),
         PhysicalPlan::Update(up) => run_update(db, up, params),
         PhysicalPlan::Delete(dp) => run_delete(db, dp, params),
+        PhysicalPlan::Explain(lines) => {
+            let mut q = QueryResult::new(vec!["query plan".into()]);
+            for l in lines {
+                q.rows.push(vec![Value::Text(l.clone())]);
+            }
+            Ok(Rows::from_result(q))
+        }
         PhysicalPlan::Other => run_other(db, stmt),
     };
     if result.is_err() {

@@ -292,6 +292,11 @@ pub fn register_builtin_table_fns(db: &Database) {
         push("txns_committed", committed);
         push("txns_rolled_back", rolled_back);
         push("versions_gc", db.gc_stats());
+        let (index_scans, seq_scans, hash_joins, analyze_runs) = db.access_stats();
+        push("index_scans", index_scans);
+        push("seq_scans", seq_scans);
+        push("hash_joins", hash_joins);
+        push("analyze_runs", analyze_runs);
         for (name, count) in db.udf_call_counts() {
             if count > 0 {
                 push(&format!("calls.{name}"), count);
@@ -299,6 +304,21 @@ pub fn register_builtin_table_fns(db: &Database) {
         }
         Ok(q)
     });
+
+    // Statistics refresh from SQL: `pgfmu_analyze()` recollects planner
+    // statistics for every table (or one named table) and returns the
+    // analyzed row counts, mirroring `ANALYZE` as a queryable relation.
+    db.udf("pgfmu_analyze")
+        .opt_arg("table", ArgKind::Text)
+        .table(|db, args| {
+            let table = args.opt_text(0);
+            let mut q = QueryResult::new(vec!["table".into(), "rows".into()]);
+            for (name, rows) in db.analyze(table)? {
+                q.rows
+                    .push(vec![Value::Text(name), Value::Int(rows as i64)]);
+            }
+            Ok(q)
+        });
 }
 
 #[cfg(test)]

@@ -8,7 +8,10 @@
 //!   projections, cross joins, WHERE/GROUP BY/HAVING/ORDER BY/LIMIT,
 //!   hash-grouped aggregates; `INSERT … VALUES` and a streaming
 //!   `INSERT … SELECT`; `UPDATE`; `DELETE`; `CREATE`/`DROP TABLE`) —
-//!   compiled once into a shared physical plan, executed many times;
+//!   compiled once into a shared physical plan, executed many times,
+//!   with secondary indexes (`CREATE [UNIQUE] INDEX`) feeding a
+//!   statistics-driven cost-based planner (`ANALYZE`, index point/range
+//!   scans, hash equi-joins, `EXPLAIN`);
 //! * **scalar and set-returning user-defined functions** that can re-enter
 //!   the database — `fmu_parest` executes the user's `input_sql`, and
 //!   `fmu_simulate` appears in `FROM` clauses, including the paper's
@@ -82,7 +85,10 @@
 //! hits), `plans_built` / `plan_cache_hits` (physical plans compiled vs.
 //! executions reusing a statement's shared plan), `agg_evals` (one per
 //! group per distinct aggregate call — the grouping operator's
-//! memoization at work), `stmt_cache_size` / `stmt_cache_capacity`
+//! memoization at work), `index_scans` / `seq_scans` / `hash_joins` /
+//! `analyze_runs` (which access paths the cost-based planner chose, and
+//! how often statistics were collected — `EXPLAIN <stmt>` shows the
+//! choice for one statement), `stmt_cache_size` / `stmt_cache_capacity`
 //! (current statement-cache population and bound), and one `calls.<name>`
 //! row per typed UDF that has been invoked:
 //!
@@ -104,14 +110,17 @@
 //! ```
 
 pub mod ast;
+pub(crate) mod cost;
 pub mod db;
 pub mod decode;
 pub mod error;
 pub mod exec;
 pub mod functions;
+pub(crate) mod index;
 pub mod lexer;
 pub mod parser;
 pub(crate) mod plan;
+pub(crate) mod stats;
 pub mod table;
 pub mod udf;
 pub mod value;

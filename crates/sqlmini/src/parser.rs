@@ -1,9 +1,11 @@
 //! Recursive-descent SQL parser.
 //!
-//! Supported statements: `SELECT` (projection, FROM with tables and
-//! lateral set-returning functions, WHERE, GROUP BY, HAVING, ORDER BY,
-//! LIMIT), `INSERT … VALUES/SELECT`, `UPDATE`, `DELETE`, `CREATE TABLE`,
-//! `DROP TABLE`.
+//! Supported statements: `SELECT` (projection, FROM with tables,
+//! lateral set-returning functions and `[INNER] JOIN … ON`, WHERE,
+//! GROUP BY, HAVING, ORDER BY, LIMIT), `INSERT … VALUES/SELECT`,
+//! `UPDATE`, `DELETE`, `CREATE TABLE`, `DROP TABLE`,
+//! `CREATE [UNIQUE] INDEX`, `DROP INDEX`, `ANALYZE [table]` and
+//! `EXPLAIN <stmt>`.
 //!
 //! Expression precedence (low→high): `OR`, `AND`, `NOT`, comparison /
 //! `IN` / `IS NULL`, `||`, additive, multiplicative, unary minus,
@@ -15,9 +17,9 @@ use crate::lexer::{lex, Tok};
 use crate::value::{DataType, Value};
 
 /// Keywords that terminate a bare alias.
-const RESERVED: [&str; 20] = [
+const RESERVED: [&str; 23] = [
     "select", "distinct", "from", "where", "order", "group", "having", "limit", "and", "or", "not",
-    "in", "is", "as", "asc", "desc", "by", "lateral", "values", "set",
+    "in", "is", "as", "asc", "desc", "by", "lateral", "values", "set", "join", "on", "inner",
 ];
 
 struct Parser {
@@ -114,6 +116,20 @@ impl Parser {
         if self.eat_kw("drop") {
             return self.parse_drop();
         }
+        if self.eat_kw("explain") {
+            return Ok(Stmt::Explain(Box::new(self.parse_stmt()?)));
+        }
+        if self.eat_kw("analyze") {
+            let table = match self.peek() {
+                Some(Tok::Ident(name)) if !RESERVED.contains(&name.as_str()) => {
+                    let t = name.clone();
+                    self.pos += 1;
+                    Some(t)
+                }
+                _ => None,
+            };
+            return Ok(Stmt::Analyze(table));
+        }
         if self.eat_kw("begin") {
             self.eat_txn_noise();
             return Ok(Stmt::Begin);
@@ -153,12 +169,24 @@ impl Parser {
             }
         }
         let mut from = Vec::new();
+        let mut join_on = Vec::new();
         if self.eat_kw("from") {
+            from.push(self.parse_from_item()?);
             loop {
-                from.push(self.parse_from_item()?);
-                if !self.eat(&Tok::Comma) {
-                    break;
+                if self.eat(&Tok::Comma) {
+                    from.push(self.parse_from_item()?);
+                    continue;
                 }
+                // `[INNER] JOIN item ON expr` — inner-join shorthand for a
+                // comma join with the ON condition ANDed into WHERE.
+                if self.eat_kw("inner") || self.peek_kw("join") {
+                    self.expect_kw("join")?;
+                    from.push(self.parse_from_item()?);
+                    self.expect_kw("on")?;
+                    join_on.push(self.parse_expr()?);
+                    continue;
+                }
+                break;
             }
         }
         let where_clause = if self.eat_kw("where") {
@@ -214,6 +242,7 @@ impl Parser {
             distinct,
             items,
             from,
+            join_on,
             where_clause,
             group_by,
             having,
@@ -370,6 +399,22 @@ impl Parser {
     }
 
     fn parse_create(&mut self) -> Result<Stmt> {
+        let unique = self.eat_kw("unique");
+        if unique || self.peek_kw("index") {
+            self.expect_kw("index")?;
+            let name = self.expect_ident("index name")?;
+            self.expect_kw("on")?;
+            let table = self.expect_ident("table name")?;
+            self.expect(&Tok::LParen, "'(' before the indexed column")?;
+            let column = self.expect_ident("column name")?;
+            self.expect(&Tok::RParen, "')' after the indexed column")?;
+            return Ok(Stmt::CreateIndex {
+                name,
+                table,
+                column,
+                unique,
+            });
+        }
         self.expect_kw("table")?;
         let if_not_exists = if self.eat_kw("if") {
             self.expect_kw("not")?;
@@ -402,6 +447,10 @@ impl Parser {
     }
 
     fn parse_drop(&mut self) -> Result<Stmt> {
+        if self.eat_kw("index") {
+            let name = self.expect_ident("index name")?;
+            return Ok(Stmt::DropIndex { name });
+        }
         self.expect_kw("table")?;
         let if_exists = if self.eat_kw("if") {
             self.expect_kw("exists")?;
@@ -637,7 +686,19 @@ impl Parser {
                         if self.eat(&Tok::Star) {
                             // count(*)
                             self.expect(&Tok::RParen, "')' after count(*)")?;
-                            return Ok(Expr::Function { name, args });
+                            return Ok(Expr::Function {
+                                name,
+                                args,
+                                distinct: false,
+                            });
+                        }
+                        // `count(DISTINCT x)` — only aggregates accept it;
+                        // the planner rejects it elsewhere.
+                        let distinct = self.eat_kw("distinct");
+                        if distinct && self.peek() == Some(&Tok::RParen) {
+                            return Err(SqlError::Parse(
+                                "DISTINCT in a function call requires an argument".into(),
+                            ));
                         }
                         if self.peek() != Some(&Tok::RParen) {
                             loop {
@@ -648,7 +709,11 @@ impl Parser {
                             }
                         }
                         self.expect(&Tok::RParen, "')' after function arguments")?;
-                        Ok(Expr::Function { name, args })
+                        Ok(Expr::Function {
+                            name,
+                            args,
+                            distinct,
+                        })
                     } else if self.peek() == Some(&Tok::Dot) {
                         self.pos += 1;
                         let col = self.expect_ident("column after '.'")?;
@@ -890,7 +955,7 @@ mod tests {
             assert!(matches!(
                 &sel.items[0],
                 SelectItem::Expr {
-                    expr: Expr::Function { name, args },
+                    expr: Expr::Function { name, args, .. },
                     ..
                 } if name == "count" && args.is_empty()
             ));
@@ -917,6 +982,76 @@ mod tests {
         assert!(parse("SELECT 1 SELECT 2").is_err());
         assert!(parse("SELECT * FROM t LIMIT 'x'").is_err());
         assert!(parse("INSERT INTO t").is_err());
+    }
+
+    #[test]
+    fn parses_index_ddl() {
+        assert!(matches!(
+            parse("CREATE INDEX t_k ON t (k)").unwrap(),
+            Stmt::CreateIndex { ref name, ref table, ref column, unique: false }
+                if name == "t_k" && table == "t" && column == "k"
+        ));
+        assert!(matches!(
+            parse("CREATE UNIQUE INDEX u_k ON u (k)").unwrap(),
+            Stmt::CreateIndex { unique: true, .. }
+        ));
+        assert!(matches!(
+            parse("DROP INDEX t_k").unwrap(),
+            Stmt::DropIndex { ref name } if name == "t_k"
+        ));
+        assert!(parse("CREATE INDEX t_k ON t (k, j)").is_err());
+    }
+
+    #[test]
+    fn parses_analyze_and_explain() {
+        assert!(matches!(parse("ANALYZE").unwrap(), Stmt::Analyze(None)));
+        assert!(matches!(
+            parse("ANALYZE t;").unwrap(),
+            Stmt::Analyze(Some(ref t)) if t == "t"
+        ));
+        match parse("EXPLAIN SELECT * FROM t WHERE k = 1").unwrap() {
+            Stmt::Explain(inner) => assert!(matches!(*inner, Stmt::Select(_))),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("EXPLAIN").is_err());
+    }
+
+    #[test]
+    fn parses_join_on() {
+        let s = parse("SELECT * FROM a JOIN b ON a.k = b.k WHERE a.x > 0").unwrap();
+        if let Stmt::Select(sel) = s {
+            assert_eq!(sel.from.len(), 2);
+            assert_eq!(sel.join_on.len(), 1);
+            assert!(matches!(sel.join_on[0], Expr::Binary { op: BinOp::Eq, .. }));
+            assert!(sel.where_clause.is_some());
+        } else {
+            panic!();
+        }
+        let s = parse("SELECT * FROM a INNER JOIN b ON a.k = b.k, c").unwrap();
+        if let Stmt::Select(sel) = s {
+            assert_eq!(sel.from.len(), 3);
+            assert_eq!(sel.join_on.len(), 1);
+        } else {
+            panic!();
+        }
+        assert!(parse("SELECT * FROM a JOIN b").is_err());
+    }
+
+    #[test]
+    fn parses_count_distinct() {
+        let s = parse("SELECT count(DISTINCT x) FROM t").unwrap();
+        if let Stmt::Select(sel) = s {
+            assert!(matches!(
+                &sel.items[0],
+                SelectItem::Expr {
+                    expr: Expr::Function { name, args, distinct: true },
+                    ..
+                } if name == "count" && args.len() == 1
+            ));
+        } else {
+            panic!();
+        }
+        assert!(parse("SELECT count(DISTINCT) FROM t").is_err());
     }
 
     #[test]

@@ -30,13 +30,14 @@
 use std::sync::Arc;
 
 use crate::ast::{
-    contains_aggregate, map_slots, walk_slots, Expr, FromItem, InsertSource, SelectItem,
-    SelectStmt, Stmt, AGGREGATE_FUNCTIONS,
+    contains_aggregate, map_slots, walk_slots, BinOp, Expr, FromItem, InsertSource, SelectItem,
+    SelectStmt, Stmt, UnOp, AGGREGATE_FUNCTIONS,
 };
+use crate::cost::{self, IndexChoice};
 use crate::db::Database;
 use crate::error::{Result, SqlError};
 use crate::functions::ScalarFn;
-use crate::value::Value;
+use crate::value::{DataType, Value};
 
 /// One FROM item's contribution to the name environment.
 #[derive(Debug, Clone)]
@@ -99,6 +100,9 @@ pub(crate) enum PhysicalPlan {
     Update(DmlPlan),
     /// DELETE with its predicate resolved.
     Delete(DmlPlan),
+    /// `EXPLAIN` — the inner statement's physical plan, pre-rendered at
+    /// compile time into one text line per output row.
+    Explain(Vec<String>),
     /// DDL — executed directly from the AST.
     Other,
 }
@@ -125,6 +129,20 @@ pub(crate) struct StaticSelectPlan {
     /// over borrowed rows under the table read guard, materializing only
     /// the projection of rows that survive the filter.
     pub zero: Option<ZeroScan>,
+    /// Hash equi-join chosen by the cost model for a two-table scan:
+    /// build a hash table over the right table's join keys, probe with
+    /// the left. Slots address the pruned concatenated row layout.
+    pub hash_join: Option<HashJoin>,
+}
+
+/// A cost-chosen hash equi-join between the two scanned tables.
+pub(crate) struct HashJoin {
+    /// Join key slot of the left (first) table, in the pruned
+    /// concatenated layout.
+    pub left_slot: usize,
+    /// Join key slot of the right (second) table, in the pruned
+    /// concatenated layout.
+    pub right_slot: usize,
 }
 
 /// The under-guard half of a zero-copy scan: the statement's scan-side
@@ -135,6 +153,11 @@ pub(crate) struct ZeroScan {
     /// WHERE predicate (full layout).
     pub where_clause: Option<Expr>,
     pub kind: ZeroScanKind,
+    /// Cost-chosen index access path: probe this index for candidate
+    /// version positions instead of walking every version. Candidates
+    /// are a superset; the executor re-checks visibility and the full
+    /// WHERE clause, so results are identical to a sequential scan.
+    pub access: Option<IndexChoice>,
 }
 
 /// What runs under the read guard for each statement shape.
@@ -157,6 +180,9 @@ pub(crate) enum ZeroScanKind {
 /// UPDATE / DELETE with the predicate (and SET expressions) resolved to
 /// the target table's column layout.
 pub(crate) struct DmlPlan {
+    /// Names of the resolved scalar functions, parallel to `fns` (for
+    /// EXPLAIN rendering).
+    pub fn_names: Vec<String>,
     /// Target table (lower-case).
     pub table: String,
     /// Target column names at plan time — re-checked under the guard so
@@ -185,6 +211,9 @@ pub(crate) struct DmlPlan {
 pub(crate) struct SelectOps {
     /// Output column names.
     pub columns: Vec<String>,
+    /// Names of the resolved scalar functions, parallel to `fns` (for
+    /// EXPLAIN rendering).
+    pub fn_names: Vec<String>,
     /// Scalar functions referenced by the resolved expressions;
     /// `Expr::ScalarCall` indexes into this table, so per-row evaluation
     /// never consults the function registry. (UDF re-registration bumps
@@ -245,6 +274,8 @@ pub(crate) enum AggOp {
     CountStar,
     /// `count(e)` — non-NULL values.
     Count,
+    /// `count(DISTINCT e)` — distinct non-NULL values.
+    CountDistinct,
     Sum,
     Avg,
     Min,
@@ -381,8 +412,15 @@ pub(crate) fn compile(db: &Database, stmt: &Stmt) -> Result<PhysicalPlan> {
             })?;
             Ok(PhysicalPlan::Delete(plan))
         }
+        Stmt::Explain(inner) => {
+            let plan = compile(db, inner)?;
+            Ok(PhysicalPlan::Explain(render_plan(inner, &plan)?))
+        }
         Stmt::CreateTable { .. }
         | Stmt::DropTable { .. }
+        | Stmt::CreateIndex { .. }
+        | Stmt::DropIndex { .. }
+        | Stmt::Analyze(_)
         | Stmt::Begin
         | Stmt::Commit
         | Stmt::Rollback => Ok(PhysicalPlan::Other),
@@ -435,6 +473,7 @@ fn compile_dml<'a>(
         && sets.iter().all(|e| scan_safe(e, &resolver.fns));
     Ok((
         DmlPlan {
+            fn_names: resolver.names,
             table: table.to_ascii_lowercase(),
             schema_cols,
             set_idx: Vec::new(),
@@ -475,6 +514,9 @@ fn compile_select(db: &Database, sel: &SelectStmt) -> Result<PhysicalPlan> {
     if let Some(w) = &sel.where_clause {
         reject_aggregate("WHERE", w)?;
     }
+    for e in &sel.join_on {
+        reject_aggregate("JOIN conditions", e)?;
+    }
     for item in &sel.from {
         if let FromItem::Function { args, .. } = item {
             for a in args {
@@ -514,15 +556,99 @@ fn compile_select(db: &Database, sel: &SelectStmt) -> Result<PhysicalPlan> {
     }
     let schemas: Vec<Vec<String>> = bindings.iter().map(|b| b.columns.clone()).collect();
     let mut ops = build_select(db, sel, &bindings)?;
-    let zero = build_zero_scan(&ops, tables.len());
+    let mut zero = build_zero_scan(&ops, tables.len());
     let used_cols = prune_columns(&mut ops, &bindings);
+    if let Some(z) = &mut zero {
+        z.access = choose_index_access(db, &tables[0], z.where_clause.as_ref());
+    }
+    let hash_join = choose_hash_join(db, &tables, &used_cols, &ops);
     Ok(PhysicalPlan::StaticSelect(Box::new(StaticSelectPlan {
         tables,
         schemas,
         used_cols,
         ops,
         zero,
+        hash_join,
     })))
+}
+
+/// Cost out a secondary-index access path for a single-table zero-copy
+/// scan. The scan program keeps the table's full row layout, so sargable
+/// slots are schema column ordinals — exactly what indexes cover.
+fn choose_index_access(
+    db: &Database,
+    table: &str,
+    where_clause: Option<&Expr>,
+) -> Option<IndexChoice> {
+    let w = where_clause?;
+    if !db.index_access_enabled() {
+        return None;
+    }
+    let Ok(handle) = db.get_table(table) else {
+        return None;
+    };
+    let indexes: Vec<(String, usize)> = handle
+        .read()
+        .indexes()
+        .iter()
+        .map(|ix| (ix.name.clone(), ix.column))
+        .collect();
+    if indexes.is_empty() {
+        return None;
+    }
+    let stats = db.stats_for(table)?;
+    let guard = handle.read();
+    cost::choose_access(Some(w), &guard.schema, &indexes, &stats)
+}
+
+/// Cost out a hash join for a two-table scan: the WHERE clause (in the
+/// pruned concatenated layout) must contain an equi-conjunct between a
+/// column of each table, with identical column types — cross-type
+/// equality (`int = float`, `timestamp = text`) follows comparison
+/// coercions a hash key cannot mirror exactly, so it stays on the
+/// nested-loop path.
+fn choose_hash_join(
+    db: &Database,
+    tables: &[String],
+    used_cols: &[Vec<usize>],
+    ops: &SelectOps,
+) -> Option<HashJoin> {
+    if tables.len() != 2 || !db.hash_join_enabled() {
+        return None;
+    }
+    let w = ops.where_clause.as_ref()?;
+    let w0 = used_cols[0].len();
+    let w1 = used_cols[1].len();
+    for (a, b) in cost::equi_slot_pairs(w) {
+        let (l, r) = if a < w0 && (w0..w0 + w1).contains(&b) {
+            (a, b)
+        } else if b < w0 && (w0..w0 + w1).contains(&a) {
+            (b, a)
+        } else {
+            continue;
+        };
+        let dl = column_dtype(db, &tables[0], used_cols[0][l])?;
+        let dr = column_dtype(db, &tables[1], used_cols[1][r - w0])?;
+        if dl != dr || dl == DataType::Variant {
+            continue;
+        }
+        let nl = db.stats_for(&tables[0])?.row_count;
+        let nr = db.stats_for(&tables[1])?.row_count;
+        if cost::hash_join_beats_nested(nl, nr) {
+            return Some(HashJoin {
+                left_slot: l,
+                right_slot: r,
+            });
+        }
+    }
+    None
+}
+
+/// The declared type of one table column, if the table still exists.
+fn column_dtype(db: &Database, table: &str, column: usize) -> Option<DataType> {
+    let handle = db.get_table(table).ok()?;
+    let guard = handle.read();
+    guard.schema.columns.get(column).map(|c| c.dtype)
 }
 
 /// Classify a static plan's scan: when it reads a single table and every
@@ -548,6 +674,7 @@ fn build_zero_scan(ops: &SelectOps, n_tables: usize) -> Option<ZeroScan> {
                 gp.keys.iter().all(safe) && gp.aggs.iter().all(|c| c.args.iter().all(safe));
             sweep_safe.then(|| ZeroScan {
                 where_clause: ops.where_clause.clone(),
+                access: None,
                 kind: ZeroScanKind::Grouped(GroupPlan {
                     keys: gp.keys.clone(),
                     aggs: gp
@@ -569,6 +696,7 @@ fn build_zero_scan(ops: &SelectOps, n_tables: usize) -> Option<ZeroScan> {
                 ops.projections.iter().all(safe) && ops.order_by.iter().all(|(e, _)| safe(e));
             all_safe.then(|| ZeroScan {
                 where_clause: ops.where_clause.clone(),
+                access: None,
                 kind: ZeroScanKind::Select {
                     projections: ops.projections.clone(),
                     order_by: ops.order_by.clone(),
@@ -821,8 +949,7 @@ pub(crate) fn build_select(
         }
     }
 
-    let where_clause = sel
-        .where_clause
+    let where_clause = joined_where(sel)
         .as_ref()
         .map(|w| resolve_cols(w, &env, &mut resolver))
         .transpose()?;
@@ -859,6 +986,7 @@ pub(crate) fn build_select(
         };
         Ok(SelectOps {
             columns,
+            fn_names: resolver.names,
             fns: resolver.fns,
             where_clause,
             projections,
@@ -883,6 +1011,7 @@ pub(crate) fn build_select(
         };
         Ok(SelectOps {
             columns,
+            fn_names: resolver.names,
             fns: resolver.fns,
             where_clause,
             projections,
@@ -893,6 +1022,23 @@ pub(crate) fn build_select(
             limit,
         })
     }
+}
+
+/// The effective WHERE clause of a SELECT: the explicit WHERE predicate
+/// ANDed with every `JOIN … ON` condition (inner-join semantics).
+pub(crate) fn joined_where(sel: &SelectStmt) -> Option<Expr> {
+    let mut acc = sel.where_clause.clone();
+    for on in &sel.join_on {
+        acc = Some(match acc {
+            None => on.clone(),
+            Some(w) => Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(w),
+                right: Box::new(on.clone()),
+            },
+        });
+    }
+    acc
 }
 
 /// Rewrite every column reference to its flat row index and every scalar
@@ -932,13 +1078,22 @@ fn resolve_cols(e: &Expr, env: &Env<'_>, r: &mut Resolver<'_>) -> Result<Expr> {
                 .collect::<Result<_>>()?,
             negated: *negated,
         },
-        Expr::Function { name, args } => Expr::ScalarCall {
-            f: r.function(name)?,
-            args: args
-                .iter()
-                .map(|a| resolve_cols(a, env, r))
-                .collect::<Result<_>>()?,
-        },
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } => {
+            if *distinct {
+                return Err(not_an_aggregate(name));
+            }
+            Expr::ScalarCall {
+                f: r.function(name)?,
+                args: args
+                    .iter()
+                    .map(|a| resolve_cols(a, env, r))
+                    .collect::<Result<_>>()?,
+            }
+        }
         Expr::ScalarCall { f, args } => Expr::ScalarCall {
             f: *f,
             args: args
@@ -947,6 +1102,13 @@ fn resolve_cols(e: &Expr, env: &Env<'_>, r: &mut Resolver<'_>) -> Result<Expr> {
                 .collect::<Result<_>>()?,
         },
     })
+}
+
+/// `DISTINCT` inside a non-aggregate call, with PostgreSQL's wording.
+fn not_an_aggregate(name: &str) -> SqlError {
+    SqlError::Type(format!(
+        "DISTINCT specified, but {name} is not an aggregate function"
+    ))
 }
 
 /// The PostgreSQL grouping-rule error for a raw column reference that is
@@ -1005,7 +1167,11 @@ fn lower_grouped(
         return Ok(Expr::GroupKey(i));
     }
     Ok(match e {
-        Expr::Function { name, args } if AGGREGATE_FUNCTIONS.contains(&name.as_str()) => {
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } if AGGREGATE_FUNCTIONS.contains(&name.as_str()) => {
             if args.iter().any(contains_aggregate) {
                 return Err(SqlError::Grouping(
                     "aggregate function calls cannot be nested".into(),
@@ -1013,7 +1179,13 @@ fn lower_grouped(
             }
             let op = match (name.as_str(), args.len()) {
                 ("count", 0) => AggOp::CountStar,
+                ("count", 1) if *distinct => AggOp::CountDistinct,
                 ("count", 1) => AggOp::Count,
+                (n, _) if *distinct => {
+                    return Err(SqlError::Grouping(format!(
+                        "DISTINCT is not implemented for {n}()"
+                    )))
+                }
                 ("sum", 1) => AggOp::Sum,
                 ("avg", 1) => AggOp::Avg,
                 ("min", 1) => AggOp::Min,
@@ -1069,13 +1241,22 @@ fn lower_grouped(
                 .collect::<Result<_>>()?,
             negated: *negated,
         },
-        Expr::Function { name, args } => Expr::ScalarCall {
-            f: r.function(name)?,
-            args: args
-                .iter()
-                .map(|a| lower_grouped(a, keys, env, aggs, r))
-                .collect::<Result<_>>()?,
-        },
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } => {
+            if *distinct {
+                return Err(not_an_aggregate(name));
+            }
+            Expr::ScalarCall {
+                f: r.function(name)?,
+                args: args
+                    .iter()
+                    .map(|a| lower_grouped(a, keys, env, aggs, r))
+                    .collect::<Result<_>>()?,
+            }
+        }
         Expr::ScalarCall { f, args } => Expr::ScalarCall {
             f: *f,
             args: args
@@ -1084,6 +1265,309 @@ fn lower_grouped(
                 .collect::<Result<_>>()?,
         },
     })
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN rendering
+// ---------------------------------------------------------------------------
+
+/// Render a compiled plan as indented text lines (one per output row of
+/// `EXPLAIN`). Runs at compile time: the rendered plan is exactly the
+/// plan the statement would execute with, under the current statistics.
+pub(crate) fn render_plan(stmt: &Stmt, plan: &PhysicalPlan) -> Result<Vec<String>> {
+    match plan {
+        PhysicalPlan::StaticSelect(p) => Ok(render_static(p)),
+        PhysicalPlan::DynamicSelect => {
+            let Stmt::Select(sel) = stmt else {
+                unreachable!("dynamic plans compile from SELECT statements");
+            };
+            Ok(render_dynamic(sel))
+        }
+        PhysicalPlan::Insert(ip) => {
+            let child = match (&ip.source, stmt) {
+                (
+                    Some(src),
+                    Stmt::Insert {
+                        source: InsertSource::Select(sel),
+                        ..
+                    },
+                ) => render_plan(&Stmt::Select((**sel).clone()), src)?,
+                _ => vec!["Values".to_string()],
+            };
+            let mut lines = vec![format!("Insert on {}", ip.table)];
+            lines.extend(indent_child(child));
+            Ok(lines)
+        }
+        PhysicalPlan::Update(p) => Ok(render_dml("Update", p)),
+        PhysicalPlan::Delete(p) => Ok(render_dml("Delete", p)),
+        PhysicalPlan::Explain(_) | PhysicalPlan::Other => Err(SqlError::Parse(
+            "EXPLAIN is only supported for SELECT, INSERT, UPDATE and DELETE".into(),
+        )),
+    }
+}
+
+/// Nest a child node: `->` marker on its first line, matching indent on
+/// the rest.
+fn indent_child(lines: Vec<String>) -> Vec<String> {
+    lines
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                format!("  ->  {l}")
+            } else {
+                format!("      {l}")
+            }
+        })
+        .collect()
+}
+
+/// Name a slot of the pruned concatenated row layout, qualified by table
+/// when more than one is scanned.
+fn pruned_slot_name(p: &StaticSelectPlan, s: usize) -> String {
+    let mut off = 0;
+    for (ti, used) in p.used_cols.iter().enumerate() {
+        if s < off + used.len() {
+            let col = &p.schemas[ti][used[s - off]];
+            return if p.used_cols.len() == 1 {
+                col.clone()
+            } else {
+                format!("{}.{col}", p.tables[ti])
+            };
+        }
+        off += used.len();
+    }
+    format!("?column{s}?")
+}
+
+fn render_static(p: &StaticSelectPlan) -> Vec<String> {
+    let pruned = |s: usize| pruned_slot_name(p, s);
+    let scan = if p.tables.len() == 1 {
+        let t = &p.tables[0];
+        match &p.zero {
+            Some(z) => {
+                // Zero-copy scan: expressions are in the full layout.
+                let full = |s: usize| {
+                    p.schemas[0]
+                        .get(s)
+                        .cloned()
+                        .unwrap_or_else(|| format!("?column{s}?"))
+                };
+                let mut lines = match &z.access {
+                    Some(a) => {
+                        let conds = a
+                            .conds
+                            .iter()
+                            .map(|(c, op, v)| {
+                                format!(
+                                    "({} {} {})",
+                                    full(*c),
+                                    op_str(*op),
+                                    render_expr(v, &full, &p.ops.fn_names)
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" AND ");
+                        vec![
+                            format!("IndexScan using {} on {t}", a.index_name),
+                            format!("  Index Cond: {conds}"),
+                        ]
+                    }
+                    None => vec![format!("SeqScan on {t}")],
+                };
+                if let Some(w) = &z.where_clause {
+                    lines.push(format!(
+                        "  Filter: {}",
+                        render_expr(w, &full, &p.ops.fn_names)
+                    ));
+                }
+                lines
+            }
+            None => {
+                let mut lines = vec![format!("SeqScan on {t}")];
+                if let Some(w) = &p.ops.where_clause {
+                    lines.push(format!(
+                        "  Filter: {}",
+                        render_expr(w, &pruned, &p.ops.fn_names)
+                    ));
+                }
+                lines
+            }
+        }
+    } else {
+        let children: Vec<String> = p
+            .tables
+            .iter()
+            .flat_map(|t| indent_child(vec![format!("SeqScan on {t}")]))
+            .collect();
+        let mut lines = match &p.hash_join {
+            Some(hj) => vec![
+                "HashJoin".to_string(),
+                format!(
+                    "  Hash Cond: ({} = {})",
+                    pruned(hj.left_slot),
+                    pruned(hj.right_slot)
+                ),
+            ],
+            None => vec!["NestedLoop".to_string()],
+        };
+        if let Some(w) = &p.ops.where_clause {
+            lines.push(format!(
+                "  Filter: {}",
+                render_expr(w, &pruned, &p.ops.fn_names)
+            ));
+        }
+        lines.extend(children);
+        lines
+    };
+    wrap_aggregate(p.ops.group.is_some(), scan)
+}
+
+/// Render a dynamic SELECT (set-returning functions in FROM): the scan
+/// schema is unknown until execution, so only the shape is shown.
+fn render_dynamic(sel: &SelectStmt) -> Vec<String> {
+    let name = |s: usize| format!("?column{s}?");
+    let scans: Vec<Vec<String>> = sel
+        .from
+        .iter()
+        .map(|it| {
+            vec![match it {
+                FromItem::Table { name, .. } => format!("SeqScan on {name}"),
+                FromItem::Function { name, .. } => format!("FunctionScan on {name}"),
+            }]
+        })
+        .collect();
+    let filter = joined_where(sel).map(|w| format!("  Filter: {}", render_expr(&w, &name, &[])));
+    let lines = if scans.len() == 1 {
+        let mut l = scans.into_iter().next().unwrap();
+        l.extend(filter);
+        l
+    } else {
+        let mut l = vec!["NestedLoop".to_string()];
+        l.extend(filter);
+        for s in scans {
+            l.extend(indent_child(s));
+        }
+        l
+    };
+    let grouped = !sel.group_by.is_empty()
+        || sel.having.is_some()
+        || sel
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if contains_aggregate(expr)));
+    wrap_aggregate(grouped, lines)
+}
+
+fn wrap_aggregate(grouped: bool, scan: Vec<String>) -> Vec<String> {
+    if grouped {
+        let mut lines = vec!["Aggregate".to_string()];
+        lines.extend(indent_child(scan));
+        lines
+    } else {
+        scan
+    }
+}
+
+fn render_dml(verb: &str, p: &DmlPlan) -> Vec<String> {
+    let name = |s: usize| {
+        p.schema_cols
+            .get(s)
+            .cloned()
+            .unwrap_or_else(|| format!("?column{s}?"))
+    };
+    let mut scan = vec![format!("SeqScan on {}", p.table)];
+    if let Some(w) = &p.where_clause {
+        scan.push(format!("  Filter: {}", render_expr(w, &name, &p.fn_names)));
+    }
+    let mut lines = vec![format!("{verb} on {}", p.table)];
+    lines.extend(indent_child(scan));
+    lines
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Concat => "||",
+        BinOp::Eq => "=",
+        BinOp::Ne => "<>",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "AND",
+        BinOp::Or => "OR",
+    }
+}
+
+/// Render one plan expression for EXPLAIN output. `name` maps a slot to
+/// its column name in the layout the expression was resolved against;
+/// `fns` maps scalar-call indices back to function names.
+fn render_expr(e: &Expr, name: &dyn Fn(usize) -> String, fns: &[String]) -> String {
+    let list = |args: &[Expr]| {
+        args.iter()
+            .map(|a| render_expr(a, name, fns))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    match e {
+        Expr::Literal(Value::Text(s)) => format!("'{s}'"),
+        Expr::Literal(v) => format!("{v}"),
+        Expr::Param(n) => format!("${n}"),
+        Expr::Slot(i) => name(*i),
+        Expr::Column { table, name: n } => match table {
+            Some(t) => format!("{t}.{n}"),
+            None => n.clone(),
+        },
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => format!("-{}", render_expr(expr, name, fns)),
+        Expr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => format!("NOT {}", render_expr(expr, name, fns)),
+        Expr::Binary { op, left, right } => format!(
+            "({} {} {})",
+            render_expr(left, name, fns),
+            op_str(*op),
+            render_expr(right, name, fns)
+        ),
+        Expr::Cast { expr, ty } => format!("({}::{})", render_expr(expr, name, fns), ty.name()),
+        Expr::IsNull { expr, negated } => format!(
+            "({} IS {}NULL)",
+            render_expr(expr, name, fns),
+            if *negated { "NOT " } else { "" }
+        ),
+        Expr::InList {
+            expr,
+            list: items,
+            negated,
+        } => format!(
+            "({} {}IN ({}))",
+            render_expr(expr, name, fns),
+            if *negated { "NOT " } else { "" },
+            list(items)
+        ),
+        Expr::Function {
+            name: n,
+            args,
+            distinct,
+        } => format!(
+            "{n}({}{})",
+            if *distinct { "DISTINCT " } else { "" },
+            list(args)
+        ),
+        Expr::ScalarCall { f, args } => {
+            let n = fns.get(*f).map(String::as_str).unwrap_or("?fn?");
+            format!("{n}({})", list(args))
+        }
+        Expr::GroupKey(i) => format!("?group{i}?"),
+        Expr::Agg(i) => format!("?agg{i}?"),
+    }
 }
 
 /// Output column name for an unaliased projection.

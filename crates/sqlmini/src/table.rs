@@ -1,6 +1,7 @@
 //! Schemas, rows and in-memory tables.
 
 use crate::error::{Result, SqlError};
+use crate::index::{key_of, unique_violation, SecondaryIndex};
 use crate::value::{DataType, Value};
 
 /// A named, typed column.
@@ -190,6 +191,14 @@ pub struct Table {
     /// cursors, open transactions, snapshot DML). Compaction is skipped
     /// while any pin is held, because it renumbers versions.
     pins: std::sync::atomic::AtomicUsize,
+    /// Secondary indexes over single columns, maintained by every
+    /// operation that appends, rewrites, moves or truncates version
+    /// payloads (stamp-only changes never touch them — probes re-check
+    /// visibility).
+    indexes: Vec<SecondaryIndex>,
+    /// Monotone count of version-payload modifications — the statistics
+    /// layer's staleness signal (see `crate::stats`).
+    mod_count: u64,
 }
 
 impl Clone for Table {
@@ -201,6 +210,8 @@ impl Clone for Table {
             pending: self.pending,
             max_begin: self.max_begin,
             pins: std::sync::atomic::AtomicUsize::new(0),
+            indexes: self.indexes.clone(),
+            mod_count: self.mod_count,
         }
     }
 }
@@ -215,6 +226,8 @@ impl Table {
             pending: 0,
             max_begin: 0,
             pins: std::sync::atomic::AtomicUsize::new(0),
+            indexes: Vec::new(),
+            mod_count: 0,
         }
     }
 
@@ -258,7 +271,11 @@ impl Table {
                 self.pending -= 1;
             }
         }
+        self.mod_count += (self.versions.len() - len) as u64;
         self.versions.truncate(len);
+        for ix in &mut self.indexes {
+            ix.truncate(len);
+        }
     }
 
     /// Append a version (already coerced) and return its index.
@@ -273,7 +290,13 @@ impl Table {
             end: LIVE,
             data,
         });
-        self.versions.len() - 1
+        self.mod_count += 1;
+        let pos = self.versions.len() - 1;
+        let data = &self.versions[pos].data;
+        for ix in &mut self.indexes {
+            ix.insert(pos, &data[ix.column]);
+        }
+        pos
     }
 
     /// All versions, for conflict checks by index.
@@ -281,9 +304,12 @@ impl Table {
         &self.versions
     }
 
-    /// Stamp a version's end (delete/supersede it as of `stamp`).
+    /// Stamp a version's end (delete/supersede it as of `stamp`). The
+    /// index entry stays — probes re-check visibility — but the churn
+    /// counts toward statistics staleness.
     pub(crate) fn end_version(&mut self, i: usize, stamp: u64) {
         self.versions[i].end = stamp;
+        self.mod_count += 1;
         if stamp & UNCOMMITTED == 0 {
             self.dead += 1;
         } else {
@@ -344,18 +370,30 @@ impl Table {
         self.pins.load(std::sync::atomic::Ordering::SeqCst) > 0
     }
 
-    /// Mutable payload access for the single-version fast path: an
-    /// auto-commit UPDATE overwrites the current version in place —
-    /// creating no garbage — once its caller has proven that no snapshot
-    /// below its commit timestamp is live and no cursor pins this table
-    /// (see `Database::overwrite_safe`).
-    pub(crate) fn version_data_mut(&mut self, i: usize) -> &mut Row {
-        &mut self.versions[i].data
+    /// Overwrite the payload of a version in place — the single-version
+    /// fast path of an auto-commit UPDATE, which creates no garbage. The
+    /// caller must have proven that no snapshot below its commit
+    /// timestamp is live and no cursor pins this table (see
+    /// `Database::overwrite_safe`). `cols`/`vals` are the SET columns;
+    /// any secondary index on a rewritten column moves the version's
+    /// entry to its new key.
+    pub(crate) fn overwrite_version(&mut self, i: usize, cols: &[usize], vals: Vec<Value>) {
+        self.mod_count += 1;
+        for (v, &c) in vals.into_iter().zip(cols) {
+            let old = std::mem::replace(&mut self.versions[i].data[c], v);
+            let new = &self.versions[i].data[c];
+            for ix in &mut self.indexes {
+                if ix.column == c {
+                    ix.reindex(i, &old, new);
+                }
+            }
+        }
     }
 
     /// Physically remove versions by ascending index — the single-version
-    /// fast path of an auto-commit DELETE. Renumbers the heap, so it
-    /// demands the same proof as [`Table::version_data_mut`].
+    /// fast path of an auto-commit DELETE. Renumbers the heap (and every
+    /// index entry above a removed position), so it demands the same
+    /// proof as [`Table::overwrite_version`].
     pub(crate) fn remove_versions(&mut self, sorted: &[usize]) {
         let mut doomed = sorted.iter().copied().peekable();
         let mut i = 0usize;
@@ -367,6 +405,10 @@ impl Table {
             i += 1;
             !hit
         });
+        self.mod_count += sorted.len() as u64;
+        for ix in &mut self.indexes {
+            ix.remove_renumber(sorted);
+        }
     }
 
     /// True when enough garbage has accumulated to be worth a compaction
@@ -382,10 +424,22 @@ impl Table {
         if self.pinned() {
             return 0;
         }
-        let before = self.versions.len();
+        let removed: Vec<usize> = self
+            .versions
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.reclaimable(watermark))
+            .map(|(i, _)| i)
+            .collect();
+        if removed.is_empty() {
+            return 0;
+        }
         self.versions.retain(|v| !v.reclaimable(watermark));
+        for ix in &mut self.indexes {
+            ix.remove_renumber(&removed);
+        }
         self.dead = self.versions.iter().filter(|v| v.dead()).count();
-        before - self.versions.len()
+        removed.len()
     }
 
     /// Every version in the heap is visible to `snap`: nothing dead,
@@ -446,6 +500,120 @@ impl Table {
         self.visible(snap)
             .map(|r| cols.iter().map(|&i| r[i].clone()).collect())
             .collect()
+    }
+
+    /// Iterate the rows at the given ascending version positions that
+    /// are visible to `snap` — the index-scan analogue of
+    /// [`Table::visible`]: candidates come from an index probe, the
+    /// snapshot check makes them exact.
+    pub(crate) fn visible_at<'a>(
+        &'a self,
+        positions: &'a [usize],
+        snap: Snapshot,
+    ) -> impl Iterator<Item = &'a Row> + 'a {
+        let all = self.all_visible(snap);
+        positions.iter().filter_map(move |&p| {
+            let v = self.versions.get(p)?;
+            (all || v.visible(snap)).then_some(&v.data)
+        })
+    }
+
+    // ---- secondary indexes -------------------------------------------------
+
+    /// The table's secondary indexes.
+    pub(crate) fn indexes(&self) -> &[SecondaryIndex] {
+        &self.indexes
+    }
+
+    /// Look up an index by (lower-cased) name.
+    pub(crate) fn find_index(&self, name: &str) -> Option<&SecondaryIndex> {
+        self.indexes.iter().find(|ix| ix.name == name)
+    }
+
+    /// The version-payload churn counter (statistics staleness input).
+    pub(crate) fn mod_count(&self) -> u64 {
+        self.mod_count
+    }
+
+    /// True when any unique index exists — DML paths only build check
+    /// rows when this holds.
+    pub(crate) fn has_unique_index(&self) -> bool {
+        self.indexes.iter().any(|ix| ix.unique)
+    }
+
+    /// Could this version still be (or become) current? Committed-dead
+    /// versions and tombstones cannot conflict; live versions always do;
+    /// a pending delete by *another* transaction may roll back, so the
+    /// version still conflicts — only our own pending delete clears it.
+    fn conflict_live(v: &VersionedRow, txid: u64) -> bool {
+        if v.begin == TOMBSTONE {
+            return false;
+        }
+        if v.end == LIVE {
+            return true;
+        }
+        v.end & UNCOMMITTED != 0 && (txid == 0 || v.end != UNCOMMITTED | txid)
+    }
+
+    /// Error-before-mutation unique check for a statement's batch of new
+    /// rows: rejects a duplicate non-NULL key within the batch or against
+    /// any still-conflicting indexed version. `superseded` lists the
+    /// ascending version positions the statement will end (its own
+    /// updates never conflict with the versions they replace); `txid` is
+    /// the owning transaction (0 in auto-commit).
+    pub(crate) fn check_unique(
+        &self,
+        new_rows: &[Row],
+        superseded: &[usize],
+        txid: u64,
+    ) -> Result<()> {
+        for ix in &self.indexes {
+            if !ix.unique {
+                continue;
+            }
+            let mut batch = std::collections::BTreeSet::new();
+            for r in new_rows {
+                let Some(k) = key_of(&r[ix.column]) else {
+                    continue; // NULLs never collide
+                };
+                if !batch.insert(k.clone()) {
+                    return Err(unique_violation(&ix.name));
+                }
+                for &p in ix.positions_of(&k) {
+                    if superseded.binary_search(&p).is_err()
+                        && Self::conflict_live(&self.versions[p], txid)
+                    {
+                        return Err(unique_violation(&ix.name));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Create a secondary index over `column`, building it from the
+    /// whole version heap. A unique index validates existing data first
+    /// and leaves the table untouched on violation.
+    pub(crate) fn create_index(&mut self, name: &str, column: &str, unique: bool) -> Result<()> {
+        let col = self
+            .schema
+            .index_of(column)
+            .ok_or_else(|| SqlError::UnknownColumn(column.to_string()))?;
+        crate::index::check_indexable(self.schema.columns[col].dtype, column)?;
+        let mut ix = SecondaryIndex::new(name.to_string(), col, unique);
+        ix.rebuild(self.versions.iter().map(|v| v.data.as_slice()));
+        if unique && ix.find_duplicate(|p| Self::conflict_live(&self.versions[p], 0)) {
+            return Err(unique_violation(name));
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Drop an index by name, returning it (the undo log keeps its shape
+    /// so ROLLBACK can rebuild it).
+    pub(crate) fn drop_index(&mut self, name: &str) -> Option<SecondaryIndex> {
+        let i = self.indexes.iter().position(|ix| ix.name == name)?;
+        Some(self.indexes.remove(i))
     }
 
     /// Clone the current committed rows — a convenience for tests and

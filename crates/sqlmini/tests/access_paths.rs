@@ -1,0 +1,468 @@
+//! Tier-2 tests for the access-path subsystem: secondary indexes and
+//! their transactional maintenance, ANALYZE-driven planner statistics,
+//! the cost model's scan and join choices, `EXPLAIN` output, hash
+//! equi-joins, `count(DISTINCT …)` and unique-constraint enforcement.
+
+use pgfmu_sqlmini::{Database, Value};
+
+/// Render `EXPLAIN <sql>` as one newline-joined string.
+fn plan_of(db: &Database, sql: &str) -> String {
+    let q = db.execute(&format!("EXPLAIN {sql}")).unwrap();
+    assert_eq!(q.columns, vec!["query plan"]);
+    q.rows
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Text(s) => s.as_str(),
+            other => panic!("non-text plan row {other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// A table big enough that the cost model prefers a point probe, with
+/// an index on `k` and fresh statistics.
+fn indexed_db(rows: i64) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (k int, v text)").unwrap();
+    let insert = db.prepare("INSERT INTO t VALUES ($1, $2)").unwrap();
+    for i in 0..rows {
+        insert
+            .query(&[Value::Int(i), Value::Text(format!("r{i}"))])
+            .unwrap();
+    }
+    db.execute("CREATE INDEX t_k ON t (k)").unwrap();
+    db.execute("ANALYZE t").unwrap();
+    db
+}
+
+// --- scan choice and EXPLAIN -----------------------------------------------
+
+#[test]
+fn point_lookup_takes_the_index_and_matches_seq_scan() {
+    let db = indexed_db(2000);
+    let plan = plan_of(&db, "SELECT v FROM t WHERE k = 1234");
+    assert!(plan.contains("IndexScan using t_k on t"), "{plan}");
+    assert!(plan.contains("Index Cond: (k = 1234)"), "{plan}");
+
+    let (ix_before, _, _, _) = db.access_stats();
+    let via_index: Vec<String> = db.query_as("SELECT v FROM t WHERE k = 1234", &[]).unwrap();
+    let (ix_after, _, _, _) = db.access_stats();
+    assert_eq!(
+        ix_after,
+        ix_before + 1,
+        "the probe must take the index path"
+    );
+
+    db.set_index_access_enabled(false);
+    assert!(
+        plan_of(&db, "SELECT v FROM t WHERE k = 1234").contains("SeqScan on t"),
+        "disabled index access must fall back to a sequential scan"
+    );
+    let (_, seq_before, _, _) = db.access_stats();
+    let via_seq: Vec<String> = db.query_as("SELECT v FROM t WHERE k = 1234", &[]).unwrap();
+    let (_, seq_after, _, _) = db.access_stats();
+    assert_eq!(seq_after, seq_before + 1);
+    assert_eq!(via_index, via_seq);
+    assert_eq!(via_index, vec!["r1234".to_string()]);
+}
+
+#[test]
+fn range_scan_takes_the_index_and_matches_seq_scan() {
+    let db = indexed_db(2000);
+    let sql = "SELECT k FROM t WHERE k > 100 AND k <= 110 ORDER BY k";
+    let plan = plan_of(&db, sql);
+    assert!(plan.contains("IndexScan using t_k on t"), "{plan}");
+    assert!(
+        plan.contains("Index Cond: (k > 100) AND (k <= 110)"),
+        "{plan}"
+    );
+    let with_index: Vec<i64> = db.query_as(sql, &[]).unwrap();
+    db.set_index_access_enabled(false);
+    let seq: Vec<i64> = db.query_as(sql, &[]).unwrap();
+    assert_eq!(with_index, seq);
+    assert_eq!(with_index, (101..=110).collect::<Vec<_>>());
+}
+
+#[test]
+fn unselective_or_unindexed_predicates_stay_sequential() {
+    let db = indexed_db(100);
+    // Covers most of the table: cheaper to scan.
+    assert!(plan_of(&db, "SELECT k FROM t WHERE k >= 0").contains("SeqScan on t"));
+    // Not sargable: arithmetic on the column.
+    assert!(plan_of(&db, "SELECT k FROM t WHERE k + 1 = 5").contains("SeqScan on t"));
+    // No predicate at all.
+    assert!(plan_of(&db, "SELECT k FROM t").contains("SeqScan on t"));
+}
+
+#[test]
+fn explain_covers_every_statement_kind() {
+    let db = indexed_db(10);
+    assert!(plan_of(&db, "INSERT INTO t VALUES (99, 'x')").starts_with("Insert on t"));
+    assert!(plan_of(&db, "UPDATE t SET v = 'y' WHERE k = 1").starts_with("Update on t"));
+    assert!(plan_of(&db, "DELETE FROM t WHERE k = 1").starts_with("Delete on t"));
+    // EXPLAIN itself must not execute the statement.
+    let n: Vec<i64> = db.query_as("SELECT count(*) FROM t", &[]).unwrap();
+    assert_eq!(n, vec![10]);
+}
+
+#[test]
+fn index_probe_works_through_bind_parameters() {
+    let db = indexed_db(2000);
+    let stmt = db.prepare("SELECT v FROM t WHERE k = $1").unwrap();
+    let (ix_before, _, _, _) = db.access_stats();
+    let q = stmt.query(&[Value::Int(42)]).unwrap();
+    assert_eq!(q.rows[0][0], Value::Text("r42".into()));
+    let q = stmt.query(&[Value::Int(7)]).unwrap();
+    assert_eq!(q.rows[0][0], Value::Text("r7".into()));
+    let (ix_after, _, _, _) = db.access_stats();
+    assert_eq!(ix_after, ix_before + 2, "both executions probe the index");
+}
+
+// --- joins -----------------------------------------------------------------
+
+fn join_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE big (k int, v text)").unwrap();
+    db.execute("CREATE TABLE small (k int, w float)").unwrap();
+    let ins = db.prepare("INSERT INTO big VALUES ($1, $2)").unwrap();
+    for i in 0..200 {
+        ins.query(&[Value::Int(i), Value::Text(format!("b{i}"))])
+            .unwrap();
+    }
+    let ins = db.prepare("INSERT INTO small VALUES ($1, $2)").unwrap();
+    for i in 0..40 {
+        ins.query(&[Value::Int(i * 3), Value::Float(i as f64)])
+            .unwrap();
+    }
+    db
+}
+
+#[test]
+fn equi_join_hashes_and_matches_nested_loop() {
+    let db = join_db();
+    let sql = "SELECT big.v, small.w FROM big JOIN small ON big.k = small.k \
+               WHERE small.w < 30.0 ORDER BY small.w";
+    let plan = plan_of(&db, sql);
+    assert!(plan.contains("HashJoin"), "{plan}");
+    assert!(plan.contains("Hash Cond: (big.k = small.k)"), "{plan}");
+    let (_, _, hj_before, _) = db.access_stats();
+    let hashed: Vec<(String, f64)> = db.query_as(sql, &[]).unwrap();
+    let (_, _, hj_after, _) = db.access_stats();
+    assert_eq!(hj_after, hj_before + 1);
+    db.set_hash_join_enabled(false);
+    assert!(!plan_of(&db, sql).contains("HashJoin"));
+    let nested: Vec<(String, f64)> = db.query_as(sql, &[]).unwrap();
+    assert_eq!(hashed, nested);
+    assert_eq!(hashed.len(), 30);
+    assert_eq!(hashed[1], ("b3".into(), 1.0));
+}
+
+#[test]
+fn join_on_is_sugar_for_comma_join_plus_where() {
+    let db = join_db();
+    let on: Vec<(i64, f64)> = db
+        .query_as(
+            "SELECT big.k, small.w FROM big JOIN small ON big.k = small.k ORDER BY big.k",
+            &[],
+        )
+        .unwrap();
+    let comma: Vec<(i64, f64)> = db
+        .query_as(
+            "SELECT big.k, small.w FROM big, small WHERE big.k = small.k ORDER BY big.k",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(on, comma);
+    assert_eq!(on.len(), 40);
+}
+
+#[test]
+fn hash_join_skips_null_keys_like_nested_loop() {
+    let db = Database::new();
+    db.execute("CREATE TABLE a (k int)").unwrap();
+    db.execute("CREATE TABLE b (k int)").unwrap();
+    // Enough rows that the cost model picks the hash join.
+    for i in 0..30 {
+        db.execute(&format!("INSERT INTO a VALUES ({i}), (NULL)"))
+            .unwrap();
+        db.execute(&format!("INSERT INTO b VALUES ({i}), (NULL)"))
+            .unwrap();
+    }
+    let sql = "SELECT count(*) FROM a JOIN b ON a.k = b.k";
+    assert!(plan_of(&db, sql).contains("HashJoin"));
+    let n: Vec<i64> = db.query_as(sql, &[]).unwrap();
+    assert_eq!(n, vec![30], "NULL = NULL matches nothing");
+}
+
+#[test]
+fn mixed_type_join_keys_fall_back_to_nested_loop() {
+    let db = Database::new();
+    db.execute("CREATE TABLE a (k int)").unwrap();
+    db.execute("CREATE TABLE b (k float)").unwrap();
+    for i in 0..30 {
+        db.execute(&format!("INSERT INTO a VALUES ({i})")).unwrap();
+        db.execute(&format!("INSERT INTO b VALUES ({i}.0)"))
+            .unwrap();
+    }
+    // int-vs-float keys compare numerically; hashing would need a
+    // cross-type key, so the planner keeps the nested loop.
+    let sql = "SELECT count(*) FROM a JOIN b ON a.k = b.k";
+    assert!(!plan_of(&db, sql).contains("HashJoin"));
+    let n: Vec<i64> = db.query_as(sql, &[]).unwrap();
+    assert_eq!(n, vec![30]);
+}
+
+// --- count(DISTINCT …) -----------------------------------------------------
+
+#[test]
+fn count_distinct_ungrouped_and_grouped() {
+    let db = Database::new();
+    db.execute("CREATE TABLE r (site text, day int)").unwrap();
+    db.execute("INSERT INTO r VALUES ('a', 1), ('a', 1), ('a', 2), ('b', 1), ('b', 1), (NULL, 9)")
+        .unwrap();
+    // NULLs don't count; duplicates collapse.
+    let q = db
+        .execute("SELECT count(DISTINCT site), count(site), count(*) FROM r")
+        .unwrap();
+    assert_eq!(q.rows[0], vec![Value::Int(2), Value::Int(5), Value::Int(6)]);
+    // Per group.
+    let q = db
+        .execute(
+            "SELECT site, count(DISTINCT day) FROM r WHERE site IS NOT NULL \
+             GROUP BY site ORDER BY site",
+        )
+        .unwrap();
+    assert_eq!(q.rows[0], vec![Value::Text("a".into()), Value::Int(2)]);
+    assert_eq!(q.rows[1], vec![Value::Text("b".into()), Value::Int(1)]);
+    // count(DISTINCT *) is not a thing; DISTINCT needs an argument list.
+    assert!(db.execute("SELECT count(DISTINCT *) FROM r").is_err());
+    // DISTINCT inside a non-aggregate call is rejected.
+    let err = db
+        .execute("SELECT abs(DISTINCT day) FROM r")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("is not an aggregate function"), "{err}");
+}
+
+// --- unique constraints ----------------------------------------------------
+
+#[test]
+fn unique_index_rejects_duplicates_with_postgres_wording() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (k int, v text)").unwrap();
+    db.execute("CREATE UNIQUE INDEX t_k ON t (k)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        .unwrap();
+    let err = db
+        .execute("INSERT INTO t VALUES (2, 'dup')")
+        .unwrap_err()
+        .to_string();
+    assert_eq!(
+        err,
+        "constraint violation: duplicate key value violates unique constraint \"t_k\""
+    );
+    // A multi-row insert with an internal duplicate is rejected whole.
+    assert!(db
+        .execute("INSERT INTO t VALUES (3, 'c'), (3, 'd')")
+        .is_err());
+    let n: Vec<i64> = db.query_as("SELECT count(*) FROM t", &[]).unwrap();
+    assert_eq!(n, vec![2], "failed inserts leave no partial rows");
+    // UPDATE onto an existing key is a violation; re-asserting a row's
+    // own key is not (the superseded version doesn't conflict).
+    assert!(db.execute("UPDATE t SET k = 1 WHERE k = 2").is_err());
+    db.execute("UPDATE t SET v = 'a2' WHERE k = 1").unwrap();
+    // NULLs never conflict, as in PostgreSQL.
+    db.execute("INSERT INTO t VALUES (NULL, 'n1'), (NULL, 'n2')")
+        .unwrap();
+}
+
+#[test]
+fn create_unique_index_fails_on_existing_duplicates() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (k int)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (1)").unwrap();
+    let err = db
+        .execute("CREATE UNIQUE INDEX t_k ON t (k)")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("duplicate key value"), "{err}");
+    // The failed build leaves no index behind.
+    assert!(db.execute("DROP INDEX t_k").is_err());
+    // A plain (non-unique) index over the same data is fine.
+    db.execute("CREATE INDEX t_k ON t (k)").unwrap();
+}
+
+#[test]
+fn unique_check_applies_to_streaming_insert_select() {
+    let db = Database::new();
+    db.execute("CREATE TABLE src (k int)").unwrap();
+    db.execute("INSERT INTO src VALUES (1), (2), (2)").unwrap();
+    db.execute("CREATE TABLE dst (k int)").unwrap();
+    db.execute("CREATE UNIQUE INDEX dst_k ON dst (k)").unwrap();
+    let err = db
+        .execute("INSERT INTO dst SELECT k FROM src")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("duplicate key value"), "{err}");
+    let n: Vec<i64> = db.query_as("SELECT count(*) FROM dst", &[]).unwrap();
+    assert_eq!(n, vec![0], "the statement aborts as a unit");
+}
+
+// --- index maintenance under DML -------------------------------------------
+
+/// Regression for the single-version in-place UPDATE/DELETE fast path:
+/// payload overwrites and version removals must keep index entries
+/// consistent, or later probes return wrong rows.
+#[test]
+fn in_place_update_and_delete_keep_the_index_consistent() {
+    let db = indexed_db(2000);
+    // Auto-commit UPDATE with no pins and no old snapshots takes the
+    // in-place overwrite path.
+    db.execute("UPDATE t SET k = 5000 WHERE k = 77").unwrap();
+    let hits = |k: i64| -> Vec<String> {
+        let (ix_before, _, _, _) = db.access_stats();
+        let r = db
+            .query_as(&format!("SELECT v FROM t WHERE k = {k}"), &[])
+            .unwrap();
+        let (ix_after, _, _, _) = db.access_stats();
+        assert_eq!(ix_after, ix_before + 1, "lookup must use the index");
+        r
+    };
+    assert_eq!(hits(77), Vec::<String>::new(), "old key must be unindexed");
+    assert_eq!(hits(5000), vec!["r77".to_string()]);
+    // In-place DELETE removes versions and renumbers positions; probes
+    // for the surviving keys must still land on the right rows.
+    db.execute("DELETE FROM t WHERE k = 100").unwrap();
+    assert_eq!(hits(100), Vec::<String>::new());
+    assert_eq!(hits(101), vec!["r101".to_string()]);
+    assert_eq!(hits(1999), vec!["r1999".to_string()]);
+    // Compaction rebuilds the index; correctness must survive a vacuum.
+    db.vacuum();
+    assert_eq!(hits(5000), vec!["r77".to_string()]);
+    assert_eq!(hits(101), vec!["r101".to_string()]);
+}
+
+#[test]
+fn index_scans_respect_mvcc_snapshots_mid_stream() {
+    let db = indexed_db(2000);
+    // Open a streaming cursor whose plan probes the index…
+    let mut rows = db
+        .query_rows("SELECT v FROM t WHERE k > 1990", &[])
+        .unwrap();
+    let first = rows.next().unwrap().unwrap();
+    assert_eq!(first[0], Value::Text("r1991".into()));
+    // …then commit matching rows behind its back: the open snapshot
+    // must not see them.
+    db.execute("INSERT INTO t VALUES (1995, 'late')").unwrap();
+    let rest: Vec<String> = rows.map(|r| r.unwrap()[0].to_string()).collect();
+    assert_eq!(rest.len(), 8, "snapshot excludes the late insert");
+    // A fresh scan sees the new row alongside the original.
+    let n: Vec<i64> = db
+        .query_as("SELECT count(*) FROM t WHERE k = 1995", &[])
+        .unwrap();
+    assert_eq!(n, vec![2]);
+}
+
+// --- DDL, transactions and rollback ----------------------------------------
+
+#[test]
+fn create_and_drop_index_roll_back_with_the_transaction() {
+    let db = indexed_db(2000);
+    // DROP INDEX inside a rolled-back transaction comes back.
+    db.execute("BEGIN").unwrap();
+    db.execute("DROP INDEX t_k").unwrap();
+    assert!(plan_of(&db, "SELECT v FROM t WHERE k = 7").contains("SeqScan"));
+    db.execute("ROLLBACK").unwrap();
+    let plan = plan_of(&db, "SELECT v FROM t WHERE k = 7");
+    assert!(plan.contains("IndexScan using t_k"), "{plan}");
+    // CREATE INDEX inside a rolled-back transaction disappears.
+    db.execute("BEGIN").unwrap();
+    db.execute("CREATE UNIQUE INDEX t_v ON t (v)").unwrap();
+    assert!(plan_of(&db, "SELECT k FROM t WHERE v = 'r5'").contains("IndexScan using t_v"));
+    db.execute("ROLLBACK").unwrap();
+    assert!(plan_of(&db, "SELECT k FROM t WHERE v = 'r5'").contains("SeqScan"));
+    assert!(db.execute("DROP INDEX t_v").is_err());
+    // And a committed CREATE INDEX persists.
+    db.execute("BEGIN").unwrap();
+    db.execute("CREATE INDEX t_v ON t (v)").unwrap();
+    db.execute("COMMIT").unwrap();
+    db.execute("DROP INDEX t_v").unwrap();
+}
+
+#[test]
+fn index_ddl_error_paths() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (k int, m variant)").unwrap();
+    db.execute("CREATE INDEX t_k ON t (k)").unwrap();
+    // Duplicate index name, even on another table.
+    db.execute("CREATE TABLE u (k int)").unwrap();
+    let err = db.execute("CREATE INDEX t_k ON u (k)").unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "constraint violation: relation \"t_k\" already exists"
+    );
+    // Unknown table / unknown column / unindexable column type.
+    assert!(db.execute("CREATE INDEX i ON nope (k)").is_err());
+    assert!(db.execute("CREATE INDEX i ON t (nope)").is_err());
+    let err = db.execute("CREATE INDEX i ON t (m)").unwrap_err();
+    assert!(
+        err.to_string()
+            .contains("cannot create an index on variant"),
+        "{err}"
+    );
+    // DROP of a missing index.
+    let err = db.execute("DROP INDEX missing").unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "execution error: index \"missing\" does not exist"
+    );
+}
+
+// --- statistics ------------------------------------------------------------
+
+#[test]
+fn analyze_statement_and_srf_report_row_counts() {
+    let db = Database::new();
+    db.execute("CREATE TABLE a (k int)").unwrap();
+    db.execute("CREATE TABLE b (k int)").unwrap();
+    db.execute("INSERT INTO a VALUES (1), (2), (3)").unwrap();
+    db.execute("ANALYZE a").unwrap();
+    db.execute("ANALYZE").unwrap();
+    assert!(db.execute("ANALYZE nope").is_err());
+    let rows: Vec<(String, i64)> = db
+        .query_as("SELECT * FROM pgfmu_analyze() ORDER BY 1", &[])
+        .unwrap();
+    assert_eq!(rows, vec![("a".into(), 3), ("b".into(), 0)]);
+    let rows: Vec<(String, i64)> = db
+        .query_as("SELECT * FROM pgfmu_analyze('a')", &[])
+        .unwrap();
+    assert_eq!(rows, vec![("a".into(), 3)]);
+    let stats: Vec<i64> = db
+        .query_as(
+            "SELECT value FROM pgfmu_stats() WHERE stat = 'analyze_runs'",
+            &[],
+        )
+        .unwrap();
+    assert!(stats[0] >= 4, "explicit analyzes are counted: {}", stats[0]);
+}
+
+#[test]
+fn stale_statistics_refresh_automatically() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (k int)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    db.execute("CREATE INDEX t_k ON t (k)").unwrap();
+    // First plan over the indexed table collects stats without ANALYZE
+    // ever running; the tiny table stays sequential.
+    assert!(plan_of(&db, "SELECT k FROM t WHERE k = 1").contains("SeqScan"));
+    let (_, _, _, runs) = db.access_stats();
+    assert!(runs >= 1, "auto-collection must run: {runs}");
+    // Grow the table far past the staleness threshold; replanning picks
+    // up fresh counts and flips to the index without an explicit ANALYZE.
+    let ins = db.prepare("INSERT INTO t VALUES ($1)").unwrap();
+    for i in 2..=4000 {
+        ins.query(&[Value::Int(i)]).unwrap();
+    }
+    let plan = plan_of(&db, "SELECT k FROM t WHERE k = 7");
+    assert!(plan.contains("IndexScan using t_k"), "{plan}");
+}
