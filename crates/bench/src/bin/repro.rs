@@ -15,10 +15,13 @@
 //! a concurrent read-while-ingest workload that the pre-MVCC engine
 //! rejected outright, the access-path subsystem — indexed point/range
 //! lookups vs sequential scans on a 100 k-row table and the hash join
-//! vs its nested-loop baseline — and a full 672 h FMU simulation) and
-//! writes per-bench robust medians (`{"median_ns": …, "mad_ns": …}`,
-//! see `criterion::stats`) to `BENCH_PR7.json` so the performance
-//! trajectory accumulates across PRs.
+//! vs its nested-loop baseline — a full 672 h FMU simulation, and the
+//! headline fleet workload: `fmu_simulate` over 100 catalogue instances,
+//! serial loop vs `fmu_simulate_fleet` at 4 workers, with the parallel
+//! output asserted byte-identical to the serial loop) and writes
+//! per-bench robust medians (`{"median_ns": …, "mad_ns": …}`, see
+//! `criterion::stats`) to `BENCH_PR8.json` so the performance trajectory
+//! accumulates across PRs.
 
 use pgfmu_bench::report::{fmt_secs, render};
 use pgfmu_bench::setup::{bench_session, ModelKind, ALL_MODELS};
@@ -86,7 +89,7 @@ fn main() {
         run_grouped(&profile);
     }
     if want("bench") {
-        run_bench_json("BENCH_PR7.json");
+        run_bench_json("BENCH_PR8.json");
     }
 }
 
@@ -467,6 +470,89 @@ fn run_bench_json(path: &str) {
         );
     }
 
+    // Fleet-scale simulation — the PR-8 headline: 100 HP1 instances
+    // driven over a shared 672 h input table, serial loop vs
+    // `fmu_simulate_fleet` at 4 workers. Correctness is asserted
+    // unconditionally (parallel output byte-identical to the serial
+    // loop); the ≥3x speedup is asserted only on machines with ≥4 cores
+    // (a single-core runner cannot manifest parallel speedup).
+    let fleet = {
+        use pgfmu::PgFmu;
+        const FLEET_WORKERS: usize = 4;
+        const FLEET_RUNS: usize = 3;
+        let n_instances: usize = std::env::var("PGFMU_FLEET_INSTANCES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        let s = PgFmu::new().unwrap();
+        pgfmu_datagen::hp::hp1_dataset(7)
+            .slice(0, 672)
+            .load_into(s.db(), "fleet_m")
+            .unwrap();
+        let ids: Vec<String> = (0..n_instances).map(|i| format!("f{i}")).collect();
+        s.fmu_create("HP1", Some(&ids[0])).unwrap();
+        for id in &ids[1..] {
+            s.fmu_copy(&ids[0], Some(id)).unwrap();
+        }
+        let input = "SELECT * FROM fleet_m";
+        // fmu_simulate persists final states, so every run rewinds the
+        // fleet to its declared initial values first.
+        let reset_all = || {
+            for id in &ids {
+                s.fmu_reset(id).unwrap();
+            }
+        };
+        // Correctness gate: the 4-worker output is byte-identical to the
+        // serial loop's.
+        let mut serial_out = s.fmu_simulate(&ids[0], Some(input), None, None).unwrap();
+        for id in &ids[1..] {
+            serial_out
+                .rows
+                .extend(s.fmu_simulate(id, Some(input), None, None).unwrap().rows);
+        }
+        reset_all();
+        let fleet_out = s
+            .fmu_simulate_fleet(&ids, Some(input), None, None, Some(FLEET_WORKERS))
+            .unwrap();
+        assert_eq!(
+            serial_out, fleet_out,
+            "fleet output must be byte-identical to the serial loop"
+        );
+        drop((serial_out, fleet_out));
+        push(
+            "fleet_simulate_672h_serial",
+            sample_ns(FLEET_RUNS, || {
+                reset_all();
+                for id in &ids {
+                    black_box(s.fmu_simulate(id, Some(input), None, None).unwrap().len());
+                }
+            }),
+        );
+        push(
+            "fleet_simulate_672h_x4workers",
+            sample_ns(FLEET_RUNS, || {
+                reset_all();
+                black_box(
+                    s.fmu_simulate_fleet(&ids, Some(input), None, None, Some(FLEET_WORKERS))
+                        .unwrap()
+                        .len(),
+                );
+            }),
+        );
+        // The observability counters double as the proof that the fleet
+        // path actually ran: 1 equivalence batch + 1 warm-up + the timed
+        // samples, each fanning one task per instance at 4 workers.
+        let (fleet_tasks, fleet_workers, fleet_task_ns) = s.db().fleet_stats();
+        assert_eq!(
+            fleet_tasks,
+            ((FLEET_RUNS + 2) * n_instances) as u64,
+            "every fleet batch must be accounted in pgfmu_stats()"
+        );
+        assert_eq!(fleet_workers, FLEET_WORKERS as u64);
+        assert!(fleet_task_ns > 0, "per-task wall time not recorded");
+        (n_instances, fleet_tasks, fleet_workers, fleet_task_ns)
+    };
+
     let (rows_scanned, zero_copy, fallbacks) = db.scan_stats();
     let (txns_committed, txns_rolled_back) = db.txn_stats();
     let (index_scans, seq_scans, hash_joins, analyze_runs) = db.access_stats();
@@ -478,6 +564,11 @@ fn run_bench_json(path: &str) {
             s.median as u128, s.mad as u128
         ));
     }
+    json.push_str(&format!(
+        "  \"fleet\": {{\"instances\": {}, \"fleet_tasks\": {}, \
+         \"fleet_workers\": {}, \"fleet_task_ns\": {}}},\n",
+        fleet.0, fleet.1, fleet.2, fleet.3
+    ));
     json.push_str(&format!(
         "  \"pgfmu_stats\": {{\"rows_scanned\": {rows_scanned}, \
          \"scans_zero_copy\": {zero_copy}, \"scan_fallbacks\": {fallbacks}, \
@@ -508,6 +599,23 @@ fn run_bench_json(path: &str) {
         median_of("sql_point_lookup_seq") / median_of("sql_point_lookup_indexed"),
         median_of("sql_nested_loop_join") / median_of("sql_hash_join_vs_nested")
     );
+    let fleet_speedup =
+        median_of("fleet_simulate_672h_serial") / median_of("fleet_simulate_672h_x4workers");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "fleet: {} instances simulated, {:.2}x speedup at 4 workers over the \
+         serial loop ({cores} core(s) available), parallel output byte-identical",
+        fleet.0, fleet_speedup
+    );
+    if cores >= 4 {
+        assert!(
+            fleet_speedup >= 3.0,
+            "fleet simulation at 4 workers must be >= 3x over serial on a \
+             >= 4-core machine (measured {fleet_speedup:.2}x)"
+        );
+    }
     println!(
         "scan counters: {rows_scanned} rows scanned, {zero_copy} zero-copy scans, \
          {fallbacks} snapshot scans (zero-copy confirmed via pgfmu_stats()); \

@@ -30,7 +30,9 @@
 //! `fmu_delete_instance`, `fmu_delete_model`, `fmu_parest` (with the
 //! multi-instance optimization of §6) and `fmu_simulate` (§7), plus the
 //! future-work `fmu_control` and the MADlib-like analytics UDFs of
-//! `pgfmu-analytics`. All of them are declared through the typed UDF
+//! `pgfmu-analytics`. Fleet-scale batches run concurrently through
+//! `fmu_simulate_fleet` / `fmu_parest_fleet` (see [`fleet`]), with
+//! results byte-identical to the serial loop for any worker count. All of them are declared through the typed UDF
 //! builder ([`pgfmu_sqlmini::Database::udf`]), which centralizes argument
 //! coercion and arity errors.
 //!
@@ -90,12 +92,14 @@ pub mod arrays;
 pub mod control;
 pub mod convert;
 pub mod error;
+pub mod fleet;
 pub mod parest;
 pub mod session;
 pub mod simulate;
 pub mod udfs;
 
 pub use error::{PgFmuError, Result};
+pub use fleet::{default_workers, WorkerSessionGuard};
 pub use parest::ParestReport;
 pub use session::PgFmu;
 pub use simulate::{SimRows, TimeSpec};

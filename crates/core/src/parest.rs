@@ -4,8 +4,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pgfmu_estimation::{
-    estimate_mi, estimate_si, EstimationConfig, MiProblem, SimulationObjective, Strategy,
+    estimate_mi_in, estimate_si, EstimationConfig, MiProblem, SimulationObjective, Strategy,
 };
+use threadpool::ThreadPool;
 
 use crate::convert::decode_rows;
 use crate::error::{PgFmuError, Result};
@@ -53,6 +54,23 @@ pub fn run_parest(
     input_sqls: &[String],
     pars: Option<&[String]>,
     threshold: Option<f64>,
+) -> Result<Vec<ParestReport>> {
+    run_parest_in(session, instance_ids, input_sqls, pars, threshold, None)
+}
+
+/// [`run_parest`] against a caller-provided worker pool (`None` =
+/// serial). With a pool, MI batches fan their post-anchor tail out via
+/// [`estimate_mi_in`], and non-MI batches estimate whole instances
+/// concurrently. Reports come back in instance order and — because every
+/// instance re-seeds its RNG from the shared config — are byte-identical
+/// to the serial path for any pool width.
+pub fn run_parest_in(
+    session: &Session,
+    instance_ids: &[String],
+    input_sqls: &[String],
+    pars: Option<&[String]>,
+    threshold: Option<f64>,
+    pool: Option<&ThreadPool>,
 ) -> Result<Vec<ParestReport>> {
     if instance_ids.is_empty() {
         return Err(PgFmuError::Usage(
@@ -127,12 +145,19 @@ pub fn run_parest(
         .load(std::sync::atomic::Ordering::Relaxed)
         && problems.len() > 1;
     let outcomes = if mi {
-        estimate_mi(&problems, &cfg)
+        estimate_mi_in(&problems, &cfg, pool)
     } else {
-        problems
-            .iter()
-            .map(|p| estimate_si(p.objective.as_ref(), &cfg))
-            .collect()
+        match pool {
+            Some(pool) if problems.len() > 1 => pool
+                .run(problems.len(), |i| {
+                    estimate_si(problems[i].objective.as_ref(), &cfg)
+                })
+                .map_err(|e| PgFmuError::Usage(format!("fmu_parest: worker task panicked: {e}")))?,
+            _ => problems
+                .iter()
+                .map(|p| estimate_si(p.objective.as_ref(), &cfg))
+                .collect(),
+        }
     };
 
     // Write estimates back to the catalogue and assemble reports.

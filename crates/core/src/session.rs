@@ -223,6 +223,53 @@ impl PgFmu {
         run_simulate(&self.inner, instance_id, input_sql, time_from, time_to)
     }
 
+    /// `fmu_simulate_fleet(instanceIds, [input_sql], [time_from],
+    /// [time_to], [workers])` — simulate a whole fleet of instances
+    /// concurrently over a worker pool and return the concatenated long
+    /// output table, in instance order. `workers = None` (or 0) uses
+    /// [`crate::fleet::default_workers`]; any worker count produces
+    /// output byte-identical to a serial loop of [`PgFmu::fmu_simulate`]
+    /// calls.
+    pub fn fmu_simulate_fleet(
+        &self,
+        instance_ids: &[String],
+        input_sql: Option<&str>,
+        time_from: Option<TimeSpec>,
+        time_to: Option<TimeSpec>,
+        workers: Option<usize>,
+    ) -> Result<QueryResult> {
+        crate::fleet::run_simulate_fleet(
+            &self.inner,
+            instance_ids,
+            input_sql,
+            time_from,
+            time_to,
+            workers,
+        )
+    }
+
+    /// `fmu_parest_fleet(instanceIds, input_sqls, [pars], [threshold],
+    /// [workers])` — [`PgFmu::fmu_parest`] with the batch's objective
+    /// evaluations fanned out over a worker pool. Reports come back in
+    /// instance order, byte-identical to the serial path.
+    pub fn fmu_parest_fleet(
+        &self,
+        instance_ids: &[String],
+        input_sqls: &[String],
+        pars: Option<&[String]>,
+        threshold: Option<f64>,
+        workers: Option<usize>,
+    ) -> Result<Vec<ParestReport>> {
+        crate::fleet::run_parest_fleet(
+            &self.inner,
+            instance_ids,
+            input_sqls,
+            pars,
+            threshold,
+            workers,
+        )
+    }
+
     /// Like [`PgFmu::fmu_simulate`], but streaming: the long output table
     /// is produced through a row-producing cursor, so consumers that
     /// filter, decode row by row, or stop early never materialize the

@@ -8,7 +8,7 @@
 //!
 //! Set-returning UDFs (usable in `FROM`, including laterally):
 //! `fmu_variables`, `fmu_get`, `fmu_simulate`, `fmu_parest_report`,
-//! `fmu_control`.
+//! `fmu_simulate_fleet`, `fmu_parest_fleet`, `fmu_control`.
 //!
 //! Every UDF is declared through the typed builder
 //! ([`Database::udf`]) with its argument signature, so argument coercion
@@ -292,6 +292,81 @@ pub(crate) fn register_all(db: &Database, weak: Weak<Session>) {
                 time_from,
                 time_to,
             )?)
+        });
+
+    // ---- fmu_simulate_fleet (cross-instance fan-out) ----------------------------------------
+    let w = weak.clone();
+    db.udf("fmu_simulate_fleet")
+        .arg("instanceids", ArgKind::Text)
+        .opt_arg("input_sql", ArgKind::Text)
+        .opt_arg("time_from", ArgKind::Any)
+        .opt_arg("time_to", ArgKind::Any)
+        .opt_arg("workers", ArgKind::Int)
+        .table(move |_db, args| {
+            let s = session(&w)?;
+            let ids = parse_ident_array(args.text(0));
+            let time_from = match args.value(2) {
+                Value::Null => None,
+                v => Some(TimeSpec::from_value(v)?),
+            };
+            let time_to = match args.value(3) {
+                Value::Null => None,
+                v => Some(TimeSpec::from_value(v)?),
+            };
+            let workers = args.opt_i64(4).map(|n| n.max(0) as usize);
+            Ok(crate::fleet::run_simulate_fleet(
+                &s,
+                &ids,
+                args.opt_text(1),
+                time_from,
+                time_to,
+                workers,
+            )?)
+        });
+
+    // ---- fmu_parest_fleet (pooled estimation) -----------------------------------------------
+    let w = weak.clone();
+    db.udf("fmu_parest_fleet")
+        .arg("instanceids", ArgKind::Text)
+        .arg("input_sqls", ArgKind::Text)
+        .opt_arg("pars", ArgKind::Text)
+        .opt_arg("threshold", ArgKind::Float)
+        .opt_arg("workers", ArgKind::Int)
+        .table(move |_db, args| {
+            let s = session(&w)?;
+            let (ids, sqls, pars, threshold) = parest_args(args);
+            let workers = args.opt_i64(4).map(|n| n.max(0) as usize);
+            let reports = crate::fleet::run_parest_fleet(
+                &s,
+                &ids,
+                &sqls,
+                pars.as_deref(),
+                threshold,
+                workers,
+            )?;
+            let mut q = QueryResult::new(vec![
+                "instanceid".into(),
+                "estimationerror".into(),
+                "strategy".into(),
+                "globalevals".into(),
+                "localevals".into(),
+            ]);
+            for r in reports {
+                q.rows.push(vec![
+                    Value::Text(r.instance_id),
+                    Value::Float(r.rmse),
+                    Value::Text(
+                        match r.strategy {
+                            pgfmu_estimation::Strategy::GlobalLocal => "G+LaG",
+                            pgfmu_estimation::Strategy::LocalOnly => "LO",
+                        }
+                        .into(),
+                    ),
+                    Value::Int(r.global_evals as i64),
+                    Value::Int(r.local_evals as i64),
+                ]);
+            }
+            Ok(q)
         });
 
     // ---- fmu_control (future-work MPC) -----------------------------------------------------

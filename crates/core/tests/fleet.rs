@@ -1,0 +1,291 @@
+//! Serial-equivalence suite for fleet execution: `fmu_simulate_fleet`
+//! and `fmu_parest_fleet` must produce byte-identical result tables,
+//! catalogue states and parameter vectors at every worker count — plus
+//! the pooled-worker session-hygiene regression tests.
+//!
+//! The worker counts exercised are 1, 2 and 8 (and whatever
+//! `PGFMU_FLEET_WORKERS` adds, so CI can sweep a matrix).
+
+use pgfmu::{EstimationConfig, PgFmu, Strategy, Value, WorkerSessionGuard};
+use pgfmu_datagen::hp::hp1_dataset;
+use threadpool::ThreadPool;
+
+const INPUT: &str = "SELECT * FROM measurements";
+
+/// Worker counts under test: the fixed {1, 2, 8} ladder plus an optional
+/// CI-matrix extra from `PGFMU_FLEET_WORKERS`.
+fn worker_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 8];
+    if let Ok(extra) = std::env::var("PGFMU_FLEET_WORKERS") {
+        if let Ok(n) = extra.trim().parse::<usize>() {
+            if !counts.contains(&n) {
+                counts.push(n);
+            }
+        }
+    }
+    counts
+}
+
+/// A session with a fast estimation config, the HP1 measurement table,
+/// and `n` copies of an HP1 instance.
+fn fleet_session(n: usize) -> (PgFmu, Vec<String>) {
+    let s = PgFmu::new().unwrap();
+    s.set_estimation_config(EstimationConfig {
+        population: 8,
+        generations: 2,
+        local_max_iters: 4,
+        ..EstimationConfig::fast()
+    });
+    hp1_dataset(1)
+        .slice(0, 48)
+        .load_into(s.db(), "measurements")
+        .unwrap();
+    let ids: Vec<String> = (1..=n).map(|i| format!("HP1Instance{i}")).collect();
+    s.fmu_create("HP1", Some(&ids[0])).unwrap();
+    for id in &ids[1..] {
+        s.fmu_copy(&ids[0], Some(id)).unwrap();
+    }
+    (s, ids)
+}
+
+/// Snapshot of every instance's catalogue values (the state
+/// `fmu_simulate` persists and `fmu_parest` writes estimates into).
+fn catalog_snapshot(s: &PgFmu, ids: &[String]) -> Vec<(String, String, Option<f64>)> {
+    let mut snap = Vec::new();
+    for id in ids {
+        for row in s.fmu_variables(id).unwrap() {
+            snap.push((row.instance_id, row.var_name, row.value));
+        }
+    }
+    snap
+}
+
+#[test]
+fn fleet_simulate_is_byte_identical_to_the_serial_loop() {
+    let (s, ids) = fleet_session(5);
+
+    // Serial reference: one fmu_simulate per instance, concatenated.
+    let mut serial = s.fmu_simulate(&ids[0], Some(INPUT), None, None).unwrap();
+    for id in &ids[1..] {
+        serial
+            .rows
+            .extend(s.fmu_simulate(id, Some(INPUT), None, None).unwrap().rows);
+    }
+    let serial_state = catalog_snapshot(&s, &ids);
+
+    for workers in worker_counts() {
+        // fmu_simulate persists final states — rewind the fleet so every
+        // run starts from the same declared initial values.
+        for id in &ids {
+            s.fmu_reset(id).unwrap();
+        }
+        let fleet = s
+            .fmu_simulate_fleet(&ids, Some(INPUT), None, None, Some(workers))
+            .unwrap();
+        assert_eq!(fleet.columns, serial.columns, "workers={workers}");
+        assert_eq!(
+            fleet.rows, serial.rows,
+            "fleet output diverged from the serial loop at workers={workers}"
+        );
+        assert_eq!(
+            catalog_snapshot(&s, &ids),
+            serial_state,
+            "persisted catalogue state diverged at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn fleet_parest_pins_the_serial_parameter_vectors() {
+    let (s, ids) = fleet_session(3);
+    s.set_mi_enabled(true);
+    let sqls = vec![INPUT.to_string()];
+
+    let serial = s.fmu_parest(&ids, &sqls, None, None).unwrap();
+    // Copies share identical measurements: the anchor runs G+LaG, the
+    // tail takes the LO fast path — the exact split the pool fans out.
+    assert_eq!(serial[0].strategy, Strategy::GlobalLocal);
+    assert!(serial[1..]
+        .iter()
+        .all(|r| r.strategy == Strategy::LocalOnly));
+
+    for workers in worker_counts() {
+        for id in &ids {
+            s.fmu_reset(id).unwrap();
+        }
+        let fleet = s
+            .fmu_parest_fleet(&ids, &sqls, None, None, Some(workers))
+            .unwrap();
+        assert_eq!(fleet.len(), serial.len());
+        for (a, b) in serial.iter().zip(&fleet) {
+            assert_eq!(a.instance_id, b.instance_id, "workers={workers}");
+            assert_eq!(
+                a.params, b.params,
+                "parameter vector diverged for '{}' at workers={workers}",
+                a.instance_id
+            );
+            assert_eq!(a.rmse, b.rmse, "workers={workers}");
+            assert_eq!(a.strategy, b.strategy, "workers={workers}");
+            assert_eq!(a.global_evals, b.global_evals, "workers={workers}");
+            assert_eq!(a.local_evals, b.local_evals, "workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn fleet_parest_without_mi_is_equally_pinned() {
+    let (s, ids) = fleet_session(3);
+    s.set_mi_enabled(false);
+    let sqls = vec![INPUT.to_string()];
+    let serial = s.fmu_parest(&ids, &sqls, None, None).unwrap();
+    assert!(serial.iter().all(|r| r.strategy == Strategy::GlobalLocal));
+    for workers in worker_counts() {
+        let fleet = s
+            .fmu_parest_fleet(&ids, &sqls, None, None, Some(workers))
+            .unwrap();
+        for (a, b) in serial.iter().zip(&fleet) {
+            assert_eq!(a.params, b.params, "workers={workers}");
+            assert_eq!(a.rmse, b.rmse, "workers={workers}");
+        }
+    }
+}
+
+/// The thread-keyed-transaction regression: a pooled worker that
+/// inherits a leaked open transaction from a previous task must start
+/// its next task on a clean auto-commit session.
+#[test]
+fn worker_session_guard_resets_a_leaked_transaction_between_tasks() {
+    let s = PgFmu::new().unwrap();
+    s.execute("CREATE TABLE t (x int)").unwrap();
+    let db = s.db();
+    let pool = ThreadPool::new(1);
+
+    // Task 0 misbehaves: BEGINs, writes, and never commits — the open
+    // transaction stays pinned to the worker thread.
+    pool.run(1, |_| {
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+    })
+    .unwrap();
+
+    // Task 1 lands on the same worker thread. Under the guard it must
+    // observe a clean session: no open transaction, leaked write gone.
+    let observed = pool
+        .run(1, |_| {
+            let _g = WorkerSessionGuard::enter(db);
+            (db.in_transaction(), {
+                let q = db.execute("SELECT count(*) FROM t").unwrap();
+                q.rows[0][0].clone()
+            })
+        })
+        .unwrap();
+    assert_eq!(observed[0], (false, Value::Int(0)));
+
+    // And the guard's drop half: a task that BEGINs under the guard and
+    // unwinds before committing leaves nothing behind either.
+    let _ = pool.run(1, |_| {
+        let _g = WorkerSessionGuard::enter(db);
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO t VALUES (2)").unwrap();
+        panic!("task dies mid-transaction");
+    });
+    let count = pool
+        .run(1, |_| {
+            let _g = WorkerSessionGuard::enter(db);
+            db.execute("SELECT count(*) FROM t").unwrap().rows[0][0].clone()
+        })
+        .unwrap();
+    assert_eq!(
+        count[0],
+        Value::Int(0),
+        "mid-transaction panic leaked a write"
+    );
+}
+
+#[test]
+fn fleet_counters_surface_in_pgfmu_stats() {
+    let (s, ids) = fleet_session(4);
+    s.fmu_simulate_fleet(&ids, Some(INPUT), None, None, Some(2))
+        .unwrap();
+    let stat = |name: &str| -> i64 {
+        let q = s
+            .execute(&format!(
+                "SELECT value FROM pgfmu_stats() WHERE stat = '{name}'"
+            ))
+            .unwrap();
+        match q.rows[0][0] {
+            Value::Int(n) => n,
+            ref other => panic!("unexpected stat value {other:?}"),
+        }
+    };
+    assert_eq!(stat("fleet_tasks"), 4);
+    assert_eq!(stat("fleet_workers"), 2);
+    assert!(stat("fleet_task_ns") > 0, "per-task wall time not recorded");
+}
+
+#[test]
+fn fleet_udfs_are_callable_from_sql() {
+    let (s, ids) = fleet_session(2);
+    let direct = s
+        .fmu_simulate_fleet(&ids, Some(INPUT), None, None, Some(2))
+        .unwrap();
+    for id in &ids {
+        s.fmu_reset(id).unwrap();
+    }
+    let via_sql = s
+        .execute(
+            "SELECT * FROM fmu_simulate_fleet('{HP1Instance1, HP1Instance2}', \
+             'SELECT * FROM measurements')",
+        )
+        .unwrap();
+    assert_eq!(via_sql, direct);
+
+    let report = s
+        .execute(
+            "SELECT * FROM fmu_parest_fleet('{HP1Instance1, HP1Instance2}', \
+             'SELECT * FROM measurements')",
+        )
+        .unwrap();
+    assert_eq!(report.len(), 2);
+    assert_eq!(
+        report.columns,
+        vec![
+            "instanceid",
+            "estimationerror",
+            "strategy",
+            "globalevals",
+            "localevals"
+        ]
+    );
+    for row in &report.rows {
+        match &row[1] {
+            Value::Float(rmse) => assert!(rmse.is_finite()),
+            other => panic!("unexpected estimationerror {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn fleet_simulate_validates_inputs_and_surfaces_task_errors() {
+    let (s, ids) = fleet_session(2);
+
+    let err = s
+        .fmu_simulate_fleet(&[], Some(INPUT), None, None, Some(2))
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("no model instances"),
+        "unexpected error: {err}"
+    );
+
+    // An unknown instance inside the batch fails the whole call with the
+    // instance's own error, not a panic.
+    let mut bad = ids.clone();
+    bad.push("NoSuchInstance".into());
+    let err = s
+        .fmu_simulate_fleet(&bad, Some(INPUT), None, None, Some(2))
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("NoSuchInstance"),
+        "unexpected error: {err}"
+    );
+}

@@ -36,6 +36,19 @@ pub struct EstimationConfig {
     pub lo_neighborhood: f64,
     /// RNG seed ("fixed randomly derived seed" in the paper, §8.1).
     pub seed: u64,
+    /// Worker threads for objective-evaluation fan-out (GA population
+    /// sweeps, multi-start local searches, MI instance tails). `0` or
+    /// `1` means serial. Any value produces byte-identical results: all
+    /// randomness stays on the driving thread and parallel evaluations
+    /// are reduced in deterministic (index) order.
+    pub workers: usize,
+    /// Local searches launched after the global phase, started from the
+    /// GA's best `local_starts` individuals (lowest cost wins, earliest
+    /// start breaking ties). `1` reproduces the classic single LaG
+    /// refinement exactly; more starts buy robustness against the local
+    /// stage stalling in a side valley, and run concurrently under
+    /// `workers`.
+    pub local_starts: usize,
 }
 
 impl Default for EstimationConfig {
@@ -52,6 +65,8 @@ impl Default for EstimationConfig {
             mi_threshold: 0.20,
             lo_neighborhood: 0.023,
             seed: 0xB10C_5EED,
+            workers: 1,
+            local_starts: 1,
         }
     }
 }

@@ -6,10 +6,11 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use threadpool::ThreadPool;
 
 use crate::config::EstimationConfig;
-use crate::ga::run_ga;
-use crate::local::run_local;
+use crate::ga::run_ga_in;
+use crate::local::{run_local, LocalOutcome};
 use crate::metrics::dissimilarity;
 use crate::objective::Objective;
 
@@ -50,14 +51,51 @@ impl EstimationOutcome {
 }
 
 /// Algorithm 2: single-instance estimation — run G, then LaG from G's best.
+/// Spins up a private evaluation pool when `cfg.workers > 1`.
 pub fn estimate_si(obj: &dyn Objective, cfg: &EstimationConfig) -> EstimationOutcome {
+    let pool = (cfg.workers > 1).then(|| ThreadPool::new(cfg.workers));
+    estimate_si_in(obj, cfg, pool.as_ref())
+}
+
+/// Algorithm 2 against a caller-provided evaluation pool (`None` =
+/// serial). The RNG is re-seeded from `cfg.seed` per call and both the
+/// GA sweeps and the multi-start local stage reduce in deterministic
+/// order, so the outcome is byte-identical for any pool width.
+pub fn estimate_si_in(
+    obj: &dyn Objective,
+    cfg: &EstimationConfig,
+    pool: Option<&ThreadPool>,
+) -> EstimationOutcome {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let t0 = Instant::now();
-    let ga = run_ga(obj, cfg, &mut rng);
+    let ga = run_ga_in(obj, cfg, &mut rng, pool);
     let global_time = t0.elapsed();
     let t1 = Instant::now();
-    let local = run_local(obj, &ga.params, cfg);
+    // Multi-start LaG: one bounded local search per GA elite (the single
+    // default start reproduces the classic pipeline exactly), fanned out
+    // over the pool when one is available.
+    let locals: Vec<LocalOutcome> = match pool {
+        Some(pool) if ga.elites.len() > 1 => pool
+            .run(ga.elites.len(), |i| run_local(obj, &ga.elites[i], cfg))
+            .unwrap_or_else(|e| panic!("local refinement failed: {e}")),
+        _ => ga
+            .elites
+            .iter()
+            .map(|start| run_local(obj, start, cfg))
+            .collect(),
+    };
     let local_time = t1.elapsed();
+    let local_evals = locals.iter().map(|l| l.evals).sum();
+    // Deterministic reduction: strictly lowest cost wins, the earliest
+    // start breaking ties — independent of completion order.
+    let mut best = 0;
+    for i in 1..locals.len() {
+        if locals[i].cost < locals[best].cost {
+            best = i;
+        }
+    }
+    let mut locals = locals;
+    let local = locals.swap_remove(best);
     // The local stage can only improve on the GA point; keep the better.
     let (params, rmse) = if local.cost <= ga.cost {
         (local.params, local.cost)
@@ -69,7 +107,7 @@ pub fn estimate_si(obj: &dyn Objective, cfg: &EstimationConfig) -> EstimationOut
         rmse,
         strategy: Strategy::GlobalLocal,
         global_evals: ga.evals,
-        local_evals: local.evals,
+        local_evals,
         global_time,
         local_time,
     }
@@ -156,26 +194,44 @@ pub struct MiProblem {
 /// with LO warm-started at the first instance's optimum; all others fall
 /// back to G+LaG.
 pub fn estimate_mi(problems: &[MiProblem], cfg: &EstimationConfig) -> Vec<EstimationOutcome> {
-    let mut outcomes: Vec<EstimationOutcome> = Vec::with_capacity(problems.len());
-    for (i, p) in problems.iter().enumerate() {
-        if i == 0 {
-            outcomes.push(estimate_si(p.objective.as_ref(), cfg));
-            continue;
-        }
-        let first = &problems[0];
+    estimate_mi_in(problems, cfg, None)
+}
+
+/// Algorithm 3 with cross-instance fan-out. Only the *anchor* (first)
+/// instance is sequential — it decides every later instance's LO
+/// eligibility. Each tail instance depends solely on the anchor's
+/// outcome and its own data, and every `estimate_si`/`estimate_lo` call
+/// re-seeds its RNG from `cfg.seed`; evaluating the tail concurrently on
+/// `pool` and collecting in input order is therefore outcome-for-outcome
+/// identical to the serial loop.
+pub fn estimate_mi_in(
+    problems: &[MiProblem],
+    cfg: &EstimationConfig,
+    pool: Option<&ThreadPool>,
+) -> Vec<EstimationOutcome> {
+    let Some((first, tail)) = problems.split_first() else {
+        return Vec::new();
+    };
+    let anchor = estimate_si(first.objective.as_ref(), cfg);
+    let solve_tail = |p: &MiProblem| {
         let use_lo = p.model_key == first.model_key
-            && outcomes[0].params.len() == p.objective.dim()
+            && anchor.params.len() == p.objective.dim()
             && dissimilarity(&p.similarity_series, &first.similarity_series) < cfg.mi_threshold;
         if use_lo {
-            outcomes.push(estimate_lo(
-                p.objective.as_ref(),
-                &outcomes[0].params.clone(),
-                cfg,
-            ));
+            estimate_lo(p.objective.as_ref(), &anchor.params, cfg)
         } else {
-            outcomes.push(estimate_si(p.objective.as_ref(), cfg));
+            estimate_si(p.objective.as_ref(), cfg)
         }
-    }
+    };
+    let rest: Vec<EstimationOutcome> = match pool {
+        Some(pool) if tail.len() > 1 => pool
+            .run(tail.len(), |i| solve_tail(&tail[i]))
+            .unwrap_or_else(|e| panic!("multi-instance estimation failed: {e}")),
+        _ => tail.iter().map(solve_tail).collect(),
+    };
+    let mut outcomes = Vec::with_capacity(problems.len());
+    outcomes.push(anchor);
+    outcomes.extend(rest);
     outcomes
 }
 

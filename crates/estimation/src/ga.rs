@@ -6,9 +6,17 @@
 //! uniformly at random between the bounds (paper §6: "We set the initial
 //! parameter values to random numbers between the lower and the upper
 //! bounds").
+//!
+//! **Determinism contract.** The RNG touches only population *generation*
+//! (initialization, selection, crossover, mutation) and always runs on
+//! the driving thread. Fitness sweeps are pure, independent per
+//! individual, and RNG-free — so evaluating them on a worker pool with
+//! index-ordered result slots is byte-identical to the serial
+//! `iter().map(eval)` sweep, for any worker count.
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use threadpool::ThreadPool;
 
 use crate::config::EstimationConfig;
 use crate::objective::Objective;
@@ -22,6 +30,39 @@ pub struct GaOutcome {
     pub cost: f64,
     /// Number of objective evaluations spent.
     pub evals: u64,
+    /// Best fitness after each evaluation sweep: the initial population
+    /// first, then one entry per generation. The serial-vs-parallel
+    /// equivalence suite pins this whole trajectory, not just the final
+    /// point.
+    pub trajectory: Vec<f64>,
+    /// The final population's best `cfg.local_starts` individuals
+    /// (best-first; `elites[0]` is `params`), used as starting points
+    /// for the multi-start local refinement stage.
+    pub elites: Vec<Vec<f64>>,
+}
+
+/// Evaluate a population, either serially or fanned out over a pool.
+/// Slot `i` of the result always belongs to individual `i`, so both
+/// paths produce the same vector bit for bit.
+fn eval_population(
+    obj: &dyn Objective,
+    population: &[Vec<f64>],
+    pool: Option<&ThreadPool>,
+) -> Vec<f64> {
+    match pool {
+        Some(pool) => pool
+            .run(population.len(), |i| obj.eval(&population[i]))
+            .unwrap_or_else(|e| panic!("GA population evaluation failed: {e}")),
+        None => population.iter().map(|p| obj.eval(p)).collect(),
+    }
+}
+
+/// Index of the fittest individual (the exact tie-break of `min_by` over
+/// `partial_cmp`, shared by every selection site).
+fn best_index(fitness: &[f64]) -> usize {
+    (0..fitness.len())
+        .min_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).unwrap())
+        .expect("population is non-empty")
 }
 
 fn clamp_to_bounds(p: &mut [f64], obj: &dyn Objective) {
@@ -30,8 +71,22 @@ fn clamp_to_bounds(p: &mut [f64], obj: &dyn Objective) {
     }
 }
 
-/// Run the genetic algorithm.
+/// Run the genetic algorithm, spinning up a private evaluation pool when
+/// `cfg.workers > 1`.
 pub fn run_ga(obj: &dyn Objective, cfg: &EstimationConfig, rng: &mut StdRng) -> GaOutcome {
+    let pool = (cfg.workers > 1).then(|| ThreadPool::new(cfg.workers));
+    run_ga_in(obj, cfg, rng, pool.as_ref())
+}
+
+/// Run the genetic algorithm with a caller-provided evaluation pool
+/// (`None` = serial sweeps). See the module docs for why the pooled and
+/// serial paths are byte-identical.
+pub fn run_ga_in(
+    obj: &dyn Objective,
+    cfg: &EstimationConfig,
+    rng: &mut StdRng,
+    pool: Option<&ThreadPool>,
+) -> GaOutcome {
     let dim = obj.dim();
     let bounds = obj.bounds();
     assert!(dim > 0, "GA requires at least one parameter");
@@ -46,7 +101,9 @@ pub fn run_ga(obj: &dyn Objective, cfg: &EstimationConfig, rng: &mut StdRng) -> 
                 .collect()
         })
         .collect();
-    let mut fitness: Vec<f64> = population.iter().map(|p| obj.eval(p)).collect();
+    let mut fitness: Vec<f64> = eval_population(obj, &population, pool);
+    let mut trajectory = Vec::with_capacity(cfg.generations + 1);
+    trajectory.push(fitness[best_index(&fitness)]);
 
     let tournament = |rng: &mut StdRng, fitness: &[f64]| -> usize {
         let mut best = rng.gen_range(0..pop_size);
@@ -93,16 +150,31 @@ pub fn run_ga(obj: &dyn Objective, cfg: &EstimationConfig, rng: &mut StdRng) -> 
             next.push(child);
         }
         population = next;
-        fitness = population.iter().map(|p| obj.eval(p)).collect();
+        fitness = eval_population(obj, &population, pool);
+        trajectory.push(fitness[best_index(&fitness)]);
     }
 
-    let best = (0..pop_size)
-        .min_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).unwrap())
-        .expect("population is non-empty");
+    let best = best_index(&fitness);
+    // The best individual first, then the runners-up in fitness order —
+    // the seeds for multi-start local refinement. `local_starts = 1`
+    // degenerates to exactly the classic single-start outcome.
+    let mut elites = vec![population[best].clone()];
+    if cfg.local_starts > 1 {
+        let mut order: Vec<usize> = (0..pop_size).filter(|&i| i != best).collect();
+        order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).unwrap());
+        elites.extend(
+            order
+                .into_iter()
+                .take(cfg.local_starts - 1)
+                .map(|i| population[i].clone()),
+        );
+    }
     GaOutcome {
         params: population[best].clone(),
         cost: fitness[best],
         evals: obj.eval_count() - evals_before,
+        trajectory,
+        elites,
     }
 }
 
@@ -230,5 +302,53 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let out = run_ga(&obj, &EstimationConfig::fast(), &mut rng);
         assert!(out.params[0] > 0.95, "should push to the bound");
+    }
+
+    #[test]
+    fn pooled_evaluation_is_byte_identical_to_serial() {
+        let serial = EstimationConfig::fast();
+        let pooled = EstimationConfig {
+            workers: 4,
+            ..serial
+        };
+        let run = |cfg: &EstimationConfig| {
+            let obj = Himmelblau::new();
+            let mut rng = StdRng::seed_from_u64(42);
+            run_ga(&obj, cfg, &mut rng)
+        };
+        let a = run(&serial);
+        let b = run(&pooled);
+        assert_eq!(a, b, "any worker count must reproduce the serial run");
+    }
+
+    #[test]
+    fn trajectory_tracks_every_sweep_and_never_worsens() {
+        let obj = Himmelblau::new();
+        let cfg = EstimationConfig::fast();
+        let mut rng = StdRng::seed_from_u64(11);
+        let out = run_ga(&obj, &cfg, &mut rng);
+        assert_eq!(out.trajectory.len(), cfg.generations + 1);
+        assert!(
+            out.trajectory.windows(2).all(|w| w[1] <= w[0]),
+            "elitism keeps the best fitness monotone: {:?}",
+            out.trajectory
+        );
+        assert_eq!(*out.trajectory.last().unwrap(), out.cost);
+        assert_eq!(out.elites, vec![out.params.clone()]);
+    }
+
+    #[test]
+    fn extra_elites_are_distinct_and_fitness_ordered() {
+        let obj = Himmelblau::new();
+        let cfg = EstimationConfig {
+            local_starts: 3,
+            ..EstimationConfig::fast()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = run_ga(&obj, &cfg, &mut rng);
+        assert_eq!(out.elites.len(), 3);
+        assert_eq!(out.elites[0], out.params);
+        let costs: Vec<f64> = out.elites.iter().map(|e| obj.eval(e)).collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{costs:?}");
     }
 }

@@ -20,6 +20,13 @@
 //!   (`estimate_mi`) plus warm-started `estimate_lo`;
 //! * [`metrics`] — RMSE / MAE and the relative-L2 time-series
 //!   dissimilarity used for the MI invocation condition.
+//!
+//! Every stage can fan its objective evaluations out over a worker pool
+//! (`EstimationConfig::workers`, or the `*_in` driver variants taking an
+//! explicit [`threadpool::ThreadPool`]) with a hard determinism
+//! contract: randomness stays on the driving thread and parallel results
+//! reduce in index order, so any worker count produces byte-identical
+//! parameter vectors and best-fitness trajectories.
 
 // Numeric-kernel idioms: indexed loops mirror textbook formulas; negated
 // comparisons (`!(a > b)`) deliberately catch NaNs.
@@ -34,6 +41,10 @@ pub mod metrics;
 pub mod objective;
 
 pub use config::EstimationConfig;
-pub use drivers::{estimate_lo, estimate_mi, estimate_si, EstimationOutcome, MiProblem, Strategy};
+pub use drivers::{
+    estimate_lo, estimate_mi, estimate_mi_in, estimate_si, estimate_si_in, EstimationOutcome,
+    MiProblem, Strategy,
+};
+pub use ga::{run_ga, run_ga_in, GaOutcome};
 pub use metrics::{dissimilarity, mae, rmse};
 pub use objective::{MeasurementData, Objective, ParamSpec, SimulationObjective};

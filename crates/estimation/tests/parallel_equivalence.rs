@@ -1,0 +1,178 @@
+//! Property tests for the fleet determinism contract: pooled GA
+//! population evaluation must pin the *entire* serial best-fitness
+//! trajectory (same seed ⇒ same generations, bit for bit), and a panic
+//! inside a pooled task must surface as an error without poisoning the
+//! pool for subsequent batches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use threadpool::ThreadPool;
+
+use pgfmu_estimation::ga::{run_ga, run_ga_in};
+use pgfmu_estimation::{estimate_si, EstimationConfig, Objective, ParamSpec};
+
+/// Non-convex 2-D objective (Himmelblau): cheap, deterministic, with
+/// several local minima so trajectories actually move across generations.
+struct Himmelblau {
+    bounds: Vec<ParamSpec>,
+    evals: AtomicU64,
+}
+
+impl Himmelblau {
+    fn new() -> Self {
+        let spec = |name: &str| ParamSpec {
+            name: name.into(),
+            lower: -5.0,
+            upper: 5.0,
+        };
+        Himmelblau {
+            bounds: vec![spec("x"), spec("y")],
+            evals: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Objective for Himmelblau {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn bounds(&self) -> &[ParamSpec] {
+        &self.bounds
+    }
+    fn eval(&self, p: &[f64]) -> f64 {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        let (x, y) = (p[0], p[1]);
+        (x * x + y - 11.0).powi(2) + (x + y * y - 7.0).powi(2)
+    }
+    fn eval_count(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+}
+
+/// An objective that panics on every evaluation — the hostile task for
+/// the pool's error path.
+struct Exploding {
+    bounds: Vec<ParamSpec>,
+}
+
+impl Objective for Exploding {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn bounds(&self) -> &[ParamSpec] {
+        &self.bounds
+    }
+    fn eval(&self, _p: &[f64]) -> f64 {
+        panic!("objective exploded");
+    }
+    fn eval_count(&self) -> u64 {
+        0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same seed ⇒ same generations: the pooled run's best-fitness
+    /// trajectory, final parameters, cost, eval budget and elite set are
+    /// all bit-identical to the serial run, for any worker count, GA
+    /// shape and multi-start width.
+    #[test]
+    fn parallel_ga_pins_the_serial_trajectory(
+        seed in 0u64..1_000_000,
+        workers in 2usize..5,
+        population in 6usize..16,
+        generations in 1usize..6,
+        local_starts in 1usize..4,
+    ) {
+        let serial_cfg = EstimationConfig {
+            population,
+            generations,
+            local_starts,
+            workers: 1,
+            ..EstimationConfig::fast()
+        };
+        let pooled_cfg = EstimationConfig { workers, ..serial_cfg };
+        let run = |cfg: &EstimationConfig| {
+            let obj = Himmelblau::new();
+            let mut rng = StdRng::seed_from_u64(seed);
+            run_ga(&obj, cfg, &mut rng)
+        };
+        let serial = run(&serial_cfg);
+        let pooled = run(&pooled_cfg);
+        prop_assert_eq!(&serial.trajectory, &pooled.trajectory);
+        prop_assert_eq!(serial, pooled);
+    }
+
+    /// The full SI driver (GA + multi-start local refinement) is equally
+    /// pinned: parameter vectors and RMSE are bit-identical across
+    /// worker counts.
+    #[test]
+    fn parallel_estimate_si_matches_serial(
+        seed in 0u64..1_000_000,
+        workers in 2usize..5,
+        local_starts in 1usize..4,
+    ) {
+        let serial_cfg = EstimationConfig {
+            population: 8,
+            generations: 3,
+            local_max_iters: 6,
+            seed,
+            local_starts,
+            workers: 1,
+            ..EstimationConfig::fast()
+        };
+        let pooled_cfg = EstimationConfig { workers, ..serial_cfg };
+        let a = estimate_si(&Himmelblau::new(), &serial_cfg);
+        let b = estimate_si(&Himmelblau::new(), &pooled_cfg);
+        prop_assert_eq!(a.params, b.params);
+        prop_assert_eq!(a.rmse, b.rmse);
+        prop_assert_eq!(a.global_evals, b.global_evals);
+        prop_assert_eq!(a.local_evals, b.local_evals);
+    }
+}
+
+/// A panic in a pooled evaluation task surfaces to the caller as a panic
+/// carrying the task's message — and the pool itself is not poisoned:
+/// the very same pool immediately runs the next GA to completion.
+#[test]
+fn task_panic_surfaces_and_poisons_nothing() {
+    let pool = ThreadPool::new(2);
+    let cfg = EstimationConfig {
+        population: 6,
+        generations: 2,
+        workers: 2,
+        ..EstimationConfig::fast()
+    };
+    let exploded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let obj = Exploding {
+            bounds: vec![ParamSpec {
+                name: "k".into(),
+                lower: 0.0,
+                upper: 1.0,
+            }],
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        run_ga_in(&obj, &cfg, &mut rng, Some(&pool))
+    }));
+    let msg = match exploded {
+        Ok(_) => panic!("the exploding objective must abort the GA"),
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default(),
+    };
+    assert!(
+        msg.contains("objective exploded"),
+        "the task's own panic message must survive the pool: {msg}"
+    );
+    // Same pool, next batch: completes normally.
+    let obj = Himmelblau::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let out = run_ga_in(&obj, &cfg, &mut rng, Some(&pool));
+    assert_eq!(out.trajectory.len(), cfg.generations + 1);
+    assert!(out.cost.is_finite());
+}

@@ -231,6 +231,14 @@ pub struct FmuInstance {
     start_state: Vec<f64>,
 }
 
+thread_local! {
+    /// Per-thread integrator work buffers, reused across simulations.
+    /// Worker threads in a fleet pool are persistent, so one slot per
+    /// worker amortizes the buffers over every task the worker runs.
+    static SCRATCH: std::cell::RefCell<crate::solver::Scratch> =
+        std::cell::RefCell::new(crate::solver::Scratch::default());
+}
+
 impl FmuInstance {
     /// The underlying shared model.
     pub fn fmu(&self) -> &Arc<Fmu> {
@@ -342,6 +350,9 @@ impl FmuInstance {
     ///   series must cover the simulation window (the paper specifies an
     ///   error for insufficient input series, §7).
     /// * The result reports states and outputs on the output grid.
+    /// * Integrator work buffers come from a per-thread slot (see
+    ///   `SCRATCH`), so repeated simulations on the same thread — a GA
+    ///   objective sweep, a pooled fleet worker — reuse one allocation.
     pub fn simulate(
         &self,
         inputs: &InputSet,
@@ -404,8 +415,15 @@ impl FmuInstance {
         };
 
         // One set of integrator work buffers for the whole trajectory —
-        // the per-step loop below allocates nothing.
-        let mut scratch = crate::solver::Scratch::new(n_states);
+        // the per-step loop below allocates nothing. The buffers are
+        // per-thread and survive across calls: a persistent fleet/GA
+        // worker thread simulates thousands of trajectories with a
+        // single allocation (resizing to the same dimension is free).
+        // Taken out of the slot for the duration of the loop; an early
+        // error return forfeits the buffers, and the slot simply
+        // reallocates on the thread's next simulation.
+        let mut scratch = SCRATCH.take();
+        scratch.resize(n_states);
         let mut k = 0usize;
         loop {
             let t = t0 + k as f64 * dt;
@@ -427,6 +445,7 @@ impl FmuInstance {
                 .integrate_with(&mut scratch, &mut rhs, t, t_next, &mut x)?;
             k += 1;
         }
+        SCRATCH.set(scratch);
 
         let names = self
             .fmu

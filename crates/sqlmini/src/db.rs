@@ -348,6 +348,12 @@ pub struct Database {
     seq_scans: AtomicU64,
     hash_joins: AtomicU64,
     analyze_runs: AtomicU64,
+    /// Fleet-execution counters (reported by the embedding layer): tasks
+    /// retired on pooled workers, the high-water pool width, and the sum
+    /// of per-task wall time in nanoseconds.
+    fleet_tasks: AtomicU64,
+    fleet_workers: AtomicU64,
+    fleet_task_ns: AtomicU64,
     /// Planner toggles (both default on). Turning one off pins the
     /// pessimistic plan shape — sequential scans / nested loops — which
     /// the equivalence tests and benchmarks use as the baseline side.
@@ -393,6 +399,9 @@ impl Database {
             seq_scans: AtomicU64::new(0),
             hash_joins: AtomicU64::new(0),
             analyze_runs: AtomicU64::new(0),
+            fleet_tasks: AtomicU64::new(0),
+            fleet_workers: AtomicU64::new(0),
+            fleet_task_ns: AtomicU64::new(0),
             index_access: AtomicBool::new(true),
             hash_join: AtomicBool::new(true),
         };
@@ -1107,6 +1116,17 @@ impl Database {
         }
     }
 
+    /// Reset the calling thread's session state: roll back any
+    /// transaction it left open, returning whether one was. Transaction
+    /// sessions are keyed by thread, so pooled worker threads — reused
+    /// across unrelated tasks — call this when picking up new work;
+    /// otherwise a task that died between `BEGIN` and `COMMIT` would
+    /// leak its open transaction (snapshot pin, table pins and abort
+    /// flag included) into whatever task lands on the thread next.
+    pub fn reset_session(&self) -> bool {
+        self.rollback_txn()
+    }
+
     /// Detach this thread's transaction from the session map.
     fn take_txn(&self) -> Option<Txn> {
         if self.txn_count.load(Ordering::SeqCst) == 0 {
@@ -1251,6 +1271,27 @@ impl Database {
     /// since creation.
     pub fn gc_stats(&self) -> u64 {
         self.versions_gc.load(Ordering::Relaxed)
+    }
+
+    /// Record a retired fleet batch: `tasks` pooled tasks run on a pool
+    /// of `workers` threads, spending `task_ns` nanoseconds of summed
+    /// per-task wall time. The engine never spawns threads itself; the
+    /// embedding layer's fleet executor reports here so the counters are
+    /// queryable next to the engine's own (`pgfmu_stats()`).
+    pub fn note_fleet(&self, tasks: u64, workers: u64, task_ns: u64) {
+        self.fleet_tasks.fetch_add(tasks, Ordering::Relaxed);
+        self.fleet_workers.fetch_max(workers, Ordering::Relaxed);
+        self.fleet_task_ns.fetch_add(task_ns, Ordering::Relaxed);
+    }
+
+    /// `(fleet tasks retired, high-water pool width, summed task
+    /// nanoseconds)` since creation.
+    pub fn fleet_stats(&self) -> (u64, u64, u64) {
+        (
+            self.fleet_tasks.load(Ordering::Relaxed),
+            self.fleet_workers.load(Ordering::Relaxed),
+            self.fleet_task_ns.load(Ordering::Relaxed),
+        )
     }
 
     /// `(rows scanned, zero-copy scans, snapshot scans)` since creation.
@@ -2348,5 +2389,53 @@ mod tests {
         );
         db.execute("COMMIT").unwrap();
         assert!(db.vacuum() >= 9, "watermark advanced after COMMIT");
+    }
+
+    #[test]
+    fn reset_session_rolls_back_a_leaked_transaction() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (v int)").unwrap();
+        // A task dies between BEGIN and COMMIT on this thread…
+        db.execute("BEGIN").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        assert!(db.in_transaction());
+        // …so the next task to land on the thread resets the session.
+        assert!(db.reset_session(), "an open transaction was reclaimed");
+        assert!(!db.in_transaction());
+        assert_eq!(
+            db.execute("SELECT count(*) FROM t").unwrap().rows[0][0],
+            Value::Int(0),
+            "the uncommitted insert must be gone"
+        );
+        // The reset counts as a rollback and is idempotent.
+        assert_eq!(db.txn_stats().1, 1);
+        assert!(!db.reset_session());
+        assert_eq!(db.txn_stats().1, 1);
+        // The snapshot pin went with it: the GC watermark is released.
+        db.execute("INSERT INTO t VALUES (2)").unwrap();
+        db.execute("UPDATE t SET v = 3").unwrap();
+        assert!(db.vacuum() >= 1, "no leaked pin may hold back the GC");
+    }
+
+    #[test]
+    fn fleet_counters_accumulate_and_report() {
+        let db = Database::new();
+        assert_eq!(db.fleet_stats(), (0, 0, 0));
+        db.note_fleet(100, 4, 5_000);
+        db.note_fleet(10, 2, 1_000);
+        // Tasks and task time accumulate; the pool width is a high-water mark.
+        assert_eq!(db.fleet_stats(), (110, 4, 6_000));
+        for (stat, expect) in [
+            ("fleet_tasks", 110),
+            ("fleet_workers", 4),
+            ("fleet_task_ns", 6_000),
+        ] {
+            let q = db
+                .execute(&format!(
+                    "SELECT value FROM pgfmu_stats() WHERE stat = '{stat}'"
+                ))
+                .unwrap();
+            assert_eq!(q.rows[0][0], Value::Int(expect), "{stat}");
+        }
     }
 }

@@ -297,6 +297,10 @@ pub fn register_builtin_table_fns(db: &Database) {
         push("seq_scans", seq_scans);
         push("hash_joins", hash_joins);
         push("analyze_runs", analyze_runs);
+        let (fleet_tasks, fleet_workers, fleet_task_ns) = db.fleet_stats();
+        push("fleet_tasks", fleet_tasks);
+        push("fleet_workers", fleet_workers);
+        push("fleet_task_ns", fleet_task_ns);
         for (name, count) in db.udf_call_counts() {
             if count > 0 {
                 push(&format!("calls.{name}"), count);

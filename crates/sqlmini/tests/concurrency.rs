@@ -6,9 +6,11 @@
 //! concurrency step, where the tighter timing shakes out races the
 //! debug build hides.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
 
 use pgfmu_sqlmini::{Database, Value};
+use threadpool::ThreadPool;
 
 const ROWS: i64 = 64;
 
@@ -197,4 +199,152 @@ fn index_scans_are_snapshot_consistent_under_writes() {
         .execute(&format!("SELECT count(*) FROM t WHERE k >= {lo}"))
         .unwrap();
     assert_eq!(q.rows[0][0], Value::Int(8));
+}
+
+/// Fleet-shaped stress: a worker pool (width from `PGFMU_FLEET_WORKERS`,
+/// default 4) retires instance-result tasks — multi-row result inserts
+/// plus a per-task status update — while readers stream under snapshot
+/// isolation and a vacuum thread compacts continuously. Tasks follow the
+/// fleet session rule: reset the thread-keyed session on entry, because
+/// some tasks deliberately "crash" between BEGIN and COMMIT and the next
+/// task reusing that worker thread must not inherit the open
+/// transaction. Readers must only ever see whole committed batches.
+#[test]
+fn fleet_writers_with_streaming_readers_and_vacuum() {
+    const TASKS: usize = 96;
+    const BATCH: i64 = 4;
+    let workers: usize = std::env::var("PGFMU_FLEET_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let db = Database::new();
+    db.execute("CREATE TABLE results (inst int, task int, v float)")
+        .unwrap();
+    db.execute("CREATE TABLE state (task int, done int)")
+        .unwrap();
+    for t in 0..TASKS {
+        db.execute(&format!("INSERT INTO state VALUES ({t}, 0)"))
+            .unwrap();
+    }
+    let committed = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let db = &db;
+        let stop = &stop;
+        for _ in 0..2 {
+            s.spawn(move || loop {
+                // Committed result batches are atomic: every task's group
+                // is complete or absent, never partial.
+                let q = db
+                    .execute("SELECT task, count(*) FROM results GROUP BY task")
+                    .unwrap();
+                for row in &q.rows {
+                    assert_eq!(row[1], Value::Int(BATCH), "partial batch visible");
+                }
+                let q = db.execute("SELECT count(*) FROM results").unwrap();
+                assert_eq!(
+                    q.rows[0][0].as_i64().unwrap() % BATCH,
+                    0,
+                    "torn total under snapshot isolation"
+                );
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            });
+        }
+        s.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                db.vacuum();
+                std::thread::yield_now();
+            }
+        });
+        let pool = ThreadPool::new(workers);
+        pool.run(TASKS, |task| {
+            // Fleet session rule: a pooled worker starts every task from
+            // a clean, auto-commit session.
+            db.reset_session();
+            let inst = task % 8;
+            match task % 8 {
+                3 => {
+                    // Simulated mid-transaction death: BEGIN + write,
+                    // then drop the task without COMMIT. The open
+                    // transaction is left parked on this worker thread.
+                    db.execute("BEGIN").unwrap();
+                    db.execute(&format!(
+                        "INSERT INTO results VALUES ({inst}, {task}, -1.0)"
+                    ))
+                    .unwrap();
+                }
+                5 => {
+                    // Explicit transaction that changes its mind.
+                    db.execute("BEGIN").unwrap();
+                    db.execute(&format!(
+                        "INSERT INTO results VALUES ({inst}, {task}, -2.0), \
+                         ({inst}, {task}, -2.0)"
+                    ))
+                    .unwrap();
+                    db.execute("ROLLBACK").unwrap();
+                }
+                _ => {
+                    // One atomic batch of instance results + this task's
+                    // own status row (no cross-task write conflicts).
+                    let vals: Vec<String> = (0..BATCH)
+                        .map(|_| format!("({inst}, {task}, {}.0)", task))
+                        .collect();
+                    db.execute(&format!("INSERT INTO results VALUES {}", vals.join(", ")))
+                        .unwrap();
+                    db.execute(&format!("UPDATE state SET done = 1 WHERE task = {task}"))
+                        .unwrap();
+                    committed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        })
+        .unwrap();
+        // Sweep: park exactly one reset task on every worker (the barrier
+        // forces the distribution) so transactions leaked by tail-end
+        // "crash" tasks are reclaimed before the pool idles.
+        let barrier = Barrier::new(workers);
+        let leaked: u64 = pool
+            .run(workers, |_| {
+                barrier.wait();
+                u64::from(db.reset_session())
+            })
+            .unwrap()
+            .iter()
+            .sum();
+        assert!(
+            leaked <= TASKS.div_ceil(8) as u64,
+            "at most one leaked transaction per crash task"
+        );
+        stop.store(true, Ordering::Relaxed);
+    });
+    // Only whole, committed batches survive — crash and rollback tasks
+    // left no trace.
+    let done = committed.load(Ordering::Relaxed) as i64;
+    let q = db.execute("SELECT count(*) FROM results").unwrap();
+    assert_eq!(q.rows[0][0], Value::Int(done * BATCH));
+    let min_v = db.execute("SELECT min(v) FROM results").unwrap().rows[0][0]
+        .as_f64()
+        .unwrap();
+    assert!(min_v >= 0.0, "no uncommitted or rolled-back value visible");
+    let q = db
+        .execute("SELECT count(*) FROM state WHERE done = 1")
+        .unwrap();
+    assert_eq!(q.rows[0][0], Value::Int(done));
+    // No leaked snapshot pin holds back the garbage collector: churn the
+    // whole table inside a transaction (the transactional write path
+    // always versions rows — auto-commit may overwrite in place and
+    // leave nothing to collect), then the dead versions must be
+    // reclaimable by vacuum. A surviving pin would hold the watermark
+    // below the churn's commit stamp and free nothing.
+    assert!(!db.in_transaction());
+    let gc_before = db.gc_stats();
+    db.execute("BEGIN").unwrap();
+    db.execute("UPDATE state SET done = done").unwrap();
+    db.execute("COMMIT").unwrap();
+    db.vacuum();
+    assert!(
+        db.gc_stats() > gc_before,
+        "a leaked transaction pin survived the sweep"
+    );
 }

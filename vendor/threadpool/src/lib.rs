@@ -1,0 +1,338 @@
+//! Offline stand-in for the crates.io worker-pool crates (`threadpool`,
+//! `rayon`'s scope, …), reduced to the one shape the fleet subsystem
+//! needs: a **persistent** pool of named worker threads plus an
+//! index-ordered batch map, [`ThreadPool::run`].
+//!
+//! Design points, in the order they matter:
+//!
+//! - **Deterministic reduction.** `run(n, f)` evaluates `f(0..n)` on the
+//!   workers but always returns the results as `vec![f(0), …, f(n-1)]` —
+//!   slot `i` belongs to task `i` regardless of which worker ran it or
+//!   when it finished. Callers that reduce in slot order are therefore
+//!   byte-identical to a serial loop.
+//! - **Panic containment.** Every task runs under `catch_unwind`. The
+//!   first panic cancels the batch's not-yet-started tasks, and `run`
+//!   returns the panic rendered as a [`TaskError`] instead of unwinding
+//!   a worker. Nothing is poisoned: the pool (and its locks) stay fully
+//!   usable for the next batch.
+//! - **Thread reuse.** Workers live for the lifetime of the pool, so
+//!   per-thread state (thread-local solver scratch, transaction
+//!   sessions keyed by thread id) carries over from one task to the
+//!   next. That is a feature for buffer reuse and a hazard for session
+//!   state — which is why tasks can ask [`worker_index`] who they are,
+//!   and why callers embedding a database must reset per-thread session
+//!   state at task entry.
+//!
+//! `run` blocks until the whole batch has retired. Calling it from
+//! inside one of the *same* pool's tasks would deadlock a fully-busy
+//! pool; nested parallelism must use its own pool.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// A queued unit of work. Only the queue needs `'static`; `run` erases
+/// the caller's lifetime and re-establishes it by blocking (see the
+/// SAFETY comment there).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    work: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+thread_local! {
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The calling thread's worker slot (0-based) when it is a pool worker,
+/// `None` otherwise. Stable for the life of the pool: slot `k` is always
+/// the same OS thread, so per-worker caches key off this index safely.
+pub fn worker_index() -> Option<usize> {
+    WORKER_INDEX.get()
+}
+
+/// Lock that shrugs off poisoning: a worker never unwinds while holding
+/// a pool lock (user code runs under `catch_unwind` *outside* them), but
+/// if it ever did, the data is a queue/counter that stays consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A task panic, caught on the worker and re-surfaced to the caller of
+/// [`ThreadPool::run`] as an error value.
+#[derive(Debug, Clone)]
+pub struct TaskError {
+    /// Index of the task whose closure panicked.
+    pub index: usize,
+    /// The rendered panic payload.
+    pub message: String,
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Per-batch rendezvous: result slots, a retire counter, and the first
+/// panic (if any). Shared between the caller and every task of a batch.
+struct Batch<R> {
+    slots: Mutex<Vec<Option<R>>>,
+    /// `(tasks not yet retired, first panic)`.
+    state: Mutex<(usize, Option<TaskError>)>,
+    done: Condvar,
+    cancelled: AtomicBool,
+}
+
+impl ThreadPool {
+    /// Spawn a pool of `workers` persistent threads (at least one).
+    pub fn new(workers: usize) -> ThreadPool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fleet-worker-{slot}"))
+                    .spawn(move || {
+                        WORKER_INDEX.set(Some(slot));
+                        worker_loop(&shared);
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Evaluate `f(i)` for every `i in 0..tasks` on the pool and return
+    /// the results **in index order**. Blocks until the batch retires.
+    ///
+    /// If any task panics, the batch is cancelled (tasks that have not
+    /// started are skipped), and the first panic comes back as
+    /// `Err(TaskError)` once the in-flight tasks have drained. The pool
+    /// itself is unaffected and immediately reusable.
+    pub fn run<R, F>(&self, tasks: usize, f: F) -> Result<Vec<R>, TaskError>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if tasks == 0 {
+            return Ok(Vec::new());
+        }
+        let batch = Arc::new(Batch::<R> {
+            slots: Mutex::new((0..tasks).map(|_| None).collect()),
+            state: Mutex::new((tasks, None)),
+            done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        });
+        let f = &f;
+        {
+            let mut q = lock(&self.shared.queue);
+            for i in 0..tasks {
+                let batch = Arc::clone(&batch);
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    if !batch.cancelled.load(Ordering::Acquire) {
+                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                            Ok(r) => lock(&batch.slots)[i] = Some(r),
+                            Err(payload) => {
+                                batch.cancelled.store(true, Ordering::Release);
+                                let mut st = lock(&batch.state);
+                                if st.1.is_none() {
+                                    st.1 = Some(TaskError {
+                                        index: i,
+                                        message: panic_message(&*payload),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    let mut st = lock(&batch.state);
+                    st.0 -= 1;
+                    if st.0 == 0 {
+                        batch.done.notify_all();
+                    }
+                });
+                // SAFETY: the queue's `Job` type demands `'static`, but
+                // these closures borrow `f` and (through `batch`) the
+                // caller's result type `R`. `run` blocks below until the
+                // retire counter hits zero, and every enqueued job —
+                // executed or cancelled — decrements that counter as the
+                // very last thing it does. The borrows therefore strictly
+                // outlive every job; the lifetime is erased for the
+                // queue, never escaped.
+                let job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+                q.jobs.push_back(job);
+            }
+            self.shared.work.notify_all();
+        }
+        let mut st = lock(&batch.state);
+        while st.0 > 0 {
+            st = batch.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if let Some(err) = st.1.take() {
+            return Err(err);
+        }
+        drop(st);
+        let slots = std::mem::take(&mut *lock(&batch.slots));
+        Ok(slots
+            .into_iter()
+            .map(|r| r.expect("retired batch without panic has every slot filled"))
+            .collect())
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        job();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        lock(&self.shared.queue).shutdown = true;
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool
+            .run(64, |i| {
+                if i % 7 == 0 {
+                    // Stagger finish times; slot order must still hold.
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                i * i
+            })
+            .unwrap();
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_threads_persist_across_batches() {
+        let pool = ThreadPool::new(2);
+        let first = pool.run(8, |_| std::thread::current().id()).unwrap();
+        let second = pool.run(8, |_| std::thread::current().id()).unwrap();
+        let distinct: HashSet<_> = first.iter().chain(second.iter()).collect();
+        assert!(
+            distinct.len() <= 2,
+            "both batches must run on the same two persistent workers"
+        );
+    }
+
+    #[test]
+    fn worker_index_is_set_inside_tasks_and_clear_outside() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(worker_index(), None);
+        let slots = pool.run(16, |_| worker_index().unwrap()).unwrap();
+        assert!(slots.iter().all(|&s| s < 3));
+    }
+
+    #[test]
+    fn a_panicking_task_surfaces_its_message_and_poisons_nothing() {
+        let pool = ThreadPool::new(2);
+        let err = pool
+            .run(8, |i| {
+                if i == 3 {
+                    panic!("boom {i}");
+                }
+                i
+            })
+            .unwrap_err();
+        assert_eq!(err.index, 3);
+        assert!(err.message.contains("boom 3"), "got: {}", err.message);
+        // The pool is immediately reusable — no lock or state poisoning.
+        assert_eq!(pool.run(4, |i| i + 1).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn a_panic_cancels_the_unstarted_tail() {
+        // A single worker drains in order: task 0 panics, 1..100 must be
+        // skipped, and `run` still returns (every slot retires).
+        let pool = ThreadPool::new(1);
+        let ran = AtomicUsize::new(0);
+        let err = pool
+            .run(100, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    panic!("stop the batch");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.index, 0);
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            1,
+            "cancelled tail tasks must not execute user code"
+        );
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<u32> = pool.run(0, |_| unreachable!()).unwrap();
+        assert!(out.is_empty());
+    }
+}
