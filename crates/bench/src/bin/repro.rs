@@ -18,10 +18,13 @@
 //! vs its nested-loop baseline — a full 672 h FMU simulation, and the
 //! headline fleet workload: `fmu_simulate` over 100 catalogue instances,
 //! serial loop vs `fmu_simulate_fleet` at 4 workers, with the parallel
-//! output asserted byte-identical to the serial loop) and writes
-//! per-bench robust medians (`{"median_ns": …, "mad_ns": …}`, see
-//! `criterion::stats`) to `BENCH_PR8.json` so the performance trajectory
-//! accumulates across PRs.
+//! output asserted byte-identical to the serial loop — and the
+//! vectorized top-K: `ORDER BY … LIMIT` over an indexed range of fixed
+//! width at 10 k and 100 k total rows, which must cost the same at both
+//! scales) and writes per-bench robust medians
+//! (`{"median_ns": …, "mad_ns": …}`, see `criterion::stats`) to
+//! `BENCH_PR9.json` so the performance trajectory accumulates across
+//! PRs.
 
 use pgfmu_bench::report::{fmt_secs, render};
 use pgfmu_bench::setup::{bench_session, ModelKind, ALL_MODELS};
@@ -89,7 +92,7 @@ fn main() {
         run_grouped(&profile);
     }
     if want("bench") {
-        run_bench_json("BENCH_PR8.json");
+        run_bench_json("BENCH_PR9.json");
     }
 }
 
@@ -390,6 +393,57 @@ fn run_bench_json(path: &str) {
         );
         db.set_index_access_enabled(true);
     }
+    // Vectorized top-K: ORDER BY … LIMIT over an indexed range of fixed
+    // absolute width (256 candidate rows) at 10 k and at 100 k total
+    // rows. The index narrows both scans to the same candidate set, so
+    // the batch fill + bounded heap must cost the same at both scales —
+    // the per-PR acceptance gate is 100 k within 2x of 10 k.
+    {
+        db.execute("CREATE TABLE topk_small (k int, v float)")
+            .unwrap();
+        let ins = db
+            .prepare("INSERT INTO topk_small VALUES ($1, $2)")
+            .unwrap();
+        for i in 0..10_000i64 {
+            ins.query(params![i, ((i * 37) % 1009) as f64]).unwrap();
+        }
+        db.execute("CREATE UNIQUE INDEX topk_small_k ON topk_small (k)")
+            .unwrap();
+        db.execute("ANALYZE topk_small").unwrap();
+        let (filled_before, ops_before, _) = db.vectorized_stats();
+        let q10 = db
+            .prepare(
+                "SELECT k, v FROM topk_small WHERE k >= $1 AND k < $2 \
+                 ORDER BY v DESC LIMIT 24",
+            )
+            .unwrap();
+        push(
+            "sql_select_ordered_limit_topk_10k",
+            sample_ns(SELECT_RUNS, || {
+                black_box(q10.query(params![4_000i64, 4_256i64]).unwrap());
+            }),
+        );
+        let q100 = db
+            .prepare(
+                "SELECT k, v FROM big WHERE k >= $1 AND k < $2 \
+                 ORDER BY v DESC LIMIT 24",
+            )
+            .unwrap();
+        push(
+            "sql_select_ordered_limit_topk_100k",
+            sample_ns(SELECT_RUNS, || {
+                black_box(q100.query(params![40_000i64, 40_256i64]).unwrap());
+            }),
+        );
+        let (filled_after, ops_after, _) = db.vectorized_stats();
+        assert!(
+            filled_after > filled_before && ops_after > ops_before,
+            "the top-K benches must take the vectorized batch path \
+             (pgfmu_stats reports {filled_after} batches / {ops_after} ops, \
+              started at {filled_before} / {ops_before})"
+        );
+    }
+
     // Hash join vs the nested loop it replaces, on an equi-join whose
     // cross product (2000 x 400) the cost model refuses to nested-loop.
     {
@@ -556,7 +610,11 @@ fn run_bench_json(path: &str) {
     let (rows_scanned, zero_copy, fallbacks) = db.scan_stats();
     let (txns_committed, txns_rolled_back) = db.txn_stats();
     let (index_scans, seq_scans, hash_joins, analyze_runs) = db.access_stats();
+    let (batches_filled, vectorized_ops, vectorized_fallbacks) = db.vectorized_stats();
     let versions_gc = db.gc_stats();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut json = String::from("{\n");
     for (name, s) in &results {
         json.push_str(&format!(
@@ -566,7 +624,7 @@ fn run_bench_json(path: &str) {
     }
     json.push_str(&format!(
         "  \"fleet\": {{\"instances\": {}, \"fleet_tasks\": {}, \
-         \"fleet_workers\": {}, \"fleet_task_ns\": {}}},\n",
+         \"fleet_workers\": {}, \"fleet_task_ns\": {}, \"cores\": {cores}}},\n",
         fleet.0, fleet.1, fleet.2, fleet.3
     ));
     json.push_str(&format!(
@@ -574,6 +632,9 @@ fn run_bench_json(path: &str) {
          \"scans_zero_copy\": {zero_copy}, \"scan_fallbacks\": {fallbacks}, \
          \"index_scans\": {index_scans}, \"seq_scans\": {seq_scans}, \
          \"hash_joins\": {hash_joins}, \"analyze_runs\": {analyze_runs}, \
+         \"batches_filled\": {batches_filled}, \
+         \"vectorized_ops\": {vectorized_ops}, \
+         \"vectorized_fallbacks\": {vectorized_fallbacks}, \
          \"txns_committed\": {txns_committed}, \
          \"txns_rolled_back\": {txns_rolled_back}, \
          \"versions_gc\": {versions_gc}}}\n"
@@ -599,11 +660,16 @@ fn run_bench_json(path: &str) {
         median_of("sql_point_lookup_seq") / median_of("sql_point_lookup_indexed"),
         median_of("sql_nested_loop_join") / median_of("sql_hash_join_vs_nested")
     );
+    println!(
+        "top-K: 256-row indexed candidate set sorts in {} at 10k rows vs {} at \
+         100k rows ({:.2}x — fixed-width top-K must not scale with the table)",
+        fmt_secs(median_of("sql_select_ordered_limit_topk_10k") / 1e9),
+        fmt_secs(median_of("sql_select_ordered_limit_topk_100k") / 1e9),
+        median_of("sql_select_ordered_limit_topk_100k")
+            / median_of("sql_select_ordered_limit_topk_10k")
+    );
     let fleet_speedup =
         median_of("fleet_simulate_672h_serial") / median_of("fleet_simulate_672h_x4workers");
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     println!(
         "fleet: {} instances simulated, {:.2}x speedup at 4 workers over the \
          serial loop ({cores} core(s) available), parallel output byte-identical",
@@ -615,12 +681,20 @@ fn run_bench_json(path: &str) {
             "fleet simulation at 4 workers must be >= 3x over serial on a \
              >= 4-core machine (measured {fleet_speedup:.2}x)"
         );
+    } else {
+        println!(
+            "note: SKIPPED the >=3x fleet speedup assertion — only {cores} core(s) \
+             available and the 4-worker fleet needs at least 4 to manifest a \
+             parallel speedup; correctness (byte-identical output) was still asserted"
+        );
     }
     println!(
         "scan counters: {rows_scanned} rows scanned, {zero_copy} zero-copy scans, \
          {fallbacks} snapshot scans (zero-copy confirmed via pgfmu_stats()); \
          {index_scans} index scans / {seq_scans} seq scans / {hash_joins} hash joins \
          / {analyze_runs} analyze runs; \
+         {batches_filled} batches filled / {vectorized_ops} vectorized ops / \
+         {vectorized_fallbacks} vectorized fallbacks; \
          {versions_gc} dead row versions reclaimed by GC"
     );
     println!("wrote {path}\n");

@@ -53,11 +53,43 @@ fn gradient(obj: &dyn Objective, p: &[f64], f0: f64) -> Vec<f64> {
     g
 }
 
+/// Counts one search's own evaluations. `Objective::eval_count` is a
+/// counter shared by every user of the objective, so a start/end delta
+/// over it also absorbs whatever *concurrent* searches evaluate in
+/// between — the pooled multi-start stage would report interleaving-
+/// dependent `evals`. Wrapping the objective gives each search a
+/// private count that is identical at any pool width.
+struct CountedObjective<'a> {
+    inner: &'a dyn Objective,
+    evals: std::sync::atomic::AtomicU64,
+}
+
+impl Objective for CountedObjective<'_> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn bounds(&self) -> &[crate::objective::ParamSpec] {
+        self.inner.bounds()
+    }
+    fn eval(&self, params: &[f64]) -> f64 {
+        self.evals
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.eval(params)
+    }
+    fn eval_count(&self) -> u64 {
+        self.evals.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Run the local search from `start`.
 pub fn run_local(obj: &dyn Objective, start: &[f64], cfg: &EstimationConfig) -> LocalOutcome {
+    let counted = CountedObjective {
+        inner: obj,
+        evals: std::sync::atomic::AtomicU64::new(0),
+    };
+    let obj: &dyn Objective = &counted;
     let dim = obj.dim();
     assert_eq!(start.len(), dim, "start point dimension mismatch");
-    let evals_before = obj.eval_count();
 
     let mut x = start.to_vec();
     project(&mut x, obj);
@@ -176,7 +208,7 @@ pub fn run_local(obj: &dyn Objective, start: &[f64], cfg: &EstimationConfig) -> 
     LocalOutcome {
         params: x,
         cost: fx,
-        evals: obj.eval_count() - evals_before,
+        evals: counted.eval_count(),
         iterations,
     }
 }

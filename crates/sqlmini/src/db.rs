@@ -354,11 +354,20 @@ pub struct Database {
     fleet_tasks: AtomicU64,
     fleet_workers: AtomicU64,
     fleet_task_ns: AtomicU64,
-    /// Planner toggles (both default on). Turning one off pins the
-    /// pessimistic plan shape — sequential scans / nested loops — which
-    /// the equivalence tests and benchmarks use as the baseline side.
+    /// Planner toggles (all default on). Turning one off pins the
+    /// pessimistic plan shape — sequential scans / nested loops /
+    /// tuple-at-a-time execution — which the equivalence tests and
+    /// benchmarks use as the baseline side.
     index_access: AtomicBool,
     hash_join: AtomicBool,
+    vectorized: AtomicBool,
+    /// Columnar-execution counters: batches materialized from the
+    /// zero-copy scan, vectorized operator executions, and statements
+    /// that were classified batch-eligible at plan time but fell back
+    /// to the scalar executor.
+    batches_filled: AtomicU64,
+    vectorized_ops: AtomicU64,
+    vectorized_fallbacks: AtomicU64,
 }
 
 impl Default for Database {
@@ -404,6 +413,13 @@ impl Database {
             fleet_task_ns: AtomicU64::new(0),
             index_access: AtomicBool::new(true),
             hash_join: AtomicBool::new(true),
+            // Default on; `PGFMU_VECTORIZED=0` starts every database
+            // scalar-only so CI can sweep the whole suite both ways
+            // (mirrors the `PGFMU_FLEET_WORKERS` matrix convention).
+            vectorized: AtomicBool::new(std::env::var("PGFMU_VECTORIZED").as_deref() != Ok("0")),
+            batches_filled: AtomicU64::new(0),
+            vectorized_ops: AtomicU64::new(0),
+            vectorized_fallbacks: AtomicU64::new(0),
         };
         functions::register_builtin_scalars(&db);
         functions::register_builtin_table_fns(&db);
@@ -641,6 +657,47 @@ impl Database {
     pub fn set_hash_join_enabled(&self, on: bool) {
         self.hash_join.store(on, Ordering::SeqCst);
         self.schema_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Is the planner allowed to choose the vectorized batch executor?
+    pub(crate) fn vectorized_enabled(&self) -> bool {
+        self.vectorized.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable columnar batch execution (statements fall back to
+    /// the tuple-at-a-time scalar executor when off). Bumps the schema
+    /// epoch so cached plans re-plan.
+    pub fn set_vectorized_enabled(&self, on: bool) {
+        self.vectorized.store(on, Ordering::SeqCst);
+        self.schema_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Count one column batch materialized from a zero-copy scan.
+    pub(crate) fn note_batch_filled(&self) {
+        self.batches_filled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one vectorized operator execution (a grouped/ungrouped
+    /// aggregate fold, a single-key index sort, or a top-K heap run).
+    pub(crate) fn note_vectorized_op(&self) {
+        self.vectorized_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one statement that the planner classified batch-eligible
+    /// but that executed on the scalar path anyway (toggle off at run
+    /// time, or a shape the kernels decline).
+    pub(crate) fn note_vectorized_fallback(&self) {
+        self.vectorized_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(batches filled, vectorized ops, vectorized fallbacks)` since
+    /// creation. The same numbers surface through `pgfmu_stats()`.
+    pub fn vectorized_stats(&self) -> (u64, u64, u64) {
+        (
+            self.batches_filled.load(Ordering::Relaxed),
+            self.vectorized_ops.load(Ordering::Relaxed),
+            self.vectorized_fallbacks.load(Ordering::Relaxed),
+        )
     }
 
     /// Count one single-table access-path execution.

@@ -31,14 +31,17 @@ use std::cmp::Ordering;
 use std::collections::{hash_map::Entry, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use crate::ast::{Expr, FromItem, InsertSource, SelectStmt, Stmt, UnOp, AGGREGATE_FUNCTIONS};
+use crate::ast::{
+    walk_slots, Expr, FromItem, InsertSource, SelectStmt, Stmt, UnOp, AGGREGATE_FUNCTIONS,
+};
+use crate::batch;
 use crate::cost::IndexChoice;
 use crate::db::{Database, UndoEntry, WriteTxn};
 use crate::decode::NamedRows;
 use crate::error::{Result, SqlError};
 use crate::plan::{
     AggCall, AggOp, Binding, DmlPlan, Env, GroupPlan, HashJoin, InsertPlan, PhysicalPlan, PlanFn,
-    SelectOps, ZeroScanKind,
+    SelectOps, ZeroScan, ZeroScanKind,
 };
 use crate::table::{Column, QueryResult, Row, Schema, Snapshot, Table, LIVE, UNCOMMITTED};
 use crate::value::Value;
@@ -105,13 +108,25 @@ pub fn compare(a: &Value, b: &Value) -> Result<Option<Ordering>> {
 }
 
 /// Total ordering used by ORDER BY: NULLs sort last, mixed numerics compare
-/// numerically.
+/// numerically, and NaN sorts after every non-NULL float (PostgreSQL's rule).
+/// The NaN case must not collapse to `Equal`: the standard sort requires a
+/// total order and aborts when `a == NaN`, `b == NaN`, but `a < b`.
 pub fn order_cmp(a: &Value, b: &Value) -> Ordering {
     match (a.is_null(), b.is_null()) {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
         (false, true) => Ordering::Less,
-        (false, false) => compare(a, b).ok().flatten().unwrap_or(Ordering::Equal),
+        (false, false) => {
+            if let (Value::Float(x), Value::Float(y)) = (a, b) {
+                return match (x.is_nan(), y.is_nan()) {
+                    (true, true) => Ordering::Equal,
+                    (true, false) => Ordering::Greater,
+                    (false, true) => Ordering::Less,
+                    (false, false) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
+                };
+            }
+            compare(a, b).ok().flatten().unwrap_or(Ordering::Equal)
+        }
     }
 }
 
@@ -1547,6 +1562,114 @@ fn probe_access(
 /// batches; internal consumers that insert per source row (`INSERT …
 /// SELECT`) pass `false` and get the output materialized up front
 /// instead, so nothing interleaves with their writes.
+/// The slots a zero-scan statement's batch must fill: every slot any of
+/// `exprs` reads, deduplicated.
+fn batch_slots<'e>(exprs: impl Iterator<Item = &'e Expr>) -> Vec<usize> {
+    let mut slots: Vec<usize> = Vec::new();
+    {
+        let mut mark = |i: usize| slots.push(i);
+        for e in exprs {
+            walk_slots(e, &mut mark);
+        }
+    }
+    slots.sort_unstable();
+    slots.dedup();
+    slots
+}
+
+/// Vectorized grouped accumulation: fill a column batch from the
+/// visible-row view, evaluate the filter batch-at-a-time, materialize
+/// key and aggregate-argument columns over the surviving selection, and
+/// fold whole column slices per group. Returns the same
+/// `(key values, aggregate values)` contract as [`grouped_groups`];
+/// `Err(Fallback)` means the caller must re-run the scalar sweep.
+fn vec_grouped(
+    ctx: &Ctx<'_>,
+    z: &ZeroScan,
+    gp: &GroupPlan,
+    schema: &Schema,
+    view: &[&Row],
+) -> batch::VResult<Vec<(Vec<Value>, Vec<Value>)>> {
+    let db = ctx.db;
+    let slots = batch_slots(
+        z.where_clause
+            .iter()
+            .chain(&gp.keys)
+            .chain(gp.aggs.iter().flat_map(|c| &c.args)),
+    );
+    let b = batch::Batch::fill(schema, view, &slots)?;
+    db.note_batch_filled();
+    let cx = batch::VecCtx {
+        params: ctx.params,
+        fns: ctx.fns,
+    };
+    let sel = batch::filter(z.where_clause.as_ref(), &b, &cx)?;
+    let n = sel.len();
+    let mut keys = Vec::with_capacity(gp.keys.len());
+    for e in &gp.keys {
+        keys.push(batch::eval(e, &b, &sel, &cx)?.materialize(n)?);
+    }
+    let mut aggs = Vec::with_capacity(gp.aggs.len());
+    for c in &gp.aggs {
+        let arg = match c.args.as_slice() {
+            [] => None,
+            [a] => Some(batch::eval(a, &b, &sel, &cx)?.materialize(n)?),
+            _ => return Err(batch::Fallback),
+        };
+        aggs.push((c.op, arg));
+    }
+    let groups = batch::grouped_fold(&keys, &aggs, n)?;
+    db.note_vectorized_op();
+    // Same memoization contract the scalar sweep reports.
+    db.note_agg_evals((groups.len() * gp.aggs.len()) as u64);
+    Ok(groups)
+}
+
+/// Vectorized ordered SELECT: filter batch-at-a-time, sort indices over
+/// the one typed key column — through the bounded top-K heap when a
+/// LIMIT keeps fewer rows than survive the filter — and project only
+/// the chosen rows. Returns the finished (sorted, limited) output rows;
+/// `Err(Fallback)` means the caller must re-run the scalar path.
+fn vec_ordered(
+    ctx: &Ctx<'_>,
+    z: &ZeroScan,
+    order_by: &[(Expr, bool)],
+    schema: &Schema,
+    view: &[&Row],
+    limit: usize,
+    project: &dyn Fn(&Row) -> Result<Row>,
+) -> batch::VResult<Vec<Row>> {
+    let db = ctx.db;
+    let [(key_expr, desc)] = order_by else {
+        return Err(batch::Fallback);
+    };
+    let slots = batch_slots(z.where_clause.iter().chain([key_expr]));
+    let b = batch::Batch::fill(schema, view, &slots)?;
+    db.note_batch_filled();
+    let cx = batch::VecCtx {
+        params: ctx.params,
+        fns: ctx.fns,
+    };
+    let sel = batch::filter(z.where_clause.as_ref(), &b, &cx)?;
+    let n = sel.len();
+    let key = batch::eval(key_expr, &b, &sel, &cx)?.materialize(n)?;
+    let order = if limit < n {
+        // NaN sort keys need the full stable sort to reproduce the
+        // scalar "NaN compares equal" placement; the heap handles
+        // every total-order column.
+        batch::top_k_indices(&key, *desc, limit)
+    } else {
+        batch::sort_indices(&key, *desc)
+    };
+    db.note_vectorized_op();
+    let mut out = Vec::with_capacity(order.len());
+    for lane in order {
+        let r = view[sel[lane as usize] as usize];
+        out.push(project(r).map_err(|_| batch::Fallback)?);
+    }
+    Ok(out)
+}
+
 fn run_static_select<'db>(
     db: &'db Database,
     plan: &Arc<PhysicalPlan>,
@@ -1586,19 +1709,45 @@ fn run_static_select<'db>(
                     let cand = probe_access(&ctx, z.access.as_ref(), &guard)?;
                     db.note_access(cand.is_some());
                     let mut examined = 0u64;
-                    let groups = match &cand {
-                        Some(pos) => grouped_groups(
-                            &ctx,
-                            z.where_clause.as_ref(),
-                            gp,
-                            guard.visible_at(pos, snap).inspect(|_| examined += 1),
-                        )?,
-                        None => grouped_groups(
-                            &ctx,
-                            z.where_clause.as_ref(),
-                            gp,
-                            guard.visible(snap).inspect(|_| examined += 1),
-                        )?,
+                    let groups = if z.vectorized {
+                        // Vectorized: collect the visible-row view once,
+                        // fill a column batch, and fold whole column
+                        // slices per group. Any shape the typed kernels
+                        // cannot reproduce byte-identically re-runs the
+                        // scalar sweep over the same view, under the
+                        // same guard and snapshot.
+                        let view: Vec<&Row> = match &cand {
+                            Some(pos) => guard.visible_at(pos, snap).collect(),
+                            None => guard.visible(snap).collect(),
+                        };
+                        examined = view.len() as u64;
+                        match vec_grouped(&ctx, z, gp, &guard.schema, &view) {
+                            Ok(groups) => groups,
+                            Err(batch::Fallback) => {
+                                db.note_vectorized_fallback();
+                                grouped_groups(
+                                    &ctx,
+                                    z.where_clause.as_ref(),
+                                    gp,
+                                    view.iter().copied(),
+                                )?
+                            }
+                        }
+                    } else {
+                        match &cand {
+                            Some(pos) => grouped_groups(
+                                &ctx,
+                                z.where_clause.as_ref(),
+                                gp,
+                                guard.visible_at(pos, snap).inspect(|_| examined += 1),
+                            )?,
+                            None => grouped_groups(
+                                &ctx,
+                                z.where_clause.as_ref(),
+                                gp,
+                                guard.visible(snap).inspect(|_| examined += 1),
+                            )?,
+                        }
                     };
                     db.note_scan(examined, true);
                     groups
@@ -1709,8 +1858,7 @@ fn run_static_select<'db>(
                 db.note_access(cand.is_some());
                 let mut examined = 0u64;
                 let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
-                let mut per_row = |r: &Row| -> Result<()> {
-                    examined += 1;
+                let per_row = |keyed: &mut Vec<(Vec<Value>, Row)>, r: &Row| -> Result<()> {
                     if let Some(p) = &z.where_clause {
                         if !is_true(&eval(&ctx, p, &env, r)?)? {
                             return Ok(());
@@ -1723,21 +1871,56 @@ fn run_static_select<'db>(
                     keyed.push((sort_key, project(r)?));
                     Ok(())
                 };
-                match &cand {
-                    Some(pos) => {
-                        for r in guard.visible_at(pos, snap) {
-                            per_row(r)?;
+                let rows = 'rows: {
+                    if z.vectorized {
+                        // Vectorized: specialized single-key index sort
+                        // (or the bounded top-K heap when LIMIT applies)
+                        // over a typed key column; only the surviving
+                        // rows are projected. A batch the kernels cannot
+                        // reproduce re-runs the scalar path over the
+                        // same view.
+                        let view: Vec<&Row> = match &cand {
+                            Some(pos) => guard.visible_at(pos, snap).collect(),
+                            None => guard.visible(snap).collect(),
+                        };
+                        examined = view.len() as u64;
+                        match vec_ordered(
+                            &ctx,
+                            z,
+                            order_by,
+                            &guard.schema,
+                            &view,
+                            sp.ops.limit,
+                            &project,
+                        ) {
+                            Ok(rows) => break 'rows rows,
+                            Err(batch::Fallback) => {
+                                db.note_vectorized_fallback();
+                                for r in view {
+                                    per_row(&mut keyed, r)?;
+                                }
+                            }
+                        }
+                    } else {
+                        match &cand {
+                            Some(pos) => {
+                                for r in guard.visible_at(pos, snap) {
+                                    examined += 1;
+                                    per_row(&mut keyed, r)?;
+                                }
+                            }
+                            None => {
+                                for r in guard.visible(snap) {
+                                    examined += 1;
+                                    per_row(&mut keyed, r)?;
+                                }
+                            }
                         }
                     }
-                    None => {
-                        for r in guard.visible(snap) {
-                            per_row(r)?;
-                        }
-                    }
-                }
+                    grouped_tail(keyed, &sp.ops)
+                };
                 db.note_scan(examined, true);
                 drop(guard);
-                let rows = grouped_tail(keyed, &sp.ops);
                 return Ok(Rows {
                     columns: sp.ops.columns.clone(),
                     state: RowsState::Done(rows.into_iter()),

@@ -297,6 +297,10 @@ pub fn register_builtin_table_fns(db: &Database) {
         push("seq_scans", seq_scans);
         push("hash_joins", hash_joins);
         push("analyze_runs", analyze_runs);
+        let (batches_filled, vectorized_ops, vectorized_fallbacks) = db.vectorized_stats();
+        push("batches_filled", batches_filled);
+        push("vectorized_ops", vectorized_ops);
+        push("vectorized_fallbacks", vectorized_fallbacks);
         let (fleet_tasks, fleet_workers, fleet_task_ns) = db.fleet_stats();
         push("fleet_tasks", fleet_tasks);
         push("fleet_workers", fleet_workers);

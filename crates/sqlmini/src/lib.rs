@@ -110,6 +110,7 @@
 //! ```
 
 pub mod ast;
+pub(crate) mod batch;
 pub(crate) mod cost;
 pub mod db;
 pub mod decode;

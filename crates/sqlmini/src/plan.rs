@@ -158,6 +158,12 @@ pub(crate) struct ZeroScan {
     /// are a superset; the executor re-checks visibility and the full
     /// WHERE clause, so results are identical to a sequential scan.
     pub access: Option<IndexChoice>,
+    /// Plan-time choice: run this scan on the columnar batch path
+    /// (typed column vectors with vectorized filter / aggregate / sort
+    /// kernels, see `batch.rs`). The executor may still fall back to
+    /// the scalar path at run time when a batch holds value shapes the
+    /// kernels cannot reproduce byte-identically.
+    pub vectorized: bool,
 }
 
 /// What runs under the read guard for each statement shape.
@@ -509,6 +515,54 @@ pub(crate) fn scan_safe(e: &Expr, fns: &[PlanFn]) -> bool {
     }
 }
 
+/// May this zero-copy scan run on the columnar batch path? Stricter
+/// than [`scan_safe`]: every scan-side expression must be one the typed
+/// kernels implement, and the statement shape must map onto a batch
+/// operator — grouped aggregation, or a single-key ordered SELECT
+/// (where the specialized index sort and the top-K heap apply).
+/// Unordered streaming SELECTs keep the tuple-at-a-time cursor: they
+/// hand rows out incrementally, which a materialized batch cannot.
+fn vectorizable(z: &ZeroScan, ops: &SelectOps) -> bool {
+    let ok = |e: &Expr| vec_expr_ok(e, &ops.fns);
+    if !z.where_clause.as_ref().is_none_or(ok) {
+        return false;
+    }
+    match &z.kind {
+        ZeroScanKind::Grouped(gp) => {
+            gp.keys.iter().all(ok) && gp.aggs.iter().all(|c| c.args.iter().all(ok))
+        }
+        ZeroScanKind::Select { order_by, .. } => {
+            order_by.len() == 1 && !ops.distinct && ok(&order_by[0].0)
+        }
+    }
+}
+
+/// The expression subset the vectorized kernels implement end-to-end:
+/// typed arithmetic and comparisons, Kleene AND/OR, IS NULL, int/float
+/// casts, and single-argument native intrinsics. Anything else (string
+/// concat, IN lists, NULL literals, re-entrant UDF calls) keeps the
+/// scalar executor — the run-time kernels would only discover the same
+/// thing and fall back after filling a batch for nothing.
+fn vec_expr_ok(e: &Expr, fns: &[PlanFn]) -> bool {
+    match e {
+        Expr::Literal(Value::Null) => false,
+        Expr::Literal(_) | Expr::Param(_) | Expr::Slot(_) => true,
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => vec_expr_ok(expr, fns),
+        Expr::Cast { expr, ty } => {
+            matches!(ty, DataType::Int | DataType::Float) && vec_expr_ok(expr, fns)
+        }
+        Expr::Binary { op, left, right } => {
+            *op != BinOp::Concat && vec_expr_ok(left, fns) && vec_expr_ok(right, fns)
+        }
+        Expr::ScalarCall { f, args } => {
+            matches!(fns[*f], PlanFn::Intrinsic { .. })
+                && args.len() == 1
+                && vec_expr_ok(&args[0], fns)
+        }
+        _ => false,
+    }
+}
+
 fn compile_select(db: &Database, sel: &SelectStmt) -> Result<PhysicalPlan> {
     // Clause-placement validation (independent of any schema).
     if let Some(w) = &sel.where_clause {
@@ -560,6 +614,7 @@ fn compile_select(db: &Database, sel: &SelectStmt) -> Result<PhysicalPlan> {
     let used_cols = prune_columns(&mut ops, &bindings);
     if let Some(z) = &mut zero {
         z.access = choose_index_access(db, &tables[0], z.where_clause.as_ref());
+        z.vectorized = db.vectorized_enabled() && vectorizable(z, &ops);
     }
     let hash_join = choose_hash_join(db, &tables, &used_cols, &ops);
     Ok(PhysicalPlan::StaticSelect(Box::new(StaticSelectPlan {
@@ -675,6 +730,7 @@ fn build_zero_scan(ops: &SelectOps, n_tables: usize) -> Option<ZeroScan> {
             sweep_safe.then(|| ZeroScan {
                 where_clause: ops.where_clause.clone(),
                 access: None,
+                vectorized: false,
                 kind: ZeroScanKind::Grouped(GroupPlan {
                     keys: gp.keys.clone(),
                     aggs: gp
@@ -697,6 +753,7 @@ fn build_zero_scan(ops: &SelectOps, n_tables: usize) -> Option<ZeroScan> {
             all_safe.then(|| ZeroScan {
                 where_clause: ops.where_clause.clone(),
                 access: None,
+                vectorized: false,
                 kind: ZeroScanKind::Select {
                     projections: ops.projections.clone(),
                     order_by: ops.order_by.clone(),
@@ -1380,6 +1437,17 @@ fn render_static(p: &StaticSelectPlan) -> Vec<String> {
                         "  Filter: {}",
                         render_expr(w, &full, &p.ops.fn_names)
                     ));
+                }
+                lines.push(format!("  Vectorized: {}", z.vectorized));
+                if z.vectorized
+                    && matches!(z.kind, ZeroScanKind::Select { .. })
+                    && p.ops.limit != usize::MAX
+                {
+                    // Bounded ordered SELECT on the batch path: the sort
+                    // is a top-K heap, not a full sort.
+                    let mut topk = vec![format!("Top-K (k={})", p.ops.limit)];
+                    topk.extend(indent_child(lines));
+                    lines = topk;
                 }
                 lines
             }

@@ -466,3 +466,88 @@ fn stale_statistics_refresh_automatically() {
     let plan = plan_of(&db, "SELECT k FROM t WHERE k = 7");
     assert!(plan.contains("IndexScan using t_k"), "{plan}");
 }
+
+// --- vectorized batch execution --------------------------------------------
+
+#[test]
+fn explain_reports_the_vectorized_choice_and_top_k() {
+    let db = Database::new();
+    // Pin the toggle: CI sweeps PGFMU_VECTORIZED over the whole suite,
+    // and this test asserts both sides of the choice explicitly.
+    db.set_vectorized_enabled(true);
+    db.execute("CREATE TABLE m (g int, x float)").unwrap();
+    // Grouped aggregates and single-key ORDER BY ... LIMIT vectorize.
+    let plan = plan_of(&db, "SELECT g, sum(x) FROM m GROUP BY g");
+    assert!(plan.contains("Vectorized: true"), "{plan}");
+    let plan = plan_of(&db, "SELECT x FROM m ORDER BY x DESC LIMIT 3");
+    assert!(plan.contains("Vectorized: true"), "{plan}");
+    assert!(plan.contains("Top-K (k=3)"), "{plan}");
+    // A full sort is still vectorized, but there is no Top-K node.
+    let plan = plan_of(&db, "SELECT x FROM m ORDER BY x");
+    assert!(plan.contains("Vectorized: true"), "{plan}");
+    assert!(!plan.contains("Top-K"), "{plan}");
+    // Multi-key sorts and DISTINCT stay on the scalar path.
+    let plan = plan_of(&db, "SELECT x FROM m ORDER BY g, x LIMIT 3");
+    assert!(plan.contains("Vectorized: false"), "{plan}");
+    assert!(!plan.contains("Top-K"), "{plan}");
+    let plan = plan_of(&db, "SELECT DISTINCT g FROM m ORDER BY g");
+    assert!(plan.contains("Vectorized: false"), "{plan}");
+    // The session toggle re-plans everything scalar, and back.
+    db.set_vectorized_enabled(false);
+    let plan = plan_of(&db, "SELECT g, sum(x) FROM m GROUP BY g");
+    assert!(plan.contains("Vectorized: false"), "{plan}");
+    db.set_vectorized_enabled(true);
+    let plan = plan_of(&db, "SELECT g, sum(x) FROM m GROUP BY g");
+    assert!(plan.contains("Vectorized: true"), "{plan}");
+}
+
+#[test]
+fn runtime_fallback_matches_scalar_errors_and_ticks_the_counter() {
+    let db = Database::new();
+    db.set_vectorized_enabled(true);
+    db.execute("CREATE TABLE f (a int, b int)").unwrap();
+    db.execute("INSERT INTO f VALUES (1, 0)").unwrap();
+    db.execute("INSERT INTO f VALUES (2, 1)").unwrap();
+    // Division by zero inside the WHERE clause: the batch kernel
+    // declines at run time and the scalar rerun over the same snapshot
+    // raises the error — the wording must match the scalar-only path.
+    let (_, _, fb_before) = db.vectorized_stats();
+    let vectorized_err = db
+        .execute("SELECT count(*) FROM f WHERE a / b > 0")
+        .unwrap_err()
+        .to_string();
+    let (_, _, fb_after) = db.vectorized_stats();
+    assert!(fb_after > fb_before, "the decline must tick the counter");
+    db.set_vectorized_enabled(false);
+    let scalar_err = db
+        .execute("SELECT count(*) FROM f WHERE a / b > 0")
+        .unwrap_err()
+        .to_string();
+    db.set_vectorized_enabled(true);
+    assert_eq!(vectorized_err, scalar_err);
+}
+
+#[test]
+fn text_predicates_run_on_the_batch_path() {
+    let db = Database::new();
+    db.set_vectorized_enabled(true);
+    db.execute("CREATE TABLE notes (tag text, n int)").unwrap();
+    for (tag, n) in [("a", 1), ("b", 2), ("a", 3), ("c", 4)] {
+        db.execute(&format!("INSERT INTO notes VALUES ('{tag}', {n})"))
+            .unwrap();
+    }
+    let (filled_before, _, fb_before) = db.vectorized_stats();
+    let q = db
+        .execute("SELECT tag, sum(n) FROM notes WHERE tag >= 'b' GROUP BY tag ORDER BY 1")
+        .unwrap();
+    assert_eq!(
+        q.rows,
+        vec![
+            vec![Value::Text("b".into()), Value::Float(2.0)],
+            vec![Value::Text("c".into()), Value::Float(4.0)],
+        ]
+    );
+    let (filled_after, _, fb_after) = db.vectorized_stats();
+    assert!(filled_after > filled_before, "the batch must have filled");
+    assert_eq!(fb_after, fb_before, "text compare must not fall back");
+}
