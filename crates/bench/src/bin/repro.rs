@@ -21,9 +21,12 @@
 //! output asserted byte-identical to the serial loop — and the
 //! vectorized top-K: `ORDER BY … LIMIT` over an indexed range of fixed
 //! width at 10 k and 100 k total rows, which must cost the same at both
-//! scales) and writes per-bench robust medians
+//! scales — plus the concurrent-ingest ladder: the same fixed row batch
+//! split over 1/2/4 writer threads, auto-commit and explicit
+//! BEGIN…COMMIT variants, which rides the sharded version storage and
+//! group commit) and writes per-bench robust medians
 //! (`{"median_ns": …, "mad_ns": …}`, see `criterion::stats`) to
-//! `BENCH_PR9.json` so the performance trajectory accumulates across
+//! `BENCH_PR10.json` so the performance trajectory accumulates across
 //! PRs.
 
 use pgfmu_bench::report::{fmt_secs, render};
@@ -92,7 +95,7 @@ fn main() {
         run_grouped(&profile);
     }
     if want("bench") {
-        run_bench_json("BENCH_PR9.json");
+        run_bench_json("BENCH_PR10.json");
     }
 }
 
@@ -348,6 +351,66 @@ fn run_bench_json(path: &str) {
             db.execute("DELETE FROM scratch").unwrap();
         }),
     );
+    // Concurrent ingest scaling — the PR-10 headline: N writer threads
+    // split the same fixed batch of disjoint rows over one table through
+    // bound INSERTs. Sharded version storage routes each thread to its
+    // own append arena, so wall time for the same total row count should
+    // drop as writers are added (on machines with the cores to run
+    // them). Cleanup (DELETE + vacuum) runs untimed between samples so
+    // the figure is pure ingest.
+    {
+        const INGEST_ROWS: usize = 4096;
+        const INGEST_RUNS: usize = 10;
+        db.execute("CREATE TABLE ingest (k int, v float)").unwrap();
+        let bench_ingest = |writers: usize, txn: bool| -> Vec<f64> {
+            let mut out = Vec::with_capacity(INGEST_RUNS);
+            for run in 0..=INGEST_RUNS {
+                let t0 = std::time::Instant::now();
+                std::thread::scope(|s| {
+                    for w in 0..writers {
+                        let db = &db;
+                        s.spawn(move || {
+                            let ins = db.prepare("INSERT INTO ingest VALUES ($1, $2)").unwrap();
+                            let chunk = INGEST_ROWS / writers;
+                            if txn {
+                                db.execute("BEGIN").unwrap();
+                            }
+                            for i in 0..chunk as i64 {
+                                let k = (w * chunk) as i64 + i;
+                                ins.query(params![k, k as f64]).unwrap();
+                            }
+                            if txn {
+                                db.execute("COMMIT").unwrap();
+                            }
+                        });
+                    }
+                });
+                if run > 0 {
+                    // run 0 is the warm-up
+                    out.push(t0.elapsed().as_nanos() as f64);
+                }
+                // Transactional cleanup: an auto-commit DELETE takes the
+                // in-place fast path and physically removes rows without
+                // ever creating garbage, so wrap it in a transaction to
+                // leave real dead versions for vacuum — the footer's
+                // versions_gc figure comes from here.
+                db.execute("BEGIN").unwrap();
+                db.execute("DELETE FROM ingest").unwrap();
+                db.execute("COMMIT").unwrap();
+                db.vacuum();
+            }
+            out
+        };
+        push("sql_concurrent_ingest_1writers", bench_ingest(1, false));
+        push("sql_concurrent_ingest_2writers", bench_ingest(2, false));
+        push("sql_concurrent_ingest_4writers", bench_ingest(4, false));
+        // Explicit transactional writers: BEGIN … COMMIT around each
+        // thread's batch, so the footer's txns_committed / group-commit
+        // counters reflect real transactional ingest. (The PR-9 file
+        // recorded txns_committed = 0 because every bench write
+        // auto-committed — this variant is the fix.)
+        push("sql_concurrent_ingest_txn_4writers", bench_ingest(4, true));
+    }
 
     // Access paths: a 100 k-row table probed by key, with the planner's
     // index choice toggled off for the sequential baseline. The per-PR
@@ -612,9 +675,20 @@ fn run_bench_json(path: &str) {
     let (index_scans, seq_scans, hash_joins, analyze_runs) = db.access_stats();
     let (batches_filled, vectorized_ops, vectorized_fallbacks) = db.vectorized_stats();
     let versions_gc = db.gc_stats();
+    let (shard_count, write_shard_waits, group_commits, group_commit_batched) = db.shard_stats();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // The transactional ingest variant must have left real commit and GC
+    // traffic behind — the PR-9 footer recorded 0 for both.
+    assert!(
+        txns_committed > 0,
+        "the transactional ingest bench must commit explicit transactions"
+    );
+    assert!(
+        versions_gc > 0,
+        "the ingest benches vacuum between samples; GC must have reclaimed versions"
+    );
     let mut json = String::from("{\n");
     for (name, s) in &results {
         json.push_str(&format!(
@@ -637,7 +711,11 @@ fn run_bench_json(path: &str) {
          \"vectorized_fallbacks\": {vectorized_fallbacks}, \
          \"txns_committed\": {txns_committed}, \
          \"txns_rolled_back\": {txns_rolled_back}, \
-         \"versions_gc\": {versions_gc}}}\n"
+         \"versions_gc\": {versions_gc}, \
+         \"shard_count\": {shard_count}, \
+         \"write_shard_waits\": {write_shard_waits}, \
+         \"group_commits\": {group_commits}, \
+         \"group_commit_batched\": {group_commit_batched}}}\n"
     ));
     json.push_str("}\n");
     std::fs::write(path, &json).unwrap();
@@ -688,6 +766,26 @@ fn run_bench_json(path: &str) {
              parallel speedup; correctness (byte-identical output) was still asserted"
         );
     }
+    let ingest_speedup =
+        median_of("sql_concurrent_ingest_1writers") / median_of("sql_concurrent_ingest_4writers");
+    println!(
+        "concurrent ingest: 4 writers {ingest_speedup:.2}x over 1 writer for the \
+         same total row count ({shard_count} table shard(s), {cores} core(s) available)"
+    );
+    if cores >= 4 {
+        assert!(
+            ingest_speedup >= 2.0,
+            "4-writer ingest must be >= 2x over 1 writer on a >= 4-core machine \
+             (measured {ingest_speedup:.2}x)"
+        );
+    } else {
+        println!(
+            "note: SKIPPED the >=2x concurrent-ingest scaling assertion — only \
+             {cores} core(s) available and sharded writers need at least 4 to \
+             manifest parallel ingest; write correctness across shard counts is \
+             still covered by the S=1-vs-S=8 equivalence tests"
+        );
+    }
     println!(
         "scan counters: {rows_scanned} rows scanned, {zero_copy} zero-copy scans, \
          {fallbacks} snapshot scans (zero-copy confirmed via pgfmu_stats()); \
@@ -695,7 +793,9 @@ fn run_bench_json(path: &str) {
          / {analyze_runs} analyze runs; \
          {batches_filled} batches filled / {vectorized_ops} vectorized ops / \
          {vectorized_fallbacks} vectorized fallbacks; \
-         {versions_gc} dead row versions reclaimed by GC"
+         {versions_gc} dead row versions reclaimed by GC; \
+         {shard_count} table shard(s) / {write_shard_waits} shard write waits / \
+         {group_commits} group commits ({group_commit_batched} piggybacked)"
     );
     println!("wrote {path}\n");
 }

@@ -17,6 +17,14 @@
 //! worker's transaction session on entry *and* on drop — tasks run
 //! auto-commit, and no state crosses task boundaries.
 //!
+//! Long-lived pooled workers also interact well with the engine's
+//! sharded version storage: each worker thread is assigned a *home
+//! shard* on its first write and keeps it for life, so concurrent
+//! fleet tasks appending results or catalogue state land in distinct
+//! append arenas and proceed in parallel instead of serializing on one
+//! table lock. Session resets do not disturb shard affinity — it is
+//! keyed by thread identity, not transaction state.
+//!
 //! ## Determinism contract
 //!
 //! Fan-out never changes results: tasks are independent (each touches

@@ -40,7 +40,7 @@ use crate::functions::{self, ScalarFn, TableFn};
 use crate::parser;
 use crate::plan::{self, PhysicalPlan};
 use crate::stats::{self, TableStats};
-use crate::table::{QueryResult, Row, Snapshot, Table, UNCOMMITTED};
+use crate::table::{self, QueryResult, Row, Snapshot, Table, UNCOMMITTED};
 use crate::value::Value;
 
 /// Default bound on the number of cached prepared statements.
@@ -301,6 +301,25 @@ pub(crate) enum WriteTxn {
     Txn { txid: u64 },
 }
 
+/// One table's pending stamps: the touched table plus the rids the
+/// transaction created and ended in it.
+type PendingStamps = (Arc<RwLock<Table>>, Vec<usize>, Vec<usize>);
+
+/// One transaction's stamp set, published to the group-commit queue: the
+/// leader that drains the queue stamps every request under one guard
+/// acquisition and hands each its commit timestamp through `done`.
+struct CommitReq {
+    /// Distinct touched tables (merged per table) with the rids the
+    /// transaction created and ended.
+    writes: Vec<PendingStamps>,
+    /// The committing transaction's id (its pending-stamp mark).
+    txid: u64,
+    /// Set to the commit timestamp once a leader has stamped this
+    /// request; the submitting thread waits on `cv` for it.
+    done: std::sync::Mutex<Option<u64>>,
+    cv: std::sync::Condvar,
+}
+
 /// An in-memory SQL database with UDF support.
 pub struct Database {
     tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
@@ -368,6 +387,23 @@ pub struct Database {
     batches_filled: AtomicU64,
     vectorized_ops: AtomicU64,
     vectorized_fallbacks: AtomicU64,
+    /// Version shards per table, fixed at database creation and applied
+    /// to every table as it is registered. `1` reproduces the single-
+    /// arena behaviour bit-for-bit (the `PGFMU_TABLE_SHARDS=1` escape
+    /// hatch); larger values give disjoint-row writers independent
+    /// shard locks.
+    table_shards: usize,
+    /// Times a writer's home shard was contended and it had to block
+    /// (the fast path is an uncontended `try_write`).
+    write_shard_waits: AtomicU64,
+    /// Group-commit drain rounds, and how many requests rode along in a
+    /// round someone else led (`batched += round_size - 1`).
+    group_commits: AtomicU64,
+    group_commit_batched: AtomicU64,
+    /// Pending commit requests awaiting a leader, and the leader badge:
+    /// whoever `try_lock`s it drains the queue for everyone.
+    commit_queue: Mutex<Vec<Arc<CommitReq>>>,
+    commit_leader: Mutex<()>,
 }
 
 impl Default for Database {
@@ -378,7 +414,30 @@ impl Default for Database {
 
 impl Database {
     /// Create a database with the built-in function set registered.
+    /// Tables are sharded `next_pow2(min(cores, 16))` ways, overridable
+    /// with `PGFMU_TABLE_SHARDS` (clamped to a power of two in
+    /// `[1, 64]`; `1` reproduces the unsharded behaviour exactly).
     pub fn new() -> Self {
+        Self::with_table_shards(Self::default_table_shards())
+    }
+
+    /// Shard count for [`Database::new`]: the `PGFMU_TABLE_SHARDS`
+    /// override when set, else `next_pow2(min(cores, 16))`.
+    fn default_table_shards() -> usize {
+        if let Ok(v) = std::env::var("PGFMU_TABLE_SHARDS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.clamp(1, 64).next_power_of_two();
+            }
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        cores.min(16).next_power_of_two()
+    }
+
+    /// Create a database whose tables are sharded `shards` ways
+    /// (rounded up to a power of two, clamped to `[1, 64]`). Tests and
+    /// benchmarks use this instead of the environment variable so
+    /// parallel test binaries don't race on `set_var`.
+    pub fn with_table_shards(shards: usize) -> Self {
         let db = Database {
             tables: RwLock::new(HashMap::new()),
             scalars: RwLock::new(HashMap::new()),
@@ -420,6 +479,12 @@ impl Database {
             batches_filled: AtomicU64::new(0),
             vectorized_ops: AtomicU64::new(0),
             vectorized_fallbacks: AtomicU64::new(0),
+            table_shards: shards.clamp(1, 64).next_power_of_two(),
+            write_shard_waits: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
+            group_commit_batched: AtomicU64::new(0),
+            commit_queue: Mutex::new(Vec::new()),
+            commit_leader: Mutex::new(()),
         };
         functions::register_builtin_scalars(&db);
         functions::register_builtin_table_fns(&db);
@@ -431,6 +496,9 @@ impl Database {
     /// Create a table; errors if the name is taken.
     pub fn create_table(&self, name: &str, table: Table) -> Result<()> {
         let key = name.to_ascii_lowercase();
+        let mut table = table;
+        // Safe to resize here: the handle is not shared until inserted.
+        table.set_shard_count(self.table_shards);
         let mut tables = self.tables.write();
         if tables.contains_key(&key) {
             return Err(SqlError::Constraint(format!(
@@ -488,6 +556,33 @@ impl Database {
         let txn = self.write_txn();
         if let WriteTxn::Txn { .. } = txn {
             self.txn_pin(&handle);
+        }
+        if self.table_shards > 1 {
+            // Concurrent append: coerce under the shared table guard,
+            // then take only the calling thread's home-shard lock so
+            // disjoint-row writers proceed in parallel. The auto-commit
+            // stamp is allocated *while the shard lock is held*, so any
+            // snapshot at or above it blocks on this shard until every
+            // row of the statement is in — no torn statement.
+            let guard = handle.read();
+            let coerced: Result<Vec<Row>> = rows.into_iter().map(|r| guard.coerce_row(r)).collect();
+            let coerced = coerced?;
+            let n = coerced.len();
+            let mut append = guard.begin_append();
+            if append.waited() {
+                self.write_shard_waits.fetch_add(1, Ordering::Relaxed);
+            }
+            let stamp = match txn {
+                WriteTxn::Auto => self.commit_ts(),
+                WriteTxn::Txn { txid } => UNCOMMITTED | txid,
+            };
+            let created: Vec<usize> = coerced.into_iter().map(|r| append.push(stamp, r)).collect();
+            drop(append);
+            drop(guard);
+            if let WriteTxn::Txn { .. } = txn {
+                self.txn_record_write(&handle, created, Vec::new());
+            }
+            return Ok(n);
         }
         let mut guard = handle.write();
         let coerced: Result<Vec<Row>> = rows.into_iter().map(|r| guard.coerce_row(r)).collect();
@@ -1124,7 +1219,6 @@ impl Database {
         // Merge per-statement write entries by table so each guard is
         // taken once, then hold *all* the guards while allocating the
         // commit timestamp and stamping (see `commit_ts`).
-        type PendingStamps = (Arc<RwLock<Table>>, Vec<usize>, Vec<usize>);
         let mut by_table: Vec<PendingStamps> = Vec::new();
         for entry in &txn.undo {
             if let UndoEntry::Write {
@@ -1144,7 +1238,9 @@ impl Database {
         }
         // A deterministic lock order prevents deadlock between commits.
         by_table.sort_by_key(|(h, _, _)| Arc::as_ptr(h) as usize);
-        {
+        if self.table_shards == 1 {
+            // Unsharded escape hatch: take every touched table's write
+            // guard and stamp directly, exactly the pre-sharding path.
             let mut guards: Vec<_> = by_table.iter().map(|(h, _, _)| h.write()).collect();
             let cts = self.commit_ts();
             for (guard, (_, created, ended)) in guards.iter_mut().zip(&by_table) {
@@ -1155,10 +1251,109 @@ impl Database {
                     guard.commit_end(i, txn.txid, cts);
                 }
             }
+        } else if !by_table.is_empty() {
+            let req = Arc::new(CommitReq {
+                writes: by_table,
+                txid: txn.txid,
+                done: std::sync::Mutex::new(None),
+                cv: std::sync::Condvar::new(),
+            });
+            self.group_commit(req);
         }
         self.finish_txn(&txn);
         self.txns_committed.fetch_add(1, Ordering::Relaxed);
         Ok(true)
+    }
+
+    /// Publish a commit request to the group-commit queue and wait until
+    /// a leader has stamped it. Whoever grabs the leader badge drains the
+    /// whole queue; everyone else parks briefly and re-bids for
+    /// leadership on timeout, so a leader exiting between our enqueue and
+    /// its final empty-queue check cannot strand us.
+    fn group_commit(&self, req: Arc<CommitReq>) {
+        self.commit_queue.lock().push(Arc::clone(&req));
+        loop {
+            if let Some(_badge) = self.commit_leader.try_lock() {
+                self.drain_commits();
+            }
+            let done = req.done.lock().unwrap_or_else(|p| p.into_inner());
+            if done.is_some() {
+                return;
+            }
+            let (done, _) = req
+                .cv
+                .wait_timeout(done, std::time::Duration::from_millis(1))
+                .unwrap_or_else(|p| p.into_inner());
+            if done.is_some() {
+                return;
+            }
+        }
+    }
+
+    /// Leader side of group commit: repeatedly swap out the pending
+    /// queue and stamp a whole round under one guard acquisition — outer
+    /// read guards on the distinct tables (ptr-sorted), then the union
+    /// of touched shards per table (ascending). Each request still gets
+    /// its own commit timestamp (commit order = FIFO within the round);
+    /// the guards are released only after the entire round is stamped,
+    /// so no snapshot taken at or above a round's timestamps can see a
+    /// torn commit.
+    fn drain_commits(&self) {
+        loop {
+            let reqs = std::mem::take(&mut *self.commit_queue.lock());
+            if reqs.is_empty() {
+                return;
+            }
+            self.group_commits.fetch_add(1, Ordering::Relaxed);
+            self.group_commit_batched
+                .fetch_add(reqs.len() as u64 - 1, Ordering::Relaxed);
+            let mut tables: Vec<Arc<RwLock<Table>>> = Vec::new();
+            for r in &reqs {
+                for (h, _, _) in &r.writes {
+                    if !tables.iter().any(|t| Arc::ptr_eq(t, h)) {
+                        tables.push(Arc::clone(h));
+                    }
+                }
+            }
+            tables.sort_by_key(|h| Arc::as_ptr(h) as usize);
+            let table_of =
+                |h: &Arc<RwLock<Table>>| tables.iter().position(|t| Arc::ptr_eq(t, h)).unwrap();
+            let mut shard_sets: Vec<Vec<usize>> = vec![Vec::new(); tables.len()];
+            for r in &reqs {
+                for (h, created, ended) in &r.writes {
+                    let set = &mut shard_sets[table_of(h)];
+                    for &rid in created.iter().chain(ended) {
+                        let s = table::rid_shard(rid);
+                        if !set.contains(&s) {
+                            set.push(s);
+                        }
+                    }
+                }
+            }
+            for set in &mut shard_sets {
+                set.sort_unstable();
+            }
+            let outer: Vec<_> = tables.iter().map(|h| h.read()).collect();
+            let mut locks: Vec<_> = outer
+                .iter()
+                .zip(&shard_sets)
+                .map(|(g, set)| g.lock_shards(set))
+                .collect();
+            for r in &reqs {
+                let cts = self.commit_ts();
+                for (h, created, ended) in &r.writes {
+                    let locked = &mut locks[table_of(h)];
+                    for &rid in created {
+                        locked.commit_begin(rid, r.txid, cts);
+                    }
+                    for &rid in ended {
+                        locked.commit_end(rid, r.txid, cts);
+                    }
+                }
+                *r.done.lock().unwrap_or_else(|p| p.into_inner()) = Some(cts);
+                r.cv.notify_all();
+            }
+        }
     }
 
     /// `ROLLBACK`: discard this thread's pending writes. Returns `false`
@@ -1308,7 +1503,10 @@ impl Database {
         let watermark = self.gc_watermark();
         let mut freed = 0;
         for handle in handles {
-            freed += handle.write().compact(watermark);
+            // Outer *read* guard: each shard compacts under its own
+            // write lock while readers and writers of other shards (and
+            // other tables) proceed.
+            freed += handle.read().compact_shards(watermark);
         }
         self.versions_gc.fetch_add(freed as u64, Ordering::Relaxed);
         freed
@@ -1348,6 +1546,43 @@ impl Database {
             self.fleet_tasks.load(Ordering::Relaxed),
             self.fleet_workers.load(Ordering::Relaxed),
             self.fleet_task_ns.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Version shards per table in this database.
+    pub fn table_shards(&self) -> usize {
+        self.table_shards
+    }
+
+    /// Bump the contended-home-shard counter (a concurrent appender had
+    /// to block for its shard lock).
+    pub(crate) fn note_shard_wait(&self) {
+        self.write_shard_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(shard count, contended shard-lock acquisitions, group-commit
+    /// rounds, requests that rode along in someone else's round)` since
+    /// creation. Also queryable from SQL via `pgfmu_stats()`:
+    ///
+    /// ```
+    /// use pgfmu_sqlmini::{Database, Value};
+    ///
+    /// let db = Database::with_table_shards(8);
+    /// let q = db
+    ///     .query(
+    ///         "SELECT value FROM pgfmu_stats() WHERE stat = 'shard_count'",
+    ///         &[],
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(q.rows[0][0], Value::Int(8));
+    /// assert_eq!(db.shard_stats().0, 8);
+    /// ```
+    pub fn shard_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.table_shards as u64,
+            self.write_shard_waits.load(Ordering::Relaxed),
+            self.group_commits.load(Ordering::Relaxed),
+            self.group_commit_batched.load(Ordering::Relaxed),
         )
     }
 
@@ -2374,7 +2609,10 @@ mod tests {
 
     #[test]
     fn write_paths_collect_garbage_opportunistically() {
-        let db = Database::new();
+        // Pinned to one shard: this asserts the legacy whole-table pin
+        // contract. With S > 1 a drained shard unpins early and in-line
+        // GC may run sooner (covered in tests/shards.rs).
+        let db = Database::with_table_shards(1);
         db.execute("CREATE TABLE t (v int)").unwrap();
         db.execute("INSERT INTO t VALUES (0)").unwrap();
         // A half-open cursor pins the table: every UPDATE must append a
@@ -2402,7 +2640,10 @@ mod tests {
 
     #[test]
     fn open_cursors_block_compaction() {
-        let db = Database::new();
+        // Pinned to one shard: with S > 1 the cursor pins only the shard
+        // it is draining, so vacuum may reclaim shards it has passed
+        // (covered in tests/shards.rs).
+        let db = Database::with_table_shards(1);
         db.execute("CREATE TABLE t (v int)").unwrap();
         db.execute("INSERT INTO t VALUES (0), (1)").unwrap();
         let mut rows = db.query_rows("SELECT v FROM t", &[]).unwrap();

@@ -43,7 +43,10 @@ use crate::plan::{
     AggCall, AggOp, Binding, DmlPlan, Env, GroupPlan, HashJoin, InsertPlan, PhysicalPlan, PlanFn,
     SelectOps, ZeroScan, ZeroScanKind,
 };
-use crate::table::{Column, QueryResult, Row, Schema, Snapshot, Table, LIVE, UNCOMMITTED};
+use crate::table::{
+    rid_pos, rid_shard, Column, QueryResult, Row, Schema, Snapshot, Table, TableView, LIVE,
+    UNCOMMITTED,
+};
 use crate::value::Value;
 
 /// The values of one group during grouped evaluation: its key and its
@@ -734,13 +737,19 @@ struct MvccScan<'db> {
     /// Projection as plain slot indices when every output is a bare
     /// column (skips expression dispatch per value).
     slot_projs: Option<Vec<usize>>,
-    /// Index-scan candidate positions (ascending), probed when the
-    /// cursor opened; `None` scans every version sequentially. The pin
-    /// keeps the positions valid across refills.
+    /// Index-scan candidate rids (ascending), probed when the cursor
+    /// opened; `None` scans every version sequentially. The pin keeps
+    /// the rids valid across refills.
     cand: Option<Vec<usize>>,
-    /// Next version index (or candidate-list index) to examine on
-    /// refill.
+    /// Next shard a sequential walk reads (candidate scans derive the
+    /// shard from the next rid instead).
+    cur_shard: usize,
+    /// Next arena-local position (sequential) or candidate-list index to
+    /// examine on refill.
     next_version: usize,
+    /// Shards below this are already unpinned: the cursor frees each
+    /// shard for compaction as soon as it has streamed past it.
+    unpinned_below: usize,
     /// Snapshot-visible rows examined so far (flushed to `rows_scanned`
     /// when the cursor drops).
     examined: u64,
@@ -764,10 +773,14 @@ impl Drop for MvccScan<'_> {
         // `rows_scanned` counts rows actually examined: an early-stopping
         // consumer (LIMIT, partial drain) is charged only for what the
         // cursor read. Flushed once, when the cursor finishes — and the
-        // table pin is released here too, so dropping a half-consumed
-        // cursor promptly re-enables compaction.
+        // pins on the shards not yet streamed past are released here
+        // too, so dropping a half-consumed cursor promptly re-enables
+        // compaction everywhere.
         self.db.note_scan_rows(self.examined);
-        self.handle.read().unpin();
+        let guard = self.handle.read();
+        for s in self.unpinned_below..guard.shard_count() {
+            guard.unpin_shard(s);
+        }
     }
 }
 
@@ -804,7 +817,9 @@ impl MvccScan<'_> {
             snap,
             slot_projs,
             cand,
+            cur_shard,
             next_version,
+            unpinned_below,
             examined,
             buf: _,
             seen,
@@ -832,51 +847,89 @@ impl MvccScan<'_> {
             bindings: NO_BINDINGS,
         };
         let guard = handle.read();
-        let all_vis = guard.all_visible(*snap);
-        let versions = guard.versions();
-        // An index scan walks its candidate list instead of the heap;
-        // the list was probed at open time, so rows appended since are
-        // skipped — they are newer than the snapshot and invisible to a
-        // sequential walk too.
-        let total = match cand {
-            Some(c) => c.len(),
-            None => versions.len(),
-        };
+        let nshards = guard.shard_count();
+        // Refill shard by shard: only the shard being drained is read-
+        // locked, so the stream contends with writers of that one shard,
+        // and every shard the cursor has moved past is unpinned for
+        // compaction. An index scan walks its candidate rids instead of
+        // the heaps; either way rows appended mid-stream are skipped or
+        // visibility-filtered — they are newer than the snapshot.
         let mut produced = 0usize;
-        while produced < batch && *remaining > 0 && *next_version < total {
-            let pos = match cand {
-                Some(c) => c[*next_version],
-                None => *next_version,
+        'scan: while *remaining > 0 && produced < batch {
+            let shard = match cand {
+                Some(c) => match c.get(*next_version) {
+                    Some(&rid) => rid_shard(rid),
+                    None => break,
+                },
+                None => {
+                    if *cur_shard >= nshards {
+                        break;
+                    }
+                    *cur_shard
+                }
             };
-            let v = &versions[pos];
-            *next_version += 1;
-            if !(all_vis || v.visible(*snap)) {
-                continue;
+            while *unpinned_below < shard {
+                guard.unpin_shard(*unpinned_below);
+                *unpinned_below += 1;
             }
-            *examined += 1;
-            let r = &v.data;
-            if let Some(p) = &z.where_clause {
-                if !is_true(&eval(&ctx, p, &env, r)?)? {
+            let sv = guard.shard_view(shard);
+            let all_vis = sv.all_visible(*snap);
+            let versions = sv.versions();
+            loop {
+                if produced >= batch {
+                    break 'scan;
+                }
+                let pos = match cand {
+                    Some(c) => match c.get(*next_version) {
+                        Some(&rid) if rid_shard(rid) == shard => rid_pos(rid),
+                        _ => break,
+                    },
+                    None if *next_version < versions.len() => *next_version,
+                    None => break,
+                };
+                *next_version += 1;
+                let v = &versions[pos];
+                if !(all_vis || v.visible(*snap)) {
                     continue;
                 }
-            }
-            let out: Row = match slot_projs {
-                Some(slots) => slots.iter().map(|&s| r[s].clone()).collect(),
-                None => projections
-                    .iter()
-                    .map(|e| eval(&ctx, e, &env, r))
-                    .collect::<Result<_>>()?,
-            };
-            if let Some(seen) = seen.as_mut() {
-                if !seen.insert(KeyAtom::row_key(&out)) {
-                    continue;
+                *examined += 1;
+                let r = &v.data;
+                if let Some(p) = &z.where_clause {
+                    if !is_true(&eval(&ctx, p, &env, r)?)? {
+                        continue;
+                    }
+                }
+                let out: Row = match slot_projs {
+                    Some(slots) => slots.iter().map(|&s| r[s].clone()).collect(),
+                    None => projections
+                        .iter()
+                        .map(|e| eval(&ctx, e, &env, r))
+                        .collect::<Result<_>>()?,
+                };
+                if let Some(seen) = seen.as_mut() {
+                    if !seen.insert(KeyAtom::row_key(&out)) {
+                        continue;
+                    }
+                }
+                *remaining -= 1;
+                produced += 1;
+                sink(out);
+                if *remaining == 0 {
+                    break 'scan;
                 }
             }
-            *remaining -= 1;
-            produced += 1;
-            sink(out);
+            // This shard is drained; a sequential walk restarts local
+            // positions in the next one.
+            if cand.is_none() {
+                *next_version = 0;
+            }
+            *cur_shard = shard + 1;
         }
-        if *remaining == 0 || *next_version >= total {
+        let exhausted = match cand {
+            Some(c) => *next_version >= c.len(),
+            None => *cur_shard >= nshards,
+        };
+        if *remaining == 0 || exhausted {
             *done = true;
         }
         Ok(())
@@ -1297,7 +1350,7 @@ fn scan_from(
                     // may themselves write, so a dynamic FROM reads each
                     // table at its own statement-time snapshot.
                     let snap = db.current_snapshot();
-                    let trows: Vec<Row> = guard.visible(snap).cloned().collect();
+                    let trows: Vec<Row> = guard.snapshot_rows(snap);
                     db.note_scan(trows.len() as u64, false);
                     (
                         guard
@@ -1521,26 +1574,27 @@ fn sort_by_output(keyed: &mut [(Vec<Value>, Row)], spec: &[(usize, bool)]) {
     });
 }
 
-/// Evaluate a plan's index access path into candidate version positions
-/// (ascending — index scans visit rows in heap order, so results match a
-/// sequential scan byte for byte). `None` falls back to the sequential
-/// scan: no access path was planned, the index vanished since planning
-/// (epoch races), or a bound does not map into the key space (the
-/// per-row comparison must then surface its own errors). Candidates are
-/// a superset of the matches; the caller still applies snapshot
-/// visibility and the full WHERE clause.
+/// Evaluate a plan's index access path into candidate rids (ascending —
+/// index scans visit rows in rid order, so results match a sequential
+/// scan byte for byte). `None` falls back to the sequential scan: no
+/// access path was planned, the index vanished since planning (epoch
+/// races), or a bound does not map into the key space (the per-row
+/// comparison must then surface its own errors). Candidates are a
+/// superset of the matches; the caller still applies snapshot visibility
+/// and the full WHERE clause.
 fn probe_access(
     ctx: &Ctx<'_>,
     access: Option<&IndexChoice>,
     guard: &Table,
+    view: &TableView<'_>,
 ) -> Result<Option<Vec<usize>>> {
     let Some(a) = access else {
         return Ok(None);
     };
-    let Some(ix) = guard.find_index(&a.index_name) else {
+    let Some((ordinal, meta)) = guard.find_index(&a.index_name) else {
         return Ok(None);
     };
-    if ix.column != a.column {
+    if meta.column != a.column {
         return Ok(None);
     }
     let env = Env {
@@ -1554,7 +1608,7 @@ fn probe_access(
         Some(e) => Some(eval(ctx, e, &env, &[])?),
         None => None,
     };
-    Ok(ix.probe(a.space, lo.as_ref(), hi.as_ref()))
+    Ok(view.probe(ordinal, a.space, lo.as_ref(), hi.as_ref()))
 }
 
 /// Execute a static SELECT plan. `lazy` allows the plain zero-copy path
@@ -1706,7 +1760,8 @@ fn run_static_select<'db>(
                         return Err(stale_plan(&sp.tables[0]));
                     }
                     let snap = db.current_snapshot();
-                    let cand = probe_access(&ctx, z.access.as_ref(), &guard)?;
+                    let tview = guard.view();
+                    let cand = probe_access(&ctx, z.access.as_ref(), &guard, &tview)?;
                     db.note_access(cand.is_some());
                     let mut examined = 0u64;
                     let groups = if z.vectorized {
@@ -1717,8 +1772,8 @@ fn run_static_select<'db>(
                         // scalar sweep over the same view, under the
                         // same guard and snapshot.
                         let view: Vec<&Row> = match &cand {
-                            Some(pos) => guard.visible_at(pos, snap).collect(),
-                            None => guard.visible(snap).collect(),
+                            Some(pos) => tview.visible_at(pos, snap).collect(),
+                            None => tview.visible(snap).collect(),
                         };
                         examined = view.len() as u64;
                         match vec_grouped(&ctx, z, gp, &guard.schema, &view) {
@@ -1739,13 +1794,13 @@ fn run_static_select<'db>(
                                 &ctx,
                                 z.where_clause.as_ref(),
                                 gp,
-                                guard.visible_at(pos, snap).inspect(|_| examined += 1),
+                                tview.visible_at(pos, snap).inspect(|_| examined += 1),
                             )?,
                             None => grouped_groups(
                                 &ctx,
                                 z.where_clause.as_ref(),
                                 gp,
-                                guard.visible(snap).inspect(|_| examined += 1),
+                                tview.visible(snap).inspect(|_| examined += 1),
                             )?,
                         }
                     };
@@ -1808,9 +1863,11 @@ fn run_static_select<'db>(
                         // valid across refills).
                         guard.pin();
                         let snap = db.current_snapshot();
-                        match probe_access(&ctx, z.access.as_ref(), &guard) {
+                        let tview = guard.view();
+                        match probe_access(&ctx, z.access.as_ref(), &guard, &tview) {
                             Ok(cand) => (snap, cand),
                             Err(e) => {
+                                drop(tview);
                                 guard.unpin();
                                 return Err(e);
                             }
@@ -1831,7 +1888,9 @@ fn run_static_select<'db>(
                             snap,
                             slot_projs,
                             cand,
+                            cur_shard: 0,
                             next_version: 0,
+                            unpinned_below: 0,
                             examined: 0,
                             buf: VecDeque::new(),
                             seen: sp.ops.distinct.then(HashSet::new),
@@ -1854,7 +1913,8 @@ fn run_static_select<'db>(
                     return Err(stale_plan(&sp.tables[0]));
                 }
                 let snap = db.current_snapshot();
-                let cand = probe_access(&ctx, z.access.as_ref(), &guard)?;
+                let tview = guard.view();
+                let cand = probe_access(&ctx, z.access.as_ref(), &guard, &tview)?;
                 db.note_access(cand.is_some());
                 let mut examined = 0u64;
                 let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
@@ -1880,8 +1940,8 @@ fn run_static_select<'db>(
                         // reproduce re-runs the scalar path over the
                         // same view.
                         let view: Vec<&Row> = match &cand {
-                            Some(pos) => guard.visible_at(pos, snap).collect(),
-                            None => guard.visible(snap).collect(),
+                            Some(pos) => tview.visible_at(pos, snap).collect(),
+                            None => tview.visible(snap).collect(),
                         };
                         examined = view.len() as u64;
                         match vec_ordered(
@@ -1904,13 +1964,13 @@ fn run_static_select<'db>(
                     } else {
                         match &cand {
                             Some(pos) => {
-                                for r in guard.visible_at(pos, snap) {
+                                for r in tview.visible_at(pos, snap) {
                                     examined += 1;
                                     per_row(&mut keyed, r)?;
                                 }
                             }
                             None => {
-                                for r in guard.visible(snap) {
+                                for r in tview.visible(snap) {
                                     examined += 1;
                                     per_row(&mut keyed, r)?;
                                 }
@@ -1920,6 +1980,7 @@ fn run_static_select<'db>(
                     grouped_tail(keyed, &sp.ops)
                 };
                 db.note_scan(examined, true);
+                drop(tview);
                 drop(guard);
                 return Ok(Rows {
                     columns: sp.ops.columns.clone(),
@@ -2027,6 +2088,48 @@ fn stmt_txid(txn: WriteTxn) -> u64 {
     }
 }
 
+/// Concurrent-append fast path for INSERT on a sharded table: under the
+/// outer *read* guard, coerce every row, then take only the calling
+/// thread's home-shard write lock — disjoint-row writers proceed in
+/// parallel. The auto-commit stamp is allocated while the shard lock is
+/// held, so a snapshot at or above it blocks on this one shard until
+/// every row of the statement is in (no torn statement). Returns `false`
+/// — with `rows` untouched — when the table needs the exclusive path
+/// instead: single-shard databases, or unique indexes (whose conflict
+/// checks need a stable view of every shard).
+fn concurrent_insert(
+    db: &Database,
+    handle: &Arc<parking_lot::RwLock<Table>>,
+    ip: &InsertPlan,
+    txn: WriteTxn,
+    rows: &mut Vec<Row>,
+) -> Result<bool> {
+    if db.table_shards() == 1 {
+        return Ok(false);
+    }
+    let guard = handle.read();
+    if guard.has_unique_index() {
+        return Ok(false);
+    }
+    let coerced: Result<Vec<Row>> = std::mem::take(rows)
+        .into_iter()
+        .map(|r| map_insert_row(r, ip).and_then(|r| guard.coerce_row(r)))
+        .collect();
+    let coerced = coerced?;
+    let mut append = guard.begin_append();
+    if append.waited() {
+        db.note_shard_wait();
+    }
+    let begin = write_stamp(db, txn);
+    let created: Vec<usize> = coerced.into_iter().map(|r| append.push(begin, r)).collect();
+    drop(append);
+    drop(guard);
+    if let WriteTxn::Txn { .. } = txn {
+        db.txn_record_write(handle, created, Vec::new());
+    }
+    Ok(true)
+}
+
 fn run_insert<'db>(
     db: &'db Database,
     stmt: &Stmt,
@@ -2068,39 +2171,28 @@ fn run_insert<'db>(
                 out.push(vals?);
             }
             let n = out.len();
-            let mut guard = handle.write();
-            let begin = write_stamp(db, txn);
-            // Coerce and append in one pass; an arity or type error
-            // truncates the appended tail, leaving the table untouched.
-            // A unique index forces coerce-then-check-then-append order
-            // instead, so the duplicate check errors before any mutation.
-            let start = guard.versions().len();
-            if guard.has_unique_index() {
+            if !concurrent_insert(db, &handle, ip, txn, &mut out)? {
+                let mut guard = handle.write();
+                let begin = write_stamp(db, txn);
+                // Coerce every row before appending any, so an arity or
+                // type error (or a duplicate, when a unique index exists)
+                // leaves the table untouched.
                 let coerced: Result<Vec<Row>> = out
                     .into_iter()
                     .map(|r| map_insert_row(r, ip).and_then(|r| guard.coerce_row(r)))
                     .collect();
                 let coerced = coerced?;
-                guard.check_unique(&coerced, &[], stmt_txid(txn))?;
-                for r in coerced {
-                    guard.push_version(begin, r);
+                if guard.has_unique_index() {
+                    guard.check_unique(&coerced, &[], stmt_txid(txn))?;
                 }
-            } else {
-                for r in out {
-                    match map_insert_row(r, ip).and_then(|r| guard.coerce_row(r)) {
-                        Ok(r) => {
-                            guard.push_version(begin, r);
-                        }
-                        Err(e) => {
-                            guard.truncate_versions(start);
-                            return Err(e);
-                        }
-                    }
+                let created: Vec<usize> = coerced
+                    .into_iter()
+                    .map(|r| guard.push_version(begin, r))
+                    .collect();
+                if let WriteTxn::Txn { .. } = txn {
+                    drop(guard);
+                    db.txn_record_write(&handle, created, Vec::new());
                 }
-            }
-            if let WriteTxn::Txn { .. } = txn {
-                drop(guard);
-                db.txn_record_write(&handle, (start..start + n).collect(), Vec::new());
             }
             n
         }
@@ -2127,36 +2219,27 @@ fn run_insert<'db>(
                 // append run in one pass; an error truncates the
                 // appended tail, leaving the table untouched.
                 RowsState::Done(it) => {
-                    let mut guard = handle.write();
-                    let begin = write_stamp(db, txn);
-                    let start = guard.versions().len();
-                    if guard.has_unique_index() {
-                        let coerced: Result<Vec<Row>> = it
+                    let mut rows: Vec<Row> = it.collect();
+                    n = rows.len();
+                    if !concurrent_insert(db, &handle, ip, txn, &mut rows)? {
+                        let mut guard = handle.write();
+                        let begin = write_stamp(db, txn);
+                        let coerced: Result<Vec<Row>> = rows
+                            .into_iter()
                             .map(|r| map_insert_row(r, ip).and_then(|r| guard.coerce_row(r)))
                             .collect();
                         let coerced = coerced?;
-                        guard.check_unique(&coerced, &[], stmt_txid(txn))?;
-                        for r in coerced {
-                            guard.push_version(begin, r);
-                            n += 1;
+                        if guard.has_unique_index() {
+                            guard.check_unique(&coerced, &[], stmt_txid(txn))?;
                         }
-                    } else {
-                        for r in it {
-                            match map_insert_row(r, ip).and_then(|r| guard.coerce_row(r)) {
-                                Ok(r) => {
-                                    guard.push_version(begin, r);
-                                    n += 1;
-                                }
-                                Err(e) => {
-                                    guard.truncate_versions(start);
-                                    return Err(e);
-                                }
-                            }
+                        let created: Vec<usize> = coerced
+                            .into_iter()
+                            .map(|r| guard.push_version(begin, r))
+                            .collect();
+                        if let WriteTxn::Txn { .. } = txn {
+                            drop(guard);
+                            db.txn_record_write(&handle, created, Vec::new());
                         }
-                    }
-                    if let WriteTxn::Txn { .. } = txn {
-                        drop(guard);
-                        db.txn_record_write(&handle, (start..start + n).collect(), Vec::new());
                     }
                 }
                 // Lazy sources still evaluate expressions (possibly
@@ -2270,6 +2353,11 @@ fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<
         // including write conflicts — surface before any mutation.
         let mut pending: Vec<(usize, Vec<Value>)> = Vec::new();
         let mut examined = 0u64;
+        let set_types: Vec<_> = up
+            .set_idx
+            .iter()
+            .map(|&c| guard.schema.columns[c].dtype)
+            .collect();
         for (vi, v) in guard.visible_versions(snap) {
             examined += 1;
             let r = &v.data;
@@ -2284,9 +2372,9 @@ fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<
                 return Err(serialize_conflict());
             }
             let mut vals = Vec::with_capacity(up.sets.len());
-            for (e, &c) in up.sets.iter().zip(&up.set_idx) {
+            for (e, &dt) in up.sets.iter().zip(&set_types) {
                 let val = eval(&ctx, e, &env, r)?;
-                vals.push(val.coerce_to(guard.schema.columns[c].dtype)?);
+                vals.push(val.coerce_to(dt)?);
             }
             pending.push((vi, vals));
         }
@@ -2299,7 +2387,7 @@ fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<
             let new_rows: Vec<Row> = pending
                 .iter()
                 .map(|(vi, vals)| {
-                    let mut r = guard.versions()[*vi].data.clone();
+                    let mut r = guard.version_data(*vi).clone();
                     for (v, &c) in vals.iter().zip(&up.set_idx) {
                         r[c] = v.clone();
                     }
@@ -2322,7 +2410,7 @@ fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<
                     }
                 } else {
                     for (vi, vals) in pending {
-                        let mut new_row = guard.versions()[vi].data.clone();
+                        let mut new_row = guard.version_data(vi).clone();
                         for (v, &c) in vals.into_iter().zip(&up.set_idx) {
                             new_row[c] = v;
                         }
@@ -2337,7 +2425,7 @@ fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<
                 let mut created = Vec::with_capacity(pending.len());
                 let mut ended = Vec::with_capacity(pending.len());
                 for (vi, vals) in pending {
-                    let mut new_row = guard.versions()[vi].data.clone();
+                    let mut new_row = guard.version_data(vi).clone();
                     for (v, &c) in vals.into_iter().zip(&up.set_idx) {
                         new_row[c] = v;
                     }
@@ -2367,7 +2455,8 @@ fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<
             return Err(stale_plan(&up.table));
         }
         let dtypes: Vec<_> = g.schema.columns.iter().map(|c| c.dtype).collect();
-        let snapshot: Vec<(usize, Row)> = g
+        let view = g.view();
+        let snapshot: Vec<(usize, Row)> = view
             .visible_versions(snap)
             .map(|(vi, v)| (vi, v.data.clone()))
             .collect();
@@ -2393,7 +2482,7 @@ fn run_update<'db>(db: &'db Database, up: &DmlPlan, params: &[Value]) -> Result<
     let n = pending.len() as i64;
     let mut guard = handle.write();
     for &(vi, _) in &pending {
-        if guard.versions()[vi].end != LIVE {
+        if guard.version_end(vi) != LIVE {
             return Err(serialize_conflict());
         }
     }
@@ -2498,7 +2587,8 @@ fn run_delete<'db>(db: &'db Database, dp: &DmlPlan, params: &[Value]) -> Result<
         if !schema_matches(&g.schema, &dp.schema_cols) {
             return Err(stale_plan(&dp.table));
         }
-        let snapshot: Vec<(usize, Row)> = g
+        let view = g.view();
+        let snapshot: Vec<(usize, Row)> = view
             .visible_versions(snap)
             .map(|(vi, v)| (vi, v.data.clone()))
             .collect();
@@ -2518,7 +2608,7 @@ fn run_delete<'db>(db: &'db Database, dp: &DmlPlan, params: &[Value]) -> Result<
     let n = hits.len() as i64;
     let mut guard = handle.write();
     for &vi in &hits {
-        if guard.versions()[vi].end != LIVE {
+        if guard.version_end(vi) != LIVE {
             return Err(serialize_conflict());
         }
     }

@@ -1,17 +1,22 @@
 //! Ordered secondary indexes: B-tree-style maps from a column key to the
 //! positions of the row versions carrying that key.
 //!
-//! An index covers **every physical version** in the table's heap —
-//! committed, pending and dead alike — because probes are always
-//! re-checked against the reader's MVCC [`Snapshot`](crate::table::Snapshot)
-//! and its full WHERE clause. That keeps maintenance purely positional:
-//! begin/end stamp changes (commit, rollback, delete) never touch the
-//! index; only operations that add, move or rewrite payloads do.
+//! With sharded version storage, each table index is split into one
+//! `SecondaryIndex` **per shard**, keyed by arena-local positions and
+//! maintained under that shard's lock. An index slice covers **every
+//! physical version** in its shard's arena — committed, pending and dead
+//! alike — because probes are always re-checked against the reader's
+//! MVCC [`Snapshot`](crate::table::Snapshot) and its full WHERE clause.
+//! That keeps maintenance purely positional *per shard*: begin/end stamp
+//! changes (commit, rollback, delete) never touch the index; only
+//! operations that add, move or rewrite payloads in that shard do.
 //!
 //! Probe results are therefore a *candidate superset* of the matching
-//! rows, returned in ascending version order so the executor's
-//! visibility-checked re-scan produces byte-identical output to a
-//! sequential scan of the same snapshot.
+//! rows, returned in ascending local-position order; the table layer
+//! maps them to rids and concatenates shard results, which preserves
+//! ascending rid order, so the executor's visibility-checked re-scan
+//! produces byte-identical output to a sequential scan of the same
+//! snapshot.
 
 use std::collections::BTreeMap;
 
@@ -116,25 +121,21 @@ fn bound_key(space: KeySpace, v: &Value) -> Option<OrdKey> {
     }
 }
 
-/// An ordered secondary index over one column.
+/// An ordered secondary index over one column — the per-shard slice.
+/// Name and uniqueness live in the table-level `IndexMeta` descriptor;
+/// each shard's slice only needs the column it maintains.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct SecondaryIndex {
-    /// Index name (globally unique across the database).
-    pub(crate) name: String,
     /// Indexed column's ordinal in the table schema.
     pub(crate) column: usize,
-    /// Rejects duplicate non-NULL keys among currently-live versions.
-    pub(crate) unique: bool,
     /// Key → ascending version positions holding that key.
     map: BTreeMap<OrdKey, Vec<usize>>,
 }
 
 impl SecondaryIndex {
-    pub(crate) fn new(name: String, column: usize, unique: bool) -> SecondaryIndex {
+    pub(crate) fn new(column: usize) -> SecondaryIndex {
         SecondaryIndex {
-            name,
             column,
-            unique,
             map: BTreeMap::new(),
         }
     }
@@ -177,8 +178,8 @@ impl SecondaryIndex {
         }
     }
 
-    /// Drop every position at or past `len` — the tail truncation of a
-    /// failed batch insert.
+    /// Drop every position at or past `len` — tail truncation.
+    #[cfg(test)]
     pub(crate) fn truncate(&mut self, len: usize) {
         self.map.retain(|_, v| {
             v.retain(|&p| p < len);
@@ -258,14 +259,6 @@ impl SecondaryIndex {
         self.map.get(key).map_or(&[], |v| v.as_slice())
     }
 
-    /// True when any key is held by more than one position for which
-    /// `is_live` holds — the build-time validation of a unique index.
-    pub(crate) fn find_duplicate(&self, is_live: impl Fn(usize) -> bool) -> bool {
-        self.map
-            .values()
-            .any(|ps| ps.iter().filter(|&&p| is_live(p)).count() > 1)
-    }
-
     /// Rebuild from scratch over a version heap (rollback of DROP INDEX,
     /// CREATE INDEX itself).
     pub(crate) fn rebuild<'a>(&mut self, rows: impl Iterator<Item = &'a [Value]>) {
@@ -297,7 +290,7 @@ mod tests {
     use super::*;
 
     fn idx_over(vals: &[Value]) -> SecondaryIndex {
-        let mut ix = SecondaryIndex::new("i".into(), 0, false);
+        let mut ix = SecondaryIndex::new(0);
         for (p, v) in vals.iter().enumerate() {
             ix.insert(p, v);
         }

@@ -133,7 +133,8 @@ pub(crate) fn analyze_table(table: &Table, snap: Snapshot, mod_count: u64) -> Ta
         columns: vec![ColumnStats::default(); ncols],
         mods_at_analyze: mod_count,
     };
-    for row in table.visible(snap) {
+    let view = table.view();
+    for row in view.visible(snap) {
         stats.row_count += 1;
         for (c, v) in row.iter().enumerate() {
             let cs = &mut stats.columns[c];

@@ -1,7 +1,20 @@
 //! Schemas, rows and in-memory tables.
+//!
+//! Version storage is **sharded**: a table holds `S` append-only arenas,
+//! each behind its own lock, so writers appending to different shards
+//! never contend. Rows are addressed by a stable physical row id
+//! (`Rid`) that packs the shard number into the high bits and the
+//! arena-local position into the low bits — at `S = 1` a rid *is* the
+//! arena position, reproducing the unsharded layout bit-for-bit.
+
+use std::cell::Cell;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::error::{Result, SqlError};
-use crate::index::{key_of, unique_violation, SecondaryIndex};
+use crate::index::{key_of, unique_violation, KeySpace, SecondaryIndex};
 use crate::value::{DataType, Value};
 
 /// A named, typed column.
@@ -167,15 +180,69 @@ impl VersionedRow {
 /// half the heap dead.
 const GC_MIN_DEAD: usize = 64;
 
-/// An in-memory heap table: a schema plus an append-only heap of row
-/// versions. Visibility of a version to a given `Snapshot` is decided
-/// per read; dead versions linger until compaction reclaims them.
-#[derive(Debug, Default)]
-pub struct Table {
-    /// The table's schema.
-    pub schema: Schema,
-    /// Version storage. Append-only except for [`Table::compact`], so
-    /// version indices stay valid while `pins > 0`.
+// ---- physical row ids ------------------------------------------------------
+
+/// A stable physical row id: shard number in the high bits, arena-local
+/// position in the low bits. Rids compare in **shard-major ascending
+/// order**, so every "ascending version positions" invariant (index
+/// probes, undo logs, superseded lists) carries over unchanged; at one
+/// shard a rid equals the arena position exactly.
+pub(crate) type Rid = usize;
+
+/// Bits reserved for the arena-local position (64-bit targets only).
+const RID_SHARD_SHIFT: u32 = 48;
+/// Mask extracting the arena-local position from a rid.
+const RID_POS_MASK: usize = (1 << RID_SHARD_SHIFT) - 1;
+
+/// Pack a shard number and arena-local position into a rid.
+pub(crate) fn make_rid(shard: usize, pos: usize) -> Rid {
+    debug_assert!(pos <= RID_POS_MASK);
+    (shard << RID_SHARD_SHIFT) | pos
+}
+
+/// Shard number of a rid.
+pub(crate) fn rid_shard(rid: Rid) -> usize {
+    rid >> RID_SHARD_SHIFT
+}
+
+/// Arena-local position of a rid.
+pub(crate) fn rid_pos(rid: Rid) -> usize {
+    rid & RID_POS_MASK
+}
+
+// ---- home-shard routing ----------------------------------------------------
+
+/// Round-robin seed for thread home slots.
+static NEXT_HOME: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's home slot, assigned on first use. All appends a
+    /// thread makes to a given table land in `slot % shard_count`, so a
+    /// single-threaded workload preserves insertion order exactly (one
+    /// shard) while distinct writer threads spread across shards.
+    static HOME_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The calling thread's home slot (assigned round-robin on first use).
+fn home_slot() -> usize {
+    HOME_SLOT.with(|c| {
+        let mut v = c.get();
+        if v == usize::MAX {
+            v = NEXT_HOME.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+        }
+        v
+    })
+}
+
+// ---- version arenas --------------------------------------------------------
+
+/// One shard's version storage: an append-only heap of row versions plus
+/// the per-shard slice of every secondary index (local positions).
+#[derive(Debug, Clone, Default)]
+struct Arena {
+    /// Version storage. Append-only except for [`Arena::compact`], so
+    /// local positions stay valid while the owning shard is pinned.
     versions: Vec<VersionedRow>,
     /// Count of versions whose data can eventually be reclaimed.
     dead: usize,
@@ -187,48 +254,282 @@ pub struct Table {
     /// overstate after removals, which only makes the quiescence check
     /// conservative).
     max_begin: u64,
-    /// Holders of version indices that outlive a single guard (streaming
-    /// cursors, open transactions, snapshot DML). Compaction is skipped
-    /// while any pin is held, because it renumbers versions.
-    pins: std::sync::atomic::AtomicUsize,
-    /// Secondary indexes over single columns, maintained by every
-    /// operation that appends, rewrites, moves or truncates version
-    /// payloads (stamp-only changes never touch them — probes re-check
-    /// visibility).
+    /// This shard's slice of each secondary index, ordinal-aligned with
+    /// the table's `index_meta` and keyed by **local** positions.
     indexes: Vec<SecondaryIndex>,
+}
+
+impl Arena {
+    /// Every version in this arena is visible to `snap`: nothing dead,
+    /// nothing pending, and nothing committed after the snapshot.
+    fn all_visible(&self, snap: Snapshot) -> bool {
+        self.dead == 0 && self.pending == 0 && self.max_begin <= snap.ts
+    }
+
+    /// Append a version (already coerced) and return its local position.
+    fn push(&mut self, begin: u64, data: Row) -> usize {
+        if begin & UNCOMMITTED != 0 {
+            self.pending += 1;
+        } else if begin > self.max_begin {
+            self.max_begin = begin;
+        }
+        self.versions.push(VersionedRow {
+            begin,
+            end: LIVE,
+            data,
+        });
+        let pos = self.versions.len() - 1;
+        let data = &self.versions[pos].data;
+        for ix in &mut self.indexes {
+            ix.insert(pos, &data[ix.column]);
+        }
+        pos
+    }
+
+    /// Stamp a version's end (delete/supersede it as of `stamp`).
+    fn end(&mut self, pos: usize, stamp: u64) {
+        self.versions[pos].end = stamp;
+        if stamp & UNCOMMITTED == 0 {
+            self.dead += 1;
+        } else {
+            self.pending += 1;
+        }
+    }
+
+    /// Commit a pending insert: `UNCOMMITTED | txid` → `cts`.
+    fn commit_begin(&mut self, pos: usize, txid: u64, cts: u64) {
+        if self.versions[pos].begin == UNCOMMITTED | txid {
+            self.versions[pos].begin = cts;
+            self.pending -= 1;
+            if cts > self.max_begin {
+                self.max_begin = cts;
+            }
+        }
+    }
+
+    /// Commit a pending delete: `UNCOMMITTED | txid` → `cts`.
+    fn commit_end(&mut self, pos: usize, txid: u64, cts: u64) {
+        if self.versions[pos].end == UNCOMMITTED | txid {
+            self.versions[pos].end = cts;
+            self.pending -= 1;
+            self.dead += 1;
+        }
+    }
+
+    /// Undo a pending delete: the version is current again.
+    fn revert_end(&mut self, pos: usize, txid: u64) {
+        if self.versions[pos].end == UNCOMMITTED | txid {
+            self.versions[pos].end = LIVE;
+            self.pending -= 1;
+        }
+    }
+
+    /// Undo a pending insert: tombstone the version.
+    fn revert_insert(&mut self, pos: usize, txid: u64) {
+        if self.versions[pos].begin == UNCOMMITTED | txid {
+            self.versions[pos].begin = TOMBSTONE;
+            self.pending -= 1;
+            self.dead += 1;
+        }
+    }
+
+    /// Overwrite a version's payload in place (no garbage created).
+    fn overwrite(&mut self, pos: usize, cols: &[usize], vals: Vec<Value>) {
+        for (v, &c) in vals.into_iter().zip(cols) {
+            let old = std::mem::replace(&mut self.versions[pos].data[c], v);
+            let new = &self.versions[pos].data[c];
+            for ix in &mut self.indexes {
+                if ix.column == c {
+                    ix.reindex(pos, &old, new);
+                }
+            }
+        }
+    }
+
+    /// Physically remove the given ascending local positions, renumbering
+    /// the survivors (and every index entry above a removed position).
+    /// The removed versions are current rows, so `dead` is untouched.
+    fn remove(&mut self, sorted: &[usize]) {
+        let mut doomed = sorted.iter().copied().peekable();
+        let mut i = 0usize;
+        self.versions.retain(|_| {
+            let hit = doomed.peek() == Some(&i);
+            if hit {
+                doomed.next();
+            }
+            i += 1;
+            !hit
+        });
+        for ix in &mut self.indexes {
+            ix.remove_renumber(sorted);
+        }
+    }
+
+    /// Drop every version no snapshot at or after `watermark` can see,
+    /// returning the number reclaimed. The caller has checked pins.
+    fn compact(&mut self, watermark: u64) -> usize {
+        let removed: Vec<usize> = self
+            .versions
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.reclaimable(watermark))
+            .map(|(i, _)| i)
+            .collect();
+        if removed.is_empty() {
+            return 0;
+        }
+        self.versions.retain(|v| !v.reclaimable(watermark));
+        for ix in &mut self.indexes {
+            ix.remove_renumber(&removed);
+        }
+        self.dead = self.versions.iter().filter(|v| v.dead()).count();
+        removed.len()
+    }
+
+    /// Number of current committed rows in this arena.
+    fn committed_len(&self) -> usize {
+        if self.dead == 0 && self.pending == 0 {
+            return self.versions.len();
+        }
+        self.versions
+            .iter()
+            .filter(|v| v.begin & UNCOMMITTED == 0 && (v.end == LIVE || v.end & UNCOMMITTED != 0))
+            .count()
+    }
+}
+
+/// One independently locked shard: an arena plus its pin count.
+#[derive(Debug, Default)]
+struct Shard {
+    /// The shard's version storage. Writers appending to different
+    /// shards hold different locks and proceed in parallel.
+    arena: RwLock<Arena>,
+    /// Holders of local positions that outlive a single guard (streaming
+    /// cursors, open transactions, snapshot DML). Compaction skips a
+    /// shard while it is pinned, because compaction renumbers positions.
+    pins: AtomicUsize,
+}
+
+/// Descriptor of one secondary index: its per-shard slices live inside
+/// each arena (ordinal-aligned with this list), so readers can consult
+/// name/column/uniqueness without taking any shard lock.
+#[derive(Debug, Clone)]
+pub(crate) struct IndexMeta {
+    /// Index name (globally unique across the database).
+    pub(crate) name: String,
+    /// Indexed column's ordinal in the table schema.
+    pub(crate) column: usize,
+    /// Rejects duplicate non-NULL keys among currently-live versions.
+    pub(crate) unique: bool,
+}
+
+/// Could this version still be (or become) current? Committed-dead
+/// versions and tombstones cannot conflict; live versions always do;
+/// a pending delete by *another* transaction may roll back, so the
+/// version still conflicts — only our own pending delete clears it.
+fn conflict_live(v: &VersionedRow, txid: u64) -> bool {
+    if v.begin == TOMBSTONE {
+        return false;
+    }
+    if v.end == LIVE {
+        return true;
+    }
+    v.end & UNCOMMITTED != 0 && (txid == 0 || v.end != UNCOMMITTED | txid)
+}
+
+/// An in-memory heap table: a schema plus sharded append-only version
+/// storage. Visibility of a version to a given `Snapshot` is decided per
+/// read; dead versions linger until per-shard compaction reclaims them.
+///
+/// Lock discipline: shard locks are only ever acquired by a thread that
+/// holds the table's outer `RwLock` guard (read or write), and always in
+/// ascending shard order when more than one is taken. Exclusive (`&mut`)
+/// access reaches arenas through `get_mut`, which takes no lock at all —
+/// so the single-shard configuration pays nothing over the unsharded
+/// design.
+#[derive(Debug)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: Schema,
+    /// The version shards. Grown once at registration time
+    /// ([`Table::set_shard_count`]); never shrunk or reordered, so shard
+    /// numbers embedded in rids stay valid forever.
+    shards: Vec<Shard>,
+    /// Secondary-index descriptors, ordinal-aligned with every arena's
+    /// `indexes` vector. Mutated only under the outer write guard.
+    index_meta: Vec<IndexMeta>,
     /// Monotone count of version-payload modifications — the statistics
-    /// layer's staleness signal (see `crate::stats`).
-    mod_count: u64,
+    /// layer's staleness signal (see `crate::stats`). Atomic because
+    /// concurrent appenders bump it under shard (not outer-write) locks.
+    mod_count: AtomicU64,
+}
+
+impl Default for Table {
+    fn default() -> Self {
+        Table::new(Schema::default())
+    }
 }
 
 impl Clone for Table {
     fn clone(&self) -> Self {
         Table {
             schema: self.schema.clone(),
-            versions: self.versions.clone(),
-            dead: self.dead,
-            pending: self.pending,
-            max_begin: self.max_begin,
-            pins: std::sync::atomic::AtomicUsize::new(0),
-            indexes: self.indexes.clone(),
-            mod_count: self.mod_count,
+            shards: self
+                .shards
+                .iter()
+                .map(|s| Shard {
+                    arena: RwLock::new(s.arena.read().clone()),
+                    pins: AtomicUsize::new(0),
+                })
+                .collect(),
+            index_meta: self.index_meta.clone(),
+            mod_count: AtomicU64::new(self.mod_count.load(Ordering::Relaxed)),
         }
     }
 }
 
 impl Table {
-    /// Create an empty table.
+    /// Create an empty single-shard table. `Database::create_table` grows
+    /// the shard count to the configured value at registration time.
     pub fn new(schema: Schema) -> Self {
         Table {
             schema,
-            versions: Vec::new(),
-            dead: 0,
-            pending: 0,
-            max_begin: 0,
-            pins: std::sync::atomic::AtomicUsize::new(0),
-            indexes: Vec::new(),
-            mod_count: 0,
+            shards: vec![Shard::default()],
+            index_meta: Vec::new(),
+            mod_count: AtomicU64::new(0),
         }
+    }
+
+    /// Number of version shards.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Grow the shard count to `n` (never shrinks). Existing rows keep
+    /// their rids; new shards start empty, with an empty slice of every
+    /// existing index. Must only be called before the table's handle is
+    /// shared (registration time): live pins do not extend to shards
+    /// that did not exist when they were taken.
+    pub(crate) fn set_shard_count(&mut self, n: usize) {
+        while self.shards.len() < n {
+            let indexes = self
+                .index_meta
+                .iter()
+                .map(|m| SecondaryIndex::new(m.column))
+                .collect();
+            self.shards.push(Shard {
+                arena: RwLock::new(Arena {
+                    indexes,
+                    ..Arena::default()
+                }),
+                pins: AtomicUsize::new(0),
+            });
+        }
+    }
+
+    /// The calling thread's home shard — where its appends land.
+    fn home_shard(&self) -> usize {
+        home_slot() % self.shards.len()
     }
 
     /// Validate arity and coerce each value to its column type, without
@@ -259,115 +560,96 @@ impl Table {
         Ok(())
     }
 
-    /// Roll back versions appended past `len` by the current statement —
-    /// the error path of a batch insert. Safe under the exclusive guard
-    /// the statement holds: the truncated tail was never visible to any
-    /// other snapshot, and pinned cursors only hold indices below it.
-    pub(crate) fn truncate_versions(&mut self, len: usize) {
-        // The tail was appended by the failing statement: under a
-        // transaction those versions carry uncommitted begin stamps.
-        for v in &self.versions[len..] {
-            if v.begin & UNCOMMITTED != 0 && v.begin != TOMBSTONE {
-                self.pending -= 1;
-            }
-        }
-        self.mod_count += (self.versions.len() - len) as u64;
-        self.versions.truncate(len);
-        for ix in &mut self.indexes {
-            ix.truncate(len);
-        }
+    /// Exclusive access to the arena holding `rid` (no lock taken).
+    fn arena_of(&mut self, rid: Rid) -> &mut Arena {
+        self.shards[rid_shard(rid)].arena.get_mut()
     }
 
-    /// Append a version (already coerced) and return its index.
-    pub(crate) fn push_version(&mut self, begin: u64, data: Row) -> usize {
-        if begin & UNCOMMITTED != 0 {
-            self.pending += 1;
-        } else if begin > self.max_begin {
-            self.max_begin = begin;
-        }
-        self.versions.push(VersionedRow {
-            begin,
-            end: LIVE,
-            data,
-        });
-        self.mod_count += 1;
-        let pos = self.versions.len() - 1;
-        let data = &self.versions[pos].data;
-        for ix in &mut self.indexes {
-            ix.insert(pos, &data[ix.column]);
-        }
-        pos
+    /// Append a version (already coerced) to the calling thread's home
+    /// shard and return its rid.
+    pub(crate) fn push_version(&mut self, begin: u64, data: Row) -> Rid {
+        let s = self.home_shard();
+        let pos = self.shards[s].arena.get_mut().push(begin, data);
+        *self.mod_count.get_mut() += 1;
+        make_rid(s, pos)
     }
 
-    /// All versions, for conflict checks by index.
-    pub(crate) fn versions(&self) -> &[VersionedRow] {
-        &self.versions
+    /// Append a version to a specific shard (tests exercising cross-shard
+    /// behavior deterministically).
+    #[cfg(test)]
+    pub(crate) fn push_to_shard(&mut self, shard: usize, begin: u64, data: Row) -> Rid {
+        let pos = self.shards[shard].arena.get_mut().push(begin, data);
+        *self.mod_count.get_mut() += 1;
+        make_rid(shard, pos)
     }
 
     /// Stamp a version's end (delete/supersede it as of `stamp`). The
     /// index entry stays — probes re-check visibility — but the churn
     /// counts toward statistics staleness.
-    pub(crate) fn end_version(&mut self, i: usize, stamp: u64) {
-        self.versions[i].end = stamp;
-        self.mod_count += 1;
-        if stamp & UNCOMMITTED == 0 {
-            self.dead += 1;
-        } else {
-            self.pending += 1;
-        }
+    pub(crate) fn end_version(&mut self, rid: Rid, stamp: u64) {
+        self.arena_of(rid).end(rid_pos(rid), stamp);
+        *self.mod_count.get_mut() += 1;
     }
 
     /// Commit a pending insert: `UNCOMMITTED | txid` → `cts`.
-    pub(crate) fn commit_begin(&mut self, i: usize, txid: u64, cts: u64) {
-        if self.versions[i].begin == UNCOMMITTED | txid {
-            self.versions[i].begin = cts;
-            self.pending -= 1;
-            if cts > self.max_begin {
-                self.max_begin = cts;
-            }
-        }
+    pub(crate) fn commit_begin(&mut self, rid: Rid, txid: u64, cts: u64) {
+        self.arena_of(rid).commit_begin(rid_pos(rid), txid, cts);
     }
 
     /// Commit a pending delete: `UNCOMMITTED | txid` → `cts`.
-    pub(crate) fn commit_end(&mut self, i: usize, txid: u64, cts: u64) {
-        if self.versions[i].end == UNCOMMITTED | txid {
-            self.versions[i].end = cts;
-            self.pending -= 1;
-            self.dead += 1;
-        }
+    pub(crate) fn commit_end(&mut self, rid: Rid, txid: u64, cts: u64) {
+        self.arena_of(rid).commit_end(rid_pos(rid), txid, cts);
     }
 
     /// Undo a pending delete: the version is current again.
-    pub(crate) fn revert_end(&mut self, i: usize, txid: u64) {
-        if self.versions[i].end == UNCOMMITTED | txid {
-            self.versions[i].end = LIVE;
-            self.pending -= 1;
-        }
+    pub(crate) fn revert_end(&mut self, rid: Rid, txid: u64) {
+        self.arena_of(rid).revert_end(rid_pos(rid), txid);
     }
 
     /// Undo a pending insert: tombstone the version.
-    pub(crate) fn revert_insert(&mut self, i: usize, txid: u64) {
-        if self.versions[i].begin == UNCOMMITTED | txid {
-            self.versions[i].begin = TOMBSTONE;
-            self.pending -= 1;
-            self.dead += 1;
+    pub(crate) fn revert_insert(&mut self, rid: Rid, txid: u64) {
+        self.arena_of(rid).revert_insert(rid_pos(rid), txid);
+    }
+
+    /// A version's current end stamp.
+    pub(crate) fn version_end(&mut self, rid: Rid) -> u64 {
+        self.arena_of(rid).versions[rid_pos(rid)].end
+    }
+
+    /// A version's payload.
+    pub(crate) fn version_data(&mut self, rid: Rid) -> &Row {
+        let pos = rid_pos(rid);
+        &self.arena_of(rid).versions[pos].data
+    }
+
+    /// Block compaction of every shard while positions are held across
+    /// guard releases. Paired with [`Table::unpin`] (or shard-by-shard
+    /// [`Table::unpin_shard`] as a cursor drains).
+    pub(crate) fn pin(&self) {
+        for s in &self.shards {
+            s.pins.fetch_add(1, Ordering::SeqCst);
         }
     }
 
-    /// Block compaction while version indices are held across guard
-    /// releases. Paired with [`Table::unpin`].
-    pub(crate) fn pin(&self) {
-        self.pins.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-    }
-
-    /// Release a [`Table::pin`].
+    /// Release a [`Table::pin`] on every shard.
     pub(crate) fn unpin(&self) {
-        self.pins.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        for s in &self.shards {
+            s.pins.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 
-    /// True when compaction may renumber versions.
+    /// Release one shard of a [`Table::pin`] — a draining cursor frees
+    /// each shard for compaction as soon as it has streamed past it.
+    pub(crate) fn unpin_shard(&self, shard: usize) {
+        self.shards[shard].pins.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// True when compaction of any shard may renumber positions someone
+    /// still holds.
     pub(crate) fn pinned(&self) -> bool {
-        self.pins.load(std::sync::atomic::Ordering::SeqCst) > 0
+        self.shards
+            .iter()
+            .any(|s| s.pins.load(Ordering::SeqCst) > 0)
     }
 
     /// Overwrite the payload of a version in place — the single-version
@@ -377,89 +659,81 @@ impl Table {
     /// `Database::overwrite_safe`). `cols`/`vals` are the SET columns;
     /// any secondary index on a rewritten column moves the version's
     /// entry to its new key.
-    pub(crate) fn overwrite_version(&mut self, i: usize, cols: &[usize], vals: Vec<Value>) {
-        self.mod_count += 1;
-        for (v, &c) in vals.into_iter().zip(cols) {
-            let old = std::mem::replace(&mut self.versions[i].data[c], v);
-            let new = &self.versions[i].data[c];
-            for ix in &mut self.indexes {
-                if ix.column == c {
-                    ix.reindex(i, &old, new);
-                }
-            }
-        }
+    pub(crate) fn overwrite_version(&mut self, rid: Rid, cols: &[usize], vals: Vec<Value>) {
+        self.arena_of(rid).overwrite(rid_pos(rid), cols, vals);
+        *self.mod_count.get_mut() += 1;
     }
 
-    /// Physically remove versions by ascending index — the single-version
-    /// fast path of an auto-commit DELETE. Renumbers the heap (and every
-    /// index entry above a removed position), so it demands the same
-    /// proof as [`Table::overwrite_version`].
-    pub(crate) fn remove_versions(&mut self, sorted: &[usize]) {
-        let mut doomed = sorted.iter().copied().peekable();
+    /// Physically remove versions by ascending rid — the single-version
+    /// fast path of an auto-commit DELETE. Renumbers each touched arena
+    /// (and every index entry above a removed position), so it demands
+    /// the same proof as [`Table::overwrite_version`].
+    pub(crate) fn remove_versions(&mut self, sorted: &[Rid]) {
         let mut i = 0usize;
-        self.versions.retain(|_| {
-            let hit = doomed.peek() == Some(&i);
-            if hit {
-                doomed.next();
+        while i < sorted.len() {
+            let s = rid_shard(sorted[i]);
+            let mut j = i;
+            while j < sorted.len() && rid_shard(sorted[j]) == s {
+                j += 1;
             }
-            i += 1;
-            !hit
-        });
-        self.mod_count += sorted.len() as u64;
-        for ix in &mut self.indexes {
-            ix.remove_renumber(sorted);
+            let local: Vec<usize> = sorted[i..j].iter().map(|&r| rid_pos(r)).collect();
+            self.shards[s].arena.get_mut().remove(&local);
+            i = j;
         }
+        *self.mod_count.get_mut() += sorted.len() as u64;
     }
 
     /// True when enough garbage has accumulated to be worth a compaction
     /// pass (the caller still checks pins via [`Table::compact`]).
-    pub(crate) fn needs_gc(&self) -> bool {
-        self.dead >= GC_MIN_DEAD && self.dead * 2 >= self.versions.len()
+    pub(crate) fn needs_gc(&mut self) -> bool {
+        let (mut dead, mut total) = (0usize, 0usize);
+        for s in &mut self.shards {
+            let a = s.arena.get_mut();
+            dead += a.dead;
+            total += a.versions.len();
+        }
+        dead >= GC_MIN_DEAD && dead * 2 >= total
     }
 
-    /// Drop every version no snapshot at or after `watermark` can see.
-    /// Returns the number reclaimed; a no-op while the table is pinned
-    /// (compaction renumbers the surviving versions).
+    /// Drop every version no snapshot at or after `watermark` can see,
+    /// shard by shard. Returns the number reclaimed; pinned shards are
+    /// skipped (compaction renumbers the survivors).
     pub(crate) fn compact(&mut self, watermark: u64) -> usize {
-        if self.pinned() {
-            return 0;
+        let mut freed = 0;
+        for s in &mut self.shards {
+            if s.pins.load(Ordering::SeqCst) > 0 {
+                continue;
+            }
+            freed += s.arena.get_mut().compact(watermark);
         }
-        let removed: Vec<usize> = self
-            .versions
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.reclaimable(watermark))
-            .map(|(i, _)| i)
-            .collect();
-        if removed.is_empty() {
-            return 0;
-        }
-        self.versions.retain(|v| !v.reclaimable(watermark));
-        for ix in &mut self.indexes {
-            ix.remove_renumber(&removed);
-        }
-        self.dead = self.versions.iter().filter(|v| v.dead()).count();
-        removed.len()
+        freed
     }
 
-    /// Every version in the heap is visible to `snap`: nothing dead,
-    /// nothing pending, and nothing committed after the snapshot. Scans
-    /// use this to skip the per-version visibility check on quiescent
-    /// tables — the overwhelmingly common serial case.
-    pub(crate) fn all_visible(&self, snap: Snapshot) -> bool {
-        self.dead == 0 && self.pending == 0 && self.max_begin <= snap.ts
+    /// Per-shard compaction under the outer **read** guard (`vacuum()`):
+    /// takes each shard's write lock in turn, so readers and writers of
+    /// other shards proceed while one shard compacts. The pin check runs
+    /// *after* the shard lock is acquired: a cursor pins its shard before
+    /// probing it, and its read-guard release happens-before our
+    /// write-guard acquisition, so the pin is visible here.
+    pub(crate) fn compact_shards(&self, watermark: u64) -> usize {
+        let mut freed = 0;
+        for s in &self.shards {
+            let mut g = s.arena.write();
+            if s.pins.load(Ordering::SeqCst) > 0 {
+                continue;
+            }
+            freed += g.compact(watermark);
+        }
+        freed
     }
 
     /// Number of current committed rows (pending writes count as still
     /// current to everyone but their owner).
     pub fn len(&self) -> usize {
-        if self.dead == 0 && self.pending == 0 {
-            return self.versions.len();
-        }
-        self.versions
+        self.shards
             .iter()
-            .filter(|v| v.begin & UNCOMMITTED == 0 && (v.end == LIVE || v.end & UNCOMMITTED != 0))
-            .count()
+            .map(|s| s.arena.read().committed_len())
+            .sum()
     }
 
     /// True when the table holds no current committed rows.
@@ -467,26 +741,70 @@ impl Table {
         self.len() == 0
     }
 
-    /// Iterate the rows visible to `snap`, in version order.
-    pub(crate) fn visible(&self, snap: Snapshot) -> impl Iterator<Item = &Row> {
-        let all = self.all_visible(snap);
-        self.versions
-            .iter()
-            .filter(move |v| all || v.visible(snap))
-            .map(|v| &v.data)
+    /// A read view over every shard (guards held in ascending shard
+    /// order) — the reader-side window onto the version storage.
+    pub(crate) fn view(&self) -> TableView<'_> {
+        TableView {
+            arenas: self.shards.iter().map(|s| s.arena.read()).collect(),
+        }
     }
 
-    /// Iterate `(version index, version)` pairs visible to `snap` — for
-    /// DML, which needs the index to stamp the version it supersedes.
+    /// A read view over a single shard — cursors refill from one shard
+    /// at a time so they only contend with writers of that shard.
+    pub(crate) fn shard_view(&self, shard: usize) -> ShardView<'_> {
+        ShardView {
+            arena: self.shards[shard].arena.read(),
+        }
+    }
+
+    /// Begin a concurrent append to the calling thread's home shard,
+    /// taking only that shard's write lock. `waited` reports whether the
+    /// lock was contended (the `write_shard_waits` counter's input).
+    pub(crate) fn begin_append(&self) -> ShardAppend<'_> {
+        let s = self.home_shard();
+        let sh = &self.shards[s];
+        let (arena, waited) = match sh.arena.try_write() {
+            Some(g) => (g, false),
+            None => (sh.arena.write(), true),
+        };
+        ShardAppend {
+            mod_count: &self.mod_count,
+            shard: s,
+            arena,
+            waited,
+        }
+    }
+
+    /// Exclusively lock the given shards (ascending, deduplicated) for
+    /// commit stamping. The group-commit leader holds these while it
+    /// advances the commit clock, so no reader whose snapshot is at or
+    /// above the new stamp can observe a torn commit.
+    pub(crate) fn lock_shards(&self, shards: &[usize]) -> ShardLocks<'_> {
+        debug_assert!(shards.windows(2).all(|w| w[0] < w[1]));
+        ShardLocks {
+            guards: shards
+                .iter()
+                .map(|&s| (s, self.shards[s].arena.write()))
+                .collect(),
+        }
+    }
+
+    /// Iterate `(rid, version)` pairs visible to `snap` — for DML under
+    /// the outer write guard, which needs the rid to stamp the version
+    /// it supersedes.
     pub(crate) fn visible_versions(
-        &self,
+        &mut self,
         snap: Snapshot,
-    ) -> impl Iterator<Item = (usize, &VersionedRow)> {
-        let all = self.all_visible(snap);
-        self.versions
-            .iter()
-            .enumerate()
-            .filter(move |(_, v)| all || v.visible(snap))
+    ) -> impl Iterator<Item = (Rid, &VersionedRow)> {
+        self.shards.iter_mut().enumerate().flat_map(move |(s, sh)| {
+            let a: &Arena = sh.arena.get_mut();
+            let all = a.all_visible(snap);
+            a.versions
+                .iter()
+                .enumerate()
+                .filter(move |(_, v)| all || v.visible(snap))
+                .map(move |(p, v)| (make_rid(s, p), v))
+        })
     }
 
     /// Clone the rows visible to `snap` keeping only the given columns,
@@ -494,96 +812,84 @@ impl Table {
     /// when a scan cannot run zero-copy. Cloning whole rows is the fast
     /// path when every column is read.
     pub(crate) fn project_rows(&self, cols: &[usize], snap: Snapshot) -> Vec<Row> {
+        let view = self.view();
         if cols.len() == self.schema.len() && cols.iter().enumerate().all(|(i, &c)| i == c) {
-            return self.visible(snap).cloned().collect();
+            return view.visible(snap).cloned().collect();
         }
-        self.visible(snap)
+        view.visible(snap)
             .map(|r| cols.iter().map(|&i| r[i].clone()).collect())
             .collect()
     }
 
-    /// Iterate the rows at the given ascending version positions that
-    /// are visible to `snap` — the index-scan analogue of
-    /// [`Table::visible`]: candidates come from an index probe, the
-    /// snapshot check makes them exact.
-    pub(crate) fn visible_at<'a>(
-        &'a self,
-        positions: &'a [usize],
-        snap: Snapshot,
-    ) -> impl Iterator<Item = &'a Row> + 'a {
-        let all = self.all_visible(snap);
-        positions.iter().filter_map(move |&p| {
-            let v = self.versions.get(p)?;
-            (all || v.visible(snap)).then_some(&v.data)
-        })
+    /// Clone every row visible to `snap` — the whole-table snapshot a
+    /// self-referencing `INSERT … SELECT` materializes.
+    pub(crate) fn snapshot_rows(&self, snap: Snapshot) -> Vec<Row> {
+        self.view().visible(snap).cloned().collect()
     }
 
     // ---- secondary indexes -------------------------------------------------
 
-    /// The table's secondary indexes.
-    pub(crate) fn indexes(&self) -> &[SecondaryIndex] {
-        &self.indexes
+    /// The table's secondary-index descriptors.
+    pub(crate) fn indexes(&self) -> &[IndexMeta] {
+        &self.index_meta
     }
 
-    /// Look up an index by (lower-cased) name.
-    pub(crate) fn find_index(&self, name: &str) -> Option<&SecondaryIndex> {
-        self.indexes.iter().find(|ix| ix.name == name)
+    /// Look up an index by (lower-cased) name: its ordinal (the position
+    /// of its slice in every arena) and descriptor.
+    pub(crate) fn find_index(&self, name: &str) -> Option<(usize, &IndexMeta)> {
+        self.index_meta
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.name == name)
     }
 
     /// The version-payload churn counter (statistics staleness input).
     pub(crate) fn mod_count(&self) -> u64 {
-        self.mod_count
+        self.mod_count.load(Ordering::Relaxed)
     }
 
     /// True when any unique index exists — DML paths only build check
     /// rows when this holds.
     pub(crate) fn has_unique_index(&self) -> bool {
-        self.indexes.iter().any(|ix| ix.unique)
-    }
-
-    /// Could this version still be (or become) current? Committed-dead
-    /// versions and tombstones cannot conflict; live versions always do;
-    /// a pending delete by *another* transaction may roll back, so the
-    /// version still conflicts — only our own pending delete clears it.
-    fn conflict_live(v: &VersionedRow, txid: u64) -> bool {
-        if v.begin == TOMBSTONE {
-            return false;
-        }
-        if v.end == LIVE {
-            return true;
-        }
-        v.end & UNCOMMITTED != 0 && (txid == 0 || v.end != UNCOMMITTED | txid)
+        self.index_meta.iter().any(|m| m.unique)
     }
 
     /// Error-before-mutation unique check for a statement's batch of new
     /// rows: rejects a duplicate non-NULL key within the batch or against
-    /// any still-conflicting indexed version. `superseded` lists the
-    /// ascending version positions the statement will end (its own
-    /// updates never conflict with the versions they replace); `txid` is
-    /// the owning transaction (0 in auto-commit).
+    /// any still-conflicting indexed version in any shard. `superseded`
+    /// lists the ascending rids the statement will end (its own updates
+    /// never conflict with the versions they replace); `txid` is the
+    /// owning transaction (0 in auto-commit).
     pub(crate) fn check_unique(
-        &self,
+        &mut self,
         new_rows: &[Row],
-        superseded: &[usize],
+        superseded: &[Rid],
         txid: u64,
     ) -> Result<()> {
-        for ix in &self.indexes {
-            if !ix.unique {
-                continue;
-            }
-            let mut batch = std::collections::BTreeSet::new();
+        let uniques: Vec<(usize, usize)> = self
+            .index_meta
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.unique)
+            .map(|(o, m)| (o, m.column))
+            .collect();
+        for (ord, col) in uniques {
+            let mut batch = BTreeSet::new();
             for r in new_rows {
-                let Some(k) = key_of(&r[ix.column]) else {
+                let Some(k) = key_of(&r[col]) else {
                     continue; // NULLs never collide
                 };
                 if !batch.insert(k.clone()) {
-                    return Err(unique_violation(&ix.name));
+                    return Err(unique_violation(&self.index_meta[ord].name));
                 }
-                for &p in ix.positions_of(&k) {
-                    if superseded.binary_search(&p).is_err()
-                        && Self::conflict_live(&self.versions[p], txid)
-                    {
-                        return Err(unique_violation(&ix.name));
+                for s in 0..self.shards.len() {
+                    let arena = self.shards[s].arena.get_mut();
+                    for &p in arena.indexes[ord].positions_of(&k) {
+                        if superseded.binary_search(&make_rid(s, p)).is_err()
+                            && conflict_live(&arena.versions[p], txid)
+                        {
+                            return Err(unique_violation(&self.index_meta[ord].name));
+                        }
                     }
                 }
             }
@@ -591,36 +897,214 @@ impl Table {
         Ok(())
     }
 
-    /// Create a secondary index over `column`, building it from the
-    /// whole version heap. A unique index validates existing data first
-    /// and leaves the table untouched on violation.
+    /// Create a secondary index over `column`, building each shard's
+    /// slice from that shard's version heap. A unique index validates
+    /// existing data first — across *all* shards, since duplicates may
+    /// straddle a shard boundary — and leaves the table untouched on
+    /// violation.
     pub(crate) fn create_index(&mut self, name: &str, column: &str, unique: bool) -> Result<()> {
         let col = self
             .schema
             .index_of(column)
             .ok_or_else(|| SqlError::UnknownColumn(column.to_string()))?;
         crate::index::check_indexable(self.schema.columns[col].dtype, column)?;
-        let mut ix = SecondaryIndex::new(name.to_string(), col, unique);
-        ix.rebuild(self.versions.iter().map(|v| v.data.as_slice()));
-        if unique && ix.find_duplicate(|p| Self::conflict_live(&self.versions[p], 0)) {
-            return Err(unique_violation(name));
+        let mut built = Vec::with_capacity(self.shards.len());
+        for s in 0..self.shards.len() {
+            let arena = self.shards[s].arena.get_mut();
+            let mut ix = SecondaryIndex::new(col);
+            ix.rebuild(arena.versions.iter().map(|v| v.data.as_slice()));
+            built.push(ix);
         }
-        self.indexes.push(ix);
+        if unique {
+            let mut seen = BTreeSet::new();
+            for s in 0..self.shards.len() {
+                for v in &self.shards[s].arena.get_mut().versions {
+                    if conflict_live(v, 0) {
+                        if let Some(k) = key_of(&v.data[col]) {
+                            if !seen.insert(k) {
+                                return Err(unique_violation(name));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (s, ix) in built.into_iter().enumerate() {
+            self.shards[s].arena.get_mut().indexes.push(ix);
+        }
+        self.index_meta.push(IndexMeta {
+            name: name.to_string(),
+            column: col,
+            unique,
+        });
         Ok(())
     }
 
-    /// Drop an index by name, returning it (the undo log keeps its shape
-    /// so ROLLBACK can rebuild it).
-    pub(crate) fn drop_index(&mut self, name: &str) -> Option<SecondaryIndex> {
-        let i = self.indexes.iter().position(|ix| ix.name == name)?;
-        Some(self.indexes.remove(i))
+    /// Drop an index by name, removing its slice from every arena and
+    /// returning its descriptor (the undo log keeps its shape so
+    /// ROLLBACK can rebuild it).
+    pub(crate) fn drop_index(&mut self, name: &str) -> Option<IndexMeta> {
+        let i = self.index_meta.iter().position(|m| m.name == name)?;
+        for s in 0..self.shards.len() {
+            self.shards[s].arena.get_mut().indexes.remove(i);
+        }
+        Some(self.index_meta.remove(i))
     }
 
     /// Clone the current committed rows — a convenience for tests and
     /// direct (non-SQL) inspection.
     #[cfg(test)]
     pub(crate) fn latest_rows(&self) -> Vec<Row> {
-        self.visible(Snapshot::latest()).cloned().collect()
+        self.snapshot_rows(Snapshot::latest())
+    }
+}
+
+/// A consistent read window over every shard of one table: all shard
+/// read guards, held in ascending shard order. Created under the outer
+/// table guard (read or write); while it lives, no commit stamping,
+/// concurrent append or compaction can touch the table.
+pub(crate) struct TableView<'t> {
+    arenas: Vec<RwLockReadGuard<'t, Arena>>,
+}
+
+impl TableView<'_> {
+    /// Iterate the rows visible to `snap`, in ascending rid order.
+    pub(crate) fn visible(&self, snap: Snapshot) -> impl Iterator<Item = &Row> {
+        self.arenas.iter().flat_map(move |a| {
+            let all = a.all_visible(snap);
+            a.versions
+                .iter()
+                .filter(move |v| all || v.visible(snap))
+                .map(|v| &v.data)
+        })
+    }
+
+    /// Iterate `(rid, version)` pairs visible to `snap` — the read-guard
+    /// analogue of [`Table::visible_versions`].
+    pub(crate) fn visible_versions(
+        &self,
+        snap: Snapshot,
+    ) -> impl Iterator<Item = (Rid, &VersionedRow)> {
+        self.arenas.iter().enumerate().flat_map(move |(s, a)| {
+            let all = a.all_visible(snap);
+            a.versions
+                .iter()
+                .enumerate()
+                .filter(move |(_, v)| all || v.visible(snap))
+                .map(move |(p, v)| (make_rid(s, p), v))
+        })
+    }
+
+    /// Iterate the rows at the given ascending rids that are visible to
+    /// `snap` — the index-scan analogue of [`TableView::visible`]:
+    /// candidates come from an index probe, the snapshot check makes
+    /// them exact.
+    pub(crate) fn visible_at<'a>(
+        &'a self,
+        rids: &'a [Rid],
+        snap: Snapshot,
+    ) -> impl Iterator<Item = &'a Row> + 'a {
+        rids.iter().filter_map(move |&r| {
+            let a = self.arenas.get(rid_shard(r))?;
+            let v = a.versions.get(rid_pos(r))?;
+            (a.all_visible(snap) || v.visible(snap)).then_some(&v.data)
+        })
+    }
+
+    /// The version at `rid`, if it exists.
+    #[cfg(test)]
+    pub(crate) fn version(&self, rid: Rid) -> Option<&VersionedRow> {
+        self.arenas.get(rid_shard(rid))?.versions.get(rid_pos(rid))
+    }
+
+    /// Candidate rids for a point/range probe of index `ordinal`,
+    /// ascending (per-shard results are ascending and shards concatenate
+    /// in rid order). `None` when any shard's probe cannot narrow — the
+    /// caller falls back to a sequential scan.
+    pub(crate) fn probe(
+        &self,
+        ordinal: usize,
+        space: KeySpace,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Option<Vec<Rid>> {
+        let mut out = Vec::new();
+        for (s, a) in self.arenas.iter().enumerate() {
+            let local = a.indexes[ordinal].probe(space, lo, hi)?;
+            out.extend(local.into_iter().map(|p| make_rid(s, p)));
+        }
+        Some(out)
+    }
+}
+
+/// A read view over one shard — what a streaming cursor holds while it
+/// drains that shard's batch.
+pub(crate) struct ShardView<'t> {
+    arena: RwLockReadGuard<'t, Arena>,
+}
+
+impl ShardView<'_> {
+    /// The shard's versions (local positions).
+    pub(crate) fn versions(&self) -> &[VersionedRow] {
+        &self.arena.versions
+    }
+
+    /// Every version in this shard is visible to `snap`.
+    pub(crate) fn all_visible(&self, snap: Snapshot) -> bool {
+        self.arena.all_visible(snap)
+    }
+}
+
+/// An in-progress concurrent append: the writer's home-shard write
+/// guard. Writers with different home shards append in parallel; the
+/// table's outer guard is only held in read mode.
+pub(crate) struct ShardAppend<'t> {
+    mod_count: &'t AtomicU64,
+    shard: usize,
+    arena: RwLockWriteGuard<'t, Arena>,
+    waited: bool,
+}
+
+impl ShardAppend<'_> {
+    /// True when the home-shard lock was contended and the writer had to
+    /// block for it.
+    pub(crate) fn waited(&self) -> bool {
+        self.waited
+    }
+
+    /// Append a version (already coerced) and return its rid.
+    pub(crate) fn push(&mut self, begin: u64, data: Row) -> Rid {
+        let pos = self.arena.push(begin, data);
+        self.mod_count.fetch_add(1, Ordering::Relaxed);
+        make_rid(self.shard, pos)
+    }
+}
+
+/// Exclusive locks over a commit's touched shards, used by the
+/// group-commit leader to stamp pending versions.
+pub(crate) struct ShardLocks<'t> {
+    guards: Vec<(usize, RwLockWriteGuard<'t, Arena>)>,
+}
+
+impl ShardLocks<'_> {
+    fn arena(&mut self, shard: usize) -> &mut Arena {
+        let i = self
+            .guards
+            .binary_search_by_key(&shard, |g| g.0)
+            .expect("commit touched an unlocked shard");
+        &mut self.guards[i].1
+    }
+
+    /// Commit a pending insert: `UNCOMMITTED | txid` → `cts`.
+    pub(crate) fn commit_begin(&mut self, rid: Rid, txid: u64, cts: u64) {
+        self.arena(rid_shard(rid))
+            .commit_begin(rid_pos(rid), txid, cts);
+    }
+
+    /// Commit a pending delete: `UNCOMMITTED | txid` → `cts`.
+    pub(crate) fn commit_end(&mut self, rid: Rid, txid: u64, cts: u64) {
+        self.arena(rid_shard(rid))
+            .commit_end(rid_pos(rid), txid, cts);
     }
 }
 
@@ -796,6 +1280,17 @@ mod tests {
     }
 
     #[test]
+    fn rids_encode_shard_and_position() {
+        assert_eq!(make_rid(0, 7), 7, "one shard: rid is the position");
+        let r = make_rid(3, 41);
+        assert_eq!(rid_shard(r), 3);
+        assert_eq!(rid_pos(r), 41);
+        // Shard-major ascending: every rid of shard 2 sorts below every
+        // rid of shard 3.
+        assert!(make_rid(2, usize::from(u16::MAX)) < make_rid(3, 0));
+    }
+
+    #[test]
     fn visibility_follows_begin_end_stamps() {
         let mut t = Table::new(schema());
         t.insert(vec![Value::Int(1), Value::Float(1.0)]).unwrap();
@@ -806,18 +1301,22 @@ mod tests {
         let old = Snapshot { ts: 4, txid: 0 };
         let new = Snapshot { ts: 5, txid: 0 };
         let own = Snapshot { ts: 4, txid: 9 };
-        assert_eq!(t.visible(old).count(), 1);
-        assert_eq!(t.visible(new).count(), 2);
-        assert_eq!(t.visible(own).count(), 2, "own pending insert is visible");
+        assert_eq!(t.view().visible(old).count(), 1);
+        assert_eq!(t.view().visible(new).count(), 2);
+        assert_eq!(
+            t.view().visible(own).count(),
+            2,
+            "own pending insert is visible"
+        );
         // Delete version i at ts 7: snapshots at or after 7 lose it.
         t.end_version(i, 7);
-        assert_eq!(t.visible(Snapshot { ts: 6, txid: 0 }).count(), 2);
-        assert_eq!(t.visible(Snapshot { ts: 7, txid: 0 }).count(), 1);
+        assert_eq!(t.view().visible(Snapshot { ts: 6, txid: 0 }).count(), 2);
+        assert_eq!(t.view().visible(Snapshot { ts: 7, txid: 0 }).count(), 1);
         // Own pending delete hides the row from its owner only.
         t.commit_begin(j, 9, 8);
         t.end_version(j, UNCOMMITTED | 11);
-        assert_eq!(t.visible(Snapshot { ts: 8, txid: 11 }).count(), 1);
-        assert_eq!(t.visible(Snapshot { ts: 8, txid: 0 }).count(), 2);
+        assert_eq!(t.view().visible(Snapshot { ts: 8, txid: 11 }).count(), 1);
+        assert_eq!(t.view().visible(Snapshot { ts: 8, txid: 0 }).count(), 2);
     }
 
     #[test]
@@ -839,6 +1338,104 @@ mod tests {
         assert_eq!(t.compact(9), 1);
         assert_eq!(t.compact(9), 0);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn sharded_appends_keep_rids_stable_and_rows_complete() {
+        let mut t = Table::new(schema());
+        t.set_shard_count(4);
+        assert_eq!(t.shard_count(), 4);
+        let mut rids = Vec::new();
+        for s in 0..4 {
+            for k in 0..3 {
+                rids.push(t.push_to_shard(
+                    s,
+                    1,
+                    vec![Value::Int((s * 3 + k) as i64), Value::Float(0.0)],
+                ));
+            }
+        }
+        // Rids address their versions regardless of other shards' growth.
+        let view = t.view();
+        for (n, &r) in rids.iter().enumerate() {
+            assert_eq!(view.version(r).unwrap().data[0], Value::Int(n as i64));
+        }
+        // Full-table iteration sees every row once, in rid order.
+        let snap = Snapshot { ts: 1, txid: 0 };
+        let ids: Vec<i64> = view
+            .visible(snap)
+            .map(|r| match r[0] {
+                Value::Int(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, (0..12).collect::<Vec<_>>());
+        drop(view);
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    fn concurrent_appends_from_threads_preserve_the_multiset() {
+        let mut t = Table::new(schema());
+        t.set_shard_count(4);
+        let t = &t;
+        std::thread::scope(|scope| {
+            for w in 0..4i64 {
+                scope.spawn(move || {
+                    for k in 0..50 {
+                        let mut ap = t.begin_append();
+                        ap.push(1, vec![Value::Int(w * 100 + k), Value::Float(0.0)]);
+                    }
+                });
+            }
+        });
+        let view = t.view();
+        let mut ids: Vec<i64> = view
+            .visible(Snapshot { ts: 1, txid: 0 })
+            .map(|r| match r[0] {
+                Value::Int(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        ids.sort_unstable();
+        let want: Vec<i64> = (0..4i64)
+            .flat_map(|w| (0..50).map(move |k| w * 100 + k))
+            .collect();
+        assert_eq!(ids, want);
+    }
+
+    #[test]
+    fn unique_checks_see_across_shards() {
+        let mut t = Table::new(schema());
+        t.set_shard_count(2);
+        t.push_to_shard(0, 1, vec![Value::Int(7), Value::Float(0.0)]);
+        t.push_to_shard(1, 1, vec![Value::Int(7), Value::Float(1.0)]);
+        // Build-time validation catches the cross-shard duplicate…
+        assert!(t.create_index("u_id", "id", true).is_err());
+        assert!(!t.has_unique_index(), "failed build leaves no index");
+        // …and after deduplication, probes and conflict checks span shards.
+        t.end_version(make_rid(1, 0), 2);
+        t.create_index("u_id", "id", true).unwrap();
+        let err = t.check_unique(&[vec![Value::Int(7), Value::Float(9.0)]], &[], 0);
+        assert!(err.is_err(), "conflict with the shard-0 live row");
+        t.check_unique(&[vec![Value::Int(8), Value::Float(9.0)]], &[], 0)
+            .unwrap();
+    }
+
+    #[test]
+    fn per_shard_compaction_skips_only_pinned_shards() {
+        let mut t = Table::new(schema());
+        t.set_shard_count(2);
+        let a = t.push_to_shard(0, 1, vec![Value::Int(0), Value::Float(0.0)]);
+        let b = t.push_to_shard(1, 1, vec![Value::Int(1), Value::Float(0.0)]);
+        t.end_version(a, 3);
+        t.end_version(b, 3);
+        t.pin();
+        t.unpin_shard(0); // cursor drained shard 0, still parked on shard 1
+        assert_eq!(t.compact(5), 1, "only the unpinned shard compacts");
+        assert_eq!(t.compact_shards(5), 0, "shard 1 still pinned");
+        t.unpin_shard(1);
+        assert_eq!(t.compact_shards(5), 1);
     }
 
     #[test]

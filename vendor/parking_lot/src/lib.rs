@@ -68,6 +68,14 @@ impl<T: ?Sized> RwLock<T> {
         self.0.write().unwrap_or_else(|p| p.into_inner())
     }
 
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|p| p.into_inner())
     }
@@ -157,6 +165,17 @@ mod tests {
         let m = Mutex::new(0);
         let _g = m.lock();
         assert!(m.try_lock().is_none());
+    }
+
+    #[test]
+    fn try_write_contended_returns_none() {
+        let l = RwLock::new(0);
+        {
+            let _r = l.read();
+            assert!(l.try_write().is_none());
+        }
+        *l.try_write().unwrap() += 7;
+        assert_eq!(*l.read(), 7);
     }
 
     #[test]
